@@ -1,0 +1,111 @@
+//! Ablations over the design choices DESIGN.md calls out:
+//!
+//! * marker-placement policy (§7.1: "a more dynamic policy of marker
+//!   placement may achieve better performance with fewer markers");
+//! * write barrier: sequential store buffer vs the deduplicating
+//!   object-marking barrier, on update-heavy Peg (§4 suggests card
+//!   marking for exactly this case);
+//! * exception bookkeeping: watermark-at-raise vs deferred handler walk
+//!   (§5's two implementation strategies).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tilgc_bench::bench_config;
+use tilgc_core::{build_collector, build_vm, CollectorKind, GcConfig, MarkerPolicy};
+use tilgc_programs::Benchmark;
+use tilgc_runtime::{MutatorState, RaiseBookkeeping, Vm, WriteBarrier};
+
+fn marker_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_marker_policy");
+    group.sample_size(10);
+    let policies: [(&str, MarkerPolicy); 4] = [
+        ("every5", MarkerPolicy::EveryN(5)),
+        ("every25", MarkerPolicy::EveryN(25)),
+        ("every25_top", MarkerPolicy::EveryNPlusTop(25)),
+        ("exponential", MarkerPolicy::Exponential),
+    ];
+    for (label, policy) in policies {
+        group.bench_function(BenchmarkId::new("knuth_bendix", label), |b| {
+            let config = bench_config(16 << 20).marker_policy(policy);
+            b.iter(|| {
+                black_box(tilgc_bench::run_program(
+                    Benchmark::KnuthBendix,
+                    CollectorKind::GenerationalStack,
+                    &config,
+                    1,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn barrier_kinds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_write_barrier");
+    group.sample_size(10);
+    let run = |barrier: WriteBarrier, config: &GcConfig| -> u64 {
+        let mut m = MutatorState::new();
+        m.barrier = barrier;
+        m.check_shadows = false;
+        let mut vm = Vm::with_mutator(m, build_collector(CollectorKind::Generational, config));
+        let h = Benchmark::Peg.run(&mut vm, 1);
+        vm.finish();
+        h
+    };
+    group.bench_function("peg/ssb", |b| {
+        let config = bench_config(4 << 20);
+        b.iter(|| black_box(run(WriteBarrier::ssb(), &config)));
+    });
+    group.bench_function("peg/object_mark", |b| {
+        let config = bench_config(4 << 20);
+        b.iter(|| black_box(run(WriteBarrier::object_mark(), &config)));
+    });
+    group.finish();
+}
+
+fn raise_bookkeeping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_raise_bookkeeping");
+    group.sample_size(10);
+    for (label, mode) in
+        [("watermark", RaiseBookkeeping::Watermark), ("deferred", RaiseBookkeeping::Deferred)]
+    {
+        group.bench_with_input(BenchmarkId::new("peg", label), &mode, |b, &mode| {
+            let config = bench_config(4 << 20);
+            b.iter(|| {
+                let mut vm = build_vm(CollectorKind::GenerationalStack, &config);
+                vm.mutator_mut().raise_mode = mode;
+                vm.mutator_mut().check_shadows = false;
+                let h = Benchmark::Peg.run(&mut vm, 1);
+                vm.finish();
+                black_box(h)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn tenure_thresholds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_tenure_threshold");
+    group.sample_size(10);
+    for threshold in [0u8, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("nqueen", threshold),
+            &threshold,
+            |b, &threshold| {
+                let config = bench_config(4 << 20).tenure_threshold(threshold);
+                b.iter(|| {
+                    black_box(tilgc_bench::run_program(
+                        Benchmark::Nqueen,
+                        CollectorKind::GenerationalStack,
+                        &config,
+                        1,
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, marker_policies, barrier_kinds, raise_bookkeeping, tenure_thresholds);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 2 (wall-clock): the cost of gathering heap profiles. The paper
+//! reports profiled programs running 50–200 % slower.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tilgc_bench::bench_config;
+use tilgc_core::{build_vm, CollectorKind};
+use tilgc_programs::Benchmark;
+
+fn profiling_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure2_profiling");
+    group.sample_size(10);
+    for bench in [Benchmark::Nqueen, Benchmark::KnuthBendix] {
+        for (label, profiling) in [("plain", false), ("profiling", true)] {
+            group.bench_with_input(
+                BenchmarkId::new(bench.name(), label),
+                &profiling,
+                |b, &profiling| {
+                    b.iter(|| {
+                        let config = bench_config(16 << 20).profiling(profiling);
+                        let mut vm = build_vm(CollectorKind::GenerationalStack, &config);
+                        vm.mutator_mut().check_shadows = false;
+                        let h = bench.run(&mut vm, 1);
+                        vm.finish();
+                        black_box(h)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, profiling_overhead);
+criterion_main!(benches);

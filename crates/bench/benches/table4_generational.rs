@@ -1,0 +1,38 @@
+//! Table 4 (wall-clock): the generational collector across the budget
+//! sweep, against the semispace baseline of Table 3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tilgc_bench::{bench_config, run_program};
+use tilgc_core::CollectorKind;
+use tilgc_programs::Benchmark;
+
+fn generational_k_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_generational");
+    group.sample_size(10);
+    // Per-program budgets approximating k = 1.5 and k = 4 of each
+    // program's Min (live sets differ by an order of magnitude).
+    let budgets = [
+        (Benchmark::Checksum, 96 << 10, 256 << 10),
+        (Benchmark::Nqueen, 512 << 10, 1536 << 10),
+        (Benchmark::Pia, 384 << 10, 1024 << 10),
+    ];
+    for (bench, tight, roomy) in budgets {
+        for (label, budget) in [("k1.5", tight), ("k4", roomy)] {
+            group.bench_with_input(
+                BenchmarkId::new(bench.name(), label),
+                &budget,
+                |b, &budget| {
+                    let config = bench_config(budget);
+                    b.iter(|| {
+                        black_box(run_program(bench, CollectorKind::Generational, &config, 1))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, generational_k_sweep);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Table 5 (wall-clock): generational stack collection on the deep-stack
+//! programs. Two views: the end-to-end programs (Color, Knuth-Bendix) and
+//! a microbenchmark of the scan itself at a fixed depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tilgc_bench::{bench_config, run_program};
+use tilgc_core::{roots::scan_stack, roots::ScanCache, CollectorKind, MarkerPolicy};
+use tilgc_programs::Benchmark;
+use tilgc_runtime::{FrameDesc, GcStats, MutatorState, Trace, Value};
+
+fn programs_with_and_without_markers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_programs");
+    group.sample_size(10);
+    for bench in [Benchmark::Color, Benchmark::KnuthBendix] {
+        for (label, kind) in [
+            ("no_markers", CollectorKind::Generational),
+            ("markers", CollectorKind::GenerationalStack),
+        ] {
+            group.bench_with_input(BenchmarkId::new(bench.name(), label), &kind, |b, &kind| {
+                let config = bench_config(16 << 20);
+                b.iter(|| black_box(run_program(bench, kind, &config, 1)));
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Builds a mutator with a deep stack of pointer-bearing frames.
+fn deep_mutator(depth: usize) -> MutatorState {
+    let mut m = MutatorState::new();
+    let d = m
+        .traces
+        .register(FrameDesc::new("deep").slots(4, Trace::Pointer).slots(2, Trace::NonPointer));
+    for _ in 0..depth {
+        m.stack.push(d, 6);
+        m.stack.top_mut().set(0, Value::NULL);
+    }
+    m
+}
+
+fn scan_microbench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_scan_micro");
+    for depth in [100usize, 1000, 4000] {
+        group.bench_with_input(BenchmarkId::new("full_scan", depth), &depth, |b, &depth| {
+            let mut m = deep_mutator(depth);
+            m.check_shadows = false;
+            let mut stats = GcStats::default();
+            b.iter(|| {
+                black_box(scan_stack(&mut m, None, MarkerPolicy::Disabled, &mut stats));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("cached_scan", depth), &depth, |b, &depth| {
+            let mut m = deep_mutator(depth);
+            m.check_shadows = false;
+            let mut stats = GcStats::default();
+            let mut cache = ScanCache::default();
+            // Prime the cache; subsequent scans reuse everything but the top.
+            scan_stack(&mut m, Some(&mut cache), MarkerPolicy::PAPER, &mut stats);
+            b.iter(|| {
+                black_box(scan_stack(
+                    &mut m,
+                    Some(&mut cache),
+                    MarkerPolicy::PAPER,
+                    &mut stats,
+                ));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, programs_with_and_without_markers, scan_microbench);
+criterion_main!(benches);

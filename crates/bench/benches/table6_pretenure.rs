@@ -1,0 +1,39 @@
+//! Table 6 (wall-clock): profile-driven pretenuring on the four programs
+//! the paper pretenures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tilgc_bench::{bench_config, pretenure_policy_for, run_program};
+use tilgc_core::CollectorKind;
+use tilgc_programs::Benchmark;
+
+fn pretenure_programs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6_pretenure");
+    group.sample_size(10);
+    for bench in
+        [Benchmark::KnuthBendix, Benchmark::Lexgen, Benchmark::Nqueen, Benchmark::Simple]
+    {
+        let policy = pretenure_policy_for(bench, 1);
+        group.bench_function(BenchmarkId::new(bench.name(), "markers_only"), |b| {
+            let config = bench_config(16 << 20);
+            b.iter(|| {
+                black_box(run_program(bench, CollectorKind::GenerationalStack, &config, 1))
+            });
+        });
+        group.bench_function(BenchmarkId::new(bench.name(), "pretenure"), |b| {
+            let config = bench_config(16 << 20).pretenure(policy.clone());
+            b.iter(|| {
+                black_box(run_program(
+                    bench,
+                    CollectorKind::GenerationalStackPretenure,
+                    &config,
+                    1,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pretenure_programs);
+criterion_main!(benches);

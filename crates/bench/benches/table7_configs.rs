@@ -1,0 +1,32 @@
+//! Table 7 (wall-clock): the four collector configurations side by side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tilgc_bench::{bench_config, pretenure_policy_for, run_program, HEADLINERS};
+use tilgc_core::CollectorKind;
+
+fn four_configurations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table7_configs");
+    group.sample_size(10);
+    for bench in HEADLINERS {
+        let policy = pretenure_policy_for(bench, 1);
+        for kind in CollectorKind::ALL {
+            let config = if kind == CollectorKind::GenerationalStackPretenure {
+                bench_config(24 << 20).pretenure(policy.clone())
+            } else {
+                bench_config(24 << 20)
+            };
+            group.bench_with_input(
+                BenchmarkId::new(bench.name(), kind.label()),
+                &kind,
+                |b, &kind| {
+                    b.iter(|| black_box(run_program(bench, kind, &config, 1)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, four_configurations);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! Each bench target regenerates one of the paper's tables or figures as
+//! *wall-clock* measurements (the `tilgc-experiments` binary reports the
+//! deterministic simulated-cycle versions of the same comparisons). The
+//! shapes should agree: configurations that reduce simulated GC work also
+//! do proportionally less host work.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tilgc_core::{build_vm, CollectorKind, GcConfig, PretenurePolicy};
+use tilgc_programs::Benchmark;
+
+/// The standard benchmark configuration: a heap budget generous enough
+/// for every program at the benchmark scale, a 32 KB nursery (the scaled
+/// stand-in for the paper's 512 KB cache bound), and a 4 KB large-object
+/// threshold.
+pub fn bench_config(budget: usize) -> GcConfig {
+    GcConfig::new()
+        .heap_budget_bytes(budget)
+        .nursery_bytes(32 << 10)
+        .large_object_bytes(4 << 10)
+}
+
+/// Runs `bench` once under `kind`, returning its checksum (used as the
+/// benchmark's black-box output).
+pub fn run_program(bench: Benchmark, kind: CollectorKind, config: &GcConfig, scale: u32) -> u64 {
+    let mut vm = build_vm(kind, config);
+    vm.mutator_mut().check_shadows = false;
+    let checksum = bench.run(&mut vm, scale);
+    vm.finish();
+    checksum
+}
+
+/// Derives the old%-cutoff pretenuring policy for `bench` from a
+/// profiling run, as Table 6 prescribes.
+pub fn pretenure_policy_for(bench: Benchmark, scale: u32) -> PretenurePolicy {
+    let config = bench_config(192 << 20).profiling(true);
+    let mut vm = build_vm(CollectorKind::GenerationalStack, &config);
+    vm.mutator_mut().check_shadows = false;
+    bench.run(&mut vm, scale);
+    vm.finish();
+    let profile = vm.take_profile().expect("profiling enabled");
+    tilgc_profile::derive_policy(&profile, &tilgc_profile::PolicyOptions::default())
+}
+
+/// The benchmarks whose behaviour distinguishes the collectors most
+/// sharply — used where running all eleven would make `cargo bench`
+/// take too long.
+pub const HEADLINERS: [Benchmark; 4] =
+    [Benchmark::Color, Benchmark::KnuthBendix, Benchmark::Nqueen, Benchmark::Pia];

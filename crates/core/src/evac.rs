@@ -1,0 +1,614 @@
+//! The copying engine: Cheney's algorithm (1970), shared by the semispace
+//! and generational collectors.
+//!
+//! An [`Evacuator`] is configured with the *from* ranges being vacated and
+//! the *to* space receiving survivors. Forwarding a pointer copies the
+//! object on first contact and installs a forwarding header; `drain` runs
+//! the classic two-finger scan over to-space until no gray objects remain.
+//! Large objects are never copied — the evacuator marks them in the
+//! [`LargeObjectSpace`] and scans them in place.
+
+use tilgc_mem::{object, Addr, Header, Memory, ObjectKind, Space, SpaceRange};
+use tilgc_runtime::{CostModel, GcStats, HeapProfile};
+
+use crate::los::LargeObjectSpace;
+
+/// In debug builds, vacated spaces are filled with this pattern so that a
+/// stale pointer dereference fails loudly instead of reading garbage.
+pub const POISON: u64 = 0xdead_dead_dead_dead;
+
+/// One collection's copying state.
+pub struct Evacuator<'a> {
+    mem: &'a mut Memory,
+    from: &'a [SpaceRange],
+    to: &'a mut Space,
+    nursery: Option<SpaceRange>,
+    los: Option<&'a mut LargeObjectSpace>,
+    profile: Option<&'a mut HeapProfile>,
+    stats: &'a mut GcStats,
+    cost: CostModel,
+    scan: Addr,
+    /// Optional aging destination (§7.2 tenure-threshold variant):
+    /// from-space objects younger than `tenure_age` are copied here
+    /// instead of into `to`.
+    survivor: Option<&'a mut Space>,
+    survivor_scan: Addr,
+    tenure_age: u8,
+    los_queue: Vec<Addr>,
+    /// Old-generation objects observed (during this collection) to hold
+    /// a reference into the survivor space. With a tenure threshold,
+    /// survivors move again at the next minor collection, so these
+    /// references form a remembered set the collector must rescan.
+    young_owner_refs: Vec<Addr>,
+    /// Old-generation *field locations* (from store-buffer entries) whose
+    /// relocated target stayed in the survivor space.
+    young_field_locs: Vec<Addr>,
+}
+
+impl<'a> Evacuator<'a> {
+    /// Creates an evacuator copying live objects out of `from` into `to`.
+    ///
+    /// `nursery` identifies which of the `from` ranges is the allocation
+    /// area, so the profiler can distinguish first promotions (the "% old"
+    /// statistic) from later copies. `los`, when given, receives
+    /// mark/scan treatment instead of copying.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        mem: &'a mut Memory,
+        from: &'a [SpaceRange],
+        to: &'a mut Space,
+        nursery: Option<SpaceRange>,
+        los: Option<&'a mut LargeObjectSpace>,
+        profile: Option<&'a mut HeapProfile>,
+        stats: &'a mut GcStats,
+        cost: CostModel,
+    ) -> Evacuator<'a> {
+        let scan = to.frontier();
+        Evacuator {
+            mem,
+            from,
+            to,
+            nursery,
+            los,
+            profile,
+            stats,
+            cost,
+            scan,
+            survivor: None,
+            survivor_scan: Addr::NULL,
+            tenure_age: 0,
+            los_queue: Vec::new(),
+            young_owner_refs: Vec::new(),
+            young_field_locs: Vec::new(),
+        }
+    }
+
+    /// Routes from-space objects whose post-copy age is below
+    /// `tenure_age` into `survivor` instead of `to` — the §7.2
+    /// tenure-threshold discipline ("counter bits within each object
+    /// record the number of minor collections the object has survived").
+    pub fn set_survivor(&mut self, survivor: &'a mut Space, tenure_age: u8) {
+        self.survivor_scan = survivor.frontier();
+        self.survivor = Some(survivor);
+        self.tenure_age = tenure_age;
+    }
+
+    /// Whether `addr` lies in a range being vacated.
+    #[inline]
+    pub fn in_from_space(&self, addr: Addr) -> bool {
+        self.from.iter().any(|r| r.contains(addr))
+    }
+
+    /// Whether `addr` lies in the survivor (aging) space.
+    #[inline]
+    fn in_survivor(&self, addr: Addr) -> bool {
+        self.survivor.as_ref().is_some_and(|s| s.contains(addr))
+    }
+
+    /// Old-generation objects found referencing survivor-space objects —
+    /// the §7.2 remembered set the next minor collection must rescan.
+    pub fn take_young_owner_refs(&mut self) -> Vec<Addr> {
+        std::mem::take(&mut self.young_owner_refs)
+    }
+
+    /// Old-generation field locations whose targets stayed young.
+    pub fn take_young_field_locs(&mut self) -> Vec<Addr>  {
+        std::mem::take(&mut self.young_field_locs)
+    }
+
+    /// Forwards a raw word (no-op for words that do not point into
+    /// from-space — which is exactly why forwarding must only ever be
+    /// applied to words *known* to be pointers).
+    #[inline]
+    pub fn forward_word(&mut self, word: u64) -> u64 {
+        u64::from(self.forward(Addr::new(word as u32)).raw())
+    }
+
+    /// Forwards a pointer, copying the target on first contact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if to-space overflows — the heap budget is exhausted.
+    pub fn forward(&mut self, addr: Addr) -> Addr {
+        if addr.is_null() {
+            return addr;
+        }
+        if self.in_from_space(addr) {
+            let h = object::header(self.mem, addr);
+            if let Some(to) = h.forward_addr() {
+                return to;
+            }
+            let words = h.size_words();
+            let new_age = h.age().saturating_add(1);
+            let dest = match self.survivor.as_deref_mut() {
+                Some(survivor) if new_age < self.tenure_age && survivor.fits(words) => survivor,
+                _ => &mut *self.to,
+            };
+            let new = dest
+                .alloc(words)
+                .unwrap_or_else(|_| panic!("to-space overflow: heap budget exhausted"));
+            self.mem.copy_words(addr, new, words);
+            // Survivors age by one collection; the dirty bit does not
+            // survive a copy (the barrier that set it is drained in the
+            // same collection).
+            let new_h = h.with_age(new_age).with_dirty(false);
+            object::set_header(self.mem, new, new_h);
+            object::set_header(self.mem, addr, Header::forward(new));
+            let bytes = h.size_bytes();
+            self.stats.copied_bytes += bytes as u64;
+            self.stats.copy_cycles += self.cost.copy_per_word * words as u64;
+            if let Some(p) = self.profile.as_deref_mut() {
+                let from_nursery = self.nursery.is_some_and(|n| n.contains(addr));
+                p.on_copy(addr, new, bytes, from_nursery);
+            }
+            new
+        } else {
+            if let Some(los) = self.los.as_deref_mut() {
+                if los.contains(addr) && los.mark(addr) {
+                    self.stats.copy_cycles += self.cost.large_object_visit;
+                    self.los_queue.push(addr);
+                }
+            }
+            addr
+        }
+    }
+
+    /// Runs the Cheney scan to completion: every copied object's pointer
+    /// fields are forwarded (possibly copying more), then queued large
+    /// objects are scanned, until nothing gray remains.
+    pub fn drain(&mut self) {
+        loop {
+            if self.scan < self.to.frontier() {
+                let addr = self.scan;
+                let h = object::header(self.mem, addr);
+                debug_assert!(!h.is_forward(), "forwarding header in to-space");
+                self.scan = addr + h.size_words();
+                self.stats.scanned_words += h.size_words() as u64;
+                self.stats.copy_cycles += self.cost.scan_per_word * h.size_words() as u64;
+                self.scan_fields(addr, h);
+            } else if self
+                .survivor
+                .as_deref()
+                .is_some_and(|s| self.survivor_scan < s.frontier())
+            {
+                let addr = self.survivor_scan;
+                let h = object::header(self.mem, addr);
+                debug_assert!(!h.is_forward(), "forwarding header in survivor space");
+                self.survivor_scan = addr + h.size_words();
+                self.stats.scanned_words += h.size_words() as u64;
+                self.stats.copy_cycles += self.cost.scan_per_word * h.size_words() as u64;
+                self.scan_fields(addr, h);
+            } else if let Some(obj) = self.los_queue.pop() {
+                let h = object::header(self.mem, obj);
+                self.stats.scanned_words += h.size_words() as u64;
+                self.stats.copy_cycles += self.cost.scan_per_word * h.size_words() as u64;
+                self.scan_fields(obj, h);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Forwards the pointer stored at memory location `loc` (a sequential
+    /// store buffer entry), writing the relocated value back. If the
+    /// location is in the old generation and its target stayed in the
+    /// survivor space, the location joins the young-refs remembered set.
+    pub fn forward_word_at(&mut self, loc: Addr) {
+        let word = self.mem.word(loc);
+        let fwd = self.forward_word(word);
+        if fwd != word {
+            self.mem.set_word(loc, fwd);
+        }
+        if !self.in_from_space(loc)
+            && !self.in_survivor(loc)
+            && self.in_survivor(Addr::new(fwd as u32))
+        {
+            self.young_field_locs.push(loc);
+        }
+    }
+
+    /// Processes one object-marking barrier entry: clears the dirty bit
+    /// and scans the object's fields in place. If the object was already
+    /// evacuated (its copy is scanned by the Cheney drain, with a clean
+    /// dirty bit), nothing is needed.
+    pub fn clear_dirty_and_scan(&mut self, obj: Addr) {
+        let h = object::header(self.mem, obj);
+        if h.is_forward() {
+            return;
+        }
+        if h.is_dirty() {
+            object::set_header(self.mem, obj, h.with_dirty(false));
+        }
+        self.stats.copy_cycles += self.cost.region_scan_per_word * h.size_words() as u64;
+        self.scan_fields(obj, h);
+    }
+
+    /// Scans an object *in place*, forwarding its pointer fields without
+    /// copying the object itself. Used for freshly pretenured regions,
+    /// dirty (write-barrier-remembered) objects, and young large arrays.
+    ///
+    /// `specialized` selects the cheaper per-word cost of the §7.2
+    /// site-grouped scan (no per-object tag decoding).
+    pub fn scan_in_place(&mut self, addr: Addr, specialized: bool) {
+        let h = object::header(self.mem, addr);
+        debug_assert!(!h.is_forward(), "in-place scan of forwarded object");
+        let per_word =
+            if specialized { self.cost.region_scan_per_word } else { self.cost.scan_per_word };
+        self.stats.copy_cycles += per_word * h.size_words() as u64;
+        self.stats.pretenured_scanned_words += h.size_words() as u64;
+        self.scan_fields(addr, h);
+    }
+
+    fn scan_fields(&mut self, addr: Addr, h: Header) {
+        if h.kind() == ObjectKind::RawArray {
+            return;
+        }
+        let owner_is_old = !self.in_from_space(addr) && !self.in_survivor(addr);
+        let mut holds_young = false;
+        for i in 0..h.len() {
+            if !h.field_is_pointer(i) {
+                continue;
+            }
+            let child = object::ptr_field(self.mem, addr, i);
+            if child.is_null() {
+                continue;
+            }
+            let new_child = self.forward(child);
+            if new_child != child {
+                object::set_field(self.mem, addr, i, u64::from(new_child.raw()));
+            }
+            holds_young |= self.in_survivor(new_child);
+            if let Some(p) = self.profile.as_deref_mut() {
+                let child_site = object::header(self.mem, new_child).site();
+                p.on_edge(h.site(), child_site);
+            }
+        }
+        if owner_is_old && holds_young {
+            self.young_owner_refs.push(addr);
+        }
+    }
+
+    /// Where the to-space scan pointer currently stands (the to-space
+    /// frontier once [`drain`](Evacuator::drain) returns).
+    pub fn scan_cursor(&self) -> Addr {
+        self.scan
+    }
+}
+
+/// Poisons a vacated range in debug builds so stale reads fail loudly.
+pub fn poison_range(mem: &mut Memory, range: SpaceRange, upto: Addr) {
+    if cfg!(debug_assertions) {
+        let end = upto.min(range.end);
+        if end > range.start {
+            mem.fill(range.start, end - range.start, POISON);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilgc_mem::SiteId;
+
+    struct Rig {
+        mem: Memory,
+        from: Space,
+        to: Space,
+        stats: GcStats,
+    }
+
+    fn rig(words: usize) -> Rig {
+        let mut mem = Memory::with_capacity_words(2 * words + 8);
+        let from = Space::new(mem.reserve(words).unwrap());
+        let to = Space::new(mem.reserve(words).unwrap());
+        Rig { mem, from, to, stats: GcStats::default() }
+    }
+
+    #[test]
+    fn forward_copies_once_and_installs_forwarding() {
+        let mut r = rig(256);
+        let a = object::alloc_record(&mut r.mem, &mut r.from, SiteId::new(1), &[41, 42], 0)
+            .unwrap();
+        let from_ranges = [r.from.range()];
+        let mut ev = Evacuator::new(
+            &mut r.mem,
+            &from_ranges,
+            &mut r.to,
+            None,
+            None,
+            None,
+            &mut r.stats,
+            CostModel::default(),
+        );
+        let new1 = ev.forward(a);
+        let new2 = ev.forward(a);
+        assert_eq!(new1, new2, "second forward follows the forwarding pointer");
+        assert_ne!(new1, a);
+        assert_eq!(object::field(&r.mem, new1, 1), 42);
+        assert_eq!(object::header(&r.mem, a).forward_addr(), Some(new1));
+        assert_eq!(r.stats.copied_bytes, 24, "one 3-word object copied once");
+    }
+
+    #[test]
+    fn drain_copies_transitively_and_updates_fields() {
+        let mut r = rig(256);
+        // c <- b <- a (a points to b points to c)
+        let c = object::alloc_record(&mut r.mem, &mut r.from, SiteId::new(3), &[7], 0).unwrap();
+        let b = object::alloc_record(
+            &mut r.mem,
+            &mut r.from,
+            SiteId::new(2),
+            &[u64::from(c.raw())],
+            0b1,
+        )
+        .unwrap();
+        let a = object::alloc_record(
+            &mut r.mem,
+            &mut r.from,
+            SiteId::new(1),
+            &[u64::from(b.raw())],
+            0b1,
+        )
+        .unwrap();
+        let from_ranges = [r.from.range()];
+        let mut ev = Evacuator::new(
+            &mut r.mem,
+            &from_ranges,
+            &mut r.to,
+            None,
+            None,
+            None,
+            &mut r.stats,
+            CostModel::default(),
+        );
+        let new_a = ev.forward(a);
+        ev.drain();
+        let new_b = object::ptr_field(&r.mem, new_a, 0);
+        let new_c = object::ptr_field(&r.mem, new_b, 0);
+        assert!(r.to.contains(new_b) && r.to.contains(new_c));
+        assert_eq!(object::field(&r.mem, new_c, 0), 7);
+        assert_eq!(r.stats.copied_bytes, 3 * 16);
+    }
+
+    #[test]
+    fn null_and_foreign_pointers_pass_through() {
+        let mut r = rig(64);
+        let from_ranges = [r.from.range()];
+        let mut ev = Evacuator::new(
+            &mut r.mem,
+            &from_ranges,
+            &mut r.to,
+            None,
+            None,
+            None,
+            &mut r.stats,
+            CostModel::default(),
+        );
+        assert_eq!(ev.forward(Addr::NULL), Addr::NULL);
+        let foreign = from_ranges[0].end; // start of to-space, not in from-space
+        assert_eq!(ev.forward(foreign), foreign);
+        assert_eq!(r.stats.copied_bytes, 0);
+    }
+
+    #[test]
+    fn copies_age_and_lose_dirty_bit() {
+        let mut r = rig(64);
+        let a = object::alloc_record(&mut r.mem, &mut r.from, SiteId::new(1), &[0], 0).unwrap();
+        let h = object::header(&r.mem, a).with_dirty(true);
+        object::set_header(&mut r.mem, a, h);
+        let from_ranges = [r.from.range()];
+        let mut ev = Evacuator::new(
+            &mut r.mem,
+            &from_ranges,
+            &mut r.to,
+            None,
+            None,
+            None,
+            &mut r.stats,
+            CostModel::default(),
+        );
+        let new = ev.forward(a);
+        let nh = object::header(&r.mem, new);
+        assert_eq!(nh.age(), 1);
+        assert!(!nh.is_dirty());
+    }
+
+    #[test]
+    fn large_objects_are_marked_and_scanned_not_copied() {
+        let mut mem = Memory::with_capacity_words(4096);
+        let mut from = Space::new(mem.reserve(256).unwrap());
+        let mut to = Space::new(mem.reserve(256).unwrap());
+        let mut los = LargeObjectSpace::new(mem.reserve(2048).unwrap());
+        let mut stats = GcStats::default();
+
+        // A small record in from-space...
+        let small =
+            object::alloc_record(&mut mem, &mut from, SiteId::new(1), &[5], 0).unwrap();
+        // ...pointed to by a large pointer array in the LOS.
+        let big_words = 1 + 300;
+        let big = los.alloc(big_words).unwrap();
+        let h = Header::ptr_array(300, SiteId::new(2)).unwrap();
+        object::set_header(&mut mem, big, h);
+        for i in 0..300 {
+            object::set_field(&mut mem, big, i, 0);
+        }
+        object::set_field(&mut mem, big, 7, u64::from(small.raw()));
+
+        los.begin_marking();
+        let from_ranges = [from.range()];
+        let mut ev = Evacuator::new(
+            &mut mem,
+            &from_ranges,
+            &mut to,
+            None,
+            Some(&mut los),
+            None,
+            &mut stats,
+            CostModel::default(),
+        );
+        let fwd = ev.forward(big);
+        assert_eq!(fwd, big, "large objects never move");
+        ev.drain();
+        // The small record was reached through the large array and copied;
+        // the array's field was updated.
+        let new_small = object::ptr_field(&mem, big, 7);
+        assert!(to.contains(new_small));
+        assert_eq!(object::field(&mem, new_small, 0), 5);
+        assert_eq!(los.sweep().len(), 0, "marked large object survives the sweep");
+    }
+
+    #[test]
+    fn scan_in_place_forwards_fields_without_moving_owner() {
+        let mut r = rig(256);
+        let child =
+            object::alloc_record(&mut r.mem, &mut r.from, SiteId::new(1), &[9], 0).unwrap();
+        // Owner lives in to-space (e.g. a freshly pretenured object).
+        let owner = object::alloc_record(
+            &mut r.mem,
+            &mut r.to,
+            SiteId::new(2),
+            &[u64::from(child.raw())],
+            0b1,
+        )
+        .unwrap();
+        let from_ranges = [r.from.range()];
+        let mut ev = Evacuator::new(
+            &mut r.mem,
+            &from_ranges,
+            &mut r.to,
+            None,
+            None,
+            None,
+            &mut r.stats,
+            CostModel::default(),
+        );
+        ev.scan_in_place(owner, true);
+        ev.drain();
+        let new_child = object::ptr_field(&r.mem, owner, 0);
+        assert_ne!(new_child, child);
+        assert_eq!(object::field(&r.mem, new_child, 0), 9);
+        assert!(r.stats.pretenured_scanned_words > 0);
+    }
+
+    #[test]
+    fn survivor_space_receives_young_objects_until_the_threshold() {
+        let mut mem = Memory::with_capacity_words(1024);
+        let mut from = Space::new(mem.reserve(256).unwrap());
+        let mut tenured = Space::new(mem.reserve(256).unwrap());
+        let mut survivor = Space::new(mem.reserve(256).unwrap());
+        let mut stats = GcStats::default();
+        // Two objects: one brand new (age 0), one that has already
+        // survived twice (age 2). Threshold 3: the first goes to the
+        // survivor space, the second tenures.
+        let young =
+            object::alloc_record(&mut mem, &mut from, SiteId::new(1), &[1], 0).unwrap();
+        let older =
+            object::alloc_record(&mut mem, &mut from, SiteId::new(2), &[2], 0).unwrap();
+        let h = object::header(&mem, older).with_age(2);
+        object::set_header(&mut mem, older, h);
+
+        let from_ranges = [from.range()];
+        let mut ev = Evacuator::new(
+            &mut mem,
+            &from_ranges,
+            &mut tenured,
+            None,
+            None,
+            None,
+            &mut stats,
+            CostModel::default(),
+        );
+        ev.set_survivor(&mut survivor, 3);
+        let new_young = ev.forward(young);
+        let new_older = ev.forward(older);
+        ev.drain();
+        assert!(survivor.contains(new_young), "age 1 < 3: stays young");
+        assert!(tenured.contains(new_older), "age 3 >= 3: tenured");
+        assert_eq!(object::header(&mem, new_young).age(), 1);
+        assert_eq!(object::header(&mem, new_older).age(), 3);
+    }
+
+    #[test]
+    fn survivor_space_objects_are_cheney_scanned() {
+        let mut mem = Memory::with_capacity_words(1024);
+        let mut from = Space::new(mem.reserve(256).unwrap());
+        let mut tenured = Space::new(mem.reserve(256).unwrap());
+        let mut survivor = Space::new(mem.reserve(256).unwrap());
+        let mut stats = GcStats::default();
+        // A young parent (goes to survivor space) pointing at a young
+        // child: the drain must chase through the survivor cursor.
+        let child =
+            object::alloc_record(&mut mem, &mut from, SiteId::new(1), &[7], 0).unwrap();
+        let parent = object::alloc_record(
+            &mut mem,
+            &mut from,
+            SiteId::new(2),
+            &[u64::from(child.raw())],
+            0b1,
+        )
+        .unwrap();
+        let from_ranges = [from.range()];
+        let mut ev = Evacuator::new(
+            &mut mem,
+            &from_ranges,
+            &mut tenured,
+            None,
+            None,
+            None,
+            &mut stats,
+            CostModel::default(),
+        );
+        ev.set_survivor(&mut survivor, 4);
+        let new_parent = ev.forward(parent);
+        ev.drain();
+        let new_child = object::ptr_field(&mem, new_parent, 0);
+        assert!(survivor.contains(new_parent));
+        assert!(survivor.contains(new_child), "child chased via the survivor scan cursor");
+        assert_eq!(object::field(&mem, new_child, 0), 7);
+    }
+
+    #[test]
+    fn profile_sees_promotions() {
+        let mut r = rig(256);
+        let a = object::alloc_record(&mut r.mem, &mut r.from, SiteId::new(4), &[1], 0).unwrap();
+        let mut profile = HeapProfile::new();
+        profile.on_alloc(a, SiteId::new(4), 16);
+        let from_ranges = [r.from.range()];
+        let nursery = Some(r.from.range());
+        let mut ev = Evacuator::new(
+            &mut r.mem,
+            &from_ranges,
+            &mut r.to,
+            nursery,
+            None,
+            Some(&mut profile),
+            &mut r.stats,
+            CostModel::default(),
+        );
+        ev.forward(a);
+        ev.drain();
+        let row = profile.site(SiteId::new(4)).unwrap();
+        assert_eq!(row.survived_first, 1);
+        assert_eq!(row.copied_bytes, 16);
+    }
+}

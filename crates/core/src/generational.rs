@@ -1,0 +1,703 @@
+//! The generational collector (§2.1), optionally extended with
+//! generational stack collection (§5) and profile-driven pretenuring (§6).
+//!
+//! Two generations: a nursery bounded by the secondary cache size and a
+//! tenured generation managed as a pair of semispaces. Minor collections
+//! promote **all** nursery survivors immediately ("at each minor
+//! collection, we immediately promote all live objects from the nursery");
+//! major collections copy the tenured generation between its semispaces.
+//! Large arrays bypass the nursery into a mark-sweep
+//! [`LargeObjectSpace`]. Intergenerational stores are caught by the
+//! mutator's write barrier and filtered here at each collection.
+//!
+//! With a [`MarkerPolicy`] enabled, stack scans reuse cached decodes for
+//! the unchanged stack prefix; because survivors are promoted immediately,
+//! *cached frames contribute no roots at all to a minor collection* —
+//! everything they reference is already tenured. This is the mechanism
+//! behind the paper's 67–74 % GC-time reductions on deep-stack programs.
+//!
+//! With a [`PretenurePolicy`], allocations from designated sites go
+//! straight into the tenured generation; the freshly pretenured objects
+//! are *scanned in place* at the next collection ("this is a win over
+//! copying since copying objects is slower than only scanning them"),
+//! unless the §7.2 analysis marked their site no-scan.
+
+use std::time::Instant;
+
+use tilgc_mem::{object, Addr, Memory, Space, SpaceRange};
+use tilgc_runtime::{
+    AllocShape, BarrierEntry, CollectReason, Collector, GcStats, HeapProfile, MutatorState,
+};
+
+use crate::config::{GcConfig, MarkerPolicy, PretenurePolicy};
+use crate::evac::{poison_range, Evacuator};
+use crate::roots::{read_root, scan_stack, write_root, RootLoc, ScanCache};
+use crate::util::{alloc_in_space, materialize};
+use crate::LargeObjectSpace;
+
+/// Pretenuring state: the policy plus the regions allocated since the
+/// last collection that still need an in-place scan.
+#[derive(Debug, Default)]
+struct PretenureState {
+    policy: PretenurePolicy,
+    /// Pretenured objects awaiting their one in-place scan (no-scan sites
+    /// excluded at allocation time).
+    pending: Vec<Addr>,
+}
+
+/// The two-generation collector of §2.1.
+pub struct GenerationalCollector {
+    mem: Memory,
+    /// The nursery system: with a zero tenure threshold only
+    /// `nursery[active_n]` is ever used (the paper's immediate-promotion
+    /// setup); with a §7.2 threshold the pair works as aging semispaces.
+    nursery: [Space; 2],
+    active_n: usize,
+    tenured: [Space; 2],
+    active_t: usize,
+    los: Option<LargeObjectSpace>,
+    budget_words: usize,
+    nursery_words: usize,
+    large_object_words: usize,
+    tenured_target_liveness: f64,
+    /// Tenured occupancy (words) beyond which the next collection goes
+    /// major — live-size/0.3 after the last major, per §2.1.
+    major_threshold_words: usize,
+    /// §7.2 tenure threshold (0 = immediate promotion).
+    tenure_threshold: u8,
+    marker_policy: MarkerPolicy,
+    cache: Option<ScanCache>,
+    pretenure: Option<PretenureState>,
+    /// Oversized objects tenured at birth with no pretenure/LOS pending
+    /// list to ride on; scanned in place at the next minor collection.
+    oversized_pending: Vec<Addr>,
+    /// §7.2 remembered set: old-generation objects / field locations
+    /// currently referencing survivor-space objects (only populated when
+    /// `tenure_threshold > 0`).
+    young_refs: Vec<Addr>,
+    young_locs: Vec<Addr>,
+    /// §9 adaptive strategy: switch to semispace-style operation while
+    /// tenured data keeps dying.
+    adaptive_major: bool,
+    /// While set, the collector operates as a semispace collector:
+    /// allocation goes straight into the (large) tenured space and every
+    /// collection is a full collection — the regime §9 identifies as the
+    /// one where "a semispace collector can outperform a generational
+    /// collector".
+    semispace_mode: bool,
+    /// Reclaim ratio of the most recent major collection (1.0 = all
+    /// tenured data died).
+    last_major_reclaim: f64,
+    /// Sliding window: majors among the last 16 collections (low 16 bits,
+    /// one bit per collection).
+    recent_major_bits: u32,
+    /// Collections spent in semispace mode since entering; the mode is
+    /// re-evaluated ("probation") every 32.
+    mode_age: u32,
+    profile: Option<HeapProfile>,
+    stats: GcStats,
+}
+
+impl GenerationalCollector {
+    /// Creates a generational collector within `config.heap_budget_bytes`.
+    ///
+    /// The nursery gets `config.nursery_bytes` (capped at a quarter of the
+    /// budget); the rest is split between the two tenured semispaces and,
+    /// if enabled, the large-object space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is too small for the requested nursery.
+    pub fn new(config: &GcConfig) -> GenerationalCollector {
+        let budget_words = config.heap_budget_words();
+        let nursery_words = config.nursery_words().min(budget_words / 4).max(64);
+        let tenured_phys = budget_words; // physical reservation; logical limits enforce budget
+        let los_phys = budget_words;
+        let capacity = 2 * nursery_words + 2 * tenured_phys + los_phys + 32;
+        let mut mem = Memory::with_capacity_words(capacity);
+        let n0 = Space::new(mem.reserve(nursery_words).expect("nursery reservation"));
+        let n1 = Space::new(mem.reserve(nursery_words).expect("nursery reservation"));
+        let t0 = Space::new(mem.reserve(tenured_phys).expect("tenured reservation"));
+        let t1 = Space::new(mem.reserve(tenured_phys).expect("tenured reservation"));
+        let los = (config.large_object_bytes > 0).then(|| {
+            LargeObjectSpace::new(mem.reserve(los_phys).expect("large-object reservation"))
+        });
+        let mut c = GenerationalCollector {
+            mem,
+            nursery: [n0, n1],
+            active_n: 0,
+            tenured: [t0, t1],
+            active_t: 0,
+            los,
+            budget_words,
+            nursery_words,
+            large_object_words: config.large_object_bytes / tilgc_mem::WORD_BYTES,
+            tenured_target_liveness: config.tenured_target_liveness,
+            major_threshold_words: 0,
+            tenure_threshold: config.tenure_threshold,
+            marker_policy: config.marker_policy,
+            cache: config.marker_policy.is_enabled().then(ScanCache::default),
+            pretenure: config
+                .pretenure
+                .clone()
+                .map(|policy| PretenureState { policy, pending: Vec::new() }),
+            oversized_pending: Vec::new(),
+            young_refs: Vec::new(),
+            young_locs: Vec::new(),
+            adaptive_major: config.adaptive_major,
+            semispace_mode: false,
+            last_major_reclaim: 0.0,
+            recent_major_bits: 0,
+            mode_age: 0,
+            profile: config.profiling.then(HeapProfile::new),
+            stats: GcStats::default(),
+        };
+        c.apply_limits(0);
+        c
+    }
+
+    /// The tenured budget per semispace, given current LOS usage.
+    fn tenured_max_words(&self) -> usize {
+        let los_used = self.los.as_ref().map_or(0, |l| l.used_words());
+        self.budget_words
+            .saturating_sub(self.nursery_words)
+            .saturating_sub(los_used)
+            / 2
+    }
+
+    fn apply_limits(&mut self, live_words: usize) {
+        let max = self.tenured_max_words();
+        self.tenured[0].set_limit_words(max);
+        self.tenured[1].set_limit_words(max);
+        let target = (live_words as f64 / self.tenured_target_liveness) as usize;
+        self.major_threshold_words = target.clamp((2 * self.nursery_words).min(max), max);
+    }
+
+    /// Whether the next collection should be major: the tenured area is
+    /// past its liveness-target threshold, or could not absorb a full
+    /// nursery of promotions.
+    fn needs_major(&self) -> bool {
+        let t = &self.tenured[self.active_t];
+        let n = &self.nursery[self.active_n];
+        t.used_words() + n.used_words() > self.major_threshold_words
+            || t.free_words() < n.used_words()
+    }
+
+    /// The range all live tenured data occupies right now.
+    fn tenured_live_range(&self) -> SpaceRange {
+        let t = &self.tenured[self.active_t];
+        SpaceRange { start: t.start(), end: t.frontier() }
+    }
+
+    fn minor(&mut self, m: &mut MutatorState) {
+        let wall_start = Instant::now();
+        let mut los_pending = self.take_los_pending();
+        los_pending.append(&mut self.oversized_pending);
+        self.stats.collections += 1;
+        self.stats.depth_at_gc_sum += m.stack.depth() as u64;
+        self.stats.other_cycles += m.cost.gc_base;
+
+        // --- root processing (GC-stack) ---
+        let stack_t0 = Instant::now();
+        let outcome = scan_stack(m, self.cache.as_mut(), self.marker_policy, &mut self.stats);
+        // Immediate promotion means frames scanned at an earlier
+        // collection cannot reference the (newer) nursery: only newly
+        // scanned frames, registers and the alloc buffer yield roots.
+        // With a §7.2 tenure threshold, copied-back survivors are young
+        // and movable, so cached frames' roots must be processed too
+        // (their decode cost is still saved).
+        let mut roots = outcome.new_roots;
+        if self.tenure_threshold > 0 {
+            if let Some(cache) = &self.cache {
+                for (d, info) in cache.frames.iter().enumerate().take(outcome.reused_frames) {
+                    for &slot in &info.ptr_slots {
+                        roots.push(RootLoc::Slot { depth: d as u32, slot });
+                    }
+                }
+            }
+        }
+
+        let nursery_range = self.nursery[self.active_n].range();
+        let nursery_frontier = self.nursery[self.active_n].frontier();
+        let from_ranges = [nursery_range];
+        let (n_lo, n_hi) = self.nursery.split_at_mut(1);
+        let survivor_space =
+            if self.active_n == 0 { &mut n_hi[0] } else { &mut n_lo[0] };
+        let mut evac = Evacuator::new(
+            &mut self.mem,
+            &from_ranges,
+            &mut self.tenured[self.active_t],
+            Some(nursery_range),
+            None, // the LOS is old-generation: untouched by minor collections
+            self.profile.as_mut(),
+            &mut self.stats,
+            m.cost,
+        );
+        if self.tenure_threshold > 0 {
+            evac.set_survivor(survivor_space, self.tenure_threshold);
+        }
+        let mut relocated: u64 = 0;
+        for &loc in &roots {
+            let word = read_root(m, loc);
+            let fwd = evac.forward_word(word);
+            if fwd != word {
+                write_root(m, loc, fwd);
+                relocated += 1;
+            }
+        }
+        let stack_ns = stack_t0.elapsed().as_nanos() as u64;
+
+        // --- copying (GC-copy) ---
+        let copy_t0 = Instant::now();
+        // Write barrier: old→young references created by pointer updates.
+        let mut barrier_entries = 0u64;
+        let mut barrier = std::mem::replace(&mut m.barrier, tilgc_runtime::WriteBarrier::None);
+        barrier.drain(|entry| {
+            barrier_entries += 1;
+            match entry {
+                BarrierEntry::Field(loc) => evac.forward_word_at(loc),
+                BarrierEntry::Object(obj) => {
+                    // The object may itself be in the nursery (young-on-young
+                    // update): its copy, if live, is scanned by Cheney anyway,
+                    // and scanning it here in place is harmless. Clear the
+                    // dirty bit either way.
+                    evac.clear_dirty_and_scan(obj);
+                }
+            }
+        });
+        m.barrier = barrier;
+        // Freshly pretenured regions: scan in place instead of copying.
+        let pending = self.pretenure.as_mut().map(|p| std::mem::take(&mut p.pending));
+        let grouped = self
+            .pretenure
+            .as_ref()
+            .is_some_and(|p| p.policy.group_by_site);
+        if let Some(pending) = pending {
+            for addr in pending {
+                evac.scan_in_place(addr, grouped);
+            }
+        }
+        // Young large pointer arrays may hold nursery references from
+        // their initializing stores.
+        for addr in los_pending {
+            evac.scan_in_place(addr, false);
+        }
+        // §7.2 remembered set: old objects still referencing survivors
+        // from the previous collection.
+        for addr in std::mem::take(&mut self.young_refs) {
+            evac.scan_in_place(addr, false);
+        }
+        for loc in std::mem::take(&mut self.young_locs) {
+            evac.forward_word_at(loc);
+        }
+        evac.drain();
+        self.young_refs = evac.take_young_owner_refs();
+        self.young_locs = evac.take_young_field_locs();
+        let copy_ns = copy_t0.elapsed().as_nanos() as u64;
+
+        self.stats.roots_found += roots.len() as u64;
+        self.stats.stack_cycles +=
+            m.cost.root_check * roots.len() as u64 + m.cost.root_process * relocated;
+        self.stats.barrier_entries += barrier_entries;
+        self.stats.other_cycles += m.cost.barrier_entry * barrier_entries;
+
+        if let Some(p) = self.profile.as_mut() {
+            for entry in object::walk(&self.mem, nursery_range.start, nursery_frontier) {
+                if entry.forwarded.is_none() {
+                    p.on_death(entry.addr);
+                }
+            }
+        }
+        poison_range(&mut self.mem, nursery_range, nursery_frontier);
+        self.nursery[self.active_n].reset();
+        if self.tenure_threshold > 0 {
+            // Flip: allocation continues in the space now holding the
+            // copied-back survivors.
+            self.active_n = 1 - self.active_n;
+        }
+
+        let live_words = self.tenured[self.active_t].used_words()
+            + self.los.as_ref().map_or(0, |l| l.used_words());
+        self.stats.note_live_bytes(tilgc_mem::words_to_bytes(live_words) as u64);
+        self.stats.stack_wall_ns += stack_ns;
+        self.stats.copy_wall_ns += copy_ns;
+        self.stats.total_wall_ns += wall_start.elapsed().as_nanos() as u64;
+    }
+
+    fn major(&mut self, m: &mut MutatorState) {
+        let wall_start = Instant::now();
+        self.stats.collections += 1;
+        self.stats.major_collections += 1;
+        self.stats.depth_at_gc_sum += m.stack.depth() as u64;
+        self.stats.other_cycles += m.cost.gc_base;
+
+        // --- root processing ---
+        let stack_t0 = Instant::now();
+        let outcome = scan_stack(m, self.cache.as_mut(), self.marker_policy, &mut self.stats);
+        // A major collection moves tenured objects, so cached frames'
+        // roots must be relocated too — but their decode cost is still
+        // saved (§5: "it is still advantageous to have amortized the cost
+        // of decoding the stack frames").
+        let mut roots: Vec<RootLoc> = outcome.new_roots;
+        if let Some(cache) = &self.cache {
+            for (d, info) in cache.frames.iter().enumerate().take(outcome.reused_frames) {
+                for &slot in &info.ptr_slots {
+                    roots.push(RootLoc::Slot { depth: d as u32, slot });
+                }
+            }
+        }
+
+        let nursery_range = self.nursery[self.active_n].range();
+        let nursery_frontier = self.nursery[self.active_n].frontier();
+        debug_assert_eq!(
+            self.nursery[1 - self.active_n].used_words(),
+            0,
+            "the inactive nursery semispace is empty between collections"
+        );
+        let old_t = self.active_t;
+        let new_t = 1 - old_t;
+        let tenured_from = self.tenured_live_range();
+        let from_ranges = [nursery_range, tenured_from];
+        if let Some(l) = self.los.as_mut() {
+            l.begin_marking();
+            l.pending_scan.clear();
+        }
+        let t_to = {
+            let (lo, hi) = self.tenured.split_at_mut(1);
+            if old_t == 0 {
+                &mut hi[0]
+            } else {
+                &mut lo[0]
+            }
+        };
+        t_to.set_limit_words(t_to.max_capacity_words());
+        let mut evac = Evacuator::new(
+            &mut self.mem,
+            &from_ranges,
+            t_to,
+            Some(nursery_range),
+            self.los.as_mut(),
+            self.profile.as_mut(),
+            &mut self.stats,
+            m.cost,
+        );
+        let mut relocated: u64 = 0;
+        for &loc in &roots {
+            let word = read_root(m, loc);
+            let fwd = evac.forward_word(word);
+            if fwd != word {
+                write_root(m, loc, fwd);
+                relocated += 1;
+            }
+        }
+        let stack_ns = stack_t0.elapsed().as_nanos() as u64;
+
+        // --- copying ---
+        let copy_t0 = Instant::now();
+        // The full trace subsumes the write barrier; drop its contents.
+        m.barrier.drain(|_| {});
+        // Pending pretenured/oversized objects are ordinary tenured
+        // objects for a major collection: traced if reachable.
+        if let Some(p) = self.pretenure.as_mut() {
+            p.pending.clear();
+        }
+        self.oversized_pending.clear();
+        self.young_refs.clear();
+        self.young_locs.clear();
+        evac.drain();
+        let copy_ns = copy_t0.elapsed().as_nanos() as u64;
+        self.stats.roots_found += roots.len() as u64;
+        self.stats.stack_cycles +=
+            m.cost.root_check * roots.len() as u64 + m.cost.root_process * relocated;
+
+        if let Some(p) = self.profile.as_mut() {
+            for entry in object::walk(&self.mem, nursery_range.start, nursery_frontier) {
+                if entry.forwarded.is_none() {
+                    p.on_death(entry.addr);
+                }
+            }
+            for entry in object::walk(&self.mem, tenured_from.start, tenured_from.end) {
+                if entry.forwarded.is_none() {
+                    p.on_death(entry.addr);
+                }
+            }
+        }
+        if let Some(l) = self.los.as_mut() {
+            let swept = l.sweep();
+            if let Some(p) = self.profile.as_mut() {
+                for addr in swept {
+                    p.on_death(addr);
+                }
+            }
+        }
+
+        poison_range(&mut self.mem, nursery_range, nursery_frontier);
+        self.nursery[self.active_n].reset();
+        poison_range(&mut self.mem, tenured_from, tenured_from.end);
+        self.tenured[old_t].reset();
+        self.active_t = new_t;
+
+        let tenured_before = tenured_from.end - tenured_from.start;
+        let tenured_after = self.tenured[new_t].used_words();
+        self.last_major_reclaim = if tenured_before == 0 {
+            0.0
+        } else {
+            1.0 - (tenured_after as f64 / tenured_before as f64).min(1.0)
+        };
+        if self.adaptive_major && !self.semispace_mode {
+            // Enter semispace mode when tenured data keeps dying fast —
+            // either a single major reclaimed most of the generation, or
+            // majors dominate the recent collection mix (promotion through
+            // the nursery is pure double-copying then).
+            // (A majors-dominate-the-mix trigger was also evaluated; it
+            // enters the mode exactly when the tenured arena is too tight
+            // for semispace-style operation to help, so only the reclaim
+            // signal is used. EXPERIMENTS.md records the comparison.)
+            let _recent_majors = self.recent_major_bits.count_ones();
+            if self.last_major_reclaim > 0.6 {
+                self.semispace_mode = true;
+                self.mode_age = 0;
+            }
+        }
+        let live_words = self.tenured[new_t].used_words()
+            + self.los.as_ref().map_or(0, |l| l.used_words());
+        self.apply_limits(live_words);
+        assert!(
+            self.tenured[new_t].used_words() <= self.tenured_max_words(),
+            "out of memory: {} live tenured words exceed the {}-word budget share",
+            self.tenured[new_t].used_words(),
+            self.tenured_max_words()
+        );
+        self.stats.note_live_bytes(tilgc_mem::words_to_bytes(live_words) as u64);
+        self.stats.stack_wall_ns += stack_ns;
+        self.stats.copy_wall_ns += copy_ns;
+        self.stats.total_wall_ns += wall_start.elapsed().as_nanos() as u64;
+    }
+
+    /// Scans young large pointer arrays (initializing stores may reference
+    /// the nursery) before a minor collection's drain.
+    fn take_los_pending(&mut self) -> Vec<Addr> {
+        self.los.as_mut().map(|l| std::mem::take(&mut l.pending_scan)).unwrap_or_default()
+    }
+}
+
+impl Collector for GenerationalCollector {
+    fn name(&self) -> &'static str {
+        "generational"
+    }
+
+    fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    fn alloc(&mut self, m: &mut MutatorState, shape: AllocShape) -> Addr {
+        let words = shape.size_words();
+        let site = shape.site();
+
+        // Large arrays bypass the nursery (§2.1) — checked before the
+        // pretenuring policy because a mark-sweep-managed array is never
+        // copied anyway, which strictly dominates tenured placement.
+        // Arrays that would not even fit an empty nursery are routed here
+        // regardless of the configured threshold.
+        let is_array = !matches!(shape, AllocShape::Record { .. });
+        let over_threshold = self.large_object_words > 0 && words >= self.large_object_words;
+        if self.los.is_some()
+            && is_array
+            && (over_threshold || words > self.nursery[self.active_n].capacity_words())
+        {
+            let addr = match self.los.as_mut().expect("checked").alloc(words) {
+                Some(a) => a,
+                None => {
+                    self.major(m);
+                    self.los
+                        .as_mut()
+                        .expect("checked")
+                        .alloc(words)
+                        .unwrap_or_else(|| panic!("out of memory: large object of {words} words"))
+                }
+            };
+            let buf = std::mem::take(&mut m.alloc_buf);
+            materialize(&mut self.mem, addr, shape, &buf);
+            m.alloc_buf = buf;
+            if matches!(shape, AllocShape::PtrArray { .. }) {
+                // The initializing store may reference the nursery.
+                self.los.as_mut().expect("checked").pending_scan.push(addr);
+            }
+            if let Some(prof) = self.profile.as_mut() {
+                prof.on_alloc(addr, site, shape.size_bytes());
+            }
+            return addr;
+        }
+
+        // Profile-driven pretenuring: straight to the tenured generation.
+        if let Some(p) = &self.pretenure {
+            if p.policy.should_pretenure(site) {
+                m.charge(m.cost.pretenure_alloc_extra);
+                if !self.tenured[self.active_t].fits(words) {
+                    self.major(m);
+                    assert!(
+                        self.tenured[self.active_t].fits(words),
+                        "out of memory pretenuring {words} words"
+                    );
+                }
+                let buf = std::mem::take(&mut m.alloc_buf);
+                let addr = alloc_in_space(
+                    &mut self.mem,
+                    &mut self.tenured[self.active_t],
+                    shape,
+                    &buf,
+                )
+                .expect("tenured space was checked to fit");
+                m.alloc_buf = buf;
+                self.stats.pretenured_bytes += shape.size_bytes() as u64;
+                // §7.2: "some areas may require no scanning because they
+                // contain no pointers" — pointer-free objects never make
+                // it onto the pending-scan list, and neither do objects
+                // from sites the no-scan analysis cleared.
+                let pointer_free = match shape {
+                    AllocShape::Record { mask, .. } => mask == 0,
+                    AllocShape::PtrArray { .. } => false,
+                    AllocShape::RawArray { .. } => true,
+                };
+                let p = self.pretenure.as_mut().expect("checked above");
+                if !pointer_free && !p.policy.is_no_scan(site) {
+                    p.pending.push(addr);
+                }
+                if let Some(prof) = self.profile.as_mut() {
+                    prof.on_alloc(addr, site, shape.size_bytes());
+                }
+                return addr;
+            }
+        }
+
+        // §9 semispace mode: the whole tenured semispace is the
+        // allocation arena; every collection is a full collection, so no
+        // promotion copying and no region scans are needed.
+        if self.semispace_mode {
+            if !self.tenured[self.active_t].fits(words) {
+                self.major(m);
+            }
+            if self.semispace_mode && self.tenured[self.active_t].fits(words) {
+                let buf = std::mem::take(&mut m.alloc_buf);
+                let addr = alloc_in_space(
+                    &mut self.mem,
+                    &mut self.tenured[self.active_t],
+                    shape,
+                    &buf,
+                )
+                .expect("checked to fit");
+                m.alloc_buf = buf;
+                if let Some(prof) = self.profile.as_mut() {
+                    prof.on_alloc(addr, site, shape.size_bytes());
+                }
+                return addr;
+            }
+            // Mode flipped off (or space still tight): fall through to the
+            // generational paths below.
+        }
+
+        // Objects too big for the nursery but with no large-object space
+        // to go to (or non-array records) are tenured at birth, with the
+        // same deferred in-place scan pretenured objects get.
+        if words > self.nursery[self.active_n].capacity_words() {
+            if !self.tenured[self.active_t].fits(words) {
+                self.major(m);
+                assert!(
+                    self.tenured[self.active_t].fits(words),
+                    "out of memory: oversized object of {words} words"
+                );
+            }
+            let buf = std::mem::take(&mut m.alloc_buf);
+            let addr =
+                alloc_in_space(&mut self.mem, &mut self.tenured[self.active_t], shape, &buf)
+                    .expect("tenured space was checked to fit");
+            m.alloc_buf = buf;
+            match self.pretenure.as_mut() {
+                Some(p) => p.pending.push(addr),
+                None => {
+                    // No pretenure machinery: reuse the LOS pending list
+                    // if present, else fall back to an immediate barrier
+                    // record so the next minor collection scans it.
+                    if let Some(l) = self.los.as_mut() {
+                        l.pending_scan.push(addr);
+                    } else {
+                        self.oversized_pending.push(addr);
+                    }
+                }
+            }
+            if let Some(prof) = self.profile.as_mut() {
+                prof.on_alloc(addr, site, shape.size_bytes());
+            }
+            return addr;
+        }
+
+        // Ordinary nursery allocation.
+        if !self.nursery[self.active_n].fits(words) {
+            self.collect(m, CollectReason::AllocFailure);
+            if !self.nursery[self.active_n].fits(words) {
+                // Accumulated copied-back survivors can crowd the nursery
+                // system; a major collection promotes them all.
+                self.major(m);
+            }
+            assert!(
+                self.nursery[self.active_n].fits(words),
+                "out of memory: {words} words do not fit an empty {}-word nursery",
+                self.nursery[self.active_n].capacity_words()
+            );
+        }
+        let buf = std::mem::take(&mut m.alloc_buf);
+        let addr =
+            alloc_in_space(&mut self.mem, &mut self.nursery[self.active_n], shape, &buf)
+                .expect("nursery was checked to fit");
+        m.alloc_buf = buf;
+        if let Some(prof) = self.profile.as_mut() {
+            prof.on_alloc(addr, site, shape.size_bytes());
+        }
+        addr
+    }
+
+    fn collect(&mut self, m: &mut MutatorState, reason: CollectReason) {
+        match reason {
+            CollectReason::ForcedMajor => self.major(m),
+            CollectReason::Forced | CollectReason::AllocFailure => {
+                if self.semispace_mode {
+                    self.mode_age += 1;
+                    if self.mode_age >= 32 {
+                        // Probation: drop back to generational operation
+                        // and let the window re-decide.
+                        self.semispace_mode = false;
+                        self.recent_major_bits = 0;
+                    }
+                    self.major(m);
+                } else {
+                    let is_major = self.needs_major();
+                    self.recent_major_bits =
+                        (self.recent_major_bits << 1 | u32::from(is_major)) & 0xffff;
+                    if is_major {
+                        self.major(m);
+                    } else {
+                        self.minor(m);
+                    }
+                }
+            }
+        }
+    }
+
+    fn gc_stats(&self) -> &GcStats {
+        &self.stats
+    }
+
+    fn finish(&mut self, _m: &mut MutatorState) {
+        if let Some(p) = self.profile.as_mut() {
+            p.finish();
+        }
+    }
+
+    fn take_profile(&mut self) -> Option<HeapProfile> {
+        self.profile.take()
+    }
+}

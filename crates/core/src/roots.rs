@@ -1,0 +1,452 @@
+//! Root-set computation: the two-pass stack scan of §2.3, extended with
+//! the scan cache of §5 (*generational stack collection*).
+//!
+//! The scan cannot decode frames in isolation: a slot traced as
+//! `CalleeSave($r)` holds whatever the *caller* had in `$r`, and a
+//! `Compute` slot needs a runtime type fetched from another location. So
+//! the scan walks from the initial frame upward, threading a register
+//! pointerness state through every frame's declared register effects —
+//! the "two-pass" structure the paper describes (the downward
+//! frame-boundary discovery pass is implicit in the simulation, but its
+//! cost is charged per decoded frame).
+//!
+//! With a [`ScanCache`], frames below the stack's
+//! [`reusable_prefix`](tilgc_runtime::Stack::reusable_prefix) are not
+//! re-decoded: their root-slot lists and the register state at the cache
+//! boundary are reused from the previous collection.
+
+use tilgc_runtime::trace::{RegEffect, Trace, TypeLoc, NUM_REGS};
+use tilgc_runtime::{
+    type_word_is_pointer, GcStats, MutatorState, RaiseBookkeeping, ShadowTag,
+};
+
+use crate::config::MarkerPolicy;
+
+/// Bitmask of registers currently known to hold pointers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RegState(u32);
+
+impl RegState {
+    /// The initial state: no register holds a pointer.
+    pub const EMPTY: RegState = RegState(0);
+
+    /// Whether register `r` holds a pointer.
+    #[inline]
+    pub fn is_pointer(self, r: usize) -> bool {
+        (self.0 >> r) & 1 == 1
+    }
+
+    /// Applies one frame's declared register effects.
+    pub fn apply(mut self, effects: &[(tilgc_runtime::Reg, RegEffect)]) -> RegState {
+        for &(reg, effect) in effects {
+            match effect {
+                RegEffect::Preserve => {}
+                RegEffect::DefPointer => self.0 |= 1 << reg.index(),
+                RegEffect::DefNonPointer => self.0 &= !(1 << reg.index()),
+            }
+        }
+        self
+    }
+}
+
+/// The cached decode of one frame.
+#[derive(Clone, Debug)]
+pub struct FrameScanInfo {
+    /// Slot indices that hold pointers (resolved through callee-save and
+    /// compute traces).
+    pub ptr_slots: Vec<u16>,
+    /// Register pointerness after this frame's effects.
+    pub reg_state_after: RegState,
+}
+
+/// Scan results cached across collections — the data structure at the
+/// heart of generational stack collection.
+#[derive(Clone, Debug, Default)]
+pub struct ScanCache {
+    /// Per-frame cached decodes; index = frame depth.
+    pub frames: Vec<FrameScanInfo>,
+}
+
+/// The location of one root (a pointer the collector must relocate).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RootLoc {
+    /// Slot `slot` of the frame at `depth`.
+    Slot {
+        /// Frame depth (0 = oldest).
+        depth: u32,
+        /// Slot index within the frame.
+        slot: u16,
+    },
+    /// A general-purpose register.
+    Reg(u8),
+    /// Entry `i` of the allocation staging buffer.
+    AllocBuf(u16),
+}
+
+/// What a scan produced.
+#[derive(Debug, Default)]
+pub struct ScanOutcome {
+    /// Roots in *newly scanned* frames, plus registers and the alloc
+    /// buffer. Cached frames' roots are not included — for a minor
+    /// collection with immediate promotion they are irrelevant, and for a
+    /// major collection the caller pulls them from the cache.
+    pub new_roots: Vec<RootLoc>,
+    /// Frames whose cached decode was reused.
+    pub reused_frames: usize,
+    /// Frames decoded from scratch.
+    pub scanned_frames: usize,
+}
+
+/// Reads the word a root location currently holds.
+pub fn read_root(m: &MutatorState, loc: RootLoc) -> u64 {
+    match loc {
+        RootLoc::Slot { depth, slot } => m.stack.frame(depth as usize).word(slot as usize),
+        RootLoc::Reg(r) => m.regs.word(tilgc_runtime::Reg::new(r)),
+        RootLoc::AllocBuf(i) => m.alloc_buf[i as usize],
+    }
+}
+
+/// Writes a (relocated) word back into a root location.
+pub fn write_root(m: &mut MutatorState, loc: RootLoc, word: u64) {
+    match loc {
+        RootLoc::Slot { depth, slot } => {
+            m.stack.frame_mut(depth as usize).set_word_raw(slot as usize, word);
+        }
+        RootLoc::Reg(r) => m.regs.set_word_raw(tilgc_runtime::Reg::new(r), word),
+        RootLoc::AllocBuf(i) => m.alloc_buf[i as usize] = word,
+    }
+}
+
+/// Scans the mutator state for roots.
+///
+/// * With `cache = None` this is the plain §2.3 full scan.
+/// * With a cache, frames under the stack's reusable prefix are skipped
+///   (their decodes are reused) and markers are re-placed per `policy`
+///   after the scan — §5's generational stack collection.
+///
+/// Costs are charged to `stats` (`stack_cycles`), including the deferred
+/// handler-chain walk when [`RaiseBookkeeping::Deferred`] is active.
+///
+/// # Panics
+///
+/// Panics (when `m.check_shadows` is set) if a trace-derived pointerness
+/// decision contradicts the mutator's shadow tags — a mis-declared frame
+/// descriptor or a bug in the two-pass reconstruction.
+pub fn scan_stack(
+    m: &mut MutatorState,
+    cache: Option<&mut ScanCache>,
+    policy: MarkerPolicy,
+    stats: &mut GcStats,
+) -> ScanOutcome {
+    let cost = m.cost;
+    let mut cycles: u64 = 0;
+
+    // Deferred exception bookkeeping: reconstruct the watermark from the
+    // handler chain (§5's alternative implementation).
+    if m.raise_mode == RaiseBookkeeping::Deferred {
+        let (min, visited) = m.handlers.walk_for_collection();
+        cycles += cost.handler_walk * visited as u64;
+        if let Some(d) = min {
+            m.stack.note_watermark(d);
+        }
+    }
+
+    let depth = m.stack.depth();
+    let reusable = match cache.as_deref() {
+        Some(c) => m.stack.reusable_prefix().min(c.frames.len()),
+        None => 0,
+    };
+    cycles += cost.frame_reuse * reusable as u64;
+
+    let mut reg_state = match (reusable, cache.as_deref()) {
+        (0, _) | (_, None) => RegState::EMPTY,
+        (r, Some(c)) => c.frames[r - 1].reg_state_after,
+    };
+
+    let mut outcome = ScanOutcome { reused_frames: reusable, ..Default::default() };
+    let mut new_infos: Vec<FrameScanInfo> = Vec::with_capacity(depth - reusable);
+    let mut slots_seen: u64 = 0;
+
+    for d in reusable..depth {
+        let frame = m.stack.frame(d);
+        let desc = m.traces.desc(frame.desc());
+        cycles += cost.frame_decode;
+        slots_seen += desc.num_slots() as u64;
+        let mut ptr_slots: Vec<u16> = Vec::new();
+        for (i, &trace) in desc.slot_traces().iter().enumerate() {
+            cycles += cost.slot_trace;
+            let is_ptr = match trace {
+                Trace::Pointer => true,
+                Trace::NonPointer => false,
+                Trace::CalleeSave(r) => reg_state.is_pointer(r.index()),
+                Trace::Compute(loc) => {
+                    cycles += cost.compute_trace_extra;
+                    let type_word = match loc {
+                        TypeLoc::Slot(s) => frame.word(s as usize),
+                        TypeLoc::Reg(r) => m.regs.word(r),
+                    };
+                    type_word_is_pointer(type_word)
+                }
+            };
+            if m.check_shadows {
+                let shadow_ptr = frame.shadow(i) == ShadowTag::Ptr;
+                assert_eq!(
+                    is_ptr,
+                    shadow_ptr,
+                    "trace decode disagrees with shadow for slot {i} (trace {trace:?}) of \
+                     frame {d} ({})",
+                    desc.name()
+                );
+            }
+            if is_ptr {
+                ptr_slots.push(i as u16);
+                outcome.new_roots.push(RootLoc::Slot { depth: d as u32, slot: i as u16 });
+            }
+        }
+        reg_state = reg_state.apply(desc.reg_effects());
+        new_infos.push(FrameScanInfo { ptr_slots, reg_state_after: reg_state });
+    }
+    outcome.scanned_frames = depth - reusable;
+
+    // Registers live across the collection point.
+    for r in 0..NUM_REGS {
+        cycles += cost.slot_trace;
+        let is_ptr = reg_state.is_pointer(r);
+        if m.check_shadows {
+            let shadow_ptr = m.regs.shadow(tilgc_runtime::Reg::new(r as u8)) == ShadowTag::Ptr;
+            assert_eq!(is_ptr, shadow_ptr, "register ${r} trace state disagrees with shadow");
+        }
+        if is_ptr {
+            outcome.new_roots.push(RootLoc::Reg(r as u8));
+        }
+    }
+
+    // Allocation staging buffer (argument registers of the allocation in
+    // progress).
+    for i in 0..m.alloc_buf.len() {
+        if (m.alloc_buf_ptr_mask >> i) & 1 == 1 {
+            outcome.new_roots.push(RootLoc::AllocBuf(i as u16));
+        }
+    }
+
+    if let Some(c) = cache {
+        c.frames.truncate(reusable);
+        c.frames.extend(new_infos);
+        let placed = m.stack.place_markers_at(policy.placements(depth));
+        cycles += cost.marker_place * placed as u64;
+        stats.markers_placed += placed as u64;
+    }
+
+    stats.frames_scanned += outcome.scanned_frames as u64;
+    stats.frames_reused += outcome.reused_frames as u64;
+    stats.slots_scanned += slots_seen;
+    stats.stack_cycles += cycles;
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilgc_mem::Addr;
+    use tilgc_runtime::{FrameDesc, Reg, Trace, Value, TYPE_BOXED, TYPE_UNBOXED};
+
+    /// Builds a mutator with `depth` frames: slot 0 pointer, slot 1 int.
+    fn mutator(depth: usize) -> MutatorState {
+        let mut m = MutatorState::new();
+        let d = m
+            .traces
+            .register(FrameDesc::new("t").slot(Trace::Pointer).slot(Trace::NonPointer));
+        for i in 0..depth {
+            m.stack.push(d, 2);
+            m.stack.top_mut().set(0, Value::Ptr(Addr::new(100 + i as u32)));
+            m.stack.top_mut().set(1, Value::Int(7));
+        }
+        m
+    }
+
+    #[test]
+    fn full_scan_finds_every_pointer_slot() {
+        let mut m = mutator(10);
+        let mut stats = GcStats::default();
+        let out = scan_stack(&mut m, None, MarkerPolicy::Disabled, &mut stats);
+        let slot_roots =
+            out.new_roots.iter().filter(|r| matches!(r, RootLoc::Slot { .. })).count();
+        assert_eq!(slot_roots, 10);
+        assert_eq!(out.scanned_frames, 10);
+        assert_eq!(out.reused_frames, 0);
+        assert!(stats.stack_cycles > 0);
+    }
+
+    #[test]
+    fn cached_scan_skips_old_frames() {
+        let mut m = mutator(100);
+        let mut stats = GcStats::default();
+        let mut cache = ScanCache::default();
+        let out = scan_stack(&mut m, Some(&mut cache), MarkerPolicy::EveryN(25), &mut stats);
+        assert_eq!(out.scanned_frames, 100);
+        assert_eq!(cache.frames.len(), 100);
+
+        // Second scan with no mutator activity: reuse up to the deepest
+        // marker (depth 99).
+        let out2 = scan_stack(&mut m, Some(&mut cache), MarkerPolicy::EveryN(25), &mut stats);
+        assert_eq!(out2.reused_frames, 99);
+        assert_eq!(out2.scanned_frames, 1);
+        assert_eq!(cache.frames.len(), 100);
+    }
+
+    #[test]
+    fn cache_handles_pops_and_regrowth() {
+        let mut m = mutator(100);
+        let mut stats = GcStats::default();
+        let mut cache = ScanCache::default();
+        scan_stack(&mut m, Some(&mut cache), MarkerPolicy::EveryN(25), &mut stats);
+        for _ in 0..30 {
+            m.stack.pop(); // fires markers at 99 and 74
+        }
+        let d = m.stack.frame(0).desc();
+        for _ in 0..10 {
+            m.stack.push(d, 2);
+            m.stack.top_mut().set(0, Value::NULL);
+        }
+        let out = scan_stack(&mut m, Some(&mut cache), MarkerPolicy::EveryN(25), &mut stats);
+        assert_eq!(out.reused_frames, 49, "intact marker at 49 bounds reuse");
+        assert_eq!(out.scanned_frames, 80 - 49);
+        assert_eq!(cache.frames.len(), 80);
+    }
+
+    #[test]
+    fn callee_save_resolved_through_register_state() {
+        let mut m = MutatorState::new();
+        // Frame A leaves a pointer in $5; frame B spills $5 to its slot 0.
+        let da = m.traces.register(FrameDesc::new("a").def_pointer(Reg::new(5)));
+        let db = m.traces.register(FrameDesc::new("b").slot(Trace::CalleeSave(Reg::new(5))));
+        m.stack.push(da, 0);
+        m.regs.set(Reg::new(5), Value::Ptr(Addr::new(64)));
+        m.stack.push(db, 1);
+        // Spill (the VM does this automatically; done by hand here).
+        m.stack.top_mut().set_word_tagged(0, 64, ShadowTag::Ptr);
+
+        let mut stats = GcStats::default();
+        let out = scan_stack(&mut m, None, MarkerPolicy::Disabled, &mut stats);
+        assert!(out
+            .new_roots
+            .contains(&RootLoc::Slot { depth: 1, slot: 0 }));
+        // $5 is still pointer-valued at the top, so it is a register root.
+        assert!(out.new_roots.contains(&RootLoc::Reg(5)));
+    }
+
+    #[test]
+    fn callee_save_of_non_pointer_is_not_a_root() {
+        let mut m = MutatorState::new();
+        let da = m.traces.register(FrameDesc::new("a").def_non_pointer(Reg::new(5)));
+        let db = m.traces.register(FrameDesc::new("b").slot(Trace::CalleeSave(Reg::new(5))));
+        m.stack.push(da, 0);
+        m.regs.set(Reg::new(5), Value::Int(999));
+        m.stack.push(db, 1);
+        m.stack.top_mut().set_word_tagged(0, 999, ShadowTag::NonPtr);
+
+        let mut stats = GcStats::default();
+        let out = scan_stack(&mut m, None, MarkerPolicy::Disabled, &mut stats);
+        assert!(out.new_roots.is_empty());
+    }
+
+    #[test]
+    fn compute_trace_consults_runtime_type() {
+        let mut m = MutatorState::new();
+        let d = m.traces.register(
+            FrameDesc::new("poly")
+                .slot(Trace::NonPointer) // slot 0: the runtime type
+                .slot(Trace::Compute(TypeLoc::Slot(0))), // slot 1: polymorphic value
+        );
+        m.stack.push(d, 2);
+        m.stack.top_mut().set(0, Value::Int(TYPE_BOXED));
+        m.stack.top_mut().set(1, Value::Ptr(Addr::new(640)));
+        let mut stats = GcStats::default();
+        let out = scan_stack(&mut m, None, MarkerPolicy::Disabled, &mut stats);
+        assert!(out.new_roots.contains(&RootLoc::Slot { depth: 0, slot: 1 }));
+
+        // Flip the type to unboxed: same slot, now not a root.
+        m.stack.top_mut().set(0, Value::Int(TYPE_UNBOXED));
+        m.stack.top_mut().set(1, Value::Int(640));
+        let out = scan_stack(&mut m, None, MarkerPolicy::Disabled, &mut stats);
+        assert_eq!(
+            out.new_roots.iter().filter(|r| matches!(r, RootLoc::Slot { .. })).count(),
+            0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees with shadow")]
+    fn misdeclared_descriptor_is_caught() {
+        let mut m = MutatorState::new();
+        let d = m.traces.register(FrameDesc::new("bad").slot(Trace::NonPointer));
+        m.stack.push(d, 1);
+        // The mutator writes a pointer into a slot declared non-pointer:
+        // in the real system this hides a root. The shadow check trips.
+        m.stack.top_mut().set_word_tagged(0, 640, ShadowTag::Ptr);
+        let mut stats = GcStats::default();
+        scan_stack(&mut m, None, MarkerPolicy::Disabled, &mut stats);
+    }
+
+    #[test]
+    fn alloc_buf_entries_are_roots() {
+        let mut m = MutatorState::new();
+        m.alloc_buf = vec![640, 7, 888];
+        m.alloc_buf_ptr_mask = 0b101;
+        let mut stats = GcStats::default();
+        let out = scan_stack(&mut m, None, MarkerPolicy::Disabled, &mut stats);
+        assert!(out.new_roots.contains(&RootLoc::AllocBuf(0)));
+        assert!(out.new_roots.contains(&RootLoc::AllocBuf(2)));
+        assert!(!out.new_roots.contains(&RootLoc::AllocBuf(1)));
+    }
+
+    #[test]
+    fn deferred_raise_mode_reconstructs_the_watermark_at_scan_time() {
+        use tilgc_runtime::RaiseBookkeeping;
+        let mut m = mutator(100);
+        m.raise_mode = RaiseBookkeeping::Deferred;
+        let mut stats = GcStats::default();
+        let mut cache = ScanCache::default();
+        scan_stack(&mut m, Some(&mut cache), MarkerPolicy::EveryN(10), &mut stats);
+
+        // A raise to depth 30 — with deferred bookkeeping the stack's
+        // watermark is NOT updated at raise time...
+        m.handlers.push(30);
+        let target = m.handlers.raise().expect("handler installed");
+        m.stack.unwind_for_raise_silent(target);
+        assert_eq!(m.stack.watermark(), usize::MAX, "deferred: no watermark at raise");
+
+        // ...the intact markers above 30 would wrongly promise reuse...
+        let d = m.stack.frame(0).desc();
+        for _ in 0..70 {
+            m.stack.push(d, 2);
+            m.stack.top_mut().set(0, crate::roots::tests::null_ptr());
+        }
+        // ...but the next scan walks the handler chain first and clamps.
+        let out = scan_stack(&mut m, Some(&mut cache), MarkerPolicy::EveryN(10), &mut stats);
+        assert!(
+            out.reused_frames <= 30,
+            "deferred walk must cap reuse at the raise depth, got {}",
+            out.reused_frames
+        );
+    }
+
+    pub(super) fn null_ptr() -> tilgc_runtime::Value {
+        tilgc_runtime::Value::NULL
+    }
+
+    #[test]
+    fn root_read_write_round_trip() {
+        let mut m = mutator(3);
+        let loc = RootLoc::Slot { depth: 1, slot: 0 };
+        assert_eq!(read_root(&m, loc), 101);
+        write_root(&mut m, loc, 4242);
+        assert_eq!(read_root(&m, loc), 4242);
+
+        m.regs.set(Reg::new(3), Value::Ptr(Addr::new(9)));
+        let loc = RootLoc::Reg(3);
+        assert_eq!(read_root(&m, loc), 9);
+        write_root(&mut m, loc, 11);
+        assert_eq!(read_root(&m, loc), 11);
+    }
+}

@@ -1,0 +1,329 @@
+//! The semispace baseline collector (§2.1).
+//!
+//! Two equal semispaces; allocation bumps through the active one, and a
+//! full Cheney collection evacuates survivors into the other. After each
+//! collection the heap is resized toward the target liveness ratio
+//! `r = 0.10` ("if the liveness ratio after a collection was r′, then the
+//! heap is resized by the factor r′/r"), capped by the experiment's memory
+//! budget `k · Min`.
+//!
+//! §7.1 notes that generational *stack* collection is orthogonal to heap
+//! generations, so this collector too accepts a [`MarkerPolicy`] — the
+//! ablation benches compare semispace collection with and without scan
+//! caching.
+
+use std::time::Instant;
+
+use tilgc_mem::{Addr, Memory, Space};
+use tilgc_runtime::{
+    AllocShape, CollectReason, Collector, GcStats, HeapProfile, MutatorState,
+};
+
+use crate::config::{GcConfig, MarkerPolicy};
+use crate::evac::{poison_range, Evacuator};
+use crate::roots::{read_root, scan_stack, write_root, RootLoc, ScanCache};
+use crate::util::alloc_in_space;
+
+/// The semispace (Fenichel–Yochelson/Cheney) collector.
+pub struct SemispaceCollector {
+    mem: Memory,
+    spaces: [Space; 2],
+    active: usize,
+    budget_words: usize,
+    target_liveness: f64,
+    marker_policy: MarkerPolicy,
+    cache: Option<ScanCache>,
+    profile: Option<HeapProfile>,
+    stats: GcStats,
+}
+
+impl SemispaceCollector {
+    /// Creates a semispace collector within `config.heap_budget_bytes` of
+    /// total memory (each semispace gets half).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is too small to hold even two one-kilobyte
+    /// semispaces.
+    pub fn new(config: &GcConfig) -> SemispaceCollector {
+        let budget_words = config.heap_budget_words();
+        let semi = budget_words / 2;
+        assert!(semi >= 128, "semispace budget too small: {} bytes", config.heap_budget_bytes);
+        let mut mem = Memory::with_capacity_words(budget_words + 16);
+        let a = Space::new(mem.reserve(semi).expect("semispace reservation"));
+        let b = Space::new(mem.reserve(semi).expect("semispace reservation"));
+        SemispaceCollector {
+            mem,
+            spaces: [a, b],
+            active: 0,
+            budget_words,
+            target_liveness: config.semispace_target_liveness,
+            marker_policy: config.marker_policy,
+            cache: config.marker_policy.is_enabled().then(ScanCache::default),
+            profile: config.profiling.then(HeapProfile::new),
+            stats: GcStats::default(),
+        }
+    }
+
+    /// Capacity of one semispace right now, in words.
+    pub fn semispace_words(&self) -> usize {
+        self.spaces[self.active].capacity_words()
+    }
+
+    fn do_collect(&mut self, m: &mut MutatorState) {
+        let wall_start = Instant::now();
+        self.stats.collections += 1;
+        self.stats.depth_at_gc_sum += m.stack.depth() as u64;
+        self.stats.other_cycles += m.cost.gc_base;
+
+        // --- root processing (GC-stack) ---
+        let stack_t0 = Instant::now();
+        let outcome = scan_stack(m, self.cache.as_mut(), self.marker_policy, &mut self.stats);
+        // Every collection moves everything, so cached frames' roots must
+        // be processed too — the cache saves only the decode cost.
+        let mut roots: Vec<RootLoc> = outcome.new_roots;
+        if let Some(cache) = &self.cache {
+            for (d, info) in cache.frames.iter().enumerate().take(outcome.reused_frames) {
+                for &slot in &info.ptr_slots {
+                    roots.push(RootLoc::Slot { depth: d as u32, slot });
+                }
+            }
+        }
+
+        let (from_i, to_i) = (self.active, 1 - self.active);
+        let from_frontier = self.spaces[from_i].frontier();
+        let from_ranges = [self.spaces[from_i].range()];
+        let (lo, hi) = self.spaces.split_at_mut(1);
+        let to_space = if to_i == 1 { &mut hi[0] } else { &mut lo[0] };
+        to_space.set_limit_words(to_space.max_capacity_words());
+        let mut evac = Evacuator::new(
+            &mut self.mem,
+            &from_ranges,
+            to_space,
+            None,
+            None,
+            self.profile.as_mut(),
+            &mut self.stats,
+            m.cost,
+        );
+        let mut relocated: u64 = 0;
+        for &loc in &roots {
+            let word = read_root(m, loc);
+            let fwd = evac.forward_word(word);
+            if fwd != word {
+                write_root(m, loc, fwd);
+                relocated += 1;
+            }
+        }
+        let stack_ns = stack_t0.elapsed().as_nanos() as u64;
+
+        // --- copying (GC-copy) ---
+        let copy_t0 = Instant::now();
+        evac.drain();
+        let copy_ns = copy_t0.elapsed().as_nanos() as u64;
+        self.stats.roots_found += roots.len() as u64;
+        self.stats.stack_cycles +=
+            m.cost.root_check * roots.len() as u64 + m.cost.root_process * relocated;
+
+        // A semispace collector needs no write barrier; discard anything
+        // an embedder recorded anyway.
+        m.barrier.drain(|_| {});
+
+        if let Some(p) = self.profile.as_mut() {
+            for entry in tilgc_mem::object::walk(&self.mem, from_ranges[0].start, from_frontier) {
+                if entry.forwarded.is_none() {
+                    p.on_death(entry.addr);
+                }
+            }
+        }
+
+        poison_range(&mut self.mem, from_ranges[0], from_frontier);
+        self.spaces[from_i].reset();
+        let live_words = self.spaces[to_i].used_words();
+        self.active = to_i;
+
+        // Resize toward the target liveness ratio, within the budget.
+        let desired = (live_words as f64 / self.target_liveness) as usize;
+        let cap = self.budget_words / 2;
+        let new_size = desired.clamp((live_words + 512).min(cap), cap);
+        self.spaces[0].set_limit_words(new_size);
+        self.spaces[1].set_limit_words(new_size);
+
+        self.stats.note_live_bytes(tilgc_mem::words_to_bytes(live_words) as u64);
+        self.stats.stack_wall_ns += stack_ns;
+        self.stats.copy_wall_ns += copy_ns;
+        self.stats.total_wall_ns += wall_start.elapsed().as_nanos() as u64;
+    }
+}
+
+impl Collector for SemispaceCollector {
+    fn name(&self) -> &'static str {
+        "semispace"
+    }
+
+    fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    fn alloc(&mut self, m: &mut MutatorState, shape: AllocShape) -> Addr {
+        let words = shape.size_words();
+        if !self.spaces[self.active].fits(words) {
+            self.do_collect(m);
+            assert!(
+                self.spaces[self.active].fits(words),
+                "out of memory: {} words requested, {} free after collection (budget {} words)",
+                words,
+                self.spaces[self.active].free_words(),
+                self.budget_words
+            );
+        }
+        let buf = std::mem::take(&mut m.alloc_buf);
+        let addr = alloc_in_space(&mut self.mem, &mut self.spaces[self.active], shape, &buf)
+            .expect("space was checked to fit");
+        m.alloc_buf = buf;
+        if let Some(p) = self.profile.as_mut() {
+            p.on_alloc(addr, shape.site(), shape.size_bytes());
+        }
+        addr
+    }
+
+    fn collect(&mut self, m: &mut MutatorState, _reason: CollectReason) {
+        self.do_collect(m);
+    }
+
+    fn gc_stats(&self) -> &GcStats {
+        &self.stats
+    }
+
+    fn finish(&mut self, _m: &mut MutatorState) {
+        if let Some(p) = self.profile.as_mut() {
+            p.finish();
+        }
+    }
+
+    fn take_profile(&mut self) -> Option<HeapProfile> {
+        self.profile.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilgc_runtime::{FrameDesc, Trace, Value, Vm};
+
+    fn vm(budget: usize) -> Vm {
+        let config = GcConfig::new().heap_budget_bytes(budget);
+        let mut m = MutatorState::new();
+        m.barrier = tilgc_runtime::WriteBarrier::None;
+        Vm::with_mutator(m, Box::new(SemispaceCollector::new(&config)))
+    }
+
+    #[test]
+    fn allocation_triggers_collection_and_survivors_live() {
+        let mut vm = vm(16 << 10); // 16 KB budget → two 8 KB semispaces
+        let site = vm.site("t::rec");
+        let d = vm.register_frame(FrameDesc::new("t").slot(Trace::Pointer));
+        vm.push_frame(d);
+        let first = vm.alloc_record(site, &[Value::Int(41), Value::Int(42)]);
+        vm.set_slot(0, Value::Ptr(first));
+        // Allocate enough garbage to force several collections.
+        for i in 0..2000 {
+            let _ = vm.alloc_record(site, &[Value::Int(i), Value::Int(i)]);
+        }
+        let collections = vm.gc_stats().collections;
+        assert!(collections > 0);
+        let root = vm.slot_ptr(0);
+        if collections % 2 == 1 {
+            // After an odd number of flips the survivor is in the other
+            // semispace; after an even number it may be back at the same
+            // address.
+            assert_ne!(root, first, "the root was relocated");
+        }
+        let v = vm.load_int(root, 1);
+        assert_eq!(v, 42, "survivor data intact after collections");
+    }
+
+    #[test]
+    fn collections_preserve_linked_structures() {
+        let mut vm = vm(64 << 10);
+        let site = vm.site("t::cons");
+        let d = vm.register_frame(FrameDesc::new("t").slot(Trace::Pointer));
+        vm.push_frame(d);
+        // Build a 50-cell list rooted in slot 0, interleaved with garbage.
+        vm.set_slot(0, Value::NULL);
+        for i in 0..50 {
+            let tail = vm.slot_ptr(0);
+            let cell = vm.alloc_record(site, &[Value::Int(i), Value::Ptr(tail)]);
+            vm.set_slot(0, Value::Ptr(cell));
+            for _ in 0..100 {
+                let _ = vm.alloc_record(site, &[Value::Int(0), Value::NULL]);
+            }
+        }
+        assert!(vm.gc_stats().collections > 1);
+        // Walk the list: 49, 48, ..., 0.
+        let mut cur = vm.slot_ptr(0);
+        for expect in (0..50).rev() {
+            assert_eq!(vm.load_int(cur, 0), expect);
+            cur = vm.load_ptr(cur, 1);
+        }
+        assert!(cur.is_null());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of memory")]
+    fn budget_exhaustion_panics() {
+        let mut vm = vm(8 << 10);
+        let site = vm.site("t::keep");
+        let d = vm.register_frame(FrameDesc::new("t").slot(Trace::Pointer));
+        vm.push_frame(d);
+        // Retain an ever-growing list until the budget bursts.
+        vm.set_slot(0, Value::NULL);
+        loop {
+            let tail = vm.slot_ptr(0);
+            let cell = vm.alloc_ptr_array(site, 16, tail);
+            vm.set_slot(0, Value::Ptr(cell));
+        }
+    }
+
+    #[test]
+    fn resizing_respects_budget_cap() {
+        let config = GcConfig::new().heap_budget_bytes(32 << 10);
+        let c = SemispaceCollector::new(&config);
+        assert_eq!(c.semispace_words(), (32 << 10) / 8 / 2);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut vm = vm(16 << 10);
+        let site = vm.site("t::x");
+        for _ in 0..5000 {
+            let _ = vm.alloc_record(site, &[Value::Int(1)]);
+        }
+        let s = vm.gc_stats();
+        assert!(s.collections >= 2);
+        assert!(s.gc_cycles() > 0);
+        assert_eq!(s.major_collections, 0);
+        assert!(vm.mutator_stats().alloc_bytes >= 5000 * 16);
+    }
+
+    #[test]
+    fn profiling_semispace_records_sites() {
+        let config = GcConfig::new().heap_budget_bytes(16 << 10).profiling(true);
+        let mut m = MutatorState::new();
+        m.barrier = tilgc_runtime::WriteBarrier::None;
+        let mut vm = Vm::with_mutator(m, Box::new(SemispaceCollector::new(&config)));
+        let site = vm.site("t::p");
+        for _ in 0..2000 {
+            let _ = vm.alloc_record(site, &[Value::Int(1)]);
+        }
+        vm.finish();
+        let profile = vm.take_profile().expect("profiling was enabled");
+        let row = profile.site(site).expect("site seen");
+        assert_eq!(row.alloc_objects, 2000);
+        assert_eq!(row.old_percent(), 0.0, "all garbage died young");
+    }
+}

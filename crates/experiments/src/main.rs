@@ -1,0 +1,90 @@
+//! `experiments` — regenerates every table and figure of the PLDI'98
+//! evaluation.
+//!
+//! ```text
+//! experiments <table1..table7|figure2|extensions|all> [--scale N] [--csv DIR]
+//! ```
+//!
+//! Build with `--release`: the simulator is deterministic either way, but
+//! debug builds are an order of magnitude slower.
+
+mod csv;
+mod extensions;
+mod harness;
+mod tables;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Option<String> = None;
+    let mut scale: u32 = 1;
+    let mut csv_sink = csv::CsvSink::disabled();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--csv" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("--csv needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                csv_sink = match csv::CsvSink::into_dir(std::path::Path::new(dir)) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("--csv {dir}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(s) => s,
+                    None => {
+                        eprintln!("--scale needs a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            other if which.is_none() => which = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let which = which.unwrap_or_else(|| "all".to_string());
+    let run = |name: &str| match name {
+        "table1" => tables::table1(),
+        "table2" => tables::table2(scale),
+        "table3" => tables::table3(scale, &csv_sink),
+        "table4" => tables::table4(scale, &csv_sink),
+        "table5" => tables::table5(scale, &csv_sink),
+        "table6" => tables::table6(scale, &csv_sink),
+        "table7" => tables::table7(scale, &csv_sink),
+        "figure2" => tables::figure2(scale),
+        "extensions" => extensions::all(scale),
+        other => {
+            eprintln!(
+                "unknown experiment {other:?}; expected table1..table7, figure2, extensions, or all"
+            );
+            std::process::exit(2);
+        }
+    };
+    if which == "all" {
+        for name in
+            [
+                "table1", "table2", "table3", "table4", "table5", "table6", "table7", "figure2",
+                "extensions",
+            ]
+        {
+            run(name);
+            println!();
+        }
+    } else {
+        run(&which);
+    }
+    ExitCode::SUCCESS
+}

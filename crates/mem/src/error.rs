@@ -1,0 +1,90 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::Addr;
+
+/// Errors produced by the memory substrate.
+///
+/// Most accessor paths in this crate treat malformed addresses as collector
+/// bugs and panic; `MemError` is reserved for conditions a caller can
+/// legitimately react to, such as running out of reserved address space or
+/// a space being too full to satisfy an allocation (the signal that a
+/// garbage collection is required).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemError {
+    /// The address space has no room left for another reservation.
+    AddressSpaceExhausted {
+        /// Words requested by the reservation.
+        requested: usize,
+        /// Words still unreserved.
+        available: usize,
+    },
+    /// A bump allocation did not fit in the remaining part of its space.
+    SpaceFull {
+        /// Words requested by the allocation.
+        requested: usize,
+        /// Words still free in the space.
+        available: usize,
+    },
+    /// An object was too large for the object-header encoding.
+    ObjectTooLarge {
+        /// Size of the rejected object, in words.
+        words: usize,
+    },
+    /// An access touched memory outside the simulated address space.
+    OutOfBounds {
+        /// First address of the faulting access.
+        addr: Addr,
+        /// Length of the faulting access, in words.
+        words: usize,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MemError::AddressSpaceExhausted { requested, available } => write!(
+                f,
+                "address space exhausted: requested {requested} words, {available} available"
+            ),
+            MemError::SpaceFull { requested, available } => {
+                write!(f, "space full: requested {requested} words, {available} available")
+            }
+            MemError::ObjectTooLarge { words } => {
+                write!(f, "object of {words} words exceeds the header encoding limits")
+            }
+            MemError::OutOfBounds { addr, words } => {
+                write!(f, "access of {words} words at {addr} is out of bounds")
+            }
+        }
+    }
+}
+
+impl Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            MemError::AddressSpaceExhausted { requested: 8, available: 4 },
+            MemError::SpaceFull { requested: 8, available: 4 },
+            MemError::ObjectTooLarge { words: 1 << 40 },
+            MemError::OutOfBounds { addr: Addr::new(9), words: 2 },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MemError>();
+    }
+}

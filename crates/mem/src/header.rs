@@ -1,0 +1,422 @@
+use std::fmt;
+
+use crate::{Addr, MemError, SiteId};
+
+/// Maximum number of fields in a record (bounded by the header pointer-mask
+/// width).
+pub const MAX_RECORD_FIELDS: usize = 24;
+
+/// Width of the record pointer mask, in bits. Equal to
+/// [`MAX_RECORD_FIELDS`].
+pub const MAX_PTR_MASK_FIELDS: usize = MAX_RECORD_FIELDS;
+
+/// Maximum payload length an array header can encode: 2³⁰ − 1 words for
+/// pointer arrays, 2³⁰ − 1 bytes for raw arrays.
+const MAX_ARRAY_LEN: usize = (1 << 30) - 1;
+
+const KIND_RECORD: u64 = 0;
+const KIND_PTR_ARRAY: u64 = 1;
+const KIND_RAW_ARRAY: u64 = 2;
+const KIND_FORWARD: u64 = 3;
+
+/// The runtime category of a heap object.
+///
+/// TIL's *nearly tag-free* representation means these three categories are
+/// the only ones the collector ever sees (§2.2 of the paper): word-sized
+/// integers are unboxed and indistinguishable from pointers except through
+/// the header mask or the stack trace tables, and floating-point arrays are
+/// unboxed raw arrays.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ObjectKind {
+    /// A record of up to [`MAX_RECORD_FIELDS`] word-sized fields; the header
+    /// carries a bitmask saying which fields are pointers.
+    Record,
+    /// An array whose every element is a (possibly null) pointer.
+    PtrArray,
+    /// An array of raw bytes — never scanned (holds unboxed floats, string
+    /// data, bignum limbs, ...).
+    RawArray,
+}
+
+impl fmt::Display for ObjectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ObjectKind::Record => "record",
+            ObjectKind::PtrArray => "pointer array",
+            ObjectKind::RawArray => "raw array",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The single tag word that precedes every heap object.
+///
+/// Bit layout (LSB first):
+///
+/// ```text
+/// kind = record:     | kind:2 | len:5 | mask:24 | pad:1 | site:16 | age:8 | pad:8 |
+/// kind = ptr array:  | kind:2 | len(words):30   |        site:16 | age:8 | pad:8 |
+/// kind = raw array:  | kind:2 | len(bytes):30   |        site:16 | age:8 | pad:8 |
+/// kind = forward:    | kind:2 | to:32                                   | pad:30 |
+/// ```
+///
+/// `age` counts minor collections survived (used by the tenure-threshold
+/// collector variant, §7.2); `site` is the allocation-site id the profiler
+/// keys on. During collection the header of a copied object is overwritten
+/// with a *forwarding* header pointing at the new copy, exactly as in
+/// Cheney's algorithm.
+///
+/// # Example
+///
+/// ```
+/// use tilgc_mem::{Header, ObjectKind, SiteId, Addr};
+///
+/// let h = Header::record(3, 0b101, SiteId::new(9)).unwrap();
+/// assert_eq!(h.kind(), ObjectKind::Record);
+/// assert_eq!(h.len(), 3);
+/// assert!(h.field_is_pointer(0) && !h.field_is_pointer(1));
+/// assert_eq!(h.size_words(), 4); // header + 3 fields
+///
+/// let f = Header::forward(Addr::new(64));
+/// assert_eq!(f.forward_addr(), Some(Addr::new(64)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Header(u64);
+
+impl Header {
+    /// Builds a record header.
+    ///
+    /// `mask` bit *i* set means field *i* is a pointer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::ObjectTooLarge`] if `len > MAX_RECORD_FIELDS`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` has bits set at or above `len` — that is a
+    /// compiler-side bug, not a runtime condition.
+    pub fn record(len: usize, mask: u32, site: SiteId) -> Result<Header, MemError> {
+        if len > MAX_RECORD_FIELDS {
+            return Err(MemError::ObjectTooLarge { words: len });
+        }
+        assert!(
+            len == 32 || mask < (1u32 << len),
+            "pointer mask {mask:#b} wider than record length {len}"
+        );
+        Ok(Header(
+            KIND_RECORD
+                | ((len as u64) << 2)
+                | (u64::from(mask) << 7)
+                | (u64::from(site.get()) << 32),
+        ))
+    }
+
+    /// Builds a pointer-array header for `len` pointer elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::ObjectTooLarge`] if `len` exceeds the 30-bit
+    /// length field.
+    pub fn ptr_array(len: usize, site: SiteId) -> Result<Header, MemError> {
+        if len > MAX_ARRAY_LEN {
+            return Err(MemError::ObjectTooLarge { words: len });
+        }
+        Ok(Header(KIND_PTR_ARRAY | ((len as u64) << 2) | (u64::from(site.get()) << 32)))
+    }
+
+    /// Builds a raw-array header for `len_bytes` bytes of unscanned data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::ObjectTooLarge`] if `len_bytes` exceeds the
+    /// 30-bit length field.
+    pub fn raw_array(len_bytes: usize, site: SiteId) -> Result<Header, MemError> {
+        if len_bytes > MAX_ARRAY_LEN {
+            return Err(MemError::ObjectTooLarge { words: crate::bytes_to_words(len_bytes) });
+        }
+        Ok(Header(KIND_RAW_ARRAY | ((len_bytes as u64) << 2) | (u64::from(site.get()) << 32)))
+    }
+
+    /// Builds a forwarding header pointing at the copied object.
+    #[inline]
+    pub fn forward(to: Addr) -> Header {
+        Header(KIND_FORWARD | (u64::from(to.raw()) << 2))
+    }
+
+    /// Reinterprets a raw memory word as a header.
+    #[inline]
+    pub const fn from_raw(word: u64) -> Header {
+        Header(word)
+    }
+
+    /// The raw word representation, as stored in memory.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if this is a forwarding header.
+    #[inline]
+    pub const fn is_forward(self) -> bool {
+        self.0 & 0b11 == KIND_FORWARD
+    }
+
+    /// The forwarding destination, if this is a forwarding header.
+    #[inline]
+    pub fn forward_addr(self) -> Option<Addr> {
+        if self.is_forward() {
+            Some(Addr::new((self.0 >> 2) as u32))
+        } else {
+            None
+        }
+    }
+
+    /// The object kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the header is a forwarding header; check
+    /// [`is_forward`](Self::is_forward) first when scanning during a
+    /// collection.
+    #[inline]
+    pub fn kind(self) -> ObjectKind {
+        match self.0 & 0b11 {
+            KIND_RECORD => ObjectKind::Record,
+            KIND_PTR_ARRAY => ObjectKind::PtrArray,
+            KIND_RAW_ARRAY => ObjectKind::RawArray,
+            _ => panic!("kind() called on forwarding header {:#x}", self.0),
+        }
+    }
+
+    /// The payload length: field count for records, element count for
+    /// pointer arrays, byte count for raw arrays.
+    #[inline]
+    pub fn len(self) -> usize {
+        debug_assert!(!self.is_forward());
+        if self.0 & 0b11 == KIND_RECORD {
+            ((self.0 >> 2) & 0x1f) as usize
+        } else {
+            ((self.0 >> 2) & 0x3fff_ffff) as usize
+        }
+    }
+
+    /// Returns `true` if the payload is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+
+    /// The record pointer mask. Zero for arrays.
+    #[inline]
+    pub fn ptr_mask(self) -> u32 {
+        if self.0 & 0b11 == KIND_RECORD {
+            ((self.0 >> 7) & 0xff_ffff) as u32
+        } else {
+            0
+        }
+    }
+
+    /// Whether field `i` of this object is a pointer.
+    ///
+    /// Records consult the mask; every pointer-array element is a pointer;
+    /// raw-array bytes never are.
+    #[inline]
+    pub fn field_is_pointer(self, i: usize) -> bool {
+        match self.0 & 0b11 {
+            KIND_RECORD => (self.ptr_mask() >> i) & 1 == 1,
+            KIND_PTR_ARRAY => true,
+            _ => false,
+        }
+    }
+
+    /// The allocation site recorded in the header.
+    #[inline]
+    pub fn site(self) -> SiteId {
+        debug_assert!(!self.is_forward());
+        SiteId::new(((self.0 >> 32) & 0xffff) as u16)
+    }
+
+    /// Number of minor collections this object has survived (saturating at
+    /// 255).
+    #[inline]
+    pub fn age(self) -> u8 {
+        debug_assert!(!self.is_forward());
+        ((self.0 >> 48) & 0xff) as u8
+    }
+
+    /// A copy of this header with the age replaced.
+    #[inline]
+    pub fn with_age(self, age: u8) -> Header {
+        debug_assert!(!self.is_forward());
+        Header((self.0 & !(0xffu64 << 48)) | (u64::from(age) << 48))
+    }
+
+    /// Whether the object's *dirty* bit is set (used by the object-marking
+    /// write barrier to deduplicate repeated updates to one object).
+    #[inline]
+    pub fn is_dirty(self) -> bool {
+        debug_assert!(!self.is_forward());
+        (self.0 >> 56) & 1 == 1
+    }
+
+    /// A copy of this header with the dirty bit set or cleared.
+    #[inline]
+    pub fn with_dirty(self, dirty: bool) -> Header {
+        debug_assert!(!self.is_forward());
+        Header((self.0 & !(1u64 << 56)) | (u64::from(dirty) << 56))
+    }
+
+    /// Payload size in whole words (excluding the header word).
+    #[inline]
+    pub fn payload_words(self) -> usize {
+        match self.0 & 0b11 {
+            KIND_RAW_ARRAY => crate::bytes_to_words(self.len()),
+            _ => self.len(),
+        }
+    }
+
+    /// Total object size in words, including the header word.
+    #[inline]
+    pub fn size_words(self) -> usize {
+        1 + self.payload_words()
+    }
+
+    /// Total object size in bytes, including the header word. This is the
+    /// quantity the paper's "Data copied (bytes)" columns count.
+    #[inline]
+    pub fn size_bytes(self) -> usize {
+        crate::words_to_bytes(self.size_words())
+    }
+}
+
+impl fmt::Debug for Header {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(to) = self.forward_addr() {
+            return write!(f, "Header(forward -> {to})");
+        }
+        write!(
+            f,
+            "Header({} len={} mask={:#b} site={} age={})",
+            self.kind(),
+            self.len(),
+            self.ptr_mask(),
+            self.site(),
+            self.age()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trip() {
+        let h = Header::record(24, 0xaa_aaaa & ((1 << 24) - 1), SiteId::new(65535)).unwrap();
+        assert_eq!(h.kind(), ObjectKind::Record);
+        assert_eq!(h.len(), 24);
+        assert_eq!(h.ptr_mask(), 0xaa_aaaa);
+        assert_eq!(h.site(), SiteId::new(65535));
+        assert_eq!(h.age(), 0);
+        assert_eq!(h.size_words(), 25);
+        assert!(!h.is_forward());
+    }
+
+    #[test]
+    fn record_too_long_is_rejected() {
+        assert_eq!(
+            Header::record(25, 0, SiteId::UNKNOWN),
+            Err(MemError::ObjectTooLarge { words: 25 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "pointer mask")]
+    fn record_mask_wider_than_len_panics() {
+        let _ = Header::record(2, 0b100, SiteId::UNKNOWN);
+    }
+
+    #[test]
+    fn ptr_array_round_trip() {
+        let h = Header::ptr_array(1000, SiteId::new(3)).unwrap();
+        assert_eq!(h.kind(), ObjectKind::PtrArray);
+        assert_eq!(h.len(), 1000);
+        assert!(h.field_is_pointer(999));
+        assert_eq!(h.size_words(), 1001);
+        assert_eq!(h.site(), SiteId::new(3));
+    }
+
+    #[test]
+    fn raw_array_rounds_bytes_up_to_words() {
+        let h = Header::raw_array(17, SiteId::new(4)).unwrap();
+        assert_eq!(h.kind(), ObjectKind::RawArray);
+        assert_eq!(h.len(), 17);
+        assert_eq!(h.payload_words(), 3);
+        assert_eq!(h.size_words(), 4);
+        assert!(!h.field_is_pointer(0));
+    }
+
+    #[test]
+    fn empty_objects() {
+        let h = Header::record(0, 0, SiteId::UNKNOWN).unwrap();
+        assert!(h.is_empty());
+        assert_eq!(h.size_words(), 1);
+        let h = Header::raw_array(0, SiteId::UNKNOWN).unwrap();
+        assert!(h.is_empty());
+        assert_eq!(h.size_words(), 1);
+    }
+
+    #[test]
+    fn oversized_arrays_are_rejected() {
+        assert!(Header::ptr_array(1 << 30, SiteId::UNKNOWN).is_err());
+        assert!(Header::raw_array(1 << 30, SiteId::UNKNOWN).is_err());
+        assert!(Header::ptr_array((1 << 30) - 1, SiteId::UNKNOWN).is_ok());
+    }
+
+    #[test]
+    fn forwarding() {
+        let h = Header::forward(Addr::new(0xdead));
+        assert!(h.is_forward());
+        assert_eq!(h.forward_addr(), Some(Addr::new(0xdead)));
+        let n = Header::ptr_array(1, SiteId::UNKNOWN).unwrap();
+        assert_eq!(n.forward_addr(), None);
+    }
+
+    #[test]
+    fn age_is_independent_of_other_fields() {
+        let h = Header::record(3, 0b111, SiteId::new(77)).unwrap();
+        let aged = h.with_age(9);
+        assert_eq!(aged.age(), 9);
+        assert_eq!(aged.len(), h.len());
+        assert_eq!(aged.ptr_mask(), h.ptr_mask());
+        assert_eq!(aged.site(), h.site());
+        assert_eq!(aged.with_age(0), h);
+    }
+
+    #[test]
+    fn dirty_bit_round_trip() {
+        let h = Header::ptr_array(4, SiteId::new(3)).unwrap();
+        assert!(!h.is_dirty());
+        let d = h.with_dirty(true);
+        assert!(d.is_dirty());
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.site(), SiteId::new(3));
+        assert_eq!(d.with_dirty(false), h);
+        // Independent of age.
+        assert_eq!(d.with_age(7).age(), 7);
+        assert!(d.with_age(7).is_dirty());
+    }
+
+    #[test]
+    fn raw_word_round_trip() {
+        let h = Header::ptr_array(5, SiteId::new(2)).unwrap();
+        assert_eq!(Header::from_raw(h.raw()), h);
+    }
+
+    #[test]
+    #[should_panic(expected = "kind() called on forwarding header")]
+    fn kind_of_forward_panics() {
+        let _ = Header::forward(Addr::new(1)).kind();
+    }
+}

@@ -1,0 +1,244 @@
+use crate::{Addr, MemError, SpaceRange};
+
+/// Size of a machine word, in bytes. The simulation models a 64-bit machine
+/// (the paper's DEC Alpha 21064 is 64-bit).
+pub const WORD_BYTES: usize = 8;
+
+/// The flat simulated address space.
+///
+/// All heap spaces — semispaces, nursery, tenured area, large-object space,
+/// pretenured regions — are carved out of one `Memory` with
+/// [`reserve`](Memory::reserve), so that a heap pointer is a plain word
+/// index valid anywhere, exactly like a machine address. Word 0 is reserved
+/// for the null pointer.
+///
+/// Accessors panic on out-of-bounds addresses: in this simulator an invalid
+/// address is a collector bug, never a recoverable runtime condition.
+/// Checked variants ([`try_word`](Memory::try_word)) exist for verifiers
+/// that probe arbitrary words.
+///
+/// # Example
+///
+/// ```
+/// use tilgc_mem::{Memory, Addr};
+///
+/// let mut mem = Memory::with_capacity_words(64);
+/// let range = mem.reserve(16)?;
+/// mem.set_word(range.start, 0xfeed);
+/// assert_eq!(mem.word(range.start), 0xfeed);
+/// # Ok::<(), tilgc_mem::MemError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Memory {
+    words: Vec<u64>,
+    reserved: usize,
+}
+
+impl Memory {
+    /// Creates an address space of `capacity` words, all zeroed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0 or exceeds `u32::MAX` (addresses are 32-bit
+    /// word indices).
+    pub fn with_capacity_words(capacity: usize) -> Memory {
+        assert!(capacity > 0, "memory capacity must be positive");
+        assert!(capacity <= u32::MAX as usize, "memory capacity exceeds 32-bit addressing");
+        Memory { words: vec![0; capacity], reserved: 1 }
+    }
+
+    /// Creates an address space sized in bytes (rounded down to whole
+    /// words).
+    pub fn with_capacity_bytes(capacity: usize) -> Memory {
+        Memory::with_capacity_words(capacity / WORD_BYTES)
+    }
+
+    /// Total capacity in words.
+    #[inline]
+    pub fn capacity_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Words not yet handed out by [`reserve`](Memory::reserve).
+    #[inline]
+    pub fn unreserved_words(&self) -> usize {
+        self.words.len() - self.reserved
+    }
+
+    /// Reserves the next `words` words as a fresh, exclusively owned range.
+    ///
+    /// Reservations never overlap and are never reclaimed; collectors size
+    /// the address space up-front and move logical space boundaries instead
+    /// (heap "resizing" in the paper's sense changes a space's *limit*, not
+    /// its reservation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::AddressSpaceExhausted`] if fewer than `words`
+    /// words remain unreserved.
+    pub fn reserve(&mut self, words: usize) -> Result<SpaceRange, MemError> {
+        if words > self.unreserved_words() {
+            return Err(MemError::AddressSpaceExhausted {
+                requested: words,
+                available: self.unreserved_words(),
+            });
+        }
+        let start = Addr::new(self.reserved as u32);
+        self.reserved += words;
+        Ok(SpaceRange { start, end: start + words })
+    }
+
+    /// Reads the word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is null or out of bounds.
+    #[inline]
+    pub fn word(&self, addr: Addr) -> u64 {
+        debug_assert!(!addr.is_null(), "read through null address");
+        self.words[addr.index()]
+    }
+
+    /// Reads the word at `addr`, or `None` if out of bounds or null.
+    #[inline]
+    pub fn try_word(&self, addr: Addr) -> Option<u64> {
+        if addr.is_null() {
+            return None;
+        }
+        self.words.get(addr.index()).copied()
+    }
+
+    /// Writes the word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is null or out of bounds.
+    #[inline]
+    pub fn set_word(&mut self, addr: Addr, value: u64) {
+        debug_assert!(!addr.is_null(), "write through null address");
+        self.words[addr.index()] = value;
+    }
+
+    /// Reads the word at `addr` as an IEEE-754 double (TIL stores unboxed
+    /// floats directly in raw arrays).
+    #[inline]
+    pub fn f64_at(&self, addr: Addr) -> f64 {
+        f64::from_bits(self.word(addr))
+    }
+
+    /// Writes an IEEE-754 double into the word at `addr`.
+    #[inline]
+    pub fn set_f64(&mut self, addr: Addr, value: f64) {
+        self.set_word(addr, value.to_bits());
+    }
+
+    /// Copies `len` words from `src` to `dst` (the Cheney copy step).
+    ///
+    /// The ranges may not overlap — collectors only ever copy between
+    /// distinct spaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either range is out of bounds or if the ranges overlap.
+    pub fn copy_words(&mut self, src: Addr, dst: Addr, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let (s, d) = (src.index(), dst.index());
+        assert!(
+            s + len <= d || d + len <= s,
+            "overlapping copy: src={src} dst={dst} len={len}"
+        );
+        let (lo, hi, src_is_lo) = if s < d { (s, d, true) } else { (d, s, false) };
+        let (a, b) = self.words.split_at_mut(hi);
+        if src_is_lo {
+            b[..len].copy_from_slice(&a[lo..lo + len]);
+        } else {
+            a[lo..lo + len].copy_from_slice(&b[..len]);
+        }
+    }
+
+    /// Fills `len` words starting at `addr` with `value`. Used to poison
+    /// vacated semispaces in debug builds so stale reads fail loudly.
+    pub fn fill(&mut self, addr: Addr, len: usize, value: u64) {
+        let i = addr.index();
+        self.words[i..i + len].fill(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_is_disjoint_and_skips_null() {
+        let mut mem = Memory::with_capacity_words(100);
+        let a = mem.reserve(10).unwrap();
+        let b = mem.reserve(10).unwrap();
+        assert_eq!(a.start, Addr::new(1), "word 0 must stay reserved for null");
+        assert_eq!(a.end, b.start);
+        assert_eq!(mem.unreserved_words(), 79);
+    }
+
+    #[test]
+    fn reserve_exhaustion() {
+        let mut mem = Memory::with_capacity_words(16);
+        assert!(mem.reserve(15).is_ok());
+        assert_eq!(
+            mem.reserve(1),
+            Err(MemError::AddressSpaceExhausted { requested: 1, available: 0 })
+        );
+    }
+
+    #[test]
+    fn word_round_trip() {
+        let mut mem = Memory::with_capacity_words(8);
+        mem.set_word(Addr::new(3), u64::MAX);
+        assert_eq!(mem.word(Addr::new(3)), u64::MAX);
+        assert_eq!(mem.try_word(Addr::new(3)), Some(u64::MAX));
+        assert_eq!(mem.try_word(Addr::new(99)), None);
+        assert_eq!(mem.try_word(Addr::NULL), None);
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let mut mem = Memory::with_capacity_words(8);
+        mem.set_f64(Addr::new(1), -1.5e300);
+        assert_eq!(mem.f64_at(Addr::new(1)), -1.5e300);
+    }
+
+    #[test]
+    fn copy_words_both_directions() {
+        let mut mem = Memory::with_capacity_words(32);
+        for i in 0..4 {
+            mem.set_word(Addr::new(1 + i), u64::from(10 + i));
+        }
+        mem.copy_words(Addr::new(1), Addr::new(16), 4);
+        for i in 0..4 {
+            assert_eq!(mem.word(Addr::new(16 + i)), u64::from(10 + i));
+        }
+        mem.copy_words(Addr::new(16), Addr::new(8), 4);
+        assert_eq!(mem.word(Addr::new(8)), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping copy")]
+    fn overlapping_copy_panics() {
+        let mut mem = Memory::with_capacity_words(32);
+        mem.copy_words(Addr::new(1), Addr::new(2), 4);
+    }
+
+    #[test]
+    fn fill_poisons_range() {
+        let mut mem = Memory::with_capacity_words(16);
+        mem.fill(Addr::new(4), 4, 0xdead_beef);
+        assert_eq!(mem.word(Addr::new(7)), 0xdead_beef);
+        assert_eq!(mem.word(Addr::new(8)), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        let _ = Memory::with_capacity_words(0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the memory substrate: header encodings round-trip
+//! for every legal input, and the object walker tiles spaces exactly.
+
+use proptest::prelude::*;
+use tilgc_mem::{object, Addr, Header, Memory, ObjectKind, SiteId, Space};
+
+proptest! {
+    /// Record headers round-trip every legal (len, mask, site, age)
+    /// combination through the packed word.
+    #[test]
+    fn record_header_round_trip(
+        len in 0usize..=24,
+        mask_bits in any::<u32>(),
+        site in any::<u16>(),
+        age in any::<u8>(),
+        dirty in any::<bool>(),
+    ) {
+        let mask = if len == 0 { 0 } else { mask_bits & ((1u32 << len) - 1) };
+        let h = Header::record(len, mask, SiteId::new(site))
+            .expect("len <= 24 is valid")
+            .with_age(age)
+            .with_dirty(dirty);
+        prop_assert_eq!(h.kind(), ObjectKind::Record);
+        prop_assert_eq!(h.len(), len);
+        prop_assert_eq!(h.ptr_mask(), mask);
+        prop_assert_eq!(h.site(), SiteId::new(site));
+        prop_assert_eq!(h.age(), age);
+        prop_assert_eq!(h.is_dirty(), dirty);
+        prop_assert_eq!(h.size_words(), 1 + len);
+        prop_assert!(!h.is_forward());
+        prop_assert_eq!(Header::from_raw(h.raw()), h);
+        for i in 0..len {
+            prop_assert_eq!(h.field_is_pointer(i), (mask >> i) & 1 == 1);
+        }
+    }
+
+    /// Array headers round-trip lengths across the full 30-bit range.
+    #[test]
+    fn array_header_round_trip(
+        len in 0usize..(1 << 30),
+        site in any::<u16>(),
+        raw in any::<bool>(),
+    ) {
+        let h = if raw {
+            Header::raw_array(len, SiteId::new(site)).expect("30-bit length")
+        } else {
+            Header::ptr_array(len, SiteId::new(site)).expect("30-bit length")
+        };
+        prop_assert_eq!(h.len(), len);
+        prop_assert_eq!(h.site(), SiteId::new(site));
+        if raw {
+            prop_assert_eq!(h.kind(), ObjectKind::RawArray);
+            prop_assert_eq!(h.payload_words(), len.div_ceil(8));
+            prop_assert!(!h.field_is_pointer(0));
+        } else {
+            prop_assert_eq!(h.kind(), ObjectKind::PtrArray);
+            prop_assert_eq!(h.payload_words(), len);
+            if len > 0 {
+                prop_assert!(h.field_is_pointer(len - 1));
+            }
+        }
+    }
+
+    /// Forwarding headers preserve the full 32-bit address space.
+    #[test]
+    fn forward_header_round_trip(addr in any::<u32>()) {
+        let h = Header::forward(Addr::new(addr));
+        prop_assert!(h.is_forward());
+        prop_assert_eq!(h.forward_addr(), Some(Addr::new(addr)));
+    }
+
+    /// The walker visits exactly the objects allocated, in order, with
+    /// the right headers — for arbitrary allocation sequences.
+    #[test]
+    fn walk_tiles_arbitrary_allocation_sequences(
+        objs in proptest::collection::vec(
+            (0usize..=8, any::<u16>(), prop_oneof![Just(0u8), Just(1), Just(2)]),
+            0..40,
+        )
+    ) {
+        let mut mem = Memory::with_capacity_words(1 << 16);
+        let mut space = Space::new(mem.reserve(1 << 15).expect("reserve"));
+        let start = space.frontier();
+        let mut expected = Vec::new();
+        for (len, site, kind) in objs {
+            let site = SiteId::new(site);
+            let addr = match kind {
+                0 => object::alloc_record(
+                    &mut mem,
+                    &mut space,
+                    site,
+                    &vec![7u64; len],
+                    0,
+                )
+                .expect("fits"),
+                1 => object::alloc_ptr_array(&mut mem, &mut space, site, len, Addr::NULL)
+                    .expect("fits"),
+                _ => object::alloc_raw_array(&mut mem, &mut space, site, len * 8)
+                    .expect("fits"),
+            };
+            expected.push((addr, site, len));
+        }
+        let walked: Vec<_> = object::walk(&mem, start, space.frontier())
+            .map(|e| (e.addr, e.header.site(), e.header.payload_words()))
+            .collect();
+        prop_assert_eq!(walked.len(), expected.len());
+        for ((wa, ws, wp), (ea, es, el)) in walked.iter().zip(&expected) {
+            prop_assert_eq!(wa, ea);
+            prop_assert_eq!(ws, es);
+            prop_assert_eq!(wp, el);
+        }
+    }
+
+    /// Byte accessors on raw arrays behave like a plain byte buffer.
+    #[test]
+    fn raw_array_bytes_behave_like_a_buffer(
+        len in 1usize..100,
+        writes in proptest::collection::vec((any::<u16>(), any::<u8>()), 0..50),
+    ) {
+        let mut mem = Memory::with_capacity_words(1 << 12);
+        let mut space = Space::new(mem.reserve(1 << 11).expect("reserve"));
+        let arr = object::alloc_raw_array(&mut mem, &mut space, SiteId::UNKNOWN, len)
+            .expect("fits");
+        let mut model = vec![0u8; len];
+        for (i, v) in writes {
+            let i = (i as usize) % len;
+            object::set_byte(&mut mem, arr, i, v);
+            model[i] = v;
+        }
+        for (i, &m) in model.iter().enumerate() {
+            prop_assert_eq!(object::byte(&mem, arr, i), m);
+        }
+    }
+}

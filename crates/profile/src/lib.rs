@@ -1,0 +1,45 @@
+//! Heap-profile analysis for profile-driven pretenuring (§6 of Cheng,
+//! Harper, Lee; PLDI 1998).
+//!
+//! The collectors in `tilgc-core` gather a raw
+//! [`HeapProfile`](tilgc_runtime::HeapProfile) when profiling is enabled;
+//! this crate turns it into:
+//!
+//! * the paper's **Figure-2 report** — per-site allocation volume,
+//!   survival rate (`old%`), average age and copy volume, with the
+//!   bimodal layout and the targeted-coverage footer ([`render_report`]);
+//! * a **pretenuring policy** — sites with `old%` above the cutoff
+//!   (80 % in the paper) are tenured at birth ([`derive_policy`]),
+//!   optionally extended with the §7.2 *no-scan* analysis
+//!   (`P(s) ⊆ S` over observed pointer edges).
+//!
+//! # Typical workflow
+//!
+//! ```no_run
+//! use tilgc_core::{build_vm, CollectorKind, GcConfig};
+//! use tilgc_profile::{derive_policy, render_report, PolicyOptions, ReportOptions};
+//!
+//! // 1. Profiling run.
+//! let config = GcConfig::new().profiling(true);
+//! let mut vm = build_vm(CollectorKind::GenerationalStack, &config);
+//! // ... run the program ...
+//! vm.finish();
+//! let profile = vm.take_profile().expect("profiling enabled");
+//! println!("{}", render_report("myprog", &profile, &vm.mutator().sites,
+//!                              &ReportOptions::default()));
+//!
+//! // 2. Production run with the derived policy.
+//! let policy = derive_policy(&profile, &PolicyOptions::default());
+//! let config = GcConfig::new().pretenure(policy);
+//! let vm = build_vm(CollectorKind::GenerationalStackPretenure, &config);
+//! // ... run the program again, now with pretenuring ...
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod policy;
+mod report;
+
+pub use policy::{coverage, derive_policy, Coverage, PolicyOptions};
+pub use report::{render_report, ReportOptions};

@@ -1,0 +1,126 @@
+//! `Checksum` — the checksum fragment from the Foxnet TCP/IP stack
+//! (Biagioni et al. 1994).
+//!
+//! Each iteration materializes a 16 KB buffer as a chain of small records
+//! (the functional representation Foxnet's iterators traverse — this is
+//! why the paper's Table 2 shows Checksum allocating 1.4 GB of *records*
+//! and no arrays) and folds the Internet ones'-complement checksum over
+//! it. The stack stays four frames deep and almost nothing survives a
+//! collection: the benchmark isolates per-collection fixed overheads.
+
+use tilgc_mem::Addr;
+use tilgc_runtime::{DescId, FrameDesc, Trace, Value, Vm};
+
+use crate::common::{mix, XorShift};
+
+/// Data words per buffer chunk record (plus one link field).
+const CHUNK_WORDS: usize = 11;
+/// Simulated buffer size in bytes — 4 KB against the scaled 32 KB
+/// nursery, preserving the paper's buffer ≪ nursery relationship that
+/// lets the buffers die young.
+const BUFFER_BYTES: usize = 4 << 10;
+
+struct Frames {
+    main: DescId,
+    iter: DescId,
+    sum: DescId,
+}
+
+fn frames(vm: &mut Vm) -> Frames {
+    Frames {
+        main: vm.register_frame(FrameDesc::new("checksum::main").slot(Trace::NonPointer)),
+        iter: vm.register_frame(
+            FrameDesc::new("checksum::iter").slot(Trace::Pointer).slot(Trace::NonPointer),
+        ),
+        sum: vm.register_frame(FrameDesc::new("checksum::sum").slot(Trace::Pointer)),
+    }
+}
+
+/// Builds one 16 KB buffer as a chain of `CHUNK_WORDS`-word records.
+/// Returns the head of the chain; the caller roots it immediately.
+fn build_buffer(vm: &mut Vm, f: &Frames, site: tilgc_mem::SiteId, seed: u64) -> Addr {
+    vm.push_frame(f.iter);
+    vm.set_slot(0, Value::NULL);
+    let chunks = BUFFER_BYTES / (CHUNK_WORDS * 8);
+    let mut rng = XorShift::new(seed);
+    for _ in 0..chunks {
+        let prev = vm.slot_ptr(0);
+        let mut fields = [Value::Int(0); CHUNK_WORDS + 1];
+        for field in fields.iter_mut().take(CHUNK_WORDS) {
+            *field = Value::Int(rng.next_u64() as i64);
+        }
+        fields[CHUNK_WORDS] = Value::Ptr(prev);
+        let chunk = vm.alloc_record(site, &fields);
+        vm.set_slot(0, Value::Ptr(chunk));
+    }
+    let head = vm.slot_ptr(0);
+    vm.pop_frame();
+    head
+}
+
+/// Internet-style ones'-complement sum over the chain (non-allocating,
+/// but pushes the paper's fourth frame).
+fn checksum_buffer(vm: &mut Vm, f: &Frames, head: Addr) -> u16 {
+    vm.push_frame(f.sum);
+    vm.set_slot(0, Value::Ptr(head));
+    let mut acc: u32 = 0;
+    let mut cur = head;
+    while !cur.is_null() {
+        for i in 0..CHUNK_WORDS {
+            let w = vm.load_int(cur, i) as u64;
+            for half in 0..4 {
+                acc += ((w >> (16 * half)) & 0xffff) as u32;
+                acc = (acc & 0xffff) + (acc >> 16);
+            }
+        }
+        cur = vm.load_ptr(cur, CHUNK_WORDS);
+    }
+    vm.pop_frame();
+    !(acc as u16)
+}
+
+/// Runs the benchmark; `scale` multiplies the iteration count.
+pub fn run(vm: &mut Vm, scale: u32) -> u64 {
+    let f = frames(vm);
+    let site = vm.site("checksum::chunk");
+    vm.push_frame(f.main);
+    let iters = 150 * scale as u64;
+    let mut result = 0u64;
+    for i in 0..iters {
+        let head = build_buffer(vm, &f, site, i + 1);
+        let sum = checksum_buffer(vm, &f, head);
+        result = mix(result, u64::from(sum));
+    }
+    vm.pop_frame();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::{run_all_kinds, tiny_config};
+
+    #[test]
+    fn deterministic_and_collector_independent() {
+        let results = run_all_kinds(|vm| run(vm, 1), &tiny_config());
+        assert!(results.windows(2).all(|w| w[0] == w[1]), "results differ: {results:?}");
+    }
+
+    #[test]
+    fn stack_stays_shallow() {
+        let config = tiny_config();
+        let mut vm = tilgc_core::build_vm(tilgc_core::CollectorKind::Generational, &config);
+        run(&mut vm, 1);
+        assert!(vm.mutator().stack.stats().max_depth <= 5);
+        assert!(vm.gc_stats().collections > 0, "16 KB buffers must overflow a small nursery");
+    }
+
+    #[test]
+    fn allocation_is_record_dominated() {
+        let config = tiny_config();
+        let mut vm = tilgc_core::build_vm(tilgc_core::CollectorKind::Generational, &config);
+        run(&mut vm, 1);
+        let s = vm.mutator_stats();
+        assert!(s.record_bytes > 100 * s.array_bytes().max(1));
+    }
+}

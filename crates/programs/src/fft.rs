@@ -1,0 +1,205 @@
+//! `FFT` — fast Fourier transform multiplying polynomials (degrees up to
+//! 65 536 in the paper, scaled down here).
+//!
+//! The workload is array-dominated: unboxed double arrays big enough for
+//! the large-object space, a shallow stack, and almost no garbage — the
+//! paper measures FFT spending 0.2 % of its time in GC precisely because
+//! there is nothing for a collector to do. The polynomial product is
+//! computed with an in-place iterative radix-2 Cooley–Tukey transform.
+
+use tilgc_mem::Addr;
+use tilgc_runtime::{DescId, FrameDesc, Trace, Value, Vm};
+
+use crate::common::{mix, XorShift};
+
+struct Fft {
+    main: DescId,
+    transform: DescId,
+    re_site: tilgc_mem::SiteId,
+    im_site: tilgc_mem::SiteId,
+}
+
+fn setup(vm: &mut Vm) -> Fft {
+    Fft {
+        main: vm.register_frame(FrameDesc::new("fft::main").slots(4, Trace::Pointer)),
+        transform: vm.register_frame(
+            FrameDesc::new("fft::transform").slots(2, Trace::Pointer).slot(Trace::NonPointer),
+        ),
+        re_site: vm.site("fft::re"),
+        im_site: vm.site("fft::im"),
+    }
+}
+
+/// In-place iterative FFT over the two raw arrays (`inverse` flips the
+/// twiddle sign). Non-allocating: addresses stay valid throughout.
+fn fft_in_place(vm: &mut Vm, p: &Fft, re: Addr, im: Addr, n: usize, inverse: bool) {
+    vm.push_frame(p.transform);
+    vm.set_slot(0, Value::Ptr(re));
+    vm.set_slot(1, Value::Ptr(im));
+    vm.set_slot(2, Value::Int(n as i64));
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            let (ri, rj) = (vm.load_f64(re, i), vm.load_f64(re, j));
+            vm.store_f64(re, i, rj);
+            vm.store_f64(re, j, ri);
+            let (ii, ij) = (vm.load_f64(im, i), vm.load_f64(im, j));
+            vm.store_f64(im, i, ij);
+            vm.store_f64(im, j, ii);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2usize;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let (ar, ai) = (vm.load_f64(re, i + k), vm.load_f64(im, i + k));
+                let (br, bi) =
+                    (vm.load_f64(re, i + k + len / 2), vm.load_f64(im, i + k + len / 2));
+                let (tr, ti) = (br * cr - bi * ci, br * ci + bi * cr);
+                vm.store_f64(re, i + k, ar + tr);
+                vm.store_f64(im, i + k, ai + ti);
+                vm.store_f64(re, i + k + len / 2, ar - tr);
+                vm.store_f64(im, i + k + len / 2, ai - ti);
+                let ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    if inverse {
+        for i in 0..n {
+            let r = vm.load_f64(re, i);
+            let v = vm.load_f64(im, i);
+            vm.store_f64(re, i, r / n as f64);
+            vm.store_f64(im, i, v / n as f64);
+        }
+    }
+    vm.pop_frame();
+}
+
+/// Multiplies two pseudo-random polynomials of degree `deg` via FFT and
+/// checksums the rounded product coefficients.
+fn multiply_round(vm: &mut Vm, p: &Fft, deg: usize, seed: u64) -> u64 {
+    let n = (2 * deg).next_power_of_two();
+    vm.push_frame(p.main);
+    // slot0..3: re/im of combined input (packing both polynomials into
+    // one complex transform).
+    let re = vm.alloc_raw_array(p.re_site, n * 8);
+    vm.set_slot(0, Value::Ptr(re));
+    let im = vm.alloc_raw_array(p.im_site, n * 8);
+    vm.set_slot(1, Value::Ptr(im));
+    let re = vm.slot_ptr(0);
+    let im = vm.slot_ptr(1);
+    let mut rng = XorShift::new(seed);
+    for i in 0..deg {
+        // a in the real part, b in the imaginary part.
+        vm.store_f64(re, i, (rng.below(100)) as f64);
+        vm.store_f64(im, i, (rng.below(100)) as f64);
+    }
+    fft_in_place(vm, p, re, im, n, false);
+    // Pointwise: c(w) = A(w)·B(w) recovered from the packed transform:
+    // A = (F + conj(F rev))/2, B = (F - conj(F rev))/2i.
+    let pr = vm.alloc_raw_array(p.re_site, n * 8);
+    vm.set_slot(2, Value::Ptr(pr));
+    let pi = vm.alloc_raw_array(p.im_site, n * 8);
+    vm.set_slot(3, Value::Ptr(pi));
+    let re = vm.slot_ptr(0);
+    let im = vm.slot_ptr(1);
+    let pr = vm.slot_ptr(2);
+    let pi = vm.slot_ptr(3);
+    for k in 0..n {
+        let krev = (n - k) % n;
+        let (fr, fi) = (vm.load_f64(re, k), vm.load_f64(im, k));
+        let (gr, gi) = (vm.load_f64(re, krev), -vm.load_f64(im, krev));
+        let (ar, ai) = ((fr + gr) / 2.0, (fi + gi) / 2.0);
+        let (br, bi) = ((fi - gi) / 2.0, (gr - fr) / 2.0);
+        vm.store_f64(pr, k, ar * br - ai * bi);
+        vm.store_f64(pi, k, ar * bi + ai * br);
+    }
+    fft_in_place(vm, p, pr, pi, n, true);
+    let pr = vm.slot_ptr(2);
+    let mut h = 0u64;
+    for i in 0..(2 * deg - 1) {
+        let c = vm.load_f64(pr, i).round() as i64;
+        h = mix(h, c as u64);
+    }
+    vm.pop_frame();
+    h
+}
+
+/// Runs the benchmark: polynomial products of doubling degrees up to
+/// `256 << scale`.
+pub fn run(vm: &mut Vm, scale: u32) -> u64 {
+    let p = setup(vm);
+    let mut h = 0u64;
+    let mut deg = 64usize;
+    let max_deg = 256usize << scale.min(8);
+    let mut seed = 1;
+    while deg <= max_deg {
+        h = mix(h, multiply_round(vm, &p, deg, seed));
+        seed += 1;
+        deg *= 2;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::{run_all_kinds, tiny_config};
+    use tilgc_core::{build_vm, CollectorKind};
+
+    #[test]
+    fn fft_multiplication_matches_schoolbook() {
+        let mut vm = build_vm(CollectorKind::Generational, &tiny_config());
+        let p = setup(&mut vm);
+        // Reproduce the same pseudo-random polynomials host-side.
+        let deg = 64;
+        let mut rng = XorShift::new(5);
+        let mut a = vec![0i64; deg];
+        let mut b = vec![0i64; deg];
+        for i in 0..deg {
+            a[i] = rng.below(100) as i64;
+            b[i] = rng.below(100) as i64;
+        }
+        let mut expect = vec![0i64; 2 * deg - 1];
+        for i in 0..deg {
+            for j in 0..deg {
+                expect[i + j] += a[i] * b[j];
+            }
+        }
+        let mut h = 0u64;
+        for &c in &expect {
+            h = mix(h, c as u64);
+        }
+        assert_eq!(multiply_round(&mut vm, &p, deg, 5), h);
+    }
+
+    #[test]
+    fn arrays_dominate_allocation() {
+        let mut vm = build_vm(CollectorKind::Generational, &tiny_config());
+        run(&mut vm, 1);
+        let s = vm.mutator_stats();
+        assert!(s.array_bytes() > 50 * s.record_bytes.max(1));
+    }
+
+    #[test]
+    fn deterministic_and_collector_independent() {
+        let results = run_all_kinds(|vm| run(vm, 0), &tiny_config());
+        assert!(results.windows(2).all(|w| w[0] == w[1]), "results differ: {results:?}");
+    }
+}

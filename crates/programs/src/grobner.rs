@@ -1,0 +1,569 @@
+//! `Gröbner` — Buchberger's algorithm computing a Gröbner basis.
+//!
+//! Polynomials over GF(32003) in three variables, represented as sorted
+//! linked lists of monomial records (coefficient, packed exponent vector,
+//! next). Reduction and S-polynomial formation churn through short-lived
+//! list cells while the growing basis is medium-lived — the paper's
+//! profile of a symbolic-computation workload (139 MB allocated, 128 KB
+//! max live, moderate stack).
+
+use tilgc_mem::{Addr, SiteId};
+use tilgc_runtime::{DescId, FrameDesc, Trace, Value, Vm};
+
+use crate::common::{mix, tail};
+
+const P: i64 = 32003;
+/// Exponents are packed base-64: x^a y^b z^c ⇒ a + 64 b + 4096 c.
+const B: i64 = 64;
+
+fn mono_mul(a: i64, b: i64) -> i64 {
+    let m = a + b;
+    debug_assert!(
+        m % B < B && (m / B) % B < B && m / (B * B) < B,
+        "monomial exponent overflow"
+    );
+    m
+}
+
+fn mono_divides(a: i64, b: i64) -> bool {
+    // a | b componentwise.
+    let (a1, a2, a3) = (a % B, (a / B) % B, a / (B * B));
+    let (b1, b2, b3) = (b % B, (b / B) % B, b / (B * B));
+    a1 <= b1 && a2 <= b2 && a3 <= b3
+}
+
+fn mono_div(b: i64, a: i64) -> i64 {
+    b - a
+}
+
+fn mono_lcm(a: i64, b: i64) -> i64 {
+    let (a1, a2, a3) = (a % B, (a / B) % B, a / (B * B));
+    let (b1, b2, b3) = (b % B, (b / B) % B, b / (B * B));
+    a1.max(b1) + B * a2.max(b2) + B * B * a3.max(b3)
+}
+
+/// Graded lexicographic order on packed monomials.
+fn mono_cmp(a: i64, b: i64) -> std::cmp::Ordering {
+    let deg = |m: i64| m % B + (m / B) % B + m / (B * B);
+    deg(a).cmp(&deg(b)).then_with(|| {
+        let key = |m: i64| (m % B, (m / B) % B, m / (B * B));
+        key(a).cmp(&key(b))
+    })
+}
+
+fn inv_mod(a: i64) -> i64 {
+    // Fermat: a^(P-2) mod P.
+    let mut base = a.rem_euclid(P);
+    let mut exp = P - 2;
+    let mut acc = 1i64;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc * base % P;
+        }
+        base = base * base % P;
+        exp >>= 1;
+    }
+    acc
+}
+
+struct Grobner {
+    work: DescId,
+    term_site: SiteId,
+    hist_site: SiteId,
+    basis_site: SiteId,
+    pair_site: SiteId,
+}
+
+fn setup(vm: &mut Vm) -> Grobner {
+    Grobner {
+        work: vm.register_frame(
+            FrameDesc::new("grobner::work")
+                .slots(6, Trace::Pointer)
+                .slots(2, Trace::NonPointer),
+        ),
+        term_site: vm.site("grobner::term"),
+        hist_site: vm.site("grobner::history"),
+        basis_site: vm.site("grobner::basis"),
+        pair_site: vm.site("grobner::pair"),
+    }
+}
+
+/// Term records: `[coef, mono, next]` with only `next` a pointer.
+fn term(vm: &mut Vm, p: &Grobner, coef: i64, mono: i64, next: Addr) -> Addr {
+    vm.alloc_record(p.term_site, &[Value::Int(coef), Value::Int(mono), Value::Ptr(next)])
+}
+
+fn coef(vm: &mut Vm, t: Addr) -> i64 {
+    vm.load_int(t, 0)
+}
+
+fn mono(vm: &mut Vm, t: Addr) -> i64 {
+    vm.load_int(t, 1)
+}
+
+fn next(vm: &mut Vm, t: Addr) -> Addr {
+    vm.load_ptr(t, 2)
+}
+
+/// Builds a polynomial from `(coef, mono)` pairs. The representation
+/// invariant — strictly descending monomial order with no duplicates —
+/// is established here: terms are sorted and equal monomials are combined
+/// modulo P (dropping cancellations).
+fn poly_from(vm: &mut Vm, p: &Grobner, terms: &[(i64, i64)]) -> Addr {
+    let mut terms = terms.to_vec();
+    terms.sort_by(|a, b| mono_cmp(a.1, b.1));
+    let mut combined: Vec<(i64, i64)> = Vec::new();
+    for (c, m) in terms {
+        match combined.last_mut() {
+            Some(last) if last.1 == m => last.0 = (last.0 + c).rem_euclid(P),
+            _ => combined.push((c.rem_euclid(P), m)),
+        }
+    }
+    combined.retain(|&(c, _)| c != 0);
+    vm.push_frame(p.work);
+    vm.set_slot(0, Value::NULL);
+    for &(c, m) in combined.iter() {
+        let acc = vm.slot_ptr(0);
+        let t = term(vm, p, c, m, acc);
+        vm.set_slot(0, Value::Ptr(t));
+    }
+    let out = vm.slot_ptr(0);
+    vm.pop_frame();
+    out
+}
+
+/// `a + scale · x^shift · b` over GF(P). The workhorse of reduction:
+/// merges two sorted term lists, allocating the result afresh.
+fn poly_add_scaled(vm: &mut Vm, p: &Grobner, a: Addr, b: Addr, scale: i64, shift: i64) -> Addr {
+    vm.push_frame(p.work);
+    vm.set_slot(0, Value::Ptr(a));
+    vm.set_slot(1, Value::Ptr(b));
+    vm.set_slot(2, Value::NULL); // reversed accumulator
+    loop {
+        let a = vm.slot_ptr(0);
+        let b = vm.slot_ptr(1);
+        let (c, m) = if a.is_null() && b.is_null() {
+            break;
+        } else if a.is_null() {
+            let c = coef(vm, b) * scale % P;
+            let m = mono_mul(mono(vm, b), shift);
+            let nb = next(vm, b);
+            vm.set_slot(1, Value::Ptr(nb));
+            (c, m)
+        } else if b.is_null() {
+            let c = coef(vm, a);
+            let m = mono(vm, a);
+            let na = next(vm, a);
+            vm.set_slot(0, Value::Ptr(na));
+            (c, m)
+        } else {
+            let ma = mono(vm, a);
+            let mb = mono_mul(mono(vm, b), shift);
+            match mono_cmp(ma, mb) {
+                std::cmp::Ordering::Greater => {
+                    let c = coef(vm, a);
+                    let na = next(vm, a);
+                    vm.set_slot(0, Value::Ptr(na));
+                    (c, ma)
+                }
+                std::cmp::Ordering::Less => {
+                    let c = coef(vm, b) * scale % P;
+                    let nb = next(vm, b);
+                    vm.set_slot(1, Value::Ptr(nb));
+                    (c, mb)
+                }
+                std::cmp::Ordering::Equal => {
+                    let c = (coef(vm, a) + coef(vm, b) * scale) % P;
+                    let na = next(vm, a);
+                    let nb = next(vm, b);
+                    vm.set_slot(0, Value::Ptr(na));
+                    vm.set_slot(1, Value::Ptr(nb));
+                    (c, ma)
+                }
+            }
+        };
+        if c.rem_euclid(P) != 0 {
+            let acc = vm.slot_ptr(2);
+            let t = term(vm, p, c.rem_euclid(P), m, acc);
+            vm.set_slot(2, Value::Ptr(t));
+        }
+    }
+    // Reverse the accumulator back into descending order.
+    vm.set_slot(0, Value::NULL);
+    loop {
+        let acc = vm.slot_ptr(2);
+        if acc.is_null() {
+            break;
+        }
+        let c = coef(vm, acc);
+        let m = mono(vm, acc);
+        let n = next(vm, acc);
+        vm.set_slot(2, Value::Ptr(n));
+        let out = vm.slot_ptr(0);
+        let t = term(vm, p, c, m, out);
+        vm.set_slot(0, Value::Ptr(t));
+    }
+    let out = vm.slot_ptr(0);
+    vm.pop_frame();
+    out
+}
+
+/// Fully reduces `f` modulo the basis (a list of `[poly] `cells): repeat
+/// until no leading term of a basis element divides the leading term of
+/// the remainder; reduced terms are moved to the result.
+fn normal_form(vm: &mut Vm, p: &Grobner, f: Addr, basis: Addr) -> Addr {
+    vm.push_frame(p.work);
+    vm.set_slot(0, Value::Ptr(f)); // remainder
+    vm.set_slot(1, Value::Ptr(basis));
+    vm.set_slot(2, Value::NULL); // result (reversed)
+    #[cfg(feature = "kb-trace")]
+    let mut steps = 0u64;
+    'outer: loop {
+        #[cfg(feature = "kb-trace")]
+        {
+            steps += 1;
+            if steps % 1000 == 0 {
+                eprintln!("    normal_form steps={steps}");
+            }
+        }
+        let rem = vm.slot_ptr(0);
+        if rem.is_null() {
+            break;
+        }
+        let lm = mono(vm, rem);
+        let lc = coef(vm, rem);
+        // Find a reducer.
+        let mut g = vm.slot_ptr(1);
+        while !g.is_null() {
+            let gp = vm.load_ptr(g, 0);
+            let gm = mono(vm, gp);
+            if mono_divides(gm, lm) {
+                // rem ← rem − (lc/gc) · x^(lm−gm) · g
+                let gc = coef(vm, gp);
+                let factor = (P - lc * inv_mod(gc) % P) % P;
+                let shift = mono_div(lm, gm);
+                let rem = vm.slot_ptr(0);
+                let reduced = poly_add_scaled(vm, p, rem, gp, factor, shift);
+                vm.set_slot(0, Value::Ptr(reduced));
+                continue 'outer;
+            }
+            g = tail(vm, g);
+        }
+        // Irreducible leading term: move it to the result.
+        let rem = vm.slot_ptr(0);
+        let (c, m) = (coef(vm, rem), mono(vm, rem));
+        let n = next(vm, rem);
+        vm.set_slot(0, Value::Ptr(n));
+        let out = vm.slot_ptr(2);
+        let t = term(vm, p, c, m, out);
+        vm.set_slot(2, Value::Ptr(t));
+    }
+    // Reverse the result.
+    vm.set_slot(0, Value::NULL);
+    loop {
+        let acc = vm.slot_ptr(2);
+        if acc.is_null() {
+            break;
+        }
+        let (c, m) = (coef(vm, acc), mono(vm, acc));
+        let n = next(vm, acc);
+        vm.set_slot(2, Value::Ptr(n));
+        let out = vm.slot_ptr(0);
+        let t = term(vm, p, c, m, out);
+        vm.set_slot(0, Value::Ptr(t));
+    }
+    let out = vm.slot_ptr(0);
+    vm.pop_frame();
+    out
+}
+
+/// The S-polynomial of `f` and `g`.
+fn s_poly(vm: &mut Vm, p: &Grobner, f: Addr, g: Addr) -> Addr {
+    vm.push_frame(p.work);
+    vm.set_slot(0, Value::Ptr(f));
+    vm.set_slot(1, Value::Ptr(g));
+    let (fm, fc) = (mono(vm, f), coef(vm, f));
+    let (gm, gc) = (mono(vm, g), coef(vm, g));
+    let l = mono_lcm(fm, gm);
+    // s = x^(l−fm)·f − (fc/gc)·x^(l−gm)·g, built as two scaled adds.
+    let f = vm.slot_ptr(0);
+    let lifted_f = poly_add_scaled(vm, p, Addr::NULL, f, 1, mono_div(l, fm));
+    vm.set_slot(2, Value::Ptr(lifted_f));
+    let g = vm.slot_ptr(1);
+    let lifted_f = vm.slot_ptr(2);
+    let factor = (P - fc * inv_mod(gc) % P) % P;
+    let s = poly_add_scaled(vm, p, lifted_f, g, factor, mono_div(l, gm));
+    vm.pop_frame();
+    s
+}
+
+/// Buchberger's algorithm: returns the basis list.
+/// Buchberger's algorithm; returns `(basis, history)` — the caller must
+/// root both immediately. The history is the list of every nonzero
+/// reduced S-polynomial (the computation's retained derivation, which
+/// grows monotonically like the paper's long-lived Gröbner data).
+fn buchberger(
+    vm: &mut Vm,
+    p: &Grobner,
+    initial: &[Vec<(i64, i64)>],
+    max_pairs: usize,
+) -> (Addr, Addr) {
+    vm.push_frame(p.work);
+    vm.set_slot(0, Value::NULL); // basis (list of [poly] cells)
+    vm.set_slot(1, Value::NULL); // pair queue (list of [f, g] cells)
+    vm.set_slot(5, Value::NULL); // retained reduction history
+    for poly in initial {
+        let f = poly_from(vm, p, poly);
+        vm.set_slot(3, Value::Ptr(f));
+        // Pair the new polynomial with every basis element.
+        let mut g = vm.slot_ptr(0);
+        while !g.is_null() {
+            let gp = vm.load_ptr(g, 0);
+            let f = vm.slot_ptr(3);
+            vm.set_slot(4, Value::Ptr(g));
+            let pair =
+                vm.alloc_record(p.pair_site, &[Value::Ptr(f), Value::Ptr(gp)]);
+            let q = vm.slot_ptr(1);
+            vm.set_slot(2, Value::Ptr(pair));
+            let pair = vm.slot_ptr(2);
+            let cell = vm.alloc_record(p.pair_site, &[Value::Ptr(pair), Value::Ptr(q)]);
+            vm.set_slot(1, Value::Ptr(cell));
+            g = tail(vm, vm.slot_ptr(4));
+        }
+        let f = vm.slot_ptr(3);
+        let basis = vm.slot_ptr(0);
+        let cell = vm.alloc_record(p.basis_site, &[Value::Ptr(f), Value::Ptr(basis)]);
+        vm.set_slot(0, Value::Ptr(cell));
+    }
+    let mut pairs_done = 0;
+    loop {
+        if pairs_done >= max_pairs {
+            break;
+        }
+        let q = vm.slot_ptr(1);
+        if q.is_null() {
+            break;
+        }
+        pairs_done += 1;
+        #[cfg(feature = "kb-trace")]
+        eprintln!("  pair {pairs_done}");
+        let pair = vm.load_ptr(q, 0);
+        let f = vm.load_ptr(pair, 0);
+        let g = vm.load_ptr(pair, 1);
+        let nq = tail(vm, q);
+        vm.set_slot(1, Value::Ptr(nq));
+        // Degree-bounded completion: skip pairs whose lcm exceeds the
+        // bound. (Besides keeping the computation tractable, this keeps
+        // every exponent far below the base-64 packing limit.)
+        {
+            let l = mono_lcm(mono(vm, f), mono(vm, g));
+            let deg = l % B + (l / B) % B + l / (B * B);
+            if deg > 10 {
+                continue;
+            }
+        }
+        let s = s_poly(vm, p, f, g);
+        vm.set_slot(3, Value::Ptr(s));
+        // Discard enormous S-polynomials (the "sugar"-style size cut
+        // every practical prover applies) so reduction stays bounded.
+        {
+            let mut len = 0;
+            let mut t = vm.slot_ptr(3);
+            while !t.is_null() {
+                len += 1;
+                t = next(vm, t);
+            }
+            if len > 120 {
+                continue;
+            }
+        }
+        let s = vm.slot_ptr(3);
+        let basis = vm.slot_ptr(0);
+        let r = normal_form(vm, p, s, basis);
+        if r.is_null() {
+            continue;
+        }
+        vm.set_slot(3, Value::Ptr(r));
+        // Record the new element in the retained history: completion
+        // keeps its derivation.
+        {
+            let r = vm.slot_ptr(3);
+            let hist = vm.slot_ptr(5);
+            let cell = vm.alloc_record(p.hist_site, &[Value::Ptr(r), Value::Ptr(hist)]);
+            vm.set_slot(5, Value::Ptr(cell));
+        }
+        // New basis element: queue its pairs.
+        let mut g = vm.slot_ptr(0);
+        while !g.is_null() {
+            let gp = vm.load_ptr(g, 0);
+            let r = vm.slot_ptr(3);
+            vm.set_slot(4, Value::Ptr(g));
+            let pair = vm.alloc_record(p.pair_site, &[Value::Ptr(r), Value::Ptr(gp)]);
+            vm.set_slot(2, Value::Ptr(pair));
+            let q = vm.slot_ptr(1);
+            let pair = vm.slot_ptr(2);
+            let cell = vm.alloc_record(p.pair_site, &[Value::Ptr(pair), Value::Ptr(q)]);
+            vm.set_slot(1, Value::Ptr(cell));
+            g = tail(vm, vm.slot_ptr(4));
+        }
+        let r = vm.slot_ptr(3);
+        let basis = vm.slot_ptr(0);
+        let cell = vm.alloc_record(p.basis_site, &[Value::Ptr(r), Value::Ptr(basis)]);
+        vm.set_slot(0, Value::Ptr(cell));
+    }
+    let basis = vm.slot_ptr(0);
+    let history = vm.slot_ptr(5);
+    vm.pop_frame();
+    (basis, history)
+}
+
+/// Runs the benchmark: completes a sequence of deterministic
+/// pseudo-random low-degree systems, retaining every round's reduction
+/// history to the end of the run — so the live set grows monotonically
+/// (the paper's long-lived Gröbner data: 139 MB allocated, 128 KB of it
+/// live at peak) while each round's bases and pair queues churn.
+pub fn run(vm: &mut Vm, scale: u32) -> u64 {
+    let p = setup(vm);
+    let x = 1i64;
+    let y = B;
+    let z = B * B;
+    let mut h = 0u64;
+    vm.push_frame(p.work);
+    vm.set_slot(1, Value::NULL); // combined retained histories
+
+    let mut rng = crate::common::XorShift::new(0x9b0b);
+    let rounds = 16 * scale.max(1);
+    for round in 0..rounds {
+        // Cyclic-3-like core plus a rotating low-degree perturbation.
+        let mut system: Vec<Vec<(i64, i64)>> = vec![
+            vec![(1, x), (1, y), (1, z)],
+            vec![(1, x + y), (1, y + z), (1, z + x)],
+            vec![(1 + i64::from(round), x + y + z), (P - 1, 0)],
+        ];
+        let mut poly = Vec::new();
+        let terms = 3 + rng.below(3);
+        for _ in 0..terms {
+            let coef = 1 + rng.below((P - 1) as u64) as i64;
+            let mono =
+                rng.below(3) as i64 + B * rng.below(3) as i64 + B * B * rng.below(2) as i64;
+            poly.push((coef, mono));
+        }
+        system.push(poly);
+        let (basis, history) = buchberger(vm, &p, &system, 60);
+        vm.set_slot(0, Value::Ptr(basis));
+        vm.set_slot(2, Value::Ptr(history));
+        h = checksum_basis(vm, h);
+        let history = vm.slot_ptr(2);
+        let combined = vm.slot_ptr(1);
+        let cell =
+            vm.alloc_record(p.hist_site, &[Value::Ptr(history), Value::Ptr(combined)]);
+        vm.set_slot(1, Value::Ptr(cell));
+    }
+    // Fold the retained histories into the checksum: live to the end.
+    {
+        let mut n = 0u64;
+        let mut outer = vm.slot_ptr(1);
+        while !outer.is_null() {
+            let mut hist = vm.load_ptr(outer, 0);
+            while !hist.is_null() {
+                n += 1;
+                hist = tail(vm, hist);
+            }
+            outer = tail(vm, outer);
+        }
+        h = mix(h, n);
+    }
+    vm.pop_frame();
+    h
+}
+
+/// Folds the basis rooted in slot 0 into the checksum (non-allocating).
+fn checksum_basis(vm: &mut Vm, mut h: u64) -> u64 {
+    let mut b = vm.slot_ptr(0);
+    let mut count = 0u64;
+    while !b.is_null() {
+        let poly = vm.load_ptr(b, 0);
+        let mut t = poly;
+        while !t.is_null() {
+            h = mix(h, coef(vm, t) as u64);
+            h = mix(h, mono(vm, t) as u64);
+            t = next(vm, t);
+        }
+        count += 1;
+        b = tail(vm, b);
+    }
+    mix(h, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::{run_all_kinds, tiny_config};
+    use tilgc_core::{build_vm, CollectorKind};
+
+    #[test]
+    fn arithmetic_helpers() {
+        assert!(mono_divides(1, 1 + B));
+        assert!(!mono_divides(2, 1 + B));
+        assert_eq!(mono_lcm(2 + B, 1 + 2 * B), 2 + 2 * B);
+        assert_eq!(inv_mod(7) * 7 % P, 1);
+        // Within one degree the packed key orders x above y above z.
+        assert_eq!(mono_cmp(1, B), std::cmp::Ordering::Greater);
+        assert_eq!(mono_cmp(B, B * B), std::cmp::Ordering::Greater);
+        assert_eq!(mono_cmp(2, 1 + B), std::cmp::Ordering::Greater, "grlex ties break by key");
+    }
+
+    #[test]
+    fn normal_form_reduces_to_zero_for_multiples() {
+        let mut vm = build_vm(CollectorKind::Generational, &tiny_config());
+        let p = setup(&mut vm);
+        vm.push_frame(p.work);
+        // f = x + 1, basis = {x + 1} ⇒ NF(f) = 0.
+        let f = poly_from(&mut vm, &p, &[(1, 1), (1, 0)]);
+        vm.set_slot(3, Value::Ptr(f));
+        let f = vm.slot_ptr(3);
+        let basis = vm.alloc_record(p.basis_site, &[Value::Ptr(f), Value::NULL]);
+        vm.set_slot(4, Value::Ptr(basis));
+        let f = vm.slot_ptr(3);
+        let basis = vm.slot_ptr(4);
+        let nf = normal_form(&mut vm, &p, f, basis);
+        assert!(nf.is_null(), "x+1 reduces to zero modulo itself");
+    }
+
+    #[test]
+    fn poly_from_combines_duplicate_monomials() {
+        // A duplicated monomial must be merged, not kept as two terms —
+        // otherwise lead cancellation in reduction is partial and
+        // normal_form loops forever.
+        let mut vm = build_vm(CollectorKind::Generational, &tiny_config());
+        let p = setup(&mut vm);
+        vm.push_frame(p.work);
+        let f = poly_from(&mut vm, &p, &[(5, B), (7, B), (P - 12, B), (3, 1)]);
+        vm.set_slot(3, Value::Ptr(f));
+        // 5 + 7 − 12 = 0 on x^0 y^1: the whole monomial vanishes.
+        let f = vm.slot_ptr(3);
+        assert_eq!(mono(&mut vm, f), 1, "only the x term remains");
+        let t = next(&mut vm, f);
+        assert!(t.is_null());
+    }
+
+    #[test]
+    fn poly_addition_cancels() {
+        let mut vm = build_vm(CollectorKind::Generational, &tiny_config());
+        let p = setup(&mut vm);
+        vm.push_frame(p.work);
+        let f = poly_from(&mut vm, &p, &[(5, B), (3, 1), (2, 0)]);
+        vm.set_slot(3, Value::Ptr(f));
+        let f = vm.slot_ptr(3);
+        let f2 = vm.slot_ptr(3);
+        // f − f = 0.
+        let sum = poly_add_scaled(&mut vm, &p, f, f2, P - 1, 0);
+        assert!(sum.is_null());
+    }
+
+    #[test]
+    fn deterministic_and_collector_independent() {
+        let results = run_all_kinds(|vm| run(vm, 1), &tiny_config());
+        assert!(results.windows(2).all(|w| w[0] == w[1]), "results differ: {results:?}");
+    }
+}

@@ -1,0 +1,1345 @@
+//! `Knuth-Bendix` — completion of the group axioms by term rewriting.
+//!
+//! The paper's flagship for generational stack collection: completion
+//! normalizes terms with deeply non-tail-recursive rewriting, so the
+//! collector routinely finds thousands of live activation records
+//! (Table 2: 4234 max, 1336 average) of which only ~117 are new per
+//! collection — and the rule set grows monotonically, so almost all data
+//! that survives the nursery stays live to the end (no benefit from
+//! larger heaps, big benefit from pretenuring; Tables 4 and 6).
+//!
+//! Starting from the three group axioms
+//!
+//! ```text
+//! (x·y)·z = x·(y·z)        e·x = x        i(x)·x = e
+//! ```
+//!
+//! completion with a Knuth–Bendix order (weights: e, vars = 1; ·, i = 0;
+//! precedence i > · > e) derives the classic convergent system of ten
+//! rules.
+
+use tilgc_mem::{Addr, SiteId};
+use tilgc_runtime::{DescId, FrameDesc, Trace, Value, Vm};
+
+use crate::common::mix;
+
+/// Term tags.
+const TAG_VAR: i64 = 0;
+const TAG_E: i64 = 1;
+const TAG_MUL: i64 = 2;
+const TAG_INV: i64 = 3;
+
+struct Kb {
+    /// Working frame for the completion driver: seven pointer slots +
+    /// two scratch ints.
+    work: DescId,
+    /// Two-pointer helper frame (matching, unification, renaming).
+    w2: DescId,
+    /// Three-pointer helper frame (substitution application, resolution,
+    /// root rewriting).
+    w3: DescId,
+    /// Four-pointer helper frame (normalization).
+    w4: DescId,
+    /// Six-pointer helper frame (superposition, critical pairs).
+    w6: DescId,
+    term_site: SiteId,
+    /// Terms rebuilt by variable canonicalization — they become the rule
+    /// sides, living to the end of the run.
+    canon_site: SiteId,
+    /// Terms built by `resolve` — the instantiated peaks/bottoms queued
+    /// as equations, surviving until their equation is processed.
+    resolved_site: SiteId,
+    /// Spines of the word-problem inputs: big terms that live across the
+    /// collections that happen while they are built and normalized.
+    word_site: SiteId,
+    subst_site: SiteId,
+    rule_site: SiteId,
+    eq_site: SiteId,
+    box_site: SiteId,
+}
+
+fn setup(vm: &mut Vm) -> Kb {
+    Kb {
+        work: vm.register_frame(
+            FrameDesc::new("kb::work").slots(8, Trace::Pointer).slots(2, Trace::NonPointer),
+        ),
+        w2: vm.register_frame(FrameDesc::new("kb::w2").slots(2, Trace::Pointer)),
+        w3: vm.register_frame(FrameDesc::new("kb::w3").slots(3, Trace::Pointer)),
+        w4: vm.register_frame(
+            FrameDesc::new("kb::w4").slots(4, Trace::Pointer).slot(Trace::NonPointer),
+        ),
+        w6: vm.register_frame(FrameDesc::new("kb::w6").slots(6, Trace::Pointer)),
+        term_site: vm.site("kb::term"),
+        canon_site: vm.site("kb::canon_term"),
+        resolved_site: vm.site("kb::resolved_term"),
+        word_site: vm.site("kb::word_term"),
+        subst_site: vm.site("kb::subst"),
+        rule_site: vm.site("kb::rule"),
+        eq_site: vm.site("kb::eq"),
+        box_site: vm.site("kb::eqbox"),
+    }
+}
+
+// ----- term construction and access ---------------------------------------
+
+/// Term record: `[tag, varidx, left, right]`, mask `0b1100`, allocated
+/// at an explicit site (the profiler classifies terms by the code path
+/// that built them, as TIL's per-program-point sites would).
+fn mk_at(vm: &mut Vm, site: SiteId, tag: i64, var: i64, l: Addr, r: Addr) -> Addr {
+    vm.alloc_record(site, &[Value::Int(tag), Value::Int(var), Value::Ptr(l), Value::Ptr(r)])
+}
+
+/// Term record at the general (mostly short-lived) term site.
+fn mk(vm: &mut Vm, p: &Kb, tag: i64, var: i64, l: Addr, r: Addr) -> Addr {
+    mk_at(vm, p.term_site, tag, var, l, r)
+}
+
+fn var(vm: &mut Vm, p: &Kb, i: i64) -> Addr {
+    mk(vm, p, TAG_VAR, i, Addr::NULL, Addr::NULL)
+}
+
+fn e_const(vm: &mut Vm, p: &Kb) -> Addr {
+    mk(vm, p, TAG_E, 0, Addr::NULL, Addr::NULL)
+}
+
+fn tag(vm: &mut Vm, t: Addr) -> i64 {
+    vm.load_int(t, 0)
+}
+
+fn var_idx(vm: &mut Vm, t: Addr) -> i64 {
+    vm.load_int(t, 1)
+}
+
+fn left(vm: &mut Vm, t: Addr) -> Addr {
+    vm.load_ptr(t, 2)
+}
+
+fn right(vm: &mut Vm, t: Addr) -> Addr {
+    vm.load_ptr(t, 3)
+}
+
+/// Structural equality (non-allocating).
+fn term_eq(vm: &mut Vm, a: Addr, b: Addr) -> bool {
+    if a == b {
+        return true;
+    }
+    if a.is_null() || b.is_null() {
+        return false;
+    }
+    if tag(vm, a) != tag(vm, b) || var_idx(vm, a) != var_idx(vm, b) {
+        return false;
+    }
+    let (al, bl) = (left(vm, a), left(vm, b));
+    let l_eq = if al.is_null() && bl.is_null() { true } else { term_eq(vm, al, bl) };
+    if !l_eq {
+        return false;
+    }
+    let (ar, br) = (right(vm, a), right(vm, b));
+    if ar.is_null() && br.is_null() {
+        true
+    } else {
+        term_eq(vm, ar, br)
+    }
+}
+
+/// Structural hash of a term (non-allocating).
+fn term_hash(vm: &mut Vm, t: Addr) -> u64 {
+    if t.is_null() {
+        return 7;
+    }
+    let mut h = mix(11, tag(vm, t) as u64);
+    h = mix(h, var_idx(vm, t) as u64);
+    let l = left(vm, t);
+    h = mix(h, term_hash(vm, l));
+    let r = right(vm, t);
+    mix(h, term_hash(vm, r))
+}
+
+// ----- the Knuth–Bendix order ----------------------------------------------
+
+/// Weight: vars and `e` weigh 1; `·` and `i` weigh 0 (non-allocating).
+fn weight(vm: &mut Vm, t: Addr) -> i64 {
+    match tag(vm, t) {
+        TAG_VAR | TAG_E => 1,
+        TAG_MUL => {
+            let (l, r) = (left(vm, t), right(vm, t));
+            weight(vm, l) + weight(vm, r)
+        }
+        TAG_INV => {
+            let l = left(vm, t);
+            weight(vm, l)
+        }
+        _ => unreachable!("bad term tag"),
+    }
+}
+
+/// Adds the variable occurrence counts of `t` into `counts`.
+fn var_counts(vm: &mut Vm, t: Addr, counts: &mut [i64; 16]) {
+    match tag(vm, t) {
+        TAG_VAR => counts[(var_idx(vm, t) as usize) % 16] += 1,
+        TAG_E => {}
+        TAG_MUL => {
+            let (l, r) = (left(vm, t), right(vm, t));
+            var_counts(vm, l, counts);
+            var_counts(vm, r, counts);
+        }
+        TAG_INV => {
+            let l = left(vm, t);
+            var_counts(vm, l, counts);
+        }
+        _ => unreachable!("bad term tag"),
+    }
+}
+
+/// Precedence: i > · > e.
+fn prec(t: i64) -> i64 {
+    match t {
+        TAG_INV => 3,
+        TAG_MUL => 2,
+        TAG_E => 1,
+        _ => 0,
+    }
+}
+
+/// KBO: returns `true` iff `s > t` (non-allocating).
+fn kbo_greater(vm: &mut Vm, s: Addr, t: Addr) -> bool {
+    let mut cs = [0i64; 16];
+    let mut ct = [0i64; 16];
+    var_counts(vm, s, &mut cs);
+    var_counts(vm, t, &mut ct);
+    if cs.iter().zip(&ct).any(|(a, b)| a < b) {
+        return false; // variable condition fails
+    }
+    let (ws, wt) = (weight(vm, s), weight(vm, t));
+    if ws != wt {
+        return ws > wt;
+    }
+    let (ts, tt) = (tag(vm, s), tag(vm, t));
+    if tt == TAG_VAR {
+        // Equal weight over a variable: admissible only for i…i(x) > x.
+        if ts == TAG_INV {
+            let mut cur = s;
+            while tag(vm, cur) == TAG_INV {
+                cur = left(vm, cur);
+            }
+            return tag(vm, cur) == TAG_VAR && var_idx(vm, cur) == var_idx(vm, t);
+        }
+        return false;
+    }
+    if ts == TAG_VAR {
+        return false;
+    }
+    if prec(ts) != prec(tt) {
+        return prec(ts) > prec(tt);
+    }
+    match ts {
+        TAG_MUL => {
+            let (sl, tl) = (left(vm, s), left(vm, t));
+            if !term_eq(vm, sl, tl) {
+                return kbo_greater(vm, sl, tl);
+            }
+            let (sr, tr) = (right(vm, s), right(vm, t));
+            kbo_greater(vm, sr, tr)
+        }
+        TAG_INV => {
+            let (sl, tl) = (left(vm, s), left(vm, t));
+            kbo_greater(vm, sl, tl)
+        }
+        _ => false,
+    }
+}
+
+// ----- substitutions, matching, unification -------------------------------
+
+/// Substitution binding lookup: `[varidx, term, next]` cells
+/// (non-allocating).
+fn lookup(vm: &mut Vm, subst: Addr, v: i64) -> Addr {
+    let mut s = subst;
+    while !s.is_null() {
+        if vm.load_int(s, 0) == v {
+            return vm.load_ptr(s, 1);
+        }
+        s = vm.load_ptr(s, 2);
+    }
+    Addr::NULL
+}
+
+fn bind(vm: &mut Vm, p: &Kb, subst: Addr, v: i64, t: Addr) -> Addr {
+    vm.alloc_record(p.subst_site, &[Value::Int(v), Value::Ptr(t), Value::Ptr(subst)])
+}
+
+/// Matches `pattern` against `subject`, extending `subst`.
+fn match_term(vm: &mut Vm, p: &Kb, pattern: Addr, subject: Addr, subst: Addr) -> Option<Addr> {
+    let pt = tag(vm, pattern);
+    if pt == TAG_VAR {
+        let v = var_idx(vm, pattern);
+        let bound = lookup(vm, subst, v);
+        return if bound.is_null() {
+            Some(bind(vm, p, subst, v, subject))
+        } else if term_eq(vm, bound, subject) {
+            Some(subst)
+        } else {
+            None
+        };
+    }
+    if pt != tag(vm, subject) {
+        return None;
+    }
+    match pt {
+        TAG_E => Some(subst),
+        TAG_INV => {
+            let (pl, sl) = (left(vm, pattern), left(vm, subject));
+            match_term(vm, p, pl, sl, subst)
+        }
+        TAG_MUL => {
+            // The left recursion may allocate bindings; park the right
+            // sides across it.
+            vm.push_frame(p.w2);
+            let pr = right(vm, pattern);
+            vm.set_slot(0, Value::Ptr(pr));
+            let sr = right(vm, subject);
+            vm.set_slot(1, Value::Ptr(sr));
+            let (pl, sl) = (left(vm, pattern), left(vm, subject));
+            let res = match match_term(vm, p, pl, sl, subst) {
+                Some(s1) => {
+                    let pr = vm.slot_ptr(0);
+                    let sr = vm.slot_ptr(1);
+                    match_term(vm, p, pr, sr, s1)
+                }
+                None => None,
+            };
+            vm.pop_frame();
+            res
+        }
+        _ => unreachable!("bad term tag"),
+    }
+}
+
+/// Applies `subst` to `pattern`, building a fresh instance.
+fn apply_subst(vm: &mut Vm, p: &Kb, subst: Addr, pattern: Addr) -> Addr {
+    match tag(vm, pattern) {
+        TAG_VAR => {
+            let v = var_idx(vm, pattern);
+            let bound = lookup(vm, subst, v);
+            if bound.is_null() {
+                var(vm, p, v)
+            } else {
+                bound
+            }
+        }
+        TAG_E => e_const(vm, p),
+        TAG_INV => {
+            vm.push_frame(p.w3);
+            vm.set_slot(0, Value::Ptr(subst));
+            let l = left(vm, pattern);
+            let s = vm.slot_ptr(0);
+            let inner = apply_subst(vm, p, s, l);
+            let out = mk(vm, p, TAG_INV, 0, inner, Addr::NULL);
+            vm.pop_frame();
+            out
+        }
+        TAG_MUL => {
+            vm.push_frame(p.w3);
+            vm.set_slot(0, Value::Ptr(subst));
+            vm.set_slot(1, Value::Ptr(pattern));
+            let l = left(vm, pattern);
+            let s = vm.slot_ptr(0);
+            let nl = apply_subst(vm, p, s, l);
+            vm.set_slot(2, Value::Ptr(nl));
+            let pattern2 = vm.slot_ptr(1);
+            let r = right(vm, pattern2);
+            let s = vm.slot_ptr(0);
+            let nr = apply_subst(vm, p, s, r);
+            let nl = vm.slot_ptr(2);
+            let out = mk(vm, p, TAG_MUL, 0, nl, nr);
+            vm.pop_frame();
+            out
+        }
+        _ => unreachable!("bad term tag"),
+    }
+}
+
+/// Copies `t` with every variable index shifted by `offset`.
+fn rename(vm: &mut Vm, p: &Kb, t: Addr, offset: i64) -> Addr {
+    match tag(vm, t) {
+        TAG_VAR => {
+            let i = var_idx(vm, t);
+            var(vm, p, i + offset)
+        }
+        TAG_E => e_const(vm, p),
+        TAG_INV => {
+            vm.push_frame(p.w2);
+            let l = left(vm, t);
+            let nl = rename(vm, p, l, offset);
+            let out = mk(vm, p, TAG_INV, 0, nl, Addr::NULL);
+            vm.pop_frame();
+            out
+        }
+        TAG_MUL => {
+            vm.push_frame(p.w2);
+            vm.set_slot(0, Value::Ptr(t));
+            let l = left(vm, t);
+            let nl = rename(vm, p, l, offset);
+            vm.set_slot(1, Value::Ptr(nl));
+            let t2 = vm.slot_ptr(0);
+            let r = right(vm, t2);
+            let nr = rename(vm, p, r, offset);
+            let nl = vm.slot_ptr(1);
+            let out = mk(vm, p, TAG_MUL, 0, nl, nr);
+            vm.pop_frame();
+            out
+        }
+        _ => unreachable!("bad term tag"),
+    }
+}
+
+/// Whether variable `v` occurs in `t` under `subst` (non-allocating).
+fn occurs(vm: &mut Vm, subst: Addr, v: i64, t: Addr) -> bool {
+    match tag(vm, t) {
+        TAG_VAR => {
+            let u = var_idx(vm, t);
+            if u == v {
+                return true;
+            }
+            let bound = lookup(vm, subst, u);
+            !bound.is_null() && occurs(vm, subst, v, bound)
+        }
+        TAG_E => false,
+        TAG_INV => {
+            let l = left(vm, t);
+            occurs(vm, subst, v, l)
+        }
+        TAG_MUL => {
+            let l = left(vm, t);
+            if occurs(vm, subst, v, l) {
+                return true;
+            }
+            let r = right(vm, t);
+            occurs(vm, subst, v, r)
+        }
+        _ => unreachable!("bad term tag"),
+    }
+}
+
+/// Chases variable bindings to a non-variable or unbound variable.
+fn walk(vm: &mut Vm, subst: Addr, t: Addr) -> Addr {
+    let mut cur = t;
+    while tag(vm, cur) == TAG_VAR {
+        let i = var_idx(vm, cur);
+        let b = lookup(vm, subst, i);
+        if b.is_null() {
+            return cur;
+        }
+        cur = b;
+    }
+    cur
+}
+
+/// Unification with triangular substitutions.
+fn unify(vm: &mut Vm, p: &Kb, a: Addr, b: Addr, subst: Addr) -> Option<Addr> {
+    let a = walk(vm, subst, a);
+    let b = walk(vm, subst, b);
+    if a == b {
+        return Some(subst);
+    }
+    if tag(vm, a) == TAG_VAR {
+        let v = var_idx(vm, a);
+        if occurs(vm, subst, v, b) {
+            return None;
+        }
+        return Some(bind(vm, p, subst, v, b));
+    }
+    if tag(vm, b) == TAG_VAR {
+        return unify(vm, p, b, a, subst);
+    }
+    if tag(vm, a) != tag(vm, b) {
+        return None;
+    }
+    match tag(vm, a) {
+        TAG_E => Some(subst),
+        TAG_INV => {
+            let (al, bl) = (left(vm, a), left(vm, b));
+            unify(vm, p, al, bl, subst)
+        }
+        TAG_MUL => {
+            vm.push_frame(p.w2);
+            let ar = right(vm, a);
+            vm.set_slot(0, Value::Ptr(ar));
+            let br = right(vm, b);
+            vm.set_slot(1, Value::Ptr(br));
+            let (al, bl) = (left(vm, a), left(vm, b));
+            let res = match unify(vm, p, al, bl, subst) {
+                Some(s1) => {
+                    let ar = vm.slot_ptr(0);
+                    let br = vm.slot_ptr(1);
+                    unify(vm, p, ar, br, s1)
+                }
+                None => None,
+            };
+            vm.pop_frame();
+            res
+        }
+        _ => unreachable!("bad term tag"),
+    }
+}
+
+/// Fully applies a triangular substitution, building a fresh term.
+fn resolve(vm: &mut Vm, p: &Kb, subst: Addr, t: Addr) -> Addr {
+    let t = walk(vm, subst, t);
+    match tag(vm, t) {
+        TAG_VAR => {
+            let i = var_idx(vm, t);
+            mk_at(vm, p.resolved_site, TAG_VAR, i, Addr::NULL, Addr::NULL)
+        }
+        TAG_E => mk_at(vm, p.resolved_site, TAG_E, 0, Addr::NULL, Addr::NULL),
+        TAG_INV => {
+            vm.push_frame(p.w3);
+            vm.set_slot(0, Value::Ptr(subst));
+            let l = left(vm, t);
+            let s = vm.slot_ptr(0);
+            let nl = resolve(vm, p, s, l);
+            let out = mk_at(vm, p.resolved_site, TAG_INV, 0, nl, Addr::NULL);
+            vm.pop_frame();
+            out
+        }
+        TAG_MUL => {
+            vm.push_frame(p.w3);
+            vm.set_slot(0, Value::Ptr(subst));
+            vm.set_slot(1, Value::Ptr(t));
+            let l = left(vm, t);
+            let s = vm.slot_ptr(0);
+            let nl = resolve(vm, p, s, l);
+            vm.set_slot(2, Value::Ptr(nl));
+            let t2 = vm.slot_ptr(1);
+            let r = right(vm, t2);
+            let s = vm.slot_ptr(0);
+            let nr = resolve(vm, p, s, r);
+            let nl = vm.slot_ptr(2);
+            let out = mk_at(vm, p.resolved_site, TAG_MUL, 0, nl, nr);
+            vm.pop_frame();
+            out
+        }
+        _ => unreachable!("bad term tag"),
+    }
+}
+
+/// Collects the distinct variable indices of `t` in first-occurrence
+/// order (non-allocating).
+fn canon_collect(vm: &mut Vm, t: Addr, map: &mut Vec<i64>) {
+    match tag(vm, t) {
+        TAG_VAR => {
+            let i = var_idx(vm, t);
+            if !map.contains(&i) {
+                map.push(i);
+            }
+        }
+        TAG_E => {}
+        TAG_INV => {
+            let l = left(vm, t);
+            canon_collect(vm, l, map);
+        }
+        TAG_MUL => {
+            let l = left(vm, t);
+            canon_collect(vm, l, map);
+            let r = right(vm, t);
+            canon_collect(vm, r, map);
+        }
+        _ => unreachable!("bad term tag"),
+    }
+}
+
+/// Rebuilds `t` with every variable renumbered through `map`
+/// (first-occurrence order => indices 0, 1, 2, ...). Keeps rule variables
+/// small and collision-free no matter how many renamings a term has been
+/// through.
+fn canon_build(vm: &mut Vm, p: &Kb, t: Addr, map: &[i64]) -> Addr {
+    match tag(vm, t) {
+        TAG_VAR => {
+            let i = var_idx(vm, t);
+            let new = map.iter().position(|&m| m == i).expect("collected above") as i64;
+            mk_at(vm, p.canon_site, TAG_VAR, new, Addr::NULL, Addr::NULL)
+        }
+        TAG_E => mk_at(vm, p.canon_site, TAG_E, 0, Addr::NULL, Addr::NULL),
+        TAG_INV => {
+            vm.push_frame(p.w2);
+            let l = left(vm, t);
+            let nl = canon_build(vm, p, l, map);
+            let out = mk_at(vm, p.canon_site, TAG_INV, 0, nl, Addr::NULL);
+            vm.pop_frame();
+            out
+        }
+        TAG_MUL => {
+            vm.push_frame(p.w2);
+            vm.set_slot(0, Value::Ptr(t));
+            let l = left(vm, t);
+            let nl = canon_build(vm, p, l, map);
+            vm.set_slot(1, Value::Ptr(nl));
+            let t2 = vm.slot_ptr(0);
+            let r = right(vm, t2);
+            let nr = canon_build(vm, p, r, map);
+            let nl = vm.slot_ptr(1);
+            let out = mk_at(vm, p.canon_site, TAG_MUL, 0, nl, nr);
+            vm.pop_frame();
+            out
+        }
+        _ => unreachable!("bad term tag"),
+    }
+}
+
+// ----- rewriting -----------------------------------------------------------
+
+/// One root rewrite step with the first applicable rule from the `[lhs,
+/// rhs, next]` rule list; returns the contractum or null.
+fn rewrite_root(vm: &mut Vm, p: &Kb, t: Addr, rules: Addr) -> Addr {
+    vm.push_frame(p.w3);
+    vm.set_slot(0, Value::Ptr(t));
+    vm.set_slot(1, Value::Ptr(rules));
+    loop {
+        let r = vm.slot_ptr(1);
+        if r.is_null() {
+            break;
+        }
+        let lhs = vm.load_ptr(r, 0);
+        let t = vm.slot_ptr(0);
+        if let Some(subst) = match_term(vm, p, lhs, t, Addr::NULL) {
+            vm.set_slot(2, Value::Ptr(subst));
+            let r = vm.slot_ptr(1);
+            let rhs = vm.load_ptr(r, 1);
+            let subst = vm.slot_ptr(2);
+            let out = apply_subst(vm, p, subst, rhs);
+            vm.pop_frame();
+            return out;
+        }
+        let r = vm.slot_ptr(1);
+        let next = vm.load_ptr(r, 2);
+        vm.set_slot(1, Value::Ptr(next));
+    }
+    vm.pop_frame();
+    Addr::NULL
+}
+
+/// Normalizes `t`: children first, then root steps, each root step
+/// recursing on the whole contractum — the deeply non-tail recursion that
+/// builds Knuth-Bendix's thousands-deep stacks.
+fn normalize(vm: &mut Vm, p: &Kb, t: Addr, rules: Addr) -> Addr {
+    vm.push_frame(p.w4);
+    vm.set_slot(0, Value::Ptr(t));
+    vm.set_slot(1, Value::Ptr(rules));
+    let normd = match tag(vm, t) {
+        TAG_VAR | TAG_E => vm.slot_ptr(0),
+        TAG_INV => {
+            let l = left(vm, t);
+            let rules2 = vm.slot_ptr(1);
+            let nl = normalize(vm, p, l, rules2);
+            mk(vm, p, TAG_INV, 0, nl, Addr::NULL)
+        }
+        TAG_MUL => {
+            let l = left(vm, t);
+            let rules2 = vm.slot_ptr(1);
+            let nl = normalize(vm, p, l, rules2);
+            vm.set_slot(2, Value::Ptr(nl));
+            let t2 = vm.slot_ptr(0);
+            let r = right(vm, t2);
+            let rules2 = vm.slot_ptr(1);
+            let nr = normalize(vm, p, r, rules2);
+            let nl = vm.slot_ptr(2);
+            mk(vm, p, TAG_MUL, 0, nl, nr)
+        }
+        _ => unreachable!("bad term tag"),
+    };
+    vm.set_slot(3, Value::Ptr(normd));
+    let normd = vm.slot_ptr(3);
+    let rules2 = vm.slot_ptr(1);
+    let stepped = rewrite_root(vm, p, normd, rules2);
+    let out = if stepped.is_null() {
+        vm.slot_ptr(3)
+    } else {
+        let rules2 = vm.slot_ptr(1);
+        normalize(vm, p, stepped, rules2)
+    };
+    vm.pop_frame();
+    out
+}
+
+/// Number of nodes in a term (non-allocating).
+fn term_size(vm: &mut Vm, t: Addr) -> u64 {
+    match tag(vm, t) {
+        TAG_VAR | TAG_E => 1,
+        TAG_INV => {
+            let l = left(vm, t);
+            1 + term_size(vm, l)
+        }
+        TAG_MUL => {
+            let l = left(vm, t);
+            let sl = term_size(vm, l);
+            let r = right(vm, t);
+            1 + sl + term_size(vm, r)
+        }
+        _ => unreachable!("bad term tag"),
+    }
+}
+
+/// Renders a term for debugging traces.
+#[allow(dead_code)]
+fn term_str(vm: &mut Vm, t: Addr) -> String {
+    match tag(vm, t) {
+        TAG_VAR => format!("x{}", var_idx(vm, t)),
+        TAG_E => "e".to_string(),
+        TAG_INV => {
+            let l = left(vm, t);
+            format!("i({})", term_str(vm, l))
+        }
+        TAG_MUL => {
+            let l = left(vm, t);
+            let ls = term_str(vm, l);
+            let r = right(vm, t);
+            format!("({}*{})", ls, term_str(vm, r))
+        }
+        _ => "?".to_string(),
+    }
+}
+
+// ----- completion -----------------------------------------------------------
+
+/// Pushes the equation `a = b` onto the queue held in the one-element
+/// pointer array `eq_box`.
+fn push_eq(vm: &mut Vm, p: &Kb, eq_box: Addr, a: Addr, b: Addr) {
+    vm.push_frame(p.w2);
+    vm.set_slot(0, Value::Ptr(eq_box));
+    let head = vm.load_ptr(eq_box, 0);
+    let cell = vm.alloc_record(p.eq_site, &[Value::Ptr(a), Value::Ptr(b), Value::Ptr(head)]);
+    let eq_box = vm.slot_ptr(0);
+    vm.store_ptr(eq_box, 0, cell);
+    vm.pop_frame();
+}
+
+/// Superposes `rule1` into the subterm `sub` of `lhs2` (already renamed
+/// apart): if `lhs1` unifies with `sub`, the instantiated peak
+/// `σ(lhs2) = σ(rhs2)` is queued; normalizing both sides when the
+/// equation is processed reduces the peak both ways, yielding exactly the
+/// critical pair's two bottoms.
+fn superpose_at(vm: &mut Vm, p: &Kb, rule1: Addr, lhs2: Addr, sub: Addr, rhs2: Addr, eq_box: Addr) {
+    if tag(vm, sub) == TAG_VAR {
+        return;
+    }
+    vm.push_frame(p.w6);
+    vm.set_slot(0, Value::Ptr(lhs2));
+    vm.set_slot(1, Value::Ptr(rhs2));
+    vm.set_slot(2, Value::Ptr(eq_box));
+    let lhs1 = vm.load_ptr(rule1, 0);
+    if let Some(subst) = unify(vm, p, lhs1, sub, Addr::NULL) {
+        vm.set_slot(3, Value::Ptr(subst));
+        let subst = vm.slot_ptr(3);
+        let lhs2 = vm.slot_ptr(0);
+        let peak = resolve(vm, p, subst, lhs2);
+        vm.set_slot(4, Value::Ptr(peak));
+        let subst = vm.slot_ptr(3);
+        let rhs2 = vm.slot_ptr(1);
+        let bottom = resolve(vm, p, subst, rhs2);
+        vm.set_slot(5, Value::Ptr(bottom));
+        let eq_box = vm.slot_ptr(2);
+        let peak = vm.slot_ptr(4);
+        let bottom = vm.slot_ptr(5);
+        push_eq(vm, p, eq_box, peak, bottom);
+    }
+    vm.pop_frame();
+}
+
+/// Queues the critical pairs of `rule1` superposed into `rule2`.
+fn critical_pairs(vm: &mut Vm, p: &Kb, rule1: Addr, rule2: Addr, eq_box: Addr) {
+    vm.push_frame(p.w6);
+    vm.set_slot(0, Value::Ptr(rule1));
+    vm.set_slot(1, Value::Ptr(eq_box));
+    // Rename rule2's variables apart.
+    let lhs2 = vm.load_ptr(rule2, 0);
+    vm.set_slot(5, Value::Ptr(rule2));
+    let lhs2r = rename(vm, p, lhs2, 100);
+    vm.set_slot(2, Value::Ptr(lhs2r));
+    let rule2 = vm.slot_ptr(5);
+    let rhs2 = vm.load_ptr(rule2, 1);
+    let rhs2r = rename(vm, p, rhs2, 100);
+    vm.set_slot(3, Value::Ptr(rhs2r));
+    // Worklist of subterm positions of lhs2r (slot 4), as `[term, next]`
+    // cells.
+    let lhs2r = vm.slot_ptr(2);
+    let wl = vm.alloc_record(p.eq_site, &[Value::Ptr(lhs2r), Value::NULL]);
+    vm.set_slot(4, Value::Ptr(wl));
+    loop {
+        let wl = vm.slot_ptr(4);
+        if wl.is_null() {
+            break;
+        }
+        let sub = vm.load_ptr(wl, 0);
+        let rest = vm.load_ptr(wl, 1);
+        vm.set_slot(4, Value::Ptr(rest));
+        if tag(vm, sub) == TAG_VAR {
+            continue;
+        }
+        // Push the children first (allocations; park `sub` meanwhile).
+        vm.set_slot(5, Value::Ptr(sub));
+        for i in [2usize, 3] {
+            let sub = vm.slot_ptr(5);
+            let child = vm.load_ptr(sub, i);
+            if child.is_null() {
+                continue;
+            }
+            let wl = vm.slot_ptr(4);
+            let cell = vm.alloc_record(p.eq_site, &[Value::Ptr(child), Value::Ptr(wl)]);
+            vm.set_slot(4, Value::Ptr(cell));
+        }
+        let rule1 = vm.slot_ptr(0);
+        let lhs2r = vm.slot_ptr(2);
+        let sub = vm.slot_ptr(5);
+        let rhs2r = vm.slot_ptr(3);
+        let eq_box = vm.slot_ptr(1);
+        superpose_at(vm, p, rule1, lhs2r, sub, rhs2r, eq_box);
+    }
+    vm.pop_frame();
+}
+
+/// Slot roles in `complete`'s frame.
+struct Slots;
+impl Slots {
+    const RULES: usize = 0;
+    const EQBOX: usize = 1;
+    const T0: usize = 2;
+    const T1: usize = 3;
+    const NEW: usize = 4;
+    const CURSOR: usize = 5;
+    const KEPT: usize = 6;
+    const HISTORY: usize = 7;
+}
+
+/// The completion loop; returns `(rule_count, checksum)`.
+fn complete(vm: &mut Vm, p: &Kb, max_eqs: usize) -> (u64, u64) {
+    vm.push_frame(p.work);
+    vm.set_slot(Slots::RULES, Value::NULL);
+    vm.set_slot(Slots::HISTORY, Value::NULL);
+    let eq_box = vm.alloc_ptr_array(p.box_site, 1, Addr::NULL);
+    vm.set_slot(Slots::EQBOX, Value::Ptr(eq_box));
+
+    // --- the three group axioms ---
+    // (x·y)·z = x·(y·z)
+    {
+        let x = var(vm, p, 0);
+        vm.set_slot(Slots::T0, Value::Ptr(x));
+        let y = var(vm, p, 1);
+        let x = vm.slot_ptr(Slots::T0);
+        let xy = mk(vm, p, TAG_MUL, 0, x, y);
+        vm.set_slot(Slots::T0, Value::Ptr(xy));
+        let z = var(vm, p, 2);
+        let xy = vm.slot_ptr(Slots::T0);
+        let lhs = mk(vm, p, TAG_MUL, 0, xy, z);
+        vm.set_slot(Slots::T0, Value::Ptr(lhs));
+
+        let y = var(vm, p, 1);
+        vm.set_slot(Slots::T1, Value::Ptr(y));
+        let z = var(vm, p, 2);
+        let y = vm.slot_ptr(Slots::T1);
+        let yz = mk(vm, p, TAG_MUL, 0, y, z);
+        vm.set_slot(Slots::T1, Value::Ptr(yz));
+        let x = var(vm, p, 0);
+        let yz = vm.slot_ptr(Slots::T1);
+        let rhs = mk(vm, p, TAG_MUL, 0, x, yz);
+        vm.set_slot(Slots::T1, Value::Ptr(rhs));
+
+        let eq_box = vm.slot_ptr(Slots::EQBOX);
+        let a = vm.slot_ptr(Slots::T0);
+        let b = vm.slot_ptr(Slots::T1);
+        push_eq(vm, p, eq_box, a, b);
+    }
+    // e·x = x
+    {
+        let e = e_const(vm, p);
+        vm.set_slot(Slots::T0, Value::Ptr(e));
+        let x = var(vm, p, 0);
+        let e = vm.slot_ptr(Slots::T0);
+        let lhs = mk(vm, p, TAG_MUL, 0, e, x);
+        vm.set_slot(Slots::T0, Value::Ptr(lhs));
+        let rhs = var(vm, p, 0);
+        vm.set_slot(Slots::T1, Value::Ptr(rhs));
+        let eq_box = vm.slot_ptr(Slots::EQBOX);
+        let a = vm.slot_ptr(Slots::T0);
+        let b = vm.slot_ptr(Slots::T1);
+        push_eq(vm, p, eq_box, a, b);
+    }
+    // i(x)·x = e
+    {
+        let x = var(vm, p, 0);
+        let ix = mk(vm, p, TAG_INV, 0, x, Addr::NULL);
+        vm.set_slot(Slots::T0, Value::Ptr(ix));
+        let x = var(vm, p, 0);
+        let ix = vm.slot_ptr(Slots::T0);
+        let lhs = mk(vm, p, TAG_MUL, 0, ix, x);
+        vm.set_slot(Slots::T0, Value::Ptr(lhs));
+        let rhs = e_const(vm, p);
+        vm.set_slot(Slots::T1, Value::Ptr(rhs));
+        let eq_box = vm.slot_ptr(Slots::EQBOX);
+        let a = vm.slot_ptr(Slots::T0);
+        let b = vm.slot_ptr(Slots::T1);
+        push_eq(vm, p, eq_box, a, b);
+    }
+
+    // --- main loop ---
+    let mut processed = 0usize;
+    while processed < max_eqs {
+        let eq_box = vm.slot_ptr(Slots::EQBOX);
+        let eqs = vm.load_ptr(eq_box, 0);
+        if eqs.is_null() {
+            break;
+        }
+        processed += 1;
+        // Fair selection: take the *smallest* equation (classic
+        // completion strategy — a LIFO queue dives into families of
+        // ever-growing critical pairs and never converges).
+        let eqs = {
+            let mut best = eqs;
+            let mut best_size = u64::MAX;
+            let mut cur = eqs;
+            while !cur.is_null() {
+                let a = vm.load_ptr(cur, 0);
+                let sa = term_size(vm, a);
+                let b = vm.load_ptr(cur, 1);
+                let sb = term_size(vm, b);
+                if sa + sb < best_size {
+                    best_size = sa + sb;
+                    best = cur;
+                }
+                cur = vm.load_ptr(cur, 2);
+            }
+            // Unlink `best` (pure pointer surgery, no allocation).
+            let head = vm.load_ptr(eq_box, 0);
+            if best == head {
+                let next = vm.load_ptr(best, 2);
+                vm.store_ptr(eq_box, 0, next);
+            } else {
+                let mut prev = head;
+                loop {
+                    let next = vm.load_ptr(prev, 2);
+                    if next == best {
+                        break;
+                    }
+                    prev = next;
+                }
+                let next = vm.load_ptr(best, 2);
+                vm.store_ptr(prev, 2, next);
+            }
+            best
+        };
+        #[cfg(feature = "kb-trace")]
+        {
+            let mut qlen = 0;
+            let mut q = eqs;
+            while !q.is_null() {
+                qlen += 1;
+                q = vm.load_ptr(q, 2);
+            }
+            let mut rules_n = 0;
+            let mut r = vm.slot_ptr(Slots::RULES);
+            while !r.is_null() {
+                rules_n += 1;
+                r = vm.load_ptr(r, 2);
+            }
+            eprintln!("eq#{processed}: queue={qlen} rules={rules_n}");
+        }
+        let a = vm.load_ptr(eqs, 0);
+        let b = vm.load_ptr(eqs, 1);
+        vm.set_slot(Slots::T1, Value::Ptr(b));
+
+        let rules = vm.slot_ptr(Slots::RULES);
+        let na = normalize(vm, p, a, rules);
+        vm.set_slot(Slots::T0, Value::Ptr(na));
+        let b = vm.slot_ptr(Slots::T1);
+        let rules = vm.slot_ptr(Slots::RULES);
+        let nb = normalize(vm, p, b, rules);
+        vm.set_slot(Slots::T1, Value::Ptr(nb));
+        let na = vm.slot_ptr(Slots::T0);
+        let nb = vm.slot_ptr(Slots::T1);
+        // Record the derivation: completion keeps every processed
+        // equation's normal forms (its proof trace), so the live set
+        // grows monotonically through the run — the paper's signature KB
+        // behaviour ("almost all the data that survives the nursery
+        // remains alive to the end").
+        {
+            let history = vm.slot_ptr(Slots::HISTORY);
+            let entry = vm.alloc_record(
+                p.rule_site,
+                &[Value::Ptr(na), Value::Ptr(nb), Value::Ptr(history)],
+            );
+            vm.set_slot(Slots::HISTORY, Value::Ptr(entry));
+        }
+        let na = vm.slot_ptr(Slots::T0);
+        let nb = vm.slot_ptr(Slots::T1);
+        if term_eq(vm, na, nb) {
+            continue;
+        }
+        // Canonicalize variables (rules otherwise accumulate ever-larger
+        // renamed indices, breaking the KBO variable condition's bounded
+        // counting and hiding duplicates).
+        {
+            let mut map = Vec::new();
+            let na = vm.slot_ptr(Slots::T0);
+            canon_collect(vm, na, &mut map);
+            let nb = vm.slot_ptr(Slots::T1);
+            canon_collect(vm, nb, &mut map);
+            let na = vm.slot_ptr(Slots::T0);
+            let ca = canon_build(vm, p, na, &map);
+            vm.set_slot(Slots::T0, Value::Ptr(ca));
+            let nb = vm.slot_ptr(Slots::T1);
+            let cb = canon_build(vm, p, nb, &map);
+            vm.set_slot(Slots::T1, Value::Ptr(cb));
+        }
+        let na = vm.slot_ptr(Slots::T0);
+        let nb = vm.slot_ptr(Slots::T1);
+        let (lhs_slot, rhs_slot) = if kbo_greater(vm, na, nb) {
+            (Slots::T0, Slots::T1)
+        } else if kbo_greater(vm, nb, na) {
+            (Slots::T1, Slots::T0)
+        } else {
+            continue; // unorientable; a full prover would postpone
+        };
+        #[cfg(feature = "kb-trace")]
+        {
+            let lhs = vm.slot_ptr(lhs_slot);
+            let ls = term_str(vm, lhs);
+            let rhs = vm.slot_ptr(rhs_slot);
+            eprintln!("  new rule: {} -> {}", ls, term_str(vm, rhs));
+        }
+        let lhs = vm.slot_ptr(lhs_slot);
+        let rhs = vm.slot_ptr(rhs_slot);
+        let rule = vm.alloc_record(
+            p.rule_site,
+            &[Value::Ptr(lhs), Value::Ptr(rhs), Value::NULL],
+        );
+        vm.set_slot(Slots::NEW, Value::Ptr(rule));
+
+        // Collapse/compose: reduce existing rules by the new one alone.
+        vm.set_slot(Slots::KEPT, Value::NULL);
+        let rules = vm.slot_ptr(Slots::RULES);
+        vm.set_slot(Slots::CURSOR, Value::Ptr(rules));
+        loop {
+            let cur = vm.slot_ptr(Slots::CURSOR);
+            if cur.is_null() {
+                break;
+            }
+            let old_lhs = vm.load_ptr(cur, 0);
+            let single = vm.slot_ptr(Slots::NEW);
+            let reduced_lhs = normalize(vm, p, old_lhs, single);
+            vm.set_slot(Slots::T0, Value::Ptr(reduced_lhs));
+            let cur = vm.slot_ptr(Slots::CURSOR);
+            let old_lhs = vm.load_ptr(cur, 0);
+            let reduced_lhs = vm.slot_ptr(Slots::T0);
+            if !term_eq(vm, reduced_lhs, old_lhs) {
+                // Collapsed: the old rule becomes an equation again.
+                let cur = vm.slot_ptr(Slots::CURSOR);
+                let old_lhs = vm.load_ptr(cur, 0);
+                let old_rhs = vm.load_ptr(cur, 1);
+                let eq_box = vm.slot_ptr(Slots::EQBOX);
+                push_eq(vm, p, eq_box, old_lhs, old_rhs);
+            } else {
+                // Compose: normalize the right-hand side in place.
+                let cur = vm.slot_ptr(Slots::CURSOR);
+                let old_rhs = vm.load_ptr(cur, 1);
+                let single = vm.slot_ptr(Slots::NEW);
+                let reduced_rhs = normalize(vm, p, old_rhs, single);
+                let cur = vm.slot_ptr(Slots::CURSOR);
+                vm.store_ptr(cur, 1, reduced_rhs);
+                // Keep: relink onto the kept list.
+                let kept = vm.slot_ptr(Slots::KEPT);
+                let cur = vm.slot_ptr(Slots::CURSOR);
+                let next = vm.load_ptr(cur, 2);
+                vm.set_slot(Slots::T0, Value::Ptr(next));
+                vm.store_ptr(cur, 2, kept);
+                let cur = vm.slot_ptr(Slots::CURSOR);
+                vm.set_slot(Slots::KEPT, Value::Ptr(cur));
+                let next = vm.slot_ptr(Slots::T0);
+                vm.set_slot(Slots::CURSOR, Value::Ptr(next));
+                continue;
+            }
+            let cur = vm.slot_ptr(Slots::CURSOR);
+            let next = vm.load_ptr(cur, 2);
+            vm.set_slot(Slots::CURSOR, Value::Ptr(next));
+        }
+        let kept = vm.slot_ptr(Slots::KEPT);
+        vm.set_slot(Slots::RULES, Value::Ptr(kept));
+
+        // Critical pairs with every kept rule (both directions) and with
+        // itself.
+        let rules = vm.slot_ptr(Slots::RULES);
+        vm.set_slot(Slots::CURSOR, Value::Ptr(rules));
+        loop {
+            let cur = vm.slot_ptr(Slots::CURSOR);
+            if cur.is_null() {
+                break;
+            }
+            let new_rule = vm.slot_ptr(Slots::NEW);
+            let eq_box = vm.slot_ptr(Slots::EQBOX);
+            critical_pairs(vm, p, new_rule, cur, eq_box);
+            let cur = vm.slot_ptr(Slots::CURSOR);
+            let new_rule = vm.slot_ptr(Slots::NEW);
+            let eq_box = vm.slot_ptr(Slots::EQBOX);
+            critical_pairs(vm, p, cur, new_rule, eq_box);
+            let cur = vm.slot_ptr(Slots::CURSOR);
+            let next = vm.load_ptr(cur, 2);
+            vm.set_slot(Slots::CURSOR, Value::Ptr(next));
+        }
+        let new_rule = vm.slot_ptr(Slots::NEW);
+        let eq_box = vm.slot_ptr(Slots::EQBOX);
+        critical_pairs(vm, p, new_rule, new_rule, eq_box);
+
+        // Install the new rule.
+        let rules = vm.slot_ptr(Slots::RULES);
+        let rule = vm.slot_ptr(Slots::NEW);
+        vm.store_ptr(rule, 2, rules);
+        let rule = vm.slot_ptr(Slots::NEW);
+        vm.set_slot(Slots::RULES, Value::Ptr(rule));
+    }
+
+    // --- word problem workout ---
+    // With the convergent system in hand, normalize long group words:
+    // every rewrite step is a recursive `normalize` call, so reducing a
+    // word with hundreds of redexes piles up the thousands-deep stacks
+    // the paper measures for Knuth-Bendix (Table 2: 4234 max frames).
+    let mut h = 0u64;
+    {
+        let mut rng = crate::common::XorShift::new(0x6b62);
+        let words = 2 + max_eqs / 200;
+        let word_len = 48;
+        for _ in 0..words {
+            // A *left*-nested word over generators and their inverses:
+            // normalizing it replays the associativity rule once per
+            // nesting level, every step a fresh activation record.
+            let g = mk_at(vm, p.word_site, TAG_VAR, rng.below(6) as i64, Addr::NULL, Addr::NULL);
+            vm.set_slot(Slots::T0, Value::Ptr(g));
+            for _ in 0..word_len {
+                let g = mk_at(vm, p.word_site, TAG_VAR, rng.below(6) as i64, Addr::NULL, Addr::NULL);
+                vm.set_slot(Slots::T1, Value::Ptr(g));
+                if rng.below(4) == 0 {
+                    let g = vm.slot_ptr(Slots::T1);
+                    let ig = mk_at(vm, p.word_site, TAG_INV, 0, g, Addr::NULL);
+                    vm.set_slot(Slots::T1, Value::Ptr(ig));
+                }
+                let acc = vm.slot_ptr(Slots::T0);
+                let g = vm.slot_ptr(Slots::T1);
+                let w = mk_at(vm, p.word_site, TAG_MUL, 0, acc, g);
+                vm.set_slot(Slots::T0, Value::Ptr(w));
+            }
+            let word = vm.slot_ptr(Slots::T0);
+            let rules = vm.slot_ptr(Slots::RULES);
+            let nf = normalize(vm, p, word, rules);
+            h = mix(h, term_hash(vm, nf));
+            vm.set_slot(Slots::T1, Value::Ptr(nf));
+            let history = vm.slot_ptr(Slots::HISTORY);
+            let nf = vm.slot_ptr(Slots::T1);
+            let entry = vm
+                .alloc_record(p.rule_site, &[Value::Ptr(nf), Value::NULL, Value::Ptr(history)]);
+            vm.set_slot(Slots::HISTORY, Value::Ptr(entry));
+        }
+        // Cancellation chains: g·(g⁻¹·(h·(h⁻¹· ...))) — every level's
+        // cancellation fires inside the nested normalize of the level
+        // above, so the stack grows linearly with the chain. This is
+        // Knuth-Bendix's signature: thousands of live frames of which
+        // only the top few change between collections.
+        let chains = 16 * (max_eqs / 400).max(1);
+        let chain_len = 1000;
+        for _ in 0..chains {
+            let e = mk_at(vm, p.word_site, TAG_E, 0, Addr::NULL, Addr::NULL);
+            vm.set_slot(Slots::T0, Value::Ptr(e));
+            for _ in 0..chain_len {
+                let gi = rng.below(6) as i64;
+                let g = var(vm, p, gi);
+                vm.set_slot(Slots::T1, Value::Ptr(g));
+                // Wrap the generator in a chain of double-inverses:
+                // normalizing i(i(...(g))) back to g happens bottom-up
+                // during the *descent*, so allocation — and therefore
+                // collections — occur while the stack is deep and still
+                // growing, where the scan cache shines.
+                for _ in 0..rng.below(5) {
+                    let g = vm.slot_ptr(Slots::T1);
+                    let ig = mk_at(vm, p.word_site, TAG_INV, 0, g, Addr::NULL);
+                    vm.set_slot(Slots::NEW, Value::Ptr(ig));
+                    let ig = vm.slot_ptr(Slots::NEW);
+                    let iig = mk_at(vm, p.word_site, TAG_INV, 0, ig, Addr::NULL);
+                    vm.set_slot(Slots::T1, Value::Ptr(iig));
+                }
+                let g = vm.slot_ptr(Slots::T1);
+                let ig = mk_at(vm, p.word_site, TAG_INV, 0, g, Addr::NULL);
+                vm.set_slot(Slots::NEW, Value::Ptr(ig));
+                let ig = vm.slot_ptr(Slots::NEW);
+                let acc = vm.slot_ptr(Slots::T0);
+                let inner = mk_at(vm, p.word_site, TAG_MUL, 0, ig, acc);
+                vm.set_slot(Slots::T0, Value::Ptr(inner));
+                let g = vm.slot_ptr(Slots::T1);
+                let inner = vm.slot_ptr(Slots::T0);
+                let outer = mk_at(vm, p.word_site, TAG_MUL, 0, g, inner);
+                vm.set_slot(Slots::T0, Value::Ptr(outer));
+            }
+            let word = vm.slot_ptr(Slots::T0);
+            let rules = vm.slot_ptr(Slots::RULES);
+            let nf = normalize(vm, p, word, rules);
+            debug_assert_eq!(tag(vm, nf), TAG_E, "cancellation chain must reduce to e");
+            h = mix(h, term_hash(vm, nf));
+        }
+    }
+
+    // The derivation history is live to the very end: fold its length in.
+    {
+        let mut n = 0u64;
+        let mut hist = vm.slot_ptr(Slots::HISTORY);
+        while !hist.is_null() {
+            n += 1;
+            hist = vm.load_ptr(hist, 2);
+        }
+        h = mix(h, n);
+    }
+
+    // Checksum the final rule set (order-independent combination).
+    let mut count = 0u64;
+    let mut r = vm.slot_ptr(Slots::RULES);
+    while !r.is_null() {
+        let lhs = vm.load_ptr(r, 0);
+        let lh = term_hash(vm, lhs);
+        let rhs = vm.load_ptr(r, 1);
+        let rh = term_hash(vm, rhs);
+        h ^= mix(lh, rh);
+        count += 1;
+        r = vm.load_ptr(r, 2);
+    }
+    vm.pop_frame();
+    (count, mix(h, count))
+}
+
+/// Runs the benchmark: completes the group axioms, processing up to
+/// `400 · scale` equations (well past convergence at any scale ≥ 1).
+pub fn run(vm: &mut Vm, scale: u32) -> u64 {
+    let p = setup(vm);
+    let (_count, h) = complete(vm, &p, 400 * scale.max(1) as usize);
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::run_all_kinds;
+    use tilgc_core::{build_vm, CollectorKind};
+
+    fn test_vm() -> Vm {
+        // Completion's rule set, equation queue and peaks form a genuinely
+        // large live set (the paper's KB has 16 MB max live); give it room.
+        let config = tilgc_core::GcConfig::new()
+            .heap_budget_bytes(32 << 20)
+            .nursery_bytes(32 << 10);
+        build_vm(CollectorKind::Generational, &config)
+    }
+
+    #[test]
+    fn kbo_orients_the_axioms() {
+        let mut vm = test_vm();
+        let p = setup(&mut vm);
+        vm.push_frame(p.work);
+        // e·x > x
+        let e = e_const(&mut vm, &p);
+        vm.set_slot(0, Value::Ptr(e));
+        let x = var(&mut vm, &p, 0);
+        let e = vm.slot_ptr(0);
+        let ex = mk(&mut vm, &p, TAG_MUL, 0, e, x);
+        vm.set_slot(0, Value::Ptr(ex));
+        let x = var(&mut vm, &p, 0);
+        let ex = vm.slot_ptr(0);
+        assert!(kbo_greater(&mut vm, ex, x));
+        assert!(!kbo_greater(&mut vm, x, ex));
+        // i(i(x)) > x (the equal-weight inverse-chain case).
+        let x = var(&mut vm, &p, 0);
+        vm.set_slot(1, Value::Ptr(x));
+        let x = vm.slot_ptr(1);
+        let ix = mk(&mut vm, &p, TAG_INV, 0, x, Addr::NULL);
+        vm.set_slot(1, Value::Ptr(ix));
+        let ix = vm.slot_ptr(1);
+        let iix = mk(&mut vm, &p, TAG_INV, 0, ix, Addr::NULL);
+        vm.set_slot(1, Value::Ptr(iix));
+        let y = var(&mut vm, &p, 0);
+        let iix = vm.slot_ptr(1);
+        assert!(kbo_greater(&mut vm, iix, y));
+    }
+
+    #[test]
+    fn matching_and_substitution() {
+        let mut vm = test_vm();
+        let p = setup(&mut vm);
+        vm.push_frame(p.work);
+        // pattern e·x matched against e·i(e) binds x ↦ i(e).
+        let e = e_const(&mut vm, &p);
+        vm.set_slot(0, Value::Ptr(e));
+        let x = var(&mut vm, &p, 0);
+        let e = vm.slot_ptr(0);
+        let pat = mk(&mut vm, &p, TAG_MUL, 0, e, x);
+        vm.set_slot(0, Value::Ptr(pat));
+
+        let e2 = e_const(&mut vm, &p);
+        vm.set_slot(1, Value::Ptr(e2));
+        let e3 = e_const(&mut vm, &p);
+        let ie = mk(&mut vm, &p, TAG_INV, 0, e3, Addr::NULL);
+        vm.set_slot(2, Value::Ptr(ie));
+        let e2 = vm.slot_ptr(1);
+        let ie = vm.slot_ptr(2);
+        let subject = mk(&mut vm, &p, TAG_MUL, 0, e2, ie);
+        vm.set_slot(1, Value::Ptr(subject));
+
+        let pat = vm.slot_ptr(0);
+        let subject = vm.slot_ptr(1);
+        let subst = match_term(&mut vm, &p, pat, subject, Addr::NULL).expect("must match");
+        let bound = lookup(&mut vm, subst, 0);
+        let ie = vm.slot_ptr(2);
+        assert!(term_eq(&mut vm, bound, ie));
+    }
+
+    #[test]
+    fn completion_reaches_the_ten_rule_group_system() {
+        crate::testing::with_big_stack(|| {
+            let mut vm = test_vm();
+            let p = setup(&mut vm);
+            let (count, _) = complete(&mut vm, &p, 400);
+            assert_eq!(count, 10, "group axioms complete to the classic 10 rules");
+        });
+    }
+
+    #[test]
+    fn completion_is_internally_reproducible() {
+        crate::testing::with_big_stack(|| {
+            let mut vm = test_vm();
+            let p = setup(&mut vm);
+            vm.push_frame(p.work);
+            let (count, _) = complete(&mut vm, &p, 400);
+            assert_eq!(count, 10);
+            // Completing again in the same VM must reproduce both the
+            // count and the checksum.
+            let (c2, h2) = complete(&mut vm, &p, 400);
+            let (c3, h3) = complete(&mut vm, &p, 400);
+            assert_eq!((c2, h2), (c3, h3));
+        });
+    }
+
+    #[test]
+    fn stack_gets_deep() {
+        crate::testing::with_big_stack(|| {
+            let mut vm = test_vm();
+            run(&mut vm, 1);
+            assert!(
+                vm.mutator().stack.stats().max_depth > 1000,
+                "normalization recursion should go deep, got {}",
+                vm.mutator().stack.stats().max_depth
+            );
+        });
+    }
+
+    #[test]
+    fn deterministic_and_collector_independent() {
+        crate::testing::with_big_stack(|| {
+            let config = tilgc_core::GcConfig::new()
+                .heap_budget_bytes(32 << 20)
+                .nursery_bytes(32 << 10);
+            let results = run_all_kinds(|vm| run(vm, 1), &config);
+            assert!(results.windows(2).all(|w| w[0] == w[1]), "results differ: {results:?}");
+        });
+    }
+}

@@ -1,0 +1,278 @@
+//! `Life` — Conway's game of Life implemented with lists, after Reade
+//! (1989).
+//!
+//! The live board is a sorted list of packed `(x, y)` coordinates. Each
+//! generation filters survivors and collects births with list recursion,
+//! so the stack depth tracks the population (the paper's max of 51
+//! frames) and every generation's intermediate lists die young.
+
+use tilgc_mem::{Addr, SiteId};
+use tilgc_runtime::{DescId, FrameDesc, Trace, Value, Vm};
+
+use crate::common::{cons, head_int, list_checksum, tail, Exn, PResult};
+
+const OFFSETS: [(i64, i64); 8] =
+    [(-1, -1), (-1, 0), (-1, 1), (0, -1), (0, 1), (1, -1), (1, 0), (1, 1)];
+
+fn pack(x: i64, y: i64) -> i64 {
+    (x + 512) * 4096 + (y + 512)
+}
+
+fn unpack(c: i64) -> (i64, i64) {
+    (c / 4096 - 512, c % 4096 - 512)
+}
+
+struct Life {
+    main: DescId,
+    filter: DescId,
+    births: DescId,
+    insert: DescId,
+    cell: SiteId,
+}
+
+fn setup(vm: &mut Vm) -> Life {
+    Life {
+        main: vm.register_frame(FrameDesc::new("life::main").slots(2, Trace::Pointer)),
+        filter: vm.register_frame(
+            FrameDesc::new("life::filter").slots(2, Trace::Pointer).slot(Trace::NonPointer),
+        ),
+        births: vm.register_frame(FrameDesc::new("life::births").slots(3, Trace::Pointer)),
+        insert: vm.register_frame(
+            FrameDesc::new("life::insert").slot(Trace::Pointer).slot(Trace::NonPointer),
+        ),
+        cell: vm.site("life::cell"),
+    }
+}
+
+/// Number of live neighbours of `(x, y)` (non-allocating).
+fn neighbours(vm: &mut Vm, board: Addr, x: i64, y: i64) -> usize {
+    let mut n = 0;
+    for (dx, dy) in OFFSETS {
+        let key = pack(x + dx, y + dy);
+        let mut l = board;
+        while !l.is_null() {
+            let h = head_int(vm, l);
+            if h == key {
+                n += 1;
+                break;
+            }
+            if h > key {
+                break; // sorted
+            }
+            l = tail(vm, l);
+        }
+    }
+    n
+}
+
+/// Sorted insertion (allocates one cell; rebuilds the prefix, as a
+/// functional implementation would).
+fn insert_sorted(vm: &mut Vm, p: &Life, list: Addr, key: i64) -> Addr {
+    // Recursive: rebuild until the insertion point.
+    vm.push_frame(p.insert);
+    vm.set_slot(0, Value::Ptr(list));
+    vm.set_slot(1, Value::Int(key));
+    let result;
+    if list.is_null() || head_int(vm, list) > key {
+        result = cons(vm, p.cell, Value::Int(key), list);
+    } else if head_int(vm, list) == key {
+        result = list; // already present
+    } else {
+        let t = tail(vm, list);
+        let new_tail = insert_sorted(vm, p, t, key);
+        // Re-read the original list (it may have moved during the
+        // recursive call's allocations).
+        let list = vm.slot_ptr(0);
+        let h = head_int(vm, list);
+        // Root the freshly built tail while consing the head back on.
+        vm.set_slot(0, Value::Ptr(new_tail));
+        result = cons(vm, p.cell, Value::Int(h), new_tail);
+    }
+    vm.pop_frame();
+    result
+}
+
+/// Survivors: recursive filter keeping cells with 2 or 3 neighbours. The
+/// recursion depth equals the population — this is where Life's stack
+/// comes from.
+fn survivors(vm: &mut Vm, p: &Life, board: Addr, cells: Addr) -> Addr {
+    if cells.is_null() {
+        return Addr::NULL;
+    }
+    vm.push_frame(p.filter);
+    vm.set_slot(0, Value::Ptr(board));
+    vm.set_slot(1, Value::Ptr(cells));
+    let c = head_int(vm, cells);
+    let (x, y) = unpack(c);
+    let n = neighbours(vm, board, x, y);
+    let t = tail(vm, cells);
+    let board2 = vm.slot_ptr(0);
+    let rest = survivors(vm, p, board2, t);
+    let result = if (2..=3).contains(&n) {
+        vm.set_slot(0, Value::Ptr(rest));
+        cons(vm, p.cell, Value::Int(c), rest)
+    } else {
+        rest
+    };
+    vm.pop_frame();
+    result
+}
+
+/// Births: dead neighbours of live cells with exactly three live
+/// neighbours, deduplicated by sorted insertion into the accumulator.
+fn births(vm: &mut Vm, p: &Life, board: Addr) -> Addr {
+    vm.push_frame(p.births);
+    vm.set_slot(0, Value::Ptr(board)); // full board
+    vm.set_slot(1, Value::Ptr(board)); // cursor
+    vm.set_slot(2, Value::NULL); // accumulator
+    loop {
+        let cur = vm.slot_ptr(1);
+        if cur.is_null() {
+            break;
+        }
+        let c = head_int(vm, cur);
+        let (x, y) = unpack(c);
+        for (dx, dy) in OFFSETS {
+            let (nx, ny) = (x + dx, y + dy);
+            let key = pack(nx, ny);
+            let board = vm.slot_ptr(0);
+            let alive = {
+                let mut l = board;
+                let mut found = false;
+                while !l.is_null() {
+                    let h = head_int(vm, l);
+                    if h == key {
+                        found = true;
+                    }
+                    if h >= key {
+                        break;
+                    }
+                    l = tail(vm, l);
+                }
+                found
+            };
+            if !alive && neighbours(vm, board, nx, ny) == 3 {
+                let acc = vm.slot_ptr(2);
+                let acc = insert_sorted(vm, p, acc, key);
+                vm.set_slot(2, Value::Ptr(acc));
+            }
+        }
+        let cur = vm.slot_ptr(1);
+        let next = tail(vm, cur);
+        vm.set_slot(1, Value::Ptr(next));
+    }
+    let out = vm.slot_ptr(2);
+    vm.pop_frame();
+    out
+}
+
+/// One generation: next = survivors ∪ births.
+fn step(vm: &mut Vm, p: &Life, board: Addr) -> PResult<Addr> {
+    // Population explosion would make the quadratic list operations
+    // pathological; bail out the way the original's exception path would.
+    if crate::common::list_len(vm, board) > 4000 {
+        return Err(Exn);
+    }
+    vm.push_frame(p.main);
+    vm.set_slot(0, Value::Ptr(board));
+    let surv = survivors(vm, p, board, board);
+    vm.set_slot(1, Value::Ptr(surv));
+    let board = vm.slot_ptr(0);
+    let born = births(vm, p, board);
+    // Merge: insert each survivor into the births list.
+    vm.set_slot(0, Value::Ptr(born));
+    loop {
+        let s = vm.slot_ptr(1);
+        if s.is_null() {
+            break;
+        }
+        let c = head_int(vm, s);
+        let t = tail(vm, s);
+        vm.set_slot(1, Value::Ptr(t));
+        let acc = vm.slot_ptr(0);
+        let acc = insert_sorted(vm, p, acc, c);
+        vm.set_slot(0, Value::Ptr(acc));
+    }
+    let next = vm.slot_ptr(0);
+    vm.pop_frame();
+    Ok(next)
+}
+
+/// Runs the benchmark: the R-pentomino evolved for `30 * scale`
+/// generations (population grows past 100 live cells).
+pub fn run(vm: &mut Vm, scale: u32) -> u64 {
+    let p = setup(vm);
+    vm.push_frame(p.main);
+    // The R-pentomino, a long-lived methuselah.
+    let seed = [(0i64, 1i64), (0, 2), (1, 0), (1, 1), (2, 1)];
+    vm.set_slot(0, Value::NULL);
+    for (x, y) in seed {
+        let b = vm.slot_ptr(0);
+        let b = insert_sorted(vm, &p, b, pack(x, y));
+        vm.set_slot(0, Value::Ptr(b));
+    }
+    let gens = 30 * scale;
+    let mut h = 0u64;
+    for g in 0..gens {
+        let board = vm.slot_ptr(0);
+        match step(vm, &p, board) {
+            Ok(next) => vm.set_slot(0, Value::Ptr(next)),
+            Err(Exn) => break,
+        }
+        let board = vm.slot_ptr(0);
+        h = crate::common::mix(h, u64::from(g));
+        h = list_checksum(vm, board, h);
+    }
+    let board = vm.slot_ptr(0);
+    let h = list_checksum(vm, board, h);
+    vm.pop_frame();
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::{run_all_kinds, tiny_config};
+
+    #[test]
+    fn r_pentomino_grows() {
+        let mut vm = tilgc_core::build_vm(
+            tilgc_core::CollectorKind::Generational,
+            &tiny_config(),
+        );
+        let p = setup(&mut vm);
+        vm.push_frame(p.main);
+        vm.set_slot(0, Value::NULL);
+        for (x, y) in [(0i64, 1i64), (0, 2), (1, 0), (1, 1), (2, 1)] {
+            let b = vm.slot_ptr(0);
+            let b = insert_sorted(&mut vm, &p, b, pack(x, y));
+            vm.set_slot(0, Value::Ptr(b));
+        }
+        // Ground-truth populations from a reference implementation.
+        let expected = [6, 7, 9, 8, 9, 12, 11, 18, 11, 11];
+        for want in expected {
+            let b = vm.slot_ptr(0);
+            let next = step(&mut vm, &p, b).unwrap();
+            vm.set_slot(0, Value::Ptr(next));
+            let b = vm.slot_ptr(0);
+            let pop = crate::common::list_len(&mut vm, b);
+            assert_eq!(pop, want, "R-pentomino population sequence");
+        }
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        for (x, y) in [(0, 0), (-5, 7), (100, -100)] {
+            assert_eq!(unpack(pack(x, y)), (x, y));
+        }
+        // Packing preserves lexicographic adjacency used by the sort.
+        assert!(pack(0, 0) < pack(0, 1));
+        assert!(pack(0, 5) < pack(1, -5));
+    }
+
+    #[test]
+    fn deterministic_and_collector_independent() {
+        let results = run_all_kinds(|vm| run(vm, 1), &tiny_config());
+        assert!(results.windows(2).all(|w| w[0] == w[1]), "results differ: {results:?}");
+    }
+}

@@ -1,0 +1,188 @@
+//! `Nqueen` — the N-queens problem (n = 10 in the paper).
+//!
+//! The search places queens row by row; each partial placement is a list
+//! of column indices (short-lived), while complete solutions are consed
+//! onto an accumulator that survives to the end of the run. This is the
+//! paper's showcase of lifetime bimodality: Figure 2 shows 99 % of
+//! Nqueen's copied bytes coming from just four sites (the solution
+//! cells), which is why pretenuring cuts its GC time in half (Table 6).
+
+use tilgc_mem::{Addr, SiteId};
+use tilgc_runtime::{DescId, FrameDesc, Trace, Value, Vm};
+
+use crate::common::{cons, head_int, list_checksum, tail};
+
+struct NQueen {
+    main: DescId,
+    place: DescId,
+    /// Short-lived partial placements.
+    partial: SiteId,
+    /// Long-lived: cells of saved solutions.
+    solution: SiteId,
+    /// Long-lived: the spine of the solutions list.
+    spine: SiteId,
+}
+
+fn setup(vm: &mut Vm) -> NQueen {
+    NQueen {
+        main: vm.register_frame(FrameDesc::new("nqueen::main").slots(2, Trace::Pointer)),
+        place: vm.register_frame(
+            FrameDesc::new("nqueen::place")
+                .slots(3, Trace::Pointer)
+                .slot(Trace::NonPointer),
+        ),
+        partial: vm.site("nqueen::partial"),
+        solution: vm.site("nqueen::solution"),
+        spine: vm.site("nqueen::spine"),
+    }
+}
+
+/// Whether a queen in `col` is attacked by the placement list (row
+/// distance grows along the list). Non-allocating.
+fn safe(vm: &mut Vm, placement: Addr, col: i64) -> bool {
+    let mut dist = 1;
+    let mut l = placement;
+    while !l.is_null() {
+        let c = head_int(vm, l);
+        if c == col || (c - col).abs() == dist {
+            return false;
+        }
+        dist += 1;
+        l = tail(vm, l);
+    }
+    true
+}
+
+/// Copies a placement list into long-lived solution cells.
+fn save_solution(vm: &mut Vm, p: &NQueen, placement: Addr, solutions: Addr) -> Addr {
+    vm.push_frame(p.place);
+    vm.set_slot(0, Value::Ptr(placement));
+    vm.set_slot(1, Value::Ptr(solutions));
+    vm.set_slot(2, Value::NULL);
+    loop {
+        let l = vm.slot_ptr(0);
+        if l.is_null() {
+            break;
+        }
+        let c = head_int(vm, l);
+        let t = tail(vm, l);
+        vm.set_slot(0, Value::Ptr(t));
+        let acc = vm.slot_ptr(2);
+        let cell = cons(vm, p.solution, Value::Int(c), acc);
+        vm.set_slot(2, Value::Ptr(cell));
+    }
+    let sol = vm.slot_ptr(2);
+    vm.set_slot(2, Value::Ptr(sol));
+    let sols = vm.slot_ptr(1);
+    vm.set_slot(1, Value::Ptr(sols));
+    let sol = vm.slot_ptr(2);
+    let sols = vm.slot_ptr(1);
+    let out = cons(vm, p.spine, Value::Ptr(sol), sols);
+    vm.pop_frame();
+    out
+}
+
+/// Places queens in rows `row..n`; returns the updated solutions list.
+/// One VM frame per row — the recursion the paper's 29-frame stack comes
+/// from.
+fn place(vm: &mut Vm, p: &NQueen, n: i64, row: i64, placement: Addr, solutions: Addr) -> Addr {
+    vm.push_frame(p.place);
+    vm.set_slot(0, Value::Ptr(placement));
+    vm.set_slot(1, Value::Ptr(solutions));
+    vm.set_slot(3, Value::Int(row));
+    if row == n {
+        let placement = vm.slot_ptr(0);
+        let solutions = vm.slot_ptr(1);
+        let out = save_solution(vm, p, placement, solutions);
+        vm.pop_frame();
+        return out;
+    }
+    for col in 0..n {
+        let placement = vm.slot_ptr(0);
+        if safe(vm, placement, col) {
+            let extended = cons(vm, p.partial, Value::Int(col), placement);
+            vm.set_slot(2, Value::Ptr(extended));
+            let extended = vm.slot_ptr(2);
+            let solutions = vm.slot_ptr(1);
+            let updated = place(vm, p, n, row + 1, extended, solutions);
+            vm.set_slot(1, Value::Ptr(updated));
+        }
+    }
+    let out = vm.slot_ptr(1);
+    vm.pop_frame();
+    out
+}
+
+/// Runs the benchmark. `scale` ≥ 3 uses the paper's n = 10; smaller
+/// scales shrink the board.
+pub fn run(vm: &mut Vm, scale: u32) -> u64 {
+    let p = setup(vm);
+    let n = match scale {
+        0 | 1 => 8,
+        2 => 9,
+        _ => 10,
+    };
+    vm.push_frame(p.main);
+    vm.set_slot(0, Value::NULL);
+    // The paper's run allocates 88 MB for n = 10; iterate the search,
+    // accumulating the (long-lived) solutions across repetitions.
+    for _ in 0..8 {
+        let acc = vm.slot_ptr(0);
+        let solutions = place(vm, &p, n, 0, Addr::NULL, acc);
+        vm.set_slot(0, Value::Ptr(solutions));
+    }
+    // Fold every retained solution into the checksum — the solutions
+    // really are live until the end.
+    let mut h = 0u64;
+    let mut count = 0u64;
+    let mut spine = vm.slot_ptr(0);
+    while !spine.is_null() {
+        let sol = vm.load_ptr(spine, 0);
+        h = list_checksum(vm, sol, h);
+        count += 1;
+        spine = tail(vm, spine);
+    }
+    vm.pop_frame();
+    crate::common::mix(h, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::{run_all_kinds, tiny_config};
+    use tilgc_core::{build_vm, CollectorKind};
+
+    fn count_solutions(n: i64) -> u64 {
+        let mut vm = build_vm(CollectorKind::Generational, &tiny_config());
+        let p = setup(&mut vm);
+        vm.push_frame(p.main);
+        let sols = place(&mut vm, &p, n, 0, Addr::NULL, Addr::NULL);
+        vm.set_slot(0, Value::Ptr(sols));
+        let sols = vm.slot_ptr(0);
+        crate::common::list_len(&mut vm, sols) as u64
+    }
+
+    #[test]
+    fn classic_solution_counts() {
+        assert_eq!(count_solutions(4), 2);
+        assert_eq!(count_solutions(5), 10);
+        assert_eq!(count_solutions(6), 4);
+        assert_eq!(count_solutions(8), 92);
+    }
+
+    #[test]
+    fn deterministic_and_collector_independent() {
+        let results = run_all_kinds(|vm| run(vm, 1), &tiny_config());
+        assert!(results.windows(2).all(|w| w[0] == w[1]), "results differ: {results:?}");
+    }
+
+    #[test]
+    fn solutions_are_long_lived() {
+        let mut vm = build_vm(CollectorKind::Generational, &tiny_config());
+        run(&mut vm, 1);
+        // The solution sites' data survives collections → copied bytes
+        // accumulate across the run's many minor GCs.
+        assert!(vm.gc_stats().collections > 0);
+        assert!(vm.gc_stats().copied_bytes > 0);
+    }
+}

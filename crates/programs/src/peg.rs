@@ -1,0 +1,255 @@
+//! `Peg` — triangular peg-solitaire search, from a Prolog-to-ML
+//! translation (Hornof 1992).
+//!
+//! The board is a *mutable* pointer array updated (and undone) on every
+//! move of the depth-first search, in the imperative style Prolog
+//! translations produce: Table 2 shows Peg performing 2.97 million
+//! pointer updates — four orders of magnitude more than any other
+//! benchmark — which floods the sequential store buffer and makes root
+//! processing 32 % of GC time (§4). In the Prolog idiom, finding enough
+//! solutions aborts the search by raising an exception caught at the top.
+
+use tilgc_mem::{Addr, SiteId};
+use tilgc_runtime::{DescId, FrameDesc, RaiseOutcome, Trace, Value, Vm};
+
+use crate::common::{cons, mix, Exn, PResult};
+
+/// Jump moves (from, over, to) of 15-hole triangular solitaire.
+const MOVES: [(usize, usize, usize); 36] = [
+    (0, 1, 3),
+    (0, 2, 5),
+    (1, 3, 6),
+    (1, 4, 8),
+    (2, 4, 7),
+    (2, 5, 9),
+    (3, 1, 0),
+    (3, 4, 5),
+    (3, 6, 10),
+    (3, 7, 12),
+    (4, 7, 11),
+    (4, 8, 13),
+    (5, 2, 0),
+    (5, 4, 3),
+    (5, 8, 12),
+    (5, 9, 14),
+    (6, 3, 1),
+    (6, 7, 8),
+    (7, 4, 2),
+    (7, 8, 9),
+    (8, 4, 1),
+    (8, 7, 6),
+    (9, 5, 2),
+    (9, 8, 7),
+    (10, 6, 3),
+    (10, 11, 12),
+    (11, 7, 4),
+    (11, 12, 13),
+    (12, 7, 3),
+    (12, 8, 5),
+    (12, 11, 10),
+    (12, 13, 14),
+    (13, 8, 4),
+    (13, 12, 11),
+    (14, 9, 5),
+    (14, 13, 12),
+];
+
+struct Peg {
+    main: DescId,
+    solve: DescId,
+    board_site: SiteId,
+    marker_site: SiteId,
+    path_site: SiteId,
+}
+
+fn setup(vm: &mut Vm) -> Peg {
+    Peg {
+        main: vm.register_frame(FrameDesc::new("peg::main").slots(4, Trace::Pointer)),
+        solve: vm.register_frame(
+            FrameDesc::new("peg::solve")
+                .slots(4, Trace::Pointer)
+                .slot(Trace::NonPointer),
+        ),
+        board_site: vm.site("peg::board"),
+        marker_site: vm.site("peg::marker"),
+        path_site: vm.site("peg::path"),
+    }
+}
+
+struct Search {
+    budget: i64,
+    solutions: u64,
+    max_solutions: u64,
+    hash: u64,
+}
+
+/// DFS over moves. Board slots hold the PEG/EMPTY marker pointers;
+/// each move mutates three board cells and each backtrack undoes them —
+/// six barriered stores per node.
+///
+/// Raises (host-side `Err` mirroring the VM unwind) once enough solutions
+/// are found.
+#[allow(clippy::too_many_arguments)]
+fn solve(
+    vm: &mut Vm,
+    p: &Peg,
+    board: Addr,
+    peg: Addr,
+    empty: Addr,
+    path: Addr,
+    pegs_left: i64,
+    st: &mut Search,
+) -> PResult<()> {
+    if pegs_left == 1 {
+        st.solutions += 1;
+        st.hash = crate::common::list_checksum(vm, path, st.hash);
+        if st.solutions >= st.max_solutions {
+            // The Prolog idiom: abort the whole search with an exception.
+            match vm.raise() {
+                RaiseOutcome::Caught { .. } => return Err(Exn),
+                RaiseOutcome::Uncaught => unreachable!("run() installs the handler"),
+            }
+        }
+        return Ok(());
+    }
+    if st.budget <= 0 {
+        return Ok(());
+    }
+    vm.push_frame(p.solve);
+    vm.set_slot(0, Value::Ptr(board));
+    vm.set_slot(1, Value::Ptr(peg));
+    vm.set_slot(2, Value::Ptr(empty));
+    vm.set_slot(3, Value::Ptr(path));
+    for (i, &(from, over, to)) in MOVES.iter().enumerate() {
+        st.budget -= 1;
+        if st.budget <= 0 {
+            break;
+        }
+        let board = vm.slot_ptr(0);
+        let peg = vm.slot_ptr(1);
+        let empty = vm.slot_ptr(2);
+        let legal = vm.load_ptr(board, from) == peg
+            && vm.load_ptr(board, over) == peg
+            && vm.load_ptr(board, to) == empty;
+        if !legal {
+            continue;
+        }
+        // Apply the move (three mutations)...
+        vm.store_ptr(board, from, empty);
+        vm.store_ptr(board, over, empty);
+        vm.store_ptr(board, to, peg);
+        // ...extend the path (a short-lived cons)...
+        let path = vm.slot_ptr(3);
+        let path2 = cons(vm, p.path_site, Value::Int(i as i64), path);
+        // ...recurse...
+        let board = vm.slot_ptr(0);
+        let peg = vm.slot_ptr(1);
+        let empty = vm.slot_ptr(2);
+        let res = solve(vm, p, board, peg, empty, path2, pegs_left - 1, st);
+        if res.is_err() {
+            // The VM stack is already unwound past this frame; do not pop.
+            return Err(Exn);
+        }
+        // ...and undo (three more mutations).
+        let board = vm.slot_ptr(0);
+        let peg = vm.slot_ptr(1);
+        let empty = vm.slot_ptr(2);
+        vm.store_ptr(board, from, peg);
+        vm.store_ptr(board, over, peg);
+        vm.store_ptr(board, to, empty);
+    }
+    vm.pop_frame();
+    Ok(())
+}
+
+/// Runs the benchmark: full search with the hole at the apex, stopping
+/// after `500 · scale` solutions (the exception path) or
+/// `400_000 · scale` move attempts.
+pub fn run(vm: &mut Vm, scale: u32) -> u64 {
+    let p = setup(vm);
+    vm.push_frame(p.main);
+    let peg = vm.alloc_record(p.marker_site, &[Value::Int(1)]);
+    vm.set_slot(1, Value::Ptr(peg));
+    let empty = vm.alloc_record(p.marker_site, &[Value::Int(0)]);
+    vm.set_slot(2, Value::Ptr(empty));
+    let empty = vm.slot_ptr(2);
+    let board = vm.alloc_ptr_array(p.board_site, 15, empty);
+    vm.set_slot(0, Value::Ptr(board));
+    // Fill all but the apex with pegs.
+    for i in 1..15 {
+        let board = vm.slot_ptr(0);
+        let peg = vm.slot_ptr(1);
+        vm.store_ptr(board, i, peg);
+    }
+    let scale = scale.max(1);
+    let mut st = Search {
+        budget: 400_000 * i64::from(scale),
+        solutions: 0,
+        max_solutions: 500 * u64::from(scale),
+        hash: 0,
+    };
+    vm.push_handler();
+    let board = vm.slot_ptr(0);
+    let peg = vm.slot_ptr(1);
+    let empty = vm.slot_ptr(2);
+    match solve(vm, &p, board, peg, empty, Addr::NULL, 14, &mut st) {
+        Ok(()) => vm.pop_handler(),
+        Err(Exn) => { /* handler consumed by the raise; VM stack unwound */ }
+    }
+    vm.pop_frame();
+    mix(st.hash, st.solutions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::{run_all_kinds, tiny_config};
+    use tilgc_core::{build_vm, CollectorKind};
+
+    #[test]
+    #[ignore = "full enumeration of the 29,760-solution game tree; minutes in debug builds — run with --ignored or --release"]
+    fn finds_known_solutions() {
+        let mut vm = build_vm(CollectorKind::Generational, &tiny_config());
+        let p = setup(&mut vm);
+        vm.push_frame(p.main);
+        let peg = vm.alloc_record(p.marker_site, &[Value::Int(1)]);
+        vm.set_slot(1, Value::Ptr(peg));
+        let empty = vm.alloc_record(p.marker_site, &[Value::Int(0)]);
+        vm.set_slot(2, Value::Ptr(empty));
+        let empty = vm.slot_ptr(2);
+        let board = vm.alloc_ptr_array(p.board_site, 15, empty);
+        vm.set_slot(0, Value::Ptr(board));
+        for i in 1..15 {
+            let board = vm.slot_ptr(0);
+            let peg = vm.slot_ptr(1);
+            vm.store_ptr(board, i, peg);
+        }
+        let mut st =
+            Search { budget: i64::MAX, solutions: 0, max_solutions: u64::MAX, hash: 0 };
+        vm.push_handler();
+        let board = vm.slot_ptr(0);
+        let peg = vm.slot_ptr(1);
+        let empty = vm.slot_ptr(2);
+        solve(&mut vm, &p, board, peg, empty, Addr::NULL, 14, &mut st).unwrap();
+        // Triangular 15-hole solitaire with a corner hole has 29,760
+        // one-peg solutions — the classic enumeration result.
+        assert_eq!(st.solutions, 29_760);
+    }
+
+    #[test]
+    fn updates_dwarf_other_benchmarks() {
+        let mut vm = build_vm(CollectorKind::Generational, &tiny_config());
+        run(&mut vm, 1);
+        assert!(
+            vm.mutator_stats().pointer_updates > 50_000,
+            "peg must be update-heavy, got {}",
+            vm.mutator_stats().pointer_updates
+        );
+    }
+
+    #[test]
+    fn deterministic_and_collector_independent() {
+        let results = run_all_kinds(|vm| run(vm, 1), &tiny_config());
+        assert!(results.windows(2).all(|w| w[0] == w[1]), "results differ: {results:?}");
+    }
+}

@@ -1,0 +1,36 @@
+//! Test helpers shared by the benchmark modules.
+
+use tilgc_core::{build_vm, CollectorKind, GcConfig};
+use tilgc_runtime::Vm;
+
+/// Runs `f` on a thread with a large stack: some benchmarks (notably
+/// Knuth-Bendix) recurse thousands of VM frames deep, which in unoptimized
+/// builds exceeds the 2 MB default stack of test threads.
+pub fn with_big_stack<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T {
+    std::thread::Builder::new()
+        .stack_size(256 << 20)
+        .spawn(f)
+        .expect("spawn")
+        .join()
+        .expect("benchmark thread panicked")
+}
+
+/// A small configuration that forces frequent collections even at scale 1.
+pub fn tiny_config() -> GcConfig {
+    GcConfig::new().heap_budget_bytes(1 << 20).nursery_bytes(8 << 10)
+}
+
+/// Runs `program` once under each of the paper's four collector
+/// configurations and returns the four results. Collector choice must
+/// never change a program's result, so tests assert all four are equal.
+pub fn run_all_kinds(mut program: impl FnMut(&mut Vm) -> u64, config: &GcConfig) -> Vec<u64> {
+    CollectorKind::ALL
+        .iter()
+        .map(|&kind| {
+            let mut vm = build_vm(kind, config);
+            let r = program(&mut vm);
+            tilgc_core::verify_vm(&vm);
+            r
+        })
+        .collect()
+}

@@ -1,0 +1,148 @@
+//! The interface between the mutator and a garbage collector.
+//!
+//! The runtime owns the stack, registers, write barrier and handler chain
+//! (everything the mutator touches); a [`Collector`] owns the memory and
+//! its spaces. Allocation requests flow down through
+//! [`Collector::alloc`]; when space runs out the collector scans the
+//! mutator state for roots, relocates live data and retries.
+
+use tilgc_mem::{Addr, Memory, SiteId};
+
+use crate::mutator::MutatorState;
+use crate::profile_data::HeapProfile;
+use crate::stats::GcStats;
+
+/// The shape of a requested allocation.
+///
+/// The *contents* (initial field words) travel separately, in
+/// [`MutatorState::alloc_buf`]: the collector treats that buffer as a root
+/// area during any collection the allocation triggers, which models the
+/// argument registers a compiled allocation sequence would hold its
+/// operands in. By the time the collector initializes the new object, the
+/// buffer has been relocated along with everything else.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocShape {
+    /// A record; field words come from the alloc buffer.
+    Record {
+        /// Allocation site.
+        site: SiteId,
+        /// Number of fields.
+        len: usize,
+        /// Pointer mask (bit *i* set ⇒ field *i* is a pointer).
+        mask: u32,
+    },
+    /// A pointer array; the single alloc-buffer word is the initializer.
+    PtrArray {
+        /// Allocation site.
+        site: SiteId,
+        /// Element count.
+        len: usize,
+    },
+    /// A zero-filled raw array; the alloc buffer is unused.
+    RawArray {
+        /// Allocation site.
+        site: SiteId,
+        /// Payload size in bytes.
+        len_bytes: usize,
+    },
+}
+
+impl AllocShape {
+    /// The allocation site of the request.
+    pub fn site(&self) -> SiteId {
+        match *self {
+            AllocShape::Record { site, .. }
+            | AllocShape::PtrArray { site, .. }
+            | AllocShape::RawArray { site, .. } => site,
+        }
+    }
+
+    /// Total words the object will occupy, including its header.
+    pub fn size_words(&self) -> usize {
+        match *self {
+            AllocShape::Record { len, .. } => 1 + len,
+            AllocShape::PtrArray { len, .. } => 1 + len,
+            AllocShape::RawArray { len_bytes, .. } => 1 + tilgc_mem::bytes_to_words(len_bytes),
+        }
+    }
+
+    /// Total bytes the object will occupy, including its header.
+    pub fn size_bytes(&self) -> usize {
+        tilgc_mem::words_to_bytes(self.size_words())
+    }
+}
+
+/// Why a collection was requested.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CollectReason {
+    /// An allocation did not fit in the allocation space.
+    AllocFailure,
+    /// The embedder forced a collection.
+    Forced,
+    /// The embedder forced a *major* collection (meaningful for
+    /// generational collectors; others treat it as `Forced`).
+    ForcedMajor,
+}
+
+/// A garbage collector driving a [`Memory`].
+///
+/// Implementations live in `tilgc-core`: the semispace baseline, the
+/// generational collector, and the generational collector extended with
+/// stack markers and pretenuring.
+pub trait Collector {
+    /// A short human-readable name ("semispace", "generational", ...).
+    fn name(&self) -> &'static str;
+
+    /// Read access to the simulated memory.
+    fn memory(&self) -> &Memory;
+
+    /// Write access to the simulated memory (mutator field stores).
+    fn memory_mut(&mut self) -> &mut Memory;
+
+    /// Allocates an object, collecting first if necessary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if even after collection the heap budget cannot satisfy the
+    /// request — the simulated machine is out of memory.
+    fn alloc(&mut self, mutator: &mut MutatorState, shape: AllocShape) -> Addr;
+
+    /// Runs a collection now.
+    fn collect(&mut self, mutator: &mut MutatorState, reason: CollectReason);
+
+    /// Cumulative collection statistics.
+    fn gc_stats(&self) -> &GcStats;
+
+    /// Live bytes as of the last collection.
+    fn live_bytes_estimate(&self) -> u64 {
+        self.gc_stats().last_live_bytes
+    }
+
+    /// End-of-run hook: flush profiling data, run a final sweep, etc.
+    fn finish(&mut self, mutator: &mut MutatorState) {
+        let _ = mutator;
+    }
+
+    /// Extracts the heap profile gathered during the run, if profiling
+    /// was enabled.
+    fn take_profile(&mut self) -> Option<HeapProfile> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_sizes() {
+        let r = AllocShape::Record { site: SiteId::UNKNOWN, len: 3, mask: 0 };
+        assert_eq!(r.size_words(), 4);
+        assert_eq!(r.size_bytes(), 32);
+        let p = AllocShape::PtrArray { site: SiteId::UNKNOWN, len: 10 };
+        assert_eq!(p.size_words(), 11);
+        let b = AllocShape::RawArray { site: SiteId::new(2), len_bytes: 9 };
+        assert_eq!(b.size_words(), 3);
+        assert_eq!(b.site(), SiteId::new(2));
+    }
+}

@@ -1,0 +1,100 @@
+//! The bundle of mutator-owned state a collector scans for roots.
+
+use crate::barrier::WriteBarrier;
+use crate::cost::CostModel;
+use crate::handlers::{HandlerChain, RaiseBookkeeping};
+use crate::registers::RegisterFile;
+use crate::sites::SiteRegistry;
+use crate::stack::Stack;
+use crate::stats::MutatorStats;
+use crate::trace::TraceTable;
+
+/// Everything the mutator owns: stack, registers, write barrier, handler
+/// chain, trace tables, allocation sites and statistics.
+///
+/// This is a passive data bundle in the C spirit — the `Vm` facade drives
+/// it from above and collectors scan it from below, and both need free
+/// access to its parts, so the fields are public.
+#[derive(Debug)]
+pub struct MutatorState {
+    /// The activation-record stack.
+    pub stack: Stack,
+    /// The register file.
+    pub regs: RegisterFile,
+    /// The write barrier recording pointer updates.
+    pub barrier: WriteBarrier,
+    /// The exception handler chain.
+    pub handlers: HandlerChain,
+    /// Registered frame descriptors (the trace table).
+    pub traces: TraceTable,
+    /// Registered allocation sites.
+    pub sites: SiteRegistry,
+    /// Mutator-side statistics.
+    pub stats: MutatorStats,
+    /// The shared cycle cost model.
+    pub cost: CostModel,
+    /// Which §5 exception-bookkeeping variant is active.
+    pub raise_mode: RaiseBookkeeping,
+    /// Whether API entry points cross-check shadow tags against traces
+    /// (catches mis-declared frame descriptors in test programs).
+    pub check_shadows: bool,
+    /// Staging buffer for allocation operands; scanned as roots during
+    /// collections triggered by the allocation itself.
+    pub alloc_buf: Vec<u64>,
+    /// Which alloc-buffer entries are pointers (bit *i* ⇒ entry *i*).
+    pub alloc_buf_ptr_mask: u64,
+}
+
+impl Default for MutatorState {
+    fn default() -> Self {
+        MutatorState::new()
+    }
+}
+
+impl MutatorState {
+    /// Creates mutator state with an SSB write barrier (the paper's
+    /// configuration) and default cost model.
+    pub fn new() -> MutatorState {
+        MutatorState {
+            stack: Stack::new(),
+            regs: RegisterFile::new(),
+            barrier: WriteBarrier::ssb(),
+            handlers: HandlerChain::new(),
+            traces: TraceTable::new(),
+            sites: SiteRegistry::new(),
+            stats: MutatorStats::default(),
+            cost: CostModel::default(),
+            raise_mode: RaiseBookkeeping::Watermark,
+            check_shadows: cfg!(debug_assertions),
+            alloc_buf: Vec::new(),
+            alloc_buf_ptr_mask: 0,
+        }
+    }
+
+    /// Charges `cycles` to the client (mutator) account.
+    #[inline]
+    pub fn charge(&mut self, cycles: u64) {
+        self.stats.client_cycles += cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_configuration() {
+        let m = MutatorState::new();
+        assert!(matches!(m.barrier, WriteBarrier::Ssb(_)));
+        assert_eq!(m.raise_mode, RaiseBookkeeping::Watermark);
+        assert_eq!(m.stack.depth(), 0);
+    }
+
+    #[test]
+    fn charge_accumulates() {
+        let mut m = MutatorState::new();
+        m.charge(10);
+        m.charge(5);
+        assert_eq!(m.stats.client_cycles, 15);
+    }
+}

@@ -1,0 +1,101 @@
+use crate::trace::{Reg, NUM_REGS};
+use crate::value::{ShadowTag, Value};
+
+/// The simulated general-purpose register file.
+///
+/// Registers are bare words, like everything else in a nearly tag-free
+/// runtime; a parallel array of [`ShadowTag`]s records what the mutator
+/// last wrote so that tests can validate the collector's trace-based
+/// classification (the collector itself never reads the shadows).
+///
+/// # Example
+///
+/// ```
+/// use tilgc_runtime::{RegisterFile, Reg, Value};
+/// use tilgc_mem::Addr;
+///
+/// let mut regs = RegisterFile::new();
+/// regs.set(Reg::new(3), Value::Ptr(Addr::new(80)));
+/// assert_eq!(regs.word(Reg::new(3)), 80);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RegisterFile {
+    words: [u64; NUM_REGS],
+    shadow: [ShadowTag; NUM_REGS],
+}
+
+impl Default for RegisterFile {
+    fn default() -> Self {
+        RegisterFile::new()
+    }
+}
+
+impl RegisterFile {
+    /// Creates a register file with all registers zeroed (non-pointers).
+    pub fn new() -> RegisterFile {
+        RegisterFile { words: [0; NUM_REGS], shadow: [ShadowTag::NonPtr; NUM_REGS] }
+    }
+
+    /// Writes a typed value into `reg`, updating the shadow tag.
+    #[inline]
+    pub fn set(&mut self, reg: Reg, value: Value) {
+        self.words[reg.index()] = value.to_word();
+        self.shadow[reg.index()] = ShadowTag::of(value);
+    }
+
+    /// The raw word in `reg`.
+    #[inline]
+    pub fn word(&self, reg: Reg) -> u64 {
+        self.words[reg.index()]
+    }
+
+    /// Overwrites the raw word in `reg` without touching the shadow tag.
+    ///
+    /// Used by the collector when it relocates a pointer held in a
+    /// register: pointerness is unchanged, only the address moved.
+    #[inline]
+    pub fn set_word_raw(&mut self, reg: Reg, word: u64) {
+        self.words[reg.index()] = word;
+    }
+
+    /// Writes a raw word together with an explicit shadow tag (callee-save
+    /// restore: the word and its pointerness come back from the spill
+    /// slot).
+    #[inline]
+    pub fn set_word_tagged(&mut self, reg: Reg, word: u64, tag: ShadowTag) {
+        self.words[reg.index()] = word;
+        self.shadow[reg.index()] = tag;
+    }
+
+    /// The shadow tag of `reg` (testing oracle only).
+    #[inline]
+    pub fn shadow(&self, reg: Reg) -> ShadowTag {
+        self.shadow[reg.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilgc_mem::Addr;
+
+    #[test]
+    fn set_tracks_shadow() {
+        let mut r = RegisterFile::new();
+        assert_eq!(r.shadow(Reg::new(0)), ShadowTag::NonPtr);
+        r.set(Reg::new(0), Value::Ptr(Addr::new(4)));
+        assert_eq!(r.shadow(Reg::new(0)), ShadowTag::Ptr);
+        assert_eq!(r.word(Reg::new(0)), 4);
+        r.set(Reg::new(0), Value::Int(7));
+        assert_eq!(r.shadow(Reg::new(0)), ShadowTag::NonPtr);
+    }
+
+    #[test]
+    fn raw_write_preserves_shadow() {
+        let mut r = RegisterFile::new();
+        r.set(Reg::new(5), Value::Ptr(Addr::new(4)));
+        r.set_word_raw(Reg::new(5), 96);
+        assert_eq!(r.shadow(Reg::new(5)), ShadowTag::Ptr);
+        assert_eq!(r.word(Reg::new(5)), 96);
+    }
+}

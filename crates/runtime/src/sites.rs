@@ -1,0 +1,102 @@
+//! Registry of named allocation sites.
+//!
+//! The profiling compiler assigns each static allocation point an
+//! identifier (the paper's site numbers like `10897`); benchmark programs
+//! here register sites by name once at startup.
+
+use tilgc_mem::SiteId;
+
+/// Maps allocation-site names to dense [`SiteId`]s.
+///
+/// # Example
+///
+/// ```
+/// use tilgc_runtime::SiteRegistry;
+///
+/// let mut sites = SiteRegistry::new();
+/// let cons = sites.register("kb::cons");
+/// assert_eq!(sites.name(cons), "kb::cons");
+/// assert_eq!(sites.register("kb::cons"), cons, "same name, same id");
+/// ```
+#[derive(Clone, Debug)]
+pub struct SiteRegistry {
+    names: Vec<String>,
+}
+
+impl Default for SiteRegistry {
+    fn default() -> Self {
+        SiteRegistry::new()
+    }
+}
+
+impl SiteRegistry {
+    /// Creates a registry containing only [`SiteId::UNKNOWN`].
+    pub fn new() -> SiteRegistry {
+        SiteRegistry { names: vec!["<unknown>".to_string()] }
+    }
+
+    /// Registers (or looks up) the site named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 65 535 sites are registered — the header field
+    /// is 16 bits, like the paper's 2048-entry profile tables, scaled up.
+    pub fn register(&mut self, name: &str) -> SiteId {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return SiteId::new(i as u16);
+        }
+        let id = self.names.len();
+        assert!(id <= usize::from(u16::MAX), "too many allocation sites");
+        self.names.push(name.to_string());
+        SiteId::new(id as u16)
+    }
+
+    /// The name of `site`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` was not registered here.
+    pub fn name(&self, site: SiteId) -> &str {
+        &self.names[site.index()]
+    }
+
+    /// Number of registered sites (including the unknown site).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether only the unknown site exists.
+    pub fn is_empty(&self) -> bool {
+        self.names.len() <= 1
+    }
+
+    /// Iterates over `(id, name)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SiteId, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (SiteId::new(i as u16), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_site_preregistered() {
+        let r = SiteRegistry::new();
+        assert_eq!(r.name(SiteId::UNKNOWN), "<unknown>");
+        assert_eq!(r.len(), 1);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let mut r = SiteRegistry::new();
+        let a = r.register("x");
+        let b = r.register("y");
+        assert_ne!(a, b);
+        assert_eq!(r.register("x"), a);
+        assert_eq!(r.len(), 3);
+        let all: Vec<_> = r.iter().map(|(_, n)| n.to_string()).collect();
+        assert_eq!(all, vec!["<unknown>", "x", "y"]);
+    }
+}

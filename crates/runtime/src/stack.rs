@@ -1,0 +1,569 @@
+//! The activation-record stack, including the paper's *stack marker*
+//! machinery (§5).
+//!
+//! Frames are pushed and popped by the mutator. At each collection the
+//! collector may *mark* every n-th frame by swapping its return address
+//! for a stub and recording the original in a side table. When a marked
+//! frame later returns normally, the stub fires: the original return
+//! address is restored and the side-table entry is removed. Exceptions
+//! unwind without returning through stubs, so a watermark `M` tracks the
+//! shallowest depth reached by raises.
+//!
+//! At the next collection the *reusable prefix* — the frames whose scan
+//! results from last time are still valid — is bounded by the deepest
+//! marker that is still intact and by `M`:
+//! frames `0 .. reusable_prefix()` are provably untouched since the last
+//! scan. The bound is conservative by up to one marker interval, which is
+//! exactly the trade the paper makes ("n is a parameter best chosen to
+//! balance the gains of information reuse against the cost of the
+//! bookkeeping").
+
+use std::collections::BTreeMap;
+
+use crate::trace::DescId;
+use crate::value::{ShadowTag, Value};
+
+/// One activation record.
+///
+/// The real runtime lays frames out contiguously in memory with the return
+/// address in the first slot (Figure 1); here each frame is a small object
+/// carrying its descriptor key (the "return address"), its raw slot words,
+/// and the simulation-only shadow tags.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    desc: DescId,
+    slots: Vec<u64>,
+    shadow: Vec<ShadowTag>,
+    marked: bool,
+}
+
+impl Frame {
+    fn new(desc: DescId, num_slots: usize) -> Frame {
+        Frame {
+            desc,
+            slots: vec![0; num_slots],
+            shadow: vec![ShadowTag::NonPtr; num_slots],
+            marked: false,
+        }
+    }
+
+    /// The trace-table key for this frame (its "return address").
+    #[inline]
+    pub fn desc(&self) -> DescId {
+        self.desc
+    }
+
+    /// Number of slots.
+    #[inline]
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Raw word in slot `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn word(&self, i: usize) -> u64 {
+        self.slots[i]
+    }
+
+    /// Writes a typed value into slot `i`, updating the shadow tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: Value) {
+        self.slots[i] = value.to_word();
+        self.shadow[i] = ShadowTag::of(value);
+    }
+
+    /// Overwrites the raw word in slot `i` without touching the shadow tag
+    /// (collector relocation of a pointer).
+    #[inline]
+    pub fn set_word_raw(&mut self, i: usize, word: u64) {
+        self.slots[i] = word;
+    }
+
+    /// Writes a raw word together with an explicit shadow tag — used for
+    /// callee-save spills, which copy both the word and its (unknowable to
+    /// the frame itself) pointerness from the register file.
+    #[inline]
+    pub fn set_word_tagged(&mut self, i: usize, word: u64, tag: ShadowTag) {
+        self.slots[i] = word;
+        self.shadow[i] = tag;
+    }
+
+    /// Shadow tag of slot `i` (testing oracle only).
+    #[inline]
+    pub fn shadow(&self, i: usize) -> ShadowTag {
+        self.shadow[i]
+    }
+
+    /// Whether this frame currently carries a stack marker.
+    #[inline]
+    pub fn is_marked(&self) -> bool {
+        self.marked
+    }
+}
+
+/// Counters the stack maintains for Table 2 and the cost model.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StackStats {
+    /// Total frames pushed over the run.
+    pub pushes: u64,
+    /// Total frames popped over the run.
+    pub pops: u64,
+    /// Deepest stack seen (Table 2, "Max Frames in Stack").
+    pub max_depth: usize,
+    /// Number of stub firings (returns through marked frames).
+    pub marker_fires: u64,
+    /// Number of markers placed by collections.
+    pub markers_placed: u64,
+    /// Number of exceptions raised.
+    pub raises: u64,
+}
+
+/// What [`Stack::pop`] observed, so the VM can charge the right simulated
+/// cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PopEvent {
+    /// The popped frame's descriptor.
+    pub desc: DescId,
+    /// Whether the pop returned through a stub (a marker fired).
+    pub fired_marker: bool,
+}
+
+/// The activation-record stack with marker bookkeeping.
+///
+/// # Example
+///
+/// ```
+/// use tilgc_runtime::{Stack, TraceTable, FrameDesc, Trace};
+///
+/// let mut table = TraceTable::new();
+/// let d = table.register(FrameDesc::new("f").slot(Trace::NonPointer));
+/// let mut stack = Stack::new();
+/// for _ in 0..100 { stack.push(d, 1); }
+/// // A collection scans the stack and places markers every 25 frames.
+/// stack.place_markers(25);
+/// assert_eq!(stack.reusable_prefix(), 99); // all but the active top frame
+/// for _ in 0..30 { stack.pop(); }          // pops fire the markers at depths 99 and 74
+/// assert_eq!(stack.reusable_prefix(), 49); // bounded by the intact marker at depth 49
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Stack {
+    frames: Vec<Frame>,
+    /// Original return addresses of marked frames, keyed by depth.
+    marker_table: BTreeMap<usize, DescId>,
+    /// Shallowest depth reached by exception unwinds since the last scan
+    /// (`usize::MAX` if none) — the paper's `M`.
+    watermark: usize,
+    /// Simulation-only oracle: the true shallowest depth reached by any
+    /// means since the last scan. Property tests check that
+    /// `reusable_prefix() <= min_depth_since_scan`.
+    min_depth_since_scan: usize,
+    stats: StackStats,
+}
+
+impl Stack {
+    /// Creates an empty stack.
+    pub fn new() -> Stack {
+        Stack {
+            frames: Vec::new(),
+            marker_table: BTreeMap::new(),
+            watermark: usize::MAX,
+            min_depth_since_scan: 0,
+            stats: StackStats::default(),
+        }
+    }
+
+    /// Current depth (number of live frames).
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the stack is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Pushes a frame of `num_slots` zeroed slots described by `desc`.
+    pub fn push(&mut self, desc: DescId, num_slots: usize) {
+        self.frames.push(Frame::new(desc, num_slots));
+        self.stats.pushes += 1;
+        self.stats.max_depth = self.stats.max_depth.max(self.frames.len());
+    }
+
+    /// Pops the top frame, firing its marker stub if it carries one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack is empty.
+    pub fn pop(&mut self) -> PopEvent {
+        let frame = self.frames.pop().expect("pop on empty stack");
+        let depth = self.frames.len();
+        self.stats.pops += 1;
+        self.min_depth_since_scan = self.min_depth_since_scan.min(depth);
+        let fired = frame.marked;
+        if fired {
+            // The stub runs: it notes the deactivation (removes the table
+            // entry) and control continues at the recorded original
+            // return address.
+            let original = self.marker_table.remove(&depth);
+            debug_assert!(original.is_some(), "marked frame without table entry");
+            self.stats.marker_fires += 1;
+        }
+        PopEvent { desc: frame.desc, fired_marker: fired }
+    }
+
+    /// Unwinds to `target_depth` because of a raised exception: frames are
+    /// discarded *without* returning through their stubs, and the
+    /// watermark `M` is updated instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_depth` exceeds the current depth.
+    pub fn unwind_for_raise(&mut self, target_depth: usize) {
+        assert!(target_depth <= self.depth(), "unwind target beyond stack top");
+        let popped = self.depth() - target_depth;
+        self.frames.truncate(target_depth);
+        self.stats.pops += popped as u64;
+        self.stats.raises += 1;
+        self.watermark = self.watermark.min(target_depth);
+        self.min_depth_since_scan = self.min_depth_since_scan.min(target_depth);
+        // Stale marker-table entries above the cut are removed lazily at
+        // the next scan; the watermark makes them harmless meanwhile.
+    }
+
+    /// Like [`unwind_for_raise`](Stack::unwind_for_raise) but *without*
+    /// updating the watermark — the bookkeeping variant of §5 in which the
+    /// collector later reconstructs the watermark by walking the handler
+    /// chain ("deferring the handling of exceptions to a collection").
+    /// The caller must eventually feed the reconstructed depth back via
+    /// [`note_watermark`](Stack::note_watermark) before the next scan
+    /// reuses anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_depth` exceeds the current depth.
+    pub fn unwind_for_raise_silent(&mut self, target_depth: usize) {
+        assert!(target_depth <= self.depth(), "unwind target beyond stack top");
+        let popped = self.depth() - target_depth;
+        self.frames.truncate(target_depth);
+        self.stats.pops += popped as u64;
+        self.stats.raises += 1;
+        self.min_depth_since_scan = self.min_depth_since_scan.min(target_depth);
+    }
+
+    /// Lowers the watermark to `depth` (used by the deferred
+    /// exception-bookkeeping variant at collection time).
+    pub fn note_watermark(&mut self, depth: usize) {
+        self.watermark = self.watermark.min(depth);
+    }
+
+    /// The frame at `depth` (0 = oldest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is out of range.
+    #[inline]
+    pub fn frame(&self, depth: usize) -> &Frame {
+        &self.frames[depth]
+    }
+
+    /// Mutable access to the frame at `depth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is out of range.
+    #[inline]
+    pub fn frame_mut(&mut self, depth: usize) -> &mut Frame {
+        &mut self.frames[depth]
+    }
+
+    /// The top (most recent) frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack is empty.
+    #[inline]
+    pub fn top(&self) -> &Frame {
+        self.frames.last().expect("top of empty stack")
+    }
+
+    /// Mutable access to the top frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack is empty.
+    #[inline]
+    pub fn top_mut(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("top of empty stack")
+    }
+
+    /// Number of leading frames that are provably unchanged since the last
+    /// scan: the collector may reuse their cached scan results.
+    ///
+    /// Computed as the paper prescribes: the shallower of the exception
+    /// watermark `M` and the deepest *intact* marker (a fired or stale
+    /// marker proves nothing). An intact marker at depth `m` proves the
+    /// stack never unwound past frame `m` — but frame `m` itself may have
+    /// been the *top* frame (actively written) without being popped, so
+    /// only frames `0 .. m` are reusable. Likewise a raise that unwound to
+    /// depth `t` made frame `t − 1` the active frame, so `M = t` proves
+    /// only `0 .. t − 1`.
+    pub fn reusable_prefix(&self) -> usize {
+        // Entries at depth ≥ M are stale: an exception jumped past them
+        // without firing their stubs.
+        let intact_bound = self.watermark.min(self.depth());
+        let deepest_intact = match self.marker_table.range(..intact_bound).next_back() {
+            Some((&d, _)) => d,
+            None => return 0,
+        };
+        deepest_intact.min(self.watermark.saturating_sub(1))
+    }
+
+    /// Simulation-only oracle: the true unchanged prefix length. The frame
+    /// at the minimum depth reached was the active frame at that moment,
+    /// so it does not count as unchanged.
+    pub fn true_unchanged_prefix(&self) -> usize {
+        self.min_depth_since_scan.min(self.depth()).saturating_sub(1)
+    }
+
+    /// Called by the collector after a full or partial scan: removes stale
+    /// marker entries, resets the watermark and the oracle, and marks
+    /// every `interval`-th frame. Returns the number of markers placed
+    /// (each placement has a bookkeeping cost).
+    ///
+    /// With `interval == 0` no new markers are placed (marker machinery
+    /// disabled), but bookkeeping is still reset.
+    pub fn place_markers(&mut self, interval: usize) -> usize {
+        // Lazy cleanup: an entry is stale if its frame is gone or was
+        // replaced by a new (unmarked) frame after an exception unwind.
+        let depth = self.depth();
+        let frames = &self.frames;
+        self.marker_table.retain(|&d, _| d < depth && frames[d].marked);
+        self.watermark = usize::MAX;
+        self.min_depth_since_scan = depth;
+        if interval == 0 {
+            return 0;
+        }
+        let mut placed = 0;
+        let mut d = interval - 1;
+        while d < depth {
+            let frame = &mut self.frames[d];
+            if !frame.marked {
+                self.marker_table.insert(d, frame.desc);
+                frame.marked = true;
+                placed += 1;
+            }
+            d += interval;
+        }
+        self.stats.markers_placed += placed as u64;
+        placed
+    }
+
+    /// Like [`place_markers`](Stack::place_markers) but with an explicit
+    /// list of depths, for non-uniform placement policies (§7.1 notes "a
+    /// more dynamic policy of marker placement may achieve better
+    /// performance with fewer markers"). Depths beyond the stack are
+    /// ignored. Returns the number of markers placed.
+    pub fn place_markers_at(&mut self, depths: impl IntoIterator<Item = usize>) -> usize {
+        let depth = self.depth();
+        let frames = &self.frames;
+        self.marker_table.retain(|&d, _| d < depth && frames[d].marked);
+        self.watermark = usize::MAX;
+        self.min_depth_since_scan = depth;
+        let mut placed = 0;
+        for d in depths {
+            if d >= depth {
+                continue;
+            }
+            let frame = &mut self.frames[d];
+            if !frame.marked {
+                self.marker_table.insert(d, frame.desc);
+                frame.marked = true;
+                placed += 1;
+            }
+        }
+        self.stats.markers_placed += placed as u64;
+        placed
+    }
+
+    /// The current exception watermark `M` (`usize::MAX` when no raise has
+    /// happened since the last scan).
+    #[inline]
+    pub fn watermark(&self) -> usize {
+        self.watermark
+    }
+
+    /// Number of intact marker-table entries.
+    pub fn live_markers(&self) -> usize {
+        self.marker_table.len()
+    }
+
+    /// Cumulative stack statistics.
+    #[inline]
+    pub fn stats(&self) -> &StackStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{FrameDesc, TraceTable};
+
+    fn desc() -> DescId {
+        let mut t = TraceTable::new();
+        t.register(FrameDesc::new("t"))
+    }
+
+    fn stack_of(n: usize) -> Stack {
+        let d = desc();
+        let mut s = Stack::new();
+        for _ in 0..n {
+            s.push(d, 2);
+        }
+        s
+    }
+
+    #[test]
+    fn push_pop_lifo() {
+        let mut s = stack_of(3);
+        assert_eq!(s.depth(), 3);
+        s.top_mut().set(0, Value::Int(9));
+        assert_eq!(s.top().word(0), 9);
+        let ev = s.pop();
+        assert!(!ev.fired_marker);
+        assert_eq!(s.depth(), 2);
+        assert_eq!(s.stats().max_depth, 3);
+    }
+
+    #[test]
+    fn fresh_stack_has_no_reusable_prefix() {
+        let s = stack_of(100);
+        assert_eq!(s.reusable_prefix(), 0, "nothing scanned yet, nothing to reuse");
+    }
+
+    #[test]
+    fn markers_every_interval() {
+        let mut s = stack_of(100);
+        let placed = s.place_markers(25);
+        assert_eq!(placed, 4); // depths 24, 49, 74, 99
+        assert!(s.frame(24).is_marked() && s.frame(99).is_marked());
+        assert!(!s.frame(25).is_marked());
+        assert_eq!(s.reusable_prefix(), 99);
+    }
+
+    #[test]
+    fn interval_zero_disables_markers() {
+        let mut s = stack_of(100);
+        assert_eq!(s.place_markers(0), 0);
+        assert_eq!(s.reusable_prefix(), 0);
+        // But the oracle still resets.
+        assert_eq!(s.true_unchanged_prefix(), 99);
+    }
+
+    #[test]
+    fn firing_markers_shrinks_the_prefix_conservatively() {
+        let mut s = stack_of(100);
+        s.place_markers(25);
+        for _ in 0..26 {
+            s.pop(); // pops 99..74, firing markers at 99 and 74
+        }
+        assert_eq!(s.stats().marker_fires, 2);
+        assert_eq!(s.depth(), 74);
+        // Deepest intact marker is 49; frames 49..73 are actually intact
+        // but unprovable — the conservative price of interval 25.
+        assert_eq!(s.reusable_prefix(), 49);
+        assert_eq!(s.true_unchanged_prefix(), 73);
+    }
+
+    #[test]
+    fn regrowth_after_pops_is_not_reused() {
+        let d = desc();
+        let mut s = stack_of(100);
+        s.place_markers(25);
+        for _ in 0..60 {
+            s.pop(); // down to depth 40, firing markers 99, 74, 49
+        }
+        for _ in 0..60 {
+            s.push(d, 2); // regrow to 100 with *new* frames
+        }
+        assert_eq!(s.reusable_prefix(), 24, "only frames under the intact marker at 24");
+        assert!(s.reusable_prefix() <= s.true_unchanged_prefix());
+    }
+
+    #[test]
+    fn exception_unwind_uses_watermark_not_stubs() {
+        let d = desc();
+        let mut s = stack_of(100);
+        s.place_markers(25);
+        s.unwind_for_raise(30); // jumps past markers at 99, 74, 49 silently
+        assert_eq!(s.stats().marker_fires, 0);
+        assert_eq!(s.watermark(), 30);
+        for _ in 0..70 {
+            s.push(d, 2);
+        }
+        // Markers at 49, 74, 99 are stale (their frames are new and
+        // unmarked); M = 30 caps reuse, and the deepest intact marker
+        // below 30 is 24.
+        assert_eq!(s.reusable_prefix(), 24);
+        assert!(s.reusable_prefix() <= s.true_unchanged_prefix());
+    }
+
+    #[test]
+    fn rescan_cleans_stale_entries_and_resets_watermark() {
+        let d = desc();
+        let mut s = stack_of(100);
+        s.place_markers(25);
+        s.unwind_for_raise(10);
+        for _ in 0..40 {
+            s.push(d, 2);
+        }
+        s.place_markers(25);
+        assert_eq!(s.watermark(), usize::MAX);
+        assert_eq!(s.reusable_prefix(), 49); // depth 50, markers at 24 and 49 intact
+        assert_eq!(s.live_markers(), 2);
+    }
+
+    #[test]
+    fn remarking_does_not_duplicate() {
+        let mut s = stack_of(50);
+        assert_eq!(s.place_markers(25), 2);
+        assert_eq!(s.place_markers(25), 0, "existing markers are kept, not re-placed");
+    }
+
+    #[test]
+    fn explicit_marker_placement() {
+        let mut s = stack_of(50);
+        // Depths beyond the stack are ignored; duplicates collapse.
+        let placed = s.place_markers_at([3, 10, 10, 49, 120]);
+        assert_eq!(placed, 3);
+        assert!(s.frame(3).is_marked() && s.frame(10).is_marked() && s.frame(49).is_marked());
+        assert_eq!(s.live_markers(), 3);
+        assert_eq!(s.reusable_prefix(), 49);
+        // Re-placing over existing markers is free.
+        assert_eq!(s.place_markers_at([3, 10]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pop on empty stack")]
+    fn pop_empty_panics() {
+        Stack::new().pop();
+    }
+
+    #[test]
+    fn unwind_to_current_depth_is_noop_on_frames() {
+        let mut s = stack_of(5);
+        s.unwind_for_raise(5);
+        assert_eq!(s.depth(), 5);
+        assert_eq!(s.watermark(), 5);
+    }
+}

@@ -1,0 +1,394 @@
+//! Trace tables: the compiler-emitted metadata that lets the collector
+//! decode stack frames (§2.3 of the paper, Figure 1).
+//!
+//! Every activation record is described by a [`FrameDesc`] registered in
+//! the [`TraceTable`]. A frame's *return address* is the key into the
+//! table; in this simulation the key is a [`DescId`]. For each stack slot
+//! and each register the descriptor records a [`Trace`]:
+//!
+//! * [`Trace::Pointer`] — statically known pointer, always a root;
+//! * [`Trace::NonPointer`] — statically known non-pointer, never a root;
+//! * [`Trace::CalleeSave`] — the slot holds the spilled value of a
+//!   callee-save register, so its pointerness is whatever that register
+//!   held *in the caller*: frames cannot be decoded in isolation, which is
+//!   why the paper's stack scan is two-pass;
+//! * [`Trace::Compute`] — polymorphic value; the collector must fetch a
+//!   runtime type from another location and decide dynamically.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// Number of general-purpose registers in the simulated machine (the Alpha
+/// has 32).
+pub const NUM_REGS: usize = 32;
+
+/// A general-purpose register index.
+///
+/// # Example
+///
+/// ```
+/// use tilgc_runtime::Reg;
+/// let r = Reg::new(10);
+/// assert_eq!(r.to_string(), "$10");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates a register index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_REGS`.
+    #[inline]
+    pub fn new(index: u8) -> Reg {
+        assert!((index as usize) < NUM_REGS, "register ${index} out of range");
+        Reg(index)
+    }
+
+    /// The register number.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.0)
+    }
+}
+
+/// Where a `Compute` trace finds its runtime type.
+///
+/// TIL passes types to polymorphic code at runtime (§2.2); the trace table
+/// records where the type for a polymorphic value lives — some other slot
+/// of the same frame, or a register.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TypeLoc {
+    /// The type descriptor is in slot `n` of the same frame.
+    Slot(u16),
+    /// The type descriptor is in a register.
+    Reg(Reg),
+}
+
+/// Interprets a runtime type word: the low bit says whether values of the
+/// described type are heap pointers.
+///
+/// This is the simulation's stand-in for TIL's type analysis — rich enough
+/// that the collector genuinely cannot classify a `Compute` slot without
+/// fetching and interpreting another value, which is the behaviour (and
+/// cost) the paper describes.
+#[inline]
+pub fn type_word_is_pointer(type_word: u64) -> bool {
+    type_word & 1 == 1
+}
+
+/// The runtime type word for "boxed" (pointer) values.
+pub const TYPE_BOXED: i64 = 1;
+/// The runtime type word for "unboxed" (non-pointer) values.
+pub const TYPE_UNBOXED: i64 = 0;
+
+/// The trace recorded for one stack slot or register (§2.3 lists exactly
+/// these four).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Trace {
+    /// Statically known to be a pointer.
+    Pointer,
+    /// Statically known not to be a pointer.
+    NonPointer,
+    /// Holds the spilled value of the given callee-save register.
+    CalleeSave(Reg),
+    /// Pointerness must be computed from a runtime type at `TypeLoc`.
+    Compute(TypeLoc),
+}
+
+impl Trace {
+    /// Whether writing `value` into a location with this trace is
+    /// consistent. `Compute` and `CalleeSave` locations accept anything —
+    /// their pointerness is context-dependent by design.
+    pub fn admits(self, value: Value) -> bool {
+        match self {
+            Trace::Pointer => value.is_pointer(),
+            Trace::NonPointer => !value.is_pointer(),
+            Trace::CalleeSave(_) | Trace::Compute(_) => true,
+        }
+    }
+}
+
+/// What a frame's code does to a register by the time the frame is
+/// suspended at a call (the register portion of Figure 1's table entry).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum RegEffect {
+    /// The frame leaves the caller's value in place (callee-save
+    /// discipline). This is the default for unlisted registers.
+    #[default]
+    Preserve,
+    /// The frame leaves a pointer in the register.
+    DefPointer,
+    /// The frame leaves a non-pointer in the register.
+    DefNonPointer,
+}
+
+/// Identifier of a registered [`FrameDesc`] — the simulation's "return
+/// address", used as the key into the [`TraceTable`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DescId(u32);
+
+impl DescId {
+    /// Index form for dense tables.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DescId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ret:{:#x}", self.0)
+    }
+}
+
+/// Static description of one kind of activation record.
+///
+/// Built with a fluent API and registered once per function/call-site:
+///
+/// ```
+/// use tilgc_runtime::{FrameDesc, Trace, TypeLoc, Reg, TraceTable};
+///
+/// let mut table = TraceTable::new();
+/// let desc = FrameDesc::new("kb::rewrite")
+///     .slot(Trace::NonPointer)
+///     .slot(Trace::Pointer)
+///     .slot(Trace::Pointer)
+///     .slot(Trace::NonPointer)              // runtime type for slot 4
+///     .slot(Trace::Compute(TypeLoc::Slot(3)))
+///     .slot(Trace::CalleeSave(Reg::new(10)))
+///     .def_pointer(Reg::new(10));
+/// let id = table.register(desc);
+/// assert_eq!(table.desc(id).num_slots(), 6);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FrameDesc {
+    name: String,
+    slots: Vec<Trace>,
+    reg_effects: Vec<(Reg, RegEffect)>,
+}
+
+impl FrameDesc {
+    /// Starts a descriptor for the function/call-site named `name`.
+    pub fn new(name: impl Into<String>) -> FrameDesc {
+        FrameDesc { name: name.into(), slots: Vec::new(), reg_effects: Vec::new() }
+    }
+
+    /// Appends a slot with the given trace.
+    #[must_use]
+    pub fn slot(mut self, trace: Trace) -> FrameDesc {
+        self.slots.push(trace);
+        self
+    }
+
+    /// Appends `n` slots with the same trace.
+    #[must_use]
+    pub fn slots(mut self, n: usize, trace: Trace) -> FrameDesc {
+        self.slots.extend(std::iter::repeat_n(trace, n));
+        self
+    }
+
+    /// Declares that this frame leaves a pointer in `reg` while suspended.
+    #[must_use]
+    pub fn def_pointer(mut self, reg: Reg) -> FrameDesc {
+        self.reg_effects.push((reg, RegEffect::DefPointer));
+        self
+    }
+
+    /// Declares that this frame leaves a non-pointer in `reg` while
+    /// suspended.
+    #[must_use]
+    pub fn def_non_pointer(mut self, reg: Reg) -> FrameDesc {
+        self.reg_effects.push((reg, RegEffect::DefNonPointer));
+        self
+    }
+
+    /// The descriptor's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of slots in frames of this shape (the paper's "frame size").
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The trace for slot `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn slot_trace(&self, i: usize) -> Trace {
+        self.slots[i]
+    }
+
+    /// All slot traces, in slot order.
+    pub fn slot_traces(&self) -> &[Trace] {
+        &self.slots
+    }
+
+    /// The declared register effects (unlisted registers are
+    /// [`RegEffect::Preserve`]).
+    pub fn reg_effects(&self) -> &[(Reg, RegEffect)] {
+        &self.reg_effects
+    }
+
+    /// The effect of this frame on register `reg`.
+    pub fn reg_effect(&self, reg: Reg) -> RegEffect {
+        self.reg_effects
+            .iter()
+            .rev()
+            .find(|(r, _)| *r == reg)
+            .map(|&(_, e)| e)
+            .unwrap_or(RegEffect::Preserve)
+    }
+
+    /// The callee-save registers this frame spills into slots, with the
+    /// slot index of each spill.
+    pub fn callee_saves(&self) -> impl Iterator<Item = (usize, Reg)> + '_ {
+        self.slots.iter().enumerate().filter_map(|(i, t)| match t {
+            Trace::CalleeSave(r) => Some((i, *r)),
+            _ => None,
+        })
+    }
+}
+
+/// The table of auxiliary frame information the collector indexes by
+/// return address (§2.3).
+#[derive(Clone, Debug, Default)]
+pub struct TraceTable {
+    descs: Vec<FrameDesc>,
+}
+
+impl TraceTable {
+    /// Creates an empty table.
+    pub fn new() -> TraceTable {
+        TraceTable::default()
+    }
+
+    /// Registers a frame descriptor, returning its key.
+    ///
+    /// # Panics
+    ///
+    /// Panics on descriptors whose `Compute` traces reference slots out of
+    /// range — the moral equivalent of a compiler bug.
+    pub fn register(&mut self, desc: FrameDesc) -> DescId {
+        for (i, t) in desc.slots.iter().enumerate() {
+            if let Trace::Compute(TypeLoc::Slot(s)) = t {
+                assert!(
+                    (*s as usize) < desc.slots.len(),
+                    "compute trace of slot {i} in {:?} references missing slot {s}",
+                    desc.name
+                );
+            }
+        }
+        let id = DescId(self.descs.len() as u32);
+        self.descs.push(desc);
+        id
+    }
+
+    /// Looks up a descriptor (the "table index by return address").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn desc(&self, id: DescId) -> &FrameDesc {
+        &self.descs[id.index()]
+    }
+
+    /// Number of registered descriptors.
+    pub fn len(&self) -> usize {
+        self.descs.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.descs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_slots_and_effects() {
+        let d = FrameDesc::new("f")
+            .slot(Trace::Pointer)
+            .slots(3, Trace::NonPointer)
+            .def_pointer(Reg::new(4))
+            .def_non_pointer(Reg::new(5));
+        assert_eq!(d.num_slots(), 4);
+        assert_eq!(d.slot_trace(0), Trace::Pointer);
+        assert_eq!(d.slot_trace(3), Trace::NonPointer);
+        assert_eq!(d.reg_effect(Reg::new(4)), RegEffect::DefPointer);
+        assert_eq!(d.reg_effect(Reg::new(5)), RegEffect::DefNonPointer);
+        assert_eq!(d.reg_effect(Reg::new(6)), RegEffect::Preserve);
+    }
+
+    #[test]
+    fn later_reg_effect_wins() {
+        let d = FrameDesc::new("f").def_pointer(Reg::new(1)).def_non_pointer(Reg::new(1));
+        assert_eq!(d.reg_effect(Reg::new(1)), RegEffect::DefNonPointer);
+    }
+
+    #[test]
+    fn callee_saves_listed_with_slots() {
+        let d = FrameDesc::new("f")
+            .slot(Trace::NonPointer)
+            .slot(Trace::CalleeSave(Reg::new(9)))
+            .slot(Trace::CalleeSave(Reg::new(10)));
+        let spills: Vec<_> = d.callee_saves().collect();
+        assert_eq!(spills, vec![(1, Reg::new(9)), (2, Reg::new(10))]);
+    }
+
+    #[test]
+    fn table_round_trip() {
+        let mut t = TraceTable::new();
+        let a = t.register(FrameDesc::new("a"));
+        let b = t.register(FrameDesc::new("b").slot(Trace::Pointer));
+        assert_ne!(a, b);
+        assert_eq!(t.desc(a).name(), "a");
+        assert_eq!(t.desc(b).num_slots(), 1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "references missing slot")]
+    fn bad_compute_reference_panics() {
+        let mut t = TraceTable::new();
+        t.register(FrameDesc::new("bad").slot(Trace::Compute(TypeLoc::Slot(5))));
+    }
+
+    #[test]
+    fn trace_admits() {
+        use crate::value::Value;
+        use tilgc_mem::Addr;
+        assert!(Trace::Pointer.admits(Value::Ptr(Addr::NULL)));
+        assert!(!Trace::Pointer.admits(Value::Int(1)));
+        assert!(Trace::NonPointer.admits(Value::Real(2.0)));
+        assert!(!Trace::NonPointer.admits(Value::Ptr(Addr::new(8))));
+        assert!(Trace::Compute(TypeLoc::Slot(0)).admits(Value::Int(1)));
+        assert!(Trace::CalleeSave(Reg::new(0)).admits(Value::Ptr(Addr::new(8))));
+    }
+
+    #[test]
+    fn type_word_interpretation() {
+        assert!(type_word_is_pointer(TYPE_BOXED as u64));
+        assert!(!type_word_is_pointer(TYPE_UNBOXED as u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_out_of_range_panics() {
+        let _ = Reg::new(32);
+    }
+}

@@ -1,0 +1,515 @@
+//! The `Vm` facade: the API benchmark programs are written against.
+//!
+//! A `Vm` couples a [`MutatorState`] with a [`Collector`]. Programs
+//! allocate through it, keep their live pointers in *frame slots* (never
+//! in host-language locals across an allocation — any allocation may move
+//! objects), and mirror their call structure as pushed/popped frames so
+//! the collector sees a realistic activation-record stack.
+//!
+//! # The rooting discipline
+//!
+//! Because every collector here is a *moving* collector, an [`Addr`] held
+//! outside the VM goes stale at the next collection. The contract is the
+//! one real compiled code obeys:
+//!
+//! * values that must survive an allocation live in frame slots (or
+//!   registers) declared by the frame's [`FrameDesc`];
+//! * an `Addr` read out of a slot may be used only up to the next
+//!   allocation; afterwards re-read it from the slot.
+//!
+//! Allocation operands are safe by construction: they are staged in an
+//! internal buffer that the collector treats as roots, the way argument
+//! registers would be.
+//!
+//! Violations do not go quietly: vacated spaces are poisoned in debug
+//! builds and the heap verifier in `tilgc-core` rejects dangling
+//! addresses.
+
+use tilgc_mem::{object, Addr, Header, Memory, SiteId, MAX_RECORD_FIELDS};
+
+use crate::collector::{AllocShape, CollectReason, Collector};
+use crate::handlers::RaiseBookkeeping;
+use crate::mutator::MutatorState;
+use crate::profile_data::HeapProfile;
+use crate::stack::PopEvent;
+use crate::stats::{GcStats, MutatorStats};
+use crate::trace::{DescId, FrameDesc, Reg};
+use crate::value::{ShadowTag, Value};
+
+/// Result of [`Vm::raise`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RaiseOutcome {
+    /// The exception was caught; the stack has been unwound to
+    /// `handler_depth` frames and control belongs to the handler.
+    Caught {
+        /// Stack depth after unwinding.
+        handler_depth: usize,
+    },
+    /// No handler was installed; the stack is untouched.
+    Uncaught,
+}
+
+/// A running TIL-style virtual machine: mutator state plus a collector.
+///
+/// # Example
+///
+/// ```no_run
+/// use tilgc_runtime::{Vm, FrameDesc, Trace, Value};
+///
+/// # fn collector() -> Box<dyn tilgc_runtime::Collector> { unimplemented!() }
+/// let mut vm = Vm::new(collector());
+/// let site = vm.site("example::pair");
+/// let d = vm.register_frame(FrameDesc::new("example").slot(Trace::Pointer));
+/// vm.push_frame(d);
+/// let pair = vm.alloc_record(site, &[Value::Int(1), Value::Int(2)]);
+/// vm.set_slot(0, Value::Ptr(pair));
+/// vm.pop_frame();
+/// ```
+pub struct Vm {
+    m: MutatorState,
+    gc: Box<dyn Collector>,
+}
+
+impl std::fmt::Debug for Vm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Vm")
+            .field("collector", &self.gc.name())
+            .field("depth", &self.m.stack.depth())
+            .finish()
+    }
+}
+
+impl Vm {
+    /// Creates a VM over the given collector with default mutator state.
+    pub fn new(collector: Box<dyn Collector>) -> Vm {
+        Vm { m: MutatorState::new(), gc: collector }
+    }
+
+    /// Creates a VM with custom mutator state (barrier choice, cost
+    /// model, raise bookkeeping, ...).
+    pub fn with_mutator(mutator: MutatorState, collector: Box<dyn Collector>) -> Vm {
+        Vm { m: mutator, gc: collector }
+    }
+
+    // ----- introspection ---------------------------------------------------
+
+    /// The mutator state (stack, registers, statistics, ...).
+    pub fn mutator(&self) -> &MutatorState {
+        &self.m
+    }
+
+    /// Mutable access to the mutator state.
+    pub fn mutator_mut(&mut self) -> &mut MutatorState {
+        &mut self.m
+    }
+
+    /// The collector.
+    pub fn collector(&self) -> &dyn Collector {
+        &*self.gc
+    }
+
+    /// The simulated memory (read-only).
+    pub fn mem(&self) -> &Memory {
+        self.gc.memory()
+    }
+
+    /// Collector statistics.
+    pub fn gc_stats(&self) -> &GcStats {
+        self.gc.gc_stats()
+    }
+
+    /// Mutator statistics.
+    pub fn mutator_stats(&self) -> &MutatorStats {
+        &self.m.stats
+    }
+
+    /// Current stack depth.
+    pub fn depth(&self) -> usize {
+        self.m.stack.depth()
+    }
+
+    // ----- registration ----------------------------------------------------
+
+    /// Registers (or looks up) an allocation site by name.
+    pub fn site(&mut self, name: &str) -> SiteId {
+        self.m.sites.register(name)
+    }
+
+    /// Registers a frame descriptor.
+    pub fn register_frame(&mut self, desc: FrameDesc) -> DescId {
+        self.m.traces.register(desc)
+    }
+
+    // ----- frames ------------------------------------------------------------
+
+    /// Pushes an activation record described by `desc`, spilling its
+    /// callee-save registers into the declared slots. Slots declared
+    /// [`Trace::Pointer`](crate::Trace::Pointer) start as null pointers
+    /// (the frame is zeroed, and the layout says they are pointer slots).
+    pub fn push_frame(&mut self, desc: DescId) {
+        let d = self.m.traces.desc(desc);
+        let num_slots = d.num_slots();
+        let spills: Vec<(usize, Reg)> = d.callee_saves().collect();
+        let ptr_slots: Vec<usize> = d
+            .slot_traces()
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t, crate::Trace::Pointer))
+            .map(|(i, _)| i)
+            .collect();
+        let push_cost = self.m.cost.frame_push;
+        self.m.stack.push(desc, num_slots);
+        for i in ptr_slots {
+            self.m.stack.top_mut().set_word_tagged(i, 0, ShadowTag::Ptr);
+        }
+        for (slot, reg) in spills {
+            let word = self.m.regs.word(reg);
+            let tag = self.m.regs.shadow(reg);
+            self.m.stack.top_mut().set_word_tagged(slot, word, tag);
+        }
+        self.m.charge(push_cost);
+    }
+
+    /// Pops the top activation record, restoring its callee-save
+    /// registers from the spill slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack is empty.
+    pub fn pop_frame(&mut self) {
+        let top = self.m.stack.top();
+        let desc = top.desc();
+        let d = self.m.traces.desc(desc);
+        let restores: Vec<(usize, Reg)> = d.callee_saves().collect();
+        for &(slot, reg) in &restores {
+            let word = self.m.stack.top().word(slot);
+            let tag = self.m.stack.top().shadow(slot);
+            self.m.regs.set_word_tagged(reg, word, tag);
+        }
+        let PopEvent { fired_marker, .. } = self.m.stack.pop();
+        let mut cost = self.m.cost.frame_pop;
+        if fired_marker {
+            cost += self.m.cost.marker_fire;
+        }
+        self.m.charge(cost);
+    }
+
+    /// Writes a typed value into slot `i` of the top frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics (when shadow checking is on) if the slot's declared trace
+    /// does not admit the value — e.g. storing a pointer into a
+    /// `NonPointer` slot, which in the real system would hide a root from
+    /// the collector.
+    pub fn set_slot(&mut self, i: usize, value: Value) {
+        if self.m.check_shadows {
+            let trace = self.m.traces.desc(self.m.stack.top().desc()).slot_trace(i);
+            assert!(
+                trace.admits(value),
+                "slot {i} with trace {trace:?} cannot hold {value:?}"
+            );
+        }
+        self.m.stack.top_mut().set(i, value);
+    }
+
+    /// Raw word in slot `i` of the top frame.
+    pub fn slot_word(&self, i: usize) -> u64 {
+        self.m.stack.top().word(i)
+    }
+
+    /// Pointer in slot `i` of the top frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics in checked mode if the slot does not currently hold a
+    /// pointer.
+    pub fn slot_ptr(&self, i: usize) -> Addr {
+        if self.m.check_shadows {
+            assert_eq!(
+                self.m.stack.top().shadow(i),
+                ShadowTag::Ptr,
+                "slot {i} read as pointer but holds a non-pointer"
+            );
+        }
+        Addr::new(self.m.stack.top().word(i) as u32)
+    }
+
+    /// Integer in slot `i` of the top frame.
+    pub fn slot_int(&self, i: usize) -> i64 {
+        self.m.stack.top().word(i) as i64
+    }
+
+    /// Double in slot `i` of the top frame.
+    pub fn slot_f64(&self, i: usize) -> f64 {
+        f64::from_bits(self.m.stack.top().word(i))
+    }
+
+    /// The value in slot `i`, decoded via its shadow tag (pointers come
+    /// back as `Value::Ptr`, everything else as `Value::Int`).
+    pub fn slot_value(&self, i: usize) -> Value {
+        let word = self.m.stack.top().word(i);
+        match self.m.stack.top().shadow(i) {
+            ShadowTag::Ptr => Value::from_ptr_word(word),
+            ShadowTag::NonPtr => Value::from_int_word(word),
+        }
+    }
+
+    /// Writes a typed value into a register.
+    pub fn set_reg(&mut self, reg: Reg, value: Value) {
+        self.m.regs.set(reg, value);
+    }
+
+    /// Pointer in register `reg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in checked mode if the register holds a non-pointer.
+    pub fn reg_ptr(&self, reg: Reg) -> Addr {
+        if self.m.check_shadows {
+            assert_eq!(self.m.regs.shadow(reg), ShadowTag::Ptr, "register {reg} is not a pointer");
+        }
+        Addr::new(self.m.regs.word(reg) as u32)
+    }
+
+    /// Integer in register `reg`.
+    pub fn reg_int(&self, reg: Reg) -> i64 {
+        self.m.regs.word(reg) as i64
+    }
+
+    // ----- allocation --------------------------------------------------------
+
+    /// Allocates a record; the pointer mask is derived from the field
+    /// values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_RECORD_FIELDS`] fields are given, or if
+    /// the heap budget is exhausted even after collection.
+    pub fn alloc_record(&mut self, site: SiteId, fields: &[Value]) -> Addr {
+        assert!(fields.len() <= MAX_RECORD_FIELDS, "record of {} fields", fields.len());
+        let mut mask = 0u32;
+        self.m.alloc_buf.clear();
+        self.m.alloc_buf_ptr_mask = 0;
+        for (i, v) in fields.iter().enumerate() {
+            if v.is_pointer() {
+                mask |= 1 << i;
+                self.m.alloc_buf_ptr_mask |= 1 << i;
+            }
+            self.m.alloc_buf.push(v.to_word());
+        }
+        let shape = AllocShape::Record { site, len: fields.len(), mask };
+        self.pre_alloc(&shape);
+        self.m.stats.record_bytes += shape.size_bytes() as u64;
+        self.gc.alloc(&mut self.m, shape)
+    }
+
+    /// Allocates a pointer array filled with `init`.
+    pub fn alloc_ptr_array(&mut self, site: SiteId, len: usize, init: Addr) -> Addr {
+        self.m.alloc_buf.clear();
+        self.m.alloc_buf.push(u64::from(init.raw()));
+        self.m.alloc_buf_ptr_mask = 1;
+        let shape = AllocShape::PtrArray { site, len };
+        self.pre_alloc(&shape);
+        self.m.stats.ptr_array_bytes += shape.size_bytes() as u64;
+        self.gc.alloc(&mut self.m, shape)
+    }
+
+    /// Allocates a zero-filled raw array of `len_bytes` bytes.
+    pub fn alloc_raw_array(&mut self, site: SiteId, len_bytes: usize) -> Addr {
+        self.m.alloc_buf.clear();
+        self.m.alloc_buf_ptr_mask = 0;
+        let shape = AllocShape::RawArray { site, len_bytes };
+        self.pre_alloc(&shape);
+        self.m.stats.raw_array_bytes += shape.size_bytes() as u64;
+        self.gc.alloc(&mut self.m, shape)
+    }
+
+    fn pre_alloc(&mut self, shape: &AllocShape) {
+        let words = shape.size_words() as u64;
+        let cost = self.m.cost.alloc_base + self.m.cost.alloc_per_word * words;
+        self.m.charge(cost);
+        self.m.stats.alloc_bytes += shape.size_bytes() as u64;
+        self.m.stats.alloc_objects += 1;
+    }
+
+    // ----- heap access ---------------------------------------------------------
+
+    /// Header of the object at `obj`.
+    pub fn header(&self, obj: Addr) -> Header {
+        object::header(self.gc.memory(), obj)
+    }
+
+    /// Loads pointer field `i` of `obj`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the header says field `i` is not a
+    /// pointer.
+    pub fn load_ptr(&mut self, obj: Addr, i: usize) -> Addr {
+        debug_assert!(
+            object::header(self.gc.memory(), obj).field_is_pointer(i),
+            "load_ptr of non-pointer field {i} of {obj}"
+        );
+        self.m.charge(self.m.cost.heap_access);
+        object::ptr_field(self.gc.memory(), obj, i)
+    }
+
+    /// Loads integer field `i` of `obj`.
+    pub fn load_int(&mut self, obj: Addr, i: usize) -> i64 {
+        debug_assert!(
+            !object::header(self.gc.memory(), obj).field_is_pointer(i),
+            "load_int of pointer field {i} of {obj}"
+        );
+        self.m.charge(self.m.cost.heap_access);
+        object::field(self.gc.memory(), obj, i) as i64
+    }
+
+    /// Loads double element `i` of a raw array, or an unboxed float field
+    /// of a record (TIL does not always box floats, §2.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the field is a pointer field.
+    pub fn load_f64(&mut self, obj: Addr, i: usize) -> f64 {
+        debug_assert!(
+            !object::header(self.gc.memory(), obj).field_is_pointer(i),
+            "load_f64 of pointer field {i} of {obj}"
+        );
+        self.m.charge(self.m.cost.heap_access);
+        object::f64_elem(self.gc.memory(), obj, i)
+    }
+
+    /// Loads byte `i` of a raw array.
+    pub fn load_byte(&mut self, obj: Addr, i: usize) -> u8 {
+        self.m.charge(self.m.cost.heap_access);
+        object::byte(self.gc.memory(), obj, i)
+    }
+
+    /// Stores a pointer into field `i` of `obj`, recording the update in
+    /// the write barrier (§2.1's "pointer updates").
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the header says field `i` is not a
+    /// pointer field.
+    pub fn store_ptr(&mut self, obj: Addr, i: usize, value: Addr) {
+        debug_assert!(
+            object::header(self.gc.memory(), obj).field_is_pointer(i),
+            "store_ptr into non-pointer field {i} of {obj}"
+        );
+        let record = if self.m.barrier.dedups_objects() {
+            // Object-marking barrier: the dirty bit deduplicates repeated
+            // updates to the same object.
+            let h = object::header(self.gc.memory(), obj);
+            if h.is_dirty() {
+                false
+            } else {
+                object::set_header(self.gc.memory_mut(), obj, h.with_dirty(true));
+                true
+            }
+        } else {
+            true
+        };
+        if record {
+            self.m.barrier.record(obj, object::field_addr(obj, i));
+        }
+        self.m.stats.pointer_updates += 1;
+        self.m.charge(self.m.cost.heap_access + self.m.cost.barrier_record);
+        object::set_field(self.gc.memory_mut(), obj, i, u64::from(value.raw()));
+    }
+
+    /// Stores an integer into field `i` of `obj` (no barrier needed, as
+    /// the paper notes).
+    pub fn store_int(&mut self, obj: Addr, i: usize, value: i64) {
+        debug_assert!(
+            !object::header(self.gc.memory(), obj).field_is_pointer(i),
+            "store_int into pointer field {i} of {obj}"
+        );
+        self.m.charge(self.m.cost.heap_access);
+        object::set_field(self.gc.memory_mut(), obj, i, value as u64);
+    }
+
+    /// Stores a double into element `i` of a raw array or an unboxed
+    /// float field of a record (no barrier — floats are not pointers).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the field is a pointer field.
+    pub fn store_f64(&mut self, obj: Addr, i: usize, value: f64) {
+        debug_assert!(
+            !object::header(self.gc.memory(), obj).field_is_pointer(i),
+            "store_f64 into pointer field {i} of {obj}"
+        );
+        self.m.charge(self.m.cost.heap_access);
+        object::set_f64_elem(self.gc.memory_mut(), obj, i, value);
+    }
+
+    /// Stores a byte into a raw array.
+    pub fn store_byte(&mut self, obj: Addr, i: usize, value: u8) {
+        self.m.charge(self.m.cost.heap_access);
+        object::set_byte(self.gc.memory_mut(), obj, i, value);
+    }
+
+    // ----- exceptions ---------------------------------------------------------
+
+    /// Installs an exception handler anchored at the current frame.
+    pub fn push_handler(&mut self) {
+        let depth = self.m.stack.depth();
+        self.m.handlers.push(depth);
+    }
+
+    /// Removes the innermost handler on normal exit from its scope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no handler is installed.
+    pub fn pop_handler(&mut self) {
+        self.m.handlers.pop();
+    }
+
+    /// Raises an exception: unwinds to the innermost handler.
+    ///
+    /// With [`RaiseBookkeeping::Watermark`] the stack watermark `M` is
+    /// updated now; with [`RaiseBookkeeping::Deferred`] the record lands
+    /// on the handler chain for the collector to find.
+    pub fn raise(&mut self) -> RaiseOutcome {
+        let Some(target) = self.m.handlers.raise() else {
+            return RaiseOutcome::Uncaught;
+        };
+        let mut cost = self.m.cost.raise_base;
+        match self.m.raise_mode {
+            RaiseBookkeeping::Watermark => {
+                self.m.stack.unwind_for_raise(target);
+                cost += self.m.cost.raise_watermark;
+            }
+            RaiseBookkeeping::Deferred => {
+                self.m.stack.unwind_for_raise_silent(target);
+            }
+        }
+        self.m.charge(cost);
+        RaiseOutcome::Caught { handler_depth: target }
+    }
+
+    // ----- collection control ---------------------------------------------------
+
+    /// Forces a collection.
+    pub fn gc_now(&mut self) {
+        self.gc.collect(&mut self.m, CollectReason::Forced);
+    }
+
+    /// Forces a major collection (for generational collectors).
+    pub fn gc_major(&mut self) {
+        self.gc.collect(&mut self.m, CollectReason::ForcedMajor);
+    }
+
+    /// Ends the run: final collector bookkeeping (profile flush, ...).
+    pub fn finish(&mut self) {
+        self.gc.finish(&mut self.m);
+    }
+
+    /// Extracts the heap profile, if the collector gathered one.
+    pub fn take_profile(&mut self) -> Option<HeapProfile> {
+        self.gc.take_profile()
+    }
+}

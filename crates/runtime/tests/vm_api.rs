@@ -1,0 +1,209 @@
+//! Behavioural tests of the `Vm` facade against a minimal test collector,
+//! exercising the runtime substrate independently of `tilgc-core`: frame
+//! push/pop with callee-save spill/restore, slot/trace validation,
+//! barriers, exceptions, and allocation staging.
+
+use tilgc_mem::{object, Addr, Memory, Space};
+use tilgc_runtime::{
+    AllocShape, CollectReason, Collector, FrameDesc, GcStats, MutatorState, RaiseOutcome, Reg,
+    ShadowTag, Trace, Value, Vm,
+};
+
+/// A bump-only collector that never collects — the runtime substrate can
+/// be tested without any GC behaviour.
+struct BumpCollector {
+    mem: Memory,
+    space: Space,
+    stats: GcStats,
+}
+
+impl BumpCollector {
+    fn new() -> BumpCollector {
+        let mut mem = Memory::with_capacity_words(1 << 20);
+        let space = Space::new(mem.reserve((1 << 20) - 16).expect("reserve"));
+        BumpCollector { mem, space, stats: GcStats::default() }
+    }
+}
+
+impl Collector for BumpCollector {
+    fn name(&self) -> &'static str {
+        "bump"
+    }
+
+    fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    fn alloc(&mut self, m: &mut MutatorState, shape: AllocShape) -> Addr {
+        let addr = self.space.alloc(shape.size_words()).expect("bump space exhausted");
+        match shape {
+            AllocShape::Record { site, len, mask } => {
+                let h = tilgc_mem::Header::record(len, mask, site).expect("valid");
+                object::set_header(&mut self.mem, addr, h);
+                for (i, &w) in m.alloc_buf.iter().enumerate().take(len) {
+                    object::set_field(&mut self.mem, addr, i, w);
+                }
+            }
+            AllocShape::PtrArray { site, len } => {
+                let h = tilgc_mem::Header::ptr_array(len, site).expect("valid");
+                object::set_header(&mut self.mem, addr, h);
+                let init = m.alloc_buf.first().copied().unwrap_or(0);
+                for i in 0..len {
+                    object::set_field(&mut self.mem, addr, i, init);
+                }
+            }
+            AllocShape::RawArray { site, len_bytes } => {
+                let h = tilgc_mem::Header::raw_array(len_bytes, site).expect("valid");
+                object::set_header(&mut self.mem, addr, h);
+                for i in 0..h.payload_words() {
+                    object::set_field(&mut self.mem, addr, i, 0);
+                }
+            }
+        }
+        addr
+    }
+
+    fn collect(&mut self, _m: &mut MutatorState, _reason: CollectReason) {}
+
+    fn gc_stats(&self) -> &GcStats {
+        &self.stats
+    }
+}
+
+fn vm() -> Vm {
+    Vm::new(Box::new(BumpCollector::new()))
+}
+
+#[test]
+fn callee_save_spills_at_push_and_restores_at_pop() {
+    let mut vm = vm();
+    let site = vm.site("t::x");
+    let callee = vm.register_frame(
+        FrameDesc::new("callee").slot(Trace::CalleeSave(Reg::new(9))).def_pointer(Reg::new(9)),
+    );
+    // The caller leaves a pointer in $9...
+    let obj = vm.alloc_record(site, &[Value::Int(5)]);
+    vm.set_reg(Reg::new(9), Value::Ptr(obj));
+    // ...the callee spills it, clobbers the register, and the pop restores.
+    vm.push_frame(callee);
+    assert_eq!(vm.slot_word(0), u64::from(obj.raw()), "spilled at entry");
+    assert_eq!(vm.mutator().stack.top().shadow(0), ShadowTag::Ptr);
+    let other = vm.alloc_record(site, &[Value::Int(6)]);
+    vm.set_reg(Reg::new(9), Value::Ptr(other));
+    vm.pop_frame();
+    assert_eq!(vm.reg_ptr(Reg::new(9)), obj, "restored at exit");
+}
+
+#[test]
+fn pointer_slots_start_as_null_pointers() {
+    let mut vm = vm();
+    let d = vm.register_frame(FrameDesc::new("f").slot(Trace::Pointer).slot(Trace::NonPointer));
+    vm.push_frame(d);
+    assert!(vm.slot_ptr(0).is_null());
+    assert_eq!(vm.mutator().stack.top().shadow(0), ShadowTag::Ptr);
+    assert_eq!(vm.mutator().stack.top().shadow(1), ShadowTag::NonPtr);
+}
+
+#[test]
+#[should_panic(expected = "cannot hold")]
+fn trace_validation_rejects_pointer_in_int_slot() {
+    let mut vm = vm();
+    let site = vm.site("t::x");
+    let d = vm.register_frame(FrameDesc::new("f").slot(Trace::NonPointer));
+    vm.push_frame(d);
+    let obj = vm.alloc_record(site, &[Value::Int(1)]);
+    vm.set_slot(0, Value::Ptr(obj)); // hides a root — must be rejected
+}
+
+#[test]
+fn alloc_buffer_stages_operands() {
+    let mut vm = vm();
+    let site = vm.site("t::pair");
+    let a = vm.alloc_record(site, &[Value::Int(1)]);
+    let b = vm.alloc_record(site, &[Value::Ptr(a), Value::Int(2), Value::Real(0.5)]);
+    assert_eq!(vm.load_ptr(b, 0), a);
+    assert_eq!(vm.load_int(b, 1), 2);
+    assert_eq!(vm.load_f64(b, 2), 0.5);
+    // Mask derived from the values: only field 0 is a pointer.
+    assert!(vm.header(b).field_is_pointer(0));
+    assert!(!vm.header(b).field_is_pointer(1));
+}
+
+#[test]
+fn stores_charge_barrier_and_stats() {
+    let mut vm = vm();
+    let site = vm.site("t::arr");
+    let target = vm.alloc_record(site, &[Value::Int(9)]);
+    let arr = vm.alloc_ptr_array(site, 3, Addr::NULL);
+    vm.store_ptr(arr, 1, target);
+    vm.store_ptr(arr, 1, target);
+    assert_eq!(vm.mutator_stats().pointer_updates, 2);
+    assert_eq!(vm.mutator().barrier.pending(), 2, "SSB keeps duplicates");
+    assert_eq!(vm.load_ptr(arr, 1), target);
+    // Integer stores are unbarriered.
+    vm.store_int(target, 0, 11);
+    assert_eq!(vm.mutator_stats().pointer_updates, 2);
+}
+
+#[test]
+fn raise_unwinds_to_handler_and_consumes_it() {
+    let mut vm = vm();
+    let d = vm.register_frame(FrameDesc::new("f").slot(Trace::NonPointer));
+    vm.push_frame(d);
+    vm.push_handler();
+    for _ in 0..5 {
+        vm.push_frame(d);
+    }
+    assert_eq!(vm.depth(), 6);
+    assert_eq!(vm.raise(), RaiseOutcome::Caught { handler_depth: 1 });
+    assert_eq!(vm.depth(), 1);
+    // The handler is consumed: a second raise is uncaught and leaves the
+    // stack alone.
+    assert_eq!(vm.raise(), RaiseOutcome::Uncaught);
+    assert_eq!(vm.depth(), 1);
+}
+
+#[test]
+fn nested_handlers_unwind_innermost_first() {
+    let mut vm = vm();
+    let d = vm.register_frame(FrameDesc::new("f").slot(Trace::NonPointer));
+    vm.push_frame(d);
+    vm.push_handler(); // depth 1
+    vm.push_frame(d);
+    vm.push_frame(d);
+    vm.push_handler(); // depth 3
+    vm.push_frame(d);
+    assert_eq!(vm.raise(), RaiseOutcome::Caught { handler_depth: 3 });
+    assert_eq!(vm.raise(), RaiseOutcome::Caught { handler_depth: 1 });
+}
+
+#[test]
+fn raw_array_byte_and_f64_access() {
+    let mut vm = vm();
+    let site = vm.site("t::raw");
+    let raw = vm.alloc_raw_array(site, 40);
+    vm.store_byte(raw, 0, 0x12);
+    vm.store_byte(raw, 39, 0x34);
+    assert_eq!(vm.load_byte(raw, 0), 0x12);
+    assert_eq!(vm.load_byte(raw, 39), 0x34);
+    vm.store_f64(raw, 2, -7.25);
+    assert_eq!(vm.load_f64(raw, 2), -7.25);
+}
+
+#[test]
+fn client_cycles_accumulate_per_operation() {
+    let mut vm = vm();
+    let site = vm.site("t::x");
+    let before = vm.mutator_stats().client_cycles;
+    let _ = vm.alloc_record(site, &[Value::Int(0)]);
+    let mid = vm.mutator_stats().client_cycles;
+    assert!(mid > before, "allocation charges client cycles");
+    let d = vm.register_frame(FrameDesc::new("f").slot(Trace::NonPointer));
+    vm.push_frame(d);
+    vm.pop_frame();
+    assert!(vm.mutator_stats().client_cycles > mid, "frame ops charge client cycles");
+}

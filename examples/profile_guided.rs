@@ -1,0 +1,64 @@
+//! The full profile-driven pretenuring workflow of §6, on the N-queens
+//! benchmark:
+//!
+//! 1. a profiling run gathers per-site lifetime statistics;
+//! 2. the Figure-2-style report shows the bimodal site distribution;
+//! 3. sites with old% ≥ 80 become the pretenuring policy;
+//! 4. a second run with the policy copies a fraction of the data.
+//!
+//! ```sh
+//! cargo run --release --example profile_guided
+//! ```
+
+use tilgc::core::{build_vm, CollectorKind, GcConfig};
+use tilgc::profile::{coverage, derive_policy, render_report, PolicyOptions, ReportOptions};
+use tilgc::programs::Benchmark;
+
+fn main() {
+    let bench = Benchmark::Nqueen;
+
+    // --- 1. profiling run ---
+    let config = GcConfig::new()
+        .heap_budget_bytes(16 << 20)
+        .nursery_bytes(16 << 10)
+        .profiling(true);
+    let mut vm = build_vm(CollectorKind::GenerationalStack, &config);
+    let checksum = bench.run(&mut vm, 1);
+    vm.finish();
+    let profile = vm.take_profile().expect("profiling enabled");
+
+    // --- 2. the report ---
+    let opts = ReportOptions { show_names: true, ..Default::default() };
+    println!("{}", render_report(bench.name(), &profile, &vm.mutator().sites, &opts));
+
+    // --- 3. the policy ---
+    let policy = derive_policy(&profile, &PolicyOptions::default());
+    let cov = coverage(&profile, &policy);
+    println!(
+        "policy: {} site(s) pretenured, covering {:.1}% of copied bytes\n",
+        policy.len(),
+        cov.copied_percent
+    );
+
+    // --- 4. before/after ---
+    let base_config = GcConfig::new().heap_budget_bytes(16 << 20).nursery_bytes(16 << 10);
+    let mut base_vm = build_vm(CollectorKind::GenerationalStack, &base_config);
+    let base_checksum = bench.run(&mut base_vm, 1);
+    assert_eq!(base_checksum, checksum, "profiling must not change results");
+
+    let pt_config = base_config.clone().pretenure(policy);
+    let mut pt_vm = build_vm(CollectorKind::GenerationalStackPretenure, &pt_config);
+    let pt_checksum = bench.run(&mut pt_vm, 1);
+    assert_eq!(pt_checksum, checksum, "pretenuring must not change results");
+
+    let (base, pt) = (base_vm.gc_stats(), pt_vm.gc_stats());
+    println!("without pretenuring: {:>9} bytes copied", base.copied_bytes);
+    println!(
+        "with pretenuring   : {:>9} bytes copied ({} pretenured at birth)",
+        pt.copied_bytes, pt.pretenured_bytes
+    );
+    println!(
+        "copying reduced by : {:.0}%",
+        100.0 * (base.copied_bytes - pt.copied_bytes) as f64 / base.copied_bytes as f64
+    );
+}

@@ -1,0 +1,63 @@
+//! **tilgc** — a reproduction of *Generational Stack Collection and
+//! Profile-Driven Pretenuring* (Perry Cheng, Robert Harper, Peter Lee;
+//! PLDI 1998) as a family of Rust crates.
+//!
+//! The paper presents two techniques for cutting garbage-collection cost
+//! in a TIL-style (nearly tag-free, stack-based) runtime:
+//!
+//! 1. **Generational stack collection** (§5) — cache stack-scan results
+//!    between collections; detect the unchanged stack prefix with *stack
+//!    markers* (return addresses swapped for stubs every n frames) and an
+//!    exception watermark. Up to 74 % GC-time reduction on deep-stack
+//!    programs.
+//! 2. **Profile-driven pretenuring** (§6) — heap-profile object lifetimes
+//!    per allocation site; sites whose survival rate is ≥ 80 % allocate
+//!    directly into the tenured generation, which is *scanned in place*
+//!    instead of copied. Up to 50 % further GC-time reduction.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`mem`] | word-addressed memory, object model, spaces |
+//! | [`runtime`] | stack + trace tables, markers, barriers, exceptions, `Vm` |
+//! | [`core`] | semispace & generational collectors, the two techniques |
+//! | [`profile`] | Figure-2 reports and pretenure-policy derivation |
+//! | [`programs`] | the paper's eleven benchmarks, re-implemented |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tilgc::core::{build_vm, CollectorKind, GcConfig};
+//! use tilgc::runtime::{FrameDesc, Trace, Value};
+//!
+//! // A generational collector with stack markers in a 1 MB heap.
+//! let config = GcConfig::new().heap_budget_bytes(1 << 20).nursery_bytes(16 << 10);
+//! let mut vm = build_vm(CollectorKind::GenerationalStack, &config);
+//!
+//! // Declare an activation-record layout and an allocation site.
+//! let frame = vm.register_frame(FrameDesc::new("main").slot(Trace::Pointer));
+//! let site = vm.site("main::pair");
+//!
+//! // Allocate; roots live in frame slots.
+//! vm.push_frame(frame);
+//! let pair = vm.alloc_record(site, &[Value::Int(1), Value::Int(2)]);
+//! vm.set_slot(0, Value::Ptr(pair));
+//! vm.gc_now();
+//! let pair = vm.slot_ptr(0); // relocated by the collection
+//! assert_eq!(vm.load_int(pair, 1), 2);
+//! ```
+//!
+//! See `examples/` for end-to-end walkthroughs (deep recursion with
+//! markers, profile-guided pretenuring, exception unwinding) and the
+//! `tilgc-experiments` binary for the regeneration of every table and
+//! figure in the paper's evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tilgc_core as core;
+pub use tilgc_mem as mem;
+pub use tilgc_profile as profile;
+pub use tilgc_programs as programs;
+pub use tilgc_runtime as runtime;

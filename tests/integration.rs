@@ -1,0 +1,172 @@
+//! End-to-end integration: every benchmark, every collector, one answer.
+//!
+//! The paper's comparison is only meaningful if the collector never
+//! changes program behaviour; these tests run the full benchmark suite
+//! under all four configurations (§3) and demand identical checksums and
+//! a verifiable heap afterwards.
+
+use tilgc::core::{build_vm, verify_vm, CollectorKind, GcConfig};
+use tilgc::programs::Benchmark;
+
+fn big_stack<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T {
+    std::thread::Builder::new()
+        .stack_size(256 << 20)
+        .spawn(f)
+        .expect("spawn")
+        .join()
+        .expect("benchmark thread panicked")
+}
+
+fn small_config() -> GcConfig {
+    GcConfig::new()
+        .heap_budget_bytes(48 << 20)
+        .nursery_bytes(16 << 10)
+        .large_object_bytes(4 << 10)
+}
+
+/// The quick majority of the suite, checked under all four collectors.
+#[test]
+fn fast_benchmarks_agree_across_collectors() {
+    big_stack(|| {
+        for bench in [
+            Benchmark::Checksum,
+            Benchmark::Fft,
+            Benchmark::Grobner,
+            Benchmark::Life,
+            Benchmark::Nqueen,
+            Benchmark::Peg,
+            Benchmark::Pia,
+            Benchmark::Simple,
+            Benchmark::Lexgen,
+        ] {
+            let mut results = Vec::new();
+            for kind in CollectorKind::ALL {
+                let mut vm = build_vm(kind, &small_config());
+                results.push((kind.label(), bench.run(&mut vm, 1)));
+                verify_vm(&vm);
+            }
+            assert!(
+                results.windows(2).all(|w| w[0].1 == w[1].1),
+                "{} disagreed across collectors: {results:?}",
+                bench.name()
+            );
+        }
+    });
+}
+
+/// The two slow, deep-stack benchmarks, same contract.
+#[test]
+fn deep_stack_benchmarks_agree_across_collectors() {
+    big_stack(|| {
+        for bench in [Benchmark::Color, Benchmark::KnuthBendix] {
+            let mut results = Vec::new();
+            for kind in CollectorKind::ALL {
+                let mut vm = build_vm(kind, &small_config());
+                results.push((kind.label(), bench.run(&mut vm, 1)));
+                verify_vm(&vm);
+            }
+            assert!(
+                results.windows(2).all(|w| w[0].1 == w[1].1),
+                "{} disagreed across collectors: {results:?}",
+                bench.name()
+            );
+        }
+    });
+}
+
+/// Pretenuring with a profile-derived policy changes performance
+/// characteristics, never results — across the whole Table 6 set.
+#[test]
+fn pretenuring_is_transparent_for_table6_programs() {
+    big_stack(|| {
+        for bench in
+            [Benchmark::KnuthBendix, Benchmark::Lexgen, Benchmark::Nqueen, Benchmark::Simple]
+        {
+            // Profile.
+            let config = small_config().profiling(true);
+            let mut vm = build_vm(CollectorKind::GenerationalStack, &config);
+            let expected = bench.run(&mut vm, 1);
+            vm.finish();
+            let profile = vm.take_profile().expect("profiling enabled");
+            let policy =
+                tilgc::profile::derive_policy(&profile, &tilgc::profile::PolicyOptions::default());
+
+            // Re-run with the policy.
+            let config = small_config().pretenure(policy);
+            let mut vm = build_vm(CollectorKind::GenerationalStackPretenure, &config);
+            let got = bench.run(&mut vm, 1);
+            verify_vm(&vm);
+            assert_eq!(got, expected, "pretenuring changed {}'s result", bench.name());
+        }
+    });
+}
+
+/// The scaled-down Table 2 shape claims that drive the paper's analysis.
+#[test]
+fn table2_shape_claims_hold() {
+    big_stack(|| {
+        let run = |b: Benchmark| {
+            let mut vm = build_vm(CollectorKind::GenerationalStack, &small_config());
+            b.run(&mut vm, 1);
+            (
+                *vm.mutator_stats(),
+                *vm.mutator().stack.stats(),
+                *vm.gc_stats(),
+            )
+        };
+
+        // Peg's pointer updates dwarf every other benchmark's.
+        let (peg, _, _) = run(Benchmark::Peg);
+        let (life, _, _) = run(Benchmark::Life);
+        assert!(peg.pointer_updates > 20 * life.pointer_updates.max(1));
+
+        // The deep-stack trio really is deep; Checksum really is shallow.
+        let (_, color_stack, _) = run(Benchmark::Color);
+        assert!(color_stack.max_depth > 200, "color depth {}", color_stack.max_depth);
+        let (_, kb_stack, kb_gc) = run(Benchmark::KnuthBendix);
+        assert!(kb_stack.max_depth > 1000, "kb depth {}", kb_stack.max_depth);
+        assert!(kb_gc.avg_depth_at_gc() > 100.0, "kb avg depth {}", kb_gc.avg_depth_at_gc());
+        let (_, chk_stack, _) = run(Benchmark::Checksum);
+        assert!(chk_stack.max_depth <= 5, "checksum depth {}", chk_stack.max_depth);
+
+        // FFT is array-dominated; Checksum is record-dominated.
+        let (fft, _, _) = run(Benchmark::Fft);
+        assert!(fft.array_bytes() > 10 * fft.record_bytes.max(1));
+        let (chk, _, _) = run(Benchmark::Checksum);
+        assert!(chk.record_bytes > 10 * chk.array_bytes().max(1));
+    });
+}
+
+/// Markers pay off on the deep-stack programs and cost almost nothing on
+/// the shallow ones — Table 5's two claims.
+#[test]
+fn markers_shape_claims_hold() {
+    big_stack(|| {
+        let gc_cycles = |b: Benchmark, kind: CollectorKind| {
+            let config = GcConfig::new()
+                .heap_budget_bytes(48 << 20)
+                .nursery_bytes(8 << 10)
+                .large_object_bytes(4 << 10);
+            let mut vm = build_vm(kind, &config);
+            b.run(&mut vm, 1);
+            vm.gc_stats().gc_cycles()
+        };
+
+        // Color: a large decrease.
+        let without = gc_cycles(Benchmark::Color, CollectorKind::Generational);
+        let with = gc_cycles(Benchmark::Color, CollectorKind::GenerationalStack);
+        assert!(
+            (with as f64) < 0.6 * without as f64,
+            "markers should cut Color's GC cost: {with} vs {without}"
+        );
+
+        // Checksum: within a few percent either way.
+        let without = gc_cycles(Benchmark::Checksum, CollectorKind::Generational);
+        let with = gc_cycles(Benchmark::Checksum, CollectorKind::GenerationalStack);
+        let ratio = with as f64 / without as f64;
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "markers should be near-free for shallow stacks: ratio {ratio}"
+        );
+    });
+}

@@ -1,0 +1,279 @@
+//! Property-based tests over the whole stack: arbitrary mutator programs
+//! must behave identically under every collector configuration, and the
+//! marker machinery must never over-promise.
+
+use proptest::prelude::*;
+use tilgc::core::{build_vm, verify_vm, vm_snapshot, CollectorKind, GcConfig, PretenurePolicy};
+use tilgc::mem::ObjectKind;
+use tilgc::runtime::{FrameDesc, RaiseOutcome, Trace, Value};
+
+/// One step of a random mutator program. Slot indices are taken modulo
+/// the frame size, field indices modulo the object's arity, so every
+/// generated program is well-formed by construction.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate a 4-field record (fields 0–1 pointers seeded from slots,
+    /// fields 2–3 integers); store it in a slot of the top frame.
+    AllocRecord { dst: u8, src_a: u8, src_b: u8, tag: i8 },
+    /// Allocate a 4-element pointer array initialized from a slot.
+    AllocArray { dst: u8, init: u8 },
+    /// Allocate a raw byte array and stamp one byte.
+    AllocRaw { dst: u8, len: u8 },
+    /// Barriered pointer store into a pointer field of a heap object.
+    StorePtr { obj: u8, field: u8, val: u8 },
+    /// Load a pointer field back into a slot.
+    LoadPtr { obj: u8, field: u8, dst: u8 },
+    /// Push a frame (bounded depth).
+    Push,
+    /// Pop a frame (never the last).
+    Pop,
+    /// Install an exception handler at the current frame.
+    PushHandler,
+    /// Raise (no-op if no handler is installed).
+    Raise,
+    /// Force a minor collection.
+    Gc,
+    /// Force a major collection.
+    GcMajor,
+}
+
+const SLOTS: usize = 6;
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (any::<u8>(), any::<u8>(), any::<u8>(), any::<i8>())
+            .prop_map(|(dst, src_a, src_b, tag)| Op::AllocRecord { dst, src_a, src_b, tag }),
+        2 => (any::<u8>(), any::<u8>()).prop_map(|(dst, init)| Op::AllocArray { dst, init }),
+        1 => (any::<u8>(), any::<u8>()).prop_map(|(dst, len)| Op::AllocRaw { dst, len }),
+        3 => (any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(obj, field, val)| Op::StorePtr { obj, field, val }),
+        3 => (any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(obj, field, dst)| Op::LoadPtr { obj, field, dst }),
+        2 => Just(Op::Push),
+        2 => Just(Op::Pop),
+        1 => Just(Op::PushHandler),
+        1 => Just(Op::Raise),
+        1 => Just(Op::Gc),
+        1 => Just(Op::GcMajor),
+    ]
+}
+
+/// Interprets the program on a fresh VM of the given kind and returns the
+/// canonical snapshot of the final reachable graph.
+fn interpret(kind: CollectorKind, config: &GcConfig, ops: &[Op]) -> Vec<u64> {
+    let mut vm = build_vm(kind, config);
+    let frame = vm.register_frame(FrameDesc::new("prop::frame").slots(SLOTS, Trace::Pointer));
+    let rec_site = vm.site("prop::record");
+    let arr_site = vm.site("prop::array");
+    let raw_site = vm.site("prop::raw");
+    vm.push_frame(frame);
+    // Host-side record of handler anchor depths, so handlers are always
+    // popped before their anchor frame (the SML scoping discipline).
+    let mut handlers: Vec<usize> = Vec::new();
+
+    let slot = |i: u8| (i as usize) % SLOTS;
+    for op in ops {
+        match *op {
+            Op::AllocRecord { dst, src_a, src_b, tag } => {
+                let a = vm.slot_ptr(slot(src_a));
+                let b = vm.slot_ptr(slot(src_b));
+                let rec = vm.alloc_record(
+                    rec_site,
+                    &[
+                        Value::Ptr(a),
+                        Value::Ptr(b),
+                        Value::Int(i64::from(tag)),
+                        Value::Int(42),
+                    ],
+                );
+                vm.set_slot(slot(dst), Value::Ptr(rec));
+            }
+            Op::AllocArray { dst, init } => {
+                let init = vm.slot_ptr(slot(init));
+                let arr = vm.alloc_ptr_array(arr_site, 4, init);
+                vm.set_slot(slot(dst), Value::Ptr(arr));
+            }
+            Op::AllocRaw { dst, len } => {
+                let len = 1 + (len as usize) % 64;
+                let raw = vm.alloc_raw_array(raw_site, len);
+                vm.store_byte(raw, len - 1, 0xab);
+                vm.set_slot(slot(dst), Value::Ptr(raw));
+            }
+            Op::StorePtr { obj, field, val } => {
+                let target = vm.slot_ptr(slot(obj));
+                if target.is_null() {
+                    continue;
+                }
+                let header = vm.header(target);
+                let field = match header.kind() {
+                    ObjectKind::Record => (field as usize) % 2, // fields 0–1 are pointers
+                    ObjectKind::PtrArray => (field as usize) % header.len(),
+                    ObjectKind::RawArray => continue,
+                };
+                let val = vm.slot_ptr(slot(val));
+                vm.store_ptr(target, field, val);
+            }
+            Op::LoadPtr { obj, field, dst } => {
+                let target = vm.slot_ptr(slot(obj));
+                if target.is_null() {
+                    continue;
+                }
+                let header = vm.header(target);
+                let field = match header.kind() {
+                    ObjectKind::Record => (field as usize) % 2,
+                    ObjectKind::PtrArray => (field as usize) % header.len(),
+                    ObjectKind::RawArray => continue,
+                };
+                let v = vm.load_ptr(target, field);
+                vm.set_slot(slot(dst), Value::Ptr(v));
+            }
+            Op::Push => {
+                if vm.depth() < 64 {
+                    vm.push_frame(frame);
+                }
+            }
+            Op::Pop => {
+                if vm.depth() > 1 {
+                    while handlers.last() == Some(&vm.depth()) {
+                        vm.pop_handler();
+                        handlers.pop();
+                    }
+                    vm.pop_frame();
+                }
+            }
+            Op::PushHandler => {
+                if handlers.len() < 16 {
+                    vm.push_handler();
+                    handlers.push(vm.depth());
+                }
+            }
+            Op::Raise => match vm.raise() {
+                RaiseOutcome::Caught { .. } => {
+                    handlers.pop();
+                }
+                RaiseOutcome::Uncaught => {}
+            },
+            Op::Gc => vm.gc_now(),
+            Op::GcMajor => vm.gc_major(),
+        }
+    }
+    verify_vm(&vm);
+    vm_snapshot(&vm)
+}
+
+fn tight_config() -> GcConfig {
+    GcConfig::new()
+        .heap_budget_bytes(1 << 20)
+        .nursery_bytes(4 << 10)
+        .large_object_bytes(4 << 10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The central theorem: an arbitrary mutator program produces an
+    /// identical reachable graph under the semispace baseline, the plain
+    /// generational collector, generational stack collection, and
+    /// pretenuring — all with tiny heaps forcing constant collection.
+    #[test]
+    fn all_collectors_preserve_arbitrary_programs(
+        ops in proptest::collection::vec(op_strategy(), 1..300)
+    ) {
+        let config = tight_config();
+        let baseline = interpret(CollectorKind::Semispace, &config, &ops);
+        for kind in [
+            CollectorKind::Generational,
+            CollectorKind::GenerationalStack,
+            CollectorKind::GenerationalStackPretenure,
+        ] {
+            let got = interpret(kind, &config, &ops);
+            prop_assert_eq!(
+                &got, &baseline,
+                "{} diverged from the semispace baseline", kind.label()
+            );
+        }
+        // The §7.2 tenure-threshold variant (aging nursery semispaces)
+        // must agree too.
+        for threshold in [1u8, 3] {
+            let config = tight_config().tenure_threshold(threshold);
+            let got = interpret(CollectorKind::GenerationalStack, &config, &ops);
+            prop_assert_eq!(
+                &got, &baseline,
+                "tenure threshold {} diverged from the baseline", threshold
+            );
+        }
+    }
+
+    /// Pretenuring every site (the most aggressive possible policy) still
+    /// preserves arbitrary programs: the pretenured-region scan must find
+    /// every young reference in freshly tenured objects.
+    #[test]
+    fn aggressive_pretenuring_preserves_arbitrary_programs(
+        ops in proptest::collection::vec(op_strategy(), 1..200)
+    ) {
+        let config = tight_config();
+        let baseline = interpret(CollectorKind::Generational, &config, &ops);
+        let mut policy = PretenurePolicy::new();
+        // Site ids 1..=3 are prop::record/array/raw in registration order.
+        for id in 1..=3u16 {
+            policy.add_site(tilgc::mem::SiteId::new(id));
+        }
+        let config = tight_config().pretenure(policy);
+        let got = interpret(CollectorKind::GenerationalStackPretenure, &config, &ops);
+        prop_assert_eq!(got, baseline);
+    }
+
+    /// The marker bookkeeping never claims more reuse than reality: for
+    /// arbitrary push/pop/raise interleavings, `reusable_prefix()` is a
+    /// lower bound on the true unchanged prefix.
+    #[test]
+    fn marker_reuse_is_always_conservative(
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+        interval in 1usize..40
+    ) {
+        let mut vm = build_vm(CollectorKind::GenerationalStack, &tight_config());
+        let frame = vm.register_frame(
+            FrameDesc::new("prop::frame").slots(SLOTS, Trace::Pointer),
+        );
+        vm.push_frame(frame);
+        let mut handlers: Vec<usize> = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Push
+                    if vm.depth() < 200 => {
+                        vm.push_frame(frame);
+                    }
+                Op::Pop
+                    if vm.depth() > 1 => {
+                        while handlers.last() == Some(&vm.depth()) {
+                            vm.pop_handler();
+                            handlers.pop();
+                        }
+                        vm.pop_frame();
+                    }
+                Op::PushHandler
+                    if handlers.len() < 16 => {
+                        vm.push_handler();
+                        handlers.push(vm.depth());
+                    }
+                Op::Raise => {
+                    if let RaiseOutcome::Caught { .. } = vm.raise() {
+                        handlers.pop();
+                    }
+                }
+                Op::Gc => {
+                    // Simulate a scan epoch: place markers directly.
+                    vm.mutator_mut().stack.place_markers(interval);
+                }
+                _ => {}
+            }
+            let stack = &vm.mutator().stack;
+            prop_assert!(
+                stack.reusable_prefix() <= stack.true_unchanged_prefix(),
+                "markers over-promised: claimed {}, true {}",
+                stack.reusable_prefix(),
+                stack.true_unchanged_prefix()
+            );
+        }
+    }
+}
