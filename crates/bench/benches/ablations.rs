@@ -66,9 +66,10 @@ fn barrier_kinds(c: &mut Criterion) {
 fn raise_bookkeeping(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_raise_bookkeeping");
     group.sample_size(10);
-    for (label, mode) in
-        [("watermark", RaiseBookkeeping::Watermark), ("deferred", RaiseBookkeeping::Deferred)]
-    {
+    for (label, mode) in [
+        ("watermark", RaiseBookkeeping::Watermark),
+        ("deferred", RaiseBookkeeping::Deferred),
+    ] {
         group.bench_with_input(BenchmarkId::new("peg", label), &mode, |b, &mode| {
             let config = bench_config(4 << 20);
             b.iter(|| {
@@ -107,5 +108,11 @@ fn tenure_thresholds(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, marker_policies, barrier_kinds, raise_bookkeeping, tenure_thresholds);
+criterion_group!(
+    benches,
+    marker_policies,
+    barrier_kinds,
+    raise_bookkeeping,
+    tenure_thresholds
+);
 criterion_main!(benches);

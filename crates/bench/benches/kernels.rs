@@ -1,0 +1,54 @@
+//! A/B microbenchmarks for the GC hot-path kernels: the batched shipping
+//! code against the pre-batching reference paths retained under
+//! `tilgc-core`'s `kernel-ref` feature.
+//!
+//! Three groups, one per kernel:
+//!
+//! * `evac_kernel` — batched field scan (slice snapshot + pointer-mask
+//!   bit walk) vs the per-field header-decode loop;
+//! * `stack_scan_kernel` — precompiled trace bitmaps vs the per-slot
+//!   `Trace` match;
+//! * `ssb_filter` — sort/dedup store-buffer filtering vs forwarding every
+//!   recorded entry.
+//!
+//! Both sides of each pair perform identical simulated-cost bookkeeping,
+//! so the wall-clock ratio isolates the kernel change.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tilgc_bench::kernels::{EvacRig, SsbRig, StackRig};
+
+fn evac_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evac_kernel");
+    let mut rig = EvacRig::new();
+    group.bench_function("batched", |b| b.iter(|| black_box(rig.scan_pass())));
+    let mut rig = EvacRig::new();
+    group.bench_function("reference", |b| {
+        b.iter(|| black_box(rig.scan_pass_reference()))
+    });
+    group.finish();
+}
+
+fn stack_scan_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stack_scan_kernel");
+    let mut rig = StackRig::new();
+    group.bench_function("batched", |b| b.iter(|| black_box(rig.scan_pass())));
+    let mut rig = StackRig::new();
+    group.bench_function("reference", |b| {
+        b.iter(|| black_box(rig.scan_pass_reference()))
+    });
+    group.finish();
+}
+
+fn ssb_filter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ssb_filter");
+    let mut rig = SsbRig::new();
+    group.bench_function("batched", |b| b.iter(|| black_box(rig.filter_pass())));
+    let mut rig = SsbRig::new();
+    group.bench_function("reference", |b| {
+        b.iter(|| black_box(rig.filter_pass_reference()))
+    });
+    group.finish();
+}
+
+criterion_group!(kernels, evac_kernel, stack_scan_kernel, ssb_filter);
+criterion_main!(kernels);

@@ -26,9 +26,7 @@ fn semispace_k_sweep(c: &mut Criterion) {
                 &budget,
                 |b, &budget| {
                     let config = bench_config(budget);
-                    b.iter(|| {
-                        black_box(run_program(bench, CollectorKind::Semispace, &config, 1))
-                    });
+                    b.iter(|| black_box(run_program(bench, CollectorKind::Semispace, &config, 1)));
                 },
             );
         }

@@ -29,9 +29,11 @@ fn programs_with_and_without_markers(c: &mut Criterion) {
 /// Builds a mutator with a deep stack of pointer-bearing frames.
 fn deep_mutator(depth: usize) -> MutatorState {
     let mut m = MutatorState::new();
-    let d = m
-        .traces
-        .register(FrameDesc::new("deep").slots(4, Trace::Pointer).slots(2, Trace::NonPointer));
+    let d = m.traces.register(
+        FrameDesc::new("deep")
+            .slots(4, Trace::Pointer)
+            .slots(2, Trace::NonPointer),
+    );
     for _ in 0..depth {
         m.stack.push(d, 6);
         m.stack.top_mut().set(0, Value::NULL);
@@ -50,22 +52,26 @@ fn scan_microbench(c: &mut Criterion) {
                 black_box(scan_stack(&mut m, None, MarkerPolicy::Disabled, &mut stats));
             });
         });
-        group.bench_with_input(BenchmarkId::new("cached_scan", depth), &depth, |b, &depth| {
-            let mut m = deep_mutator(depth);
-            m.check_shadows = false;
-            let mut stats = GcStats::default();
-            let mut cache = ScanCache::default();
-            // Prime the cache; subsequent scans reuse everything but the top.
-            scan_stack(&mut m, Some(&mut cache), MarkerPolicy::PAPER, &mut stats);
-            b.iter(|| {
-                black_box(scan_stack(
-                    &mut m,
-                    Some(&mut cache),
-                    MarkerPolicy::PAPER,
-                    &mut stats,
-                ));
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("cached_scan", depth),
+            &depth,
+            |b, &depth| {
+                let mut m = deep_mutator(depth);
+                m.check_shadows = false;
+                let mut stats = GcStats::default();
+                let mut cache = ScanCache::default();
+                // Prime the cache; subsequent scans reuse everything but the top.
+                scan_stack(&mut m, Some(&mut cache), MarkerPolicy::PAPER, &mut stats);
+                b.iter(|| {
+                    black_box(scan_stack(
+                        &mut m,
+                        Some(&mut cache),
+                        MarkerPolicy::PAPER,
+                        &mut stats,
+                    ));
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -10,14 +10,22 @@ use tilgc_programs::Benchmark;
 fn pretenure_programs(c: &mut Criterion) {
     let mut group = c.benchmark_group("table6_pretenure");
     group.sample_size(10);
-    for bench in
-        [Benchmark::KnuthBendix, Benchmark::Lexgen, Benchmark::Nqueen, Benchmark::Simple]
-    {
+    for bench in [
+        Benchmark::KnuthBendix,
+        Benchmark::Lexgen,
+        Benchmark::Nqueen,
+        Benchmark::Simple,
+    ] {
         let policy = pretenure_policy_for(bench, 1);
         group.bench_function(BenchmarkId::new(bench.name(), "markers_only"), |b| {
             let config = bench_config(16 << 20);
             b.iter(|| {
-                black_box(run_program(bench, CollectorKind::GenerationalStack, &config, 1))
+                black_box(run_program(
+                    bench,
+                    CollectorKind::GenerationalStack,
+                    &config,
+                    1,
+                ))
             });
         });
         group.bench_function(BenchmarkId::new(bench.name(), "pretenure"), |b| {

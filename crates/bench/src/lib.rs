@@ -12,6 +12,8 @@
 use tilgc_core::{build_vm, CollectorKind, GcConfig, PretenurePolicy};
 use tilgc_programs::Benchmark;
 
+pub mod kernels;
+
 /// The standard benchmark configuration: a heap budget generous enough
 /// for every program at the benchmark scale, a 32 KB nursery (the scaled
 /// stand-in for the paper's 512 KB cache bound), and a 4 KB large-object
@@ -48,5 +50,9 @@ pub fn pretenure_policy_for(bench: Benchmark, scale: u32) -> PretenurePolicy {
 /// The benchmarks whose behaviour distinguishes the collectors most
 /// sharply — used where running all eleven would make `cargo bench`
 /// take too long.
-pub const HEADLINERS: [Benchmark; 4] =
-    [Benchmark::Color, Benchmark::KnuthBendix, Benchmark::Nqueen, Benchmark::Pia];
+pub const HEADLINERS: [Benchmark; 4] = [
+    Benchmark::Color,
+    Benchmark::KnuthBendix,
+    Benchmark::Nqueen,
+    Benchmark::Pia,
+];

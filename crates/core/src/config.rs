@@ -111,7 +111,10 @@ impl PretenurePolicy {
     /// Panics if the site is not pretenured — no-scan only makes sense for
     /// pretenured sites.
     pub fn add_no_scan_site(&mut self, site: SiteId) {
-        assert!(self.sites.contains(&site), "no-scan site {site} must be pretenured first");
+        assert!(
+            self.sites.contains(&site),
+            "no-scan site {site} must be pretenured first"
+        );
         self.no_scan.insert(site);
     }
 
@@ -144,7 +147,10 @@ impl PretenurePolicy {
 
 impl FromIterator<SiteId> for PretenurePolicy {
     fn from_iter<I: IntoIterator<Item = SiteId>>(iter: I) -> Self {
-        PretenurePolicy { sites: iter.into_iter().collect(), ..Default::default() }
+        PretenurePolicy {
+            sites: iter.into_iter().collect(),
+            ..Default::default()
+        }
     }
 }
 
@@ -351,7 +357,9 @@ mod tests {
 
     #[test]
     fn config_builder_chains() {
-        let c = GcConfig::new().heap_budget_bytes(1 << 20).nursery_bytes(1 << 14);
+        let c = GcConfig::new()
+            .heap_budget_bytes(1 << 20)
+            .nursery_bytes(1 << 14);
         assert_eq!(c.heap_budget_words(), (1 << 20) / 8);
         assert_eq!(c.nursery_words(), (1 << 14) / 8);
         assert_eq!(c.tenured_target_liveness, 0.30);

@@ -137,10 +137,10 @@ impl GenerationalCollector {
             tenure_threshold: config.tenure_threshold,
             marker_policy: config.marker_policy,
             cache: config.marker_policy.is_enabled().then(ScanCache::default),
-            pretenure: config
-                .pretenure
-                .clone()
-                .map(|policy| PretenureState { policy, pending: Vec::new() }),
+            pretenure: config.pretenure.clone().map(|policy| PretenureState {
+                policy,
+                pending: Vec::new(),
+            }),
             oversized_pending: Vec::new(),
             young_refs: Vec::new(),
             young_locs: Vec::new(),
@@ -186,7 +186,10 @@ impl GenerationalCollector {
     /// The range all live tenured data occupies right now.
     fn tenured_live_range(&self) -> SpaceRange {
         let t = &self.tenured[self.active_t];
-        SpaceRange { start: t.start(), end: t.frontier() }
+        SpaceRange {
+            start: t.start(),
+            end: t.frontier(),
+        }
     }
 
     fn minor(&mut self, m: &mut MutatorState) {
@@ -210,8 +213,11 @@ impl GenerationalCollector {
         if self.tenure_threshold > 0 {
             if let Some(cache) = &self.cache {
                 for (d, info) in cache.frames.iter().enumerate().take(outcome.reused_frames) {
-                    for &slot in &info.ptr_slots {
-                        roots.push(RootLoc::Slot { depth: d as u32, slot });
+                    for &slot in info.ptr_slots.iter() {
+                        roots.push(RootLoc::Slot {
+                            depth: d as u32,
+                            slot,
+                        });
                     }
                 }
             }
@@ -221,8 +227,11 @@ impl GenerationalCollector {
         let nursery_frontier = self.nursery[self.active_n].frontier();
         let from_ranges = [nursery_range];
         let (n_lo, n_hi) = self.nursery.split_at_mut(1);
-        let survivor_space =
-            if self.active_n == 0 { &mut n_hi[0] } else { &mut n_lo[0] };
+        let survivor_space = if self.active_n == 0 {
+            &mut n_hi[0]
+        } else {
+            &mut n_lo[0]
+        };
         let mut evac = Evacuator::new(
             &mut self.mem,
             &from_ranges,
@@ -250,12 +259,20 @@ impl GenerationalCollector {
         // --- copying (GC-copy) ---
         let copy_t0 = Instant::now();
         // Write barrier: old→young references created by pointer updates.
+        // Field entries (the sequential store buffer) are batched —
+        // sorted and deduplicated before filtering, since a hot field
+        // reached the buffer once per store. The simulated cost stays per
+        // *recorded* entry: the collector still examines every entry, the
+        // batching only removes redundant host-side forwarding work.
+        // Object entries (object marking) are already distinct by
+        // construction (the dirty bit) and are processed in record order.
         let mut barrier_entries = 0u64;
+        let mut field_locs: Vec<Addr> = Vec::new();
         let mut barrier = std::mem::replace(&mut m.barrier, tilgc_runtime::WriteBarrier::None);
         barrier.drain(|entry| {
             barrier_entries += 1;
             match entry {
-                BarrierEntry::Field(loc) => evac.forward_word_at(loc),
+                BarrierEntry::Field(loc) => field_locs.push(loc),
                 BarrierEntry::Object(obj) => {
                     // The object may itself be in the nursery (young-on-young
                     // update): its copy, if live, is scanned by Cheney anyway,
@@ -266,8 +283,12 @@ impl GenerationalCollector {
             }
         });
         m.barrier = barrier;
+        evac.forward_field_locs(&mut field_locs);
         // Freshly pretenured regions: scan in place instead of copying.
-        let pending = self.pretenure.as_mut().map(|p| std::mem::take(&mut p.pending));
+        let pending = self
+            .pretenure
+            .as_mut()
+            .map(|p| std::mem::take(&mut p.pending));
         let grouped = self
             .pretenure
             .as_ref()
@@ -318,7 +339,8 @@ impl GenerationalCollector {
 
         let live_words = self.tenured[self.active_t].used_words()
             + self.los.as_ref().map_or(0, |l| l.used_words());
-        self.stats.note_live_bytes(tilgc_mem::words_to_bytes(live_words) as u64);
+        self.stats
+            .note_live_bytes(tilgc_mem::words_to_bytes(live_words) as u64);
         self.stats.stack_wall_ns += stack_ns;
         self.stats.copy_wall_ns += copy_ns;
         self.stats.total_wall_ns += wall_start.elapsed().as_nanos() as u64;
@@ -341,8 +363,11 @@ impl GenerationalCollector {
         let mut roots: Vec<RootLoc> = outcome.new_roots;
         if let Some(cache) = &self.cache {
             for (d, info) in cache.frames.iter().enumerate().take(outcome.reused_frames) {
-                for &slot in &info.ptr_slots {
-                    roots.push(RootLoc::Slot { depth: d as u32, slot });
+                for &slot in info.ptr_slots.iter() {
+                    roots.push(RootLoc::Slot {
+                        depth: d as u32,
+                        slot,
+                    });
                 }
             }
         }
@@ -459,8 +484,8 @@ impl GenerationalCollector {
                 self.mode_age = 0;
             }
         }
-        let live_words = self.tenured[new_t].used_words()
-            + self.los.as_ref().map_or(0, |l| l.used_words());
+        let live_words =
+            self.tenured[new_t].used_words() + self.los.as_ref().map_or(0, |l| l.used_words());
         self.apply_limits(live_words);
         assert!(
             self.tenured[new_t].used_words() <= self.tenured_max_words(),
@@ -468,7 +493,8 @@ impl GenerationalCollector {
             self.tenured[new_t].used_words(),
             self.tenured_max_words()
         );
-        self.stats.note_live_bytes(tilgc_mem::words_to_bytes(live_words) as u64);
+        self.stats
+            .note_live_bytes(tilgc_mem::words_to_bytes(live_words) as u64);
         self.stats.stack_wall_ns += stack_ns;
         self.stats.copy_wall_ns += copy_ns;
         self.stats.total_wall_ns += wall_start.elapsed().as_nanos() as u64;
@@ -477,7 +503,10 @@ impl GenerationalCollector {
     /// Scans young large pointer arrays (initializing stores may reference
     /// the nursery) before a minor collection's drain.
     fn take_los_pending(&mut self) -> Vec<Addr> {
-        self.los.as_mut().map(|l| std::mem::take(&mut l.pending_scan)).unwrap_or_default()
+        self.los
+            .as_mut()
+            .map(|l| std::mem::take(&mut l.pending_scan))
+            .unwrap_or_default()
     }
 }
 
@@ -545,13 +574,9 @@ impl Collector for GenerationalCollector {
                     );
                 }
                 let buf = std::mem::take(&mut m.alloc_buf);
-                let addr = alloc_in_space(
-                    &mut self.mem,
-                    &mut self.tenured[self.active_t],
-                    shape,
-                    &buf,
-                )
-                .expect("tenured space was checked to fit");
+                let addr =
+                    alloc_in_space(&mut self.mem, &mut self.tenured[self.active_t], shape, &buf)
+                        .expect("tenured space was checked to fit");
                 m.alloc_buf = buf;
                 self.stats.pretenured_bytes += shape.size_bytes() as u64;
                 // §7.2: "some areas may require no scanning because they
@@ -583,13 +608,9 @@ impl Collector for GenerationalCollector {
             }
             if self.semispace_mode && self.tenured[self.active_t].fits(words) {
                 let buf = std::mem::take(&mut m.alloc_buf);
-                let addr = alloc_in_space(
-                    &mut self.mem,
-                    &mut self.tenured[self.active_t],
-                    shape,
-                    &buf,
-                )
-                .expect("checked to fit");
+                let addr =
+                    alloc_in_space(&mut self.mem, &mut self.tenured[self.active_t], shape, &buf)
+                        .expect("checked to fit");
                 m.alloc_buf = buf;
                 if let Some(prof) = self.profile.as_mut() {
                     prof.on_alloc(addr, site, shape.size_bytes());
@@ -612,9 +633,8 @@ impl Collector for GenerationalCollector {
                 );
             }
             let buf = std::mem::take(&mut m.alloc_buf);
-            let addr =
-                alloc_in_space(&mut self.mem, &mut self.tenured[self.active_t], shape, &buf)
-                    .expect("tenured space was checked to fit");
+            let addr = alloc_in_space(&mut self.mem, &mut self.tenured[self.active_t], shape, &buf)
+                .expect("tenured space was checked to fit");
             m.alloc_buf = buf;
             match self.pretenure.as_mut() {
                 Some(p) => p.pending.push(addr),
@@ -650,9 +670,8 @@ impl Collector for GenerationalCollector {
             );
         }
         let buf = std::mem::take(&mut m.alloc_buf);
-        let addr =
-            alloc_in_space(&mut self.mem, &mut self.nursery[self.active_n], shape, &buf)
-                .expect("nursery was checked to fit");
+        let addr = alloc_in_space(&mut self.mem, &mut self.nursery[self.active_n], shape, &buf)
+            .expect("nursery was checked to fit");
         m.alloc_buf = buf;
         if let Some(prof) = self.profile.as_mut() {
             prof.on_alloc(addr, site, shape.size_bytes());

@@ -148,8 +148,9 @@ mod tests {
 
     #[test]
     fn plain_generational_never_places_markers() {
-        let config =
-            GcConfig::new().heap_budget_bytes(1 << 20).marker_policy(MarkerPolicy::PAPER);
+        let config = GcConfig::new()
+            .heap_budget_bytes(1 << 20)
+            .marker_policy(MarkerPolicy::PAPER);
         let mut vm = build_vm(CollectorKind::Generational, &config);
         let site = vm.site("t::x");
         for _ in 0..50_000 {

@@ -75,7 +75,11 @@ impl LargeObjectSpace {
     /// collection and retry).
     pub fn alloc(&mut self, words: usize) -> Option<Addr> {
         // First fit from the free list.
-        let found = self.free.iter().find(|&(_, &len)| len >= words).map(|(&a, &len)| (a, len));
+        let found = self
+            .free
+            .iter()
+            .find(|&(_, &len)| len >= words)
+            .map(|(&a, &len)| (a, len));
         let addr = if let Some((a, len)) = found {
             self.free.remove(&a);
             if len > words {
@@ -90,7 +94,13 @@ impl LargeObjectSpace {
             self.frontier += words;
             a
         };
-        self.objects.insert(addr.raw(), LargeObj { words, marked: false });
+        self.objects.insert(
+            addr.raw(),
+            LargeObj {
+                words,
+                marked: false,
+            },
+        );
         self.used_words += words;
         Some(addr)
     }
@@ -109,7 +119,10 @@ impl LargeObjectSpace {
     ///
     /// Panics if `addr` is not a live large object.
     pub fn mark(&mut self, addr: Addr) -> bool {
-        let obj = self.objects.get_mut(&addr.raw()).expect("mark of unknown large object");
+        let obj = self
+            .objects
+            .get_mut(&addr.raw())
+            .expect("mark of unknown large object");
         let first = !obj.marked;
         obj.marked = true;
         first

@@ -15,10 +15,10 @@
 //! re-decoded: their root-slot lists and the register state at the cache
 //! boundary are reused from the previous collection.
 
+use std::sync::Arc;
+
 use tilgc_runtime::trace::{RegEffect, Trace, TypeLoc, NUM_REGS};
-use tilgc_runtime::{
-    type_word_is_pointer, GcStats, MutatorState, RaiseBookkeeping, ShadowTag,
-};
+use tilgc_runtime::{type_word_is_pointer, GcStats, MutatorState, RaiseBookkeeping, ShadowTag};
 
 use crate::config::MarkerPolicy;
 
@@ -53,8 +53,10 @@ impl RegState {
 #[derive(Clone, Debug)]
 pub struct FrameScanInfo {
     /// Slot indices that hold pointers (resolved through callee-save and
-    /// compute traces).
-    pub ptr_slots: Vec<u16>,
+    /// compute traces). Shared: frames whose traces are fully static
+    /// reference the list precompiled into the trace table rather than a
+    /// per-scan copy.
+    pub ptr_slots: Arc<[u16]>,
     /// Register pointerness after this frame's effects.
     pub reg_state_after: RegState,
 }
@@ -110,7 +112,9 @@ pub fn read_root(m: &MutatorState, loc: RootLoc) -> u64 {
 pub fn write_root(m: &mut MutatorState, loc: RootLoc, word: u64) {
     match loc {
         RootLoc::Slot { depth, slot } => {
-            m.stack.frame_mut(depth as usize).set_word_raw(slot as usize, word);
+            m.stack
+                .frame_mut(depth as usize)
+                .set_word_raw(slot as usize, word);
         }
         RootLoc::Reg(r) => m.regs.set_word_raw(tilgc_runtime::Reg::new(r), word),
         RootLoc::AllocBuf(i) => m.alloc_buf[i as usize] = word,
@@ -138,6 +142,29 @@ pub fn scan_stack(
     policy: MarkerPolicy,
     stats: &mut GcStats,
 ) -> ScanOutcome {
+    scan_stack_impl(m, cache, policy, stats, true)
+}
+
+/// [`scan_stack`] with the bitmap fast path disabled: every frame takes
+/// the per-slot `Trace` decode, as before precompilation. Kept for A/B
+/// comparison; results and charged costs are identical by construction.
+#[cfg(any(test, feature = "kernel-ref"))]
+pub fn scan_stack_reference(
+    m: &mut MutatorState,
+    cache: Option<&mut ScanCache>,
+    policy: MarkerPolicy,
+    stats: &mut GcStats,
+) -> ScanOutcome {
+    scan_stack_impl(m, cache, policy, stats, false)
+}
+
+fn scan_stack_impl(
+    m: &mut MutatorState,
+    cache: Option<&mut ScanCache>,
+    policy: MarkerPolicy,
+    stats: &mut GcStats,
+    use_bitmaps: bool,
+) -> ScanOutcome {
     let cost = m.cost;
     let mut cycles: u64 = 0;
 
@@ -163,15 +190,49 @@ pub fn scan_stack(
         (r, Some(c)) => c.frames[r - 1].reg_state_after,
     };
 
-    let mut outcome = ScanOutcome { reused_frames: reusable, ..Default::default() };
+    let mut outcome = ScanOutcome {
+        reused_frames: reusable,
+        ..Default::default()
+    };
     let mut new_infos: Vec<FrameScanInfo> = Vec::with_capacity(depth - reusable);
     let mut slots_seen: u64 = 0;
 
     for d in reusable..depth {
         let frame = m.stack.frame(d);
-        let desc = m.traces.desc(frame.desc());
+        let desc_id = frame.desc();
+        let desc = m.traces.desc(desc_id);
         cycles += cost.frame_decode;
         slots_seen += desc.num_slots() as u64;
+
+        // Bitmap fast path: fully static frames were compiled into packed
+        // pointer bitmasks at registration, so the scan walks set bits
+        // instead of matching a `Trace` per slot — and reuses the
+        // precompiled slot list instead of rebuilding it. Shadow checking
+        // wants the per-slot decode, so it keeps the reference path. The
+        // charge is `slot_trace` per slot either way (static frames have
+        // no `Compute` slots, the only per-slot surcharge).
+        let compiled = m.traces.compiled(desc_id);
+        if use_bitmaps && compiled.is_static() && !m.check_shadows {
+            cycles += cost.slot_trace * compiled.num_slots() as u64;
+            for (w, &word) in compiled.ptr_bitmap().iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let slot = (w * 64 + bits.trailing_zeros() as usize) as u16;
+                    bits &= bits - 1;
+                    outcome.new_roots.push(RootLoc::Slot {
+                        depth: d as u32,
+                        slot,
+                    });
+                }
+            }
+            reg_state = reg_state.apply(desc.reg_effects());
+            new_infos.push(FrameScanInfo {
+                ptr_slots: compiled.ptr_slots(),
+                reg_state_after: reg_state,
+            });
+            continue;
+        }
+
         let mut ptr_slots: Vec<u16> = Vec::new();
         for (i, &trace) in desc.slot_traces().iter().enumerate() {
             cycles += cost.slot_trace;
@@ -200,11 +261,17 @@ pub fn scan_stack(
             }
             if is_ptr {
                 ptr_slots.push(i as u16);
-                outcome.new_roots.push(RootLoc::Slot { depth: d as u32, slot: i as u16 });
+                outcome.new_roots.push(RootLoc::Slot {
+                    depth: d as u32,
+                    slot: i as u16,
+                });
             }
         }
         reg_state = reg_state.apply(desc.reg_effects());
-        new_infos.push(FrameScanInfo { ptr_slots, reg_state_after: reg_state });
+        new_infos.push(FrameScanInfo {
+            ptr_slots: ptr_slots.into(),
+            reg_state_after: reg_state,
+        });
     }
     outcome.scanned_frames = depth - reusable;
 
@@ -214,7 +281,10 @@ pub fn scan_stack(
         let is_ptr = reg_state.is_pointer(r);
         if m.check_shadows {
             let shadow_ptr = m.regs.shadow(tilgc_runtime::Reg::new(r as u8)) == ShadowTag::Ptr;
-            assert_eq!(is_ptr, shadow_ptr, "register ${r} trace state disagrees with shadow");
+            assert_eq!(
+                is_ptr, shadow_ptr,
+                "register ${r} trace state disagrees with shadow"
+            );
         }
         if is_ptr {
             outcome.new_roots.push(RootLoc::Reg(r as u8));
@@ -253,12 +323,16 @@ mod tests {
     /// Builds a mutator with `depth` frames: slot 0 pointer, slot 1 int.
     fn mutator(depth: usize) -> MutatorState {
         let mut m = MutatorState::new();
-        let d = m
-            .traces
-            .register(FrameDesc::new("t").slot(Trace::Pointer).slot(Trace::NonPointer));
+        let d = m.traces.register(
+            FrameDesc::new("t")
+                .slot(Trace::Pointer)
+                .slot(Trace::NonPointer),
+        );
         for i in 0..depth {
             m.stack.push(d, 2);
-            m.stack.top_mut().set(0, Value::Ptr(Addr::new(100 + i as u32)));
+            m.stack
+                .top_mut()
+                .set(0, Value::Ptr(Addr::new(100 + i as u32)));
             m.stack.top_mut().set(1, Value::Int(7));
         }
         m
@@ -269,8 +343,11 @@ mod tests {
         let mut m = mutator(10);
         let mut stats = GcStats::default();
         let out = scan_stack(&mut m, None, MarkerPolicy::Disabled, &mut stats);
-        let slot_roots =
-            out.new_roots.iter().filter(|r| matches!(r, RootLoc::Slot { .. })).count();
+        let slot_roots = out
+            .new_roots
+            .iter()
+            .filter(|r| matches!(r, RootLoc::Slot { .. }))
+            .count();
         assert_eq!(slot_roots, 10);
         assert_eq!(out.scanned_frames, 10);
         assert_eq!(out.reused_frames, 0);
@@ -282,13 +359,23 @@ mod tests {
         let mut m = mutator(100);
         let mut stats = GcStats::default();
         let mut cache = ScanCache::default();
-        let out = scan_stack(&mut m, Some(&mut cache), MarkerPolicy::EveryN(25), &mut stats);
+        let out = scan_stack(
+            &mut m,
+            Some(&mut cache),
+            MarkerPolicy::EveryN(25),
+            &mut stats,
+        );
         assert_eq!(out.scanned_frames, 100);
         assert_eq!(cache.frames.len(), 100);
 
         // Second scan with no mutator activity: reuse up to the deepest
         // marker (depth 99).
-        let out2 = scan_stack(&mut m, Some(&mut cache), MarkerPolicy::EveryN(25), &mut stats);
+        let out2 = scan_stack(
+            &mut m,
+            Some(&mut cache),
+            MarkerPolicy::EveryN(25),
+            &mut stats,
+        );
         assert_eq!(out2.reused_frames, 99);
         assert_eq!(out2.scanned_frames, 1);
         assert_eq!(cache.frames.len(), 100);
@@ -299,7 +386,12 @@ mod tests {
         let mut m = mutator(100);
         let mut stats = GcStats::default();
         let mut cache = ScanCache::default();
-        scan_stack(&mut m, Some(&mut cache), MarkerPolicy::EveryN(25), &mut stats);
+        scan_stack(
+            &mut m,
+            Some(&mut cache),
+            MarkerPolicy::EveryN(25),
+            &mut stats,
+        );
         for _ in 0..30 {
             m.stack.pop(); // fires markers at 99 and 74
         }
@@ -308,7 +400,12 @@ mod tests {
             m.stack.push(d, 2);
             m.stack.top_mut().set(0, Value::NULL);
         }
-        let out = scan_stack(&mut m, Some(&mut cache), MarkerPolicy::EveryN(25), &mut stats);
+        let out = scan_stack(
+            &mut m,
+            Some(&mut cache),
+            MarkerPolicy::EveryN(25),
+            &mut stats,
+        );
         assert_eq!(out.reused_frames, 49, "intact marker at 49 bounds reuse");
         assert_eq!(out.scanned_frames, 80 - 49);
         assert_eq!(cache.frames.len(), 80);
@@ -318,8 +415,12 @@ mod tests {
     fn callee_save_resolved_through_register_state() {
         let mut m = MutatorState::new();
         // Frame A leaves a pointer in $5; frame B spills $5 to its slot 0.
-        let da = m.traces.register(FrameDesc::new("a").def_pointer(Reg::new(5)));
-        let db = m.traces.register(FrameDesc::new("b").slot(Trace::CalleeSave(Reg::new(5))));
+        let da = m
+            .traces
+            .register(FrameDesc::new("a").def_pointer(Reg::new(5)));
+        let db = m
+            .traces
+            .register(FrameDesc::new("b").slot(Trace::CalleeSave(Reg::new(5))));
         m.stack.push(da, 0);
         m.regs.set(Reg::new(5), Value::Ptr(Addr::new(64)));
         m.stack.push(db, 1);
@@ -328,9 +429,7 @@ mod tests {
 
         let mut stats = GcStats::default();
         let out = scan_stack(&mut m, None, MarkerPolicy::Disabled, &mut stats);
-        assert!(out
-            .new_roots
-            .contains(&RootLoc::Slot { depth: 1, slot: 0 }));
+        assert!(out.new_roots.contains(&RootLoc::Slot { depth: 1, slot: 0 }));
         // $5 is still pointer-valued at the top, so it is a register root.
         assert!(out.new_roots.contains(&RootLoc::Reg(5)));
     }
@@ -338,8 +437,12 @@ mod tests {
     #[test]
     fn callee_save_of_non_pointer_is_not_a_root() {
         let mut m = MutatorState::new();
-        let da = m.traces.register(FrameDesc::new("a").def_non_pointer(Reg::new(5)));
-        let db = m.traces.register(FrameDesc::new("b").slot(Trace::CalleeSave(Reg::new(5))));
+        let da = m
+            .traces
+            .register(FrameDesc::new("a").def_non_pointer(Reg::new(5)));
+        let db = m
+            .traces
+            .register(FrameDesc::new("b").slot(Trace::CalleeSave(Reg::new(5))));
         m.stack.push(da, 0);
         m.regs.set(Reg::new(5), Value::Int(999));
         m.stack.push(db, 1);
@@ -370,7 +473,10 @@ mod tests {
         m.stack.top_mut().set(1, Value::Int(640));
         let out = scan_stack(&mut m, None, MarkerPolicy::Disabled, &mut stats);
         assert_eq!(
-            out.new_roots.iter().filter(|r| matches!(r, RootLoc::Slot { .. })).count(),
+            out.new_roots
+                .iter()
+                .filter(|r| matches!(r, RootLoc::Slot { .. }))
+                .count(),
             0
         );
     }
@@ -379,7 +485,9 @@ mod tests {
     #[should_panic(expected = "disagrees with shadow")]
     fn misdeclared_descriptor_is_caught() {
         let mut m = MutatorState::new();
-        let d = m.traces.register(FrameDesc::new("bad").slot(Trace::NonPointer));
+        let d = m
+            .traces
+            .register(FrameDesc::new("bad").slot(Trace::NonPointer));
         m.stack.push(d, 1);
         // The mutator writes a pointer into a slot declared non-pointer:
         // in the real system this hides a root. The shadow check trips.
@@ -407,14 +515,23 @@ mod tests {
         m.raise_mode = RaiseBookkeeping::Deferred;
         let mut stats = GcStats::default();
         let mut cache = ScanCache::default();
-        scan_stack(&mut m, Some(&mut cache), MarkerPolicy::EveryN(10), &mut stats);
+        scan_stack(
+            &mut m,
+            Some(&mut cache),
+            MarkerPolicy::EveryN(10),
+            &mut stats,
+        );
 
         // A raise to depth 30 — with deferred bookkeeping the stack's
         // watermark is NOT updated at raise time...
         m.handlers.push(30);
         let target = m.handlers.raise().expect("handler installed");
         m.stack.unwind_for_raise_silent(target);
-        assert_eq!(m.stack.watermark(), usize::MAX, "deferred: no watermark at raise");
+        assert_eq!(
+            m.stack.watermark(),
+            usize::MAX,
+            "deferred: no watermark at raise"
+        );
 
         // ...the intact markers above 30 would wrongly promise reuse...
         let d = m.stack.frame(0).desc();
@@ -423,7 +540,12 @@ mod tests {
             m.stack.top_mut().set(0, crate::roots::tests::null_ptr());
         }
         // ...but the next scan walks the handler chain first and clamps.
-        let out = scan_stack(&mut m, Some(&mut cache), MarkerPolicy::EveryN(10), &mut stats);
+        let out = scan_stack(
+            &mut m,
+            Some(&mut cache),
+            MarkerPolicy::EveryN(10),
+            &mut stats,
+        );
         assert!(
             out.reused_frames <= 30,
             "deferred walk must cap reuse at the raise depth, got {}",
@@ -433,6 +555,73 @@ mod tests {
 
     pub(super) fn null_ptr() -> tilgc_runtime::Value {
         tilgc_runtime::Value::NULL
+    }
+
+    /// The bitmap fast path must be observably identical to the per-slot
+    /// reference decode: same roots in the same order, same cached
+    /// decodes, same charged costs.
+    #[test]
+    fn bitmap_path_matches_reference_scan() {
+        let build = || {
+            let mut m = MutatorState::new();
+            m.check_shadows = false; // enable the bitmap fast path
+            let stat = m.traces.register(
+                FrameDesc::new("static")
+                    .slot(Trace::Pointer)
+                    .slot(Trace::NonPointer)
+                    .slot(Trace::Pointer)
+                    .def_pointer(Reg::new(7)),
+            );
+            let dynamic = m.traces.register(
+                FrameDesc::new("dynamic")
+                    .slot(Trace::CalleeSave(Reg::new(7)))
+                    .slot(Trace::NonPointer)
+                    .slot(Trace::Compute(TypeLoc::Slot(1))),
+            );
+            for i in 0..40 {
+                if i % 5 == 4 {
+                    m.stack.push(dynamic, 3);
+                    m.stack.top_mut().set_word_tagged(0, 64, ShadowTag::Ptr);
+                    m.stack.top_mut().set(1, Value::Int(TYPE_UNBOXED));
+                    m.stack.top_mut().set(2, Value::Int(9));
+                } else {
+                    m.stack.push(stat, 3);
+                    m.stack.top_mut().set(0, Value::Ptr(Addr::new(100 + i)));
+                    m.stack.top_mut().set(1, Value::Int(7));
+                    m.stack.top_mut().set(2, Value::Ptr(Addr::new(200 + i)));
+                }
+            }
+            m
+        };
+
+        let mut m_fast = build();
+        let mut m_ref = build();
+        let mut stats_fast = GcStats::default();
+        let mut stats_ref = GcStats::default();
+        let mut cache_fast = ScanCache::default();
+        let mut cache_ref = ScanCache::default();
+        let out_fast = scan_stack(
+            &mut m_fast,
+            Some(&mut cache_fast),
+            MarkerPolicy::EveryN(8),
+            &mut stats_fast,
+        );
+        let out_ref = scan_stack_reference(
+            &mut m_ref,
+            Some(&mut cache_ref),
+            MarkerPolicy::EveryN(8),
+            &mut stats_ref,
+        );
+
+        assert_eq!(out_fast.new_roots, out_ref.new_roots);
+        assert_eq!(out_fast.scanned_frames, out_ref.scanned_frames);
+        assert_eq!(out_fast.reused_frames, out_ref.reused_frames);
+        assert_eq!(stats_fast, stats_ref);
+        assert_eq!(cache_fast.frames.len(), cache_ref.frames.len());
+        for (f, r) in cache_fast.frames.iter().zip(cache_ref.frames.iter()) {
+            assert_eq!(&*f.ptr_slots, &*r.ptr_slots);
+            assert_eq!(f.reg_state_after, r.reg_state_after);
+        }
     }
 
     #[test]

@@ -15,9 +15,7 @@
 use std::time::Instant;
 
 use tilgc_mem::{Addr, Memory, Space};
-use tilgc_runtime::{
-    AllocShape, CollectReason, Collector, GcStats, HeapProfile, MutatorState,
-};
+use tilgc_runtime::{AllocShape, CollectReason, Collector, GcStats, HeapProfile, MutatorState};
 
 use crate::config::{GcConfig, MarkerPolicy};
 use crate::evac::{poison_range, Evacuator};
@@ -48,7 +46,11 @@ impl SemispaceCollector {
     pub fn new(config: &GcConfig) -> SemispaceCollector {
         let budget_words = config.heap_budget_words();
         let semi = budget_words / 2;
-        assert!(semi >= 128, "semispace budget too small: {} bytes", config.heap_budget_bytes);
+        assert!(
+            semi >= 128,
+            "semispace budget too small: {} bytes",
+            config.heap_budget_bytes
+        );
         let mut mem = Memory::with_capacity_words(budget_words + 16);
         let a = Space::new(mem.reserve(semi).expect("semispace reservation"));
         let b = Space::new(mem.reserve(semi).expect("semispace reservation"));
@@ -84,8 +86,11 @@ impl SemispaceCollector {
         let mut roots: Vec<RootLoc> = outcome.new_roots;
         if let Some(cache) = &self.cache {
             for (d, info) in cache.frames.iter().enumerate().take(outcome.reused_frames) {
-                for &slot in &info.ptr_slots {
-                    roots.push(RootLoc::Slot { depth: d as u32, slot });
+                for &slot in info.ptr_slots.iter() {
+                    roots.push(RootLoc::Slot {
+                        depth: d as u32,
+                        slot,
+                    });
                 }
             }
         }
@@ -149,7 +154,8 @@ impl SemispaceCollector {
         self.spaces[0].set_limit_words(new_size);
         self.spaces[1].set_limit_words(new_size);
 
-        self.stats.note_live_bytes(tilgc_mem::words_to_bytes(live_words) as u64);
+        self.stats
+            .note_live_bytes(tilgc_mem::words_to_bytes(live_words) as u64);
         self.stats.stack_wall_ns += stack_ns;
         self.stats.copy_wall_ns += copy_ns;
         self.stats.total_wall_ns += wall_start.elapsed().as_nanos() as u64;

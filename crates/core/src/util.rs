@@ -1,6 +1,6 @@
 //! Small helpers shared by the collectors.
 
-use tilgc_mem::{object, Addr, Header, MemError, Memory, Space};
+use tilgc_mem::{Addr, Header, MemError, Memory, Space};
 use tilgc_runtime::AllocShape;
 
 /// Writes a freshly allocated object of the given shape at `addr`,
@@ -14,25 +14,22 @@ pub(crate) fn materialize(mem: &mut Memory, addr: Addr, shape: AllocShape, buf: 
     match shape {
         AllocShape::Record { site, len, mask } => {
             let header = Header::record(len, mask, site).expect("record shape validated by Vm");
-            object::set_header(mem, addr, header);
-            for (i, &w) in buf.iter().enumerate().take(len) {
-                object::set_field(mem, addr, i, w);
-            }
+            let words = mem.words_at_mut(addr, header.size_words());
+            words[0] = header.raw();
+            words[1..].copy_from_slice(&buf[..len]);
         }
         AllocShape::PtrArray { site, len } => {
             let header = Header::ptr_array(len, site).expect("array shape validated by Vm");
-            object::set_header(mem, addr, header);
             let init = buf.first().copied().unwrap_or(0);
-            for i in 0..len {
-                object::set_field(mem, addr, i, init);
-            }
+            let words = mem.words_at_mut(addr, header.size_words());
+            words[0] = header.raw();
+            words[1..].fill(init);
         }
         AllocShape::RawArray { site, len_bytes } => {
             let header = Header::raw_array(len_bytes, site).expect("array shape validated by Vm");
-            object::set_header(mem, addr, header);
-            for i in 0..header.payload_words() {
-                object::set_field(mem, addr, i, 0);
-            }
+            let words = mem.words_at_mut(addr, header.size_words());
+            words[0] = header.raw();
+            words[1..].fill(0);
         }
     }
 }
@@ -52,7 +49,7 @@ pub(crate) fn alloc_in_space(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tilgc_mem::SiteId;
+    use tilgc_mem::{object, SiteId};
 
     #[test]
     fn materialize_each_shape() {
@@ -62,7 +59,11 @@ mod tests {
         let rec = alloc_in_space(
             &mut mem,
             &mut s,
-            AllocShape::Record { site: SiteId::new(1), len: 2, mask: 0b10 },
+            AllocShape::Record {
+                site: SiteId::new(1),
+                len: 2,
+                mask: 0b10,
+            },
             &[11, 640],
         )
         .unwrap();
@@ -72,7 +73,10 @@ mod tests {
         let arr = alloc_in_space(
             &mut mem,
             &mut s,
-            AllocShape::PtrArray { site: SiteId::new(2), len: 3 },
+            AllocShape::PtrArray {
+                site: SiteId::new(2),
+                len: 3,
+            },
             &[u64::from(rec.raw())],
         )
         .unwrap();
@@ -83,7 +87,10 @@ mod tests {
         let raw = alloc_in_space(
             &mut mem,
             &mut s,
-            AllocShape::RawArray { site: SiteId::new(3), len_bytes: 10 },
+            AllocShape::RawArray {
+                site: SiteId::new(3),
+                len_bytes: 10,
+            },
             &[],
         )
         .unwrap();

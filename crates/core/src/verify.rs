@@ -84,7 +84,10 @@ pub fn check_graph(mem: &Memory, roots: &[Addr]) -> LiveReport {
         );
         // Malformed headers mostly manifest as absurd sizes.
         let words = h.size_words();
-        assert!(words < (1 << 28), "implausible object size {words} at {addr}");
+        assert!(
+            words < (1 << 28),
+            "implausible object size {words} at {addr}"
+        );
         objects += 1;
         bytes += h.size_bytes();
         if h.kind() != ObjectKind::RawArray {
@@ -99,7 +102,11 @@ pub fn check_graph(mem: &Memory, roots: &[Addr]) -> LiveReport {
             }
         }
     }
-    LiveReport { objects, bytes, roots: live_roots }
+    LiveReport {
+        objects,
+        bytes,
+        roots: live_roots,
+    }
 }
 
 /// Verifies a running VM's heap: shadow roots → full graph walk.
@@ -180,7 +187,7 @@ pub fn vm_snapshot(vm: &Vm) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tilgc_mem::{Space, SiteId};
+    use tilgc_mem::{SiteId, Space};
 
     fn heap() -> (Memory, Space) {
         let mut mem = Memory::with_capacity_words(512);
@@ -192,14 +199,8 @@ mod tests {
     fn check_graph_counts_reachable_only() {
         let (mut mem, mut s) = heap();
         let a = object::alloc_record(&mut mem, &mut s, SiteId::new(1), &[1], 0).unwrap();
-        let b = object::alloc_record(
-            &mut mem,
-            &mut s,
-            SiteId::new(2),
-            &[u64::from(a.raw())],
-            0b1,
-        )
-        .unwrap();
+        let b = object::alloc_record(&mut mem, &mut s, SiteId::new(2), &[u64::from(a.raw())], 0b1)
+            .unwrap();
         let _garbage = object::alloc_record(&mut mem, &mut s, SiteId::new(3), &[9], 0).unwrap();
         let report = check_graph(&mem, &[b]);
         assert_eq!(report.objects, 2);
@@ -223,8 +224,8 @@ mod tests {
     fn cycles_terminate() {
         let (mut mem, mut s) = heap();
         let a = object::alloc_record(&mut mem, &mut s, SiteId::new(1), &[0], 0b1).unwrap();
-        let b = object::alloc_record(&mut mem, &mut s, SiteId::new(1), &[a.raw().into()], 0b1)
-            .unwrap();
+        let b =
+            object::alloc_record(&mut mem, &mut s, SiteId::new(1), &[a.raw().into()], 0b1).unwrap();
         object::set_field(&mut mem, a, 0, u64::from(b.raw()));
         let report = check_graph(&mem, &[a]);
         assert_eq!(report.objects, 2);
@@ -254,8 +255,7 @@ mod tests {
         // produce identical snapshots.
         let (mut mem, mut s) = heap();
         let build = |mem: &mut Memory, s: &mut Space| {
-            let inner =
-                object::alloc_record(mem, s, SiteId::new(1), &[7, 8], 0).unwrap();
+            let inner = object::alloc_record(mem, s, SiteId::new(1), &[7, 8], 0).unwrap();
             object::alloc_record(mem, s, SiteId::new(2), &[inner.raw().into(), 3], 0b1).unwrap()
         };
         let r1 = build(&mut mem, &mut s);

@@ -9,7 +9,9 @@ use tilgc_mem::Addr;
 use tilgc_runtime::{FrameDesc, MutatorState, RaiseOutcome, Trace, Value, Vm, WriteBarrier};
 
 fn small_config() -> GcConfig {
-    GcConfig::new().heap_budget_bytes(256 << 10).nursery_bytes(8 << 10)
+    GcConfig::new()
+        .heap_budget_bytes(256 << 10)
+        .nursery_bytes(8 << 10)
 }
 
 fn frame_with_ptrs(vm: &mut Vm, n: usize) -> tilgc_runtime::DescId {
@@ -33,7 +35,11 @@ fn minor_collections_promote_survivors() {
         }
     }
     let stats = vm.gc_stats();
-    assert!(stats.collections > 3, "expected several minor GCs, got {}", stats.collections);
+    assert!(
+        stats.collections > 3,
+        "expected several minor GCs, got {}",
+        stats.collections
+    );
     let mut cur = vm.slot_ptr(0);
     for expect in (0..200).rev() {
         assert_eq!(vm.load_int(cur, 0), expect);
@@ -65,7 +71,10 @@ fn ssb_catches_old_to_young_stores() {
     assert!(!kept.is_null());
     // The promoted young object is a valid, reachable record.
     assert!(vm.load_ptr(kept, 0).is_null());
-    assert!(vm.gc_stats().barrier_entries > 0, "the SSB entry was filtered");
+    assert!(
+        vm.gc_stats().barrier_entries > 0,
+        "the SSB entry was filtered"
+    );
     verify_vm(&vm);
 }
 
@@ -144,7 +153,10 @@ fn large_arrays_bypass_the_nursery_and_survive_majors() {
     assert_eq!(vm.slot_ptr(0), big, "large objects do not move");
     assert_eq!(vm.load_byte(big, 1000), 0xaa);
     let copied_after = vm.gc_stats().copied_bytes;
-    assert!(copied_after - copied_before < 1024, "the 8 KB array must not be copied");
+    assert!(
+        copied_after - copied_before < 1024,
+        "the 8 KB array must not be copied"
+    );
     // Drop the root: the next major sweeps it.
     vm.set_slot(0, Value::NULL);
     vm.gc_major();
@@ -159,9 +171,7 @@ fn large_ptr_array_keeps_young_initializer_alive() {
     let site = vm.site("t::bigptr");
     // The frame declares that it leaves a pointer in $4 — without the
     // declaration the trace tables would (rightly) miss the register root.
-    let d = vm.register_frame(
-        FrameDesc::new("losroot").def_pointer(tilgc_runtime::Reg::new(4)),
-    );
+    let d = vm.register_frame(FrameDesc::new("losroot").def_pointer(tilgc_runtime::Reg::new(4)));
     vm.push_frame(d);
     vm.set_reg(tilgc_runtime::Reg::new(4), Value::NULL);
     // A young record used as the initializer of a large pointer array.
@@ -173,7 +183,11 @@ fn large_ptr_array_keeps_young_initializer_alive() {
     vm.gc_now();
     let big = vm.reg_ptr(tilgc_runtime::Reg::new(4));
     let kept = vm.load_ptr(big, 0);
-    assert_eq!(vm.load_int(kept, 0), 77, "initializing store into LOS array kept alive");
+    assert_eq!(
+        vm.load_int(kept, 0),
+        77,
+        "initializing store into LOS array kept alive"
+    );
     verify_vm(&vm);
 }
 
@@ -194,7 +208,11 @@ fn deep_recursion(vm: &mut Vm, d: tilgc_runtime::DescId, site: tilgc_mem::SiteId
         }
     }
     let kept = vm.slot_ptr(0);
-    assert_eq!(vm.load_int(kept, 0), depth as i64, "per-frame root survived");
+    assert_eq!(
+        vm.load_int(kept, 0),
+        depth as i64,
+        "per-frame root survived"
+    );
     vm.pop_frame();
 }
 
@@ -210,7 +228,10 @@ fn stack_markers_cut_frames_scanned_on_deep_stacks() {
     };
     let (frames_plain, gcs_plain) = run(CollectorKind::Generational);
     let (frames_marked, gcs_marked) = run(CollectorKind::GenerationalStack);
-    assert_eq!(gcs_plain, gcs_marked, "same workload, same collection count");
+    assert_eq!(
+        gcs_plain, gcs_marked,
+        "same workload, same collection count"
+    );
     assert!(
         frames_marked * 3 < frames_plain,
         "markers should slash frames scanned: {frames_marked} vs {frames_plain}"
@@ -232,7 +253,7 @@ fn exceptions_keep_the_scan_cache_sound() {
         }
     }
     vm.gc_now(); // scan + markers over 120 frames
-    // Raise: jumps from depth 120 to 41, past the markers in between.
+                 // Raise: jumps from depth 120 to 41, past the markers in between.
     match vm.raise() {
         RaiseOutcome::Caught { handler_depth } => assert_eq!(handler_depth, 41),
         RaiseOutcome::Uncaught => panic!("handler was installed"),
@@ -292,7 +313,10 @@ fn pretenuring_reduces_copying_and_preserves_the_graph() {
     policy.add_site(long_site);
     let (copied_pt, snap_pt) = run(Some(policy));
 
-    assert_eq!(snap_plain, snap_pt, "pretenuring must not change program results");
+    assert_eq!(
+        snap_plain, snap_pt,
+        "pretenuring must not change program results"
+    );
     assert!(
         copied_pt * 2 < copied_plain,
         "pretenuring the long-lived site should slash copying: {copied_pt} vs {copied_plain}"
@@ -316,7 +340,10 @@ fn pretenured_objects_with_young_children_are_scanned() {
     let child = vm.alloc_record(young_site, &[Value::Int(1234)]);
     let parent = vm.alloc_record(pt_site, &[Value::Ptr(child)]);
     vm.set_slot(0, Value::Ptr(parent));
-    assert!(vm.gc_stats().pretenured_bytes > 0, "parent went straight to tenured");
+    assert!(
+        vm.gc_stats().pretenured_bytes > 0,
+        "parent went straight to tenured"
+    );
     vm.gc_now();
     let parent = vm.slot_ptr(0);
     let child = vm.load_ptr(parent, 0);
@@ -360,9 +387,17 @@ fn snapshot_is_stable_across_forced_collections() {
     }
     let before = vm_snapshot(&vm);
     vm.gc_now();
-    assert_eq!(vm_snapshot(&vm), before, "minor GC preserves the reachable graph");
+    assert_eq!(
+        vm_snapshot(&vm),
+        before,
+        "minor GC preserves the reachable graph"
+    );
     vm.gc_major();
-    assert_eq!(vm_snapshot(&vm), before, "major GC preserves the reachable graph");
+    assert_eq!(
+        vm_snapshot(&vm),
+        before,
+        "major GC preserves the reachable graph"
+    );
 }
 
 #[test]
@@ -402,7 +437,11 @@ fn adaptive_mode_is_transparent_and_engages_on_dying_tenured() {
             cur = vm.load_ptr(cur, 1);
         }
         verify_vm(&vm);
-        (h, vm.gc_stats().major_collections, vm.gc_stats().collections)
+        (
+            h,
+            vm.gc_stats().major_collections,
+            vm.gc_stats().collections,
+        )
     };
     let (h_plain, _, _) = run(false);
     let (h_adaptive, majors, collections) = run(true);
@@ -430,13 +469,20 @@ fn tenure_threshold_ages_objects_through_the_nursery_system() {
     assert_eq!(tenured_live(&vm), 0, "age 2: copied back, not tenured");
     // Third minor: age reaches the threshold — promoted.
     vm.gc_now();
-    assert!(tenured_live(&vm) > 0, "age 3: promoted to the tenured generation");
+    assert!(
+        tenured_live(&vm) > 0,
+        "age 3: promoted to the tenured generation"
+    );
     let obj = vm.slot_ptr(0);
     assert_eq!(vm.load_int(obj, 0), 77);
     // Once tenured, minor collections leave it alone.
     let before = vm.slot_ptr(0);
     vm.gc_now();
-    assert_eq!(vm.slot_ptr(0), before, "tenured objects do not move at minors");
+    assert_eq!(
+        vm.slot_ptr(0),
+        before,
+        "tenured objects do not move at minors"
+    );
     verify_vm(&vm);
 }
 
@@ -534,7 +580,10 @@ fn pointer_free_pretenured_objects_skip_the_region_scan() {
     vm.set_slot(0, Value::Ptr(raw));
     let flat = vm.alloc_record(flat_site, &[Value::Int(1), Value::Real(2.5)]);
     vm.set_slot(1, Value::Ptr(flat));
-    assert!(vm.gc_stats().pretenured_bytes > 0, "both went straight to tenured");
+    assert!(
+        vm.gc_stats().pretenured_bytes > 0,
+        "both went straight to tenured"
+    );
     vm.gc_now();
     assert_eq!(
         vm.gc_stats().pretenured_scanned_words,
@@ -554,10 +603,7 @@ fn semispace_with_markers_reuses_decodes_but_processes_all_roots() {
     let config = small_config().marker_policy(MarkerPolicy::PAPER);
     let mut m = MutatorState::new();
     m.barrier = WriteBarrier::None;
-    let mut vm = Vm::with_mutator(
-        m,
-        Box::new(tilgc_core::SemispaceCollector::new(&config)),
-    );
+    let mut vm = Vm::with_mutator(m, Box::new(tilgc_core::SemispaceCollector::new(&config)));
     let site = vm.site("t::deep");
     let d = frame_with_ptrs(&mut vm, 1);
     // A deep, persistent stack with one root per frame.
@@ -581,7 +627,7 @@ fn semispace_with_markers_reuses_decodes_but_processes_all_roots() {
     );
     // Every frame's root is still correct after all those moving GCs.
     for depth in 0..200 {
-        let frame = vm.mutator().stack.frame(depth + 0);
+        let frame = vm.mutator().stack.frame(depth);
         let addr = Addr::new(frame.word(0) as u32);
         assert_eq!(vm.load_int(addr, 0), depth as i64);
     }

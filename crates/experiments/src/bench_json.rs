@@ -1,0 +1,137 @@
+//! `experiments bench-json` — a fixed GC-throughput suite emitting a
+//! machine-readable baseline (`BENCH_pr1.json`).
+//!
+//! Four metrics, all wall-clock (unlike the tables, which report
+//! deterministic simulated cycles):
+//!
+//! * evacuation-scan throughput in heap words per second,
+//! * stack-scan throughput in frames per second,
+//! * store-buffer filter throughput in entries per second,
+//! * the end-to-end Table 5 workload (the four headline benchmarks
+//!   under the generational collector with stack markers) in
+//!   milliseconds.
+//!
+//! The three kernel metrics also record the batched-vs-reference
+//! speedup measured against the pre-batching scalar paths retained
+//! under `tilgc-core`'s `kernel-ref` feature, so a regression in the
+//! rewrites shows up as a ratio near (or below) 1.0.
+
+use std::time::Instant;
+
+use tilgc_bench::kernels::{EvacRig, SsbRig, StackRig};
+use tilgc_bench::{bench_config, run_program, HEADLINERS};
+use tilgc_core::CollectorKind;
+
+/// Iterations per kernel measurement (after warm-up).
+const KERNEL_ITERS: usize = 200;
+/// Iterations of the end-to-end workload (after warm-up).
+const WORKLOAD_ITERS: usize = 5;
+
+/// Times `pass` over `iters` iterations and returns the median seconds
+/// per iteration. A few warm-up passes are discarded first.
+fn median_pass_secs<F: FnMut()>(mut pass: F, iters: usize) -> f64 {
+    for _ in 0..3 {
+        pass();
+    }
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            pass();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_unstable_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    samples[samples.len() / 2]
+}
+
+/// Runs the suite, prints a human-readable summary, and writes the
+/// JSON baseline to `path`.
+pub fn run(path: &str) {
+    println!(
+        "GC throughput baseline ({KERNEL_ITERS} kernel iters, {WORKLOAD_ITERS} workload iters)"
+    );
+    println!("{}", "-".repeat(78));
+
+    let mut rig = EvacRig::new();
+    let evac_batched = median_pass_secs(
+        || {
+            std::hint::black_box(rig.scan_pass());
+        },
+        KERNEL_ITERS,
+    );
+    let mut rig_ref = EvacRig::new();
+    let evac_reference = median_pass_secs(
+        || {
+            std::hint::black_box(rig_ref.scan_pass_reference());
+        },
+        KERNEL_ITERS,
+    );
+    let evac_words_per_sec = rig.words_per_pass as f64 / evac_batched;
+    let evac_speedup = evac_reference / evac_batched;
+    println!("evac scan:   {evac_words_per_sec:>14.0} words/s   {evac_speedup:.2}x vs reference");
+
+    let mut rig = StackRig::new();
+    let stack_batched = median_pass_secs(
+        || {
+            std::hint::black_box(rig.scan_pass());
+        },
+        KERNEL_ITERS,
+    );
+    let mut rig_ref = StackRig::new();
+    let stack_reference = median_pass_secs(
+        || {
+            std::hint::black_box(rig_ref.scan_pass_reference());
+        },
+        KERNEL_ITERS,
+    );
+    let stack_frames_per_sec = rig.frames_per_pass as f64 / stack_batched;
+    let stack_speedup = stack_reference / stack_batched;
+    println!(
+        "stack scan:  {stack_frames_per_sec:>14.0} frames/s  {stack_speedup:.2}x vs reference"
+    );
+
+    let mut rig = SsbRig::new();
+    let ssb_batched = median_pass_secs(
+        || {
+            std::hint::black_box(rig.filter_pass());
+        },
+        KERNEL_ITERS,
+    );
+    let mut rig_ref = SsbRig::new();
+    let ssb_reference = median_pass_secs(
+        || {
+            std::hint::black_box(rig_ref.filter_pass_reference());
+        },
+        KERNEL_ITERS,
+    );
+    let ssb_entries_per_sec = rig.entries_per_pass as f64 / ssb_batched;
+    let ssb_speedup = ssb_reference / ssb_batched;
+    println!("ssb filter:  {ssb_entries_per_sec:>14.0} entries/s {ssb_speedup:.2}x vs reference");
+
+    // End-to-end: the Table 5 headline workload under the generational
+    // collector with stack markers, at the standard benchmark scale.
+    let config = bench_config(192 << 20);
+    let mut workload_checksum = 0u64;
+    let workload_secs = median_pass_secs(
+        || {
+            workload_checksum = HEADLINERS
+                .iter()
+                .map(|&b| run_program(b, CollectorKind::GenerationalStack, &config, 1))
+                .fold(0u64, |acc, c| acc.rotate_left(7) ^ c);
+        },
+        WORKLOAD_ITERS,
+    );
+    let workload_ms = workload_secs * 1e3;
+    println!("table5 e2e:  {workload_ms:>14.2} ms        checksum {workload_checksum:#018x}");
+
+    let json = format!(
+        "{{\n  \"suite\": \"gc-throughput-baseline\",\n  \"kernel_iters\": {KERNEL_ITERS},\n  \"workload_iters\": {WORKLOAD_ITERS},\n  \"metrics\": {{\n    \"evac_words_per_sec\": {evac_words_per_sec:.0},\n    \"evac_speedup_vs_reference\": {evac_speedup:.3},\n    \"stack_scan_frames_per_sec\": {stack_frames_per_sec:.0},\n    \"stack_scan_speedup_vs_reference\": {stack_speedup:.3},\n    \"ssb_filter_entries_per_sec\": {ssb_entries_per_sec:.0},\n    \"ssb_filter_speedup_vs_reference\": {ssb_speedup:.3},\n    \"table5_workload_ms\": {workload_ms:.3},\n    \"table5_workload_checksum\": {workload_checksum}\n  }}\n}}\n"
+    );
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -23,7 +23,9 @@ impl CsvSink {
     /// A sink writing one file per table into `dir` (created if needed).
     pub fn into_dir(dir: &Path) -> std::io::Result<CsvSink> {
         fs::create_dir_all(dir)?;
-        Ok(CsvSink { dir: Some(dir.to_path_buf()) })
+        Ok(CsvSink {
+            dir: Some(dir.to_path_buf()),
+        })
     }
 
     /// Writes `name.csv` with the given header and rows. Fields are
@@ -45,7 +47,11 @@ impl CsvSink {
                 s.to_string()
             }
         };
-        let mut text = header.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",");
+        let mut text = header
+            .iter()
+            .map(|h| quote(h))
+            .collect::<Vec<_>>()
+            .join(",");
         text.push('\n');
         for row in rows {
             text.push_str(&row.iter().map(|f| quote(f)).collect::<Vec<_>>().join(","));
@@ -75,7 +81,10 @@ mod tests {
         sink.write(
             "t",
             &["name", "value"],
-            &[vec!["plain".into(), "1".into()], vec!["with,comma".into(), "a\"b".into()]],
+            &[
+                vec!["plain".into(), "1".into()],
+                vec!["with,comma".into(), "a\"b".into()],
+            ],
         );
         let text = fs::read_to_string(dir.join("t.csv")).expect("file written");
         assert_eq!(text, "name,value\nplain,1\n\"with,comma\",\"a\"\"b\"\n");

@@ -38,11 +38,18 @@ pub fn no_scan_pretenuring(scale: u32) {
             ..Default::default()
         };
         let policy = tilgc_profile::derive_policy(profile, &opts);
-        let no_scan_sites =
-            policy.sites().filter(|&s| policy.is_no_scan(s)).count();
+        let no_scan_sites = policy.sites().filter(|&s| policy.is_no_scan(s)).count();
         let config = config_with_budget(budget).pretenure(policy);
-        let r = run_once(bench, CollectorKind::GenerationalStackPretenure, &config, scale);
-        assert_eq!(r.checksum, profiled.checksum, "policy changed the program result");
+        let r = run_once(
+            bench,
+            CollectorKind::GenerationalStackPretenure,
+            &config,
+            scale,
+        );
+        assert_eq!(
+            r.checksum, profiled.checksum,
+            "policy changed the program result"
+        );
         rows.push((label, r, no_scan_sites));
     }
     println!(
@@ -63,8 +70,10 @@ pub fn no_scan_pretenuring(scale: u32) {
     println!(
         "region-scan work eliminated: {:.0}%\n",
         100.0
-            * (base.gc.pretenured_scanned_words.saturating_sub(best.gc.pretenured_scanned_words))
-                as f64
+            * (base
+                .gc
+                .pretenured_scanned_words
+                .saturating_sub(best.gc.pretenured_scanned_words)) as f64
             / base.gc.pretenured_scanned_words.max(1) as f64
     );
 }
@@ -87,9 +96,11 @@ pub fn adaptive_major(scale: u32) {
         let config = config_with_budget(budget).adaptive_major(true);
         let hybrid = run_once(bench, CollectorKind::Generational, &config, scale);
         assert_eq!(gen.checksum, hybrid.checksum);
-        for (label, r) in
-            [("semispace", &semi), ("generational", &gen), ("gen+adaptive", &hybrid)]
-        {
+        for (label, r) in [
+            ("semispace", &semi),
+            ("generational", &gen),
+            ("gen+adaptive", &hybrid),
+        ] {
             println!(
                 "{:<8} {:<24} {:>10} {:>12} {:>8}",
                 k,
@@ -153,9 +164,10 @@ pub fn barrier_comparison(scale: u32) {
         "barrier", "GC time", "entries drained", "updates"
     );
     let mut checksums = Vec::new();
-    for (label, barrier) in
-        [("sequential store buf", WriteBarrier::ssb()), ("object marking", WriteBarrier::object_mark())]
-    {
+    for (label, barrier) in [
+        ("sequential store buf", WriteBarrier::ssb()),
+        ("object marking", WriteBarrier::object_mark()),
+    ] {
         let config = config_with_budget(budget);
         let mut m = MutatorState::new();
         m.barrier = barrier;
@@ -183,11 +195,15 @@ pub fn raise_bookkeeping(scale: u32) {
     let bench = Benchmark::Peg;
     let mut cal = Calibration::new(scale);
     let budget = cal.budget_for_k(bench, 4.0);
-    println!("{:<22} {:>12} {:>12} {:>10}", "variant", "client time", "GC time", "raises");
+    println!(
+        "{:<22} {:>12} {:>12} {:>10}",
+        "variant", "client time", "GC time", "raises"
+    );
     let mut checksums = Vec::new();
-    for (label, mode) in
-        [("watermark at raise", RaiseBookkeeping::Watermark), ("deferred to GC", RaiseBookkeeping::Deferred)]
-    {
+    for (label, mode) in [
+        ("watermark at raise", RaiseBookkeeping::Watermark),
+        ("deferred to GC", RaiseBookkeeping::Deferred),
+    ] {
         let config = config_with_budget(budget);
         let mut vm = build_vm(CollectorKind::GenerationalStack, &config);
         vm.mutator_mut().raise_mode = mode;
@@ -225,7 +241,12 @@ pub fn tenure_threshold(scale: u32) {
         let base_cfg = config_with_budget(budget).tenure_threshold(threshold);
         let base = run_once(bench, CollectorKind::GenerationalStack, &base_cfg, scale);
         let pt_cfg = base_cfg.clone().pretenure(policy.clone());
-        let pt = run_once(bench, CollectorKind::GenerationalStackPretenure, &pt_cfg, scale);
+        let pt = run_once(
+            bench,
+            CollectorKind::GenerationalStackPretenure,
+            &pt_cfg,
+            scale,
+        );
         assert_eq!(base.checksum, profiled.checksum);
         assert_eq!(pt.checksum, profiled.checksum);
         let gain = if base.gc_secs() > 0.0 {
@@ -259,14 +280,29 @@ pub fn cost_sensitivity(scale: u32) {
     let budget = cal.budget_for_k(bench, 4.0);
     let models: [(&str, CostModel); 4] = [
         ("default", CostModel::default()),
-        ("cheap copy (÷2)", CostModel { copy_per_word: 3, scan_per_word: 1, ..Default::default() }),
+        (
+            "cheap copy (÷2)",
+            CostModel {
+                copy_per_word: 3,
+                scan_per_word: 1,
+                ..Default::default()
+            },
+        ),
         (
             "dear copy (×2)",
-            CostModel { copy_per_word: 12, scan_per_word: 6, ..Default::default() },
+            CostModel {
+                copy_per_word: 12,
+                scan_per_word: 6,
+                ..Default::default()
+            },
         ),
         (
             "cheap decode (÷2)",
-            CostModel { frame_decode: 15, slot_trace: 3, ..Default::default() },
+            CostModel {
+                frame_decode: 15,
+                slot_trace: 3,
+                ..Default::default()
+            },
         ),
     ];
     println!(

@@ -78,12 +78,7 @@ impl RunResult {
 }
 
 /// Runs `bench` once under the given collector kind and configuration.
-pub fn run_once(
-    bench: Benchmark,
-    kind: CollectorKind,
-    config: &GcConfig,
-    scale: u32,
-) -> RunResult {
+pub fn run_once(bench: Benchmark, kind: CollectorKind, config: &GcConfig, scale: u32) -> RunResult {
     let mut vm = build_vm(kind, config);
     // Experiments run at full speed: the shadow cross-checks are covered
     // by the test suite.
@@ -113,7 +108,10 @@ pub struct Calibration {
 impl Calibration {
     /// Creates an empty calibration for the given scale.
     pub fn new(scale: u32) -> Calibration {
-        Calibration { scale, min_bytes: HashMap::new() }
+        Calibration {
+            scale,
+            min_bytes: HashMap::new(),
+        }
     }
 
     /// The scale this calibration was made for.

@@ -3,11 +3,17 @@
 //!
 //! ```text
 //! experiments <table1..table7|figure2|extensions|all> [--scale N] [--csv DIR]
+//! experiments bench-json [--out FILE]
 //! ```
+//!
+//! `bench-json` runs the fixed wall-clock GC-throughput suite and
+//! writes a machine-readable baseline (default `BENCH_pr1.json`); it is
+//! not part of `all`, whose outputs are deterministic simulated cycles.
 //!
 //! Build with `--release`: the simulator is deterministic either way, but
 //! debug builds are an order of magnitude slower.
 
+mod bench_json;
 mod csv;
 mod extensions;
 mod harness;
@@ -19,10 +25,19 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Option<String> = None;
     let mut scale: u32 = 1;
+    let mut out = "BENCH_pr1.json".to_string();
     let mut csv_sink = csv::CsvSink::disabled();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("--out needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                out = path.clone();
+            }
             "--csv" => {
                 i += 1;
                 let Some(dir) = args.get(i) else {
@@ -66,20 +81,27 @@ fn main() -> ExitCode {
         "table7" => tables::table7(scale, &csv_sink),
         "figure2" => tables::figure2(scale),
         "extensions" => extensions::all(scale),
+        "bench-json" => bench_json::run(&out),
         other => {
             eprintln!(
-                "unknown experiment {other:?}; expected table1..table7, figure2, extensions, or all"
+                "unknown experiment {other:?}; expected table1..table7, figure2, extensions, \
+                 bench-json, or all"
             );
             std::process::exit(2);
         }
     };
     if which == "all" {
-        for name in
-            [
-                "table1", "table2", "table3", "table4", "table5", "table6", "table7", "figure2",
-                "extensions",
-            ]
-        {
+        for name in [
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "table7",
+            "figure2",
+            "extensions",
+        ] {
             run(name);
             println!();
         }

@@ -5,8 +5,8 @@ use tilgc_programs::Benchmark;
 
 use crate::csv::CsvSink;
 use crate::harness::{
-    config_with_budget, derive_pretenure_policy, fmt_secs, run_or_oom, run_resilient,
-    with_markers, Calibration, RunResult, K_VALUES,
+    config_with_budget, derive_pretenure_policy, fmt_secs, run_or_oom, run_resilient, with_markers,
+    Calibration, RunResult, K_VALUES,
 };
 
 /// Table 1: benchmark descriptions.
@@ -103,16 +103,37 @@ fn csv_time_rows(rows: &[(Benchmark, Vec<RunResult>)]) -> Vec<Vec<String>> {
 }
 
 const TIME_CSV_HEADER: [&str; 16] = [
-    "program", "total_k1.5", "total_k2", "total_k4", "gc_k1.5", "gc_k2", "gc_k4",
-    "client_k1.5", "client_k2", "client_k4", "gcs_k1.5", "gcs_k2", "gcs_k4",
-    "copied_k1.5", "copied_k2", "copied_k4",
+    "program",
+    "total_k1.5",
+    "total_k2",
+    "total_k4",
+    "gc_k1.5",
+    "gc_k2",
+    "gc_k4",
+    "client_k1.5",
+    "client_k2",
+    "client_k4",
+    "gcs_k1.5",
+    "gcs_k2",
+    "gcs_k4",
+    "copied_k1.5",
+    "copied_k2",
+    "copied_k4",
 ];
 
 fn print_time_table(rows: &[(Benchmark, Vec<RunResult>)], with_depth: bool) {
     print!(
         "{:<14} {:>8} {:>8} {:>8}   {:>8} {:>8} {:>8}   {:>8} {:>8} {:>8}",
-        "Program", "Tot k1.5", "Tot k2", "Tot k4", "GC k1.5", "GC k2", "GC k4", "Cl k1.5",
-        "Cl k2", "Cl k4"
+        "Program",
+        "Tot k1.5",
+        "Tot k2",
+        "Tot k4",
+        "GC k1.5",
+        "GC k2",
+        "GC k4",
+        "Cl k1.5",
+        "Cl k2",
+        "Cl k4"
     );
     println!();
     println!("{:-<110}", "");
@@ -178,7 +199,11 @@ pub fn table4(scale: u32, csv: &CsvSink) {
         .map(|b| (b, k_sweep(b, CollectorKind::Generational, &mut cal)))
         .collect();
     print_time_table(&rows, true);
-    csv.write("table4_generational", &TIME_CSV_HEADER, &csv_time_rows(&rows));
+    csv.write(
+        "table4_generational",
+        &TIME_CSV_HEADER,
+        &csv_time_rows(&rows),
+    );
 }
 
 /// Table 5: GC cost breakdown without/with stack markers at k = 4.
@@ -196,7 +221,8 @@ pub fn table5(scale: u32, csv: &CsvSink) {
         let without = run_resilient(b, CollectorKind::Generational, budget, scale);
         let with = run_resilient(b, CollectorKind::GenerationalStack, budget, scale);
         assert_eq!(
-            without.checksum, with.checksum,
+            without.checksum,
+            with.checksum,
             "collector choice changed {}'s result",
             b.name()
         );
@@ -232,16 +258,26 @@ pub fn table5(scale: u32, csv: &CsvSink) {
     csv.write(
         "table5_stack_markers",
         &[
-            "program", "gc_plain", "stack_plain", "copy_plain", "gc_markers",
-            "stack_markers", "copy_markers", "gc_pct_decrease",
+            "program",
+            "gc_plain",
+            "stack_plain",
+            "copy_plain",
+            "gc_markers",
+            "stack_markers",
+            "copy_markers",
+            "gc_pct_decrease",
         ],
         &csv_rows,
     );
 }
 
 /// The four programs the paper pretenures in Table 6.
-pub const TABLE6_PROGRAMS: [Benchmark; 4] =
-    [Benchmark::KnuthBendix, Benchmark::Lexgen, Benchmark::Nqueen, Benchmark::Simple];
+pub const TABLE6_PROGRAMS: [Benchmark; 4] = [
+    Benchmark::KnuthBendix,
+    Benchmark::Lexgen,
+    Benchmark::Nqueen,
+    Benchmark::Simple,
+];
 
 /// Table 6: generational + stack markers + pretenuring.
 pub fn table6(scale: u32, csv: &CsvSink) {
@@ -249,7 +285,15 @@ pub fn table6(scale: u32, csv: &CsvSink) {
     println!("Table 6: Generational collector with stack markers and pretenuring");
     println!(
         "{:<14} {:>9} {:>9} {:>9}  {:>8} {:>8} {:>8}  {:>7} {:>8} {:>7}",
-        "Program", "GC k1.5", "GC k2", "GC k4", "GCs", "Copied4", "Preten4", "GC%dec", "Cl%dec",
+        "Program",
+        "GC k1.5",
+        "GC k2",
+        "GC k4",
+        "GCs",
+        "Copied4",
+        "Preten4",
+        "GC%dec",
+        "Cl%dec",
         "Tot%dec"
     );
     println!("{:-<110}", "");
@@ -267,19 +311,29 @@ pub fn table6(scale: u32, csv: &CsvSink) {
                 let base_cfg = config_with_budget(budget);
                 let pt_cfg = base_cfg.clone().pretenure(policy.clone());
                 let baseline = run_or_oom(b, CollectorKind::GenerationalStack, &base_cfg, scale);
-                let pt =
-                    run_or_oom(b, CollectorKind::GenerationalStackPretenure, &pt_cfg, scale);
+                let pt = run_or_oom(b, CollectorKind::GenerationalStackPretenure, &pt_cfg, scale);
                 match (baseline, pt) {
                     (Some(a), Some(b)) => break (a, b),
                     _ => budget += budget / 4,
                 }
             };
-            assert_eq!(baseline.checksum, pt.checksum, "pretenuring changed {}'s result", b.name());
+            assert_eq!(
+                baseline.checksum,
+                pt.checksum,
+                "pretenuring changed {}'s result",
+                b.name()
+            );
             gc_secs.push(pt.gc_secs());
             last = Some((baseline, pt));
         }
         let (baseline, pt) = last.expect("three k values ran");
-        let pct = |base: f64, new: f64| if base > 0.0 { 100.0 * (base - new) / base } else { 0.0 };
+        let pct = |base: f64, new: f64| {
+            if base > 0.0 {
+                100.0 * (base - new) / base
+            } else {
+                0.0
+            }
+        };
         println!(
             "{:<14} {:>9} {:>9} {:>9}  {:>8} {:>8} {:>8}  {:>6.0}% {:>7.1}% {:>6.1}%",
             b.name(),
@@ -308,8 +362,14 @@ pub fn table6(scale: u32, csv: &CsvSink) {
     csv.write(
         "table6_pretenure",
         &[
-            "program", "gc_k1.5", "gc_k2", "gc_k4", "gcs_k4", "copied_k4",
-            "pretenured_k4", "gc_pct_decrease_k4",
+            "program",
+            "gc_k1.5",
+            "gc_k2",
+            "gc_k4",
+            "gcs_k4",
+            "copied_k4",
+            "pretenured_k4",
+            "gc_pct_decrease_k4",
         ],
         &csv_rows,
     );
@@ -363,7 +423,13 @@ pub fn table7(scale: u32, csv: &CsvSink) {
     }
     csv.write(
         "table7_relative",
-        &["program", "semispace", "generational", "gen_markers", "gen_markers_pretenure"],
+        &[
+            "program",
+            "semispace",
+            "generational",
+            "gen_markers",
+            "gen_markers_pretenure",
+        ],
         &csv_rows,
     );
     println!("\nBars (gen+markers+pretenure vs semispace):");
@@ -384,7 +450,11 @@ pub fn table7(scale: u32, csv: &CsvSink) {
             }
         };
         let rel = (100.0 * pt.gc_secs() / semi.gc_secs().max(1e-12)).min(160.0);
-        println!("{:<14} {}", b.name(), "#".repeat((rel / 2.0).ceil() as usize));
+        println!(
+            "{:<14} {}",
+            b.name(),
+            "#".repeat((rel / 2.0).ceil() as usize)
+        );
     }
 }
 
@@ -393,7 +463,10 @@ pub fn figure2(scale: u32) {
     for b in [Benchmark::KnuthBendix, Benchmark::Nqueen] {
         let (_, result) = derive_pretenure_policy(b, scale);
         let profile = result.profile.as_ref().expect("profiling run");
-        let opts = tilgc_profile::ReportOptions { show_names: true, ..Default::default() };
+        let opts = tilgc_profile::ReportOptions {
+            show_names: true,
+            ..Default::default()
+        };
         println!(
             "{}",
             tilgc_profile::render_report(b.name(), profile, &result.sites, &opts)

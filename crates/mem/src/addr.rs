@@ -63,7 +63,10 @@ impl Addr {
     #[inline]
     pub fn offset(self, words: usize) -> Addr {
         let idx = u64::from(self.0) + words as u64;
-        assert!(idx <= u64::from(u32::MAX), "address overflow: {self:?} + {words}");
+        assert!(
+            idx <= u64::from(u32::MAX),
+            "address overflow: {self:?} + {words}"
+        );
         Addr(idx as u32)
     }
 }

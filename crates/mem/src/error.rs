@@ -44,15 +44,27 @@ pub enum MemError {
 impl fmt::Display for MemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            MemError::AddressSpaceExhausted { requested, available } => write!(
+            MemError::AddressSpaceExhausted {
+                requested,
+                available,
+            } => write!(
                 f,
                 "address space exhausted: requested {requested} words, {available} available"
             ),
-            MemError::SpaceFull { requested, available } => {
-                write!(f, "space full: requested {requested} words, {available} available")
+            MemError::SpaceFull {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "space full: requested {requested} words, {available} available"
+                )
             }
             MemError::ObjectTooLarge { words } => {
-                write!(f, "object of {words} words exceeds the header encoding limits")
+                write!(
+                    f,
+                    "object of {words} words exceeds the header encoding limits"
+                )
             }
             MemError::OutOfBounds { addr, words } => {
                 write!(f, "access of {words} words at {addr} is out of bounds")
@@ -70,10 +82,19 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase() {
         let errors = [
-            MemError::AddressSpaceExhausted { requested: 8, available: 4 },
-            MemError::SpaceFull { requested: 8, available: 4 },
+            MemError::AddressSpaceExhausted {
+                requested: 8,
+                available: 4,
+            },
+            MemError::SpaceFull {
+                requested: 8,
+                available: 4,
+            },
             MemError::ObjectTooLarge { words: 1 << 40 },
-            MemError::OutOfBounds { addr: Addr::new(9), words: 2 },
+            MemError::OutOfBounds {
+                addr: Addr::new(9),
+                words: 2,
+            },
         ];
         for e in errors {
             let s = e.to_string();

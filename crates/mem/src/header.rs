@@ -122,7 +122,9 @@ impl Header {
         if len > MAX_ARRAY_LEN {
             return Err(MemError::ObjectTooLarge { words: len });
         }
-        Ok(Header(KIND_PTR_ARRAY | ((len as u64) << 2) | (u64::from(site.get()) << 32)))
+        Ok(Header(
+            KIND_PTR_ARRAY | ((len as u64) << 2) | (u64::from(site.get()) << 32),
+        ))
     }
 
     /// Builds a raw-array header for `len_bytes` bytes of unscanned data.
@@ -133,9 +135,13 @@ impl Header {
     /// 30-bit length field.
     pub fn raw_array(len_bytes: usize, site: SiteId) -> Result<Header, MemError> {
         if len_bytes > MAX_ARRAY_LEN {
-            return Err(MemError::ObjectTooLarge { words: crate::bytes_to_words(len_bytes) });
+            return Err(MemError::ObjectTooLarge {
+                words: crate::bytes_to_words(len_bytes),
+            });
         }
-        Ok(Header(KIND_RAW_ARRAY | ((len_bytes as u64) << 2) | (u64::from(site.get()) << 32)))
+        Ok(Header(
+            KIND_RAW_ARRAY | ((len_bytes as u64) << 2) | (u64::from(site.get()) << 32),
+        ))
     }
 
     /// Builds a forwarding header pointing at the copied object.

@@ -51,7 +51,7 @@ mod space;
 pub use addr::Addr;
 pub use error::MemError;
 pub use header::{Header, ObjectKind, MAX_PTR_MASK_FIELDS, MAX_RECORD_FIELDS};
-pub use memory::{Memory, WORD_BYTES};
+pub use memory::{Memory, WordWindow, WORD_BYTES};
 pub use object::Obj;
 pub use site::SiteId;
 pub use space::{Space, SpaceRange};

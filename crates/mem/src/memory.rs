@@ -43,8 +43,14 @@ impl Memory {
     /// word indices).
     pub fn with_capacity_words(capacity: usize) -> Memory {
         assert!(capacity > 0, "memory capacity must be positive");
-        assert!(capacity <= u32::MAX as usize, "memory capacity exceeds 32-bit addressing");
-        Memory { words: vec![0; capacity], reserved: 1 }
+        assert!(
+            capacity <= u32::MAX as usize,
+            "memory capacity exceeds 32-bit addressing"
+        );
+        Memory {
+            words: vec![0; capacity],
+            reserved: 1,
+        }
     }
 
     /// Creates an address space sized in bytes (rounded down to whole
@@ -85,7 +91,10 @@ impl Memory {
         }
         let start = Addr::new(self.reserved as u32);
         self.reserved += words;
-        Ok(SpaceRange { start, end: start + words })
+        Ok(SpaceRange {
+            start,
+            end: start + words,
+        })
     }
 
     /// Reads the word at `addr`.
@@ -132,6 +141,51 @@ impl Memory {
         self.set_word(addr, value.to_bits());
     }
 
+    /// Borrows `len` consecutive words starting at `addr` as a slice.
+    ///
+    /// This is the batched read path of the copy/scan kernels: one bounds
+    /// check for a whole object payload instead of one per
+    /// [`word`](Memory::word) call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds, or (in debug builds) if
+    /// `addr` is null and `len` is nonzero.
+    #[inline]
+    pub fn words_at(&self, addr: Addr, len: usize) -> &[u64] {
+        debug_assert!(len == 0 || !addr.is_null(), "read through null address");
+        let i = addr.index();
+        &self.words[i..i + len]
+    }
+
+    /// Borrows `len` consecutive words starting at `addr` mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds, or (in debug builds) if
+    /// `addr` is null and `len` is nonzero.
+    #[inline]
+    pub fn words_at_mut(&mut self, addr: Addr, len: usize) -> &mut [u64] {
+        debug_assert!(len == 0 || !addr.is_null(), "write through null address");
+        let i = addr.index();
+        &mut self.words[i..i + len]
+    }
+
+    /// Opens a mutable window over `range` with a single up-front bounds
+    /// check; every access through the window is then a plain offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds.
+    #[inline]
+    pub fn window_mut(&mut self, range: SpaceRange) -> WordWindow<'_> {
+        let len = range.end - range.start;
+        WordWindow {
+            words: self.words_at_mut(range.start, len),
+            base: range.start,
+        }
+    }
+
     /// Copies `len` words from `src` to `dst` (the Cheney copy step).
     ///
     /// The ranges may not overlap — collectors only ever copy between
@@ -166,6 +220,74 @@ impl Memory {
     }
 }
 
+/// A mutable view of a contiguous word range, bounds-checked once at
+/// [`Memory::window_mut`] time.
+///
+/// Accessors take absolute [`Addr`]s (so call sites read the same as the
+/// `Memory` equivalents) but resolve them with a plain subtraction; in
+/// debug builds an address outside the window still panics.
+#[derive(Debug)]
+pub struct WordWindow<'m> {
+    words: &'m mut [u64],
+    base: Addr,
+}
+
+impl WordWindow<'_> {
+    /// The absolute address of the first word in the window.
+    #[inline]
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Number of words in the window.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the window is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    #[inline]
+    fn offset(&self, addr: Addr) -> usize {
+        debug_assert!(
+            addr >= self.base && addr.index() - self.base.index() < self.words.len(),
+            "address {addr} outside window [{}, {})",
+            self.base,
+            self.base + self.words.len(),
+        );
+        addr.index() - self.base.index()
+    }
+
+    /// Reads the word at absolute address `addr`.
+    #[inline]
+    pub fn word(&self, addr: Addr) -> u64 {
+        self.words[self.offset(addr)]
+    }
+
+    /// Writes the word at absolute address `addr`.
+    #[inline]
+    pub fn set_word(&mut self, addr: Addr, value: u64) {
+        let i = self.offset(addr);
+        self.words[i] = value;
+    }
+
+    /// The whole window as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u64] {
+        self.words
+    }
+
+    /// The whole window as a mutable slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [u64] {
+        self.words
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,7 +308,10 @@ mod tests {
         assert!(mem.reserve(15).is_ok());
         assert_eq!(
             mem.reserve(1),
-            Err(MemError::AddressSpaceExhausted { requested: 1, available: 0 })
+            Err(MemError::AddressSpaceExhausted {
+                requested: 1,
+                available: 0
+            })
         );
     }
 
@@ -240,5 +365,51 @@ mod tests {
     #[should_panic]
     fn zero_capacity_panics() {
         let _ = Memory::with_capacity_words(0);
+    }
+
+    #[test]
+    fn words_at_matches_scalar_reads() {
+        let mut mem = Memory::with_capacity_words(16);
+        for i in 0..4 {
+            mem.set_word(Addr::new(2 + i), u64::from(7 * (i + 1)));
+        }
+        assert_eq!(mem.words_at(Addr::new(2), 4), &[7, 14, 21, 28]);
+        mem.words_at_mut(Addr::new(2), 4)
+            .copy_from_slice(&[1, 2, 3, 4]);
+        assert_eq!(mem.word(Addr::new(3)), 2);
+        assert!(mem.words_at(Addr::new(5), 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn words_at_out_of_bounds_panics() {
+        let mem = Memory::with_capacity_words(8);
+        let _ = mem.words_at(Addr::new(6), 4);
+    }
+
+    #[test]
+    fn window_round_trips_absolute_addresses() {
+        let mut mem = Memory::with_capacity_words(32);
+        let range = mem.reserve(8).unwrap();
+        let mut w = mem.window_mut(range);
+        assert_eq!(w.base(), range.start);
+        assert_eq!(w.len(), 8);
+        assert!(!w.is_empty());
+        w.set_word(range.start + 3, 99);
+        assert_eq!(w.word(range.start + 3), 99);
+        w.as_mut_slice().fill(5);
+        assert_eq!(w.as_slice(), &[5; 8]);
+        assert_eq!(mem.word(range.start + 3), 5);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "outside window")]
+    fn window_rejects_foreign_address() {
+        let mut mem = Memory::with_capacity_words(32);
+        let range = mem.reserve(8).unwrap();
+        let other = mem.reserve(8).unwrap();
+        let w = mem.window_mut(range);
+        let _ = w.word(other.start);
     }
 }

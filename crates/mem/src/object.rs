@@ -27,10 +27,9 @@ pub fn alloc_record(
 ) -> Result<Addr, MemError> {
     let header = Header::record(fields.len(), mask, site)?;
     let addr = space.alloc(header.size_words())?;
-    mem.set_word(addr, header.raw());
-    for (i, &f) in fields.iter().enumerate() {
-        mem.set_word(addr + (1 + i), f);
-    }
+    let words = mem.words_at_mut(addr, header.size_words());
+    words[0] = header.raw();
+    words[1..].copy_from_slice(fields);
     Ok(addr)
 }
 
@@ -49,10 +48,9 @@ pub fn alloc_ptr_array(
 ) -> Result<Addr, MemError> {
     let header = Header::ptr_array(len, site)?;
     let addr = space.alloc(header.size_words())?;
-    mem.set_word(addr, header.raw());
-    for i in 0..len {
-        mem.set_word(addr + (1 + i), u64::from(init.raw()));
-    }
+    let words = mem.words_at_mut(addr, header.size_words());
+    words[0] = header.raw();
+    words[1..].fill(u64::from(init.raw()));
     Ok(addr)
 }
 
@@ -73,10 +71,9 @@ pub fn alloc_raw_array(
 ) -> Result<Addr, MemError> {
     let header = Header::raw_array(len_bytes, site)?;
     let addr = space.alloc(header.size_words())?;
-    mem.set_word(addr, header.raw());
-    for i in 0..header.payload_words() {
-        mem.set_word(addr + (1 + i), 0);
-    }
+    let words = mem.words_at_mut(addr, header.size_words());
+    words[0] = header.raw();
+    words[1..].fill(0);
     Ok(addr)
 }
 
@@ -166,7 +163,11 @@ pub fn set_f64_elem(mem: &mut Memory, addr: Addr, i: usize, value: f64) {
 /// Creates a read-only view of the object at `addr`.
 #[inline]
 pub fn view(mem: &Memory, addr: Addr) -> Obj<'_> {
-    Obj { mem, addr, header: header(mem, addr) }
+    Obj {
+        mem,
+        addr,
+        header: header(mem, addr),
+    }
 }
 
 /// A read-only view of a heap object.
@@ -288,7 +289,11 @@ pub struct WalkEntry {
 /// it "scans the allocation area after each collection to locate dead
 /// objects" (§6).
 pub fn walk(mem: &Memory, from: Addr, to: Addr) -> Walk<'_> {
-    Walk { mem, cursor: from, end: to }
+    Walk {
+        mem,
+        cursor: from,
+        end: to,
+    }
 }
 
 /// Iterator produced by [`walk`].
@@ -313,7 +318,11 @@ impl Iterator for Walk<'_> {
             None => (raw, None),
         };
         self.cursor = addr + true_header.size_words();
-        Some(WalkEntry { addr, header: true_header, forwarded })
+        Some(WalkEntry {
+            addr,
+            header: true_header,
+            forwarded,
+        })
     }
 }
 

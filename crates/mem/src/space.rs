@@ -32,7 +32,16 @@ impl SpaceRange {
     pub fn split_at(&self, offset: usize) -> (SpaceRange, SpaceRange) {
         assert!(offset <= self.words(), "split offset {offset} beyond range");
         let mid = self.start + offset;
-        (SpaceRange { start: self.start, end: mid }, SpaceRange { start: mid, end: self.end })
+        (
+            SpaceRange {
+                start: self.start,
+                end: mid,
+            },
+            SpaceRange {
+                start: mid,
+                end: self.end,
+            },
+        )
     }
 }
 
@@ -71,7 +80,11 @@ impl Space {
     /// Creates a space spanning `range`, with the logical limit at the end
     /// of the range.
     pub fn new(range: SpaceRange) -> Space {
-        Space { range, limit: range.end, next: range.start }
+        Space {
+            range,
+            limit: range.end,
+            next: range.start,
+        }
     }
 
     /// Creates a space spanning `range` but logically limited to
@@ -115,7 +128,10 @@ impl Space {
     #[inline]
     pub fn alloc(&mut self, words: usize) -> Result<Addr, MemError> {
         if self.free_words() < words {
-            return Err(MemError::SpaceFull { requested: words, available: self.free_words() });
+            return Err(MemError::SpaceFull {
+                requested: words,
+                available: self.free_words(),
+            });
         }
         let addr = self.next;
         self.next += words;
@@ -199,7 +215,13 @@ mod tests {
     fn alloc_past_limit_fails() {
         let mut s = space(8);
         assert!(s.alloc(8).is_ok());
-        assert_eq!(s.alloc(1), Err(MemError::SpaceFull { requested: 1, available: 0 }));
+        assert_eq!(
+            s.alloc(1),
+            Err(MemError::SpaceFull {
+                requested: 1,
+                available: 0
+            })
+        );
     }
 
     #[test]

@@ -73,7 +73,9 @@ pub fn derive_policy(profile: &HeapProfile, opts: &PolicyOptions) -> PretenurePo
             .iter()
             .filter(|(site, _)| policy.should_pretenure(*site))
             .filter(|(_, row)| {
-                row.edges_to.keys().all(|target| policy.should_pretenure(*target))
+                row.edges_to
+                    .keys()
+                    .all(|target| policy.should_pretenure(*target))
             })
             .map(|(site, _)| site)
             .collect();
@@ -109,7 +111,13 @@ pub fn coverage(profile: &HeapProfile, policy: &PretenurePolicy) -> Coverage {
             hit_copied += row.copied_bytes;
         }
     }
-    let pct = |num: u64, den: u64| if den == 0 { 0.0 } else { 100.0 * num as f64 / den as f64 };
+    let pct = |num: u64, den: u64| {
+        if den == 0 {
+            0.0
+        } else {
+            100.0 * num as f64 / den as f64
+        }
+    };
     Coverage {
         copied_percent: pct(hit_copied, total_copied),
         alloc_percent: pct(hit_alloc, total_alloc),
@@ -170,7 +178,10 @@ mod tests {
     #[test]
     fn no_scan_requires_closed_edges() {
         let p = bimodal_profile();
-        let opts = PolicyOptions { derive_no_scan: true, ..Default::default() };
+        let opts = PolicyOptions {
+            derive_no_scan: true,
+            ..Default::default()
+        };
         let policy = derive_policy(&p, &opts);
         // LONG's only observed edges target LONG itself — closed under
         // the pretenured set, so no scan is needed.
@@ -181,7 +192,10 @@ mod tests {
     fn no_scan_denied_when_edges_escape() {
         let mut p = bimodal_profile();
         p.on_edge(LONG, SHORT); // now LONG references un-pretenured data
-        let opts = PolicyOptions { derive_no_scan: true, ..Default::default() };
+        let opts = PolicyOptions {
+            derive_no_scan: true,
+            ..Default::default()
+        };
         let policy = derive_policy(&p, &opts);
         assert!(policy.should_pretenure(LONG));
         assert!(!policy.is_no_scan(LONG));

@@ -50,7 +50,13 @@ pub fn render_report(
     let mut out = String::new();
     let total_alloc: u64 = profile.iter().map(|(_, r)| r.alloc_bytes).sum();
     let total_copied: u64 = profile.iter().map(|(_, r)| r.copied_bytes).sum();
-    let pct = |num: u64, den: u64| if den == 0 { 0.0 } else { 100.0 * num as f64 / den as f64 };
+    let pct = |num: u64, den: u64| {
+        if den == 0 {
+            0.0
+        } else {
+            100.0 * num as f64 / den as f64
+        }
+    };
 
     let _ = writeln!(out, "{:=^78}", format!(" {title} "));
     let _ = writeln!(
@@ -78,7 +84,11 @@ pub fn render_report(
             continue;
         }
         shown += 1;
-        let marker = if row.old_percent() >= opts.old_percent_cutoff { "  <--" } else { "" };
+        let marker = if row.old_percent() >= opts.old_percent_cutoff {
+            "  <--"
+        } else {
+            ""
+        };
         let label = if opts.show_names {
             sites.name(site).to_string()
         } else {
@@ -101,8 +111,16 @@ pub fn render_report(
     }
 
     let _ = writeln!(out, "{:-<28} heap profile end : short {:-<28}", "", "");
-    let _ = writeln!(out, "Showing only entries with alloc % > {:.2}", opts.min_alloc_percent);
-    let _ = writeln!(out, "             or with copy  % > {:.2}", opts.min_copied_percent);
+    let _ = writeln!(
+        out,
+        "Showing only entries with alloc % > {:.2}",
+        opts.min_alloc_percent
+    );
+    let _ = writeln!(
+        out,
+        "             or with copy  % > {:.2}",
+        opts.min_copied_percent
+    );
     let _ = writeln!(out, "{shown} of {total_entries} entries displayed.");
 
     let policy = derive_policy(
@@ -156,12 +174,18 @@ mod tests {
     #[test]
     fn report_filters_marks_and_summarizes() {
         let (p, sites) = sample();
-        let opts = ReportOptions { show_names: true, ..Default::default() };
+        let opts = ReportOptions {
+            show_names: true,
+            ..Default::default()
+        };
         let report = render_report("Knuth-Bendix", &p, &sites, &opts);
         assert!(report.contains("Knuth-Bendix"));
         assert!(report.contains("kb::subst"));
         assert!(report.contains("kb::rules"));
-        assert!(!report.contains("kb::tiny"), "sub-1% site filtered: {report}");
+        assert!(
+            !report.contains("kb::tiny"),
+            "sub-1% site filtered: {report}"
+        );
         assert!(report.contains("<--"), "surviving site marked");
         assert!(report.contains("2 of 3 entries displayed."));
         assert!(report.contains("cutoff of 80%"));
@@ -172,7 +196,10 @@ mod tests {
     #[test]
     fn dying_rows_precede_surviving_rows() {
         let (p, sites) = sample();
-        let opts = ReportOptions { show_names: true, ..Default::default() };
+        let opts = ReportOptions {
+            show_names: true,
+            ..Default::default()
+        };
         let report = render_report("x", &p, &sites, &opts);
         let subst = report.find("kb::subst").unwrap();
         let rules = report.find("kb::rules").unwrap();

@@ -30,7 +30,9 @@ fn frames(vm: &mut Vm) -> Frames {
     Frames {
         main: vm.register_frame(FrameDesc::new("checksum::main").slot(Trace::NonPointer)),
         iter: vm.register_frame(
-            FrameDesc::new("checksum::iter").slot(Trace::Pointer).slot(Trace::NonPointer),
+            FrameDesc::new("checksum::iter")
+                .slot(Trace::Pointer)
+                .slot(Trace::NonPointer),
         ),
         sum: vm.register_frame(FrameDesc::new("checksum::sum").slot(Trace::Pointer)),
     }
@@ -103,7 +105,10 @@ mod tests {
     #[test]
     fn deterministic_and_collector_independent() {
         let results = run_all_kinds(|vm| run(vm, 1), &tiny_config());
-        assert!(results.windows(2).all(|w| w[0] == w[1]), "results differ: {results:?}");
+        assert!(
+            results.windows(2).all(|w| w[0] == w[1]),
+            "results differ: {results:?}"
+        );
     }
 
     #[test]
@@ -112,7 +117,10 @@ mod tests {
         let mut vm = tilgc_core::build_vm(tilgc_core::CollectorKind::Generational, &config);
         run(&mut vm, 1);
         assert!(vm.mutator().stack.stats().max_depth <= 5);
-        assert!(vm.gc_stats().collections > 0, "16 KB buffers must overflow a small nursery");
+        assert!(
+            vm.gc_stats().collections > 0,
+            "16 KB buffers must overflow a small nursery"
+        );
     }
 
     #[test]

@@ -150,7 +150,17 @@ pub fn run(vm: &mut Vm, scale: u32) -> u64 {
     let mut found = 0u64;
     let mut h = 0u64;
     let graph = vm.slot_ptr(0);
-    try_vertex(vm, &p, graph, Addr::NULL, 0, n as i64, &mut budget, &mut found, &mut h);
+    try_vertex(
+        vm,
+        &p,
+        graph,
+        Addr::NULL,
+        0,
+        n as i64,
+        &mut budget,
+        &mut found,
+        &mut h,
+    );
     // Record the final count through the mutable cell.
     let cell = vm.alloc_record(p.assign_site, &[Value::Int(found as i64)]);
     let counter = vm.slot_ptr(1);
@@ -187,7 +197,17 @@ mod tests {
         let mut found = 0;
         let mut h = 0;
         let graph = vm.slot_ptr(0);
-        try_vertex(&mut vm, &p, graph, Addr::NULL, 0, 3, &mut budget, &mut found, &mut h);
+        try_vertex(
+            &mut vm,
+            &p,
+            graph,
+            Addr::NULL,
+            0,
+            3,
+            &mut budget,
+            &mut found,
+            &mut h,
+        );
         assert_eq!(found, 6, "a triangle has 3! proper 3-colorings");
     }
 
@@ -205,6 +225,9 @@ mod tests {
     #[test]
     fn deterministic_and_collector_independent() {
         let results = run_all_kinds(|vm| run(vm, 1), &tiny_config());
-        assert!(results.windows(2).all(|w| w[0] == w[1]), "results differ: {results:?}");
+        assert!(
+            results.windows(2).all(|w| w[0] == w[1]),
+            "results differ: {results:?}"
+        );
     }
 }

@@ -184,7 +184,9 @@ mod tests {
     fn vm() -> Vm {
         build_vm(
             CollectorKind::Generational,
-            &GcConfig::new().heap_budget_bytes(256 << 10).nursery_bytes(8 << 10),
+            &GcConfig::new()
+                .heap_budget_bytes(256 << 10)
+                .nursery_bytes(8 << 10),
         )
     }
 
@@ -221,7 +223,11 @@ mod tests {
         vm.set_slot(0, Value::Ptr(rev));
         vm.gc_now();
         let rev = vm.slot_ptr(0);
-        assert_eq!(head_int(&mut vm, rev), 0, "reversal puts the first element first");
+        assert_eq!(
+            head_int(&mut vm, rev),
+            0,
+            "reversal puts the first element first"
+        );
         assert_eq!(list_len(&mut vm, rev), 500);
         assert!(list_mem_int(&mut vm, rev, 499));
         assert!(!list_mem_int(&mut vm, rev, 500));

@@ -23,7 +23,9 @@ fn setup(vm: &mut Vm) -> Fft {
     Fft {
         main: vm.register_frame(FrameDesc::new("fft::main").slots(4, Trace::Pointer)),
         transform: vm.register_frame(
-            FrameDesc::new("fft::transform").slots(2, Trace::Pointer).slot(Trace::NonPointer),
+            FrameDesc::new("fft::transform")
+                .slots(2, Trace::Pointer)
+                .slot(Trace::NonPointer),
         ),
         re_site: vm.site("fft::re"),
         im_site: vm.site("fft::im"),
@@ -65,8 +67,10 @@ fn fft_in_place(vm: &mut Vm, p: &Fft, re: Addr, im: Addr, n: usize, inverse: boo
             let (mut cr, mut ci) = (1.0f64, 0.0f64);
             for k in 0..len / 2 {
                 let (ar, ai) = (vm.load_f64(re, i + k), vm.load_f64(im, i + k));
-                let (br, bi) =
-                    (vm.load_f64(re, i + k + len / 2), vm.load_f64(im, i + k + len / 2));
+                let (br, bi) = (
+                    vm.load_f64(re, i + k + len / 2),
+                    vm.load_f64(im, i + k + len / 2),
+                );
                 let (tr, ti) = (br * cr - bi * ci, br * ci + bi * cr);
                 vm.store_f64(re, i + k, ar + tr);
                 vm.store_f64(im, i + k, ai + ti);
@@ -200,6 +204,9 @@ mod tests {
     #[test]
     fn deterministic_and_collector_independent() {
         let results = run_all_kinds(|vm| run(vm, 0), &tiny_config());
-        assert!(results.windows(2).all(|w| w[0] == w[1]), "results differ: {results:?}");
+        assert!(
+            results.windows(2).all(|w| w[0] == w[1]),
+            "results differ: {results:?}"
+        );
     }
 }

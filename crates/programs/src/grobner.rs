@@ -90,7 +90,10 @@ fn setup(vm: &mut Vm) -> Grobner {
 
 /// Term records: `[coef, mono, next]` with only `next` a pointer.
 fn term(vm: &mut Vm, p: &Grobner, coef: i64, mono: i64, next: Addr) -> Addr {
-    vm.alloc_record(p.term_site, &[Value::Int(coef), Value::Int(mono), Value::Ptr(next)])
+    vm.alloc_record(
+        p.term_site,
+        &[Value::Int(coef), Value::Int(mono), Value::Ptr(next)],
+    )
 }
 
 fn coef(vm: &mut Vm, t: Addr) -> i64 {
@@ -321,8 +324,7 @@ fn buchberger(
             let gp = vm.load_ptr(g, 0);
             let f = vm.slot_ptr(3);
             vm.set_slot(4, Value::Ptr(g));
-            let pair =
-                vm.alloc_record(p.pair_site, &[Value::Ptr(f), Value::Ptr(gp)]);
+            let pair = vm.alloc_record(p.pair_site, &[Value::Ptr(f), Value::Ptr(gp)]);
             let q = vm.slot_ptr(1);
             vm.set_slot(2, Value::Ptr(pair));
             let pair = vm.slot_ptr(2);
@@ -444,8 +446,7 @@ pub fn run(vm: &mut Vm, scale: u32) -> u64 {
         let terms = 3 + rng.below(3);
         for _ in 0..terms {
             let coef = 1 + rng.below((P - 1) as u64) as i64;
-            let mono =
-                rng.below(3) as i64 + B * rng.below(3) as i64 + B * B * rng.below(2) as i64;
+            let mono = rng.below(3) as i64 + B * rng.below(3) as i64 + B * B * rng.below(2) as i64;
             poly.push((coef, mono));
         }
         system.push(poly);
@@ -455,8 +456,7 @@ pub fn run(vm: &mut Vm, scale: u32) -> u64 {
         h = checksum_basis(vm, h);
         let history = vm.slot_ptr(2);
         let combined = vm.slot_ptr(1);
-        let cell =
-            vm.alloc_record(p.hist_site, &[Value::Ptr(history), Value::Ptr(combined)]);
+        let cell = vm.alloc_record(p.hist_site, &[Value::Ptr(history), Value::Ptr(combined)]);
         vm.set_slot(1, Value::Ptr(cell));
     }
     // Fold the retained histories into the checksum: live to the end.
@@ -510,7 +510,11 @@ mod tests {
         // Within one degree the packed key orders x above y above z.
         assert_eq!(mono_cmp(1, B), std::cmp::Ordering::Greater);
         assert_eq!(mono_cmp(B, B * B), std::cmp::Ordering::Greater);
-        assert_eq!(mono_cmp(2, 1 + B), std::cmp::Ordering::Greater, "grlex ties break by key");
+        assert_eq!(
+            mono_cmp(2, 1 + B),
+            std::cmp::Ordering::Greater,
+            "grlex ties break by key"
+        );
     }
 
     #[test]
@@ -564,6 +568,9 @@ mod tests {
     #[test]
     fn deterministic_and_collector_independent() {
         let results = run_all_kinds(|vm| run(vm, 1), &tiny_config());
-        assert!(results.windows(2).all(|w| w[0] == w[1]), "results differ: {results:?}");
+        assert!(
+            results.windows(2).all(|w| w[0] == w[1]),
+            "results differ: {results:?}"
+        );
     }
 }

@@ -61,12 +61,16 @@ struct Kb {
 fn setup(vm: &mut Vm) -> Kb {
     Kb {
         work: vm.register_frame(
-            FrameDesc::new("kb::work").slots(8, Trace::Pointer).slots(2, Trace::NonPointer),
+            FrameDesc::new("kb::work")
+                .slots(8, Trace::Pointer)
+                .slots(2, Trace::NonPointer),
         ),
         w2: vm.register_frame(FrameDesc::new("kb::w2").slots(2, Trace::Pointer)),
         w3: vm.register_frame(FrameDesc::new("kb::w3").slots(3, Trace::Pointer)),
         w4: vm.register_frame(
-            FrameDesc::new("kb::w4").slots(4, Trace::Pointer).slot(Trace::NonPointer),
+            FrameDesc::new("kb::w4")
+                .slots(4, Trace::Pointer)
+                .slot(Trace::NonPointer),
         ),
         w6: vm.register_frame(FrameDesc::new("kb::w6").slots(6, Trace::Pointer)),
         term_site: vm.site("kb::term"),
@@ -86,7 +90,15 @@ fn setup(vm: &mut Vm) -> Kb {
 /// at an explicit site (the profiler classifies terms by the code path
 /// that built them, as TIL's per-program-point sites would).
 fn mk_at(vm: &mut Vm, site: SiteId, tag: i64, var: i64, l: Addr, r: Addr) -> Addr {
-    vm.alloc_record(site, &[Value::Int(tag), Value::Int(var), Value::Ptr(l), Value::Ptr(r)])
+    vm.alloc_record(
+        site,
+        &[
+            Value::Int(tag),
+            Value::Int(var),
+            Value::Ptr(l),
+            Value::Ptr(r),
+        ],
+    )
 }
 
 /// Term record at the general (mostly short-lived) term site.
@@ -130,7 +142,11 @@ fn term_eq(vm: &mut Vm, a: Addr, b: Addr) -> bool {
         return false;
     }
     let (al, bl) = (left(vm, a), left(vm, b));
-    let l_eq = if al.is_null() && bl.is_null() { true } else { term_eq(vm, al, bl) };
+    let l_eq = if al.is_null() && bl.is_null() {
+        true
+    } else {
+        term_eq(vm, al, bl)
+    };
     if !l_eq {
         return false;
     }
@@ -265,7 +281,10 @@ fn lookup(vm: &mut Vm, subst: Addr, v: i64) -> Addr {
 }
 
 fn bind(vm: &mut Vm, p: &Kb, subst: Addr, v: i64, t: Addr) -> Addr {
-    vm.alloc_record(p.subst_site, &[Value::Int(v), Value::Ptr(t), Value::Ptr(subst)])
+    vm.alloc_record(
+        p.subst_site,
+        &[Value::Int(v), Value::Ptr(t), Value::Ptr(subst)],
+    )
 }
 
 /// Matches `pattern` against `subject`, extending `subst`.
@@ -1109,10 +1128,24 @@ fn complete(vm: &mut Vm, p: &Kb, max_eqs: usize) -> (u64, u64) {
             // A *left*-nested word over generators and their inverses:
             // normalizing it replays the associativity rule once per
             // nesting level, every step a fresh activation record.
-            let g = mk_at(vm, p.word_site, TAG_VAR, rng.below(6) as i64, Addr::NULL, Addr::NULL);
+            let g = mk_at(
+                vm,
+                p.word_site,
+                TAG_VAR,
+                rng.below(6) as i64,
+                Addr::NULL,
+                Addr::NULL,
+            );
             vm.set_slot(Slots::T0, Value::Ptr(g));
             for _ in 0..word_len {
-                let g = mk_at(vm, p.word_site, TAG_VAR, rng.below(6) as i64, Addr::NULL, Addr::NULL);
+                let g = mk_at(
+                    vm,
+                    p.word_site,
+                    TAG_VAR,
+                    rng.below(6) as i64,
+                    Addr::NULL,
+                    Addr::NULL,
+                );
                 vm.set_slot(Slots::T1, Value::Ptr(g));
                 if rng.below(4) == 0 {
                     let g = vm.slot_ptr(Slots::T1);
@@ -1131,8 +1164,10 @@ fn complete(vm: &mut Vm, p: &Kb, max_eqs: usize) -> (u64, u64) {
             vm.set_slot(Slots::T1, Value::Ptr(nf));
             let history = vm.slot_ptr(Slots::HISTORY);
             let nf = vm.slot_ptr(Slots::T1);
-            let entry = vm
-                .alloc_record(p.rule_site, &[Value::Ptr(nf), Value::NULL, Value::Ptr(history)]);
+            let entry = vm.alloc_record(
+                p.rule_site,
+                &[Value::Ptr(nf), Value::NULL, Value::Ptr(history)],
+            );
             vm.set_slot(Slots::HISTORY, Value::Ptr(entry));
         }
         // Cancellation chains: g·(g⁻¹·(h·(h⁻¹· ...))) — every level's
@@ -1339,7 +1374,10 @@ mod tests {
                 .heap_budget_bytes(32 << 20)
                 .nursery_bytes(32 << 10);
             let results = run_all_kinds(|vm| run(vm, 1), &config);
-            assert!(results.windows(2).all(|w| w[0] == w[1]), "results differ: {results:?}");
+            assert!(
+                results.windows(2).all(|w| w[0] == w[1]),
+                "results differ: {results:?}"
+            );
         });
     }
 }

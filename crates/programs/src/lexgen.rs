@@ -33,7 +33,9 @@ struct Lexgen {
 fn setup(vm: &mut Vm) -> Lexgen {
     Lexgen {
         work: vm.register_frame(
-            FrameDesc::new("lexgen::work").slots(6, Trace::Pointer).slots(2, Trace::NonPointer),
+            FrameDesc::new("lexgen::work")
+                .slots(6, Trace::Pointer)
+                .slots(2, Trace::NonPointer),
         ),
         re_site: vm.site("lexgen::regex"),
         nfa_site: vm.site("lexgen::nfa_edge"),
@@ -50,7 +52,12 @@ fn setup(vm: &mut Vm) -> Lexgen {
 fn re(vm: &mut Vm, p: &Lexgen, tag: i64, payload: i64, l: Addr, r: Addr) -> Addr {
     vm.alloc_record(
         p.re_site,
-        &[Value::Int(tag), Value::Int(payload), Value::Ptr(l), Value::Ptr(r)],
+        &[
+            Value::Int(tag),
+            Value::Int(payload),
+            Value::Ptr(l),
+            Value::Ptr(r),
+        ],
     )
 }
 
@@ -149,9 +156,23 @@ fn parse_atom(vm: &mut Vm, p: &Lexgen, ps: &mut Parser<'_>) -> Addr {
             assert_eq!(ps.bump(), b'-', "malformed range in token spec");
             let hi = ps.bump();
             assert_eq!(ps.bump(), b']', "malformed range in token spec");
-            re(vm, p, RE_RANGE, i64::from(lo) + 256 * i64::from(hi), Addr::NULL, Addr::NULL)
+            re(
+                vm,
+                p,
+                RE_RANGE,
+                i64::from(lo) + 256 * i64::from(hi),
+                Addr::NULL,
+                Addr::NULL,
+            )
         }
-        c => re(vm, p, RE_RANGE, i64::from(c) + 256 * i64::from(c), Addr::NULL, Addr::NULL),
+        c => re(
+            vm,
+            p,
+            RE_RANGE,
+            i64::from(c) + 256 * i64::from(c),
+            Addr::NULL,
+            Addr::NULL,
+        ),
     }
 }
 
@@ -169,7 +190,12 @@ fn add_edge(vm: &mut Vm, p: &Lexgen, builder: Addr, from: i64, payload: i64, to:
     let edges = vm.load_ptr(builder, 0);
     let edge = vm.alloc_record(
         p.nfa_site,
-        &[Value::Int(from), Value::Int(payload), Value::Int(to), Value::Ptr(edges)],
+        &[
+            Value::Int(from),
+            Value::Int(payload),
+            Value::Int(to),
+            Value::Ptr(edges),
+        ],
     );
     let builder = vm.slot_ptr(0);
     vm.store_ptr(builder, 0, edge);
@@ -318,13 +344,7 @@ fn set_eq(vm: &mut Vm, mut a: Addr, mut b: Addr) -> bool {
 /// recurses into its ε-successors, one frame per NFA state on the path.
 /// Traversal uses the host edge index; all set building stays in the
 /// heap.
-fn eps_close(
-    vm: &mut Vm,
-    p: &Lexgen,
-    edges: &[Vec<(i64, i64)>],
-    set: Addr,
-    state: i64,
-) -> Addr {
+fn eps_close(vm: &mut Vm, p: &Lexgen, edges: &[Vec<(i64, i64)>], set: Addr, state: i64) -> Addr {
     vm.push_frame(p.work);
     vm.set_slot(1, Value::Ptr(set));
     if set_contains(vm, set, state) {
@@ -374,28 +394,31 @@ pub fn run(vm: &mut Vm, scale: u32) -> u64 {
     // and the subset-construction state sets reach a comparable scale
     // (this is where Lexgen's deep recursion comes from: ε-closures and
     // sorted-set insertions recurse once per state).
-    let mut spec: Vec<(String, String)> =
-        base_spec.iter().map(|&(n, p)| (n.to_string(), p.to_string())).collect();
+    let mut spec: Vec<(String, String)> = base_spec
+        .iter()
+        .map(|&(n, p)| (n.to_string(), p.to_string()))
+        .collect();
     let mut kwrng = XorShift::new(0x13e);
     for i in 0..(24 + 16 * scale.min(10) as usize) {
         let len = 6 + kwrng.below(8) as usize;
-        let word: String =
-            (0..len).map(|_| (b'a' + kwrng.below(26) as u8) as char).collect();
+        let word: String = (0..len)
+            .map(|_| (b'a' + kwrng.below(26) as u8) as char)
+            .collect();
         spec.push((format!("KW{i}"), word));
     }
 
     vm.push_frame(p.work);
     // Builder record: [edges, accepts, n_states] — accepts is a list of
     // [state, rule_index] records.
-    let builder = vm.alloc_record(
-        p.nfa_site,
-        &[Value::NULL, Value::NULL, Value::Int(0)],
-    );
+    let builder = vm.alloc_record(p.nfa_site, &[Value::NULL, Value::NULL, Value::Int(0)]);
     vm.set_slot(0, Value::Ptr(builder));
     let builder = vm.slot_ptr(0);
     let start = fresh_state(vm, builder);
     for (idx, (_, pattern)) in spec.iter().enumerate() {
-        let mut ps = Parser { src: pattern.as_bytes(), pos: 0 };
+        let mut ps = Parser {
+            src: pattern.as_bytes(),
+            pos: 0,
+        };
         let ast = parse_alt(vm, &p, &mut ps);
         vm.set_slot(1, Value::Ptr(ast));
         let builder = vm.slot_ptr(0);
@@ -408,7 +431,11 @@ pub fn run(vm: &mut Vm, scale: u32) -> u64 {
         let accepts = vm.load_ptr(builder, 1);
         let acc = vm.alloc_record(
             p.nfa_site,
-            &[Value::Int(exit), Value::Int(idx as i64), Value::Ptr(accepts)],
+            &[
+                Value::Int(exit),
+                Value::Int(idx as i64),
+                Value::Ptr(accepts),
+            ],
         );
         let builder = vm.slot_ptr(0);
         vm.store_ptr(builder, 1, acc);
@@ -445,7 +472,12 @@ pub fn run(vm: &mut Vm, scale: u32) -> u64 {
     let trans = vm.slot_ptr(4);
     let d0 = vm.alloc_record(
         p.dfa_site,
-        &[Value::Ptr(s0), Value::Int(0), Value::Ptr(trans), Value::NULL],
+        &[
+            Value::Ptr(s0),
+            Value::Int(0),
+            Value::Ptr(trans),
+            Value::NULL,
+        ],
     );
     vm.set_slot(2, Value::Ptr(d0));
     let mut n_dfa = 1i64;
@@ -519,7 +551,12 @@ pub fn run(vm: &mut Vm, scale: u32) -> u64 {
                 let states = vm.slot_ptr(2);
                 let nd = vm.alloc_record(
                     p.dfa_site,
-                    &[Value::Ptr(target), Value::Int(n_dfa), Value::Ptr(trans), Value::Ptr(states)],
+                    &[
+                        Value::Ptr(target),
+                        Value::Int(n_dfa),
+                        Value::Ptr(trans),
+                        Value::Ptr(states),
+                    ],
                 );
                 n_dfa += 1;
                 vm.set_slot(2, Value::Ptr(nd));
@@ -573,7 +610,9 @@ pub fn run(vm: &mut Vm, scale: u32) -> u64 {
     let src = vm.alloc_raw_array(p.tok_site, src_len);
     vm.set_slot(3, Value::Ptr(src));
     let mut rng = XorShift::new(0x1e4);
-    let words = ["let", "val", "x1", "fun", "foo", "42", "7", "if", "then", "else", "in", "end"];
+    let words = [
+        "let", "val", "x1", "fun", "foo", "42", "7", "if", "then", "else", "in", "end",
+    ];
     let ops = ["=", "+", "<=", ";", "-", "*"];
     {
         let mut pos = 0usize;
@@ -645,7 +684,11 @@ pub fn run(vm: &mut Vm, scale: u32) -> u64 {
                 // Emit a token record (short-lived).
                 let _tok = vm.alloc_record(
                     p.tok_site,
-                    &[Value::Int(rule), Value::Int(pos as i64), Value::Int(end as i64)],
+                    &[
+                        Value::Int(rule),
+                        Value::Int(pos as i64),
+                        Value::Int(end as i64),
+                    ],
                 );
                 h = mix(h, rule as u64);
                 tokens += 1;
@@ -667,7 +710,10 @@ mod tests {
     #[test]
     fn deterministic_and_collector_independent() {
         let results = run_all_kinds(|vm| run(vm, 1), &tiny_config());
-        assert!(results.windows(2).all(|w| w[0] == w[1]), "results differ: {results:?}");
+        assert!(
+            results.windows(2).all(|w| w[0] == w[1]),
+            "results differ: {results:?}"
+        );
     }
 
     #[test]
@@ -675,7 +721,13 @@ mod tests {
         let mut vm = build_vm(CollectorKind::Generational, &tiny_config());
         run(&mut vm, 1);
         assert!(vm.gc_stats().collections > 0);
-        assert!(vm.gc_stats().copied_bytes > 0, "DFA tables survive collections");
-        assert!(vm.mutator_stats().pointer_updates > 50, "transition installs are updates");
+        assert!(
+            vm.gc_stats().copied_bytes > 0,
+            "DFA tables survive collections"
+        );
+        assert!(
+            vm.mutator_stats().pointer_updates > 50,
+            "transition installs are updates"
+        );
     }
 }

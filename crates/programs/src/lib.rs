@@ -165,7 +165,10 @@ mod tests {
             assert_eq!(Benchmark::from_name(b.name()), Some(b));
             assert!(!b.description().is_empty());
         }
-        assert_eq!(Benchmark::from_name("knuthbendix"), Some(Benchmark::KnuthBendix));
+        assert_eq!(
+            Benchmark::from_name("knuthbendix"),
+            Some(Benchmark::KnuthBendix)
+        );
         assert_eq!(Benchmark::from_name("nosuch"), None);
     }
 }

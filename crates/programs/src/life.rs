@@ -11,8 +11,16 @@ use tilgc_runtime::{DescId, FrameDesc, Trace, Value, Vm};
 
 use crate::common::{cons, head_int, list_checksum, tail, Exn, PResult};
 
-const OFFSETS: [(i64, i64); 8] =
-    [(-1, -1), (-1, 0), (-1, 1), (0, -1), (0, 1), (1, -1), (1, 0), (1, 1)];
+const OFFSETS: [(i64, i64); 8] = [
+    (-1, -1),
+    (-1, 0),
+    (-1, 1),
+    (0, -1),
+    (0, 1),
+    (1, -1),
+    (1, 0),
+    (1, 1),
+];
 
 fn pack(x: i64, y: i64) -> i64 {
     (x + 512) * 4096 + (y + 512)
@@ -34,11 +42,15 @@ fn setup(vm: &mut Vm) -> Life {
     Life {
         main: vm.register_frame(FrameDesc::new("life::main").slots(2, Trace::Pointer)),
         filter: vm.register_frame(
-            FrameDesc::new("life::filter").slots(2, Trace::Pointer).slot(Trace::NonPointer),
+            FrameDesc::new("life::filter")
+                .slots(2, Trace::Pointer)
+                .slot(Trace::NonPointer),
         ),
         births: vm.register_frame(FrameDesc::new("life::births").slots(3, Trace::Pointer)),
         insert: vm.register_frame(
-            FrameDesc::new("life::insert").slot(Trace::Pointer).slot(Trace::NonPointer),
+            FrameDesc::new("life::insert")
+                .slot(Trace::Pointer)
+                .slot(Trace::NonPointer),
         ),
         cell: vm.site("life::cell"),
     }
@@ -236,10 +248,7 @@ mod tests {
 
     #[test]
     fn r_pentomino_grows() {
-        let mut vm = tilgc_core::build_vm(
-            tilgc_core::CollectorKind::Generational,
-            &tiny_config(),
-        );
+        let mut vm = tilgc_core::build_vm(tilgc_core::CollectorKind::Generational, &tiny_config());
         let p = setup(&mut vm);
         vm.push_frame(p.main);
         vm.set_slot(0, Value::NULL);
@@ -273,6 +282,9 @@ mod tests {
     #[test]
     fn deterministic_and_collector_independent() {
         let results = run_all_kinds(|vm| run(vm, 1), &tiny_config());
-        assert!(results.windows(2).all(|w| w[0] == w[1]), "results differ: {results:?}");
+        assert!(
+            results.windows(2).all(|w| w[0] == w[1]),
+            "results differ: {results:?}"
+        );
     }
 }

@@ -173,7 +173,10 @@ mod tests {
     #[test]
     fn deterministic_and_collector_independent() {
         let results = run_all_kinds(|vm| run(vm, 1), &tiny_config());
-        assert!(results.windows(2).all(|w| w[0] == w[1]), "results differ: {results:?}");
+        assert!(
+            results.windows(2).all(|w| w[0] == w[1]),
+            "results differ: {results:?}"
+        );
     }
 
     #[test]

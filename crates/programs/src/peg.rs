@@ -224,8 +224,12 @@ mod tests {
             let peg = vm.slot_ptr(1);
             vm.store_ptr(board, i, peg);
         }
-        let mut st =
-            Search { budget: i64::MAX, solutions: 0, max_solutions: u64::MAX, hash: 0 };
+        let mut st = Search {
+            budget: i64::MAX,
+            solutions: 0,
+            max_solutions: u64::MAX,
+            hash: 0,
+        };
         vm.push_handler();
         let board = vm.slot_ptr(0);
         let peg = vm.slot_ptr(1);
@@ -250,6 +254,9 @@ mod tests {
     #[test]
     fn deterministic_and_collector_independent() {
         let results = run_all_kinds(|vm| run(vm, 1), &tiny_config());
-        assert!(results.windows(2).all(|w| w[0] == w[1]), "results differ: {results:?}");
+        assert!(
+            results.windows(2).all(|w| w[0] == w[1]),
+            "results differ: {results:?}"
+        );
     }
 }

@@ -27,7 +27,9 @@ struct Pia {
 fn setup(vm: &mut Vm) -> Pia {
     Pia {
         work: vm.register_frame(
-            FrameDesc::new("pia::work").slots(6, Trace::Pointer).slots(2, Trace::NonPointer),
+            FrameDesc::new("pia::work")
+                .slots(6, Trace::Pointer)
+                .slots(2, Trace::NonPointer),
         ),
         point_site: vm.site("pia::point"),
         matrix_site: vm.site("pia::matrix"),
@@ -41,12 +43,25 @@ fn true_homography(frame: u32) -> [f64; 9] {
     let t = f64::from(frame) * 0.05;
     let (s, c) = t.sin_cos();
     // Rotation + translation + mild perspective terms.
-    [c, -s, 1.0 + 0.3 * s, s, c, 2.0 - 0.2 * c, 0.002 * s, 0.001 * c, 1.0]
+    [
+        c,
+        -s,
+        1.0 + 0.3 * s,
+        s,
+        c,
+        2.0 - 0.2 * c,
+        0.002 * s,
+        0.001 * c,
+        1.0,
+    ]
 }
 
 fn apply_h(h: &[f64; 9], x: f64, y: f64) -> (f64, f64) {
     let w = h[6] * x + h[7] * y + h[8];
-    ((h[0] * x + h[1] * y + h[2]) / w, (h[3] * x + h[4] * y + h[5]) / w)
+    (
+        (h[0] * x + h[1] * y + h[2]) / w,
+        (h[3] * x + h[4] * y + h[5]) / w,
+    )
 }
 
 /// Solves the n×n system `a·x = b` in place by Gaussian elimination with
@@ -219,7 +234,12 @@ fn process_frame(vm: &mut Vm, p: &Pia, frame: u32, grid: usize) -> Addr {
     let points = vm.slot_ptr(3);
     let result = vm.alloc_record(
         p.result_site,
-        &[Value::Int(frame as i64), Value::Int(hash as i64), Value::Ptr(points), Value::NULL],
+        &[
+            Value::Int(frame as i64),
+            Value::Int(hash as i64),
+            Value::Ptr(points),
+            Value::NULL,
+        ],
     );
     vm.pop_frame();
     result
@@ -307,6 +327,9 @@ mod tests {
     #[test]
     fn deterministic_and_collector_independent() {
         let results = run_all_kinds(|vm| run(vm, 1), &tiny_config());
-        assert!(results.windows(2).all(|w| w[0] == w[1]), "results differ: {results:?}");
+        assert!(
+            results.windows(2).all(|w| w[0] == w[1]),
+            "results differ: {results:?}"
+        );
     }
 }

@@ -24,7 +24,9 @@ struct Simple {
 fn setup(vm: &mut Vm) -> Simple {
     Simple {
         work: vm.register_frame(
-            FrameDesc::new("simple::work").slots(6, Trace::Pointer).slots(2, Trace::NonPointer),
+            FrameDesc::new("simple::work")
+                .slots(6, Trace::Pointer)
+                .slots(2, Trace::NonPointer),
         ),
         grid_site: vm.site("simple::grid"),
         flux_site: vm.site("simple::flux"),
@@ -37,12 +39,7 @@ fn setup(vm: &mut Vm) -> Simple {
 /// arrays — the representation an SML `real array array` has, and the
 /// reason the paper's Simple copies its state arrays through the
 /// generations (each 256-byte row is an ordinary nursery object).
-fn grid_init(
-    vm: &mut Vm,
-    p: &Simple,
-    n: usize,
-    f: impl Fn(usize, usize) -> f64,
-) -> Addr {
+fn grid_init(vm: &mut Vm, p: &Simple, n: usize, f: impl Fn(usize, usize) -> f64) -> Addr {
     vm.push_frame(p.work);
     let g = vm.alloc_ptr_array(p.grid_site, n, Addr::NULL);
     vm.set_slot(0, Value::Ptr(g));
@@ -81,7 +78,15 @@ fn gset(vm: &mut Vm, g: Addr, n: usize, i: usize, j: usize, v: f64) {
 /// pass, and reflecting boundaries computed through short-lived flux
 /// records (as the original does with per-boundary tuples). Returns the
 /// new (u, v, pr) grids — the caller roots them immediately.
-fn step(vm: &mut Vm, p: &Simple, n: usize, dt: f64, u: Addr, v: Addr, pr: Addr) -> (Addr, Addr, Addr, Addr, u64) {
+fn step(
+    vm: &mut Vm,
+    p: &Simple,
+    n: usize,
+    dt: f64,
+    u: Addr,
+    v: Addr,
+    pr: Addr,
+) -> (Addr, Addr, Addr, Addr, u64) {
     vm.push_frame(p.work);
     vm.set_slot(0, Value::Ptr(u));
     vm.set_slot(1, Value::Ptr(v));
@@ -96,8 +101,16 @@ fn step(vm: &mut Vm, p: &Simple, n: usize, dt: f64, u: Addr, v: Addr, pr: Addr) 
             let v = vm.slot_ptr(1);
             let pr = vm.slot_ptr(2);
             let npr = vm.slot_ptr(3);
-            let du = if j + 1 < n { gget(vm, u, n, i, j + 1) - gget(vm, u, n, i, j) } else { 0.0 };
-            let dv = if i + 1 < n { gget(vm, v, n, i + 1, j) - gget(vm, v, n, i, j) } else { 0.0 };
+            let du = if j + 1 < n {
+                gget(vm, u, n, i, j + 1) - gget(vm, u, n, i, j)
+            } else {
+                0.0
+            };
+            let dv = if i + 1 < n {
+                gget(vm, v, n, i + 1, j) - gget(vm, v, n, i, j)
+            } else {
+                0.0
+            };
             let val = gget(vm, pr, n, i, j) - dt * (du + dv);
             gset(vm, npr, n, i, j, val);
         }
@@ -116,17 +129,31 @@ fn step(vm: &mut Vm, p: &Simple, n: usize, dt: f64, u: Addr, v: Addr, pr: Addr) 
             let npr = vm.slot_ptr(3);
             let nu = vm.slot_ptr(4);
             let nv = vm.slot_ptr(5);
-            let dpx =
-                if j > 0 { gget(vm, npr, n, i, j) - gget(vm, npr, n, i, j - 1) } else { 0.0 };
-            let dpy =
-                if i > 0 { gget(vm, npr, n, i, j) - gget(vm, npr, n, i - 1, j) } else { 0.0 };
+            let dpx = if j > 0 {
+                gget(vm, npr, n, i, j) - gget(vm, npr, n, i, j - 1)
+            } else {
+                0.0
+            };
+            let dpy = if i > 0 {
+                gget(vm, npr, n, i, j) - gget(vm, npr, n, i - 1, j)
+            } else {
+                0.0
+            };
             // Viscosity: average with the 4-neighbourhood.
             let avg = |vmx: &mut Vm, g: Addr, i: usize, j: usize| -> f64 {
                 let c = gget(vmx, g, n, i, j);
                 let l = if j > 0 { gget(vmx, g, n, i, j - 1) } else { c };
-                let r = if j + 1 < n { gget(vmx, g, n, i, j + 1) } else { c };
+                let r = if j + 1 < n {
+                    gget(vmx, g, n, i, j + 1)
+                } else {
+                    c
+                };
                 let up = if i > 0 { gget(vmx, g, n, i - 1, j) } else { c };
-                let dn = if i + 1 < n { gget(vmx, g, n, i + 1, j) } else { c };
+                let dn = if i + 1 < n {
+                    gget(vmx, g, n, i + 1, j)
+                } else {
+                    c
+                };
                 0.6 * c + 0.1 * (l + r + up + dn)
             };
             let su = avg(vm, u, i, j);
@@ -285,6 +312,9 @@ mod tests {
     #[test]
     fn deterministic_and_collector_independent() {
         let results = run_all_kinds(|vm| run(vm, 1), &tiny_config());
-        assert!(results.windows(2).all(|w| w[0] == w[1]), "results differ: {results:?}");
+        assert!(
+            results.windows(2).all(|w| w[0] == w[1]),
+            "results differ: {results:?}"
+        );
     }
 }

@@ -17,7 +17,9 @@ pub fn with_big_stack<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static)
 
 /// A small configuration that forces frequent collections even at scale 1.
 pub fn tiny_config() -> GcConfig {
-    GcConfig::new().heap_budget_bytes(1 << 20).nursery_bytes(8 << 10)
+    GcConfig::new()
+        .heap_budget_bytes(1 << 20)
+        .nursery_bytes(8 << 10)
 }
 
 /// Runs `program` once under each of the paper's four collector

@@ -136,12 +136,22 @@ mod tests {
 
     #[test]
     fn shape_sizes() {
-        let r = AllocShape::Record { site: SiteId::UNKNOWN, len: 3, mask: 0 };
+        let r = AllocShape::Record {
+            site: SiteId::UNKNOWN,
+            len: 3,
+            mask: 0,
+        };
         assert_eq!(r.size_words(), 4);
         assert_eq!(r.size_bytes(), 32);
-        let p = AllocShape::PtrArray { site: SiteId::UNKNOWN, len: 10 };
+        let p = AllocShape::PtrArray {
+            site: SiteId::UNKNOWN,
+            len: 10,
+        };
         assert_eq!(p.size_words(), 11);
-        let b = AllocShape::RawArray { site: SiteId::new(2), len_bytes: 9 };
+        let b = AllocShape::RawArray {
+            site: SiteId::new(2),
+            len_bytes: 9,
+        };
         assert_eq!(b.size_words(), 3);
         assert_eq!(b.site(), SiteId::new(2));
     }

@@ -135,7 +135,10 @@ mod tests {
 
     #[test]
     fn struct_update_syntax_works() {
-        let m = CostModel { gc_base: 1, ..Default::default() };
+        let m = CostModel {
+            gc_base: 1,
+            ..Default::default()
+        };
         assert_eq!(m.gc_base, 1);
         assert_eq!(m.copy_per_word, CostModel::default().copy_per_word);
     }

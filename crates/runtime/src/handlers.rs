@@ -64,7 +64,10 @@ impl HandlerChain {
 
     /// Installs a handler anchored at `frame_depth`.
     pub fn push(&mut self, frame_depth: usize) {
-        self.handlers.push(Handler { frame_depth, caught_depth: None });
+        self.handlers.push(Handler {
+            frame_depth,
+            caught_depth: None,
+        });
     }
 
     /// Removes the innermost handler on normal exit from its `handle`

@@ -53,8 +53,8 @@ pub use sites::SiteRegistry;
 pub use stack::{Frame, PopEvent, Stack, StackStats};
 pub use stats::{GcStats, MutatorStats};
 pub use trace::{
-    type_word_is_pointer, DescId, FrameDesc, Reg, RegEffect, Trace, TraceTable, TypeLoc,
-    NUM_REGS, TYPE_BOXED, TYPE_UNBOXED,
+    type_word_is_pointer, CompiledTrace, DescId, FrameDesc, Reg, RegEffect, Trace, TraceTable,
+    TypeLoc, NUM_REGS, TYPE_BOXED, TYPE_UNBOXED,
 };
 pub use value::{ShadowTag, Value};
 pub use vm::{RaiseOutcome, Vm};

@@ -124,7 +124,11 @@ impl HeapProfile {
         e.alloc_objects += 1;
         self.births.insert(
             addr.raw(),
-            Birth { site, born_at_bytes: self.alloc_clock_bytes, survived_first: false },
+            Birth {
+                site,
+                born_at_bytes: self.alloc_clock_bytes,
+                survived_first: false,
+            },
         );
     }
 
@@ -132,7 +136,9 @@ impl HeapProfile {
     /// `from_nursery` marks a first promotion out of the allocation area,
     /// which is what "% old" counts.
     pub fn on_copy(&mut self, old: Addr, new: Addr, bytes: usize, from_nursery: bool) {
-        let Some(mut birth) = self.births.remove(&old.raw()) else { return };
+        let Some(mut birth) = self.births.remove(&old.raw()) else {
+            return;
+        };
         let e = self.entry(birth.site);
         e.copied_bytes += bytes as u64;
         if from_nursery && !birth.survived_first {
@@ -144,7 +150,9 @@ impl HeapProfile {
 
     /// Records that the object at `addr` was found dead.
     pub fn on_death(&mut self, addr: Addr) {
-        let Some(birth) = self.births.remove(&addr.raw()) else { return };
+        let Some(birth) = self.births.remove(&addr.raw()) else {
+            return;
+        };
         let age_kb = (self.alloc_clock_bytes - birth.born_at_bytes) as f64 / 1024.0;
         let e = self.entry(birth.site);
         e.dead_objects += 1;

@@ -33,7 +33,10 @@ impl Default for RegisterFile {
 impl RegisterFile {
     /// Creates a register file with all registers zeroed (non-pointers).
     pub fn new() -> RegisterFile {
-        RegisterFile { words: [0; NUM_REGS], shadow: [ShadowTag::NonPtr; NUM_REGS] }
+        RegisterFile {
+            words: [0; NUM_REGS],
+            shadow: [ShadowTag::NonPtr; NUM_REGS],
+        }
     }
 
     /// Writes a typed value into `reg`, updating the shadow tag.

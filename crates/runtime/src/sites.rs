@@ -32,7 +32,9 @@ impl Default for SiteRegistry {
 impl SiteRegistry {
     /// Creates a registry containing only [`SiteId::UNKNOWN`].
     pub fn new() -> SiteRegistry {
-        SiteRegistry { names: vec!["<unknown>".to_string()] }
+        SiteRegistry {
+            names: vec!["<unknown>".to_string()],
+        }
     }
 
     /// Registers (or looks up) the site named `name`.
@@ -72,7 +74,10 @@ impl SiteRegistry {
 
     /// Iterates over `(id, name)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (SiteId, &str)> {
-        self.names.iter().enumerate().map(|(i, n)| (SiteId::new(i as u16), n.as_str()))
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (SiteId::new(i as u16), n.as_str()))
     }
 }
 

@@ -218,7 +218,10 @@ impl Stack {
             debug_assert!(original.is_some(), "marked frame without table entry");
             self.stats.marker_fires += 1;
         }
-        PopEvent { desc: frame.desc, fired_marker: fired }
+        PopEvent {
+            desc: frame.desc,
+            fired_marker: fired,
+        }
     }
 
     /// Unwinds to `target_depth` because of a raised exception: frames are
@@ -229,7 +232,10 @@ impl Stack {
     ///
     /// Panics if `target_depth` exceeds the current depth.
     pub fn unwind_for_raise(&mut self, target_depth: usize) {
-        assert!(target_depth <= self.depth(), "unwind target beyond stack top");
+        assert!(
+            target_depth <= self.depth(),
+            "unwind target beyond stack top"
+        );
         let popped = self.depth() - target_depth;
         self.frames.truncate(target_depth);
         self.stats.pops += popped as u64;
@@ -252,7 +258,10 @@ impl Stack {
     ///
     /// Panics if `target_depth` exceeds the current depth.
     pub fn unwind_for_raise_silent(&mut self, target_depth: usize) {
-        assert!(target_depth <= self.depth(), "unwind target beyond stack top");
+        assert!(
+            target_depth <= self.depth(),
+            "unwind target beyond stack top"
+        );
         let popped = self.depth() - target_depth;
         self.frames.truncate(target_depth);
         self.stats.pops += popped as u64;
@@ -332,7 +341,9 @@ impl Stack {
     /// at the minimum depth reached was the active frame at that moment,
     /// so it does not count as unchanged.
     pub fn true_unchanged_prefix(&self) -> usize {
-        self.min_depth_since_scan.min(self.depth()).saturating_sub(1)
+        self.min_depth_since_scan
+            .min(self.depth())
+            .saturating_sub(1)
     }
 
     /// Called by the collector after a full or partial scan: removes stale
@@ -347,7 +358,8 @@ impl Stack {
         // replaced by a new (unmarked) frame after an exception unwind.
         let depth = self.depth();
         let frames = &self.frames;
-        self.marker_table.retain(|&d, _| d < depth && frames[d].marked);
+        self.marker_table
+            .retain(|&d, _| d < depth && frames[d].marked);
         self.watermark = usize::MAX;
         self.min_depth_since_scan = depth;
         if interval == 0 {
@@ -376,7 +388,8 @@ impl Stack {
     pub fn place_markers_at(&mut self, depths: impl IntoIterator<Item = usize>) -> usize {
         let depth = self.depth();
         let frames = &self.frames;
-        self.marker_table.retain(|&d, _| d < depth && frames[d].marked);
+        self.marker_table
+            .retain(|&d, _| d < depth && frames[d].marked);
         self.watermark = usize::MAX;
         self.min_depth_since_scan = depth;
         let mut placed = 0;
@@ -448,7 +461,11 @@ mod tests {
     #[test]
     fn fresh_stack_has_no_reusable_prefix() {
         let s = stack_of(100);
-        assert_eq!(s.reusable_prefix(), 0, "nothing scanned yet, nothing to reuse");
+        assert_eq!(
+            s.reusable_prefix(),
+            0,
+            "nothing scanned yet, nothing to reuse"
+        );
     }
 
     #[test]
@@ -496,7 +513,11 @@ mod tests {
         for _ in 0..60 {
             s.push(d, 2); // regrow to 100 with *new* frames
         }
-        assert_eq!(s.reusable_prefix(), 24, "only frames under the intact marker at 24");
+        assert_eq!(
+            s.reusable_prefix(),
+            24,
+            "only frames under the intact marker at 24"
+        );
         assert!(s.reusable_prefix() <= s.true_unchanged_prefix());
     }
 
@@ -537,7 +558,11 @@ mod tests {
     fn remarking_does_not_duplicate() {
         let mut s = stack_of(50);
         assert_eq!(s.place_markers(25), 2);
-        assert_eq!(s.place_markers(25), 0, "existing markers are kept, not re-placed");
+        assert_eq!(
+            s.place_markers(25),
+            0,
+            "existing markers are kept, not re-placed"
+        );
     }
 
     #[test]

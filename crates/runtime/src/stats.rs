@@ -29,7 +29,7 @@ impl MutatorStats {
 }
 
 /// Collector-side counters (the "GC" columns, Tables 3–6).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct GcStats {
     /// Number of collections (Tables 3/4, "Number of GCs").
     pub collections: u64,
@@ -157,7 +157,11 @@ mod tests {
 
     #[test]
     fn mutator_array_bytes() {
-        let m = MutatorStats { ptr_array_bytes: 3, raw_array_bytes: 4, ..Default::default() };
+        let m = MutatorStats {
+            ptr_array_bytes: 3,
+            raw_array_bytes: 4,
+            ..Default::default()
+        };
         assert_eq!(m.array_bytes(), 7);
     }
 }

@@ -16,6 +16,7 @@
 //!   runtime type from another location and decide dynamically.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::value::Value;
 
@@ -43,7 +44,10 @@ impl Reg {
     /// Panics if `index >= NUM_REGS`.
     #[inline]
     pub fn new(index: u8) -> Reg {
-        assert!((index as usize) < NUM_REGS, "register ${index} out of range");
+        assert!(
+            (index as usize) < NUM_REGS,
+            "register ${index} out of range"
+        );
         Reg(index)
     }
 
@@ -179,7 +183,11 @@ pub struct FrameDesc {
 impl FrameDesc {
     /// Starts a descriptor for the function/call-site named `name`.
     pub fn new(name: impl Into<String>) -> FrameDesc {
-        FrameDesc { name: name.into(), slots: Vec::new(), reg_effects: Vec::new() }
+        FrameDesc {
+            name: name.into(),
+            slots: Vec::new(),
+            reg_effects: Vec::new(),
+        }
     }
 
     /// Appends a slot with the given trace.
@@ -261,11 +269,87 @@ impl FrameDesc {
     }
 }
 
+/// A [`FrameDesc`]'s slot traces precompiled at [`TraceTable::register`]
+/// time.
+///
+/// Most frames are *static*: every slot is [`Trace::Pointer`] or
+/// [`Trace::NonPointer`], so which slots are roots is known the moment the
+/// descriptor is registered. For those frames the compiled form packs the
+/// pointer slots into a `u64` bitmap (and a shared slot-index list for the
+/// scan cache), letting the stack scan walk set bits instead of matching a
+/// `Trace` per slot. Frames with [`Trace::CalleeSave`] or
+/// [`Trace::Compute`] slots depend on runtime state and keep the two-pass
+/// decode.
+#[derive(Clone, Debug)]
+pub struct CompiledTrace {
+    /// Bit `i` set means slot `i` is statically a pointer. Meaningful only
+    /// when [`is_static`](CompiledTrace::is_static); empty otherwise.
+    ptr_bitmap: Vec<u64>,
+    /// The same information as `ptr_bitmap`, as a shared index list —
+    /// cloned (not recomputed) into every scan-cache entry.
+    ptr_slots: Arc<[u16]>,
+    num_slots: usize,
+    is_static: bool,
+}
+
+impl CompiledTrace {
+    fn compile(desc: &FrameDesc) -> CompiledTrace {
+        let num_slots = desc.slots.len();
+        let is_static = desc
+            .slots
+            .iter()
+            .all(|t| matches!(t, Trace::Pointer | Trace::NonPointer));
+        let mut ptr_bitmap = Vec::new();
+        let mut ptr_slots = Vec::new();
+        if is_static {
+            ptr_bitmap = vec![0u64; num_slots.div_ceil(64)];
+            for (i, t) in desc.slots.iter().enumerate() {
+                if matches!(t, Trace::Pointer) {
+                    ptr_bitmap[i / 64] |= 1 << (i % 64);
+                    ptr_slots.push(i as u16);
+                }
+            }
+        }
+        CompiledTrace {
+            ptr_bitmap,
+            ptr_slots: ptr_slots.into(),
+            num_slots,
+            is_static,
+        }
+    }
+
+    /// Whether every slot's pointerness was decided at registration time
+    /// (no callee-save or compute slots).
+    #[inline]
+    pub fn is_static(&self) -> bool {
+        self.is_static
+    }
+
+    /// Number of slots in frames of this shape.
+    #[inline]
+    pub fn num_slots(&self) -> usize {
+        self.num_slots
+    }
+
+    /// The packed pointer bitmap (one bit per slot, 64 slots per word).
+    #[inline]
+    pub fn ptr_bitmap(&self) -> &[u64] {
+        &self.ptr_bitmap
+    }
+
+    /// The static pointer-slot list, shared (not copied) per clone.
+    #[inline]
+    pub fn ptr_slots(&self) -> Arc<[u16]> {
+        Arc::clone(&self.ptr_slots)
+    }
+}
+
 /// The table of auxiliary frame information the collector indexes by
 /// return address (§2.3).
 #[derive(Clone, Debug, Default)]
 pub struct TraceTable {
     descs: Vec<FrameDesc>,
+    compiled: Vec<CompiledTrace>,
 }
 
 impl TraceTable {
@@ -291,6 +375,7 @@ impl TraceTable {
             }
         }
         let id = DescId(self.descs.len() as u32);
+        self.compiled.push(CompiledTrace::compile(&desc));
         self.descs.push(desc);
         id
     }
@@ -302,6 +387,15 @@ impl TraceTable {
     /// Panics if `id` was not produced by this table.
     pub fn desc(&self, id: DescId) -> &FrameDesc {
         &self.descs[id.index()]
+    }
+
+    /// Looks up a descriptor's precompiled trace bitmap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn compiled(&self, id: DescId) -> &CompiledTrace {
+        &self.compiled[id.index()]
     }
 
     /// Number of registered descriptors.
@@ -336,7 +430,9 @@ mod tests {
 
     #[test]
     fn later_reg_effect_wins() {
-        let d = FrameDesc::new("f").def_pointer(Reg::new(1)).def_non_pointer(Reg::new(1));
+        let d = FrameDesc::new("f")
+            .def_pointer(Reg::new(1))
+            .def_non_pointer(Reg::new(1));
         assert_eq!(d.reg_effect(Reg::new(1)), RegEffect::DefNonPointer);
     }
 
@@ -366,6 +462,48 @@ mod tests {
     fn bad_compute_reference_panics() {
         let mut t = TraceTable::new();
         t.register(FrameDesc::new("bad").slot(Trace::Compute(TypeLoc::Slot(5))));
+    }
+
+    #[test]
+    fn compiled_bitmap_matches_static_traces() {
+        let mut t = TraceTable::new();
+        let id = t.register(
+            FrameDesc::new("s")
+                .slot(Trace::Pointer)
+                .slots(70, Trace::NonPointer)
+                .slot(Trace::Pointer),
+        );
+        let c = t.compiled(id);
+        assert!(c.is_static());
+        assert_eq!(c.num_slots(), 72);
+        assert_eq!(c.ptr_bitmap().len(), 2);
+        assert_eq!(c.ptr_bitmap()[0], 1);
+        assert_eq!(c.ptr_bitmap()[1], 1 << (71 - 64));
+        assert_eq!(&*c.ptr_slots(), &[0u16, 71]);
+    }
+
+    #[test]
+    fn compiled_dynamic_frames_are_flagged() {
+        let mut t = TraceTable::new();
+        let cs = t.register(FrameDesc::new("cs").slot(Trace::CalleeSave(Reg::new(3))));
+        let cp = t.register(
+            FrameDesc::new("cp")
+                .slot(Trace::NonPointer)
+                .slot(Trace::Compute(TypeLoc::Slot(0))),
+        );
+        assert!(!t.compiled(cs).is_static());
+        assert!(!t.compiled(cp).is_static());
+        assert_eq!(t.compiled(cp).num_slots(), 2);
+    }
+
+    #[test]
+    fn compiled_empty_frame_is_static() {
+        let mut t = TraceTable::new();
+        let id = t.register(FrameDesc::new("leaf"));
+        assert!(t.compiled(id).is_static());
+        assert_eq!(t.compiled(id).num_slots(), 0);
+        assert!(t.compiled(id).ptr_bitmap().is_empty());
+        assert!(t.compiled(id).ptr_slots().is_empty());
     }
 
     #[test]

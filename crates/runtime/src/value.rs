@@ -175,7 +175,10 @@ mod tests {
 
     #[test]
     fn word_round_trips() {
-        assert_eq!(Value::from_int_word(Value::Int(-77).to_word()), Value::Int(-77));
+        assert_eq!(
+            Value::from_int_word(Value::Int(-77).to_word()),
+            Value::Int(-77)
+        );
         let p = Value::Ptr(Addr::new(123));
         assert_eq!(Value::from_ptr_word(p.to_word()), p);
         assert_eq!(f64::from_bits(Value::Real(6.5).to_word()), 6.5);

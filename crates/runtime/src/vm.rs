@@ -82,13 +82,19 @@ impl std::fmt::Debug for Vm {
 impl Vm {
     /// Creates a VM over the given collector with default mutator state.
     pub fn new(collector: Box<dyn Collector>) -> Vm {
-        Vm { m: MutatorState::new(), gc: collector }
+        Vm {
+            m: MutatorState::new(),
+            gc: collector,
+        }
     }
 
     /// Creates a VM with custom mutator state (barrier choice, cost
     /// model, raise bookkeeping, ...).
     pub fn with_mutator(mutator: MutatorState, collector: Box<dyn Collector>) -> Vm {
-        Vm { m: mutator, gc: collector }
+        Vm {
+            m: mutator,
+            gc: collector,
+        }
     }
 
     // ----- introspection ---------------------------------------------------
@@ -267,7 +273,11 @@ impl Vm {
     /// Panics in checked mode if the register holds a non-pointer.
     pub fn reg_ptr(&self, reg: Reg) -> Addr {
         if self.m.check_shadows {
-            assert_eq!(self.m.regs.shadow(reg), ShadowTag::Ptr, "register {reg} is not a pointer");
+            assert_eq!(
+                self.m.regs.shadow(reg),
+                ShadowTag::Ptr,
+                "register {reg} is not a pointer"
+            );
         }
         Addr::new(self.m.regs.word(reg) as u32)
     }
@@ -287,7 +297,11 @@ impl Vm {
     /// Panics if more than [`MAX_RECORD_FIELDS`] fields are given, or if
     /// the heap budget is exhausted even after collection.
     pub fn alloc_record(&mut self, site: SiteId, fields: &[Value]) -> Addr {
-        assert!(fields.len() <= MAX_RECORD_FIELDS, "record of {} fields", fields.len());
+        assert!(
+            fields.len() <= MAX_RECORD_FIELDS,
+            "record of {} fields",
+            fields.len()
+        );
         let mut mask = 0u32;
         self.m.alloc_buf.clear();
         self.m.alloc_buf_ptr_mask = 0;
@@ -298,7 +312,11 @@ impl Vm {
             }
             self.m.alloc_buf.push(v.to_word());
         }
-        let shape = AllocShape::Record { site, len: fields.len(), mask };
+        let shape = AllocShape::Record {
+            site,
+            len: fields.len(),
+            mask,
+        };
         self.pre_alloc(&shape);
         self.m.stats.record_bytes += shape.size_bytes() as u64;
         self.gc.alloc(&mut self.m, shape)
@@ -415,7 +433,8 @@ impl Vm {
             self.m.barrier.record(obj, object::field_addr(obj, i));
         }
         self.m.stats.pointer_updates += 1;
-        self.m.charge(self.m.cost.heap_access + self.m.cost.barrier_record);
+        self.m
+            .charge(self.m.cost.heap_access + self.m.cost.barrier_record);
         object::set_field(self.gc.memory_mut(), obj, i, u64::from(value.raw()));
     }
 
@@ -488,7 +507,9 @@ impl Vm {
             }
         }
         self.m.charge(cost);
-        RaiseOutcome::Caught { handler_depth: target }
+        RaiseOutcome::Caught {
+            handler_depth: target,
+        }
     }
 
     // ----- collection control ---------------------------------------------------

@@ -21,7 +21,11 @@ impl BumpCollector {
     fn new() -> BumpCollector {
         let mut mem = Memory::with_capacity_words(1 << 20);
         let space = Space::new(mem.reserve((1 << 20) - 16).expect("reserve"));
-        BumpCollector { mem, space, stats: GcStats::default() }
+        BumpCollector {
+            mem,
+            space,
+            stats: GcStats::default(),
+        }
     }
 }
 
@@ -39,7 +43,10 @@ impl Collector for BumpCollector {
     }
 
     fn alloc(&mut self, m: &mut MutatorState, shape: AllocShape) -> Addr {
-        let addr = self.space.alloc(shape.size_words()).expect("bump space exhausted");
+        let addr = self
+            .space
+            .alloc(shape.size_words())
+            .expect("bump space exhausted");
         match shape {
             AllocShape::Record { site, len, mask } => {
                 let h = tilgc_mem::Header::record(len, mask, site).expect("valid");
@@ -83,7 +90,9 @@ fn callee_save_spills_at_push_and_restores_at_pop() {
     let mut vm = vm();
     let site = vm.site("t::x");
     let callee = vm.register_frame(
-        FrameDesc::new("callee").slot(Trace::CalleeSave(Reg::new(9))).def_pointer(Reg::new(9)),
+        FrameDesc::new("callee")
+            .slot(Trace::CalleeSave(Reg::new(9)))
+            .def_pointer(Reg::new(9)),
     );
     // The caller leaves a pointer in $9...
     let obj = vm.alloc_record(site, &[Value::Int(5)]);
@@ -101,7 +110,11 @@ fn callee_save_spills_at_push_and_restores_at_pop() {
 #[test]
 fn pointer_slots_start_as_null_pointers() {
     let mut vm = vm();
-    let d = vm.register_frame(FrameDesc::new("f").slot(Trace::Pointer).slot(Trace::NonPointer));
+    let d = vm.register_frame(
+        FrameDesc::new("f")
+            .slot(Trace::Pointer)
+            .slot(Trace::NonPointer),
+    );
     vm.push_frame(d);
     assert!(vm.slot_ptr(0).is_null());
     assert_eq!(vm.mutator().stack.top().shadow(0), ShadowTag::Ptr);
@@ -205,5 +218,8 @@ fn client_cycles_accumulate_per_operation() {
     let d = vm.register_frame(FrameDesc::new("f").slot(Trace::NonPointer));
     vm.push_frame(d);
     vm.pop_frame();
-    assert!(vm.mutator_stats().client_cycles > mid, "frame ops charge client cycles");
+    assert!(
+        vm.mutator_stats().client_cycles > mid,
+        "frame ops charge client cycles"
+    );
 }

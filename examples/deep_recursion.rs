@@ -38,7 +38,9 @@ fn recurse(vm: &mut Vm, frame: DescId, site: SiteId, depth: usize) -> i64 {
 }
 
 fn run(kind: CollectorKind) {
-    let config = GcConfig::new().heap_budget_bytes(4 << 20).nursery_bytes(8 << 10);
+    let config = GcConfig::new()
+        .heap_budget_bytes(4 << 20)
+        .nursery_bytes(8 << 10);
     let mut vm = build_vm(kind, &config);
     let frame = vm.register_frame(FrameDesc::new("deep::level").slot(Trace::Pointer));
     let site = vm.site("deep::cell");

@@ -25,7 +25,9 @@ fn grow(vm: &mut Vm, frame: DescId, site: SiteId, levels: usize, tag: i64) {
 }
 
 fn main() {
-    let config = GcConfig::new().heap_budget_bytes(2 << 20).nursery_bytes(8 << 10);
+    let config = GcConfig::new()
+        .heap_budget_bytes(2 << 20)
+        .nursery_bytes(8 << 10);
     let mut vm = build_vm(CollectorKind::GenerationalStack, &config);
     let frame = vm.register_frame(FrameDesc::new("exn::level").slot(Trace::Pointer));
     let site = vm.site("exn::cell");

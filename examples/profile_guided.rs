@@ -28,8 +28,14 @@ fn main() {
     let profile = vm.take_profile().expect("profiling enabled");
 
     // --- 2. the report ---
-    let opts = ReportOptions { show_names: true, ..Default::default() };
-    println!("{}", render_report(bench.name(), &profile, &vm.mutator().sites, &opts));
+    let opts = ReportOptions {
+        show_names: true,
+        ..Default::default()
+    };
+    println!(
+        "{}",
+        render_report(bench.name(), &profile, &vm.mutator().sites, &opts)
+    );
 
     // --- 3. the policy ---
     let policy = derive_policy(&profile, &PolicyOptions::default());
@@ -41,7 +47,9 @@ fn main() {
     );
 
     // --- 4. before/after ---
-    let base_config = GcConfig::new().heap_budget_bytes(16 << 20).nursery_bytes(16 << 10);
+    let base_config = GcConfig::new()
+        .heap_budget_bytes(16 << 20)
+        .nursery_bytes(16 << 10);
     let mut base_vm = build_vm(CollectorKind::GenerationalStack, &base_config);
     let base_checksum = bench.run(&mut base_vm, 1);
     assert_eq!(base_checksum, checksum, "profiling must not change results");

@@ -11,13 +11,17 @@ use tilgc::runtime::{FrameDesc, Trace, Value};
 fn main() {
     // A generational collector with stack markers: 1 MB heap budget,
     // 16 KB nursery (so collections actually happen in this small demo).
-    let config = GcConfig::new().heap_budget_bytes(1 << 20).nursery_bytes(16 << 10);
+    let config = GcConfig::new()
+        .heap_budget_bytes(1 << 20)
+        .nursery_bytes(16 << 10);
     let mut vm = build_vm(CollectorKind::GenerationalStack, &config);
 
     // Compiled code would come with trace tables; here we declare one
     // frame layout by hand: slot 0 holds a pointer, slot 1 an integer.
     let frame = vm.register_frame(
-        FrameDesc::new("quickstart::main").slot(Trace::Pointer).slot(Trace::NonPointer),
+        FrameDesc::new("quickstart::main")
+            .slot(Trace::Pointer)
+            .slot(Trace::NonPointer),
     );
     let cell_site = vm.site("quickstart::cell");
 
@@ -50,7 +54,10 @@ fn main() {
     let m = vm.mutator_stats();
     println!("list sum                 : {sum}");
     println!("bytes allocated          : {}", m.alloc_bytes);
-    println!("collections              : {} ({} major)", gc.collections, gc.major_collections);
+    println!(
+        "collections              : {} ({} major)",
+        gc.collections, gc.major_collections
+    );
     println!("bytes copied             : {}", gc.copied_bytes);
     println!("max live after a GC      : {}", gc.max_live_bytes);
     println!(

@@ -1,0 +1,169 @@
+//! Cost-model invariance: the simulated `GcStats` counters for every
+//! benchmark × collector configuration must be bit-for-bit stable.
+//!
+//! The golden file was captured before the batched-kernel rewrite of the
+//! evacuation, stack-scan, and SSB hot paths. Those kernels may only
+//! change how fast the *host* executes a collection — every simulated
+//! counter (words copied, words scanned, frames decoded, simulated
+//! cycles) must stay identical. Any future perf work that silently
+//! changes simulated results fails this test.
+//!
+//! Regenerate the golden (only when a deliberate semantic change is
+//! intended) with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test cost_invariance
+//! ```
+
+use std::fmt::Write as _;
+
+use tilgc_core::{build_vm, CollectorKind, GcConfig};
+use tilgc_programs::Benchmark;
+use tilgc_runtime::GcStats;
+
+/// The paper's largest memory-budget multiple (k = 4 of the k sweep).
+const K: f64 = 4.0;
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/cost_invariance.txt")
+}
+
+/// The experiments' nursery rule: a third of the heap, capped at the
+/// scaled 32 KB cache bound (mirrors `experiments::harness`).
+fn nursery_for_budget(budget: usize) -> usize {
+    (32 << 10).min(budget / 3).max(4 << 10)
+}
+
+fn config_with_budget(budget: usize) -> GcConfig {
+    GcConfig::new()
+        .heap_budget_bytes(budget)
+        .nursery_bytes(nursery_for_budget(budget))
+        .large_object_bytes(4 << 10)
+}
+
+fn run(bench: Benchmark, kind: CollectorKind, config: &GcConfig) -> (u64, GcStats) {
+    let mut vm = build_vm(kind, config);
+    vm.mutator_mut().check_shadows = false;
+    let checksum = bench.run(&mut vm, 1);
+    vm.finish();
+    (checksum, *vm.gc_stats())
+}
+
+/// Like [`run`], but `None` on out-of-memory — the calibration samples
+/// live size only at semispace collection points, so a k·Min budget can
+/// genuinely undershoot a peak (the experiments harness grows the budget
+/// by 25% steps for the same reason).
+fn run_or_oom(bench: Benchmark, kind: CollectorKind, config: &GcConfig) -> Option<(u64, GcStats)> {
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {})); // silence the expected OOM panic
+    let out =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(bench, kind, config))).ok();
+    std::panic::set_hook(prev_hook);
+    out
+}
+
+/// Max live bytes measured by a generous semispace run (every semispace
+/// collection computes the exact live set).
+fn max_live_bytes(bench: Benchmark) -> u64 {
+    let config = config_with_budget(64 << 20);
+    let (_, gc) = run(bench, CollectorKind::Semispace, &config);
+    gc.max_live_bytes.max(8 << 10)
+}
+
+fn pretenure_config(bench: Benchmark, budget: usize) -> GcConfig {
+    let profiled = config_with_budget(192 << 20).profiling(true);
+    let mut vm = build_vm(CollectorKind::GenerationalStack, &profiled);
+    vm.mutator_mut().check_shadows = false;
+    bench.run(&mut vm, 1);
+    vm.finish();
+    let profile = vm.take_profile().expect("profiling enabled");
+    let policy = tilgc_profile::derive_policy(&profile, &tilgc_profile::PolicyOptions::default());
+    config_with_budget(budget).pretenure(policy)
+}
+
+/// One stable line per run: every deterministic `GcStats` counter plus
+/// the program checksum. The wall-clock fields (`*_wall_ns`) are host
+/// noise and deliberately excluded.
+fn stats_line(bench: Benchmark, kind: CollectorKind, checksum: u64, g: &GcStats) -> String {
+    let mut s = String::new();
+    write!(
+        s,
+        "{}/{}: checksum={checksum:#018x} collections={} major={} copied_bytes={} \
+         scanned_words={} frames_scanned={} frames_reused={} depth_at_gc_sum={} \
+         slots_scanned={} roots_found={} barrier_entries={} markers_placed={} \
+         pretenured_scanned_words={} pretenured_bytes={} max_live_bytes={} \
+         last_live_bytes={} stack_cycles={} copy_cycles={} other_cycles={}",
+        bench.name(),
+        kind.label(),
+        g.collections,
+        g.major_collections,
+        g.copied_bytes,
+        g.scanned_words,
+        g.frames_scanned,
+        g.frames_reused,
+        g.depth_at_gc_sum,
+        g.slots_scanned,
+        g.roots_found,
+        g.barrier_entries,
+        g.markers_placed,
+        g.pretenured_scanned_words,
+        g.pretenured_bytes,
+        g.max_live_bytes,
+        g.last_live_bytes,
+        g.stack_cycles,
+        g.copy_cycles,
+        g.other_cycles,
+    )
+    .unwrap();
+    s
+}
+
+#[test]
+fn gc_stats_match_golden() {
+    let mut lines = Vec::new();
+    for bench in Benchmark::ALL {
+        let min = 2 * max_live_bytes(bench);
+        let budget = ((K * min as f64) as usize).max(48 << 10);
+        for kind in CollectorKind::ALL {
+            let mut budget = budget;
+            let (checksum, gc) = loop {
+                let config = match kind {
+                    CollectorKind::GenerationalStackPretenure => pretenure_config(bench, budget),
+                    _ => config_with_budget(budget),
+                };
+                if let Some(out) = run_or_oom(bench, kind, &config) {
+                    break out;
+                }
+                budget += budget / 4;
+            };
+            lines.push(stats_line(bench, kind, checksum, &gc));
+        }
+    }
+    let actual = lines.join("\n") + "\n";
+
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run UPDATE_GOLDEN=1 cargo test --test cost_invariance",
+            path.display()
+        )
+    });
+    if actual != golden {
+        let mismatches: Vec<String> = actual
+            .lines()
+            .zip(golden.lines())
+            .filter(|(a, g)| a != g)
+            .map(|(a, g)| format!("  actual: {a}\n  golden: {g}"))
+            .collect();
+        panic!(
+            "simulated GcStats diverged from golden ({} line(s)):\n{}",
+            mismatches.len(),
+            mismatches.join("\n")
+        );
+    }
+}

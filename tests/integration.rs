@@ -79,9 +79,12 @@ fn deep_stack_benchmarks_agree_across_collectors() {
 #[test]
 fn pretenuring_is_transparent_for_table6_programs() {
     big_stack(|| {
-        for bench in
-            [Benchmark::KnuthBendix, Benchmark::Lexgen, Benchmark::Nqueen, Benchmark::Simple]
-        {
+        for bench in [
+            Benchmark::KnuthBendix,
+            Benchmark::Lexgen,
+            Benchmark::Nqueen,
+            Benchmark::Simple,
+        ] {
             // Profile.
             let config = small_config().profiling(true);
             let mut vm = build_vm(CollectorKind::GenerationalStack, &config);
@@ -96,7 +99,12 @@ fn pretenuring_is_transparent_for_table6_programs() {
             let mut vm = build_vm(CollectorKind::GenerationalStackPretenure, &config);
             let got = bench.run(&mut vm, 1);
             verify_vm(&vm);
-            assert_eq!(got, expected, "pretenuring changed {}'s result", bench.name());
+            assert_eq!(
+                got,
+                expected,
+                "pretenuring changed {}'s result",
+                bench.name()
+            );
         }
     });
 }
@@ -122,12 +130,24 @@ fn table2_shape_claims_hold() {
 
         // The deep-stack trio really is deep; Checksum really is shallow.
         let (_, color_stack, _) = run(Benchmark::Color);
-        assert!(color_stack.max_depth > 200, "color depth {}", color_stack.max_depth);
+        assert!(
+            color_stack.max_depth > 200,
+            "color depth {}",
+            color_stack.max_depth
+        );
         let (_, kb_stack, kb_gc) = run(Benchmark::KnuthBendix);
         assert!(kb_stack.max_depth > 1000, "kb depth {}", kb_stack.max_depth);
-        assert!(kb_gc.avg_depth_at_gc() > 100.0, "kb avg depth {}", kb_gc.avg_depth_at_gc());
+        assert!(
+            kb_gc.avg_depth_at_gc() > 100.0,
+            "kb avg depth {}",
+            kb_gc.avg_depth_at_gc()
+        );
         let (_, chk_stack, _) = run(Benchmark::Checksum);
-        assert!(chk_stack.max_depth <= 5, "checksum depth {}", chk_stack.max_depth);
+        assert!(
+            chk_stack.max_depth <= 5,
+            "checksum depth {}",
+            chk_stack.max_depth
+        );
 
         // FFT is array-dominated; Checksum is record-dominated.
         let (fft, _, _) = run(Benchmark::Fft);

@@ -14,7 +14,12 @@ use tilgc::runtime::{FrameDesc, RaiseOutcome, Trace, Value};
 enum Op {
     /// Allocate a 4-field record (fields 0–1 pointers seeded from slots,
     /// fields 2–3 integers); store it in a slot of the top frame.
-    AllocRecord { dst: u8, src_a: u8, src_b: u8, tag: i8 },
+    AllocRecord {
+        dst: u8,
+        src_a: u8,
+        src_b: u8,
+        tag: i8,
+    },
     /// Allocate a 4-element pointer array initialized from a slot.
     AllocArray { dst: u8, init: u8 },
     /// Allocate a raw byte array and stamp one byte.
@@ -74,7 +79,12 @@ fn interpret(kind: CollectorKind, config: &GcConfig, ops: &[Op]) -> Vec<u64> {
     let slot = |i: u8| (i as usize) % SLOTS;
     for op in ops {
         match *op {
-            Op::AllocRecord { dst, src_a, src_b, tag } => {
+            Op::AllocRecord {
+                dst,
+                src_a,
+                src_b,
+                tag,
+            } => {
                 let a = vm.slot_ptr(slot(src_a));
                 let b = vm.slot_ptr(slot(src_b));
                 let rec = vm.alloc_record(
