@@ -9,6 +9,10 @@
 //! forwards nothing and can be repeated for timing — and both variants
 //! perform the same simulated-cost bookkeeping, so the wall-clock delta
 //! is purely the kernel difference.
+//!
+//! The evacuation rig drives `tilgc-core`'s `Evacuator` directly — the
+//! shared tracing driver underneath every plan — so the numbers here
+//! measure the hot loop all three collector plans execute.
 
 use tilgc_core::roots::{scan_stack, scan_stack_reference};
 use tilgc_core::{Evacuator, MarkerPolicy};

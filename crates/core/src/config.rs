@@ -1,4 +1,12 @@
 //! Collector configuration.
+//!
+//! A [`GcConfig`] is the input to the plan constructors
+//! ([`SemispacePlan::new`](crate::SemispacePlan::new),
+//! [`GenerationalPlan::new`](crate::GenerationalPlan::new),
+//! [`PretenuringPlan::new`](crate::PretenuringPlan::new)) and to the
+//! [`build_collector`](crate::build_collector) convenience wrapper,
+//! which adjusts the marker/pretenure fields per
+//! [`CollectorKind`](crate::CollectorKind) before delegating to them.
 
 use std::collections::BTreeSet;
 

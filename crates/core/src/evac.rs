@@ -1,17 +1,56 @@
-//! The copying engine: Cheney's algorithm (1970), shared by the semispace
-//! and generational collectors.
+//! The shared tracing driver: a work-queue transitive closure over the
+//! object graph, used by every [`Plan`](crate::Plan).
 //!
-//! An [`Evacuator`] is configured with the *from* ranges being vacated and
-//! the *to* space receiving survivors. Forwarding a pointer copies the
-//! object on first contact and installs a forwarding header; `drain` runs
-//! the classic two-finger scan over to-space until no gray objects remain.
-//! Large objects are never copied — the evacuator marks them in the
-//! [`LargeObjectSpace`] and scans them in place.
+//! An [`Evacuator`] is one collection's driver state. The plan configures
+//! it with the *from* ranges being vacated, the *to* space receiving
+//! survivors, and (optionally) an aging survivor space and the mark-sweep
+//! large-object space — i.e. the plan's per-space
+//! [`CopySemantics`](crate::CopySemantics) assignment. The driver's gray
+//! set has two representations, matching the two families of semantics:
+//!
+//! * **Cheney scan cursors** for the moving spaces (`to` and the survivor
+//!   space): a freshly copied object *is* its own queue entry, scanned
+//!   when the cursor reaches it (the classic two-finger scan);
+//! * an explicit [`ObjectQueue`] for objects traced **without moving** —
+//!   marked large objects, and anything a plan feeds through
+//!   [`scan_in_place`](Evacuator::scan_in_place) recursively discovers.
+//!
+//! [`drain`](Evacuator::drain) interleaves the two until nothing gray
+//! remains. Root feeding is shared too:
+//! [`forward_roots`](Evacuator::forward_roots) relocates every root
+//! location a stack scan produced and charges the paper's per-root costs,
+//! identically for every plan.
 
 use tilgc_mem::{object, Addr, Header, Memory, ObjectKind, Space, SpaceRange, MAX_RECORD_FIELDS};
-use tilgc_runtime::{CostModel, GcStats, HeapProfile};
+use tilgc_runtime::{CostModel, GcStats, HeapProfile, MutatorState};
 
 use crate::los::LargeObjectSpace;
+use crate::roots::{read_root, write_root, RootLoc};
+
+/// The explicit half of the driver's gray set: objects that will be
+/// traced in place (large objects, pretenured regions) rather than
+/// discovered by a Cheney scan cursor.
+#[derive(Debug, Default)]
+pub struct ObjectQueue {
+    pending: Vec<Addr>,
+}
+
+impl ObjectQueue {
+    /// Enqueues a gray object for an in-place field scan.
+    pub fn push(&mut self, addr: Addr) {
+        self.pending.push(addr);
+    }
+
+    /// Takes the next gray object, LIFO.
+    pub fn pop(&mut self) -> Option<Addr> {
+        self.pending.pop()
+    }
+
+    /// Whether any gray objects remain queued.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
 
 /// In debug builds, vacated spaces are filled with this pattern so that a
 /// stale pointer dereference fails loudly instead of reading garbage.
@@ -41,7 +80,7 @@ pub struct Evacuator<'a> {
     survivor: Option<&'a mut Space>,
     survivor_scan: Addr,
     tenure_age: u8,
-    los_queue: Vec<Addr>,
+    queue: ObjectQueue,
     /// Old-generation objects observed (during this collection) to hold
     /// a reference into the survivor space. With a tenure threshold,
     /// survivors move again at the next minor collection, so these
@@ -100,7 +139,7 @@ impl<'a> Evacuator<'a> {
             survivor: None,
             survivor_scan: Addr::NULL,
             tenure_age: 0,
-            los_queue: Vec::new(),
+            queue: ObjectQueue::default(),
             young_owner_refs: Vec::new(),
             young_field_locs: Vec::new(),
         }
@@ -120,11 +159,23 @@ impl<'a> Evacuator<'a> {
     ///
     /// The common cases — one from-range (minor collections), or several
     /// contiguous ones — are decided by a single hull comparison; only a
-    /// gappy multi-range hull falls back to the per-range scan.
+    /// gappy multi-range hull falls back to the per-range scan. Debug
+    /// builds re-check every answer against the per-range truth, so a
+    /// space layout that breaks the hull's tiling assumption fails loudly
+    /// instead of silently over-approximating membership.
     #[inline]
     pub fn in_from_space(&self, addr: Addr) -> bool {
-        self.from_hull.contains(addr)
-            && (self.from_exact || self.from.iter().any(|r| r.contains(addr)))
+        let fast = self.from_hull.contains(addr)
+            && (self.from_exact || self.from.iter().any(|r| r.contains(addr)));
+        debug_assert_eq!(
+            fast,
+            self.from.iter().any(|r| r.contains(addr)),
+            "bounding-hull membership diverged from per-range truth for {addr:?} \
+             (hull {:?}, exact {})",
+            self.from_hull,
+            self.from_exact,
+        );
+        fast
     }
 
     /// The pre-batching membership test: a linear scan over every
@@ -203,16 +254,43 @@ impl<'a> Evacuator<'a> {
             if let Some(los) = self.los.as_deref_mut() {
                 if los.contains(addr) && los.mark(addr) {
                     self.stats.copy_cycles += self.cost.large_object_visit;
-                    self.los_queue.push(addr);
+                    self.queue.push(addr);
                 }
             }
             addr
         }
     }
 
-    /// Runs the Cheney scan to completion: every copied object's pointer
-    /// fields are forwarded (possibly copying more), then queued large
-    /// objects are scanned, until nothing gray remains.
+    /// Forwards every root location, writing relocated values back, and
+    /// charges the paper's per-root costs (`root_check` for every root
+    /// examined, `root_process` for every root that moved). Returns the
+    /// number of relocated roots.
+    ///
+    /// This is the root-feeding step every plan shares: the roots come
+    /// from [`scan_stack`](crate::roots::scan_stack) (plus the cached
+    /// frames the plan chose to expand), and whether forwarding moves a
+    /// root depends only on the from-ranges this driver was configured
+    /// with.
+    pub fn forward_roots(&mut self, m: &mut MutatorState, roots: &[RootLoc]) -> u64 {
+        let mut relocated: u64 = 0;
+        for &loc in roots {
+            let word = read_root(m, loc);
+            let fwd = self.forward_word(word);
+            if fwd != word {
+                write_root(m, loc, fwd);
+                relocated += 1;
+            }
+        }
+        self.stats.roots_found += roots.len() as u64;
+        self.stats.stack_cycles +=
+            self.cost.root_check * roots.len() as u64 + self.cost.root_process * relocated;
+        relocated
+    }
+
+    /// Runs the transitive closure to completion: the Cheney cursors
+    /// (to-space, then the survivor space) scan copied objects where they
+    /// landed, the [`ObjectQueue`] yields the objects traced in place,
+    /// and the loop ends when all three are dry.
     pub fn drain(&mut self) {
         loop {
             if self.scan < self.to.frontier() {
@@ -235,7 +313,7 @@ impl<'a> Evacuator<'a> {
                 self.stats.scanned_words += h.size_words() as u64;
                 self.stats.copy_cycles += self.cost.scan_per_word * h.size_words() as u64;
                 self.scan_fields(addr, h);
-            } else if let Some(obj) = self.los_queue.pop() {
+            } else if let Some(obj) = self.queue.pop() {
                 let h = object::header(self.mem, obj);
                 self.stats.scanned_words += h.size_words() as u64;
                 self.stats.copy_cycles += self.cost.scan_per_word * h.size_words() as u64;
@@ -543,6 +621,24 @@ fn radix_sort_addrs(locs: &mut Vec<Addr>) {
         std::mem::swap(&mut buf, &mut scratch);
     }
     *locs = buf;
+}
+
+/// Reports every unforwarded (dead) object in `[start, upto)` to the
+/// profiler — the death sweep each plan runs over a vacated range before
+/// poisoning and resetting it. A no-op without a profiler.
+pub(crate) fn sweep_profile_deaths(
+    mem: &Memory,
+    profile: Option<&mut HeapProfile>,
+    start: Addr,
+    upto: Addr,
+) {
+    if let Some(p) = profile {
+        for entry in object::walk(mem, start, upto) {
+            if entry.forwarded.is_none() {
+                p.on_death(entry.addr);
+            }
+        }
+    }
 }
 
 /// Poisons a vacated range in debug builds so stale reads fail loudly.

@@ -1,14 +1,14 @@
-//! The generational collector (§2.1), optionally extended with
-//! generational stack collection (§5) and profile-driven pretenuring (§6).
+//! The generational plan (§2.1), optionally extended with generational
+//! stack collection (§5) and profile-driven pretenuring (§6).
 //!
-//! Two generations: a nursery bounded by the secondary cache size and a
-//! tenured generation managed as a pair of semispaces. Minor collections
-//! promote **all** nursery survivors immediately ("at each minor
-//! collection, we immediately promote all live objects from the nursery");
-//! major collections copy the tenured generation between its semispaces.
-//! Large arrays bypass the nursery into a mark-sweep
-//! [`LargeObjectSpace`]. Intergenerational stores are caught by the
-//! mutator's write barrier and filtered here at each collection.
+//! Two generations, each a [`CopySpace`]: a nursery bounded by the
+//! secondary cache size ([`CopySemantics::Promote`] — minor collections
+//! promote **all** nursery survivors immediately, "at each minor
+//! collection, we immediately promote all live objects from the
+//! nursery") and a tenured generation evacuated between its semispace
+//! halves at major collections. Large arrays bypass the nursery into the
+//! mark-sweep [`LargeObjectSpace`]. Intergenerational stores are caught
+//! by the mutator's write barrier and filtered here at each collection.
 //!
 //! With a [`MarkerPolicy`] enabled, stack scans reuse cached decodes for
 //! the unchanged stack prefix; because survivors are promoted immediately,
@@ -16,45 +16,35 @@
 //! everything they reference is already tenured. This is the mechanism
 //! behind the paper's 67–74 % GC-time reductions on deep-stack programs.
 //!
-//! With a [`PretenurePolicy`], allocations from designated sites go
-//! straight into the tenured generation; the freshly pretenured objects
-//! are *scanned in place* at the next collection ("this is a win over
-//! copying since copying objects is slower than only scanning them"),
-//! unless the §7.2 analysis marked their site no-scan.
+//! With a [`PretenuredRegion`] composed in (see
+//! [`PretenuringPlan`](crate::PretenuringPlan)), allocations from
+//! designated sites go straight into the tenured generation; the freshly
+//! pretenured objects are *scanned in place* at the next collection
+//! ("this is a win over copying since copying objects is slower than
+//! only scanning them"), unless the §7.2 analysis marked their site
+//! no-scan.
 
 use std::time::Instant;
 
-use tilgc_mem::{object, Addr, Memory, Space, SpaceRange};
-use tilgc_runtime::{
-    AllocShape, BarrierEntry, CollectReason, Collector, GcStats, HeapProfile, MutatorState,
-};
+use tilgc_mem::{Addr, Memory, Space, SpaceRange};
+use tilgc_runtime::{AllocShape, BarrierEntry, CollectReason, GcStats, HeapProfile, MutatorState};
 
 use crate::config::{GcConfig, MarkerPolicy, PretenurePolicy};
-use crate::evac::{poison_range, Evacuator};
-use crate::roots::{read_root, scan_stack, write_root, RootLoc, ScanCache};
+use crate::evac::{poison_range, sweep_profile_deaths, Evacuator};
+use crate::plan::Plan;
+use crate::roots::{append_cached_roots, scan_stack, ScanCache};
+use crate::space::{CopySemantics, CopySpace, PretenuredRegion};
 use crate::util::{alloc_in_space, materialize};
 use crate::LargeObjectSpace;
 
-/// Pretenuring state: the policy plus the regions allocated since the
-/// last collection that still need an in-place scan.
-#[derive(Debug, Default)]
-struct PretenureState {
-    policy: PretenurePolicy,
-    /// Pretenured objects awaiting their one in-place scan (no-scan sites
-    /// excluded at allocation time).
-    pending: Vec<Addr>,
-}
-
-/// The two-generation collector of §2.1.
-pub struct GenerationalCollector {
+/// The two-generation plan of §2.1.
+pub struct GenerationalPlan {
     mem: Memory,
-    /// The nursery system: with a zero tenure threshold only
-    /// `nursery[active_n]` is ever used (the paper's immediate-promotion
-    /// setup); with a §7.2 threshold the pair works as aging semispaces.
-    nursery: [Space; 2],
-    active_n: usize,
-    tenured: [Space; 2],
-    active_t: usize,
+    /// The nursery system: with a zero tenure threshold only the active
+    /// half is ever used (the paper's immediate-promotion setup); with a
+    /// §7.2 threshold the pair works as aging semispaces.
+    nursery: CopySpace,
+    tenured: CopySpace,
     los: Option<LargeObjectSpace>,
     budget_words: usize,
     nursery_words: usize,
@@ -67,7 +57,7 @@ pub struct GenerationalCollector {
     tenure_threshold: u8,
     marker_policy: MarkerPolicy,
     cache: Option<ScanCache>,
-    pretenure: Option<PretenureState>,
+    pretenured: Option<PretenuredRegion>,
     /// Oversized objects tenured at birth with no pretenure/LOS pending
     /// list to ride on; scanned in place at the next minor collection.
     oversized_pending: Vec<Addr>,
@@ -79,11 +69,10 @@ pub struct GenerationalCollector {
     /// §9 adaptive strategy: switch to semispace-style operation while
     /// tenured data keeps dying.
     adaptive_major: bool,
-    /// While set, the collector operates as a semispace collector:
-    /// allocation goes straight into the (large) tenured space and every
-    /// collection is a full collection — the regime §9 identifies as the
-    /// one where "a semispace collector can outperform a generational
-    /// collector".
+    /// While set, the plan operates as a semispace collector: allocation
+    /// goes straight into the (large) tenured space and every collection
+    /// is a full collection — the regime §9 identifies as the one where
+    /// "a semispace collector can outperform a generational collector".
     semispace_mode: bool,
     /// Reclaim ratio of the most recent major collection (1.0 = all
     /// tenured data died).
@@ -98,8 +87,8 @@ pub struct GenerationalCollector {
     stats: GcStats,
 }
 
-impl GenerationalCollector {
-    /// Creates a generational collector within `config.heap_budget_bytes`.
+impl GenerationalPlan {
+    /// Creates a generational plan within `config.heap_budget_bytes`.
     ///
     /// The nursery gets `config.nursery_bytes` (capped at a quarter of the
     /// budget); the rest is split between the two tenured semispaces and,
@@ -108,7 +97,7 @@ impl GenerationalCollector {
     /// # Panics
     ///
     /// Panics if the budget is too small for the requested nursery.
-    pub fn new(config: &GcConfig) -> GenerationalCollector {
+    pub fn new(config: &GcConfig) -> GenerationalPlan {
         let budget_words = config.heap_budget_words();
         let nursery_words = config.nursery_words().min(budget_words / 4).max(64);
         let tenured_phys = budget_words; // physical reservation; logical limits enforce budget
@@ -122,12 +111,10 @@ impl GenerationalCollector {
         let los = (config.large_object_bytes > 0).then(|| {
             LargeObjectSpace::new(mem.reserve(los_phys).expect("large-object reservation"))
         });
-        let mut c = GenerationalCollector {
+        let mut c = GenerationalPlan {
             mem,
-            nursery: [n0, n1],
-            active_n: 0,
-            tenured: [t0, t1],
-            active_t: 0,
+            nursery: CopySpace::new("nursery", CopySemantics::Promote, n0, n1),
+            tenured: CopySpace::new("tenured", CopySemantics::Evacuate, t0, t1),
             los,
             budget_words,
             nursery_words,
@@ -137,10 +124,7 @@ impl GenerationalCollector {
             tenure_threshold: config.tenure_threshold,
             marker_policy: config.marker_policy,
             cache: config.marker_policy.is_enabled().then(ScanCache::default),
-            pretenure: config.pretenure.clone().map(|policy| PretenureState {
-                policy,
-                pending: Vec::new(),
-            }),
+            pretenured: config.pretenure.clone().map(PretenuredRegion::new),
             oversized_pending: Vec::new(),
             young_refs: Vec::new(),
             young_locs: Vec::new(),
@@ -156,6 +140,11 @@ impl GenerationalCollector {
         c
     }
 
+    /// The pretenured-region site policy in force, if any.
+    pub fn pretenure_policy(&self) -> Option<&PretenurePolicy> {
+        self.pretenured.as_ref().map(|r| r.policy())
+    }
+
     /// The tenured budget per semispace, given current LOS usage.
     fn tenured_max_words(&self) -> usize {
         let los_used = self.los.as_ref().map_or(0, |l| l.used_words());
@@ -167,8 +156,7 @@ impl GenerationalCollector {
 
     fn apply_limits(&mut self, live_words: usize) {
         let max = self.tenured_max_words();
-        self.tenured[0].set_limit_words(max);
-        self.tenured[1].set_limit_words(max);
+        self.tenured.set_limit_words(max);
         let target = (live_words as f64 / self.tenured_target_liveness) as usize;
         self.major_threshold_words = target.clamp((2 * self.nursery_words).min(max), max);
     }
@@ -177,15 +165,15 @@ impl GenerationalCollector {
     /// past its liveness-target threshold, or could not absorb a full
     /// nursery of promotions.
     fn needs_major(&self) -> bool {
-        let t = &self.tenured[self.active_t];
-        let n = &self.nursery[self.active_n];
+        let t = self.tenured.active();
+        let n = self.nursery.active();
         t.used_words() + n.used_words() > self.major_threshold_words
             || t.free_words() < n.used_words()
     }
 
     /// The range all live tenured data occupies right now.
     fn tenured_live_range(&self) -> SpaceRange {
-        let t = &self.tenured[self.active_t];
+        let t = self.tenured.active();
         SpaceRange {
             start: t.start(),
             end: t.frontier(),
@@ -211,31 +199,17 @@ impl GenerationalCollector {
         // (their decode cost is still saved).
         let mut roots = outcome.new_roots;
         if self.tenure_threshold > 0 {
-            if let Some(cache) = &self.cache {
-                for (d, info) in cache.frames.iter().enumerate().take(outcome.reused_frames) {
-                    for &slot in info.ptr_slots.iter() {
-                        roots.push(RootLoc::Slot {
-                            depth: d as u32,
-                            slot,
-                        });
-                    }
-                }
-            }
+            append_cached_roots(self.cache.as_ref(), outcome.reused_frames, &mut roots);
         }
 
-        let nursery_range = self.nursery[self.active_n].range();
-        let nursery_frontier = self.nursery[self.active_n].frontier();
+        let nursery_range = self.nursery.active().range();
+        let nursery_frontier = self.nursery.active().frontier();
         let from_ranges = [nursery_range];
-        let (n_lo, n_hi) = self.nursery.split_at_mut(1);
-        let survivor_space = if self.active_n == 0 {
-            &mut n_hi[0]
-        } else {
-            &mut n_lo[0]
-        };
+        let survivor_space = self.nursery.inactive_mut();
         let mut evac = Evacuator::new(
             &mut self.mem,
             &from_ranges,
-            &mut self.tenured[self.active_t],
+            self.tenured.active_mut(),
             Some(nursery_range),
             None, // the LOS is old-generation: untouched by minor collections
             self.profile.as_mut(),
@@ -245,15 +219,7 @@ impl GenerationalCollector {
         if self.tenure_threshold > 0 {
             evac.set_survivor(survivor_space, self.tenure_threshold);
         }
-        let mut relocated: u64 = 0;
-        for &loc in &roots {
-            let word = read_root(m, loc);
-            let fwd = evac.forward_word(word);
-            if fwd != word {
-                write_root(m, loc, fwd);
-                relocated += 1;
-            }
-        }
+        evac.forward_roots(m, &roots);
         let stack_ns = stack_t0.elapsed().as_nanos() as u64;
 
         // --- copying (GC-copy) ---
@@ -285,14 +251,8 @@ impl GenerationalCollector {
         m.barrier = barrier;
         evac.forward_field_locs(&mut field_locs);
         // Freshly pretenured regions: scan in place instead of copying.
-        let pending = self
-            .pretenure
-            .as_mut()
-            .map(|p| std::mem::take(&mut p.pending));
-        let grouped = self
-            .pretenure
-            .as_ref()
-            .is_some_and(|p| p.policy.group_by_site);
+        let pending = self.pretenured.as_mut().map(|p| p.take_pending());
+        let grouped = self.pretenured.as_ref().is_some_and(|p| p.grouped());
         if let Some(pending) = pending {
             for addr in pending {
                 evac.scan_in_place(addr, grouped);
@@ -316,29 +276,25 @@ impl GenerationalCollector {
         self.young_locs = evac.take_young_field_locs();
         let copy_ns = copy_t0.elapsed().as_nanos() as u64;
 
-        self.stats.roots_found += roots.len() as u64;
-        self.stats.stack_cycles +=
-            m.cost.root_check * roots.len() as u64 + m.cost.root_process * relocated;
         self.stats.barrier_entries += barrier_entries;
         self.stats.other_cycles += m.cost.barrier_entry * barrier_entries;
 
-        if let Some(p) = self.profile.as_mut() {
-            for entry in object::walk(&self.mem, nursery_range.start, nursery_frontier) {
-                if entry.forwarded.is_none() {
-                    p.on_death(entry.addr);
-                }
-            }
-        }
+        sweep_profile_deaths(
+            &self.mem,
+            self.profile.as_mut(),
+            nursery_range.start,
+            nursery_frontier,
+        );
         poison_range(&mut self.mem, nursery_range, nursery_frontier);
-        self.nursery[self.active_n].reset();
+        self.nursery.active_mut().reset();
         if self.tenure_threshold > 0 {
             // Flip: allocation continues in the space now holding the
             // copied-back survivors.
-            self.active_n = 1 - self.active_n;
+            self.nursery.flip();
         }
 
-        let live_words = self.tenured[self.active_t].used_words()
-            + self.los.as_ref().map_or(0, |l| l.used_words());
+        let live_words =
+            self.tenured.active().used_words() + self.los.as_ref().map_or(0, |l| l.used_words());
         self.stats
             .note_live_bytes(tilgc_mem::words_to_bytes(live_words) as u64);
         self.stats.stack_wall_ns += stack_ns;
@@ -360,41 +316,23 @@ impl GenerationalCollector {
         // roots must be relocated too — but their decode cost is still
         // saved (§5: "it is still advantageous to have amortized the cost
         // of decoding the stack frames").
-        let mut roots: Vec<RootLoc> = outcome.new_roots;
-        if let Some(cache) = &self.cache {
-            for (d, info) in cache.frames.iter().enumerate().take(outcome.reused_frames) {
-                for &slot in info.ptr_slots.iter() {
-                    roots.push(RootLoc::Slot {
-                        depth: d as u32,
-                        slot,
-                    });
-                }
-            }
-        }
+        let mut roots = outcome.new_roots;
+        append_cached_roots(self.cache.as_ref(), outcome.reused_frames, &mut roots);
 
-        let nursery_range = self.nursery[self.active_n].range();
-        let nursery_frontier = self.nursery[self.active_n].frontier();
+        let nursery_range = self.nursery.active().range();
+        let nursery_frontier = self.nursery.active().frontier();
         debug_assert_eq!(
-            self.nursery[1 - self.active_n].used_words(),
+            self.nursery.inactive().used_words(),
             0,
             "the inactive nursery semispace is empty between collections"
         );
-        let old_t = self.active_t;
-        let new_t = 1 - old_t;
         let tenured_from = self.tenured_live_range();
         let from_ranges = [nursery_range, tenured_from];
         if let Some(l) = self.los.as_mut() {
             l.begin_marking();
             l.pending_scan.clear();
         }
-        let t_to = {
-            let (lo, hi) = self.tenured.split_at_mut(1);
-            if old_t == 0 {
-                &mut hi[0]
-            } else {
-                &mut lo[0]
-            }
-        };
+        let t_to = self.tenured.inactive_mut();
         t_to.set_limit_words(t_to.max_capacity_words());
         let mut evac = Evacuator::new(
             &mut self.mem,
@@ -406,15 +344,7 @@ impl GenerationalCollector {
             &mut self.stats,
             m.cost,
         );
-        let mut relocated: u64 = 0;
-        for &loc in &roots {
-            let word = read_root(m, loc);
-            let fwd = evac.forward_word(word);
-            if fwd != word {
-                write_root(m, loc, fwd);
-                relocated += 1;
-            }
-        }
+        evac.forward_roots(m, &roots);
         let stack_ns = stack_t0.elapsed().as_nanos() as u64;
 
         // --- copying ---
@@ -423,30 +353,27 @@ impl GenerationalCollector {
         m.barrier.drain(|_| {});
         // Pending pretenured/oversized objects are ordinary tenured
         // objects for a major collection: traced if reachable.
-        if let Some(p) = self.pretenure.as_mut() {
-            p.pending.clear();
+        if let Some(p) = self.pretenured.as_mut() {
+            p.clear_pending();
         }
         self.oversized_pending.clear();
         self.young_refs.clear();
         self.young_locs.clear();
         evac.drain();
         let copy_ns = copy_t0.elapsed().as_nanos() as u64;
-        self.stats.roots_found += roots.len() as u64;
-        self.stats.stack_cycles +=
-            m.cost.root_check * roots.len() as u64 + m.cost.root_process * relocated;
 
-        if let Some(p) = self.profile.as_mut() {
-            for entry in object::walk(&self.mem, nursery_range.start, nursery_frontier) {
-                if entry.forwarded.is_none() {
-                    p.on_death(entry.addr);
-                }
-            }
-            for entry in object::walk(&self.mem, tenured_from.start, tenured_from.end) {
-                if entry.forwarded.is_none() {
-                    p.on_death(entry.addr);
-                }
-            }
-        }
+        sweep_profile_deaths(
+            &self.mem,
+            self.profile.as_mut(),
+            nursery_range.start,
+            nursery_frontier,
+        );
+        sweep_profile_deaths(
+            &self.mem,
+            self.profile.as_mut(),
+            tenured_from.start,
+            tenured_from.end,
+        );
         if let Some(l) = self.los.as_mut() {
             let swept = l.sweep();
             if let Some(p) = self.profile.as_mut() {
@@ -457,13 +384,13 @@ impl GenerationalCollector {
         }
 
         poison_range(&mut self.mem, nursery_range, nursery_frontier);
-        self.nursery[self.active_n].reset();
+        self.nursery.active_mut().reset();
         poison_range(&mut self.mem, tenured_from, tenured_from.end);
-        self.tenured[old_t].reset();
-        self.active_t = new_t;
+        self.tenured.active_mut().reset();
+        self.tenured.flip();
 
         let tenured_before = tenured_from.end - tenured_from.start;
-        let tenured_after = self.tenured[new_t].used_words();
+        let tenured_after = self.tenured.active().used_words();
         self.last_major_reclaim = if tenured_before == 0 {
             0.0
         } else {
@@ -484,13 +411,12 @@ impl GenerationalCollector {
                 self.mode_age = 0;
             }
         }
-        let live_words =
-            self.tenured[new_t].used_words() + self.los.as_ref().map_or(0, |l| l.used_words());
+        let live_words = tenured_after + self.los.as_ref().map_or(0, |l| l.used_words());
         self.apply_limits(live_words);
         assert!(
-            self.tenured[new_t].used_words() <= self.tenured_max_words(),
+            self.tenured.active().used_words() <= self.tenured_max_words(),
             "out of memory: {} live tenured words exceed the {}-word budget share",
-            self.tenured[new_t].used_words(),
+            self.tenured.active().used_words(),
             self.tenured_max_words()
         );
         self.stats
@@ -510,7 +436,7 @@ impl GenerationalCollector {
     }
 }
 
-impl Collector for GenerationalCollector {
+impl Plan for GenerationalPlan {
     fn name(&self) -> &'static str {
         "generational"
     }
@@ -536,7 +462,7 @@ impl Collector for GenerationalCollector {
         let over_threshold = self.large_object_words > 0 && words >= self.large_object_words;
         if self.los.is_some()
             && is_array
-            && (over_threshold || words > self.nursery[self.active_n].capacity_words())
+            && (over_threshold || words > self.nursery.active().capacity_words())
         {
             let addr = match self.los.as_mut().expect("checked").alloc(words) {
                 Some(a) => a,
@@ -563,20 +489,19 @@ impl Collector for GenerationalCollector {
         }
 
         // Profile-driven pretenuring: straight to the tenured generation.
-        if let Some(p) = &self.pretenure {
-            if p.policy.should_pretenure(site) {
+        if let Some(p) = &self.pretenured {
+            if p.should_pretenure(site) {
                 m.charge(m.cost.pretenure_alloc_extra);
-                if !self.tenured[self.active_t].fits(words) {
+                if !self.tenured.active().fits(words) {
                     self.major(m);
                     assert!(
-                        self.tenured[self.active_t].fits(words),
+                        self.tenured.active().fits(words),
                         "out of memory pretenuring {words} words"
                     );
                 }
                 let buf = std::mem::take(&mut m.alloc_buf);
-                let addr =
-                    alloc_in_space(&mut self.mem, &mut self.tenured[self.active_t], shape, &buf)
-                        .expect("tenured space was checked to fit");
+                let addr = alloc_in_space(&mut self.mem, self.tenured.active_mut(), shape, &buf)
+                    .expect("tenured space was checked to fit");
                 m.alloc_buf = buf;
                 self.stats.pretenured_bytes += shape.size_bytes() as u64;
                 // §7.2: "some areas may require no scanning because they
@@ -588,10 +513,11 @@ impl Collector for GenerationalCollector {
                     AllocShape::PtrArray { .. } => false,
                     AllocShape::RawArray { .. } => true,
                 };
-                let p = self.pretenure.as_mut().expect("checked above");
-                if !pointer_free && !p.policy.is_no_scan(site) {
-                    p.pending.push(addr);
-                }
+                self.pretenured.as_mut().expect("checked above").note_alloc(
+                    addr,
+                    site,
+                    pointer_free,
+                );
                 if let Some(prof) = self.profile.as_mut() {
                     prof.on_alloc(addr, site, shape.size_bytes());
                 }
@@ -603,14 +529,13 @@ impl Collector for GenerationalCollector {
         // allocation arena; every collection is a full collection, so no
         // promotion copying and no region scans are needed.
         if self.semispace_mode {
-            if !self.tenured[self.active_t].fits(words) {
+            if !self.tenured.active().fits(words) {
                 self.major(m);
             }
-            if self.semispace_mode && self.tenured[self.active_t].fits(words) {
+            if self.semispace_mode && self.tenured.active().fits(words) {
                 let buf = std::mem::take(&mut m.alloc_buf);
-                let addr =
-                    alloc_in_space(&mut self.mem, &mut self.tenured[self.active_t], shape, &buf)
-                        .expect("checked to fit");
+                let addr = alloc_in_space(&mut self.mem, self.tenured.active_mut(), shape, &buf)
+                    .expect("checked to fit");
                 m.alloc_buf = buf;
                 if let Some(prof) = self.profile.as_mut() {
                     prof.on_alloc(addr, site, shape.size_bytes());
@@ -624,20 +549,20 @@ impl Collector for GenerationalCollector {
         // Objects too big for the nursery but with no large-object space
         // to go to (or non-array records) are tenured at birth, with the
         // same deferred in-place scan pretenured objects get.
-        if words > self.nursery[self.active_n].capacity_words() {
-            if !self.tenured[self.active_t].fits(words) {
+        if words > self.nursery.active().capacity_words() {
+            if !self.tenured.active().fits(words) {
                 self.major(m);
                 assert!(
-                    self.tenured[self.active_t].fits(words),
+                    self.tenured.active().fits(words),
                     "out of memory: oversized object of {words} words"
                 );
             }
             let buf = std::mem::take(&mut m.alloc_buf);
-            let addr = alloc_in_space(&mut self.mem, &mut self.tenured[self.active_t], shape, &buf)
+            let addr = alloc_in_space(&mut self.mem, self.tenured.active_mut(), shape, &buf)
                 .expect("tenured space was checked to fit");
             m.alloc_buf = buf;
-            match self.pretenure.as_mut() {
-                Some(p) => p.pending.push(addr),
+            match self.pretenured.as_mut() {
+                Some(p) => p.defer_scan(addr),
                 None => {
                     // No pretenure machinery: reuse the LOS pending list
                     // if present, else fall back to an immediate barrier
@@ -656,21 +581,21 @@ impl Collector for GenerationalCollector {
         }
 
         // Ordinary nursery allocation.
-        if !self.nursery[self.active_n].fits(words) {
+        if !self.nursery.active().fits(words) {
             self.collect(m, CollectReason::AllocFailure);
-            if !self.nursery[self.active_n].fits(words) {
+            if !self.nursery.active().fits(words) {
                 // Accumulated copied-back survivors can crowd the nursery
                 // system; a major collection promotes them all.
                 self.major(m);
             }
             assert!(
-                self.nursery[self.active_n].fits(words),
+                self.nursery.active().fits(words),
                 "out of memory: {words} words do not fit an empty {}-word nursery",
-                self.nursery[self.active_n].capacity_words()
+                self.nursery.active().capacity_words()
             );
         }
         let buf = std::mem::take(&mut m.alloc_buf);
-        let addr = alloc_in_space(&mut self.mem, &mut self.nursery[self.active_n], shape, &buf)
+        let addr = alloc_in_space(&mut self.mem, self.nursery.active_mut(), shape, &buf)
             .expect("nursery was checked to fit");
         m.alloc_buf = buf;
         if let Some(prof) = self.profile.as_mut() {

@@ -3,18 +3,28 @@
 //!
 //! This crate is the paper's contribution proper, built on the
 //! [`tilgc-mem`](tilgc_mem) and [`tilgc-runtime`](tilgc_runtime)
-//! substrates:
+//! substrates, and is organized in three layers:
 //!
-//! * [`SemispaceCollector`] — the Fenichel–Yochelson/Cheney baseline with
-//!   target-liveness resizing (r = 0.10);
-//! * [`GenerationalCollector`] — nursery + tenured generation with
-//!   immediate promotion, sequential-store-buffer filtering, and a
-//!   mark-sweep [`LargeObjectSpace`] (§2.1);
-//! * **generational stack collection** (§5): scan caching in
-//!   [`roots`], driven by stack markers placed per [`MarkerPolicy`];
-//! * **profile-driven pretenuring** (§6): site-directed tenured
-//!   allocation with in-place region scanning, per [`PretenurePolicy`],
-//!   including the §7.2 no-scan and site-grouping extensions.
+//! * **spaces** ([`space`] module) — the policy components:
+//!   [`CopySpace`] semispace pairs, the mark-sweep [`LargeObjectSpace`],
+//!   and the scanned-in-place [`PretenuredRegion`] (§6), each carrying
+//!   its [`CopySemantics`];
+//! * **plans** ([`Plan`]) — the compositions the paper compares:
+//!   [`SemispacePlan`] (the Fenichel–Yochelson/Cheney baseline with
+//!   target-liveness resizing, r = 0.10), [`GenerationalPlan`]
+//!   (nursery + tenured generation with immediate promotion and
+//!   sequential-store-buffer filtering, §2.1), and [`PretenuringPlan`]
+//!   (§6 site-directed tenured allocation). Plans reach the runtime
+//!   through the [`PlanCollector`] adapter;
+//! * **the tracing driver** ([`Evacuator`]) — one work-queue transitive
+//!   closure (Cheney scan cursors + an [`ObjectQueue`] for objects traced
+//!   in place) that every plan configures and reuses.
+//!
+//! Cross-cutting the layers: **generational stack collection** (§5) —
+//! scan caching in [`roots`], driven by stack markers placed per
+//! [`MarkerPolicy`] — and **profile-driven pretenuring** (§6) per
+//! [`PretenurePolicy`], including the §7.2 no-scan and site-grouping
+//! extensions.
 //!
 //! # Quick start
 //!
@@ -36,17 +46,21 @@ mod config;
 mod evac;
 mod generational;
 mod los;
+mod plan;
 pub mod roots;
 mod semispace;
+pub mod space;
 mod util;
 pub mod verify;
 
 pub use config::{GcConfig, MarkerPolicy, PretenurePolicy};
-pub use evac::{Evacuator, POISON};
-pub use generational::GenerationalCollector;
+pub use evac::{Evacuator, ObjectQueue, POISON};
+pub use generational::GenerationalPlan;
 pub use los::LargeObjectSpace;
+pub use plan::{Plan, PlanCollector, PretenuringPlan};
 pub use roots::{FrameScanInfo, RootLoc, ScanCache, ScanOutcome};
-pub use semispace::SemispaceCollector;
+pub use semispace::SemispacePlan;
+pub use space::{CopySemantics, CopySpace, PretenuredRegion, SpacePolicy};
 pub use verify::{check_graph, graph_snapshot, verify_vm, vm_snapshot, LiveReport};
 
 use tilgc_runtime::{Collector, MutatorState, Vm, WriteBarrier};
@@ -88,31 +102,32 @@ impl CollectorKind {
 
 /// Builds a collector of the given kind, adjusting `config` to the kind's
 /// needs (marker policy on for the stack-collection variants; pretenuring
-/// dropped for the kinds that do not use it).
+/// dropped for the kinds that do not use it) and wrapping the plan in the
+/// [`PlanCollector`] adapter.
 pub fn build_collector(kind: CollectorKind, config: &GcConfig) -> Box<dyn Collector> {
     let mut config = config.clone();
     match kind {
         CollectorKind::Semispace => {
             config.pretenure = None;
-            Box::new(SemispaceCollector::new(&config))
+            SemispacePlan::new(&config).into_collector()
         }
         CollectorKind::Generational => {
             config.marker_policy = MarkerPolicy::Disabled;
             config.pretenure = None;
-            Box::new(GenerationalCollector::new(&config))
+            GenerationalPlan::new(&config).into_collector()
         }
         CollectorKind::GenerationalStack => {
             if !config.marker_policy.is_enabled() {
                 config.marker_policy = MarkerPolicy::PAPER;
             }
             config.pretenure = None;
-            Box::new(GenerationalCollector::new(&config))
+            GenerationalPlan::new(&config).into_collector()
         }
         CollectorKind::GenerationalStackPretenure => {
             if !config.marker_policy.is_enabled() {
                 config.marker_policy = MarkerPolicy::PAPER;
             }
-            Box::new(GenerationalCollector::new(&config))
+            PretenuringPlan::new(&config).into_collector()
         }
     }
 }
@@ -158,5 +173,14 @@ mod tests {
         }
         assert!(vm.gc_stats().collections > 0);
         assert_eq!(vm.gc_stats().markers_placed, 0);
+    }
+
+    #[test]
+    fn plan_adapter_exposes_the_plan() {
+        let config = GcConfig::new().heap_budget_bytes(1 << 20);
+        let adapter = PlanCollector::new(SemispacePlan::new(&config));
+        assert_eq!(Plan::name(adapter.plan()), "semispace");
+        let plan = adapter.into_plan();
+        assert!(plan.semispace_words() > 0);
     }
 }

@@ -8,6 +8,12 @@
 //!
 //! Blocks are handed out first-fit from a free list with coalescing of
 //! adjacent frees; large objects are few, so the lists stay short.
+//!
+//! In the space/plan layering this is the
+//! [`CopySemantics::MarkSweep`](crate::CopySemantics::MarkSweep) policy:
+//! the generational plans route oversized allocations here, and the
+//! tracing driver marks reached large objects and queues them on its
+//! [`ObjectQueue`](crate::ObjectQueue) to be scanned without moving.
 
 use std::collections::BTreeMap;
 

@@ -1,0 +1,206 @@
+//! The plan layer: a [`Plan`] composes space policies, maps allocation
+//! sites to spaces, and assigns each space its
+//! [`CopySemantics`](crate::CopySemantics); the shared tracing driver
+//! ([`Evacuator`](crate::Evacuator)) executes whatever the plan
+//! configured.
+//!
+//! Three plans reproduce the paper's collector configurations:
+//!
+//! * [`SemispacePlan`](crate::SemispacePlan) — one
+//!   [`CopySpace`](crate::CopySpace), evacuated wholesale (§2.1
+//!   baseline);
+//! * [`GenerationalPlan`](crate::GenerationalPlan) — nursery
+//!   `CopySpace` (promote), tenured `CopySpace` (evacuate at majors),
+//!   mark-sweep [`LargeObjectSpace`](crate::LargeObjectSpace), and
+//!   optionally a [`PretenuredRegion`](crate::PretenuredRegion)
+//!   (scan-in-place);
+//! * [`PretenuringPlan`] — the generational plan with the §6
+//!   pretenured-region policy as a first-class component.
+//!
+//! `tilgc-runtime`'s [`Collector`] trait is the mutator-facing seam; the
+//! [`PlanCollector`] adapter implements it by pure delegation, so a plan
+//! never re-implements mutator plumbing. (An adapter struct rather than a
+//! blanket impl: `Collector` is a foreign trait, so a blanket
+//! `impl<P: Plan> Collector for P` would violate coherence.)
+
+use tilgc_mem::{Addr, Memory};
+use tilgc_runtime::{AllocShape, CollectReason, Collector, GcStats, HeapProfile, MutatorState};
+
+use crate::config::{GcConfig, PretenurePolicy};
+use crate::generational::GenerationalPlan;
+
+/// A GC plan: the composition of space policies behind one collector
+/// configuration, and the site→space mapping that routes allocations.
+///
+/// Every method is required — in particular [`finish`](Plan::finish) and
+/// [`take_profile`](Plan::take_profile), which were once defaulted at the
+/// `Collector` level and could silently drop a plan's final profile
+/// flush.
+pub trait Plan {
+    /// A short human-readable name ("semispace", "generational", ...).
+    fn name(&self) -> &'static str;
+
+    /// Read access to the simulated memory.
+    fn memory(&self) -> &Memory;
+
+    /// Write access to the simulated memory (mutator field stores).
+    fn memory_mut(&mut self) -> &mut Memory;
+
+    /// Allocates an object, routing the site to a space per the plan's
+    /// policy and collecting first if necessary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if even after collection the heap budget cannot satisfy
+    /// the request — the simulated machine is out of memory.
+    fn alloc(&mut self, m: &mut MutatorState, shape: AllocShape) -> Addr;
+
+    /// Runs a collection now.
+    fn collect(&mut self, m: &mut MutatorState, reason: CollectReason);
+
+    /// Cumulative collection statistics.
+    fn gc_stats(&self) -> &GcStats;
+
+    /// End-of-run hook: flushes profiling data (a final death sweep for
+    /// everything still live).
+    fn finish(&mut self, m: &mut MutatorState);
+
+    /// Extracts the heap profile gathered during the run, if profiling
+    /// was enabled.
+    fn take_profile(&mut self) -> Option<HeapProfile>;
+
+    /// Wraps the plan in the [`PlanCollector`] adapter, yielding the
+    /// boxed [`Collector`] the runtime consumes.
+    fn into_collector(self) -> Box<dyn Collector>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(PlanCollector::new(self))
+    }
+}
+
+/// Adapts a [`Plan`] to `tilgc-runtime`'s [`Collector`] trait by pure
+/// delegation — the runtime-facing seam is thin by construction, so all
+/// collector behaviour (including the end-of-run profile flush) lives in
+/// the plan layer.
+pub struct PlanCollector<P: Plan> {
+    plan: P,
+}
+
+impl<P: Plan> PlanCollector<P> {
+    /// Wraps `plan`.
+    pub fn new(plan: P) -> PlanCollector<P> {
+        PlanCollector { plan }
+    }
+
+    /// The wrapped plan.
+    pub fn plan(&self) -> &P {
+        &self.plan
+    }
+
+    /// Mutable access to the wrapped plan.
+    pub fn plan_mut(&mut self) -> &mut P {
+        &mut self.plan
+    }
+
+    /// Unwraps the plan.
+    pub fn into_plan(self) -> P {
+        self.plan
+    }
+}
+
+impl<P: Plan> Collector for PlanCollector<P> {
+    fn name(&self) -> &'static str {
+        self.plan.name()
+    }
+
+    fn memory(&self) -> &Memory {
+        self.plan.memory()
+    }
+
+    fn memory_mut(&mut self) -> &mut Memory {
+        self.plan.memory_mut()
+    }
+
+    fn alloc(&mut self, m: &mut MutatorState, shape: AllocShape) -> Addr {
+        self.plan.alloc(m, shape)
+    }
+
+    fn collect(&mut self, m: &mut MutatorState, reason: CollectReason) {
+        self.plan.collect(m, reason)
+    }
+
+    fn gc_stats(&self) -> &GcStats {
+        self.plan.gc_stats()
+    }
+
+    fn finish(&mut self, m: &mut MutatorState) {
+        self.plan.finish(m)
+    }
+
+    fn take_profile(&mut self) -> Option<HeapProfile> {
+        self.plan.take_profile()
+    }
+}
+
+/// The §6 configuration: the generational plan with the
+/// [`PretenuredRegion`](crate::PretenuredRegion) policy composed in, so
+/// designated allocation sites map to the tenured space at birth and the
+/// freshly pretenured region is scanned in place at the next collection.
+///
+/// Behaviour is exactly the generational plan's for sites outside the
+/// policy; without a [`PretenurePolicy`] in the configuration the plan
+/// degenerates to [`GenerationalPlan`](crate::GenerationalPlan) (the
+/// paper's `gen+markers` column) — byte-for-byte.
+pub struct PretenuringPlan {
+    inner: GenerationalPlan,
+}
+
+impl PretenuringPlan {
+    /// Creates the pretenuring plan. The pretenured-region policy comes
+    /// from `config.pretenure` (typically derived from a profiling run).
+    pub fn new(config: &GcConfig) -> PretenuringPlan {
+        PretenuringPlan {
+            inner: GenerationalPlan::new(config),
+        }
+    }
+
+    /// The site policy in force, if one was configured.
+    pub fn pretenure_policy(&self) -> Option<&PretenurePolicy> {
+        self.inner.pretenure_policy()
+    }
+}
+
+impl Plan for PretenuringPlan {
+    fn name(&self) -> &'static str {
+        "generational+pretenure"
+    }
+
+    fn memory(&self) -> &Memory {
+        self.inner.memory()
+    }
+
+    fn memory_mut(&mut self) -> &mut Memory {
+        self.inner.memory_mut()
+    }
+
+    fn alloc(&mut self, m: &mut MutatorState, shape: AllocShape) -> Addr {
+        self.inner.alloc(m, shape)
+    }
+
+    fn collect(&mut self, m: &mut MutatorState, reason: CollectReason) {
+        self.inner.collect(m, reason)
+    }
+
+    fn gc_stats(&self) -> &GcStats {
+        self.inner.gc_stats()
+    }
+
+    fn finish(&mut self, m: &mut MutatorState) {
+        self.inner.finish(m)
+    }
+
+    fn take_profile(&mut self) -> Option<HeapProfile> {
+        self.inner.take_profile()
+    }
+}

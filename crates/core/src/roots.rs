@@ -14,6 +14,14 @@
 //! [`reusable_prefix`](tilgc_runtime::Stack::reusable_prefix) are not
 //! re-decoded: their root-slot lists and the register state at the cache
 //! boundary are reused from the previous collection.
+//!
+//! Plans feed the result into the tracing driver: [`scan_stack`] yields
+//! the freshly decoded roots, [`append_cached_roots`] expands the cached
+//! prefix when a collection moves everything (every plan except the
+//! immediate-promotion minor, whose cached frames contribute no roots at
+//! all — the §5 payoff), and
+//! [`Evacuator::forward_roots`](crate::Evacuator::forward_roots)
+//! processes the combined list.
 
 use std::sync::Arc;
 
@@ -118,6 +126,34 @@ pub fn write_root(m: &mut MutatorState, loc: RootLoc, word: u64) {
         }
         RootLoc::Reg(r) => m.regs.set_word_raw(tilgc_runtime::Reg::new(r), word),
         RootLoc::AllocBuf(i) => m.alloc_buf[i as usize] = word,
+    }
+}
+
+/// Expands the reused (cached) frames' pointer slots into root
+/// locations, appending to `roots`.
+///
+/// The scan cache saves the frame *decode* cost, not root processing:
+/// a plan whose collection moves objects the cached frames may reference
+/// — the semispace plan always, the generational plans at major
+/// collections and (under a §7.2 tenure threshold) at minor ones —
+/// feeds the cached slots back through the tracing driver with this
+/// helper after [`scan_stack`]. The immediate-promotion minor collection
+/// is the one case that skips it: everything a cached frame references
+/// is already tenured, so cached frames contribute no roots at all (§5).
+pub fn append_cached_roots(
+    cache: Option<&ScanCache>,
+    reused_frames: usize,
+    roots: &mut Vec<RootLoc>,
+) {
+    if let Some(cache) = cache {
+        for (d, info) in cache.frames.iter().enumerate().take(reused_frames) {
+            for &slot in info.ptr_slots.iter() {
+                roots.push(RootLoc::Slot {
+                    depth: d as u32,
+                    slot,
+                });
+            }
+        }
     }
 }
 

@@ -1,32 +1,33 @@
-//! The semispace baseline collector (§2.1).
+//! The semispace baseline plan (§2.1).
 //!
-//! Two equal semispaces; allocation bumps through the active one, and a
-//! full Cheney collection evacuates survivors into the other. After each
-//! collection the heap is resized toward the target liveness ratio
-//! `r = 0.10` ("if the liveness ratio after a collection was r′, then the
-//! heap is resized by the factor r′/r"), capped by the experiment's memory
-//! budget `k · Min`.
+//! One [`CopySpace`] is the whole heap: allocation bumps through the
+//! active half, and a full collection evacuates survivors into the other
+//! ([`CopySemantics::Evacuate`]). After each collection the heap is
+//! resized toward the target liveness ratio `r = 0.10` ("if the liveness
+//! ratio after a collection was r′, then the heap is resized by the
+//! factor r′/r"), capped by the experiment's memory budget `k · Min`.
 //!
 //! §7.1 notes that generational *stack* collection is orthogonal to heap
-//! generations, so this collector too accepts a [`MarkerPolicy`] — the
+//! generations, so this plan too accepts a [`MarkerPolicy`] — the
 //! ablation benches compare semispace collection with and without scan
 //! caching.
 
 use std::time::Instant;
 
 use tilgc_mem::{Addr, Memory, Space};
-use tilgc_runtime::{AllocShape, CollectReason, Collector, GcStats, HeapProfile, MutatorState};
+use tilgc_runtime::{AllocShape, CollectReason, GcStats, HeapProfile, MutatorState};
 
 use crate::config::{GcConfig, MarkerPolicy};
-use crate::evac::{poison_range, Evacuator};
-use crate::roots::{read_root, scan_stack, write_root, RootLoc, ScanCache};
+use crate::evac::{poison_range, sweep_profile_deaths, Evacuator};
+use crate::plan::Plan;
+use crate::roots::{append_cached_roots, scan_stack, ScanCache};
+use crate::space::{CopySemantics, CopySpace};
 use crate::util::alloc_in_space;
 
-/// The semispace (Fenichel–Yochelson/Cheney) collector.
-pub struct SemispaceCollector {
+/// The semispace (Fenichel–Yochelson/Cheney) plan.
+pub struct SemispacePlan {
     mem: Memory,
-    spaces: [Space; 2],
-    active: usize,
+    heap: CopySpace,
     budget_words: usize,
     target_liveness: f64,
     marker_policy: MarkerPolicy,
@@ -35,15 +36,15 @@ pub struct SemispaceCollector {
     stats: GcStats,
 }
 
-impl SemispaceCollector {
-    /// Creates a semispace collector within `config.heap_budget_bytes` of
+impl SemispacePlan {
+    /// Creates a semispace plan within `config.heap_budget_bytes` of
     /// total memory (each semispace gets half).
     ///
     /// # Panics
     ///
     /// Panics if the budget is too small to hold even two one-kilobyte
     /// semispaces.
-    pub fn new(config: &GcConfig) -> SemispaceCollector {
+    pub fn new(config: &GcConfig) -> SemispacePlan {
         let budget_words = config.heap_budget_words();
         let semi = budget_words / 2;
         assert!(
@@ -54,10 +55,9 @@ impl SemispaceCollector {
         let mut mem = Memory::with_capacity_words(budget_words + 16);
         let a = Space::new(mem.reserve(semi).expect("semispace reservation"));
         let b = Space::new(mem.reserve(semi).expect("semispace reservation"));
-        SemispaceCollector {
+        SemispacePlan {
             mem,
-            spaces: [a, b],
-            active: 0,
+            heap: CopySpace::new("semispace", CopySemantics::Evacuate, a, b),
             budget_words,
             target_liveness: config.semispace_target_liveness,
             marker_policy: config.marker_policy,
@@ -69,7 +69,7 @@ impl SemispaceCollector {
 
     /// Capacity of one semispace right now, in words.
     pub fn semispace_words(&self) -> usize {
-        self.spaces[self.active].capacity_words()
+        self.heap.active().capacity_words()
     }
 
     fn do_collect(&mut self, m: &mut MutatorState) {
@@ -83,23 +83,13 @@ impl SemispaceCollector {
         let outcome = scan_stack(m, self.cache.as_mut(), self.marker_policy, &mut self.stats);
         // Every collection moves everything, so cached frames' roots must
         // be processed too — the cache saves only the decode cost.
-        let mut roots: Vec<RootLoc> = outcome.new_roots;
-        if let Some(cache) = &self.cache {
-            for (d, info) in cache.frames.iter().enumerate().take(outcome.reused_frames) {
-                for &slot in info.ptr_slots.iter() {
-                    roots.push(RootLoc::Slot {
-                        depth: d as u32,
-                        slot,
-                    });
-                }
-            }
-        }
+        let mut roots = outcome.new_roots;
+        append_cached_roots(self.cache.as_ref(), outcome.reused_frames, &mut roots);
 
-        let (from_i, to_i) = (self.active, 1 - self.active);
-        let from_frontier = self.spaces[from_i].frontier();
-        let from_ranges = [self.spaces[from_i].range()];
-        let (lo, hi) = self.spaces.split_at_mut(1);
-        let to_space = if to_i == 1 { &mut hi[0] } else { &mut lo[0] };
+        let from_range = self.heap.active().range();
+        let from_frontier = self.heap.active().frontier();
+        let from_ranges = [from_range];
+        let to_space = self.heap.inactive_mut();
         to_space.set_limit_words(to_space.max_capacity_words());
         let mut evac = Evacuator::new(
             &mut self.mem,
@@ -111,48 +101,34 @@ impl SemispaceCollector {
             &mut self.stats,
             m.cost,
         );
-        let mut relocated: u64 = 0;
-        for &loc in &roots {
-            let word = read_root(m, loc);
-            let fwd = evac.forward_word(word);
-            if fwd != word {
-                write_root(m, loc, fwd);
-                relocated += 1;
-            }
-        }
+        evac.forward_roots(m, &roots);
         let stack_ns = stack_t0.elapsed().as_nanos() as u64;
 
         // --- copying (GC-copy) ---
         let copy_t0 = Instant::now();
         evac.drain();
         let copy_ns = copy_t0.elapsed().as_nanos() as u64;
-        self.stats.roots_found += roots.len() as u64;
-        self.stats.stack_cycles +=
-            m.cost.root_check * roots.len() as u64 + m.cost.root_process * relocated;
 
-        // A semispace collector needs no write barrier; discard anything
-        // an embedder recorded anyway.
+        // A semispace plan needs no write barrier; discard anything an
+        // embedder recorded anyway.
         m.barrier.drain(|_| {});
 
-        if let Some(p) = self.profile.as_mut() {
-            for entry in tilgc_mem::object::walk(&self.mem, from_ranges[0].start, from_frontier) {
-                if entry.forwarded.is_none() {
-                    p.on_death(entry.addr);
-                }
-            }
-        }
-
-        poison_range(&mut self.mem, from_ranges[0], from_frontier);
-        self.spaces[from_i].reset();
-        let live_words = self.spaces[to_i].used_words();
-        self.active = to_i;
+        sweep_profile_deaths(
+            &self.mem,
+            self.profile.as_mut(),
+            from_range.start,
+            from_frontier,
+        );
+        poison_range(&mut self.mem, from_range, from_frontier);
+        self.heap.active_mut().reset();
+        self.heap.flip();
+        let live_words = self.heap.active().used_words();
 
         // Resize toward the target liveness ratio, within the budget.
         let desired = (live_words as f64 / self.target_liveness) as usize;
         let cap = self.budget_words / 2;
         let new_size = desired.clamp((live_words + 512).min(cap), cap);
-        self.spaces[0].set_limit_words(new_size);
-        self.spaces[1].set_limit_words(new_size);
+        self.heap.set_limit_words(new_size);
 
         self.stats
             .note_live_bytes(tilgc_mem::words_to_bytes(live_words) as u64);
@@ -162,7 +138,7 @@ impl SemispaceCollector {
     }
 }
 
-impl Collector for SemispaceCollector {
+impl Plan for SemispacePlan {
     fn name(&self) -> &'static str {
         "semispace"
     }
@@ -177,18 +153,18 @@ impl Collector for SemispaceCollector {
 
     fn alloc(&mut self, m: &mut MutatorState, shape: AllocShape) -> Addr {
         let words = shape.size_words();
-        if !self.spaces[self.active].fits(words) {
+        if !self.heap.active().fits(words) {
             self.do_collect(m);
             assert!(
-                self.spaces[self.active].fits(words),
+                self.heap.active().fits(words),
                 "out of memory: {} words requested, {} free after collection (budget {} words)",
                 words,
-                self.spaces[self.active].free_words(),
+                self.heap.active().free_words(),
                 self.budget_words
             );
         }
         let buf = std::mem::take(&mut m.alloc_buf);
-        let addr = alloc_in_space(&mut self.mem, &mut self.spaces[self.active], shape, &buf)
+        let addr = alloc_in_space(&mut self.mem, self.heap.active_mut(), shape, &buf)
             .expect("space was checked to fit");
         m.alloc_buf = buf;
         if let Some(p) = self.profile.as_mut() {
@@ -225,7 +201,7 @@ mod tests {
         let config = GcConfig::new().heap_budget_bytes(budget);
         let mut m = MutatorState::new();
         m.barrier = tilgc_runtime::WriteBarrier::None;
-        Vm::with_mutator(m, Box::new(SemispaceCollector::new(&config)))
+        Vm::with_mutator(m, SemispacePlan::new(&config).into_collector())
     }
 
     #[test]
@@ -298,7 +274,7 @@ mod tests {
     #[test]
     fn resizing_respects_budget_cap() {
         let config = GcConfig::new().heap_budget_bytes(32 << 10);
-        let c = SemispaceCollector::new(&config);
+        let c = SemispacePlan::new(&config);
         assert_eq!(c.semispace_words(), (32 << 10) / 8 / 2);
     }
 
@@ -321,7 +297,7 @@ mod tests {
         let config = GcConfig::new().heap_budget_bytes(16 << 10).profiling(true);
         let mut m = MutatorState::new();
         m.barrier = tilgc_runtime::WriteBarrier::None;
-        let mut vm = Vm::with_mutator(m, Box::new(SemispaceCollector::new(&config)));
+        let mut vm = Vm::with_mutator(m, SemispacePlan::new(&config).into_collector());
         let site = vm.site("t::p");
         for _ in 0..2000 {
             let _ = vm.alloc_record(site, &[Value::Int(1)]);

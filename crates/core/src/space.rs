@@ -1,0 +1,293 @@
+//! The space/policy layer: each kind of heap region as a reusable
+//! component with its own allocation discipline, membership test, and
+//! per-object treatment during a trace.
+//!
+//! A [`Plan`](crate::Plan) composes these policies and assigns each a
+//! [`CopySemantics`]; the shared tracing driver
+//! ([`Evacuator`](crate::Evacuator)) then applies the assigned treatment
+//! when the transitive closure reaches an object:
+//!
+//! * [`CopySpace`] — a pair of bump-allocated semispaces with an active
+//!   half. One `CopySpace` is the whole heap of the semispace plan
+//!   (semantics [`CopySemantics::Evacuate`]), another is the nursery of
+//!   the generational plans (semantics [`CopySemantics::Promote`]: all
+//!   survivors leave for an older space, §2.1), and a third is the
+//!   tenured generation (evacuated between its halves at major
+//!   collections).
+//! * [`LargeObjectSpace`] — mark-sweep; objects
+//!   never move ([`CopySemantics::MarkSweep`]).
+//! * [`PretenuredRegion`] — the §6 policy: objects from designated sites
+//!   are born tenured and the freshly allocated region is *scanned in
+//!   place* at the next collection instead of being copied
+//!   ([`CopySemantics::ScanInPlace`]), unless the §7.2 analysis cleared
+//!   their site of scanning entirely.
+
+use tilgc_mem::{Addr, SiteId, Space};
+
+use crate::config::PretenurePolicy;
+use crate::los::LargeObjectSpace;
+
+/// What the tracing driver does with a live object found in a space —
+/// the per-space treatment a [`Plan`](crate::Plan) assigns when it
+/// configures a collection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CopySemantics {
+    /// Copy survivors into the other half of the same [`CopySpace`]
+    /// (the Cheney semispace discipline).
+    Evacuate,
+    /// Copy survivors into an *older* space — the generational nursery's
+    /// immediate promotion (§2.1), optionally detoured through an aging
+    /// survivor half under a §7.2 tenure threshold.
+    Promote,
+    /// Leave the object where it is and forward its pointer fields in
+    /// place — freshly pretenured regions (§6: "copying objects is
+    /// slower than only scanning them") and young large pointer arrays.
+    ScanInPlace,
+    /// Leave the object where it is; liveness is a mark bit and
+    /// reclamation a sweep (the large-object space).
+    MarkSweep,
+}
+
+/// Common face of the space policies: a label for diagnostics, the copy
+/// semantics the owning plan assigned, and a membership test.
+pub trait SpacePolicy {
+    /// Short diagnostic label ("nursery", "tenured", "los", ...).
+    fn label(&self) -> &'static str;
+
+    /// The treatment the owning plan assigned to this space's objects.
+    fn semantics(&self) -> CopySemantics;
+
+    /// Whether `addr` currently belongs to this space.
+    fn contains(&self, addr: Addr) -> bool;
+
+    /// Words currently occupied by this space's objects.
+    fn used_words(&self) -> usize;
+}
+
+/// A pair of bump-allocated semispaces with an active half — the moving
+/// spaces of every plan (the semispace heap, the nursery system, the
+/// tenured generation).
+///
+/// Allocation always bumps through the active half; a collection copies
+/// survivors out (into the inactive half, or into another space entirely
+/// under [`CopySemantics::Promote`]) and [`flip`](CopySpace::flip)s.
+#[derive(Debug)]
+pub struct CopySpace {
+    label: &'static str,
+    semantics: CopySemantics,
+    spaces: [Space; 2],
+    active: usize,
+}
+
+impl CopySpace {
+    /// Builds a copy space from two (equal-capacity) reservations.
+    pub fn new(label: &'static str, semantics: CopySemantics, a: Space, b: Space) -> CopySpace {
+        CopySpace {
+            label,
+            semantics,
+            spaces: [a, b],
+            active: 0,
+        }
+    }
+
+    /// The half allocation currently bumps through.
+    pub fn active(&self) -> &Space {
+        &self.spaces[self.active]
+    }
+
+    /// Mutable access to the active half.
+    pub fn active_mut(&mut self) -> &mut Space {
+        &mut self.spaces[self.active]
+    }
+
+    /// The half survivors are copied into.
+    pub fn inactive(&self) -> &Space {
+        &self.spaces[1 - self.active]
+    }
+
+    /// Mutable access to the inactive half.
+    pub fn inactive_mut(&mut self) -> &mut Space {
+        &mut self.spaces[1 - self.active]
+    }
+
+    /// Makes the inactive half active (after survivors landed there).
+    pub fn flip(&mut self) {
+        self.active = 1 - self.active;
+    }
+
+    /// Applies the same logical capacity limit to both halves (heap
+    /// resizing toward a target liveness ratio applies symmetrically).
+    pub fn set_limit_words(&mut self, words: usize) {
+        self.spaces[0].set_limit_words(words);
+        self.spaces[1].set_limit_words(words);
+    }
+}
+
+impl SpacePolicy for CopySpace {
+    fn label(&self) -> &'static str {
+        self.label
+    }
+
+    fn semantics(&self) -> CopySemantics {
+        self.semantics
+    }
+
+    fn contains(&self, addr: Addr) -> bool {
+        self.spaces[0].contains(addr) || self.spaces[1].contains(addr)
+    }
+
+    fn used_words(&self) -> usize {
+        self.spaces[0].used_words() + self.spaces[1].used_words()
+    }
+}
+
+impl SpacePolicy for LargeObjectSpace {
+    fn label(&self) -> &'static str {
+        "los"
+    }
+
+    fn semantics(&self) -> CopySemantics {
+        CopySemantics::MarkSweep
+    }
+
+    fn contains(&self, addr: Addr) -> bool {
+        LargeObjectSpace::contains(self, addr)
+    }
+
+    fn used_words(&self) -> usize {
+        LargeObjectSpace::used_words(self)
+    }
+}
+
+/// The §6 pretenured region: the site policy deciding which allocations
+/// are born tenured, plus the objects allocated since the last collection
+/// that still owe their one in-place scan.
+///
+/// The region is not a separate reservation — pretenured objects live in
+/// the tenured [`CopySpace`] — but it is a distinct *policy*: its objects
+/// are [`CopySemantics::ScanInPlace`] until the next collection has seen
+/// them, after which they are ordinary tenured objects.
+#[derive(Debug, Default)]
+pub struct PretenuredRegion {
+    policy: PretenurePolicy,
+    pending: Vec<Addr>,
+}
+
+impl PretenuredRegion {
+    /// Builds the region around a derived (or hand-written) site policy.
+    pub fn new(policy: PretenurePolicy) -> PretenuredRegion {
+        PretenuredRegion {
+            policy,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The site policy in force.
+    pub fn policy(&self) -> &PretenurePolicy {
+        &self.policy
+    }
+
+    /// Whether allocations from `site` are born tenured.
+    pub fn should_pretenure(&self, site: SiteId) -> bool {
+        self.policy.should_pretenure(site)
+    }
+
+    /// Whether pending scans use the cheaper §7.2 site-grouped kernel.
+    pub fn grouped(&self) -> bool {
+        self.policy.group_by_site
+    }
+
+    /// Records a freshly pretenured allocation, queuing it for its one
+    /// in-place scan — unless it is pointer-free or the §7.2 analysis
+    /// cleared its site ("some areas may require no scanning because
+    /// they contain no pointers").
+    pub fn note_alloc(&mut self, addr: Addr, site: SiteId, pointer_free: bool) {
+        if !pointer_free && !self.policy.is_no_scan(site) {
+            self.pending.push(addr);
+        }
+    }
+
+    /// Queues an object for the next in-place scan unconditionally (the
+    /// oversized-at-birth routing, which has no site policy behind it).
+    pub fn defer_scan(&mut self, addr: Addr) {
+        self.pending.push(addr);
+    }
+
+    /// Takes the pending-scan list for a minor collection's in-place
+    /// pass.
+    pub fn take_pending(&mut self) -> Vec<Addr> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Drops the pending list — a major collection traces pretenured
+    /// objects like any other tenured object.
+    pub fn clear_pending(&mut self) {
+        self.pending.clear();
+    }
+}
+
+impl SpacePolicy for PretenuredRegion {
+    fn label(&self) -> &'static str {
+        "pretenured"
+    }
+
+    fn semantics(&self) -> CopySemantics {
+        CopySemantics::ScanInPlace
+    }
+
+    /// Membership in the *policy* sense: the object still owes its
+    /// in-place scan. (Physically the object lives in the tenured
+    /// `CopySpace`.)
+    fn contains(&self, addr: Addr) -> bool {
+        self.pending.contains(&addr)
+    }
+
+    fn used_words(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilgc_mem::Memory;
+
+    #[test]
+    fn copy_space_flips_and_limits_both_halves() {
+        let mut mem = Memory::with_capacity_words(512);
+        let a = Space::new(mem.reserve(128).unwrap());
+        let b = Space::new(mem.reserve(128).unwrap());
+        let mut cs = CopySpace::new("heap", CopySemantics::Evacuate, a, b);
+        assert_eq!(cs.semantics(), CopySemantics::Evacuate);
+        let in_active = cs.active_mut().alloc(4).unwrap();
+        assert!(SpacePolicy::contains(&cs, in_active));
+        assert_eq!(cs.used_words(), 4);
+        cs.flip();
+        assert_eq!(cs.inactive().used_words(), 4);
+        assert_eq!(cs.active().used_words(), 0);
+        cs.set_limit_words(64);
+        assert_eq!(cs.active().capacity_words(), 64);
+        assert_eq!(cs.inactive().capacity_words(), 64);
+    }
+
+    #[test]
+    fn pretenured_region_queues_only_scannable_objects() {
+        let mut policy = PretenurePolicy::new();
+        let hot = SiteId::new(1);
+        let cleared = SiteId::new(2);
+        policy.add_site(hot);
+        policy.add_site(cleared);
+        policy.add_no_scan_site(cleared);
+        let mut region = PretenuredRegion::new(policy);
+        assert!(region.should_pretenure(hot));
+        assert_eq!(region.semantics(), CopySemantics::ScanInPlace);
+
+        region.note_alloc(Addr::new(10), hot, false);
+        region.note_alloc(Addr::new(20), hot, true); // pointer-free
+        region.note_alloc(Addr::new(30), cleared, false); // §7.2 no-scan
+        assert!(SpacePolicy::contains(&region, Addr::new(10)));
+        assert!(!SpacePolicy::contains(&region, Addr::new(20)));
+        assert_eq!(region.take_pending(), vec![Addr::new(10)]);
+        assert!(region.take_pending().is_empty());
+    }
+}

@@ -6,6 +6,11 @@
 //! deliberately redundant with the trace-table scan: the two arriving at
 //! the same graph is the central correctness claim of the root-scanning
 //! machinery.
+//!
+//! The verifier is plan-agnostic: it sees the heap only through the
+//! [`Collector`](tilgc_runtime::Collector) seam (memory + shadow tags),
+//! so the same walk validates every [`Plan`](crate::Plan) — semispace,
+//! generational, or pretenuring — and any space layout a plan composes.
 
 use std::collections::{HashSet, VecDeque};
 

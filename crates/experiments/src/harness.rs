@@ -5,6 +5,11 @@
 //! where `Min = 2 × max-live` is the least memory a copying collector
 //! could need (§3). `Min` is measured here by a calibration run with a
 //! generous heap; budgets for the `k` sweeps derive from it.
+//!
+//! Collectors are obtained through `tilgc-core`'s `build_vm`, which
+//! composes the space/plan layers per `CollectorKind` — the harness
+//! never constructs plans directly, so it stays insulated from the plan
+//! layer's internals.
 
 use std::collections::HashMap;
 use std::time::Instant;

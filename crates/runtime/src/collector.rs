@@ -119,15 +119,18 @@ pub trait Collector {
     }
 
     /// End-of-run hook: flush profiling data, run a final sweep, etc.
-    fn finish(&mut self, mutator: &mut MutatorState) {
-        let _ = mutator;
-    }
+    ///
+    /// Deliberately *not* defaulted: a defaulted no-op let collectors
+    /// silently skip their final profile flush (the pretenuring plan's
+    /// final-sweep flush is load-bearing for §6 policy derivation), so
+    /// every implementation must state what — if anything — it does.
+    fn finish(&mut self, mutator: &mut MutatorState);
 
     /// Extracts the heap profile gathered during the run, if profiling
-    /// was enabled.
-    fn take_profile(&mut self) -> Option<HeapProfile> {
-        None
-    }
+    /// was enabled. Collectors that never profile return `None`
+    /// explicitly; there is no default, for the same reason as
+    /// [`finish`](Collector::finish).
+    fn take_profile(&mut self) -> Option<HeapProfile>;
 }
 
 #[cfg(test)]

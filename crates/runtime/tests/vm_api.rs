@@ -79,6 +79,12 @@ impl Collector for BumpCollector {
     fn gc_stats(&self) -> &GcStats {
         &self.stats
     }
+
+    fn finish(&mut self, _m: &mut MutatorState) {}
+
+    fn take_profile(&mut self) -> Option<tilgc_runtime::HeapProfile> {
+        None
+    }
 }
 
 fn vm() -> Vm {

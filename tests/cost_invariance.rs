@@ -17,9 +17,12 @@
 
 use std::fmt::Write as _;
 
-use tilgc_core::{build_vm, CollectorKind, GcConfig};
+use tilgc_core::{
+    build_vm, CollectorKind, GcConfig, GenerationalPlan, MarkerPolicy, Plan, PretenuringPlan,
+    SemispacePlan,
+};
 use tilgc_programs::Benchmark;
-use tilgc_runtime::GcStats;
+use tilgc_runtime::{GcStats, MutatorState, Vm, WriteBarrier};
 
 /// The paper's largest memory-budget multiple (k = 4 of the k sweep).
 const K: f64 = 4.0;
@@ -41,12 +44,15 @@ fn config_with_budget(budget: usize) -> GcConfig {
         .large_object_bytes(4 << 10)
 }
 
-fn run(bench: Benchmark, kind: CollectorKind, config: &GcConfig) -> (u64, GcStats) {
-    let mut vm = build_vm(kind, config);
+fn run_in_vm(bench: Benchmark, mut vm: Vm) -> (u64, GcStats) {
     vm.mutator_mut().check_shadows = false;
     let checksum = bench.run(&mut vm, 1);
     vm.finish();
     (checksum, *vm.gc_stats())
+}
+
+fn run(bench: Benchmark, kind: CollectorKind, config: &GcConfig) -> (u64, GcStats) {
+    run_in_vm(bench, build_vm(kind, config))
 }
 
 /// Like [`run`], but `None` on out-of-memory — the calibration samples
@@ -58,6 +64,15 @@ fn run_or_oom(bench: Benchmark, kind: CollectorKind, config: &GcConfig) -> Optio
     std::panic::set_hook(Box::new(|_| {})); // silence the expected OOM panic
     let out =
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(bench, kind, config))).ok();
+    std::panic::set_hook(prev_hook);
+    out
+}
+
+/// [`run_or_oom`], for a pre-built VM.
+fn run_in_vm_or_oom(bench: Benchmark, vm: Vm) -> Option<(u64, GcStats)> {
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_in_vm(bench, vm))).ok();
     std::panic::set_hook(prev_hook);
     out
 }
@@ -116,6 +131,80 @@ fn stats_line(bench: Benchmark, kind: CollectorKind, checksum: u64, g: &GcStats)
     )
     .unwrap();
     s
+}
+
+/// Builds a VM for `kind` through the plan constructors directly — no
+/// [`build_vm`]/`build_collector` — replicating the config adjustments
+/// those helpers apply (marker policy forced on/off per kind, pretenuring
+/// dropped where unused) and the barrier wiring (none for semispace, SSB
+/// otherwise).
+fn build_vm_via_plans(kind: CollectorKind, config: &GcConfig) -> Vm {
+    let mut config = config.clone();
+    let collector = match kind {
+        CollectorKind::Semispace => {
+            config.pretenure = None;
+            SemispacePlan::new(&config).into_collector()
+        }
+        CollectorKind::Generational => {
+            config.marker_policy = MarkerPolicy::Disabled;
+            config.pretenure = None;
+            GenerationalPlan::new(&config).into_collector()
+        }
+        CollectorKind::GenerationalStack => {
+            if !config.marker_policy.is_enabled() {
+                config.marker_policy = MarkerPolicy::PAPER;
+            }
+            config.pretenure = None;
+            GenerationalPlan::new(&config).into_collector()
+        }
+        CollectorKind::GenerationalStackPretenure => {
+            if !config.marker_policy.is_enabled() {
+                config.marker_policy = MarkerPolicy::PAPER;
+            }
+            PretenuringPlan::new(&config).into_collector()
+        }
+    };
+    let mut m = MutatorState::new();
+    m.barrier = match kind {
+        CollectorKind::Semispace => WriteBarrier::None,
+        _ => WriteBarrier::ssb(),
+    };
+    Vm::with_mutator(m, collector)
+}
+
+/// The plan-based constructors must be a drop-in for `build_collector`:
+/// all four collector configurations, driven by the same benchmark, must
+/// produce byte-for-byte identical `GcStats` lines whether the collector
+/// came from `build_vm` (pinned by the golden above) or from composing
+/// the plans by hand.
+#[test]
+fn plan_constructors_match_build_collector() {
+    let bench = Benchmark::Checksum;
+    let min = 2 * max_live_bytes(bench);
+    let budget = ((K * min as f64) as usize).max(48 << 10);
+    for kind in CollectorKind::ALL {
+        let mut budget = budget;
+        let (via_builder, via_plans) = loop {
+            let config = match kind {
+                CollectorKind::GenerationalStackPretenure => pretenure_config(bench, budget),
+                _ => config_with_budget(budget),
+            };
+            let builder = run_or_oom(bench, kind, &config);
+            let plans = run_in_vm_or_oom(bench, build_vm_via_plans(kind, &config));
+            match (builder, plans) {
+                (Some(b), Some(p)) => break (b, p),
+                _ => budget += budget / 4,
+            }
+        };
+        let line_builder = stats_line(bench, kind, via_builder.0, &via_builder.1);
+        let line_plans = stats_line(bench, kind, via_plans.0, &via_plans.1);
+        assert_eq!(
+            line_plans,
+            line_builder,
+            "{} via plan constructors diverged from build_collector",
+            kind.label()
+        );
+    }
 }
 
 #[test]

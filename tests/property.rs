@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use tilgc::core::{build_vm, verify_vm, vm_snapshot, CollectorKind, GcConfig, PretenurePolicy};
 use tilgc::mem::ObjectKind;
-use tilgc::runtime::{FrameDesc, RaiseOutcome, Trace, Value};
+use tilgc::runtime::{FrameDesc, RaiseOutcome, Trace, Value, Vm};
 
 /// One step of a random mutator program. Slot indices are taken modulo
 /// the frame size, field indices modulo the object's arity, so every
@@ -66,6 +66,18 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 /// Interprets the program on a fresh VM of the given kind and returns the
 /// canonical snapshot of the final reachable graph.
 fn interpret(kind: CollectorKind, config: &GcConfig, ops: &[Op]) -> Vec<u64> {
+    interpret_with(kind, config, ops, |_| {})
+}
+
+/// [`interpret`], with a check run after every op — for properties that
+/// must hold at each step of an arbitrary program, not only at the end.
+/// The check asserts on failure.
+fn interpret_with(
+    kind: CollectorKind,
+    config: &GcConfig,
+    ops: &[Op],
+    mut after_op: impl FnMut(&Vm),
+) -> Vec<u64> {
     let mut vm = build_vm(kind, config);
     let frame = vm.register_frame(FrameDesc::new("prop::frame").slots(SLOTS, Trace::Pointer));
     let rec_site = vm.site("prop::record");
@@ -166,9 +178,24 @@ fn interpret(kind: CollectorKind, config: &GcConfig, ops: &[Op]) -> Vec<u64> {
             Op::Gc => vm.gc_now(),
             Op::GcMajor => vm.gc_major(),
         }
+        after_op(&vm);
     }
     verify_vm(&vm);
     vm_snapshot(&vm)
+}
+
+/// The paper's reuse bound: the cached-scan prefix claimed by the markers
+/// — `min(M, deepest intact marker)` — must never exceed the simulation
+/// oracle's true unchanged prefix.
+fn assert_reuse_bound(vm: &Vm) {
+    let stack = &vm.mutator().stack;
+    assert!(
+        stack.reusable_prefix() <= stack.true_unchanged_prefix(),
+        "markers over-promised after a plan-driven scan: claimed {}, true {} (watermark {})",
+        stack.reusable_prefix(),
+        stack.true_unchanged_prefix(),
+        stack.watermark(),
+    );
 }
 
 fn tight_config() -> GcConfig {
@@ -231,6 +258,37 @@ proptest! {
         let config = tight_config().pretenure(policy);
         let got = interpret(CollectorKind::GenerationalStackPretenure, &config, &ops);
         prop_assert_eq!(got, baseline);
+    }
+
+    /// The reuse bound holds under *real* collections: when scan epochs
+    /// come from the plan layer's root driver (`scan_stack` feeding
+    /// `Evacuator::forward_roots`) rather than simulated marker placement
+    /// — allocation-triggered minors, forced majors, exception unwinds in
+    /// between — the cached prefix stays a lower bound on the oracle at
+    /// every step. Run once with stack collection alone and once with a
+    /// pretenured region scanned in place, and the two final graphs must
+    /// also agree.
+    #[test]
+    fn reuse_bound_conservative_under_plan_driven_scans(
+        ops in proptest::collection::vec(op_strategy(), 1..300)
+    ) {
+        let config = tight_config();
+        let plain = interpret_with(
+            CollectorKind::GenerationalStack, &config, &ops, assert_reuse_bound,
+        );
+        let mut policy = PretenurePolicy::new();
+        // Site ids 1..=3 are prop::record/array/raw in registration order.
+        for id in 1..=3u16 {
+            policy.add_site(tilgc::mem::SiteId::new(id));
+        }
+        let config = tight_config().pretenure(policy);
+        let pretenured = interpret_with(
+            CollectorKind::GenerationalStackPretenure, &config, &ops, assert_reuse_bound,
+        );
+        prop_assert_eq!(
+            pretenured, plain,
+            "pretenured in-place scanning diverged from the stack-collection run"
+        );
     }
 
     /// The marker bookkeeping never claims more reuse than reality: for
