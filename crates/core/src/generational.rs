@@ -27,14 +27,17 @@
 use std::time::Instant;
 
 use tilgc_mem::{Addr, Memory, Space, SpaceRange};
-use tilgc_runtime::{AllocShape, BarrierEntry, CollectReason, GcStats, HeapProfile, MutatorState};
+use tilgc_runtime::{
+    AllocShape, BarrierEntry, CollectReason, CollectionInspection, GcStats, HeapProfile,
+    MutatorState,
+};
 
 use crate::config::{GcConfig, MarkerPolicy, PretenurePolicy};
 use crate::evac::{poison_range, sweep_profile_deaths, Evacuator};
 use crate::plan::Plan;
 use crate::roots::{append_cached_roots, scan_stack, ScanCache};
 use crate::space::{CopySemantics, CopySpace, PretenuredRegion};
-use crate::util::{alloc_in_space, materialize};
+use crate::util::{alloc_in_space, build_inspection, materialize};
 use crate::LargeObjectSpace;
 
 /// The two-generation plan of §2.1.
@@ -85,6 +88,7 @@ pub struct GenerationalPlan {
     mode_age: u32,
     profile: Option<HeapProfile>,
     stats: GcStats,
+    inspection: Option<CollectionInspection>,
 }
 
 impl GenerationalPlan {
@@ -135,6 +139,7 @@ impl GenerationalPlan {
             mode_age: 0,
             profile: config.profiling.then(HeapProfile::new),
             stats: GcStats::default(),
+            inspection: None,
         };
         c.apply_limits(0);
         c
@@ -182,15 +187,18 @@ impl GenerationalPlan {
 
     fn minor(&mut self, m: &mut MutatorState) {
         let wall_start = Instant::now();
+        let stats_before = self.stats;
+        let depth_at_gc = m.stack.depth();
         let mut los_pending = self.take_los_pending();
         los_pending.append(&mut self.oversized_pending);
         self.stats.collections += 1;
-        self.stats.depth_at_gc_sum += m.stack.depth() as u64;
+        self.stats.depth_at_gc_sum += depth_at_gc as u64;
         self.stats.other_cycles += m.cost.gc_base;
 
         // --- root processing (GC-stack) ---
         let stack_t0 = Instant::now();
         let outcome = scan_stack(m, self.cache.as_mut(), self.marker_policy, &mut self.stats);
+        let scan_claim = (outcome.claimed_prefix, outcome.oracle_prefix);
         // Immediate promotion means frames scanned at an earlier
         // collection cannot reference the (newer) nursery: only newly
         // scanned frames, registers and the alloc buffer yield roots.
@@ -300,18 +308,32 @@ impl GenerationalPlan {
         self.stats.stack_wall_ns += stack_ns;
         self.stats.copy_wall_ns += copy_ns;
         self.stats.total_wall_ns += wall_start.elapsed().as_nanos() as u64;
+        // With a §7.2 tenure threshold, copied-back survivors live in the
+        // nursery system but are not counted in `live_words`: the record
+        // marks the byte accounting incomplete so verifiers skip it.
+        self.inspection = Some(build_inspection(
+            &stats_before,
+            &self.stats,
+            false,
+            depth_at_gc,
+            self.tenure_threshold == 0,
+            scan_claim,
+        ));
     }
 
     fn major(&mut self, m: &mut MutatorState) {
         let wall_start = Instant::now();
+        let stats_before = self.stats;
+        let depth_at_gc = m.stack.depth();
         self.stats.collections += 1;
         self.stats.major_collections += 1;
-        self.stats.depth_at_gc_sum += m.stack.depth() as u64;
+        self.stats.depth_at_gc_sum += depth_at_gc as u64;
         self.stats.other_cycles += m.cost.gc_base;
 
         // --- root processing ---
         let stack_t0 = Instant::now();
         let outcome = scan_stack(m, self.cache.as_mut(), self.marker_policy, &mut self.stats);
+        let scan_claim = (outcome.claimed_prefix, outcome.oracle_prefix);
         // A major collection moves tenured objects, so cached frames'
         // roots must be relocated too — but their decode cost is still
         // saved (§5: "it is still advantageous to have amortized the cost
@@ -424,6 +446,14 @@ impl GenerationalPlan {
         self.stats.stack_wall_ns += stack_ns;
         self.stats.copy_wall_ns += copy_ns;
         self.stats.total_wall_ns += wall_start.elapsed().as_nanos() as u64;
+        self.inspection = Some(build_inspection(
+            &stats_before,
+            &self.stats,
+            true,
+            depth_at_gc,
+            true,
+            scan_claim,
+        ));
     }
 
     /// Scans young large pointer arrays (initializing stores may reference
@@ -643,5 +673,9 @@ impl Plan for GenerationalPlan {
 
     fn take_profile(&mut self) -> Option<HeapProfile> {
         self.profile.take()
+    }
+
+    fn last_inspection(&self) -> Option<&CollectionInspection> {
+        self.inspection.as_ref()
     }
 }

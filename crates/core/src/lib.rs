@@ -61,7 +61,10 @@ pub use plan::{Plan, PlanCollector, PretenuringPlan};
 pub use roots::{FrameScanInfo, RootLoc, ScanCache, ScanOutcome};
 pub use semispace::SemispacePlan;
 pub use space::{CopySemantics, CopySpace, PretenuredRegion, SpacePolicy};
-pub use verify::{check_graph, graph_snapshot, verify_vm, vm_snapshot, LiveReport};
+pub use verify::{
+    check_graph, check_inspection, graph_snapshot, verify_collection, verify_vm, vm_snapshot,
+    LiveReport,
+};
 
 use tilgc_runtime::{Collector, MutatorState, Vm, WriteBarrier};
 

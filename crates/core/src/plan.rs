@@ -24,7 +24,9 @@
 //! `impl<P: Plan> Collector for P` would violate coherence.)
 
 use tilgc_mem::{Addr, Memory};
-use tilgc_runtime::{AllocShape, CollectReason, Collector, GcStats, HeapProfile, MutatorState};
+use tilgc_runtime::{
+    AllocShape, CollectReason, CollectionInspection, Collector, GcStats, HeapProfile, MutatorState,
+};
 
 use crate::config::{GcConfig, PretenurePolicy};
 use crate::generational::GenerationalPlan;
@@ -68,6 +70,13 @@ pub trait Plan {
     /// Extracts the heap profile gathered during the run, if profiling
     /// was enabled.
     fn take_profile(&mut self) -> Option<HeapProfile>;
+
+    /// The inspection record of the most recent collection, or `None`
+    /// before the first collection. Required (not defaulted) for the
+    /// same reason as [`finish`](Plan::finish): the differential torture
+    /// harness cross-checks these records, and a silently-`None` plan
+    /// would opt out of verification.
+    fn last_inspection(&self) -> Option<&CollectionInspection>;
 
     /// Wraps the plan in the [`PlanCollector`] adapter, yielding the
     /// boxed [`Collector`] the runtime consumes.
@@ -141,6 +150,10 @@ impl<P: Plan> Collector for PlanCollector<P> {
     fn take_profile(&mut self) -> Option<HeapProfile> {
         self.plan.take_profile()
     }
+
+    fn last_inspection(&self) -> Option<&CollectionInspection> {
+        self.plan.last_inspection()
+    }
 }
 
 /// The §6 configuration: the generational plan with the
@@ -202,5 +215,9 @@ impl Plan for PretenuringPlan {
 
     fn take_profile(&mut self) -> Option<HeapProfile> {
         self.inner.take_profile()
+    }
+
+    fn last_inspection(&self) -> Option<&CollectionInspection> {
+        self.inner.last_inspection()
     }
 }

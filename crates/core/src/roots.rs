@@ -105,6 +105,15 @@ pub struct ScanOutcome {
     pub reused_frames: usize,
     /// Frames decoded from scratch.
     pub scanned_frames: usize,
+    /// The cached-prefix claim this scan acted on:
+    /// `min(M, deepest intact marker)` clamped to the cache length
+    /// (equal to `reused_frames`; recorded separately so plans can
+    /// expose the claim for post-collection inspection).
+    pub claimed_prefix: usize,
+    /// The simulation oracle's true unchanged prefix, captured *before*
+    /// marker placement reset the stack's bookkeeping. A correct marker
+    /// implementation guarantees `claimed_prefix <= oracle_prefix`.
+    pub oracle_prefix: usize,
 }
 
 /// Reads the word a root location currently holds.
@@ -228,6 +237,9 @@ fn scan_stack_impl(
 
     let mut outcome = ScanOutcome {
         reused_frames: reusable,
+        claimed_prefix: reusable,
+        // Read the oracle now: place_markers_at (below) resets it.
+        oracle_prefix: m.stack.true_unchanged_prefix(),
         ..Default::default()
     };
     let mut new_infos: Vec<FrameScanInfo> = Vec::with_capacity(depth - reusable);

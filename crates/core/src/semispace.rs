@@ -15,14 +15,16 @@
 use std::time::Instant;
 
 use tilgc_mem::{Addr, Memory, Space};
-use tilgc_runtime::{AllocShape, CollectReason, GcStats, HeapProfile, MutatorState};
+use tilgc_runtime::{
+    AllocShape, CollectReason, CollectionInspection, GcStats, HeapProfile, MutatorState,
+};
 
 use crate::config::{GcConfig, MarkerPolicy};
 use crate::evac::{poison_range, sweep_profile_deaths, Evacuator};
 use crate::plan::Plan;
 use crate::roots::{append_cached_roots, scan_stack, ScanCache};
 use crate::space::{CopySemantics, CopySpace};
-use crate::util::alloc_in_space;
+use crate::util::{alloc_in_space, build_inspection};
 
 /// The semispace (Fenichel–Yochelson/Cheney) plan.
 pub struct SemispacePlan {
@@ -34,6 +36,7 @@ pub struct SemispacePlan {
     cache: Option<ScanCache>,
     profile: Option<HeapProfile>,
     stats: GcStats,
+    inspection: Option<CollectionInspection>,
 }
 
 impl SemispacePlan {
@@ -64,6 +67,7 @@ impl SemispacePlan {
             cache: config.marker_policy.is_enabled().then(ScanCache::default),
             profile: config.profiling.then(HeapProfile::new),
             stats: GcStats::default(),
+            inspection: None,
         }
     }
 
@@ -74,13 +78,16 @@ impl SemispacePlan {
 
     fn do_collect(&mut self, m: &mut MutatorState) {
         let wall_start = Instant::now();
+        let stats_before = self.stats;
+        let depth_at_gc = m.stack.depth();
         self.stats.collections += 1;
-        self.stats.depth_at_gc_sum += m.stack.depth() as u64;
+        self.stats.depth_at_gc_sum += depth_at_gc as u64;
         self.stats.other_cycles += m.cost.gc_base;
 
         // --- root processing (GC-stack) ---
         let stack_t0 = Instant::now();
         let outcome = scan_stack(m, self.cache.as_mut(), self.marker_policy, &mut self.stats);
+        let scan_claim = (outcome.claimed_prefix, outcome.oracle_prefix);
         // Every collection moves everything, so cached frames' roots must
         // be processed too — the cache saves only the decode cost.
         let mut roots = outcome.new_roots;
@@ -135,6 +142,15 @@ impl SemispacePlan {
         self.stats.stack_wall_ns += stack_ns;
         self.stats.copy_wall_ns += copy_ns;
         self.stats.total_wall_ns += wall_start.elapsed().as_nanos() as u64;
+        // A semispace collection traces the whole heap.
+        self.inspection = Some(build_inspection(
+            &stats_before,
+            &self.stats,
+            true,
+            depth_at_gc,
+            true,
+            scan_claim,
+        ));
     }
 }
 
@@ -189,6 +205,10 @@ impl Plan for SemispacePlan {
 
     fn take_profile(&mut self) -> Option<HeapProfile> {
         self.profile.take()
+    }
+
+    fn last_inspection(&self) -> Option<&CollectionInspection> {
+        self.inspection.as_ref()
     }
 }
 

@@ -1,7 +1,37 @@
 //! Small helpers shared by the collectors.
 
 use tilgc_mem::{Addr, Header, MemError, Memory, Space};
-use tilgc_runtime::AllocShape;
+use tilgc_runtime::{AllocShape, CollectionInspection, GcStats};
+
+/// Builds the post-collection inspection record from the cumulative
+/// stats snapshot taken at the start of the collection (`before`), the
+/// stats at its end (`after`), and the scan's prefix claims
+/// (`claimed_prefix`, `oracle_prefix` from the
+/// [`ScanOutcome`](crate::ScanOutcome)).
+pub(crate) fn build_inspection(
+    before: &GcStats,
+    after: &GcStats,
+    was_major: bool,
+    depth_at_gc: usize,
+    live_accounting_complete: bool,
+    scan_claim: (usize, usize),
+) -> CollectionInspection {
+    CollectionInspection {
+        collection: after.collections,
+        was_major,
+        depth_at_gc: depth_at_gc as u64,
+        live_bytes_after: after.last_live_bytes,
+        live_accounting_complete,
+        copied_bytes: after.copied_bytes - before.copied_bytes,
+        scanned_words: after.scanned_words - before.scanned_words,
+        pretenured_scanned_words: after.pretenured_scanned_words - before.pretenured_scanned_words,
+        roots_found: after.roots_found - before.roots_found,
+        frames_scanned: after.frames_scanned - before.frames_scanned,
+        frames_reused: after.frames_reused - before.frames_reused,
+        claimed_prefix: scan_claim.0 as u64,
+        oracle_prefix: scan_claim.1 as u64,
+    }
+}
 
 /// Writes a freshly allocated object of the given shape at `addr`,
 /// initializing its fields from the mutator's staged operand buffer.

@@ -14,8 +14,8 @@
 
 use std::collections::{HashSet, VecDeque};
 
-use tilgc_mem::{object, Addr, Memory, ObjectKind};
-use tilgc_runtime::{MutatorState, ShadowTag, Vm};
+use tilgc_mem::{object, Addr, Memory, ObjectKind, WORD_BYTES};
+use tilgc_runtime::{CollectionInspection, MutatorState, ShadowTag, Vm};
 
 use crate::evac::POISON;
 
@@ -122,6 +122,85 @@ pub fn check_graph(mem: &Memory, roots: &[Addr]) -> LiveReport {
 pub fn verify_vm(vm: &Vm) -> LiveReport {
     let roots = shadow_roots(vm.mutator());
     check_graph(vm.collector().memory(), &roots)
+}
+
+/// Cross-checks a collection's [`CollectionInspection`] record against
+/// the [`LiveReport`] an independent shadow-tag graph walk produced.
+///
+/// The invariants held against the record:
+///
+/// * **reuse bound (§5)** — the scan's claimed cached prefix,
+///   `min(M, deepest intact marker)`, never exceeds the simulation
+///   oracle's true unchanged prefix;
+/// * **frame accounting** — frames scanned plus frames reused equals the
+///   stack depth at the collection point;
+/// * **copy/scan accounting** — every copied word was Cheney-scanned
+///   (the scan cursor starts at the pre-collection frontier, so
+///   `scanned_words * WORD_BYTES >= copied_bytes`);
+/// * **live-size bound** — when the collector's live accounting is
+///   complete, the bytes reachable from the shadow roots fit within the
+///   claimed live size plus `alloc_slack_bytes` (bytes the mutator
+///   allocated after the collection finished).
+///
+/// # Panics
+///
+/// Panics, naming the violated invariant, if the record is inconsistent
+/// with the oracle — the failure mode an injected accounting bug
+/// produces.
+pub fn check_inspection(report: &LiveReport, insp: &CollectionInspection, alloc_slack_bytes: u64) {
+    assert!(
+        insp.claimed_prefix <= insp.oracle_prefix,
+        "reuse bound violated at collection {}: claimed prefix {} exceeds oracle prefix {}",
+        insp.collection,
+        insp.claimed_prefix,
+        insp.oracle_prefix
+    );
+    assert_eq!(
+        insp.frames_scanned + insp.frames_reused,
+        insp.depth_at_gc,
+        "frame accounting broken at collection {}: {} scanned + {} reused != depth {}",
+        insp.collection,
+        insp.frames_scanned,
+        insp.frames_reused,
+        insp.depth_at_gc
+    );
+    assert!(
+        insp.scanned_words * WORD_BYTES as u64 >= insp.copied_bytes,
+        "copy/scan accounting broken at collection {}: {} words scanned < {} bytes copied",
+        insp.collection,
+        insp.scanned_words,
+        insp.copied_bytes
+    );
+    if insp.live_accounting_complete {
+        assert!(
+            report.bytes as u64 <= insp.live_bytes_after + alloc_slack_bytes,
+            "live accounting broken at collection {}: {} reachable bytes exceed {} live + {} \
+             alloc slack",
+            insp.collection,
+            report.bytes,
+            insp.live_bytes_after,
+            alloc_slack_bytes
+        );
+    }
+}
+
+/// Verifies a running VM's heap *and* cross-checks the collector's
+/// most recent [`CollectionInspection`] record via [`check_inspection`].
+///
+/// `alloc_slack_bytes` is the number of bytes the mutator has allocated
+/// since the collection being inspected finished (those objects are
+/// reachable but postdate the collector's live accounting).
+///
+/// # Panics
+///
+/// Panics on any dangling/malformed reachable pointer, or on any
+/// inspection-record inconsistency.
+pub fn verify_collection(vm: &Vm, alloc_slack_bytes: u64) -> LiveReport {
+    let report = verify_vm(vm);
+    if let Some(insp) = vm.collector().last_inspection() {
+        check_inspection(&report, insp, alloc_slack_bytes);
+    }
+    report
 }
 
 /// A canonical, address-independent encoding of the reachable graph, for

@@ -1,0 +1,128 @@
+//! `experiments bench-compare` — regression gate over two `bench-json`
+//! baselines.
+//!
+//! Reads the kernel-throughput metrics out of a baseline and a candidate
+//! JSON file (the nightly CI tier produces `BENCH_nightly.json` and
+//! compares it against the checked-in `BENCH_pr1.json`) and fails if any
+//! throughput dropped by more than the allowed percentage. Wall-clock
+//! workload times are reported but not gated — they are too noisy on
+//! shared runners; the per-second kernel throughputs are medians and
+//! stable enough to gate on.
+//!
+//! No JSON dependency exists in the workspace, so a tiny `"key": number`
+//! scanner (sufficient for `bench-json`'s flat output) does the reading.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+/// The gated metrics: higher is better for all of them.
+const GATED: [&str; 3] = [
+    "evac_words_per_sec",
+    "stack_scan_frames_per_sec",
+    "ssb_filter_entries_per_sec",
+];
+
+/// Extracts every `"key": <number>` pair from `text`. Nested objects
+/// simply contribute their pairs — `bench-json`'s output has unique keys
+/// throughout, which is all this needs.
+fn parse_metrics(text: &str) -> HashMap<String, f64> {
+    let mut map = HashMap::new();
+    let mut rest = text;
+    while let Some(q) = rest.find('"') {
+        rest = &rest[q + 1..];
+        let Some(endq) = rest.find('"') else { break };
+        let key = &rest[..endq];
+        rest = &rest[endq + 1..];
+        let after = rest.trim_start();
+        if let Some(value) = after.strip_prefix(':') {
+            let value = value.trim_start();
+            let end = value
+                .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+                .unwrap_or(value.len());
+            if let Ok(num) = value[..end].parse::<f64>() {
+                map.insert(key.to_string(), num);
+            }
+        }
+    }
+    map
+}
+
+fn load(path: &str) -> Result<HashMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let map = parse_metrics(&text);
+    if map.is_empty() {
+        return Err(format!("{path} contains no numeric metrics"));
+    }
+    Ok(map)
+}
+
+/// Compares `candidate` against `baseline`, failing (exit 1) if any
+/// gated throughput is below `baseline * (1 - max_regress_pct / 100)`.
+pub fn run(baseline_path: &str, candidate_path: &str, max_regress_pct: f64) -> ExitCode {
+    let (baseline, candidate) = match (load(baseline_path), load(candidate_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench-compare: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "bench-compare: {candidate_path} vs {baseline_path} (allowed regression {max_regress_pct}%)"
+    );
+    let mut failed = false;
+    for name in GATED {
+        let (Some(&base), Some(&cand)) = (baseline.get(name), candidate.get(name)) else {
+            eprintln!("bench-compare: metric {name} missing from one of the files");
+            failed = true;
+            continue;
+        };
+        let ratio = cand / base;
+        let floor = 1.0 - max_regress_pct / 100.0;
+        let verdict = if ratio < floor { "REGRESSED" } else { "ok" };
+        println!(
+            "  {name:>28}: {cand:>14.0} vs {base:>14.0}  ({:+6.1}%)  {verdict}",
+            (ratio - 1.0) * 100.0
+        );
+        if ratio < floor {
+            failed = true;
+        }
+    }
+    // Context only — wall-clock workload time is not gated.
+    if let (Some(&b), Some(&c)) = (
+        baseline.get("table5_workload_ms"),
+        candidate.get("table5_workload_ms"),
+    ) {
+        println!(
+            "  {:>28}: {c:>14.1} vs {b:>14.1}  (not gated)",
+            "table5_workload_ms"
+        );
+    }
+    if failed {
+        eprintln!("bench-compare: FAILED — throughput regressed beyond {max_regress_pct}%");
+        ExitCode::FAILURE
+    } else {
+        println!("bench-compare: ok");
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scanner_reads_nested_numeric_pairs() {
+        let m =
+            parse_metrics(r#"{"suite": "x", "metrics": {"a_per_sec": 1500, "b": 2.5, "c": -1e3}}"#);
+        assert_eq!(m.get("a_per_sec"), Some(&1500.0));
+        assert_eq!(m.get("b"), Some(&2.5));
+        assert_eq!(m.get("c"), Some(&-1000.0));
+        assert!(!m.contains_key("suite"), "string values are skipped");
+    }
+
+    #[test]
+    fn scanner_survives_malformed_tails() {
+        assert!(parse_metrics("\"dangling").is_empty());
+        assert!(parse_metrics("no quotes at all").is_empty());
+    }
+}

@@ -4,16 +4,23 @@
 //! ```text
 //! experiments <table1..table7|figure2|extensions|all> [--scale N] [--csv DIR]
 //! experiments bench-json [--out FILE]
+//! experiments bench-compare [--baseline FILE] [--candidate FILE]
+//!                           [--max-regress-pct N]
 //! ```
 //!
 //! `bench-json` runs the fixed wall-clock GC-throughput suite and
 //! writes a machine-readable baseline (default `BENCH_pr1.json`); it is
 //! not part of `all`, whose outputs are deterministic simulated cycles.
+//! `bench-compare` gates a candidate baseline (default
+//! `BENCH_nightly.json`) against a reference (default `BENCH_pr1.json`),
+//! failing if any kernel throughput regressed more than the allowed
+//! percentage (default 25).
 //!
 //! Build with `--release`: the simulator is deterministic either way, but
 //! debug builds are an order of magnitude slower.
 
 mod bench_json;
+mod compare;
 mod csv;
 mod extensions;
 mod harness;
@@ -26,10 +33,39 @@ fn main() -> ExitCode {
     let mut which: Option<String> = None;
     let mut scale: u32 = 1;
     let mut out = "BENCH_pr1.json".to_string();
+    let mut baseline = "BENCH_pr1.json".to_string();
+    let mut candidate = "BENCH_nightly.json".to_string();
+    let mut max_regress_pct = 25.0f64;
     let mut csv_sink = csv::CsvSink::disabled();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--baseline" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("--baseline needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                baseline = path.clone();
+            }
+            "--candidate" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("--candidate needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                candidate = path.clone();
+            }
+            "--max-regress-pct" => {
+                i += 1;
+                max_regress_pct = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(p) if p >= 0.0 => p,
+                    _ => {
+                        eprintln!("--max-regress-pct needs a non-negative number");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
             "--out" => {
                 i += 1;
                 let Some(path) = args.get(i) else {
@@ -71,6 +107,9 @@ fn main() -> ExitCode {
         i += 1;
     }
     let which = which.unwrap_or_else(|| "all".to_string());
+    if which == "bench-compare" {
+        return compare::run(&baseline, &candidate, max_regress_pct);
+    }
     let run = |name: &str| match name {
         "table1" => tables::table1(),
         "table2" => tables::table2(scale),
@@ -85,7 +124,7 @@ fn main() -> ExitCode {
         other => {
             eprintln!(
                 "unknown experiment {other:?}; expected table1..table7, figure2, extensions, \
-                 bench-json, or all"
+                 bench-json, bench-compare, or all"
             );
             std::process::exit(2);
         }

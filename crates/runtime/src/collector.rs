@@ -72,6 +72,54 @@ impl AllocShape {
     }
 }
 
+/// A post-collection inspection record: what the most recent collection
+/// *claims* it did, in a form an external oracle can cross-check.
+///
+/// Cumulative [`GcStats`] cannot be checked per collection — deltas from
+/// different collections blur together. Collectors therefore record the
+/// per-collection deltas (plus the scan's prefix-reuse claim) here at the
+/// end of every collection, and a verifier such as `tilgc-core`'s
+/// `verify_collection` holds them against the shadow-tag oracle: the
+/// claimed reuse prefix must stay under the simulation oracle, every
+/// copied word must have been Cheney-scanned, and the reachable bytes an
+/// independent graph walk finds must fit the claimed live size.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CollectionInspection {
+    /// Value of [`GcStats::collections`] after this collection (1-based).
+    pub collection: u64,
+    /// Whether the whole heap was collected (a semispace or major
+    /// collection) rather than the nursery alone.
+    pub was_major: bool,
+    /// Stack depth (frames) at the collection point.
+    pub depth_at_gc: u64,
+    /// Live bytes the collector accounted for at the end of the
+    /// collection ([`GcStats::last_live_bytes`] at that instant).
+    pub live_bytes_after: u64,
+    /// Whether `live_bytes_after` covers *every* space a live object can
+    /// inhabit. A §7.2 tenure-threshold minor copies survivors back into
+    /// the nursery system without counting them, so its record sets this
+    /// false and byte-level cross-checks are skipped.
+    pub live_accounting_complete: bool,
+    /// Bytes copied by this collection alone.
+    pub copied_bytes: u64,
+    /// Words Cheney-scanned by this collection alone.
+    pub scanned_words: u64,
+    /// Words scanned in place in pretenured regions by this collection.
+    pub pretenured_scanned_words: u64,
+    /// Root locations processed by this collection.
+    pub roots_found: u64,
+    /// Frames decoded from scratch by this collection's stack scan.
+    pub frames_scanned: u64,
+    /// Frames whose cached decode was reused (§5).
+    pub frames_reused: u64,
+    /// The cached-prefix claim the scan acted on:
+    /// `min(M, deepest intact marker)`, clamped to the cache length.
+    pub claimed_prefix: u64,
+    /// The simulation oracle's true unchanged prefix at the same instant,
+    /// captured *before* marker placement reset the bookkeeping.
+    pub oracle_prefix: u64,
+}
+
 /// Why a collection was requested.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CollectReason {
@@ -131,6 +179,16 @@ pub trait Collector {
     /// explicitly; there is no default, for the same reason as
     /// [`finish`](Collector::finish).
     fn take_profile(&mut self) -> Option<HeapProfile>;
+
+    /// The [`CollectionInspection`] record of the most recent collection,
+    /// or `None` if no collection has happened yet.
+    ///
+    /// Not defaulted, for the same anti-drift reason as
+    /// [`finish`](Collector::finish): a defaulted `None` would let a
+    /// collector silently opt out of post-collection verification, which
+    /// is exactly the accounting the differential torture harness exists
+    /// to keep honest.
+    fn last_inspection(&self) -> Option<&CollectionInspection>;
 }
 
 #[cfg(test)]

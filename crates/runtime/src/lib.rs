@@ -31,6 +31,7 @@
 pub mod barrier;
 mod collector;
 mod cost;
+pub mod driver;
 mod handlers;
 mod mutator;
 pub mod profile_data;
@@ -43,8 +44,9 @@ mod value;
 mod vm;
 
 pub use barrier::{BarrierEntry, WriteBarrier};
-pub use collector::{AllocShape, CollectReason, Collector};
+pub use collector::{AllocShape, CollectReason, CollectionInspection, Collector};
 pub use cost::CostModel;
+pub use driver::{OpDriver, VmOp};
 pub use handlers::{HandlerChain, RaiseBookkeeping};
 pub use mutator::MutatorState;
 pub use profile_data::{HeapProfile, SiteProfile};

@@ -43,11 +43,8 @@ impl Reg {
     ///
     /// Panics if `index >= NUM_REGS`.
     #[inline]
-    pub fn new(index: u8) -> Reg {
-        assert!(
-            (index as usize) < NUM_REGS,
-            "register ${index} out of range"
-        );
+    pub const fn new(index: u8) -> Reg {
+        assert!((index as usize) < NUM_REGS, "register out of range");
         Reg(index)
     }
 

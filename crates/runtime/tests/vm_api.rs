@@ -85,6 +85,10 @@ impl Collector for BumpCollector {
     fn take_profile(&mut self) -> Option<tilgc_runtime::HeapProfile> {
         None
     }
+
+    fn last_inspection(&self) -> Option<&tilgc_runtime::CollectionInspection> {
+        None
+    }
 }
 
 fn vm() -> Vm {

@@ -1,0 +1,367 @@
+//! The differential lockstep executor.
+//!
+//! One seeded [`VmOp`] program is stepped, op by op, against a VM per
+//! collector plan. After every op:
+//!
+//! * any lane whose collection counter advanced is verified — the
+//!   shadow-tag graph walk ([`verify_collection`]) checks every reachable
+//!   pointer and cross-checks the plan's [`CollectionInspection`] record
+//!   (reuse bound, frame accounting, copy/scan accounting, live-size
+//!   bound);
+//! * periodically (and always after a collection, and at program end)
+//!   the mutator-visible reachable graph of every lane is canonicalized
+//!   ([`vm_snapshot`]) and diffed against the first lane's.
+//!
+//! Any mismatch or oracle panic becomes a [`Divergence`] carrying the
+//! seed, the op index and the trace; [`run_seed`] then minimizes the
+//! trace with the greedy deletion shrinker before reporting.
+//!
+//! [`CollectionInspection`]: tilgc_runtime::CollectionInspection
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use tilgc_core::{
+    build_vm, check_inspection, verify_collection, verify_vm, vm_snapshot, CollectorKind, GcConfig,
+    PretenurePolicy,
+};
+use tilgc_mem::WORD_BYTES;
+use tilgc_runtime::driver::{arr_site_id, raw_site_id, rec_site_id, PTR_FREE_REC_INDEX};
+use tilgc_runtime::{OpDriver, Vm, VmOp, WriteBarrier};
+
+use crate::program::generate;
+use crate::shrink::minimize;
+
+/// A deliberately injected defect, for validating that the harness
+/// actually catches what it claims to catch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Disable the write barrier on every generational lane: old-to-young
+    /// stores go unrecorded, so a minor collection loses reachable young
+    /// objects — the shadow-tag oracle or the cross-plan diff must trip.
+    DropBarrier,
+    /// Corrupt the copied-bytes accounting of each collection's
+    /// inspection record before cross-checking it — the copy/scan
+    /// accounting invariant must trip.
+    SkewCopied,
+}
+
+/// One torture run's parameters.
+#[derive(Clone, Debug)]
+pub struct TortureConfig {
+    /// Program length in ops.
+    pub ops: usize,
+    /// Total heap budget per lane.
+    pub heap_budget_bytes: usize,
+    /// Nursery size — small values force frequent minor collections.
+    pub nursery_bytes: usize,
+    /// Large-object threshold — small values route the bigger pointer
+    /// and raw arrays through the mark-sweep space.
+    pub large_object_bytes: usize,
+    /// The plans to run in lockstep (first is the diff baseline).
+    pub plans: Vec<CollectorKind>,
+    /// Diff the cross-plan snapshots every this many ops (collections
+    /// and program end always trigger a diff).
+    pub check_stride: usize,
+    /// Optional injected defect.
+    pub fault: Option<Fault>,
+}
+
+impl Default for TortureConfig {
+    fn default() -> TortureConfig {
+        TortureConfig {
+            ops: 512,
+            heap_budget_bytes: 1 << 20,
+            nursery_bytes: 4 << 10,
+            large_object_bytes: 48,
+            plans: CollectorKind::ALL.to_vec(),
+            check_stride: 16,
+            fault: None,
+        }
+    }
+}
+
+/// A reproduced cross-plan divergence or oracle failure.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// The program seed.
+    pub seed: u64,
+    /// Index of the op being (or just) executed when the failure fired.
+    pub op_index: usize,
+    /// Label of the plan that failed or diverged.
+    pub plan: &'static str,
+    /// What went wrong.
+    pub detail: String,
+    /// The trace that reproduces the failure (minimized by
+    /// [`run_seed`], full-length from [`run_ops`]).
+    pub trace: Vec<VmOp>,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "seed {}: plan {} failed at op {}: {}",
+            self.seed, self.plan, self.op_index, self.detail
+        )?;
+        writeln!(f, "reproducing trace ({} ops):", self.trace.len())?;
+        for (i, op) in self.trace.iter().enumerate() {
+            writeln!(f, "  [{i:4}] {op:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One plan's VM plus its driver state.
+struct Lane {
+    kind: CollectorKind,
+    vm: Vm,
+    driver: OpDriver,
+}
+
+fn build_lane(kind: CollectorKind, cfg: &TortureConfig) -> Lane {
+    let mut gc = GcConfig::new()
+        .heap_budget_bytes(cfg.heap_budget_bytes)
+        .nursery_bytes(cfg.nursery_bytes)
+        .large_object_bytes(cfg.large_object_bytes);
+    if kind == CollectorKind::GenerationalStackPretenure {
+        // Pretenure a spread of the driver's sites: two pointer-carrying
+        // record sites, the pointer-free record site (the §7.2 no-scan
+        // candidate), one pointer-array site and one raw-array site.
+        let mut policy = PretenurePolicy::new();
+        policy.add_site(rec_site_id(1));
+        policy.add_site(rec_site_id(3));
+        policy.add_site(rec_site_id(PTR_FREE_REC_INDEX));
+        policy.add_no_scan_site(rec_site_id(PTR_FREE_REC_INDEX));
+        policy.add_site(arr_site_id(1));
+        policy.add_site(raw_site_id(1));
+        gc = gc.pretenure(policy);
+    }
+    let mut vm = build_vm(kind, &gc);
+    if cfg.fault == Some(Fault::DropBarrier) && kind != CollectorKind::Semispace {
+        vm.mutator_mut().barrier = WriteBarrier::None;
+    }
+    let driver = OpDriver::install(&mut vm);
+    Lane { kind, vm, driver }
+}
+
+fn panic_msg(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Silences the default panic hook for the guard's lifetime: the harness
+/// converts oracle panics into [`Divergence`]s via `catch_unwind`, and a
+/// shrink run replays hundreds of expected failures.
+struct QuietPanics {
+    prev: Option<PanicHook>,
+}
+
+/// The boxed hook type `std::panic::take_hook` returns.
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send + 'static>;
+
+impl QuietPanics {
+    fn new() -> QuietPanics {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        QuietPanics { prev: Some(prev) }
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            std::panic::set_hook(prev);
+        }
+    }
+}
+
+fn diverge(
+    seed: u64,
+    op_index: usize,
+    plan: &'static str,
+    detail: String,
+    ops: &[VmOp],
+) -> Divergence {
+    Divergence {
+        seed,
+        op_index,
+        plan,
+        detail,
+        trace: ops.to_vec(),
+    }
+}
+
+/// Snapshot every lane and diff against the first; `None` means all
+/// lanes agree on the reachable graph.
+fn diff_lanes(seed: u64, op_index: usize, lanes: &[Lane], ops: &[VmOp]) -> Option<Divergence> {
+    let mut base: Option<(&'static str, Vec<u64>)> = None;
+    for lane in lanes {
+        let snap = match catch_unwind(AssertUnwindSafe(|| vm_snapshot(&lane.vm))) {
+            Ok(snap) => snap,
+            Err(p) => {
+                return Some(diverge(
+                    seed,
+                    op_index,
+                    lane.kind.label(),
+                    format!("snapshot walk panicked: {}", panic_msg(&*p)),
+                    ops,
+                ))
+            }
+        };
+        match &base {
+            None => base = Some((lane.kind.label(), snap)),
+            Some((base_label, base_snap)) => {
+                if snap != *base_snap {
+                    return Some(diverge(
+                        seed,
+                        op_index,
+                        lane.kind.label(),
+                        format!(
+                            "reachable graph diverged from {} ({} vs {} snapshot words)",
+                            base_label,
+                            snap.len(),
+                            base_snap.len()
+                        ),
+                        ops,
+                    ));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Replays `ops` against every configured plan in lockstep and returns
+/// the first failure, if any. The trace inside the returned
+/// [`Divergence`] is `ops` itself (unminimized).
+pub fn run_ops(seed: u64, ops: &[VmOp], cfg: &TortureConfig) -> Option<Divergence> {
+    assert!(!cfg.plans.is_empty(), "at least one plan required");
+    let mut lanes: Vec<Lane> = cfg.plans.iter().map(|&k| build_lane(k, cfg)).collect();
+    let stride = cfg.check_stride.max(1);
+    for (i, &op) in ops.iter().enumerate() {
+        let mut collected = false;
+        for lane in &mut lanes {
+            let collections_before = lane.vm.gc_stats().collections;
+            let alloc_before = lane.vm.mutator_stats().alloc_bytes;
+            let stepped = catch_unwind(AssertUnwindSafe(|| {
+                lane.driver.step(&mut lane.vm, op);
+            }));
+            if let Err(p) = stepped {
+                return Some(diverge(
+                    seed,
+                    i,
+                    lane.kind.label(),
+                    format!("panic executing {op:?}: {}", panic_msg(&*p)),
+                    ops,
+                ));
+            }
+            if lane.vm.gc_stats().collections == collections_before {
+                continue;
+            }
+            collected = true;
+            // An op performs at most one allocation, and an
+            // allocation-triggered collection runs before the object is
+            // materialized — so this op's whole allocation delta postdates
+            // the collection and bounds the oracle's slack.
+            let slack = lane.vm.mutator_stats().alloc_bytes - alloc_before;
+            let verified = catch_unwind(AssertUnwindSafe(|| {
+                verify_collection(&lane.vm, slack);
+            }));
+            if let Err(p) = verified {
+                return Some(diverge(
+                    seed,
+                    i,
+                    lane.kind.label(),
+                    format!("oracle check failed after collection: {}", panic_msg(&*p)),
+                    ops,
+                ));
+            }
+            if cfg.fault == Some(Fault::SkewCopied) {
+                if let Some(d) = skewed_accounting_check(seed, i, lane, slack, ops) {
+                    return Some(d);
+                }
+            }
+        }
+        if collected || (i + 1) % stride == 0 || i + 1 == ops.len() {
+            if let Some(d) = diff_lanes(seed, i, &lanes, ops) {
+                return Some(d);
+            }
+        }
+    }
+    None
+}
+
+/// The [`Fault::SkewCopied`] injection: re-run the inspection cross-check
+/// with the copied-bytes figure corrupted past what the scan accounting
+/// can justify. [`check_inspection`] MUST panic; the "divergence" it
+/// reports is the harness catching the planted bug (so the shrinker has
+/// a failure to minimize). Not panicking means the oracle is toothless —
+/// reported as a divergence too, with a distinct detail.
+fn skewed_accounting_check(
+    seed: u64,
+    op_index: usize,
+    lane: &Lane,
+    slack: u64,
+    ops: &[VmOp],
+) -> Option<Divergence> {
+    let insp = lane.vm.collector().last_inspection()?;
+    let mut bad = *insp;
+    bad.copied_bytes = bad.scanned_words * WORD_BYTES as u64 + WORD_BYTES as u64;
+    let report = verify_vm(&lane.vm);
+    match catch_unwind(AssertUnwindSafe(|| check_inspection(&report, &bad, slack))) {
+        Err(p) => Some(diverge(
+            seed,
+            op_index,
+            lane.kind.label(),
+            format!("injected accounting skew caught: {}", panic_msg(&*p)),
+            ops,
+        )),
+        Ok(()) => Some(diverge(
+            seed,
+            op_index,
+            lane.kind.label(),
+            "injected accounting skew NOT caught by check_inspection".to_string(),
+            ops,
+        )),
+    }
+}
+
+/// Generates, runs, and — on failure — minimizes one seed. Returns the
+/// divergence with its minimized reproducing trace, or `None` for a
+/// clean run.
+pub fn run_seed(seed: u64, cfg: &TortureConfig) -> Option<Divergence> {
+    let _quiet = QuietPanics::new();
+    let ops = generate(seed, cfg.ops);
+    let full = run_ops(seed, &ops, cfg)?;
+    let min = minimize(&ops, |cand| run_ops(seed, cand, cfg).is_some());
+    // Re-run the minimized trace so op index and detail describe it, not
+    // the original program.
+    Some(run_ops(seed, &min, cfg).unwrap_or(full))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_start_identical() {
+        let cfg = TortureConfig::default();
+        let lanes: Vec<Lane> = cfg.plans.iter().map(|&k| build_lane(k, &cfg)).collect();
+        assert!(diff_lanes(0, 0, &lanes, &[]).is_none());
+    }
+
+    #[test]
+    fn divergence_display_includes_trace() {
+        let d = diverge(9, 1, "semispace", "boom".into(), &[VmOp::Gc, VmOp::Pop]);
+        let s = d.to_string();
+        assert!(s.contains("seed 9"));
+        assert!(s.contains("Gc"));
+        assert!(s.contains("Pop"));
+    }
+}

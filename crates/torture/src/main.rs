@@ -1,0 +1,188 @@
+//! The `torture` binary: wide-sweep driver for the differential GC
+//! torture harness.
+//!
+//! ```text
+//! torture [--seeds A..B|N] [--ops N] [--plans L,L,...] [--stride N]
+//!         [--nursery-sweep] [--inject drop-barrier|skew-copied]
+//!         [--failure-out PATH]
+//! ```
+//!
+//! Exit status: 0 all runs clean, 1 a divergence was found (printed,
+//! minimized, and optionally written to `--failure-out`), 2 usage error.
+
+use std::ops::Range;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tilgc_core::CollectorKind;
+use tilgc_torture::{run_seed, Fault, TortureConfig};
+
+const USAGE: &str = "usage: torture [options]
+  --seeds A..B | N     seed range (default 0..50; N means 0..N)
+  --ops N              ops per generated program (default 512)
+  --plans L,L,...      plan labels to run in lockstep (default all four:
+                       semispace,generational,gen+markers,gen+markers+pretenure)
+  --stride N           diff cross-plan snapshots every N ops (default 16)
+  --nursery-sweep      repeat the sweep at 2 KB, 4 KB and 16 KB nurseries
+  --inject FAULT       plant a defect the harness must catch:
+                       drop-barrier | skew-copied
+  --failure-out PATH   write the minimized failure report to PATH
+  --help               this text";
+
+struct Args {
+    seeds: Range<u64>,
+    ops: usize,
+    plans: Vec<CollectorKind>,
+    stride: usize,
+    nursery_sweep: bool,
+    inject: Option<Fault>,
+    failure_out: Option<PathBuf>,
+}
+
+fn parse_seeds(s: &str) -> Result<Range<u64>, String> {
+    if let Some((a, b)) = s.split_once("..") {
+        let start: u64 = a.parse().map_err(|_| format!("bad seed range: {s}"))?;
+        let end: u64 = b.parse().map_err(|_| format!("bad seed range: {s}"))?;
+        if start >= end {
+            return Err(format!("empty seed range: {s}"));
+        }
+        Ok(start..end)
+    } else {
+        let n: u64 = s.parse().map_err(|_| format!("bad seed count: {s}"))?;
+        if n == 0 {
+            return Err("seed count must be positive".to_string());
+        }
+        Ok(0..n)
+    }
+}
+
+fn parse_plans(s: &str) -> Result<Vec<CollectorKind>, String> {
+    let mut plans = Vec::new();
+    for label in s.split(',') {
+        let kind = CollectorKind::ALL
+            .into_iter()
+            .find(|k| k.label() == label.trim())
+            .ok_or_else(|| format!("unknown plan label: {label}"))?;
+        if !plans.contains(&kind) {
+            plans.push(kind);
+        }
+    }
+    if plans.is_empty() {
+        return Err("no plans selected".to_string());
+    }
+    Ok(plans)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: 0..50,
+        ops: 512,
+        plans: CollectorKind::ALL.to_vec(),
+        stride: 16,
+        nursery_sweep: false,
+        inject: None,
+        failure_out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
+        match flag.as_str() {
+            "--seeds" => args.seeds = parse_seeds(&value("--seeds")?)?,
+            "--ops" => {
+                args.ops = value("--ops")?
+                    .parse()
+                    .map_err(|_| "bad --ops value".to_string())?;
+            }
+            "--plans" => args.plans = parse_plans(&value("--plans")?)?,
+            "--stride" => {
+                args.stride = value("--stride")?
+                    .parse()
+                    .map_err(|_| "bad --stride value".to_string())?;
+            }
+            "--nursery-sweep" => args.nursery_sweep = true,
+            "--inject" => {
+                args.inject = Some(match value("--inject")?.as_str() {
+                    "drop-barrier" => Fault::DropBarrier,
+                    "skew-copied" => Fault::SkewCopied,
+                    other => return Err(format!("unknown fault: {other}")),
+                });
+            }
+            "--failure-out" => args.failure_out = Some(PathBuf::from(value("--failure-out")?)),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("torture: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let nurseries: &[usize] = if args.nursery_sweep {
+        &[2 << 10, 4 << 10, 16 << 10]
+    } else {
+        &[4 << 10]
+    };
+    let n_seeds = args.seeds.end - args.seeds.start;
+    let mut runs = 0u64;
+    for &nursery in nurseries {
+        let cfg = TortureConfig {
+            ops: args.ops,
+            nursery_bytes: nursery,
+            plans: args.plans.clone(),
+            check_stride: args.stride,
+            fault: args.inject,
+            ..TortureConfig::default()
+        };
+        eprintln!(
+            "torture: nursery {} KB, seeds {}..{}, {} ops, plans [{}]{}",
+            nursery >> 10,
+            args.seeds.start,
+            args.seeds.end,
+            cfg.ops,
+            cfg.plans
+                .iter()
+                .map(|k| k.label())
+                .collect::<Vec<_>>()
+                .join(", "),
+            match cfg.fault {
+                Some(f) => format!(", injected fault {f:?}"),
+                None => String::new(),
+            }
+        );
+        for (done, seed) in args.seeds.clone().enumerate() {
+            if let Some(d) = run_seed(seed, &cfg) {
+                let report = format!("nursery {nursery} bytes\n{d}");
+                eprintln!("torture: FAILED\n{report}");
+                if let Some(path) = &args.failure_out {
+                    if let Err(e) = std::fs::write(path, &report) {
+                        eprintln!("torture: could not write {}: {e}", path.display());
+                    } else {
+                        eprintln!("torture: failure report written to {}", path.display());
+                    }
+                }
+                return ExitCode::from(1);
+            }
+            runs += 1;
+            if (done + 1) % 25 == 0 {
+                eprintln!("torture:   {}/{} seeds clean", done + 1, n_seeds);
+            }
+        }
+    }
+    println!(
+        "torture: {} runs clean ({} seeds x {} nursery sizes, {} ops each)",
+        runs,
+        n_seeds,
+        nurseries.len(),
+        args.ops
+    );
+    ExitCode::SUCCESS
+}

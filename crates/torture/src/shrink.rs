@@ -1,0 +1,92 @@
+//! Greedy op-deletion trace minimization (delta-debugging style).
+//!
+//! Starting from the full failing program, repeatedly try deleting
+//! contiguous chunks — large chunks first, halving down to single ops —
+//! keeping each deletion that still reproduces the failure. The driver's
+//! instruction set makes every subsequence of a valid program valid, so
+//! deletion is the only shrinking operator needed.
+
+use tilgc_runtime::VmOp;
+
+/// Upper bound on reproduction attempts during one minimization — each
+/// attempt replays the candidate against every plan, so the budget keeps
+/// worst-case shrink time proportional to one torture run.
+const SHRINK_BUDGET: usize = 2000;
+
+/// Minimizes `ops` under `fails` (a predicate that replays a candidate
+/// trace and reports whether the failure still reproduces). Returns a
+/// subsequence of `ops` that still fails; `ops` itself is assumed to
+/// fail.
+pub fn minimize(ops: &[VmOp], mut fails: impl FnMut(&[VmOp]) -> bool) -> Vec<VmOp> {
+    let mut cur = ops.to_vec();
+    let mut budget = SHRINK_BUDGET;
+    let mut chunk = (cur.len() / 2).max(1);
+    loop {
+        let mut progress = false;
+        let mut start = 0;
+        while start < cur.len() && budget > 0 {
+            let end = (start + chunk).min(cur.len());
+            let mut cand = Vec::with_capacity(cur.len() - (end - start));
+            cand.extend_from_slice(&cur[..start]);
+            cand.extend_from_slice(&cur[end..]);
+            if !cand.is_empty() && {
+                budget -= 1;
+                fails(&cand)
+            } {
+                // The deletion reproduces: commit it and retry the same
+                // window (which now holds different ops).
+                cur = cand;
+                progress = true;
+            } else {
+                start += chunk;
+            }
+        }
+        if budget == 0 || (chunk == 1 && !progress) {
+            return cur;
+        }
+        if !progress {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(tag: i8) -> VmOp {
+        VmOp::AllocRecord {
+            site: 0,
+            dst: 0,
+            src_a: 0,
+            src_b: 0,
+            tag,
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        let ops: Vec<VmOp> = (0..100).map(|i| op(i as i8)).collect();
+        // The failure "reproduces" whenever op 37 is present.
+        let min = minimize(&ops, |cand| cand.contains(&op(37)));
+        assert_eq!(min, vec![op(37)]);
+    }
+
+    #[test]
+    fn keeps_an_interacting_pair() {
+        let ops: Vec<VmOp> = (0..64).map(|i| op(i as i8)).collect();
+        let min = minimize(&ops, |cand| cand.contains(&op(3)) && cand.contains(&op(60)));
+        assert_eq!(min, vec![op(3), op(60)]);
+    }
+
+    #[test]
+    fn preserves_order() {
+        let ops: Vec<VmOp> = (0..32).map(|i| op(i as i8)).collect();
+        let min = minimize(&ops, |cand| {
+            let a = cand.iter().position(|&o| o == op(5));
+            let b = cand.iter().position(|&o| o == op(20));
+            matches!((a, b), (Some(a), Some(b)) if a < b)
+        });
+        assert_eq!(min, vec![op(5), op(20)]);
+    }
+}

@@ -345,3 +345,129 @@ proptest! {
         }
     }
 }
+
+/// Parses one `proptest-regressions` entry's op list out of its
+/// `# shrinks to ops = [...]` comment — the `Debug` rendering of
+/// `Vec<Op>`. Returns `None` on anything unrecognized so the caller can
+/// fail with the offending line.
+fn parse_regression_ops(line: &str) -> Option<Vec<Op>> {
+    let start = line.find("shrinks to ops = [")? + "shrinks to ops = [".len();
+    let end = line.rfind(']')?;
+    let mut rest = line.get(start..end)?.trim();
+    let mut ops = Vec::new();
+    while !rest.is_empty() {
+        let name_end = rest
+            .find(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+            .unwrap_or(rest.len());
+        let name = &rest[..name_end];
+        rest = rest[name_end..].trim_start();
+        let mut fields: Vec<(&str, i64)> = Vec::new();
+        if let Some(after_brace) = rest.strip_prefix('{') {
+            let close = after_brace.find('}')?;
+            for kv in after_brace[..close].split(',') {
+                let (k, v) = kv.split_once(':')?;
+                fields.push((k.trim(), v.trim().parse().ok()?));
+            }
+            rest = after_brace[close + 1..].trim_start();
+        }
+        rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+        let field =
+            |key: &str| -> Option<i64> { fields.iter().find(|(k, _)| *k == key).map(|&(_, v)| v) };
+        ops.push(match name {
+            "AllocRecord" => Op::AllocRecord {
+                dst: field("dst")? as u8,
+                src_a: field("src_a")? as u8,
+                src_b: field("src_b")? as u8,
+                tag: field("tag")? as i8,
+            },
+            "AllocArray" => Op::AllocArray {
+                dst: field("dst")? as u8,
+                init: field("init")? as u8,
+            },
+            "AllocRaw" => Op::AllocRaw {
+                dst: field("dst")? as u8,
+                len: field("len")? as u8,
+            },
+            "StorePtr" => Op::StorePtr {
+                obj: field("obj")? as u8,
+                field: field("field")? as u8,
+                val: field("val")? as u8,
+            },
+            "LoadPtr" => Op::LoadPtr {
+                obj: field("obj")? as u8,
+                field: field("field")? as u8,
+                dst: field("dst")? as u8,
+            },
+            "Push" => Op::Push,
+            "Pop" => Op::Pop,
+            "PushHandler" => Op::PushHandler,
+            "Raise" => Op::Raise,
+            "Gc" => Op::Gc,
+            "GcMajor" => Op::GcMajor,
+            _ => return None,
+        });
+    }
+    Some(ops)
+}
+
+/// Replays every checked-in regression trace through the differential
+/// property on all four collectors. The vendored proptest shim does not
+/// read `proptest-regressions` files itself, so this test is what keeps
+/// old counterexamples live — and it fails LOUDLY if the file is
+/// missing, unreadable or unparseable, rather than silently skipping
+/// the very cases that once found bugs.
+#[test]
+fn checked_in_regressions_replay_against_all_collectors() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/property.proptest-regressions");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e} — checked-in regression seeds must replay on every run",
+            path.display()
+        )
+    });
+    let mut replayed = 0;
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        assert!(
+            line.starts_with("cc "),
+            "unrecognized regression entry at {}:{}: {line}",
+            path.display(),
+            idx + 1
+        );
+        let ops = parse_regression_ops(line).unwrap_or_else(|| {
+            panic!(
+                "unparseable regression entry at {}:{}: {line}",
+                path.display(),
+                idx + 1
+            )
+        });
+        assert!(!ops.is_empty());
+        let config = tight_config();
+        let baseline = interpret(CollectorKind::Semispace, &config, &ops);
+        for kind in [
+            CollectorKind::Generational,
+            CollectorKind::GenerationalStack,
+            CollectorKind::GenerationalStackPretenure,
+        ] {
+            let got = interpret(kind, &config, &ops);
+            assert_eq!(
+                got,
+                baseline,
+                "{} diverged from the baseline replaying the regression at {}:{}",
+                kind.label(),
+                path.display(),
+                idx + 1
+            );
+        }
+        replayed += 1;
+    }
+    assert!(
+        replayed >= 1,
+        "no regression entries found in {} — the checked-in counterexample is gone",
+        path.display()
+    );
+}

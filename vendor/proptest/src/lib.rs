@@ -8,9 +8,12 @@
 //! [`test_runner::ProptestConfig`].
 //!
 //! Semantics: each test runs `cases` deterministic pseudo-random cases
-//! (seeded per test name, splitmix64). There is no shrinking — a failing
-//! case panics with the generated inputs' `Debug` rendering, which is
-//! enough to reproduce since generation is deterministic.
+//! (seeded per test name, splitmix64). The `PROPTEST_CASES` environment
+//! variable overrides every test's configured case count, mirroring real
+//! proptest — the nightly CI tier uses it to deepen the sweep. There is
+//! no shrinking — a failing case panics with the generated inputs'
+//! `Debug` rendering, which is enough to reproduce since generation is
+//! deterministic.
 
 /// Deterministic splitmix64 generator driving all strategies.
 #[derive(Clone, Debug)]
@@ -39,6 +42,25 @@ impl TestRng {
     pub fn below(&mut self, bound: u64) -> u64 {
         // Multiply-shift bound reduction; bias is irrelevant for tests.
         ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// Resolves the case count for one test run: the `PROPTEST_CASES`
+/// environment variable (real proptest's global override) beats the
+/// per-test configuration when set.
+///
+/// # Panics
+///
+/// Panics if `PROPTEST_CASES` is set but is not a positive integer — a
+/// CI job that typos the variable must fail, not silently run the
+/// default depth.
+pub fn resolved_cases(config_cases: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => match v.trim().parse::<u32>() {
+            Ok(n) if n > 0 => n,
+            _ => panic!("PROPTEST_CASES must be a positive integer, got {v:?}"),
+        },
+        Err(_) => config_cases,
     }
 }
 
@@ -295,7 +317,7 @@ macro_rules! proptest {
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $cfg;
             let seed = $crate::seed_from_name(concat!(module_path!(), "::", stringify!($name)));
-            for case in 0..config.cases {
+            for case in 0..$crate::resolved_cases(config.cases) {
                 let mut rng = $crate::TestRng::new(seed ^ (u64::from(case) << 32));
                 $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
                 $body
