@@ -22,6 +22,7 @@
 //! identically for every plan.
 
 use tilgc_mem::{object, Addr, Header, Memory, ObjectKind, Space, SpaceRange, MAX_RECORD_FIELDS};
+use tilgc_obs::TelemetryAcc;
 use tilgc_runtime::{CostModel, GcStats, HeapProfile, MutatorState};
 
 use crate::los::LargeObjectSpace;
@@ -72,6 +73,10 @@ pub struct Evacuator<'a> {
     los: Option<&'a mut LargeObjectSpace>,
     profile: Option<&'a mut HeapProfile>,
     stats: &'a mut GcStats,
+    /// Telemetry accumulator lent by the plan while a recorder is
+    /// installed: per-site copy/survival deltas and the object-size
+    /// histogram. Host-side only — never charged simulated cycles.
+    telem: Option<&'a mut TelemetryAcc>,
     cost: CostModel,
     scan: Addr,
     /// Optional aging destination (§7.2 tenure-threshold variant):
@@ -134,6 +139,7 @@ impl<'a> Evacuator<'a> {
             los,
             profile,
             stats,
+            telem: None,
             cost,
             scan,
             survivor: None,
@@ -153,6 +159,20 @@ impl<'a> Evacuator<'a> {
         self.survivor_scan = survivor.frontier();
         self.survivor = Some(survivor);
         self.tenure_age = tenure_age;
+    }
+
+    /// Lends the plan's telemetry accumulator to this collection so
+    /// copies and in-place scans feed the per-site counters and size
+    /// histogram.
+    pub fn set_telemetry(&mut self, telem: &'a mut TelemetryAcc) {
+        self.telem = Some(telem);
+    }
+
+    /// Total simulated GC cycles charged so far, read through the stats
+    /// borrow this evacuator holds — lets a plan mark phase boundaries
+    /// while the collection is in flight.
+    pub fn current_gc_cycles(&self) -> u64 {
+        self.stats.gc_cycles()
     }
 
     /// Whether `addr` lies in a range being vacated.
@@ -245,9 +265,14 @@ impl<'a> Evacuator<'a> {
             let bytes = h.size_bytes();
             self.stats.copied_bytes += bytes as u64;
             self.stats.copy_cycles += self.cost.copy_per_word * words as u64;
-            if let Some(p) = self.profile.as_deref_mut() {
+            if self.profile.is_some() || self.telem.is_some() {
                 let from_nursery = self.nursery.is_some_and(|n| n.contains(addr));
-                p.on_copy(addr, new, bytes, from_nursery);
+                if let Some(p) = self.profile.as_deref_mut() {
+                    p.on_copy(addr, new, bytes, from_nursery);
+                }
+                if let Some(t) = self.telem.as_deref_mut() {
+                    t.note_copy(h.site().get(), bytes as u64, from_nursery);
+                }
             }
             new
         } else {
@@ -374,6 +399,9 @@ impl<'a> Evacuator<'a> {
         };
         self.stats.copy_cycles += per_word * h.size_words() as u64;
         self.stats.pretenured_scanned_words += h.size_words() as u64;
+        if let Some(t) = self.telem.as_deref_mut() {
+            t.note_inplace_scan(h.size_bytes() as u64);
+        }
         self.scan_fields(addr, h);
     }
 

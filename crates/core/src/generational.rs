@@ -27,6 +27,7 @@
 use std::time::Instant;
 
 use tilgc_mem::{Addr, Memory, Space, SpaceRange};
+use tilgc_obs::{CollectionBegin, Event, GcPhase, PhaseTimer, TelemetryAcc};
 use tilgc_runtime::{
     AllocShape, BarrierEntry, CollectReason, CollectionInspection, GcStats, HeapProfile,
     MutatorState,
@@ -37,7 +38,9 @@ use crate::evac::{poison_range, sweep_profile_deaths, Evacuator};
 use crate::plan::Plan;
 use crate::roots::{append_cached_roots, scan_stack, ScanCache};
 use crate::space::{CopySemantics, CopySpace, PretenuredRegion};
-use crate::util::{alloc_in_space, build_inspection, materialize};
+use crate::util::{
+    alloc_in_space, build_collection_end, build_inspection, materialize, reason_str,
+};
 use crate::LargeObjectSpace;
 
 /// The two-generation plan of §2.1.
@@ -89,6 +92,9 @@ pub struct GenerationalPlan {
     profile: Option<HeapProfile>,
     stats: GcStats,
     inspection: Option<CollectionInspection>,
+    /// Telemetry accumulator, allocated lazily the first time a
+    /// collection or allocation runs with an enabled recorder installed.
+    telem: Option<TelemetryAcc>,
 }
 
 impl GenerationalPlan {
@@ -140,6 +146,7 @@ impl GenerationalPlan {
             profile: config.profiling.then(HeapProfile::new),
             stats: GcStats::default(),
             inspection: None,
+            telem: None,
         };
         c.apply_limits(0);
         c
@@ -185,19 +192,84 @@ impl GenerationalPlan {
         }
     }
 
-    fn minor(&mut self, m: &mut MutatorState) {
+    /// Starts a collection's telemetry, if a recorder is installed:
+    /// emits the begin event and returns the phase timer. Returns `None`
+    /// (and does nothing at all) under the default disabled recorder.
+    fn begin_telemetry(
+        &mut self,
+        m: &mut MutatorState,
+        reason: &'static str,
+        major: bool,
+        depth_at_gc: usize,
+    ) -> Option<PhaseTimer> {
+        if !m.recorder.is_enabled() {
+            return None;
+        }
+        self.telem
+            .get_or_insert_with(TelemetryAcc::default)
+            .note_depth(depth_at_gc as u64);
+        m.recorder.record(Event::CollectionBegin(CollectionBegin {
+            collection: self.stats.collections + 1,
+            plan: "generational",
+            reason,
+            major,
+            depth: depth_at_gc as u64,
+            start_cycles: m.stats.client_cycles + self.stats.gc_cycles(),
+        }));
+        Some(PhaseTimer::start(self.stats.gc_cycles()))
+    }
+
+    /// Finishes a collection's telemetry: phase spans, the end event,
+    /// and the per-site samples accumulated since the last collection.
+    fn end_telemetry(
+        &mut self,
+        m: &mut MutatorState,
+        timer: Option<PhaseTimer>,
+        stats_before: &GcStats,
+        wall_ns: u64,
+    ) {
+        let Some(timer) = timer else { return };
+        let collection = self.stats.collections;
+        for e in timer.into_events(collection) {
+            m.recorder.record(e);
+        }
+        let telem = self.telem.as_mut().expect("allocated by begin_telemetry");
+        let insp = self.inspection.as_ref().expect("built by the collection");
+        let end_cycles = m.stats.client_cycles + self.stats.gc_cycles();
+        m.recorder
+            .record(Event::CollectionEnd(Box::new(build_collection_end(
+                stats_before,
+                &self.stats,
+                insp,
+                telem,
+                end_cycles,
+                wall_ns,
+            ))));
+        for e in telem.drain_samples(collection) {
+            m.recorder.record(e);
+        }
+    }
+
+    fn minor(&mut self, m: &mut MutatorState, reason: &'static str) {
         let wall_start = Instant::now();
         let stats_before = self.stats;
         let depth_at_gc = m.stack.depth();
+        let mut timer = self.begin_telemetry(m, reason, false, depth_at_gc);
         let mut los_pending = self.take_los_pending();
         los_pending.append(&mut self.oversized_pending);
         self.stats.collections += 1;
         self.stats.depth_at_gc_sum += depth_at_gc as u64;
         self.stats.other_cycles += m.cost.gc_base;
+        if let Some(t) = timer.as_mut() {
+            t.mark(GcPhase::Setup, self.stats.gc_cycles());
+        }
 
         // --- root processing (GC-stack) ---
         let stack_t0 = Instant::now();
         let outcome = scan_stack(m, self.cache.as_mut(), self.marker_policy, &mut self.stats);
+        if let Some(t) = timer.as_mut() {
+            t.mark(GcPhase::StackDecode, self.stats.gc_cycles());
+        }
         let scan_claim = (outcome.claimed_prefix, outcome.oracle_prefix);
         // Immediate promotion means frames scanned at an earlier
         // collection cannot reference the (newer) nursery: only newly
@@ -227,7 +299,13 @@ impl GenerationalPlan {
         if self.tenure_threshold > 0 {
             evac.set_survivor(survivor_space, self.tenure_threshold);
         }
+        if let Some(t) = self.telem.as_mut().filter(|_| timer.is_some()) {
+            evac.set_telemetry(t);
+        }
         evac.forward_roots(m, &roots);
+        if let Some(t) = timer.as_mut() {
+            t.mark(GcPhase::RootScan, evac.current_gc_cycles());
+        }
         let stack_ns = stack_t0.elapsed().as_nanos() as u64;
 
         // --- copying (GC-copy) ---
@@ -258,6 +336,9 @@ impl GenerationalPlan {
         });
         m.barrier = barrier;
         evac.forward_field_locs(&mut field_locs);
+        if let Some(t) = timer.as_mut() {
+            t.mark(GcPhase::BarrierFilter, evac.current_gc_cycles());
+        }
         // Freshly pretenured regions: scan in place instead of copying.
         let pending = self.pretenured.as_mut().map(|p| p.take_pending());
         let grouped = self.pretenured.as_ref().is_some_and(|p| p.grouped());
@@ -265,6 +346,9 @@ impl GenerationalPlan {
             for addr in pending {
                 evac.scan_in_place(addr, grouped);
             }
+        }
+        if let Some(t) = timer.as_mut() {
+            t.mark(GcPhase::PretenuredInPlaceScan, evac.current_gc_cycles());
         }
         // Young large pointer arrays may hold nursery references from
         // their initializing stores.
@@ -279,13 +363,24 @@ impl GenerationalPlan {
         for loc in std::mem::take(&mut self.young_locs) {
             evac.forward_word_at(loc);
         }
+        if let Some(t) = timer.as_mut() {
+            t.mark(GcPhase::BarrierFilter, evac.current_gc_cycles());
+        }
         evac.drain();
+        if let Some(t) = timer.as_mut() {
+            t.mark(GcPhase::CheneyCopy, evac.current_gc_cycles());
+        }
         self.young_refs = evac.take_young_owner_refs();
         self.young_locs = evac.take_young_field_locs();
         let copy_ns = copy_t0.elapsed().as_nanos() as u64;
 
         self.stats.barrier_entries += barrier_entries;
         self.stats.other_cycles += m.cost.barrier_entry * barrier_entries;
+        if let Some(t) = timer.as_mut() {
+            // The per-entry examination charge lands after the drain;
+            // fold it into the barrier-filter phase.
+            t.mark(GcPhase::BarrierFilter, self.stats.gc_cycles());
+        }
 
         sweep_profile_deaths(
             &self.mem,
@@ -307,7 +402,8 @@ impl GenerationalPlan {
             .note_live_bytes(tilgc_mem::words_to_bytes(live_words) as u64);
         self.stats.stack_wall_ns += stack_ns;
         self.stats.copy_wall_ns += copy_ns;
-        self.stats.total_wall_ns += wall_start.elapsed().as_nanos() as u64;
+        let total_ns = wall_start.elapsed().as_nanos() as u64;
+        self.stats.total_wall_ns += total_ns;
         // With a §7.2 tenure threshold, copied-back survivors live in the
         // nursery system but are not counted in `live_words`: the record
         // marks the byte accounting incomplete so verifiers skip it.
@@ -319,20 +415,28 @@ impl GenerationalPlan {
             self.tenure_threshold == 0,
             scan_claim,
         ));
+        self.end_telemetry(m, timer, &stats_before, total_ns);
     }
 
-    fn major(&mut self, m: &mut MutatorState) {
+    fn major(&mut self, m: &mut MutatorState, reason: &'static str) {
         let wall_start = Instant::now();
         let stats_before = self.stats;
         let depth_at_gc = m.stack.depth();
+        let mut timer = self.begin_telemetry(m, reason, true, depth_at_gc);
         self.stats.collections += 1;
         self.stats.major_collections += 1;
         self.stats.depth_at_gc_sum += depth_at_gc as u64;
         self.stats.other_cycles += m.cost.gc_base;
+        if let Some(t) = timer.as_mut() {
+            t.mark(GcPhase::Setup, self.stats.gc_cycles());
+        }
 
         // --- root processing ---
         let stack_t0 = Instant::now();
         let outcome = scan_stack(m, self.cache.as_mut(), self.marker_policy, &mut self.stats);
+        if let Some(t) = timer.as_mut() {
+            t.mark(GcPhase::StackDecode, self.stats.gc_cycles());
+        }
         let scan_claim = (outcome.claimed_prefix, outcome.oracle_prefix);
         // A major collection moves tenured objects, so cached frames'
         // roots must be relocated too — but their decode cost is still
@@ -366,7 +470,13 @@ impl GenerationalPlan {
             &mut self.stats,
             m.cost,
         );
+        if let Some(t) = self.telem.as_mut().filter(|_| timer.is_some()) {
+            evac.set_telemetry(t);
+        }
         evac.forward_roots(m, &roots);
+        if let Some(t) = timer.as_mut() {
+            t.mark(GcPhase::RootScan, evac.current_gc_cycles());
+        }
         let stack_ns = stack_t0.elapsed().as_nanos() as u64;
 
         // --- copying ---
@@ -381,7 +491,13 @@ impl GenerationalPlan {
         self.oversized_pending.clear();
         self.young_refs.clear();
         self.young_locs.clear();
+        if let Some(t) = timer.as_mut() {
+            t.mark(GcPhase::BarrierFilter, evac.current_gc_cycles());
+        }
         evac.drain();
+        if let Some(t) = timer.as_mut() {
+            t.mark(GcPhase::CheneyCopy, evac.current_gc_cycles());
+        }
         let copy_ns = copy_t0.elapsed().as_nanos() as u64;
 
         sweep_profile_deaths(
@@ -445,7 +561,8 @@ impl GenerationalPlan {
             .note_live_bytes(tilgc_mem::words_to_bytes(live_words) as u64);
         self.stats.stack_wall_ns += stack_ns;
         self.stats.copy_wall_ns += copy_ns;
-        self.stats.total_wall_ns += wall_start.elapsed().as_nanos() as u64;
+        let total_ns = wall_start.elapsed().as_nanos() as u64;
+        self.stats.total_wall_ns += total_ns;
         self.inspection = Some(build_inspection(
             &stats_before,
             &self.stats,
@@ -454,6 +571,7 @@ impl GenerationalPlan {
             true,
             scan_claim,
         ));
+        self.end_telemetry(m, timer, &stats_before, total_ns);
     }
 
     /// Scans young large pointer arrays (initializing stores may reference
@@ -482,6 +600,14 @@ impl Plan for GenerationalPlan {
     fn alloc(&mut self, m: &mut MutatorState, shape: AllocShape) -> Addr {
         let words = shape.size_words();
         let site = shape.site();
+        if m.recorder.is_enabled() {
+            // Counted before routing so every allocation path (LOS,
+            // pretenure, semispace mode, oversized, nursery) feeds the
+            // same per-site time-series.
+            self.telem
+                .get_or_insert_with(TelemetryAcc::default)
+                .note_alloc(site.get(), shape.size_bytes() as u64);
+        }
 
         // Large arrays bypass the nursery (§2.1) — checked before the
         // pretenuring policy because a mark-sweep-managed array is never
@@ -497,7 +623,7 @@ impl Plan for GenerationalPlan {
             let addr = match self.los.as_mut().expect("checked").alloc(words) {
                 Some(a) => a,
                 None => {
-                    self.major(m);
+                    self.major(m, "alloc-failure");
                     self.los
                         .as_mut()
                         .expect("checked")
@@ -523,7 +649,7 @@ impl Plan for GenerationalPlan {
             if p.should_pretenure(site) {
                 m.charge(m.cost.pretenure_alloc_extra);
                 if !self.tenured.active().fits(words) {
-                    self.major(m);
+                    self.major(m, "alloc-failure");
                     assert!(
                         self.tenured.active().fits(words),
                         "out of memory pretenuring {words} words"
@@ -560,7 +686,7 @@ impl Plan for GenerationalPlan {
         // promotion copying and no region scans are needed.
         if self.semispace_mode {
             if !self.tenured.active().fits(words) {
-                self.major(m);
+                self.major(m, "alloc-failure");
             }
             if self.semispace_mode && self.tenured.active().fits(words) {
                 let buf = std::mem::take(&mut m.alloc_buf);
@@ -581,7 +707,7 @@ impl Plan for GenerationalPlan {
         // same deferred in-place scan pretenured objects get.
         if words > self.nursery.active().capacity_words() {
             if !self.tenured.active().fits(words) {
-                self.major(m);
+                self.major(m, "alloc-failure");
                 assert!(
                     self.tenured.active().fits(words),
                     "out of memory: oversized object of {words} words"
@@ -616,7 +742,7 @@ impl Plan for GenerationalPlan {
             if !self.nursery.active().fits(words) {
                 // Accumulated copied-back survivors can crowd the nursery
                 // system; a major collection promotes them all.
-                self.major(m);
+                self.major(m, "alloc-failure");
             }
             assert!(
                 self.nursery.active().fits(words),
@@ -635,8 +761,9 @@ impl Plan for GenerationalPlan {
     }
 
     fn collect(&mut self, m: &mut MutatorState, reason: CollectReason) {
+        let why = reason_str(reason);
         match reason {
-            CollectReason::ForcedMajor => self.major(m),
+            CollectReason::ForcedMajor => self.major(m, why),
             CollectReason::Forced | CollectReason::AllocFailure => {
                 if self.semispace_mode {
                     self.mode_age += 1;
@@ -646,15 +773,15 @@ impl Plan for GenerationalPlan {
                         self.semispace_mode = false;
                         self.recent_major_bits = 0;
                     }
-                    self.major(m);
+                    self.major(m, why);
                 } else {
                     let is_major = self.needs_major();
                     self.recent_major_bits =
                         (self.recent_major_bits << 1 | u32::from(is_major)) & 0xffff;
                     if is_major {
-                        self.major(m);
+                        self.major(m, why);
                     } else {
-                        self.minor(m);
+                        self.minor(m, why);
                     }
                 }
             }

@@ -147,6 +147,22 @@ pub fn build_vm(kind: CollectorKind, config: &GcConfig) -> Vm {
     Vm::with_mutator(m, build_collector(kind, config))
 }
 
+/// Builds a full [`Vm`] like [`build_vm`], with a telemetry recorder
+/// installed: the plans emit per-collection events, phase spans and
+/// per-site survival samples through it. Telemetry is host-side only —
+/// it charges no simulated cycles and leaves `GcStats` untouched, so a
+/// recorded run's deterministic counters match an unrecorded run's
+/// exactly.
+pub fn build_vm_with_recorder(
+    kind: CollectorKind,
+    config: &GcConfig,
+    recorder: Box<dyn tilgc_runtime::Recorder>,
+) -> Vm {
+    let mut vm = build_vm(kind, config);
+    vm.set_recorder(recorder);
+    vm
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

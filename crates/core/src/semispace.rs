@@ -15,6 +15,7 @@
 use std::time::Instant;
 
 use tilgc_mem::{Addr, Memory, Space};
+use tilgc_obs::{CollectionBegin, Event, GcPhase, PhaseTimer, TelemetryAcc};
 use tilgc_runtime::{
     AllocShape, CollectReason, CollectionInspection, GcStats, HeapProfile, MutatorState,
 };
@@ -24,7 +25,7 @@ use crate::evac::{poison_range, sweep_profile_deaths, Evacuator};
 use crate::plan::Plan;
 use crate::roots::{append_cached_roots, scan_stack, ScanCache};
 use crate::space::{CopySemantics, CopySpace};
-use crate::util::{alloc_in_space, build_inspection};
+use crate::util::{alloc_in_space, build_collection_end, build_inspection, reason_str};
 
 /// The semispace (Fenichel–Yochelson/Cheney) plan.
 pub struct SemispacePlan {
@@ -37,6 +38,9 @@ pub struct SemispacePlan {
     profile: Option<HeapProfile>,
     stats: GcStats,
     inspection: Option<CollectionInspection>,
+    /// Telemetry accumulator, allocated lazily the first time a
+    /// collection or allocation runs with an enabled recorder installed.
+    telem: Option<TelemetryAcc>,
 }
 
 impl SemispacePlan {
@@ -68,6 +72,7 @@ impl SemispacePlan {
             profile: config.profiling.then(HeapProfile::new),
             stats: GcStats::default(),
             inspection: None,
+            telem: None,
         }
     }
 
@@ -76,17 +81,39 @@ impl SemispacePlan {
         self.heap.active().capacity_words()
     }
 
-    fn do_collect(&mut self, m: &mut MutatorState) {
+    fn do_collect(&mut self, m: &mut MutatorState, reason: &'static str) {
         let wall_start = Instant::now();
         let stats_before = self.stats;
         let depth_at_gc = m.stack.depth();
+        let mut timer = None;
+        if m.recorder.is_enabled() {
+            self.telem
+                .get_or_insert_with(TelemetryAcc::default)
+                .note_depth(depth_at_gc as u64);
+            m.recorder.record(Event::CollectionBegin(CollectionBegin {
+                collection: self.stats.collections + 1,
+                plan: "semispace",
+                reason,
+                // Every semispace collection traces the whole heap.
+                major: true,
+                depth: depth_at_gc as u64,
+                start_cycles: m.stats.client_cycles + self.stats.gc_cycles(),
+            }));
+            timer = Some(PhaseTimer::start(self.stats.gc_cycles()));
+        }
         self.stats.collections += 1;
         self.stats.depth_at_gc_sum += depth_at_gc as u64;
         self.stats.other_cycles += m.cost.gc_base;
+        if let Some(t) = timer.as_mut() {
+            t.mark(GcPhase::Setup, self.stats.gc_cycles());
+        }
 
         // --- root processing (GC-stack) ---
         let stack_t0 = Instant::now();
         let outcome = scan_stack(m, self.cache.as_mut(), self.marker_policy, &mut self.stats);
+        if let Some(t) = timer.as_mut() {
+            t.mark(GcPhase::StackDecode, self.stats.gc_cycles());
+        }
         let scan_claim = (outcome.claimed_prefix, outcome.oracle_prefix);
         // Every collection moves everything, so cached frames' roots must
         // be processed too — the cache saves only the decode cost.
@@ -108,12 +135,21 @@ impl SemispacePlan {
             &mut self.stats,
             m.cost,
         );
+        if let Some(t) = self.telem.as_mut().filter(|_| timer.is_some()) {
+            evac.set_telemetry(t);
+        }
         evac.forward_roots(m, &roots);
+        if let Some(t) = timer.as_mut() {
+            t.mark(GcPhase::RootScan, evac.current_gc_cycles());
+        }
         let stack_ns = stack_t0.elapsed().as_nanos() as u64;
 
         // --- copying (GC-copy) ---
         let copy_t0 = Instant::now();
         evac.drain();
+        if let Some(t) = timer.as_mut() {
+            t.mark(GcPhase::CheneyCopy, evac.current_gc_cycles());
+        }
         let copy_ns = copy_t0.elapsed().as_nanos() as u64;
 
         // A semispace plan needs no write barrier; discard anything an
@@ -141,7 +177,8 @@ impl SemispacePlan {
             .note_live_bytes(tilgc_mem::words_to_bytes(live_words) as u64);
         self.stats.stack_wall_ns += stack_ns;
         self.stats.copy_wall_ns += copy_ns;
-        self.stats.total_wall_ns += wall_start.elapsed().as_nanos() as u64;
+        let total_ns = wall_start.elapsed().as_nanos() as u64;
+        self.stats.total_wall_ns += total_ns;
         // A semispace collection traces the whole heap.
         self.inspection = Some(build_inspection(
             &stats_before,
@@ -151,6 +188,27 @@ impl SemispacePlan {
             true,
             scan_claim,
         ));
+        if let Some(timer) = timer {
+            let collection = self.stats.collections;
+            for e in timer.into_events(collection) {
+                m.recorder.record(e);
+            }
+            let telem = self.telem.as_mut().expect("allocated when recording");
+            let insp = self.inspection.as_ref().expect("just built");
+            let end_cycles = m.stats.client_cycles + self.stats.gc_cycles();
+            m.recorder
+                .record(Event::CollectionEnd(Box::new(build_collection_end(
+                    &stats_before,
+                    &self.stats,
+                    insp,
+                    telem,
+                    end_cycles,
+                    total_ns,
+                ))));
+            for e in telem.drain_samples(collection) {
+                m.recorder.record(e);
+            }
+        }
     }
 }
 
@@ -169,8 +227,13 @@ impl Plan for SemispacePlan {
 
     fn alloc(&mut self, m: &mut MutatorState, shape: AllocShape) -> Addr {
         let words = shape.size_words();
+        if m.recorder.is_enabled() {
+            self.telem
+                .get_or_insert_with(TelemetryAcc::default)
+                .note_alloc(shape.site().get(), shape.size_bytes() as u64);
+        }
         if !self.heap.active().fits(words) {
-            self.do_collect(m);
+            self.do_collect(m, "alloc-failure");
             assert!(
                 self.heap.active().fits(words),
                 "out of memory: {} words requested, {} free after collection (budget {} words)",
@@ -189,8 +252,8 @@ impl Plan for SemispacePlan {
         addr
     }
 
-    fn collect(&mut self, m: &mut MutatorState, _reason: CollectReason) {
-        self.do_collect(m);
+    fn collect(&mut self, m: &mut MutatorState, reason: CollectReason) {
+        self.do_collect(m, reason_str(reason));
     }
 
     fn gc_stats(&self) -> &GcStats {

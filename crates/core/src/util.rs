@@ -1,7 +1,52 @@
 //! Small helpers shared by the collectors.
 
 use tilgc_mem::{Addr, Header, MemError, Memory, Space};
-use tilgc_runtime::{AllocShape, CollectionInspection, GcStats};
+use tilgc_obs::TelemetryAcc;
+use tilgc_runtime::{AllocShape, CollectReason, CollectionInspection, GcStats};
+
+/// Wire name of a collection trigger, for telemetry events.
+pub(crate) fn reason_str(reason: CollectReason) -> &'static str {
+    match reason {
+        CollectReason::Forced => "forced",
+        CollectReason::ForcedMajor => "forced-major",
+        CollectReason::AllocFailure => "alloc-failure",
+    }
+}
+
+/// Builds the telemetry end-of-collection event from the same snapshots
+/// the inspection record is derived from, plus the collection's timeline
+/// position and the plan's cumulative histograms.
+pub(crate) fn build_collection_end(
+    before: &GcStats,
+    after: &GcStats,
+    insp: &CollectionInspection,
+    telem: &TelemetryAcc,
+    end_cycles: u64,
+    wall_ns: u64,
+) -> tilgc_obs::CollectionEnd {
+    tilgc_obs::CollectionEnd {
+        collection: insp.collection,
+        major: insp.was_major,
+        depth: insp.depth_at_gc,
+        claimed_prefix: insp.claimed_prefix,
+        oracle_prefix: insp.oracle_prefix,
+        copied_bytes: insp.copied_bytes,
+        scanned_words: insp.scanned_words,
+        pretenured_scanned_words: insp.pretenured_scanned_words,
+        roots_found: insp.roots_found,
+        frames_scanned: insp.frames_scanned,
+        frames_reused: insp.frames_reused,
+        slots_scanned: after.slots_scanned - before.slots_scanned,
+        barrier_entries: after.barrier_entries - before.barrier_entries,
+        markers_placed: after.markers_placed - before.markers_placed,
+        gc_cycles: after.gc_cycles() - before.gc_cycles(),
+        end_cycles,
+        live_bytes_after: insp.live_bytes_after,
+        wall_ns,
+        size_hist: telem.size_hist,
+        depth_hist: telem.depth_hist,
+    }
+}
 
 /// Builds the post-collection inspection record from the cumulative
 /// stats snapshot taken at the start of the collection (`before`), the

@@ -1,0 +1,263 @@
+//! Telemetry reconciliation: the event stream is not a parallel universe
+//! of approximations — its sums must reproduce `GcStats` exactly, on
+//! every plan, and an installed-but-disabled recorder must leave the
+//! deterministic counters byte-identical to a run with no recorder.
+
+use tilgc_core::{build_vm, build_vm_with_recorder, CollectorKind, GcConfig, PretenurePolicy};
+use tilgc_mem::SiteId;
+use tilgc_obs::{jsonl, schema, Event, NullRecorder, RingRecorder};
+use tilgc_runtime::{DescId, FrameDesc, GcStats, Trace, Value, Vm};
+
+/// The site the pretenuring configuration tenures at birth. Site ids are
+/// assigned in registration order starting at 1; the workload registers
+/// this site first and asserts the id matched.
+const CELL_SITE: u16 = 1;
+
+fn config_for(kind: CollectorKind) -> GcConfig {
+    let config = GcConfig::new()
+        .heap_budget_bytes(256 << 10)
+        .nursery_bytes(8 << 10);
+    if kind == CollectorKind::GenerationalStackPretenure {
+        let mut policy = PretenurePolicy::new();
+        policy.add_site(SiteId::new(CELL_SITE));
+        config.pretenure(policy)
+    } else {
+        config
+    }
+}
+
+fn deep(vm: &mut Vm, d: DescId, site: SiteId, n: usize) {
+    if n == 0 {
+        vm.gc_now();
+        return;
+    }
+    vm.push_frame(d);
+    let c = vm.alloc_record(site, &[Value::Int(n as i64), Value::NULL]);
+    vm.set_slot(0, Value::Ptr(c));
+    vm.set_slot(1, Value::NULL);
+    deep(vm, d, site, n - 1);
+    // Collect partway up so the unwound prefix differs from the scanned
+    // one — frames_reused gets a chance to be nonzero under markers.
+    if n == 20 {
+        vm.gc_now();
+    }
+    vm.pop_frame();
+}
+
+/// Exercises every counter the events reconcile against: minor and major
+/// collections, barrier traffic, a pointer array, deep recursion for the
+/// marker machinery, and a forced final collection so every allocation
+/// delta has been drained into a `site-sample` by the end.
+fn workload(vm: &mut Vm) {
+    let cell = vm.site("telem::cell");
+    assert_eq!(cell.get(), CELL_SITE);
+    let junk = vm.site("telem::junk");
+    let arr = vm.site("telem::arr");
+    let d = vm.register_frame(FrameDesc::new("telem").slots(2, Trace::Pointer));
+    vm.push_frame(d);
+    vm.set_slot(0, Value::NULL);
+    vm.set_slot(1, Value::NULL);
+    for i in 0..150 {
+        let tail = vm.slot_ptr(0);
+        let c = vm.alloc_record(cell, &[Value::Int(i), Value::Ptr(tail)]);
+        vm.set_slot(0, Value::Ptr(c));
+        for _ in 0..20 {
+            let _ = vm.alloc_record(junk, &[Value::Int(-1), Value::NULL]);
+        }
+    }
+    // Old-to-young store: the head is tenured by the forced collection,
+    // the fresh cell is nursery-young.
+    vm.gc_now();
+    let head = vm.slot_ptr(0);
+    let young = vm.alloc_record(cell, &[Value::Int(999), Value::NULL]);
+    vm.store_ptr(head, 1, young);
+    let a = vm.alloc_ptr_array(arr, 64, head);
+    vm.set_slot(1, Value::Ptr(a));
+    deep(vm, d, cell, 40);
+    vm.gc_major();
+    for _ in 0..100 {
+        let _ = vm.alloc_record(junk, &[Value::Int(0), Value::NULL]);
+    }
+    vm.gc_now();
+}
+
+/// Zeroes the host-time fields, which legitimately differ run to run;
+/// everything else in `GcStats` is deterministic and must match.
+fn scrub(mut s: GcStats) -> GcStats {
+    s.stack_wall_ns = 0;
+    s.copy_wall_ns = 0;
+    s.total_wall_ns = 0;
+    s
+}
+
+#[test]
+fn event_sums_reproduce_gc_stats_on_every_plan() {
+    for kind in CollectorKind::ALL {
+        let config = config_for(kind);
+        let recorder = Box::new(RingRecorder::with_capacity(1 << 18));
+        let mut vm = build_vm_with_recorder(kind, &config, recorder);
+        workload(&mut vm);
+        vm.finish();
+        let stats = *vm.gc_stats();
+        let alloc_bytes = vm.mutator_stats().alloc_bytes;
+        let events = RingRecorder::drain_events_from(vm.recorder_mut())
+            .expect("a RingRecorder was installed");
+        assert!(!events.is_empty(), "{}: no events recorded", kind.label());
+
+        let mut begins = 0u64;
+        let mut ends = 0u64;
+        let mut sum = GcStats::default();
+        let mut sum_gc_cycles = 0u64;
+        let mut sample_alloc_bytes = 0u64;
+        let mut sample_copied_bytes = 0u64;
+        let mut phase_cycles: std::collections::HashMap<u64, u64> =
+            std::collections::HashMap::new();
+        let mut end_gc_cycles: std::collections::HashMap<u64, u64> =
+            std::collections::HashMap::new();
+        for e in &events {
+            match e {
+                Event::CollectionBegin(_) => begins += 1,
+                Event::Phase(p) => *phase_cycles.entry(p.collection).or_default() += p.cycles,
+                Event::CollectionEnd(c) => {
+                    ends += 1;
+                    sum.copied_bytes += c.copied_bytes;
+                    sum.scanned_words += c.scanned_words;
+                    sum.pretenured_scanned_words += c.pretenured_scanned_words;
+                    sum.roots_found += c.roots_found;
+                    sum.frames_scanned += c.frames_scanned;
+                    sum.frames_reused += c.frames_reused;
+                    sum.slots_scanned += c.slots_scanned;
+                    sum.barrier_entries += c.barrier_entries;
+                    sum.markers_placed += c.markers_placed;
+                    sum_gc_cycles += c.gc_cycles;
+                    end_gc_cycles.insert(c.collection, c.gc_cycles);
+                }
+                Event::SiteSample(s) => {
+                    sample_alloc_bytes += s.alloc_bytes;
+                    sample_copied_bytes += s.copied_bytes;
+                }
+            }
+        }
+
+        let label = kind.label();
+        assert_eq!(begins, stats.collections, "{label}: begin events");
+        assert_eq!(ends, stats.collections, "{label}: end events");
+        assert_eq!(sum.copied_bytes, stats.copied_bytes, "{label}: copied");
+        assert_eq!(sum.scanned_words, stats.scanned_words, "{label}: scanned");
+        assert_eq!(
+            sum.pretenured_scanned_words, stats.pretenured_scanned_words,
+            "{label}: pretenured scan"
+        );
+        assert_eq!(sum.roots_found, stats.roots_found, "{label}: roots");
+        assert_eq!(
+            sum.frames_scanned, stats.frames_scanned,
+            "{label}: frames scanned"
+        );
+        assert_eq!(
+            sum.frames_reused, stats.frames_reused,
+            "{label}: frames reused"
+        );
+        assert_eq!(
+            sum.slots_scanned, stats.slots_scanned,
+            "{label}: slots scanned"
+        );
+        assert_eq!(
+            sum.barrier_entries, stats.barrier_entries,
+            "{label}: barrier entries"
+        );
+        assert_eq!(
+            sum.markers_placed, stats.markers_placed,
+            "{label}: markers placed"
+        );
+        assert_eq!(sum_gc_cycles, stats.gc_cycles(), "{label}: gc cycles");
+
+        // Per-collection phase attribution is exact, not approximate.
+        for (collection, total) in &end_gc_cycles {
+            assert_eq!(
+                phase_cycles.get(collection).copied().unwrap_or(0),
+                *total,
+                "{label}: phase cycle sum of collection {collection}"
+            );
+        }
+
+        // Per-site samples: every allocation was drained (the workload
+        // ends in a forced collection) and every copy carries its site.
+        assert_eq!(
+            sample_alloc_bytes, alloc_bytes,
+            "{label}: sampled alloc bytes"
+        );
+        assert_eq!(
+            sample_copied_bytes, stats.copied_bytes,
+            "{label}: sampled copied bytes"
+        );
+
+        // The stream renders to schema-valid JSONL on every plan.
+        let doc = jsonl::render(label, "telemetry-test", 150_000_000, &[], &events);
+        schema::validate_jsonl(&doc).unwrap_or_else(|e| panic!("{label}: {e}"));
+
+        // Plan-specific signal checks, so the reconciliation above is
+        // not vacuously summing zeros.
+        assert!(stats.collections >= 3, "{label}: too few collections");
+        assert!(stats.copied_bytes > 0, "{label}: nothing copied");
+        if kind != CollectorKind::Semispace {
+            assert!(stats.barrier_entries > 0, "{label}: no barrier traffic");
+        }
+        if kind == CollectorKind::GenerationalStack
+            || kind == CollectorKind::GenerationalStackPretenure
+        {
+            assert!(stats.markers_placed > 0, "{label}: no markers placed");
+        }
+        if kind == CollectorKind::GenerationalStackPretenure {
+            assert!(
+                stats.pretenured_scanned_words > 0,
+                "{label}: pretenured region never scanned"
+            );
+        }
+    }
+}
+
+#[test]
+fn installed_recorders_leave_gc_stats_byte_identical() {
+    for kind in CollectorKind::ALL {
+        let config = config_for(kind);
+
+        let mut bare = build_vm(kind, &config);
+        workload(&mut bare);
+        bare.finish();
+
+        let mut nulled = build_vm_with_recorder(kind, &config, Box::new(NullRecorder));
+        workload(&mut nulled);
+        nulled.finish();
+
+        let mut ringed = build_vm_with_recorder(
+            kind,
+            &config,
+            Box::new(RingRecorder::with_capacity(1 << 18)),
+        );
+        workload(&mut ringed);
+        ringed.finish();
+
+        let label = kind.label();
+        let base = scrub(*bare.gc_stats());
+        assert_eq!(
+            base,
+            scrub(*nulled.gc_stats()),
+            "{label}: NullRecorder perturbed GcStats"
+        );
+        assert_eq!(
+            base,
+            scrub(*ringed.gc_stats()),
+            "{label}: RingRecorder perturbed GcStats"
+        );
+        assert_eq!(
+            bare.mutator_stats().client_cycles,
+            ringed.mutator_stats().client_cycles,
+            "{label}: recording perturbed client cycles"
+        );
+        assert_eq!(
+            bare.mutator_stats().alloc_bytes,
+            ringed.mutator_stats().alloc_bytes,
+            "{label}: recording perturbed allocation accounting"
+        );
+    }
+}

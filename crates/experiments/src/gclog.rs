@@ -1,0 +1,328 @@
+//! `experiments gc-log` — runs one benchmark under one collector with
+//! the telemetry recorder attached, renders an ASCII per-collection
+//! timeline on stdout, and writes the full event stream as JSONL plus a
+//! Chrome trace-event file (open it at <https://ui.perfetto.dev>).
+//!
+//! The recorder is host-side only: the run's simulated cycle counts and
+//! `GcStats` are identical to an unrecorded run of the same program.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use tilgc_core::{build_vm_with_recorder, CollectorKind};
+use tilgc_obs::{chrome, jsonl, schema, Event, GcPhase, RingRecorder};
+use tilgc_programs::Benchmark;
+use tilgc_runtime::CostModel;
+
+use crate::harness::{config_with_budget, derive_pretenure_policy, Calibration};
+
+/// Event capacity of the recording ring; enough for every collection the
+/// scaled benchmarks perform with plenty of headroom. Overflow drops the
+/// oldest events (and the tool reports it), never the run.
+const RING_CAPACITY: usize = 1 << 20;
+
+/// Width of the ASCII phase bar, in character cells.
+const BAR_WIDTH: usize = 40;
+
+/// Runs the gc-log experiment. `bench_name` / `plan_label` match
+/// [`Benchmark::name`] and [`CollectorKind::label`] case-insensitively.
+pub fn run(bench_name: &str, plan_label: &str, out_dir: &str, validate: bool) -> ExitCode {
+    let Some(bench) = Benchmark::ALL
+        .iter()
+        .copied()
+        .find(|b| b.name().eq_ignore_ascii_case(bench_name))
+    else {
+        eprintln!(
+            "unknown benchmark {bench_name:?}; expected one of: {}",
+            Benchmark::ALL.map(|b| b.name()).join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let Some(kind) = CollectorKind::ALL
+        .iter()
+        .copied()
+        .find(|k| k.label().eq_ignore_ascii_case(plan_label))
+    else {
+        eprintln!(
+            "unknown plan {plan_label:?}; expected one of: {}",
+            CollectorKind::ALL.map(|k| k.label()).join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+
+    let scale = 1;
+    let mut cal = Calibration::new(scale);
+    let budget = cal.budget_for_k(bench, 4.0);
+    let mut config = config_with_budget(budget);
+    if kind == CollectorKind::GenerationalStackPretenure {
+        let (policy, _) = derive_pretenure_policy(bench, scale);
+        config = config.pretenure(policy);
+    }
+
+    let recorder = Box::new(RingRecorder::with_capacity(RING_CAPACITY));
+    let mut vm = build_vm_with_recorder(kind, &config, recorder);
+    vm.mutator_mut().check_shadows = false;
+    let checksum = bench.run(&mut vm, scale);
+    vm.finish();
+
+    let events = RingRecorder::drain_events_from(vm.recorder_mut())
+        .expect("gc-log installed a RingRecorder");
+    let dropped = match vm
+        .recorder_mut()
+        .as_any_mut()
+        .downcast_mut::<RingRecorder>()
+    {
+        Some(r) => r.dropped(),
+        None => 0,
+    };
+    let sites: Vec<(u16, String)> = vm
+        .mutator()
+        .sites
+        .iter()
+        .map(|(id, name)| (id.get(), name.to_string()))
+        .collect();
+    let clock_hz = CostModel::default().clock_hz;
+
+    println!(
+        "gc-log: {} on {} (budget {} bytes, checksum {checksum:#x})",
+        bench.name(),
+        kind.label(),
+        budget
+    );
+    if dropped > 0 {
+        println!("warning: ring overflow dropped {dropped} oldest events");
+    }
+    print_timeline(&events);
+    print_site_table(&events, &sites);
+
+    let jsonl_doc = jsonl::render(kind.label(), bench.name(), clock_hz, &sites, &events);
+    let chrome_doc = chrome::render(kind.label(), bench.name(), clock_hz, &events);
+    let stem = format!("gclog-{}-{}", bench.name(), kind.label());
+    let jsonl_path = format!("{out_dir}/{stem}.jsonl");
+    let chrome_path = format!("{out_dir}/{stem}.trace.json");
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("cannot create {out_dir}: {e}");
+        return ExitCode::FAILURE;
+    }
+    for (path, doc) in [(&jsonl_path, &jsonl_doc), (&chrome_path, &chrome_doc)] {
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("wrote {jsonl_path}");
+    println!("wrote {chrome_path} (open at https://ui.perfetto.dev)");
+
+    if validate {
+        match schema::validate_jsonl(&jsonl_doc) {
+            Ok(n) => println!("validate: {n} JSONL lines conform to the schema"),
+            Err(e) => {
+                eprintln!("validate: JSONL schema violation: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        match schema::validate_chrome(&chrome_doc) {
+            Ok(n) => println!("validate: Chrome trace OK ({n} trace events)"),
+            Err(e) => {
+                eprintln!("validate: Chrome trace violation: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// One collection's worth of events, regrouped from the flat stream.
+#[derive(Default)]
+struct CollectionRow {
+    major: bool,
+    reason: &'static str,
+    depth: u64,
+    phases: Vec<(GcPhase, u64)>,
+    gc_cycles: u64,
+    copied_bytes: u64,
+    frames_scanned: u64,
+    frames_reused: u64,
+}
+
+fn group_collections(events: &[Event]) -> BTreeMap<u64, CollectionRow> {
+    let mut rows: BTreeMap<u64, CollectionRow> = BTreeMap::new();
+    for e in events {
+        match e {
+            Event::CollectionBegin(b) => {
+                let row = rows.entry(b.collection).or_default();
+                row.major = b.major;
+                row.reason = b.reason;
+                row.depth = b.depth;
+            }
+            Event::Phase(p) => {
+                rows.entry(p.collection)
+                    .or_default()
+                    .phases
+                    .push((p.phase, p.cycles));
+            }
+            Event::CollectionEnd(c) => {
+                let row = rows.entry(c.collection).or_default();
+                row.gc_cycles = c.gc_cycles;
+                row.copied_bytes = c.copied_bytes;
+                row.frames_scanned = c.frames_scanned;
+                row.frames_reused = c.frames_reused;
+            }
+            Event::SiteSample(_) => {}
+        }
+    }
+    rows
+}
+
+/// Renders a phase bar: each nonzero phase gets cells proportional to its
+/// cycle share (at least one), drawn with the phase's letter code.
+fn phase_bar(phases: &[(GcPhase, u64)], total: u64) -> String {
+    let mut bar = String::new();
+    if total == 0 {
+        return bar;
+    }
+    for &(phase, cycles) in phases {
+        if cycles == 0 {
+            continue;
+        }
+        let cells = ((cycles as u128 * BAR_WIDTH as u128 / total as u128) as usize).max(1);
+        for _ in 0..cells {
+            bar.push(phase.letter());
+        }
+    }
+    bar.truncate(BAR_WIDTH);
+    bar
+}
+
+fn print_timeline(events: &[Event]) {
+    let rows = group_collections(events);
+    if rows.is_empty() {
+        println!("no collections occurred");
+        return;
+    }
+    let legend: Vec<String> = GcPhase::ALL
+        .iter()
+        .map(|p| format!("{}={}", p.letter(), p.wire_name()))
+        .collect();
+    println!("phases: {}", legend.join(" "));
+    println!(
+        "{:>5} {:>5} {:>9} {:>7} {:<bw$}  {:>11} {:>13}",
+        "gc#",
+        "kind",
+        "reason",
+        "depth",
+        "phase mix (by gc cycles)",
+        "copied",
+        "frames",
+        bw = BAR_WIDTH
+    );
+    for (n, row) in &rows {
+        println!(
+            "{:>5} {:>5} {:>9} {:>7} {:<bw$}  {:>10}B {:>6}/{:<6}",
+            n,
+            if row.major { "major" } else { "minor" },
+            row.reason,
+            row.depth,
+            phase_bar(&row.phases, row.gc_cycles),
+            row.copied_bytes,
+            row.frames_reused,
+            row.frames_scanned,
+            bw = BAR_WIDTH
+        );
+    }
+}
+
+/// Cumulative per-site counters, summed over every collection's sample.
+#[derive(Default)]
+struct SiteRow {
+    allocs: u64,
+    alloc_bytes: u64,
+    copied_objects: u64,
+    copied_bytes: u64,
+    survived: u64,
+}
+
+fn print_site_table(events: &[Event], sites: &[(u16, String)]) {
+    let mut rows: BTreeMap<u16, SiteRow> = BTreeMap::new();
+    for e in events {
+        if let Event::SiteSample(s) = e {
+            let row = rows.entry(s.site).or_default();
+            row.allocs += s.allocs;
+            row.alloc_bytes += s.alloc_bytes;
+            row.copied_objects += s.copied_objects;
+            row.copied_bytes += s.copied_bytes;
+            row.survived += s.survived;
+        }
+    }
+    if rows.is_empty() {
+        return;
+    }
+    let name_of = |id: u16| {
+        sites
+            .iter()
+            .find(|(sid, _)| *sid == id)
+            .map(|(_, n)| n.as_str())
+            .unwrap_or("?")
+    };
+    println!();
+    println!(
+        "{:<28} {:>10} {:>12} {:>10} {:>12} {:>9}",
+        "site", "allocs", "alloc bytes", "copies", "copied bytes", "survive%"
+    );
+    let mut ordered: Vec<(&u16, &SiteRow)> = rows.iter().collect();
+    ordered.sort_by(|a, b| b.1.alloc_bytes.cmp(&a.1.alloc_bytes).then(a.0.cmp(b.0)));
+    for (id, row) in ordered {
+        let pct = if row.allocs == 0 {
+            0.0
+        } else {
+            100.0 * row.survived as f64 / row.allocs as f64
+        };
+        println!(
+            "{:<28} {:>10} {:>12} {:>10} {:>12} {:>8.1}%",
+            name_of(*id),
+            row.allocs,
+            row.alloc_bytes,
+            row.copied_objects,
+            row.copied_bytes,
+            pct
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilgc_obs::PhaseSpan;
+
+    #[test]
+    fn bar_is_proportional_and_bounded() {
+        let phases = vec![(GcPhase::StackDecode, 75), (GcPhase::CheneyCopy, 25)];
+        let bar = phase_bar(&phases, 100);
+        assert!(bar.len() <= BAR_WIDTH);
+        let decode = bar.chars().filter(|&c| c == 'D').count();
+        let copy = bar.chars().filter(|&c| c == 'C').count();
+        assert!(decode > copy);
+        assert!(copy >= 1);
+    }
+
+    #[test]
+    fn grouping_collects_phases_per_collection() {
+        let events = vec![
+            Event::Phase(PhaseSpan {
+                collection: 1,
+                phase: GcPhase::RootScan,
+                cycles: 10,
+                wall_ns: 1,
+            }),
+            Event::Phase(PhaseSpan {
+                collection: 2,
+                phase: GcPhase::CheneyCopy,
+                cycles: 20,
+                wall_ns: 1,
+            }),
+        ];
+        let rows = group_collections(&events);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[&1].phases, vec![(GcPhase::RootScan, 10)]);
+    }
+}

@@ -6,15 +6,23 @@
 //! experiments bench-json [--out FILE]
 //! experiments bench-compare [--baseline FILE] [--candidate FILE]
 //!                           [--max-regress-pct N]
+//! experiments gc-log [--bench NAME] [--plan LABEL] [--out-dir DIR]
+//!                    [--validate]
 //! ```
 //!
 //! `bench-json` runs the fixed wall-clock GC-throughput suite and
-//! writes a machine-readable baseline (default `BENCH_pr1.json`); it is
+//! writes a machine-readable baseline (default `BENCH_pr4.json`); it is
 //! not part of `all`, whose outputs are deterministic simulated cycles.
 //! `bench-compare` gates a candidate baseline (default
-//! `BENCH_nightly.json`) against a reference (default `BENCH_pr1.json`),
+//! `BENCH_nightly.json`) against a reference (default `BENCH_pr4.json`),
 //! failing if any kernel throughput regressed more than the allowed
 //! percentage (default 25).
+//! `gc-log` runs one benchmark (default `Checksum`) under one collector
+//! (default `gen+markers`) with the telemetry recorder attached, prints
+//! an ASCII per-collection phase timeline and per-site survival table,
+//! and writes the event stream as JSONL plus a Chrome/Perfetto trace
+//! into `--out-dir` (default `gclog`); `--validate` additionally checks
+//! both files against the documented schema.
 //!
 //! Build with `--release`: the simulator is deterministic either way, but
 //! debug builds are an order of magnitude slower.
@@ -23,6 +31,7 @@ mod bench_json;
 mod compare;
 mod csv;
 mod extensions;
+mod gclog;
 mod harness;
 mod tables;
 
@@ -32,11 +41,15 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Option<String> = None;
     let mut scale: u32 = 1;
-    let mut out = "BENCH_pr1.json".to_string();
-    let mut baseline = "BENCH_pr1.json".to_string();
+    let mut out = "BENCH_pr4.json".to_string();
+    let mut baseline = "BENCH_pr4.json".to_string();
     let mut candidate = "BENCH_nightly.json".to_string();
     let mut max_regress_pct = 25.0f64;
     let mut csv_sink = csv::CsvSink::disabled();
+    let mut bench = "Checksum".to_string();
+    let mut plan = "gen+markers".to_string();
+    let mut out_dir = "gclog".to_string();
+    let mut validate = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -88,6 +101,31 @@ fn main() -> ExitCode {
                     }
                 };
             }
+            "--bench" => {
+                i += 1;
+                let Some(name) = args.get(i) else {
+                    eprintln!("--bench needs a benchmark name");
+                    return ExitCode::FAILURE;
+                };
+                bench = name.clone();
+            }
+            "--plan" => {
+                i += 1;
+                let Some(label) = args.get(i) else {
+                    eprintln!("--plan needs a collector label");
+                    return ExitCode::FAILURE;
+                };
+                plan = label.clone();
+            }
+            "--out-dir" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("--out-dir needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                out_dir = dir.clone();
+            }
+            "--validate" => validate = true,
             "--scale" => {
                 i += 1;
                 scale = match args.get(i).and_then(|s| s.parse().ok()) {
@@ -110,6 +148,9 @@ fn main() -> ExitCode {
     if which == "bench-compare" {
         return compare::run(&baseline, &candidate, max_regress_pct);
     }
+    if which == "gc-log" {
+        return gclog::run(&bench, &plan, &out_dir, validate);
+    }
     let run = |name: &str| match name {
         "table1" => tables::table1(),
         "table2" => tables::table2(scale),
@@ -124,7 +165,7 @@ fn main() -> ExitCode {
         other => {
             eprintln!(
                 "unknown experiment {other:?}; expected table1..table7, figure2, extensions, \
-                 bench-json, bench-compare, or all"
+                 bench-json, bench-compare, gc-log, or all"
             );
             std::process::exit(2);
         }

@@ -1,0 +1,256 @@
+//! The Chrome trace-event sink: renders an event stream as a
+//! `{"traceEvents":[...]}` JSON document that loads directly in
+//! Perfetto (ui.perfetto.dev) or `chrome://tracing`.
+//!
+//! Layout: one process (`tilgc <plan> · <bench>`) with two threads —
+//! tid 0 carries one complete ("X") slice per collection spanning
+//! `start_cycles..end_cycles` on the simulated timeline, tid 1 carries
+//! the phase slices of each collection laid out consecutively inside
+//! that span. Timestamps are microseconds of *simulated* time: cycles
+//! divided by the cost model's clock rate.
+
+use crate::{Event, GcPhase};
+
+/// Microseconds (as f64) for `cycles` at `clock_hz`.
+fn us(cycles: u64, clock_hz: u64) -> f64 {
+    cycles as f64 * 1e6 / clock_hz as f64
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    // Trace viewers accept fractional µs; keep three decimals (≈ ns
+    // resolution at the default 150 MHz clock).
+    out.push_str(&format!("{v:.3}"));
+}
+
+struct TraceWriter {
+    out: String,
+    first: bool,
+}
+
+impl TraceWriter {
+    fn new() -> TraceWriter {
+        TraceWriter {
+            out: String::from("{\"traceEvents\":["),
+            first: true,
+        }
+    }
+
+    fn raw(&mut self, event_json: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        self.out.push_str(event_json);
+    }
+
+    fn metadata(&mut self, name: &str, tid: Option<u64>, value: &str) {
+        let tid_field = match tid {
+            Some(t) => format!(",\"tid\":{t}"),
+            None => String::new(),
+        };
+        let mut escaped = String::new();
+        crate::json::escape_into(&mut escaped, value);
+        self.raw(&format!(
+            "{{\"ph\":\"M\",\"pid\":0{tid_field},\"name\":\"{name}\",\"args\":{{\"name\":{escaped}}}}}"
+        ));
+    }
+
+    fn complete(&mut self, tid: u64, name: &str, ts_us: f64, dur_us: f64, args: &[(&str, String)]) {
+        let mut e = String::from("{\"ph\":\"X\",\"pid\":0,\"tid\":");
+        e.push_str(&tid.to_string());
+        e.push_str(",\"name\":");
+        crate::json::escape_into(&mut e, name);
+        e.push_str(",\"cat\":\"gc\",\"ts\":");
+        push_f64(&mut e, ts_us);
+        e.push_str(",\"dur\":");
+        push_f64(&mut e, dur_us.max(0.001));
+        if !args.is_empty() {
+            e.push_str(",\"args\":{");
+            for (i, (k, v)) in args.iter().enumerate() {
+                if i > 0 {
+                    e.push(',');
+                }
+                crate::json::escape_into(&mut e, k);
+                e.push(':');
+                e.push_str(v);
+            }
+            e.push('}');
+        }
+        e.push('}');
+        self.raw(&e);
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        self.out
+    }
+}
+
+/// Renders the event stream as a Chrome trace-event JSON document.
+///
+/// Collections missing either endpoint (begin without end, or the ring
+/// buffer dropped the begin) are skipped; phases without a surrounding
+/// collection span are skipped too.
+pub fn render(plan: &str, bench: &str, clock_hz: u64, events: &[Event]) -> String {
+    let mut w = TraceWriter::new();
+    w.metadata("process_name", None, &format!("tilgc {plan} · {bench}"));
+    w.metadata("thread_name", Some(0), "collections");
+    w.metadata("thread_name", Some(1), "gc phases");
+
+    // Index begins by collection number so ends can find their span.
+    let mut begins: Vec<(u64, &crate::CollectionBegin)> = Vec::new();
+    let mut phases: Vec<&crate::PhaseSpan> = Vec::new();
+    for e in events {
+        match e {
+            Event::CollectionBegin(b) => begins.push((b.collection, b)),
+            Event::Phase(p) => phases.push(p),
+            Event::CollectionEnd(end) => {
+                let Some(&(_, begin)) = begins.iter().find(|(c, _)| *c == end.collection) else {
+                    continue;
+                };
+                let ts = us(begin.start_cycles, clock_hz);
+                let dur = us(end.end_cycles.saturating_sub(begin.start_cycles), clock_hz);
+                let name = format!(
+                    "GC {} ({})",
+                    end.collection,
+                    if end.major { "major" } else { "minor" }
+                );
+                w.complete(
+                    0,
+                    &name,
+                    ts,
+                    dur,
+                    &[
+                        ("reason", format!("\"{}\"", begin.reason)),
+                        ("copied_bytes", end.copied_bytes.to_string()),
+                        ("roots_found", end.roots_found.to_string()),
+                        ("frames_reused", end.frames_reused.to_string()),
+                        ("live_bytes_after", end.live_bytes_after.to_string()),
+                    ],
+                );
+                // Phases of this collection, consecutively from the
+                // span start, in canonical order.
+                let mut cursor = begin.start_cycles;
+                for phase in GcPhase::ALL {
+                    for p in phases.iter().filter(|p| p.collection == end.collection) {
+                        if p.phase != phase {
+                            continue;
+                        }
+                        w.complete(
+                            1,
+                            p.phase.wire_name(),
+                            us(cursor, clock_hz),
+                            us(p.cycles, clock_hz),
+                            &[("wall_ns", p.wall_ns.to_string())],
+                        );
+                        cursor += p.cycles;
+                    }
+                }
+                phases.retain(|p| p.collection != end.collection);
+                begins.retain(|(c, _)| *c != end.collection);
+            }
+            Event::SiteSample(_) => {}
+        }
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::{CollectionBegin, CollectionEnd, Hist, PhaseSpan};
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::CollectionBegin(CollectionBegin {
+                collection: 1,
+                plan: "generational",
+                reason: "alloc-failure",
+                major: false,
+                depth: 4,
+                start_cycles: 1_500_000,
+            }),
+            Event::Phase(PhaseSpan {
+                collection: 1,
+                phase: GcPhase::StackDecode,
+                cycles: 300,
+                wall_ns: 10,
+            }),
+            Event::Phase(PhaseSpan {
+                collection: 1,
+                phase: GcPhase::CheneyCopy,
+                cycles: 700,
+                wall_ns: 20,
+            }),
+            Event::CollectionEnd(Box::new(CollectionEnd {
+                collection: 1,
+                major: false,
+                depth: 4,
+                claimed_prefix: 0,
+                oracle_prefix: 0,
+                copied_bytes: 96,
+                scanned_words: 12,
+                pretenured_scanned_words: 0,
+                roots_found: 7,
+                frames_scanned: 4,
+                frames_reused: 0,
+                slots_scanned: 20,
+                barrier_entries: 2,
+                markers_placed: 0,
+                gc_cycles: 1000,
+                end_cycles: 1_501_000,
+                live_bytes_after: 96,
+                wall_ns: 30,
+                size_hist: Hist::default(),
+                depth_hist: Hist::default(),
+            })),
+        ]
+    }
+
+    #[test]
+    fn render_produces_valid_trace_json() {
+        let doc = render("generational", "Life", 150_000_000, &sample_events());
+        let v = parse(&doc).expect("trace parses");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        // 3 metadata + 1 collection slice + 2 phase slices.
+        assert_eq!(events.len(), 6);
+        let slice = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("GC 1 (minor)"))
+            .expect("collection slice present");
+        assert_eq!(slice.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(slice.get("tid").unwrap().as_u64(), Some(0));
+        let phases: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("tid").and_then(|t| t.as_u64()) == Some(1) && e.get("ts").is_some())
+            .collect();
+        assert_eq!(phases.len(), 2);
+        // Phases tile the span consecutively.
+        let ts0 = phases[0].get("ts").unwrap().as_f64().unwrap();
+        let d0 = phases[0].get("dur").unwrap().as_f64().unwrap();
+        let ts1 = phases[1].get("ts").unwrap().as_f64().unwrap();
+        assert!((ts0 + d0 - ts1).abs() < 0.01, "consecutive layout");
+    }
+
+    #[test]
+    fn orphan_events_are_skipped() {
+        let events = vec![Event::Phase(PhaseSpan {
+            collection: 9,
+            phase: GcPhase::Setup,
+            cycles: 5,
+            wall_ns: 0,
+        })];
+        let doc = render("semispace", "FFT", 150_000_000, &events);
+        let v = parse(&doc).unwrap();
+        let slices = v
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .count();
+        assert_eq!(slices, 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! The JSONL sink: one hand-rolled JSON object per line, one line per
+//! event, preceded by a `meta` line that resolves plan, benchmark, clock
+//! rate, and allocation-site names.
+//!
+//! The full line schema is documented in DESIGN.md ("Telemetry") and
+//! machine-checked by [`crate::schema::validate_line`].
+
+use crate::json::escape_into;
+use crate::{CollectionBegin, CollectionEnd, Event, Hist, PhaseSpan, SiteSample};
+
+/// Builds JSONL object lines field by field.
+struct Obj {
+    out: String,
+}
+
+impl Obj {
+    fn new(kind: &str) -> Obj {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"type\":");
+        escape_into(&mut out, kind);
+        Obj { out }
+    }
+
+    fn num(mut self, key: &str, value: u64) -> Obj {
+        self.out.push(',');
+        escape_into(&mut self.out, key);
+        self.out.push(':');
+        self.out.push_str(&value.to_string());
+        self
+    }
+
+    fn str(mut self, key: &str, value: &str) -> Obj {
+        self.out.push(',');
+        escape_into(&mut self.out, key);
+        self.out.push(':');
+        escape_into(&mut self.out, value);
+        self
+    }
+
+    fn bool(mut self, key: &str, value: bool) -> Obj {
+        self.out.push(',');
+        escape_into(&mut self.out, key);
+        self.out.push(':');
+        self.out.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    fn hist(mut self, key: &str, hist: &Hist) -> Obj {
+        self.out.push(',');
+        escape_into(&mut self.out, key);
+        self.out.push_str(":[");
+        for (i, b) in hist.buckets.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            self.out.push_str(&b.to_string());
+        }
+        self.out.push(']');
+        self
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
+/// Renders the leading `meta` line: run identity plus the site-id → name
+/// table needed to interpret `site-sample` lines.
+pub fn meta_line(plan: &str, bench: &str, clock_hz: u64, sites: &[(u16, String)]) -> String {
+    let mut out = String::with_capacity(128 + 24 * sites.len());
+    out.push_str("{\"type\":\"meta\",\"plan\":");
+    escape_into(&mut out, plan);
+    out.push_str(",\"bench\":");
+    escape_into(&mut out, bench);
+    out.push_str(",\"clock_hz\":");
+    out.push_str(&clock_hz.to_string());
+    out.push_str(",\"sites\":[");
+    for (i, (id, name)) in sites.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"id\":");
+        out.push_str(&id.to_string());
+        out.push_str(",\"name\":");
+        escape_into(&mut out, name);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders one event as a JSONL line (no trailing newline).
+pub fn event_line(event: &Event) -> String {
+    match event {
+        Event::CollectionBegin(e) => begin_line(e),
+        Event::Phase(e) => phase_line(e),
+        Event::CollectionEnd(e) => end_line(e),
+        Event::SiteSample(e) => site_line(e),
+    }
+}
+
+/// Renders a whole event stream, meta line first, newline-terminated.
+pub fn render(
+    plan: &str,
+    bench: &str,
+    clock_hz: u64,
+    sites: &[(u16, String)],
+    events: &[Event],
+) -> String {
+    let mut out = meta_line(plan, bench, clock_hz, sites);
+    out.push('\n');
+    for e in events {
+        out.push_str(&event_line(e));
+        out.push('\n');
+    }
+    out
+}
+
+fn begin_line(e: &CollectionBegin) -> String {
+    Obj::new("collection-begin")
+        .num("collection", e.collection)
+        .str("plan", e.plan)
+        .str("reason", e.reason)
+        .bool("major", e.major)
+        .num("depth", e.depth)
+        .num("start_cycles", e.start_cycles)
+        .finish()
+}
+
+fn phase_line(e: &PhaseSpan) -> String {
+    Obj::new("phase")
+        .num("collection", e.collection)
+        .str("phase", e.phase.wire_name())
+        .num("cycles", e.cycles)
+        .num("wall_ns", e.wall_ns)
+        .finish()
+}
+
+fn end_line(e: &CollectionEnd) -> String {
+    Obj::new("collection-end")
+        .num("collection", e.collection)
+        .bool("major", e.major)
+        .num("depth", e.depth)
+        .num("claimed_prefix", e.claimed_prefix)
+        .num("oracle_prefix", e.oracle_prefix)
+        .num("copied_bytes", e.copied_bytes)
+        .num("scanned_words", e.scanned_words)
+        .num("pretenured_scanned_words", e.pretenured_scanned_words)
+        .num("roots_found", e.roots_found)
+        .num("frames_scanned", e.frames_scanned)
+        .num("frames_reused", e.frames_reused)
+        .num("slots_scanned", e.slots_scanned)
+        .num("barrier_entries", e.barrier_entries)
+        .num("markers_placed", e.markers_placed)
+        .num("gc_cycles", e.gc_cycles)
+        .num("end_cycles", e.end_cycles)
+        .num("live_bytes_after", e.live_bytes_after)
+        .num("wall_ns", e.wall_ns)
+        .hist("size_hist", &e.size_hist)
+        .hist("depth_hist", &e.depth_hist)
+        .finish()
+}
+
+fn site_line(e: &SiteSample) -> String {
+    Obj::new("site-sample")
+        .num("collection", e.collection)
+        .num("site", e.site as u64)
+        .num("allocs", e.allocs)
+        .num("alloc_bytes", e.alloc_bytes)
+        .num("copied_objects", e.copied_objects)
+        .num("copied_bytes", e.copied_bytes)
+        .num("survived", e.survived)
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::GcPhase;
+
+    #[test]
+    fn lines_are_valid_json_with_expected_fields() {
+        let events = [
+            Event::CollectionBegin(CollectionBegin {
+                collection: 1,
+                plan: "gen+markers",
+                reason: "alloc-failure",
+                major: false,
+                depth: 9,
+                start_cycles: 1234,
+            }),
+            Event::Phase(PhaseSpan {
+                collection: 1,
+                phase: GcPhase::StackDecode,
+                cycles: 77,
+                wall_ns: 880,
+            }),
+            Event::SiteSample(SiteSample {
+                collection: 1,
+                site: 4,
+                allocs: 10,
+                alloc_bytes: 160,
+                copied_objects: 2,
+                copied_bytes: 32,
+                survived: 2,
+            }),
+        ];
+        for e in &events {
+            let v = parse(&event_line(e)).expect("line parses");
+            assert!(v.get("type").is_some());
+            assert_eq!(v.get("collection").unwrap().as_u64(), Some(1));
+        }
+        let v = parse(&event_line(&events[1])).unwrap();
+        assert_eq!(v.get("phase").unwrap().as_str(), Some("stack-decode"));
+        assert_eq!(v.get("cycles").unwrap().as_u64(), Some(77));
+    }
+
+    #[test]
+    fn meta_line_resolves_sites() {
+        let line = meta_line(
+            "semispace",
+            "Life",
+            150_000_000,
+            &[(0, "unknown".to_string()), (3, "rec\"3".to_string())],
+        );
+        let v = parse(&line).expect("meta parses");
+        assert_eq!(v.get("type").unwrap().as_str(), Some("meta"));
+        assert_eq!(v.get("clock_hz").unwrap().as_u64(), Some(150_000_000));
+        let sites = v.get("sites").unwrap().as_array().unwrap();
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[1].get("name").unwrap().as_str(), Some("rec\"3"));
+    }
+
+    #[test]
+    fn end_line_carries_histograms() {
+        let mut size_hist = Hist::default();
+        size_hist.add(16);
+        let e = CollectionEnd {
+            collection: 2,
+            major: true,
+            depth: 3,
+            claimed_prefix: 1,
+            oracle_prefix: 2,
+            copied_bytes: 64,
+            scanned_words: 8,
+            pretenured_scanned_words: 0,
+            roots_found: 5,
+            frames_scanned: 3,
+            frames_reused: 0,
+            slots_scanned: 12,
+            barrier_entries: 0,
+            markers_placed: 1,
+            gc_cycles: 999,
+            end_cycles: 5000,
+            live_bytes_after: 64,
+            wall_ns: 100,
+            size_hist,
+            depth_hist: Hist::default(),
+        };
+        let v = parse(&end_line(&e)).unwrap();
+        let hist = v.get("size_hist").unwrap().as_array().unwrap();
+        assert_eq!(hist.len(), crate::HIST_BUCKETS);
+        assert_eq!(hist[5].as_u64(), Some(1), "16 lands in [16,32)");
+    }
+}

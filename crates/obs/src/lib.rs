@@ -1,0 +1,630 @@
+//! GC telemetry for the `tilgc` collectors: per-collection event traces,
+//! phase timelines and per-site lifetime time-series.
+//!
+//! The paper's entire argument (Tables 2–6) is made through measurement,
+//! yet end-of-run aggregates (`GcStats`) flatten every collection into one
+//! sum. This crate turns each collection into an inspectable record, in
+//! the spirit of MMTk's statistics/event-counter subsystem:
+//!
+//! * an [`Event`] stream — one [`CollectionBegin`] / per-phase
+//!   [`PhaseSpan`]s / one [`CollectionEnd`] per collection, plus
+//!   [`SiteSample`] rows carrying per-allocation-site survival counters
+//!   sampled at *every* collection rather than only at run end;
+//! * a [`Recorder`] trait with a no-op default ([`NullRecorder`]) so
+//!   recording is zero-cost when disabled — emitters gate all telemetry
+//!   work on [`Recorder::is_enabled`], never charge simulated cycles for
+//!   it, and never touch `GcStats`, preserving byte-identity of every
+//!   deterministic counter;
+//! * a bounded [`RingRecorder`] sink (drop-oldest);
+//! * serde-free writers: [`jsonl`] (one event per line) and [`chrome`]
+//!   (Chrome trace-event format — a run opens directly in Perfetto);
+//! * a [`schema`] validator (with its own minimal [`json`] parser) that
+//!   checks every emitted JSONL line against the documented schema.
+//!
+//! This crate sits *below* `tilgc-runtime` in the dependency order
+//! (`mem ← obs ← runtime ← core`) so the collectors can emit events
+//! through the recorder installed in the mutator state. It is std-only:
+//! allocation sites are identified by their raw `u16` ids here; name
+//! resolution happens in the sinks' metadata line.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod json;
+pub mod jsonl;
+pub mod schema;
+
+use std::time::Instant;
+
+/// Number of buckets in a [`Hist`].
+pub const HIST_BUCKETS: usize = 16;
+
+/// A log2-bucketed histogram: bucket 0 counts zeros, bucket `i ≥ 1`
+/// counts values in `[2^(i-1), 2^i)`, and the last bucket absorbs
+/// everything from `2^(HIST_BUCKETS-2)` up.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Hist {
+    /// The bucket counters.
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Hist {
+    /// Adds one observation.
+    pub fn add(&mut self, value: u64) {
+        let bucket = (64 - value.leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        self.buckets[bucket] += 1;
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Human-readable range label for bucket `i` (e.g. `"[8,16)"`).
+    pub fn bucket_label(i: usize) -> String {
+        match i {
+            0 => "0".to_string(),
+            _ if i == HIST_BUCKETS - 1 => format!("[{},inf)", 1u64 << (i - 1)),
+            _ => format!("[{},{})", 1u64 << (i - 1), 1u64 << i),
+        }
+    }
+}
+
+/// The phase taxonomy of one collection, in canonical (emission) order.
+///
+/// Phase cycle spans are measured as deltas of the collector's total
+/// simulated GC cycles at section boundaries, so per collection the
+/// emitted [`PhaseSpan`] cycles sum *exactly* to the collection's
+/// `GcStats` cycle delta.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GcPhase {
+    /// Fixed per-collection overhead (the cost model's `gc_base`).
+    Setup,
+    /// Decoding stack frames via trace tables (fresh scans and marker
+    /// bookkeeping).
+    StackDecode,
+    /// Examining and forwarding the discovered roots.
+    RootScan,
+    /// Write-barrier work: draining and filtering the sequential store
+    /// buffer / dirty objects, remembered-set rescans, and the per-entry
+    /// examination charge.
+    BarrierFilter,
+    /// Scanning freshly pretenured regions in place (§6/§7.2).
+    PretenuredInPlaceScan,
+    /// The Cheney transitive-closure copy/scan drain.
+    CheneyCopy,
+}
+
+impl GcPhase {
+    /// All phases in canonical order.
+    pub const ALL: [GcPhase; 6] = [
+        GcPhase::Setup,
+        GcPhase::StackDecode,
+        GcPhase::RootScan,
+        GcPhase::BarrierFilter,
+        GcPhase::PretenuredInPlaceScan,
+        GcPhase::CheneyCopy,
+    ];
+
+    /// Wire name used in the JSONL and Chrome sinks.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            GcPhase::Setup => "setup",
+            GcPhase::StackDecode => "stack-decode",
+            GcPhase::RootScan => "root-scan",
+            GcPhase::BarrierFilter => "barrier-filter",
+            GcPhase::PretenuredInPlaceScan => "pretenured-in-place-scan",
+            GcPhase::CheneyCopy => "cheney-copy",
+        }
+    }
+
+    /// One-letter tag for ASCII timelines.
+    pub fn letter(self) -> char {
+        match self {
+            GcPhase::Setup => 's',
+            GcPhase::StackDecode => 'D',
+            GcPhase::RootScan => 'R',
+            GcPhase::BarrierFilter => 'B',
+            GcPhase::PretenuredInPlaceScan => 'P',
+            GcPhase::CheneyCopy => 'C',
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            GcPhase::Setup => 0,
+            GcPhase::StackDecode => 1,
+            GcPhase::RootScan => 2,
+            GcPhase::BarrierFilter => 3,
+            GcPhase::PretenuredInPlaceScan => 4,
+            GcPhase::CheneyCopy => 5,
+        }
+    }
+}
+
+/// Start-of-collection event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CollectionBegin {
+    /// 1-based collection number (matches `GcStats::collections`).
+    pub collection: u64,
+    /// The emitting plan's name (`"semispace"` / `"generational"`).
+    pub plan: &'static str,
+    /// Why the collection ran: `"alloc-failure"`, `"forced"` or
+    /// `"forced-major"`.
+    pub reason: &'static str,
+    /// Whether this is a major (full) collection.
+    pub major: bool,
+    /// Stack depth (frames) at collection time.
+    pub depth: u64,
+    /// Position on the simulated timeline when the collection started:
+    /// client cycles + GC cycles accumulated so far.
+    pub start_cycles: u64,
+}
+
+/// One phase's span within a collection.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseSpan {
+    /// The collection this span belongs to.
+    pub collection: u64,
+    /// Which phase.
+    pub phase: GcPhase,
+    /// Simulated cycles attributed to the phase. Per collection, the
+    /// emitted spans sum exactly to the collection's GC-cycle delta.
+    pub cycles: u64,
+    /// Wall-clock nanoseconds spent in the phase.
+    pub wall_ns: u64,
+}
+
+/// End-of-collection event: the collection's `GcStats` deltas, the §5
+/// reuse-depth snapshot, and cumulative histogram snapshots.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CollectionEnd {
+    /// 1-based collection number.
+    pub collection: u64,
+    /// Whether this was a major (full) collection.
+    pub major: bool,
+    /// Stack depth (frames) at collection time.
+    pub depth: u64,
+    /// Frames of cached scan results the collector claimed to reuse.
+    pub claimed_prefix: u64,
+    /// The §5 reuse bound `min(M, deepest intact marker)` the claim is
+    /// checked against.
+    pub oracle_prefix: u64,
+    /// Bytes copied by this collection.
+    pub copied_bytes: u64,
+    /// Words Cheney-scanned by this collection.
+    pub scanned_words: u64,
+    /// Words of pretenured regions scanned in place by this collection.
+    pub pretenured_scanned_words: u64,
+    /// Roots examined by this collection.
+    pub roots_found: u64,
+    /// Stack frames decoded from scratch.
+    pub frames_scanned: u64,
+    /// Stack frames whose cached scan was reused.
+    pub frames_reused: u64,
+    /// Stack slots classified via trace-table decoding.
+    pub slots_scanned: u64,
+    /// Write-barrier entries filtered.
+    pub barrier_entries: u64,
+    /// Stack markers placed.
+    pub markers_placed: u64,
+    /// Simulated GC cycles this collection consumed (equals the sum of
+    /// its phase spans).
+    pub gc_cycles: u64,
+    /// Position on the simulated timeline when the collection ended.
+    pub end_cycles: u64,
+    /// Live bytes after the collection.
+    pub live_bytes_after: u64,
+    /// Wall-clock nanoseconds for the whole collection.
+    pub wall_ns: u64,
+    /// Snapshot of the run-cumulative histogram of GC-processed object
+    /// sizes in bytes (copied or scanned in place).
+    pub size_hist: Hist,
+    /// Snapshot of the run-cumulative histogram of stack depth at
+    /// collection time.
+    pub depth_hist: Hist,
+}
+
+/// Per-allocation-site counters accumulated since the previous sample
+/// (i.e. since the previous collection). Summing a site's samples over
+/// the run reproduces its end-of-run totals; the sequence itself is the
+/// site's lifetime time-series.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SiteSample {
+    /// The collection this sample was taken at.
+    pub collection: u64,
+    /// Raw 16-bit allocation-site id (resolved to a name by the sinks'
+    /// metadata line).
+    pub site: u16,
+    /// Objects allocated from this site since the last sample.
+    pub allocs: u64,
+    /// Bytes allocated from this site since the last sample.
+    pub alloc_bytes: u64,
+    /// Objects from this site copied by the collector since the last
+    /// sample (any copy, not just first promotion).
+    pub copied_objects: u64,
+    /// Bytes from this site copied since the last sample.
+    pub copied_bytes: u64,
+    /// Objects from this site that survived their *first* collection
+    /// (copied out of the nursery) since the last sample — the numerator
+    /// of the paper's per-site "% old" survival rate.
+    pub survived: u64,
+}
+
+/// One telemetry event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A collection started.
+    CollectionBegin(CollectionBegin),
+    /// A phase of a collection completed.
+    Phase(PhaseSpan),
+    /// A collection finished. Boxed: the end record (two inline
+    /// histograms) is ~6× the size of the other variants, and most
+    /// events in a stream are phases and site samples.
+    CollectionEnd(Box<CollectionEnd>),
+    /// Per-site survival counters sampled at a collection.
+    SiteSample(SiteSample),
+}
+
+/// An event sink installed in the mutator state.
+///
+/// Emitters must gate *all* telemetry work — event construction, phase
+/// timing, per-site accumulation — on [`is_enabled`](Recorder::is_enabled),
+/// and must never charge simulated cycles or touch `GcStats` for it, so a
+/// disabled recorder leaves every deterministic counter byte-identical.
+pub trait Recorder: std::fmt::Debug {
+    /// Whether events should be produced at all.
+    fn is_enabled(&self) -> bool;
+    /// Consumes one event. Never called when [`is_enabled`](Recorder::is_enabled)
+    /// is false.
+    fn record(&mut self, event: Event);
+    /// Downcast hook for retrieving a concrete recorder back out of a
+    /// `Box<dyn Recorder>`.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// The default recorder: disabled, discards everything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _event: Event) {}
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// A bounded in-memory event buffer: keeps the most recent `capacity`
+/// events, dropping the oldest on overflow (and counting the drops).
+#[derive(Debug)]
+pub struct RingRecorder {
+    capacity: usize,
+    buf: std::collections::VecDeque<Event>,
+    dropped: u64,
+}
+
+impl RingRecorder {
+    /// Creates a recorder holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> RingRecorder {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RingRecorder {
+            capacity,
+            buf: std::collections::VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// The buffered events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// Takes the buffered events, oldest first, leaving the buffer empty.
+    pub fn drain(&mut self) -> Vec<Event> {
+        self.buf.drain(..).collect()
+    }
+
+    /// How many events were dropped to the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Downcasts a `dyn Recorder` and drains its events, if it is a
+    /// `RingRecorder`.
+    pub fn drain_events_from(r: &mut dyn Recorder) -> Option<Vec<Event>> {
+        r.as_any_mut()
+            .downcast_mut::<RingRecorder>()
+            .map(RingRecorder::drain)
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, event: Event) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Per-phase cycle/wall accumulator for one collection.
+///
+/// The plan marks each section boundary with the collector's *current
+/// total* simulated GC cycles; the timer attributes the delta since the
+/// previous mark to the named phase. Marking every boundary makes the
+/// emitted spans sum exactly to the collection's total cycle delta.
+/// Wall-clock time is split at the same boundaries.
+#[derive(Debug)]
+pub struct PhaseTimer {
+    last_cycles: u64,
+    last_wall: Instant,
+    acc: [(u64, u64); GcPhase::ALL.len()],
+}
+
+impl PhaseTimer {
+    /// Starts timing; `now_cycles` is the collector's total GC cycles at
+    /// the start of the collection.
+    pub fn start(now_cycles: u64) -> PhaseTimer {
+        PhaseTimer {
+            last_cycles: now_cycles,
+            last_wall: Instant::now(),
+            acc: [(0, 0); GcPhase::ALL.len()],
+        }
+    }
+
+    /// Ends the current section, attributing the cycles and wall time
+    /// since the previous mark (or [`start`](PhaseTimer::start)) to
+    /// `phase`. A phase may be marked more than once; spans accumulate.
+    pub fn mark(&mut self, phase: GcPhase, now_cycles: u64) {
+        let wall = self.last_wall.elapsed().as_nanos() as u64;
+        let slot = &mut self.acc[phase.index()];
+        slot.0 += now_cycles.saturating_sub(self.last_cycles);
+        slot.1 += wall;
+        self.last_cycles = now_cycles;
+        self.last_wall = Instant::now();
+    }
+
+    /// Emits the accumulated spans for `collection` in canonical phase
+    /// order, skipping phases that saw no work at all.
+    pub fn into_events(self, collection: u64) -> Vec<Event> {
+        GcPhase::ALL
+            .into_iter()
+            .filter_map(|phase| {
+                let (cycles, wall_ns) = self.acc[phase.index()];
+                (cycles > 0 || wall_ns > 0).then_some(Event::Phase(PhaseSpan {
+                    collection,
+                    phase,
+                    cycles,
+                    wall_ns,
+                }))
+            })
+            .collect()
+    }
+}
+
+/// One site's counter deltas since the last sample.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct SiteDelta {
+    allocs: u64,
+    alloc_bytes: u64,
+    copied_objects: u64,
+    copied_bytes: u64,
+    survived: u64,
+}
+
+impl SiteDelta {
+    fn is_zero(&self) -> bool {
+        *self == SiteDelta::default()
+    }
+}
+
+/// The plan-owned telemetry accumulator: per-site allocation/copy deltas
+/// (drained into [`SiteSample`]s at each collection) and the
+/// run-cumulative object-size and stack-depth histograms snapshotted into
+/// each [`CollectionEnd`].
+///
+/// Plans feed the allocation side ([`note_alloc`](TelemetryAcc::note_alloc))
+/// and lend the accumulator to the evacuation driver for the copy side
+/// during a collection. Everything here is host-side bookkeeping: no
+/// simulated cycles are ever charged for it.
+#[derive(Debug, Default)]
+pub struct TelemetryAcc {
+    sites: Vec<SiteDelta>,
+    /// Cumulative histogram of GC-processed object sizes in bytes.
+    pub size_hist: Hist,
+    /// Cumulative histogram of stack depth at collection time.
+    pub depth_hist: Hist,
+}
+
+impl TelemetryAcc {
+    fn site_mut(&mut self, site: u16) -> &mut SiteDelta {
+        let i = site as usize;
+        if i >= self.sites.len() {
+            self.sites.resize(i + 1, SiteDelta::default());
+        }
+        &mut self.sites[i]
+    }
+
+    /// Counts one allocation from `site`.
+    pub fn note_alloc(&mut self, site: u16, bytes: u64) {
+        let d = self.site_mut(site);
+        d.allocs += 1;
+        d.alloc_bytes += bytes;
+    }
+
+    /// Counts one copied object from `site`; `from_nursery` marks a first
+    /// survival (promotion out of the allocation area).
+    pub fn note_copy(&mut self, site: u16, bytes: u64, from_nursery: bool) {
+        self.size_hist.add(bytes);
+        let d = self.site_mut(site);
+        d.copied_objects += 1;
+        d.copied_bytes += bytes;
+        if from_nursery {
+            d.survived += 1;
+        }
+    }
+
+    /// Records the size of an object scanned in place (histogram only —
+    /// in-place scans move nothing, so site copy counters are untouched).
+    pub fn note_inplace_scan(&mut self, bytes: u64) {
+        self.size_hist.add(bytes);
+    }
+
+    /// Records the stack depth at a collection.
+    pub fn note_depth(&mut self, depth: u64) {
+        self.depth_hist.add(depth);
+    }
+
+    /// Emits a [`SiteSample`] for every site with activity since the last
+    /// drain, in site order, and resets the deltas.
+    pub fn drain_samples(&mut self, collection: u64) -> Vec<Event> {
+        let mut out = Vec::new();
+        for (site, d) in self.sites.iter_mut().enumerate() {
+            if d.is_zero() {
+                continue;
+            }
+            out.push(Event::SiteSample(SiteSample {
+                collection,
+                site: site as u16,
+                allocs: d.allocs,
+                alloc_bytes: d.alloc_bytes,
+                copied_objects: d.copied_objects,
+                copied_bytes: d.copied_bytes,
+                survived: d.survived,
+            }));
+            *d = SiteDelta::default();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hist_buckets_are_log2() {
+        let mut h = Hist::default();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1 << 20] {
+            h.add(v);
+        }
+        assert_eq!(h.buckets[0], 1, "zero bucket");
+        assert_eq!(h.buckets[1], 1, "[1,2)");
+        assert_eq!(h.buckets[2], 2, "[2,4)");
+        assert_eq!(h.buckets[3], 2, "[4,8)");
+        assert_eq!(h.buckets[4], 1, "[8,16)");
+        assert_eq!(h.buckets[HIST_BUCKETS - 1], 1, "overflow bucket");
+        assert_eq!(h.total(), 8);
+        assert_eq!(Hist::bucket_label(0), "0");
+        assert_eq!(Hist::bucket_label(4), "[8,16)");
+        assert_eq!(Hist::bucket_label(HIST_BUCKETS - 1), "[16384,inf)");
+    }
+
+    #[test]
+    fn ring_drops_oldest_past_capacity() {
+        let mut r = RingRecorder::with_capacity(2);
+        for c in 1..=3 {
+            r.record(Event::Phase(PhaseSpan {
+                collection: c,
+                phase: GcPhase::CheneyCopy,
+                cycles: 1,
+                wall_ns: 0,
+            }));
+        }
+        assert_eq!(r.dropped(), 1);
+        let events = r.drain();
+        assert_eq!(events.len(), 2);
+        match &events[0] {
+            Event::Phase(p) => assert_eq!(p.collection, 2, "oldest event was dropped"),
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert!(r.drain().is_empty());
+    }
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        let mut n = NullRecorder;
+        assert!(!n.is_enabled());
+        n.record(Event::Phase(PhaseSpan {
+            collection: 1,
+            phase: GcPhase::Setup,
+            cycles: 0,
+            wall_ns: 0,
+        }));
+        assert!(RingRecorder::drain_events_from(&mut n).is_none());
+    }
+
+    #[test]
+    fn phase_timer_attributes_deltas_and_sums_exactly() {
+        let mut t = PhaseTimer::start(100);
+        t.mark(GcPhase::Setup, 110);
+        t.mark(GcPhase::StackDecode, 150);
+        t.mark(GcPhase::BarrierFilter, 150); // zero-cycle section
+        t.mark(GcPhase::CheneyCopy, 400);
+        t.mark(GcPhase::BarrierFilter, 410); // accumulates onto the first
+        let events = t.into_events(7);
+        let mut total = 0;
+        let mut saw_barrier = 0;
+        for e in &events {
+            let Event::Phase(p) = e else {
+                panic!("unexpected event {e:?}")
+            };
+            assert_eq!(p.collection, 7);
+            total += p.cycles;
+            if p.phase == GcPhase::BarrierFilter {
+                saw_barrier = p.cycles;
+            }
+        }
+        assert_eq!(total, 310, "spans sum to the total delta");
+        assert_eq!(saw_barrier, 10, "re-marked phase accumulated");
+    }
+
+    #[test]
+    fn telemetry_acc_drains_site_deltas() {
+        let mut acc = TelemetryAcc::default();
+        acc.note_alloc(3, 16);
+        acc.note_alloc(3, 24);
+        acc.note_copy(3, 16, true);
+        acc.note_copy(9, 40, false);
+        acc.note_inplace_scan(64);
+        acc.note_depth(5);
+        let samples = acc.drain_samples(1);
+        assert_eq!(samples.len(), 2);
+        let Event::SiteSample(s3) = &samples[0] else {
+            panic!("expected sample")
+        };
+        assert_eq!((s3.site, s3.allocs, s3.alloc_bytes), (3, 2, 40));
+        assert_eq!(
+            (s3.copied_objects, s3.copied_bytes, s3.survived),
+            (1, 16, 1)
+        );
+        let Event::SiteSample(s9) = &samples[1] else {
+            panic!("expected sample")
+        };
+        assert_eq!((s9.site, s9.allocs, s9.survived), (9, 0, 0));
+        assert_eq!(s9.copied_bytes, 40);
+        // Deltas reset; histograms are cumulative.
+        assert!(acc.drain_samples(2).is_empty());
+        assert_eq!(acc.size_hist.total(), 3);
+        assert_eq!(acc.depth_hist.total(), 1);
+    }
+}

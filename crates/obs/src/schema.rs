@@ -1,0 +1,378 @@
+//! Schema validation for the telemetry sinks' output, used by the
+//! `experiments gc-log --validate` flag and by CI to check every emitted
+//! JSONL line against the schema documented in DESIGN.md.
+
+use crate::json::{parse, Value};
+use crate::{GcPhase, HIST_BUCKETS};
+
+/// Field-type shorthand for [`require`].
+enum Ty {
+    U64,
+    Bool,
+    Str,
+    Hist,
+}
+
+fn require(v: &Value, fields: &[(&str, Ty)]) -> Result<(), String> {
+    for (key, ty) in fields {
+        let field = v.get(key).ok_or_else(|| format!("missing field {key:?}"))?;
+        let ok = match ty {
+            Ty::U64 => field.as_u64().is_some(),
+            Ty::Bool => field.as_bool().is_some(),
+            Ty::Str => field.as_str().is_some(),
+            Ty::Hist => field
+                .as_array()
+                .is_some_and(|a| a.len() == HIST_BUCKETS && a.iter().all(|b| b.as_u64().is_some())),
+        };
+        if !ok {
+            return Err(format!("field {key:?} has wrong type"));
+        }
+    }
+    // Reject unknown fields so the documented schema stays authoritative.
+    let known: Vec<&str> = fields.iter().map(|(k, _)| *k).chain(["type"]).collect();
+    for (key, _) in v.as_object().unwrap_or(&[]) {
+        if !known.contains(&key.as_str()) {
+            return Err(format!("unknown field {key:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// Validates one JSONL line against the telemetry schema.
+pub fn validate_line(line: &str) -> Result<(), String> {
+    let v = parse(line)?;
+    let kind = v
+        .get("type")
+        .and_then(Value::as_str)
+        .ok_or("missing string field \"type\"")?;
+    match kind {
+        "meta" => {
+            // `sites` is an object array, not a scalar, so this variant
+            // is checked by hand rather than through `require`.
+            for key in ["plan", "bench"] {
+                if v.get(key).and_then(Value::as_str).is_none() {
+                    return Err(format!("meta: missing string field {key:?}"));
+                }
+            }
+            if v.get("clock_hz")
+                .and_then(Value::as_u64)
+                .is_none_or(|c| c == 0)
+            {
+                return Err("meta: clock_hz must be a positive integer".to_string());
+            }
+            let sites = v
+                .get("sites")
+                .and_then(Value::as_array)
+                .ok_or("meta: missing array field \"sites\"")?;
+            for s in sites {
+                if s.get("id")
+                    .and_then(Value::as_u64)
+                    .is_none_or(|id| id > u16::MAX as u64)
+                    || s.get("name").and_then(Value::as_str).is_none()
+                {
+                    return Err("meta: bad site entry".to_string());
+                }
+            }
+            for (key, _) in v.as_object().unwrap_or(&[]) {
+                if !["type", "plan", "bench", "clock_hz", "sites"].contains(&key.as_str()) {
+                    return Err(format!("meta: unknown field {key:?}"));
+                }
+            }
+            Ok(())
+        }
+        "collection-begin" => require(
+            &v,
+            &[
+                ("collection", Ty::U64),
+                ("plan", Ty::Str),
+                ("reason", Ty::Str),
+                ("major", Ty::Bool),
+                ("depth", Ty::U64),
+                ("start_cycles", Ty::U64),
+            ],
+        )
+        .and_then(|()| {
+            let reason = v.get("reason").unwrap().as_str().unwrap();
+            if ["alloc-failure", "forced", "forced-major"].contains(&reason) {
+                Ok(())
+            } else {
+                Err(format!("unknown reason {reason:?}"))
+            }
+        }),
+        "phase" => require(
+            &v,
+            &[
+                ("collection", Ty::U64),
+                ("phase", Ty::Str),
+                ("cycles", Ty::U64),
+                ("wall_ns", Ty::U64),
+            ],
+        )
+        .and_then(|()| {
+            let name = v.get("phase").unwrap().as_str().unwrap();
+            if GcPhase::ALL.iter().any(|p| p.wire_name() == name) {
+                Ok(())
+            } else {
+                Err(format!("unknown phase {name:?}"))
+            }
+        }),
+        "collection-end" => require(
+            &v,
+            &[
+                ("collection", Ty::U64),
+                ("major", Ty::Bool),
+                ("depth", Ty::U64),
+                ("claimed_prefix", Ty::U64),
+                ("oracle_prefix", Ty::U64),
+                ("copied_bytes", Ty::U64),
+                ("scanned_words", Ty::U64),
+                ("pretenured_scanned_words", Ty::U64),
+                ("roots_found", Ty::U64),
+                ("frames_scanned", Ty::U64),
+                ("frames_reused", Ty::U64),
+                ("slots_scanned", Ty::U64),
+                ("barrier_entries", Ty::U64),
+                ("markers_placed", Ty::U64),
+                ("gc_cycles", Ty::U64),
+                ("end_cycles", Ty::U64),
+                ("live_bytes_after", Ty::U64),
+                ("wall_ns", Ty::U64),
+                ("size_hist", Ty::Hist),
+                ("depth_hist", Ty::Hist),
+            ],
+        )
+        .and_then(|()| {
+            let claimed = v.get("claimed_prefix").unwrap().as_u64().unwrap();
+            let oracle = v.get("oracle_prefix").unwrap().as_u64().unwrap();
+            if claimed > oracle {
+                return Err(format!(
+                    "claimed_prefix {claimed} exceeds oracle bound {oracle}"
+                ));
+            }
+            Ok(())
+        }),
+        "site-sample" => require(
+            &v,
+            &[
+                ("collection", Ty::U64),
+                ("site", Ty::U64),
+                ("allocs", Ty::U64),
+                ("alloc_bytes", Ty::U64),
+                ("copied_objects", Ty::U64),
+                ("copied_bytes", Ty::U64),
+                ("survived", Ty::U64),
+            ],
+        )
+        .and_then(|()| {
+            let site = v.get("site").unwrap().as_u64().unwrap();
+            if site > u16::MAX as u64 {
+                return Err(format!("site id {site} out of range"));
+            }
+            let survived = v.get("survived").unwrap().as_u64().unwrap();
+            let copied = v.get("copied_objects").unwrap().as_u64().unwrap();
+            if survived > copied {
+                return Err(format!(
+                    "survived {survived} exceeds copied_objects {copied}"
+                ));
+            }
+            Ok(())
+        }),
+        other => Err(format!("unknown event type {other:?}")),
+    }
+}
+
+/// Validates a whole JSONL document: first line must be `meta`, every
+/// line must validate, collection numbers must be properly bracketed
+/// (begin before end, strictly increasing), and per-collection phase
+/// cycles must sum exactly to the reported `gc_cycles`.
+pub fn validate_jsonl(doc: &str) -> Result<usize, String> {
+    let mut lines = 0usize;
+    let mut open: Option<u64> = None;
+    let mut last_ended = 0u64;
+    let mut phase_sum = 0u64;
+    for (i, line) in doc.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        validate_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let v = parse(line).unwrap();
+        let kind = v.get("type").unwrap().as_str().unwrap();
+        if i == 0 && kind != "meta" {
+            return Err("line 1: expected meta line".to_string());
+        }
+        match kind {
+            "collection-begin" => {
+                let c = v.get("collection").unwrap().as_u64().unwrap();
+                if open.is_some() {
+                    return Err(format!("line {}: nested collection {c}", i + 1));
+                }
+                if c <= last_ended {
+                    return Err(format!("line {}: collection {c} out of order", i + 1));
+                }
+                open = Some(c);
+                phase_sum = 0;
+            }
+            "phase" => {
+                let c = v.get("collection").unwrap().as_u64().unwrap();
+                if open != Some(c) {
+                    return Err(format!("line {}: phase outside collection {c}", i + 1));
+                }
+                phase_sum += v.get("cycles").unwrap().as_u64().unwrap();
+            }
+            "collection-end" => {
+                let c = v.get("collection").unwrap().as_u64().unwrap();
+                if open != Some(c) {
+                    return Err(format!("line {}: end without begin for {c}", i + 1));
+                }
+                let gc_cycles = v.get("gc_cycles").unwrap().as_u64().unwrap();
+                if phase_sum != gc_cycles {
+                    return Err(format!(
+                        "line {}: phase cycles {phase_sum} != gc_cycles {gc_cycles}",
+                        i + 1
+                    ));
+                }
+                open = None;
+                last_ended = c;
+            }
+            _ => {}
+        }
+        lines += 1;
+    }
+    if let Some(c) = open {
+        return Err(format!("collection {c} never ended"));
+    }
+    if lines == 0 {
+        return Err("empty document".to_string());
+    }
+    Ok(lines)
+}
+
+/// Validates a Chrome trace document: parses as JSON, requires a
+/// `traceEvents` array whose entries all carry a `ph` string, and checks
+/// the fields of "X" (complete) events.
+pub fn validate_chrome(doc: &str) -> Result<usize, String> {
+    let v = parse(doc)?;
+    let events = v
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or("missing traceEvents array")?;
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        match ph {
+            "X" => {
+                for key in ["name", "cat"] {
+                    if e.get(key).and_then(Value::as_str).is_none() {
+                        return Err(format!("event {i}: missing string {key:?}"));
+                    }
+                }
+                for key in ["ts", "dur"] {
+                    if e.get(key).and_then(Value::as_f64).is_none_or(|x| x < 0.0) {
+                        return Err(format!("event {i}: bad {key:?}"));
+                    }
+                }
+                for key in ["pid", "tid"] {
+                    if e.get(key).and_then(Value::as_u64).is_none() {
+                        return Err(format!("event {i}: missing {key:?}"));
+                    }
+                }
+            }
+            "M" => {
+                if e.get("name").and_then(Value::as_str).is_none() {
+                    return Err(format!("event {i}: metadata missing name"));
+                }
+            }
+            other => return Err(format!("event {i}: unexpected ph {other:?}")),
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_documented_lines() {
+        let lines = [
+            r#"{"type":"meta","plan":"semispace","bench":"Life","clock_hz":150000000,"sites":[{"id":0,"name":"unknown"}]}"#,
+            r#"{"type":"collection-begin","collection":1,"plan":"semispace","reason":"forced","major":true,"depth":0,"start_cycles":10}"#,
+            r#"{"type":"phase","collection":1,"phase":"cheney-copy","cycles":5,"wall_ns":10}"#,
+            r#"{"type":"site-sample","collection":1,"site":2,"allocs":3,"alloc_bytes":48,"copied_objects":1,"copied_bytes":16,"survived":1}"#,
+        ];
+        for line in lines {
+            validate_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_lines() {
+        let bad = [
+            ("not json", "{oops"),
+            ("unknown type", r#"{"type":"mystery"}"#),
+            (
+                "unknown phase",
+                r#"{"type":"phase","collection":1,"phase":"mark-sweep","cycles":1,"wall_ns":0}"#,
+            ),
+            (
+                "unknown reason",
+                r#"{"type":"collection-begin","collection":1,"plan":"x","reason":"bored","major":false,"depth":0,"start_cycles":0}"#,
+            ),
+            (
+                "survived > copied",
+                r#"{"type":"site-sample","collection":1,"site":1,"allocs":0,"alloc_bytes":0,"copied_objects":1,"copied_bytes":16,"survived":2}"#,
+            ),
+            (
+                "extra field",
+                r#"{"type":"phase","collection":1,"phase":"setup","cycles":1,"wall_ns":0,"bogus":1}"#,
+            ),
+            (
+                "missing field",
+                r#"{"type":"phase","collection":1,"phase":"setup","cycles":1}"#,
+            ),
+        ];
+        for (what, line) in bad {
+            assert!(validate_line(line).is_err(), "{what} should be rejected");
+        }
+    }
+
+    #[test]
+    fn jsonl_document_checks_bracketing_and_phase_sums() {
+        let ok = "\
+{\"type\":\"meta\",\"plan\":\"p\",\"bench\":\"b\",\"clock_hz\":1,\"sites\":[]}\n\
+{\"type\":\"collection-begin\",\"collection\":1,\"plan\":\"p\",\"reason\":\"forced\",\"major\":false,\"depth\":0,\"start_cycles\":0}\n\
+{\"type\":\"phase\",\"collection\":1,\"phase\":\"setup\",\"cycles\":2,\"wall_ns\":0}\n\
+{\"type\":\"phase\",\"collection\":1,\"phase\":\"cheney-copy\",\"cycles\":3,\"wall_ns\":0}\n\
+{\"type\":\"collection-end\",\"collection\":1,\"major\":false,\"depth\":0,\"claimed_prefix\":0,\"oracle_prefix\":0,\"copied_bytes\":0,\"scanned_words\":0,\"pretenured_scanned_words\":0,\"roots_found\":0,\"frames_scanned\":0,\"frames_reused\":0,\"slots_scanned\":0,\"barrier_entries\":0,\"markers_placed\":0,\"gc_cycles\":5,\"end_cycles\":5,\"live_bytes_after\":0,\"wall_ns\":0,\"size_hist\":[0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0],\"depth_hist\":[0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0]}\n";
+        assert_eq!(validate_jsonl(ok).unwrap(), 5);
+        let mismatched = ok.replace("\"gc_cycles\":5", "\"gc_cycles\":6");
+        assert!(validate_jsonl(&mismatched)
+            .unwrap_err()
+            .contains("phase cycles"));
+        let unclosed = ok.lines().take(3).collect::<Vec<_>>().join("\n");
+        assert!(validate_jsonl(&unclosed)
+            .unwrap_err()
+            .contains("never ended"));
+    }
+
+    #[test]
+    fn chrome_validator_accepts_rendered_trace() {
+        let events = [crate::Event::CollectionBegin(crate::CollectionBegin {
+            collection: 1,
+            plan: "p",
+            reason: "forced",
+            major: false,
+            depth: 0,
+            start_cycles: 0,
+        })];
+        let doc = crate::chrome::render("p", "b", 150_000_000, &events);
+        assert!(
+            validate_chrome(&doc).unwrap() >= 3,
+            "metadata events present"
+        );
+        assert!(validate_chrome("{}").is_err());
+        assert!(validate_chrome("{\"traceEvents\":[{\"ph\":\"Q\"}]}").is_err());
+    }
+}

@@ -60,3 +60,8 @@ pub use trace::{
 };
 pub use value::{ShadowTag, Value};
 pub use vm::{RaiseOutcome, Vm};
+
+// Telemetry: the recorder lives in `MutatorState` so collectors can emit
+// events; re-exported here so callers need not depend on `tilgc-obs`
+// directly for the common cases.
+pub use tilgc_obs::{Event, GcPhase, NullRecorder, Recorder, RingRecorder};

@@ -8,6 +8,7 @@ use crate::sites::SiteRegistry;
 use crate::stack::Stack;
 use crate::stats::MutatorStats;
 use crate::trace::TraceTable;
+use tilgc_obs::{NullRecorder, Recorder};
 
 /// Everything the mutator owns: stack, registers, write barrier, handler
 /// chain, trace tables, allocation sites and statistics.
@@ -43,6 +44,11 @@ pub struct MutatorState {
     pub alloc_buf: Vec<u64>,
     /// Which alloc-buffer entries are pointers (bit *i* ⇒ entry *i*).
     pub alloc_buf_ptr_mask: u64,
+    /// The telemetry sink. Defaults to the disabled [`NullRecorder`];
+    /// collectors gate all event production on `recorder.is_enabled()`
+    /// and never charge simulated cycles for it, so the default leaves
+    /// every deterministic counter byte-identical.
+    pub recorder: Box<dyn Recorder>,
 }
 
 impl Default for MutatorState {
@@ -68,6 +74,7 @@ impl MutatorState {
             check_shadows: cfg!(debug_assertions),
             alloc_buf: Vec::new(),
             alloc_buf_ptr_mask: 0,
+            recorder: Box::new(NullRecorder),
         }
     }
 

@@ -533,4 +533,20 @@ impl Vm {
     pub fn take_profile(&mut self) -> Option<HeapProfile> {
         self.gc.take_profile()
     }
+
+    // ----- telemetry -------------------------------------------------------------
+
+    /// Installs a telemetry recorder; collectors emit per-collection
+    /// events through it. The default is the disabled
+    /// [`NullRecorder`](tilgc_obs::NullRecorder), under which no events
+    /// are produced and no simulated cycles are charged.
+    pub fn set_recorder(&mut self, recorder: Box<dyn tilgc_obs::Recorder>) {
+        self.m.recorder = recorder;
+    }
+
+    /// The installed telemetry recorder (e.g. to drain a
+    /// [`RingRecorder`](tilgc_obs::RingRecorder) after a run).
+    pub fn recorder_mut(&mut self) -> &mut dyn tilgc_obs::Recorder {
+        &mut *self.m.recorder
+    }
 }

@@ -332,6 +332,56 @@ fn skewed_accounting_check(
     }
 }
 
+/// Replays a divergence's trace on the failing plan alone with the
+/// telemetry recorder attached and returns the collection event stream
+/// as JSONL, ready to append to a failure report. The replay stops where
+/// the original failure panics (expected — the trace reproduces a
+/// defect), keeping every event recorded up to that point.
+///
+/// Telemetry is recorded host-side only and charges no simulated cycles,
+/// so the replayed lane's collection timeline is exactly the failing
+/// run's.
+pub fn failure_telemetry(d: &Divergence, cfg: &TortureConfig) -> String {
+    let Some(kind) = CollectorKind::ALL
+        .iter()
+        .copied()
+        .find(|k| k.label() == d.plan)
+    else {
+        return format!("--- telemetry replay ---\nunknown plan {:?}\n", d.plan);
+    };
+    let _quiet = QuietPanics::new();
+    let mut lane = build_lane(kind, cfg);
+    lane.vm
+        .set_recorder(Box::new(tilgc_obs::RingRecorder::with_capacity(1 << 16)));
+    for &op in &d.trace {
+        let stepped = catch_unwind(AssertUnwindSafe(|| {
+            lane.driver.step(&mut lane.vm, op);
+        }));
+        if stepped.is_err() {
+            break;
+        }
+    }
+    let events =
+        tilgc_obs::RingRecorder::drain_events_from(lane.vm.recorder_mut()).unwrap_or_default();
+    let sites: Vec<(u16, String)> = lane
+        .vm
+        .mutator()
+        .sites
+        .iter()
+        .map(|(id, name)| (id.get(), name.to_string()))
+        .collect();
+    let clock_hz = tilgc_runtime::CostModel::default().clock_hz;
+    let mut out = String::from("--- telemetry replay ---\n");
+    out.push_str(&tilgc_obs::jsonl::render(
+        kind.label(),
+        "torture",
+        clock_hz,
+        &sites,
+        &events,
+    ));
+    out
+}
+
 /// Generates, runs, and — on failure — minimizes one seed. Returns the
 /// divergence with its minimized reproducing trace, or `None` for a
 /// clean run.

@@ -25,7 +25,7 @@ pub mod program;
 pub mod rng;
 pub mod shrink;
 
-pub use harness::{run_ops, run_seed, Divergence, Fault, TortureConfig};
+pub use harness::{failure_telemetry, run_ops, run_seed, Divergence, Fault, TortureConfig};
 pub use program::generate;
 pub use rng::Rng;
 pub use shrink::minimize;

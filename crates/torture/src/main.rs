@@ -9,13 +9,16 @@
 //!
 //! Exit status: 0 all runs clean, 1 a divergence was found (printed,
 //! minimized, and optionally written to `--failure-out`), 2 usage error.
+//! The failure report carries a telemetry replay of the failing lane —
+//! the minimized trace re-run with the event recorder attached, its
+//! per-collection event stream appended as JSONL.
 
 use std::ops::Range;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tilgc_core::CollectorKind;
-use tilgc_torture::{run_seed, Fault, TortureConfig};
+use tilgc_torture::{failure_telemetry, run_seed, Fault, TortureConfig};
 
 const USAGE: &str = "usage: torture [options]
   --seeds A..B | N     seed range (default 0..50; N means 0..N)
@@ -160,7 +163,8 @@ fn main() -> ExitCode {
         );
         for (done, seed) in args.seeds.clone().enumerate() {
             if let Some(d) = run_seed(seed, &cfg) {
-                let report = format!("nursery {nursery} bytes\n{d}");
+                let mut report = format!("nursery {nursery} bytes\n{d}");
+                report.push_str(&failure_telemetry(&d, &cfg));
                 eprintln!("torture: FAILED\n{report}");
                 if let Some(path) = &args.failure_out {
                     if let Err(e) = std::fs::write(path, &report) {

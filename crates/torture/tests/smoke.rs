@@ -2,7 +2,7 @@
 //! every plan, and the harness must actually catch the defects it is
 //! built to catch (validated by injecting them).
 
-use tilgc_torture::{run_seed, Fault, TortureConfig};
+use tilgc_torture::{failure_telemetry, run_seed, Fault, TortureConfig};
 
 fn smoke_config() -> TortureConfig {
     TortureConfig {
@@ -89,4 +89,15 @@ fn skewed_copied_accounting_is_caught() {
         "trace was not minimized: {} ops",
         d.trace.len()
     );
+
+    // The failure report's telemetry replay: re-running the minimized
+    // trace on the failing lane with the recorder attached must yield a
+    // schema-valid JSONL event stream under the replay header.
+    let replay = failure_telemetry(&d, &cfg);
+    let (header, jsonl) = replay
+        .split_once('\n')
+        .expect("replay has a header line and a body");
+    assert_eq!(header, "--- telemetry replay ---");
+    let lines = tilgc_obs::schema::validate_jsonl(jsonl).expect("replay JSONL validates");
+    assert!(lines >= 1, "replay is at least a meta line");
 }
