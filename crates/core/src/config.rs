@@ -126,6 +126,15 @@ impl PretenurePolicy {
         self.no_scan.insert(site);
     }
 
+    /// Removes a site from the policy (and from the no-scan set), so its
+    /// future allocations go to the nursery again. Returns whether the
+    /// site was pretenured. Used by the heap-pressure governor's demotion
+    /// rung.
+    pub fn remove_site(&mut self, site: SiteId) -> bool {
+        self.no_scan.remove(&site);
+        self.sites.remove(&site)
+    }
+
     /// Whether allocations from `site` go straight to the tenured
     /// generation.
     pub fn should_pretenure(&self, site: SiteId) -> bool {
@@ -348,6 +357,10 @@ mod tests {
         assert!(p.is_no_scan(SiteId::new(9)));
         assert_eq!(p.len(), 1);
         assert_eq!(p.sites().collect::<Vec<_>>(), vec![SiteId::new(9)]);
+        assert!(p.remove_site(SiteId::new(9)));
+        assert!(!p.should_pretenure(SiteId::new(9)));
+        assert!(!p.is_no_scan(SiteId::new(9)));
+        assert!(!p.remove_site(SiteId::new(9)), "already removed");
     }
 
     #[test]

@@ -26,7 +26,7 @@
 
 use std::time::Instant;
 
-use tilgc_mem::{Addr, Memory, Space, SpaceRange};
+use tilgc_mem::{Addr, BudgetSnapshot, GcError, Memory, Space, SpaceRange};
 use tilgc_obs::{CollectionBegin, Event, GcPhase, PhaseTimer, TelemetryAcc};
 use tilgc_runtime::{
     AllocShape, BarrierEntry, CollectReason, CollectionInspection, GcStats, HeapProfile,
@@ -35,6 +35,7 @@ use tilgc_runtime::{
 
 use crate::config::{GcConfig, MarkerPolicy, PretenurePolicy};
 use crate::evac::{poison_range, sweep_profile_deaths, Evacuator};
+use crate::governor::{PressureRung, PressureSession};
 use crate::plan::Plan;
 use crate::roots::{append_cached_roots, scan_stack, ScanCache};
 use crate::space::{CopySemantics, CopySpace, PretenuredRegion};
@@ -89,6 +90,9 @@ pub struct GenerationalPlan {
     /// Collections spent in semispace mode since entering; the mode is
     /// re-evaluated ("probation") every 32.
     mode_age: u32,
+    /// Whether the governor's one-shot budget rebalance (ladder rung 3)
+    /// has already been spent for this plan's lifetime.
+    rebalanced: bool,
     profile: Option<HeapProfile>,
     stats: GcStats,
     inspection: Option<CollectionInspection>,
@@ -143,6 +147,7 @@ impl GenerationalPlan {
             last_major_reclaim: 0.0,
             recent_major_bits: 0,
             mode_age: 0,
+            rebalanced: false,
             profile: config.profiling.then(HeapProfile::new),
             stats: GcStats::default(),
             inspection: None,
@@ -551,12 +556,15 @@ impl GenerationalPlan {
         }
         let live_words = tenured_after + self.los.as_ref().map_or(0, |l| l.used_words());
         self.apply_limits(live_words);
-        assert!(
-            self.tenured.active().used_words() <= self.tenured_max_words(),
-            "out of memory: {} live tenured words exceed the {}-word budget share",
-            self.tenured.active().used_words(),
-            self.tenured_max_words()
-        );
+        // Live tenured data past its budget share is not a panic here:
+        // `set_limit_words` clamps the limit up to the used words, so
+        // the *next* allocation fails typed and the governor's ladder
+        // (rebalance, demotion) or a `HeapOverflow` raise handles it.
+        // The overrun is counted so calibration harnesses can tell this
+        // run was not pressure-free even if every allocation succeeds.
+        if self.tenured.active().used_words() > self.tenured_max_words() {
+            self.stats.budget_overruns += 1;
+        }
         self.stats
             .note_live_bytes(tilgc_mem::words_to_bytes(live_words) as u64);
         self.stats.stack_wall_ns += stack_ns;
@@ -582,32 +590,227 @@ impl GenerationalPlan {
             .map(|l| std::mem::take(&mut l.pending_scan))
             .unwrap_or_default()
     }
-}
 
-impl Plan for GenerationalPlan {
-    fn name(&self) -> &'static str {
-        "generational"
+    /// One allocation attempt against the nursery. A forced-failure
+    /// token is consumed first, so fault injection fails each *attempt*
+    /// (not each logical allocation) and drives the full ladder.
+    fn nursery_attempt_fits(&self, m: &mut MutatorState, words: usize) -> bool {
+        !m.consume_forced_failure() && self.nursery.active().fits(words)
     }
 
-    fn memory(&self) -> &Memory {
-        &self.mem
+    /// One allocation attempt against the tenured generation.
+    fn tenured_attempt_fits(&self, m: &mut MutatorState, words: usize) -> bool {
+        !m.consume_forced_failure() && self.tenured.active().fits(words)
     }
 
-    fn memory_mut(&mut self) -> &mut Memory {
-        &mut self.mem
+    /// One allocation attempt against the large-object space.
+    fn los_attempt_alloc(&mut self, m: &mut MutatorState, words: usize) -> Option<Addr> {
+        if m.consume_forced_failure() {
+            return None;
+        }
+        self.los.as_mut().expect("LOS routing checked").alloc(words)
     }
 
-    fn alloc(&mut self, m: &mut MutatorState, shape: AllocShape) -> Addr {
+    /// The budget picture at the moment an arena gave out.
+    fn snapshot(&self, space: &'static str) -> BudgetSnapshot {
+        let (free_words, live_words) = match space {
+            "nursery" => (
+                self.nursery.active().free_words(),
+                self.nursery.active().used_words(),
+            ),
+            "los" => {
+                let used = self.los.as_ref().map_or(0, |l| l.used_words());
+                let committed = self.nursery_words + 2 * self.tenured.active().used_words() + used;
+                (self.budget_words.saturating_sub(committed), used)
+            }
+            _ => (
+                self.tenured.active().free_words(),
+                self.tenured.active().used_words(),
+            ),
+        };
+        BudgetSnapshot {
+            budget_words: self.budget_words,
+            free_words,
+            live_words,
+        }
+    }
+
+    /// The governor's one-shot rebalance rung: halves the nursery's
+    /// budget share in favor of the tenured generation. Deterministic
+    /// and irreversible — a plan rebalances at most once.
+    fn rebalance(&mut self) {
+        self.rebalanced = true;
+        self.nursery_words = (self.nursery_words / 2).max(64);
+        self.nursery.set_limit_words(self.nursery_words);
+        let live =
+            self.tenured.active().used_words() + self.los.as_ref().map_or(0, |l| l.used_words());
+        self.apply_limits(live);
+    }
+
+    /// Climbs the tenured-arena rungs shared by the pretenure and
+    /// oversized paths — retry-major, then the one-shot rebalance —
+    /// after the ordinary slow path (one major collection) has already
+    /// failed. Returns whether `words` now fit the active tenured half.
+    fn climb_tenured_ladder(
+        &mut self,
+        m: &mut MutatorState,
+        session: &mut PressureSession,
+        words: usize,
+    ) -> bool {
+        let charged = session.charge(m, &mut self.stats, PressureRung::RetryMajor);
+        self.major(m, "alloc-failure");
+        if self.tenured_attempt_fits(m, words) {
+            session.emit_rung(m, PressureRung::RetryMajor, "recovered", charged);
+            return true;
+        }
+        session.emit_rung(m, PressureRung::RetryMajor, "escalated", charged);
+        if !self.rebalanced {
+            let charged = session.charge(m, &mut self.stats, PressureRung::Rebalance);
+            self.rebalance();
+            if self.tenured_attempt_fits(m, words) {
+                session.emit_rung(m, PressureRung::Rebalance, "recovered", charged);
+                return true;
+            }
+            session.emit_rung(m, PressureRung::Rebalance, "escalated", charged);
+        }
+        false
+    }
+
+    /// Bump-allocates into the active tenured half, which the caller
+    /// has checked (or recovered) to fit.
+    fn finish_tenured_alloc(&mut self, m: &mut MutatorState, shape: AllocShape) -> Addr {
+        let buf = std::mem::take(&mut m.alloc_buf);
+        let addr = alloc_in_space(&mut self.mem, self.tenured.active_mut(), shape, &buf)
+            .expect("tenured space was checked to fit");
+        m.alloc_buf = buf;
+        addr
+    }
+
+    /// The large-array path: mark-sweep placement with a ladder of one
+    /// retry-major rung (rebalancing cannot grow the LOS reservation).
+    fn alloc_large(&mut self, m: &mut MutatorState, shape: AllocShape) -> Result<Addr, GcError> {
+        let words = shape.size_words();
+        let mut addr = self.los_attempt_alloc(m, words);
+        if addr.is_none() {
+            // Ordinary slow path: a major collection sweeps dead blocks.
+            self.major(m, "alloc-failure");
+            addr = self.los_attempt_alloc(m, words);
+        }
+        let addr = match addr {
+            Some(a) => a,
+            None => {
+                let mut session = PressureSession::begin(
+                    m,
+                    &mut self.stats,
+                    shape.site().get(),
+                    words as u64,
+                    "los",
+                );
+                let charged = session.charge(m, &mut self.stats, PressureRung::RetryMajor);
+                self.major(m, "alloc-failure");
+                match self.los_attempt_alloc(m, words) {
+                    Some(a) => {
+                        session.emit_rung(m, PressureRung::RetryMajor, "recovered", charged);
+                        session.finish(m, "recovered");
+                        a
+                    }
+                    None => {
+                        session.emit_rung(m, PressureRung::RetryMajor, "escalated", charged);
+                        session.finish(m, "exhausted");
+                        return Err(GcError::LargeObjectExhausted {
+                            kind: shape.kind(),
+                            requested_words: words,
+                            budget: self.snapshot("los"),
+                        });
+                    }
+                }
+            }
+        };
+        let buf = std::mem::take(&mut m.alloc_buf);
+        materialize(&mut self.mem, addr, shape, &buf);
+        m.alloc_buf = buf;
+        if matches!(shape, AllocShape::PtrArray { .. }) {
+            // The initializing store may reference the nursery.
+            self.los
+                .as_mut()
+                .expect("LOS routing checked")
+                .pending_scan
+                .push(addr);
+        }
+        if let Some(prof) = self.profile.as_mut() {
+            prof.on_alloc(addr, shape.site(), shape.size_bytes());
+        }
+        Ok(addr)
+    }
+
+    /// The pretenuring path: tenured-at-birth placement whose last
+    /// ladder rung demotes pretenured sites (hottest first) back to
+    /// nursery allocation until this site re-routes young.
+    fn alloc_pretenured(
+        &mut self,
+        m: &mut MutatorState,
+        shape: AllocShape,
+    ) -> Result<Addr, GcError> {
         let words = shape.size_words();
         let site = shape.site();
-        if m.recorder.is_enabled() {
-            // Counted before routing so every allocation path (LOS,
-            // pretenure, semispace mode, oversized, nursery) feeds the
-            // same per-site time-series.
-            self.telem
-                .get_or_insert_with(TelemetryAcc::default)
-                .note_alloc(site.get(), shape.size_bytes() as u64);
+        m.charge(m.cost.pretenure_alloc_extra);
+        if !self.tenured_attempt_fits(m, words) {
+            self.major(m, "alloc-failure");
+            if !self.tenured_attempt_fits(m, words) {
+                let mut session =
+                    PressureSession::begin(m, &mut self.stats, site.get(), words as u64, "tenured");
+                if !self.climb_tenured_ladder(m, &mut session, words) {
+                    while self
+                        .pretenured
+                        .as_ref()
+                        .is_some_and(|p| p.should_pretenure(site))
+                    {
+                        let charged = session.charge(m, &mut self.stats, PressureRung::Demote);
+                        let demoted = self
+                            .pretenured
+                            .as_mut()
+                            .expect("pretenure routing checked")
+                            .demote_hottest()
+                            .expect("`site` is still pretenured");
+                        if let Some(p) = self.profile.as_mut() {
+                            p.note_demotion(demoted);
+                        }
+                        session.emit_rung(m, PressureRung::Demote, "demoted", charged);
+                    }
+                    session.finish(m, "recovered");
+                    // The site now allocates young: re-route through the
+                    // ordinary paths (nursery, or oversized fallback).
+                    return self.alloc_inner(m, shape);
+                }
+                session.finish(m, "recovered");
+            }
         }
+        let addr = self.finish_tenured_alloc(m, shape);
+        self.stats.pretenured_bytes += shape.size_bytes() as u64;
+        // §7.2: "some areas may require no scanning because they
+        // contain no pointers" — pointer-free objects never make
+        // it onto the pending-scan list, and neither do objects
+        // from sites the no-scan analysis cleared.
+        let pointer_free = match shape {
+            AllocShape::Record { mask, .. } => mask == 0,
+            AllocShape::PtrArray { .. } => false,
+            AllocShape::RawArray { .. } => true,
+        };
+        self.pretenured
+            .as_mut()
+            .expect("pretenure routing checked")
+            .note_alloc(addr, site, words, pointer_free);
+        if let Some(prof) = self.profile.as_mut() {
+            prof.on_alloc(addr, site, shape.size_bytes());
+        }
+        Ok(addr)
+    }
+
+    /// Allocation with the telemetry note already taken: the routing and
+    /// per-path ladders. Recurses (once) after a demotion re-route.
+    fn alloc_inner(&mut self, m: &mut MutatorState, shape: AllocShape) -> Result<Addr, GcError> {
+        let words = shape.size_words();
+        let site = shape.site();
 
         // Large arrays bypass the nursery (§2.1) — checked before the
         // pretenuring policy because a mark-sweep-managed array is never
@@ -620,83 +823,31 @@ impl Plan for GenerationalPlan {
             && is_array
             && (over_threshold || words > self.nursery.active().capacity_words())
         {
-            let addr = match self.los.as_mut().expect("checked").alloc(words) {
-                Some(a) => a,
-                None => {
-                    self.major(m, "alloc-failure");
-                    self.los
-                        .as_mut()
-                        .expect("checked")
-                        .alloc(words)
-                        .unwrap_or_else(|| panic!("out of memory: large object of {words} words"))
-                }
-            };
-            let buf = std::mem::take(&mut m.alloc_buf);
-            materialize(&mut self.mem, addr, shape, &buf);
-            m.alloc_buf = buf;
-            if matches!(shape, AllocShape::PtrArray { .. }) {
-                // The initializing store may reference the nursery.
-                self.los.as_mut().expect("checked").pending_scan.push(addr);
-            }
-            if let Some(prof) = self.profile.as_mut() {
-                prof.on_alloc(addr, site, shape.size_bytes());
-            }
-            return addr;
+            return self.alloc_large(m, shape);
         }
 
         // Profile-driven pretenuring: straight to the tenured generation.
-        if let Some(p) = &self.pretenured {
-            if p.should_pretenure(site) {
-                m.charge(m.cost.pretenure_alloc_extra);
-                if !self.tenured.active().fits(words) {
-                    self.major(m, "alloc-failure");
-                    assert!(
-                        self.tenured.active().fits(words),
-                        "out of memory pretenuring {words} words"
-                    );
-                }
-                let buf = std::mem::take(&mut m.alloc_buf);
-                let addr = alloc_in_space(&mut self.mem, self.tenured.active_mut(), shape, &buf)
-                    .expect("tenured space was checked to fit");
-                m.alloc_buf = buf;
-                self.stats.pretenured_bytes += shape.size_bytes() as u64;
-                // §7.2: "some areas may require no scanning because they
-                // contain no pointers" — pointer-free objects never make
-                // it onto the pending-scan list, and neither do objects
-                // from sites the no-scan analysis cleared.
-                let pointer_free = match shape {
-                    AllocShape::Record { mask, .. } => mask == 0,
-                    AllocShape::PtrArray { .. } => false,
-                    AllocShape::RawArray { .. } => true,
-                };
-                self.pretenured.as_mut().expect("checked above").note_alloc(
-                    addr,
-                    site,
-                    pointer_free,
-                );
-                if let Some(prof) = self.profile.as_mut() {
-                    prof.on_alloc(addr, site, shape.size_bytes());
-                }
-                return addr;
-            }
+        if self
+            .pretenured
+            .as_ref()
+            .is_some_and(|p| p.should_pretenure(site))
+        {
+            return self.alloc_pretenured(m, shape);
         }
 
         // §9 semispace mode: the whole tenured semispace is the
         // allocation arena; every collection is a full collection, so no
         // promotion copying and no region scans are needed.
         if self.semispace_mode {
-            if !self.tenured.active().fits(words) {
+            if !self.tenured_attempt_fits(m, words) {
                 self.major(m, "alloc-failure");
             }
-            if self.semispace_mode && self.tenured.active().fits(words) {
-                let buf = std::mem::take(&mut m.alloc_buf);
-                let addr = alloc_in_space(&mut self.mem, self.tenured.active_mut(), shape, &buf)
-                    .expect("checked to fit");
-                m.alloc_buf = buf;
+            if self.semispace_mode && self.tenured_attempt_fits(m, words) {
+                let addr = self.finish_tenured_alloc(m, shape);
                 if let Some(prof) = self.profile.as_mut() {
                     prof.on_alloc(addr, site, shape.size_bytes());
                 }
-                return addr;
+                return Ok(addr);
             }
             // Mode flipped off (or space still tight): fall through to the
             // generational paths below.
@@ -706,17 +857,28 @@ impl Plan for GenerationalPlan {
         // to go to (or non-array records) are tenured at birth, with the
         // same deferred in-place scan pretenured objects get.
         if words > self.nursery.active().capacity_words() {
-            if !self.tenured.active().fits(words) {
+            if !self.tenured_attempt_fits(m, words) {
                 self.major(m, "alloc-failure");
-                assert!(
-                    self.tenured.active().fits(words),
-                    "out of memory: oversized object of {words} words"
-                );
+                if !self.tenured_attempt_fits(m, words) {
+                    let mut session = PressureSession::begin(
+                        m,
+                        &mut self.stats,
+                        site.get(),
+                        words as u64,
+                        "tenured",
+                    );
+                    if !self.climb_tenured_ladder(m, &mut session, words) {
+                        session.finish(m, "exhausted");
+                        return Err(GcError::TenuredExhausted {
+                            kind: shape.kind(),
+                            requested_words: words,
+                            budget: self.snapshot("tenured"),
+                        });
+                    }
+                    session.finish(m, "recovered");
+                }
             }
-            let buf = std::mem::take(&mut m.alloc_buf);
-            let addr = alloc_in_space(&mut self.mem, self.tenured.active_mut(), shape, &buf)
-                .expect("tenured space was checked to fit");
-            m.alloc_buf = buf;
+            let addr = self.finish_tenured_alloc(m, shape);
             match self.pretenured.as_mut() {
                 Some(p) => p.defer_scan(addr),
                 None => {
@@ -733,22 +895,48 @@ impl Plan for GenerationalPlan {
             if let Some(prof) = self.profile.as_mut() {
                 prof.on_alloc(addr, site, shape.size_bytes());
             }
-            return addr;
+            return Ok(addr);
         }
 
         // Ordinary nursery allocation.
-        if !self.nursery.active().fits(words) {
+        if !self.nursery_attempt_fits(m, words) {
             self.collect(m, CollectReason::AllocFailure);
-            if !self.nursery.active().fits(words) {
+            if !self.nursery_attempt_fits(m, words) {
                 // Accumulated copied-back survivors can crowd the nursery
                 // system; a major collection promotes them all.
                 self.major(m, "alloc-failure");
+                if !self.nursery_attempt_fits(m, words) {
+                    let mut session = PressureSession::begin(
+                        m,
+                        &mut self.stats,
+                        site.get(),
+                        words as u64,
+                        "nursery",
+                    );
+                    let charged = session.charge(m, &mut self.stats, PressureRung::RetryMinor);
+                    self.minor(m, "alloc-failure");
+                    if self.nursery_attempt_fits(m, words) {
+                        session.emit_rung(m, PressureRung::RetryMinor, "recovered", charged);
+                        session.finish(m, "recovered");
+                    } else {
+                        session.emit_rung(m, PressureRung::RetryMinor, "escalated", charged);
+                        let charged = session.charge(m, &mut self.stats, PressureRung::RetryMajor);
+                        self.major(m, "alloc-failure");
+                        if self.nursery_attempt_fits(m, words) {
+                            session.emit_rung(m, PressureRung::RetryMajor, "recovered", charged);
+                            session.finish(m, "recovered");
+                        } else {
+                            session.emit_rung(m, PressureRung::RetryMajor, "escalated", charged);
+                            session.finish(m, "exhausted");
+                            return Err(GcError::NurseryExhausted {
+                                kind: shape.kind(),
+                                requested_words: words,
+                                budget: self.snapshot("nursery"),
+                            });
+                        }
+                    }
+                }
             }
-            assert!(
-                self.nursery.active().fits(words),
-                "out of memory: {words} words do not fit an empty {}-word nursery",
-                self.nursery.active().capacity_words()
-            );
         }
         let buf = std::mem::take(&mut m.alloc_buf);
         let addr = alloc_in_space(&mut self.mem, self.nursery.active_mut(), shape, &buf)
@@ -757,7 +945,33 @@ impl Plan for GenerationalPlan {
         if let Some(prof) = self.profile.as_mut() {
             prof.on_alloc(addr, site, shape.size_bytes());
         }
-        addr
+        Ok(addr)
+    }
+}
+
+impl Plan for GenerationalPlan {
+    fn name(&self) -> &'static str {
+        "generational"
+    }
+
+    fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    fn alloc(&mut self, m: &mut MutatorState, shape: AllocShape) -> Result<Addr, GcError> {
+        if m.recorder.is_enabled() {
+            // Counted before routing (and before any demotion re-route)
+            // so every allocation path (LOS, pretenure, semispace mode,
+            // oversized, nursery) feeds the same per-site time-series.
+            self.telem
+                .get_or_insert_with(TelemetryAcc::default)
+                .note_alloc(shape.site().get(), shape.size_bytes() as u64);
+        }
+        self.alloc_inner(m, shape)
     }
 
     fn collect(&mut self, m: &mut MutatorState, reason: CollectReason) {

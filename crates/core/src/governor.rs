@@ -1,0 +1,183 @@
+//! The heap-pressure governor: the deterministic escalation ladder a
+//! plan climbs when an allocation does not fit.
+//!
+//! Each rung is a recovery attempt with a fixed simulated cost from the
+//! [`CostModel`](tilgc_runtime::CostModel):
+//!
+//! 1. **retry-minor** — collect the nursery and retry (the generational
+//!    plans' ordinary slow path, free of extra charge beyond the
+//!    collection itself; only *re*-tries after a first failure are
+//!    charged as rungs);
+//! 2. **retry-major** — collect the whole heap and retry;
+//! 3. **rebalance** — a one-shot budget rebalance that shrinks the
+//!    nursery's share in favor of the tenured generation;
+//! 4. **demote** — flip the highest-pressure pretenured site back to
+//!    nursery allocation and retry through the young path.
+//!
+//! Rung costs are charged to `GcStats::other_cycles` *before* the rung's
+//! recovery work runs, so they land outside any telemetry phase-timer
+//! window and the global identity `sum(phase cycles) + sum(rung cycles)
+//! == gc_cycles` holds exactly. When no recorder is installed the ladder
+//! emits nothing and charges the same cycles, so a recovered-pressure
+//! run is byte-deterministic with or without telemetry.
+//!
+//! A ladder with no rung left returns the typed
+//! [`GcError`](tilgc_mem::GcError) to the plan, which surfaces it to the
+//! VM as a catchable `HeapOverflow` — never a Rust panic.
+
+use tilgc_obs::{Event, PressureBegin, PressureEnd, PressureRung as RungEvent};
+use tilgc_runtime::{CostModel, GcStats, MutatorState};
+
+/// One rung of the escalation ladder, in climb order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum PressureRung {
+    /// Retry after a (repeated) minor collection.
+    RetryMinor,
+    /// Retry after a full-heap collection.
+    RetryMajor,
+    /// One-shot nursery/tenured budget rebalance.
+    Rebalance,
+    /// Demote the hottest pretenured site back to the nursery.
+    Demote,
+}
+
+impl PressureRung {
+    /// The name used on the telemetry wire.
+    pub(crate) fn wire_name(self) -> &'static str {
+        match self {
+            PressureRung::RetryMinor => "retry-minor",
+            PressureRung::RetryMajor => "retry-major",
+            PressureRung::Rebalance => "rebalance",
+            PressureRung::Demote => "demote",
+        }
+    }
+
+    /// Simulated cycles the rung charges (on top of any collection it
+    /// triggers, which bills itself as usual).
+    pub(crate) fn cost(self, cost: &CostModel) -> u64 {
+        match self {
+            PressureRung::RetryMinor | PressureRung::RetryMajor => cost.pressure_retry,
+            PressureRung::Rebalance => cost.pressure_rebalance,
+            PressureRung::Demote => cost.pressure_demote,
+        }
+    }
+}
+
+/// One pressure episode: from the first unrecoverable-by-the-ordinary-
+/// slow-path allocation failure to either recovery or exhaustion.
+pub(crate) struct PressureSession {
+    site: u16,
+    words: u64,
+    rungs: u64,
+    cycles: u64,
+}
+
+impl PressureSession {
+    /// Opens the episode (emitting `pressure-begin` when a recorder is
+    /// installed) and counts it in [`GcStats::pressure_episodes`], the
+    /// flag calibration harnesses use to reject under-budgeted runs.
+    /// `space` names the arena that failed first.
+    pub(crate) fn begin(
+        m: &mut MutatorState,
+        stats: &mut GcStats,
+        site: u16,
+        words: u64,
+        space: &'static str,
+    ) -> PressureSession {
+        stats.pressure_episodes += 1;
+        if m.recorder.is_enabled() {
+            m.recorder.record(Event::PressureBegin(PressureBegin {
+                site,
+                words,
+                space,
+                start_cycles: m.stats.client_cycles + stats.gc_cycles(),
+            }));
+        }
+        PressureSession {
+            site,
+            words,
+            rungs: 0,
+            cycles: 0,
+        }
+    }
+
+    /// Charges `rung`'s simulated cost — always, recorder or not — and
+    /// returns the cycles charged. Call this *before* running the rung's
+    /// recovery work so the charge lands outside phase-timer windows.
+    pub(crate) fn charge(
+        &mut self,
+        m: &MutatorState,
+        stats: &mut GcStats,
+        rung: PressureRung,
+    ) -> u64 {
+        let cycles = rung.cost(&m.cost);
+        stats.other_cycles += cycles;
+        self.rungs += 1;
+        self.cycles += cycles;
+        cycles
+    }
+
+    /// Emits the rung's `pressure-rung` line with its outcome
+    /// (`"recovered"`, `"escalated"`, or `"demoted"`).
+    pub(crate) fn emit_rung(
+        &self,
+        m: &mut MutatorState,
+        rung: PressureRung,
+        outcome: &'static str,
+        cycles: u64,
+    ) {
+        if m.recorder.is_enabled() {
+            m.recorder.record(Event::PressureRung(RungEvent {
+                rung: rung.wire_name(),
+                site: self.site,
+                words: self.words,
+                outcome,
+                cycles,
+            }));
+        }
+    }
+
+    /// Closes the episode (`outcome` is `"recovered"` or `"exhausted"`),
+    /// emitting the `pressure-end` line whose cycle total the validator
+    /// checks against the rung sum.
+    pub(crate) fn finish(self, m: &mut MutatorState, outcome: &'static str) {
+        if m.recorder.is_enabled() {
+            m.recorder.record(Event::PressureEnd(PressureEnd {
+                outcome,
+                rungs: self.rungs,
+                cycles: self.cycles,
+            }));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rung_costs_come_from_the_cost_model() {
+        let cost = CostModel::default();
+        assert_eq!(PressureRung::RetryMinor.cost(&cost), cost.pressure_retry);
+        assert_eq!(PressureRung::RetryMajor.cost(&cost), cost.pressure_retry);
+        assert_eq!(PressureRung::Rebalance.cost(&cost), cost.pressure_rebalance);
+        assert_eq!(PressureRung::Demote.cost(&cost), cost.pressure_demote);
+        assert_eq!(PressureRung::Demote.wire_name(), "demote");
+    }
+
+    #[test]
+    fn charges_accumulate_without_a_recorder() {
+        let mut m = MutatorState::new();
+        let mut stats = GcStats::default();
+        let mut session = PressureSession::begin(&mut m, &mut stats, 3, 16, "nursery");
+        assert_eq!(stats.pressure_episodes, 1);
+        let c1 = session.charge(&m, &mut stats, PressureRung::RetryMajor);
+        session.emit_rung(&mut m, PressureRung::RetryMajor, "escalated", c1);
+        let c2 = session.charge(&m, &mut stats, PressureRung::Rebalance);
+        session.emit_rung(&mut m, PressureRung::Rebalance, "recovered", c2);
+        assert_eq!(stats.other_cycles, c1 + c2);
+        assert_eq!(session.rungs, 2);
+        assert_eq!(session.cycles, c1 + c2);
+        session.finish(&mut m, "recovered");
+    }
+}

@@ -35,7 +35,7 @@
 //! let config = GcConfig::new().heap_budget_bytes(1 << 20);
 //! let mut vm = Vm::new(build_collector(CollectorKind::Generational, &config));
 //! let site = vm.site("example::pair");
-//! let pair = vm.alloc_record(site, &[Value::Int(1), Value::Int(2)]);
+//! let pair = vm.alloc_record(site, &[Value::Int(1), Value::Int(2)]).unwrap();
 //! assert_eq!(vm.load_int(pair, 0), 1);
 //! ```
 
@@ -45,6 +45,7 @@
 mod config;
 mod evac;
 mod generational;
+mod governor;
 mod los;
 mod plan;
 pub mod roots;
@@ -174,7 +175,7 @@ mod tests {
         for kind in CollectorKind::ALL {
             let mut vm = build_vm(kind, &config);
             let site = vm.site("t::x");
-            let a = vm.alloc_record(site, &[Value::Int(7)]);
+            let a = vm.alloc_record(site, &[Value::Int(7)]).unwrap();
             assert_eq!(vm.load_int(a, 0), 7);
             assert!(!kind.label().is_empty());
         }

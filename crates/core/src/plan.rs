@@ -23,7 +23,7 @@
 //! blanket impl: `Collector` is a foreign trait, so a blanket
 //! `impl<P: Plan> Collector for P` would violate coherence.)
 
-use tilgc_mem::{Addr, Memory};
+use tilgc_mem::{Addr, GcError, Memory};
 use tilgc_runtime::{
     AllocShape, CollectReason, CollectionInspection, Collector, GcStats, HeapProfile, MutatorState,
 };
@@ -51,11 +51,11 @@ pub trait Plan {
     /// Allocates an object, routing the site to a space per the plan's
     /// policy and collecting first if necessary.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if even after collection the heap budget cannot satisfy
-    /// the request — the simulated machine is out of memory.
-    fn alloc(&mut self, m: &mut MutatorState, shape: AllocShape) -> Addr;
+    /// Returns a [`GcError`] when the heap-pressure escalation ladder
+    /// cannot make the request fit within the fixed heap budget.
+    fn alloc(&mut self, m: &mut MutatorState, shape: AllocShape) -> Result<Addr, GcError>;
 
     /// Runs a collection now.
     fn collect(&mut self, m: &mut MutatorState, reason: CollectReason);
@@ -131,7 +131,7 @@ impl<P: Plan> Collector for PlanCollector<P> {
         self.plan.memory_mut()
     }
 
-    fn alloc(&mut self, m: &mut MutatorState, shape: AllocShape) -> Addr {
+    fn alloc(&mut self, m: &mut MutatorState, shape: AllocShape) -> Result<Addr, GcError> {
         self.plan.alloc(m, shape)
     }
 
@@ -197,7 +197,7 @@ impl Plan for PretenuringPlan {
         self.inner.memory_mut()
     }
 
-    fn alloc(&mut self, m: &mut MutatorState, shape: AllocShape) -> Addr {
+    fn alloc(&mut self, m: &mut MutatorState, shape: AllocShape) -> Result<Addr, GcError> {
         self.inner.alloc(m, shape)
     }
 

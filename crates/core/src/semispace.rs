@@ -14,7 +14,7 @@
 
 use std::time::Instant;
 
-use tilgc_mem::{Addr, Memory, Space};
+use tilgc_mem::{Addr, BudgetSnapshot, GcError, Memory, Space};
 use tilgc_obs::{CollectionBegin, Event, GcPhase, PhaseTimer, TelemetryAcc};
 use tilgc_runtime::{
     AllocShape, CollectReason, CollectionInspection, GcStats, HeapProfile, MutatorState,
@@ -22,6 +22,7 @@ use tilgc_runtime::{
 
 use crate::config::{GcConfig, MarkerPolicy};
 use crate::evac::{poison_range, sweep_profile_deaths, Evacuator};
+use crate::governor::{PressureRung, PressureSession};
 use crate::plan::Plan;
 use crate::roots::{append_cached_roots, scan_stack, ScanCache};
 use crate::space::{CopySemantics, CopySpace};
@@ -79,6 +80,34 @@ impl SemispacePlan {
     /// Capacity of one semispace right now, in words.
     pub fn semispace_words(&self) -> usize {
         self.heap.active().capacity_words()
+    }
+
+    /// Whether `words` fit in the active half right now. Consumes one
+    /// forced-failure token first, so fault injection fails each
+    /// *attempt* (not each logical allocation) and exercises the ladder.
+    fn attempt_fits(&self, m: &mut MutatorState, words: usize) -> bool {
+        !m.consume_forced_failure() && self.heap.active().fits(words)
+    }
+
+    fn budget_snapshot(&self) -> BudgetSnapshot {
+        BudgetSnapshot {
+            budget_words: self.budget_words,
+            free_words: self.heap.active().free_words(),
+            live_words: self.heap.active().used_words(),
+        }
+    }
+
+    /// Bump-allocates into the active half (which was checked to fit)
+    /// and records the allocation in the heap profile.
+    fn finish_alloc(&mut self, m: &mut MutatorState, shape: AllocShape) -> Addr {
+        let buf = std::mem::take(&mut m.alloc_buf);
+        let addr = alloc_in_space(&mut self.mem, self.heap.active_mut(), shape, &buf)
+            .expect("space was checked to fit");
+        m.alloc_buf = buf;
+        if let Some(p) = self.profile.as_mut() {
+            p.on_alloc(addr, shape.site(), shape.size_bytes());
+        }
+        addr
     }
 
     fn do_collect(&mut self, m: &mut MutatorState, reason: &'static str) {
@@ -225,31 +254,45 @@ impl Plan for SemispacePlan {
         &mut self.mem
     }
 
-    fn alloc(&mut self, m: &mut MutatorState, shape: AllocShape) -> Addr {
+    fn alloc(&mut self, m: &mut MutatorState, shape: AllocShape) -> Result<Addr, GcError> {
         let words = shape.size_words();
         if m.recorder.is_enabled() {
             self.telem
                 .get_or_insert_with(TelemetryAcc::default)
                 .note_alloc(shape.site().get(), shape.size_bytes() as u64);
         }
-        if !self.heap.active().fits(words) {
-            self.do_collect(m, "alloc-failure");
-            assert!(
-                self.heap.active().fits(words),
-                "out of memory: {} words requested, {} free after collection (budget {} words)",
-                words,
-                self.heap.active().free_words(),
-                self.budget_words
-            );
+        if self.attempt_fits(m, words) {
+            return Ok(self.finish_alloc(m, shape));
         }
-        let buf = std::mem::take(&mut m.alloc_buf);
-        let addr = alloc_in_space(&mut self.mem, self.heap.active_mut(), shape, &buf)
-            .expect("space was checked to fit");
-        m.alloc_buf = buf;
-        if let Some(p) = self.profile.as_mut() {
-            p.on_alloc(addr, shape.site(), shape.size_bytes());
+        // Ordinary slow path: one collection, no pressure episode yet.
+        self.do_collect(m, "alloc-failure");
+        if self.attempt_fits(m, words) {
+            return Ok(self.finish_alloc(m, shape));
         }
-        addr
+        // The slow path failed: open a pressure episode and climb the
+        // ladder. A single-space plan has only the retry-major rung.
+        let mut session = PressureSession::begin(
+            m,
+            &mut self.stats,
+            shape.site().get(),
+            words as u64,
+            "tenured",
+        );
+        let charged = session.charge(m, &mut self.stats, PressureRung::RetryMajor);
+        self.do_collect(m, "alloc-failure");
+        if self.attempt_fits(m, words) {
+            session.emit_rung(m, PressureRung::RetryMajor, "recovered", charged);
+            session.finish(m, "recovered");
+            return Ok(self.finish_alloc(m, shape));
+        }
+        session.emit_rung(m, PressureRung::RetryMajor, "escalated", charged);
+        session.finish(m, "exhausted");
+        // The semispace plan's single heap plays the tenured role.
+        Err(GcError::TenuredExhausted {
+            kind: shape.kind(),
+            requested_words: words,
+            budget: self.budget_snapshot(),
+        })
     }
 
     fn collect(&mut self, m: &mut MutatorState, reason: CollectReason) {
@@ -293,7 +336,9 @@ mod tests {
         let site = vm.site("t::rec");
         let d = vm.register_frame(FrameDesc::new("t").slot(Trace::Pointer));
         vm.push_frame(d);
-        let first = vm.alloc_record(site, &[Value::Int(41), Value::Int(42)]);
+        let first = vm
+            .alloc_record(site, &[Value::Int(41), Value::Int(42)])
+            .unwrap();
         vm.set_slot(0, Value::Ptr(first));
         // Allocate enough garbage to force several collections.
         for i in 0..2000 {
@@ -322,7 +367,9 @@ mod tests {
         vm.set_slot(0, Value::NULL);
         for i in 0..50 {
             let tail = vm.slot_ptr(0);
-            let cell = vm.alloc_record(site, &[Value::Int(i), Value::Ptr(tail)]);
+            let cell = vm
+                .alloc_record(site, &[Value::Int(i), Value::Ptr(tail)])
+                .unwrap();
             vm.set_slot(0, Value::Ptr(cell));
             for _ in 0..100 {
                 let _ = vm.alloc_record(site, &[Value::Int(0), Value::NULL]);
@@ -339,19 +386,38 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of memory")]
-    fn budget_exhaustion_panics() {
+    fn budget_exhaustion_is_a_typed_error() {
         let mut vm = vm(8 << 10);
         let site = vm.site("t::keep");
         let d = vm.register_frame(FrameDesc::new("t").slot(Trace::Pointer));
         vm.push_frame(d);
         // Retain an ever-growing list until the budget bursts.
         vm.set_slot(0, Value::NULL);
-        loop {
+        let overflow = loop {
             let tail = vm.slot_ptr(0);
-            let cell = vm.alloc_ptr_array(site, 16, tail);
-            vm.set_slot(0, Value::Ptr(cell));
-        }
+            match vm.alloc_ptr_array(site, 16, tail) {
+                Ok(cell) => vm.set_slot(0, Value::Ptr(cell)),
+                Err(overflow) => break overflow,
+            }
+        };
+        // No handler was installed, so the raise went uncaught.
+        assert!(matches!(
+            overflow.outcome,
+            tilgc_runtime::RaiseOutcome::Uncaught
+        ));
+        let err = overflow.error;
+        assert_eq!(err.kind(), tilgc_mem::AllocKind::PtrArray);
+        assert_eq!(err.space(), "tenured");
+        assert!(err.requested_words() >= 16);
+        let budget = err.budget();
+        assert_eq!(budget.budget_words, (8 << 10) / 8);
+        assert!(budget.live_words <= budget.budget_words);
+        let msg = err.to_string();
+        assert!(msg.contains("tenured space exhausted"), "got: {msg}");
+        // The heap stays usable after the failed allocation.
+        vm.set_slot(0, Value::NULL);
+        vm.gc_now();
+        assert!(vm.alloc_record(site, &[Value::Int(1)]).is_ok());
     }
 
     #[test]

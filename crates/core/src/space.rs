@@ -171,6 +171,9 @@ impl SpacePolicy for LargeObjectSpace {
 pub struct PretenuredRegion {
     policy: PretenurePolicy,
     pending: Vec<Addr>,
+    /// Words allocated per pretenured site over the run — the pressure
+    /// signal the governor's demotion rung ranks sites by.
+    alloc_words: std::collections::BTreeMap<SiteId, u64>,
 }
 
 impl PretenuredRegion {
@@ -179,6 +182,7 @@ impl PretenuredRegion {
         PretenuredRegion {
             policy,
             pending: Vec::new(),
+            alloc_words: std::collections::BTreeMap::new(),
         }
     }
 
@@ -197,14 +201,32 @@ impl PretenuredRegion {
         self.policy.group_by_site
     }
 
-    /// Records a freshly pretenured allocation, queuing it for its one
-    /// in-place scan — unless it is pointer-free or the §7.2 analysis
-    /// cleared its site ("some areas may require no scanning because
-    /// they contain no pointers").
-    pub fn note_alloc(&mut self, addr: Addr, site: SiteId, pointer_free: bool) {
+    /// Records a freshly pretenured allocation of `words` words, queuing
+    /// it for its one in-place scan — unless it is pointer-free or the
+    /// §7.2 analysis cleared its site ("some areas may require no
+    /// scanning because they contain no pointers").
+    pub fn note_alloc(&mut self, addr: Addr, site: SiteId, words: usize, pointer_free: bool) {
+        *self.alloc_words.entry(site).or_insert(0) += words as u64;
         if !pointer_free && !self.policy.is_no_scan(site) {
             self.pending.push(addr);
         }
+    }
+
+    /// Demotes the highest-pressure pretenured site — the one that has
+    /// allocated the most tenured words (ties break to the lowest site
+    /// id) — back to nursery allocation, and returns it. Objects the
+    /// site already tenured stay where they are (any still owing their
+    /// in-place scan remain pending); only *future* allocations are
+    /// rerouted. Returns `None` when no site is left to demote.
+    pub fn demote_hottest(&mut self) -> Option<SiteId> {
+        let hottest = self.policy.sites().max_by_key(|s| {
+            (
+                self.alloc_words.get(s).copied().unwrap_or(0),
+                std::cmp::Reverse(*s),
+            )
+        })?;
+        self.policy.remove_site(hottest);
+        Some(hottest)
     }
 
     /// Queues an object for the next in-place scan unconditionally (the
@@ -282,12 +304,38 @@ mod tests {
         assert!(region.should_pretenure(hot));
         assert_eq!(region.semantics(), CopySemantics::ScanInPlace);
 
-        region.note_alloc(Addr::new(10), hot, false);
-        region.note_alloc(Addr::new(20), hot, true); // pointer-free
-        region.note_alloc(Addr::new(30), cleared, false); // §7.2 no-scan
+        region.note_alloc(Addr::new(10), hot, 4, false);
+        region.note_alloc(Addr::new(20), hot, 4, true); // pointer-free
+        region.note_alloc(Addr::new(30), cleared, 4, false); // §7.2 no-scan
         assert!(SpacePolicy::contains(&region, Addr::new(10)));
         assert!(!SpacePolicy::contains(&region, Addr::new(20)));
         assert_eq!(region.take_pending(), vec![Addr::new(10)]);
         assert!(region.take_pending().is_empty());
+    }
+
+    #[test]
+    fn demotion_picks_the_hottest_site_and_drains_the_policy() {
+        let cool = SiteId::new(1);
+        let hot = SiteId::new(2);
+        let idle = SiteId::new(3);
+        let mut policy: PretenurePolicy = [cool, hot, idle].into_iter().collect();
+        policy.add_no_scan_site(hot);
+        let mut region = PretenuredRegion::new(policy);
+        region.note_alloc(Addr::new(10), cool, 8, false);
+        region.note_alloc(Addr::new(20), hot, 64, false);
+        region.note_alloc(Addr::new(30), hot, 64, false);
+
+        assert_eq!(region.demote_hottest(), Some(hot));
+        assert!(!region.should_pretenure(hot));
+        assert!(
+            !region.policy().is_no_scan(hot),
+            "no-scan entry dropped too"
+        );
+        // Pending scans of already-tenured objects survive the demotion.
+        assert!(SpacePolicy::contains(&region, Addr::new(10)));
+        assert_eq!(region.demote_hottest(), Some(cool));
+        // Sites with equal (zero) pressure demote lowest-id first.
+        assert_eq!(region.demote_hottest(), Some(idle));
+        assert_eq!(region.demote_hottest(), None);
     }
 }

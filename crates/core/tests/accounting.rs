@@ -24,7 +24,9 @@ fn semispace_report_matches_copied_bytes_exactly() {
     let frame = vm.register_frame(FrameDesc::new("acct").slots(2, Trace::Pointer));
     vm.push_frame(frame);
     let site = vm.site("acct::rec");
-    let keep = vm.alloc_record(site, &[Value::Int(1), Value::Int(2)]);
+    let keep = vm
+        .alloc_record(site, &[Value::Int(1), Value::Int(2)])
+        .unwrap();
     vm.set_slot(0, Value::Ptr(keep));
     // Garbage that must NOT be copied or reported.
     for i in 0..10 {
@@ -69,7 +71,9 @@ fn generational_minor_promotes_exactly_the_reachable_bytes() {
     vm.set_slot(0, Value::NULL);
     for i in 0..5 {
         let tail = vm.slot_ptr(0);
-        let cell = vm.alloc_record(site, &[Value::Ptr(tail), Value::Int(i)]);
+        let cell = vm
+            .alloc_record(site, &[Value::Ptr(tail), Value::Int(i)])
+            .unwrap();
         vm.set_slot(0, Value::Ptr(cell));
         let _ = vm.alloc_record(site, &[Value::NULL, Value::Int(-1)]);
     }
@@ -105,7 +109,9 @@ fn incomplete_live_accounting_is_flagged_under_a_tenure_threshold() {
     let frame = vm.register_frame(FrameDesc::new("acct").slots(1, Trace::Pointer));
     vm.push_frame(frame);
     let site = vm.site("acct::rec");
-    let keep = vm.alloc_record(site, &[Value::Int(5), Value::Int(6)]);
+    let keep = vm
+        .alloc_record(site, &[Value::Int(5), Value::Int(6)])
+        .unwrap();
     vm.set_slot(0, Value::Ptr(keep));
     vm.gc_now();
 
@@ -171,11 +177,15 @@ fn pretenured_region_is_scanned_in_place_and_reported() {
     vm.push_frame(frame);
     let pre_site = vm.site("acct::pre"); // id 1: pretenured
     let young_site = vm.site("acct::young"); // id 2: nursery
-    let young = vm.alloc_record(young_site, &[Value::Int(7), Value::Int(8)]);
+    let young = vm
+        .alloc_record(young_site, &[Value::Int(7), Value::Int(8)])
+        .unwrap();
     vm.set_slot(0, Value::Ptr(young));
     // Born tenured, holding the only heap reference into the nursery —
     // the in-place scan must find it.
-    let pre = vm.alloc_record(pre_site, &[Value::Ptr(young), Value::Int(9)]);
+    let pre = vm
+        .alloc_record(pre_site, &[Value::Ptr(young), Value::Int(9)])
+        .unwrap();
     vm.set_slot(1, Value::Ptr(pre));
     vm.gc_now();
 

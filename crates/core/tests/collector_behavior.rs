@@ -28,7 +28,9 @@ fn minor_collections_promote_survivors() {
     // Build a list with interleaved garbage so several minor GCs run.
     for i in 0..200 {
         let tail = vm.slot_ptr(0);
-        let cell = vm.alloc_record(site, &[Value::Int(i), Value::Ptr(tail)]);
+        let cell = vm
+            .alloc_record(site, &[Value::Int(i), Value::Ptr(tail)])
+            .unwrap();
         vm.set_slot(0, Value::Ptr(cell));
         for _ in 0..50 {
             let _ = vm.alloc_record(site, &[Value::Int(-1), Value::NULL]);
@@ -56,13 +58,13 @@ fn ssb_catches_old_to_young_stores() {
     let d = frame_with_ptrs(&mut vm, 2);
     vm.push_frame(d);
     // Allocate an object and force it into the tenured generation.
-    let old = vm.alloc_record(site, &[Value::NULL]);
+    let old = vm.alloc_record(site, &[Value::NULL]).unwrap();
     vm.set_slot(0, Value::Ptr(old));
     vm.gc_now();
     let old = vm.slot_ptr(0);
     // Allocate a young object and store it into the old one — the classic
     // old→young reference only the write barrier knows about.
-    let young = vm.alloc_record(site, &[Value::NULL]);
+    let young = vm.alloc_record(site, &[Value::NULL]).unwrap();
     vm.store_ptr(old, 0, young);
     // Deliberately do NOT root `young` in a slot; the barrier must keep it.
     vm.gc_now();
@@ -92,12 +94,12 @@ fn object_mark_barrier_is_equivalent_to_ssb() {
         let site = vm.site("t::slotbox");
         let d = frame_with_ptrs(&mut vm, 1);
         vm.push_frame(d);
-        let arr = vm.alloc_ptr_array(site, 16, Addr::NULL);
+        let arr = vm.alloc_ptr_array(site, 16, Addr::NULL).unwrap();
         vm.set_slot(0, Value::Ptr(arr));
         vm.gc_now(); // tenure the array
         for round in 0..300 {
             let arr = vm.slot_ptr(0);
-            let v = vm.alloc_record(site, &[Value::Int(round)]);
+            let v = vm.alloc_record(site, &[Value::Int(round)]).unwrap();
             vm.store_ptr(arr, (round % 16) as usize, v);
             for _ in 0..20 {
                 let _ = vm.alloc_record(site, &[Value::Int(0)]);
@@ -121,11 +123,11 @@ fn object_mark_barrier_dedups_repeated_updates() {
     let site = vm.site("t::box");
     let d = frame_with_ptrs(&mut vm, 2);
     vm.push_frame(d);
-    let boxed = vm.alloc_ptr_array(site, 4, Addr::NULL);
+    let boxed = vm.alloc_ptr_array(site, 4, Addr::NULL).unwrap();
     vm.set_slot(0, Value::Ptr(boxed));
     vm.gc_now();
     let boxed = vm.slot_ptr(0);
-    let val = vm.alloc_record(site, &[Value::Int(3)]);
+    let val = vm.alloc_record(site, &[Value::Int(3)]).unwrap();
     vm.set_slot(1, Value::Ptr(val));
     // 1000 updates to one object → one barrier entry.
     for _ in 0..1000 {
@@ -144,7 +146,7 @@ fn large_arrays_bypass_the_nursery_and_survive_majors() {
     let small_site = vm.site("t::small");
     let d = frame_with_ptrs(&mut vm, 1);
     vm.push_frame(d);
-    let big = vm.alloc_raw_array(site, 8 << 10); // 8 KB ≥ threshold
+    let big = vm.alloc_raw_array(site, 8 << 10).unwrap(); // 8 KB ≥ threshold
     vm.store_byte(big, 1000, 0xaa);
     vm.set_slot(0, Value::Ptr(big));
     let copied_before = vm.gc_stats().copied_bytes;
@@ -175,8 +177,8 @@ fn large_ptr_array_keeps_young_initializer_alive() {
     vm.push_frame(d);
     vm.set_reg(tilgc_runtime::Reg::new(4), Value::NULL);
     // A young record used as the initializer of a large pointer array.
-    let young = vm.alloc_record(site, &[Value::Int(77)]);
-    let big = vm.alloc_ptr_array(site, 1024, young);
+    let young = vm.alloc_record(site, &[Value::Int(77)]).unwrap();
+    let big = vm.alloc_ptr_array(site, 1024, young).unwrap();
     // Only the array references the young record... and nothing roots the
     // array except a register.
     vm.set_reg(tilgc_runtime::Reg::new(4), Value::Ptr(big));
@@ -193,7 +195,7 @@ fn large_ptr_array_keeps_young_initializer_alive() {
 
 fn deep_recursion(vm: &mut Vm, d: tilgc_runtime::DescId, site: tilgc_mem::SiteId, depth: usize) {
     vm.push_frame(d);
-    let obj = vm.alloc_record(site, &[Value::Int(depth as i64)]);
+    let obj = vm.alloc_record(site, &[Value::Int(depth as i64)]).unwrap();
     vm.set_slot(0, Value::Ptr(obj));
     if depth > 0 {
         deep_recursion(vm, d, site, depth - 1);
@@ -246,7 +248,7 @@ fn exceptions_keep_the_scan_cache_sound() {
     // Build a deep stack with a handler in the middle.
     for i in 0..120 {
         vm.push_frame(d);
-        let obj = vm.alloc_record(site, &[Value::Int(i)]);
+        let obj = vm.alloc_record(site, &[Value::Int(i)]).unwrap();
         vm.set_slot(0, Value::Ptr(obj));
         if i == 40 {
             vm.push_handler();
@@ -261,7 +263,7 @@ fn exceptions_keep_the_scan_cache_sound() {
     // Regrow with fresh frames and different roots.
     for i in 0..60 {
         vm.push_frame(d);
-        let obj = vm.alloc_record(site, &[Value::Int(1000 + i)]);
+        let obj = vm.alloc_record(site, &[Value::Int(1000 + i)]).unwrap();
         vm.set_slot(0, Value::Ptr(obj));
     }
     vm.gc_now();
@@ -295,7 +297,9 @@ fn pretenuring_reduces_copying_and_preserves_the_graph() {
         vm.set_slot(0, Value::NULL);
         for i in 0..500 {
             let tail = vm.slot_ptr(0);
-            let cell = vm.alloc_record(long_site, &[Value::Int(i), Value::Ptr(tail)]);
+            let cell = vm
+                .alloc_record(long_site, &[Value::Int(i), Value::Ptr(tail)])
+                .unwrap();
             vm.set_slot(0, Value::Ptr(cell));
             for _ in 0..30 {
                 let _ = vm.alloc_record(short_site, &[Value::Int(0), Value::NULL]);
@@ -337,8 +341,8 @@ fn pretenured_objects_with_young_children_are_scanned() {
     vm.push_frame(d);
     // A young child referenced ONLY from a pretenured (tenured-at-birth)
     // parent: the pretenured-region scan must find it.
-    let child = vm.alloc_record(young_site, &[Value::Int(1234)]);
-    let parent = vm.alloc_record(pt_site, &[Value::Ptr(child)]);
+    let child = vm.alloc_record(young_site, &[Value::Int(1234)]).unwrap();
+    let parent = vm.alloc_record(pt_site, &[Value::Ptr(child)]).unwrap();
     vm.set_slot(0, Value::Ptr(parent));
     assert!(
         vm.gc_stats().pretenured_bytes > 0,
@@ -358,7 +362,7 @@ fn forced_major_compacts_tenured_garbage() {
     let d = frame_with_ptrs(&mut vm, 1);
     vm.push_frame(d);
     // Tenure a chunk of data, then drop it.
-    let a = vm.alloc_ptr_array(site, 256, Addr::NULL);
+    let a = vm.alloc_ptr_array(site, 256, Addr::NULL).unwrap();
     vm.set_slot(0, Value::Ptr(a));
     vm.gc_now();
     let live_with_garbage = vm.gc_stats().last_live_bytes;
@@ -378,11 +382,11 @@ fn snapshot_is_stable_across_forced_collections() {
     let site = vm.site("t::stable");
     let d = frame_with_ptrs(&mut vm, 2);
     vm.push_frame(d);
-    let arr = vm.alloc_ptr_array(site, 8, Addr::NULL);
+    let arr = vm.alloc_ptr_array(site, 8, Addr::NULL).unwrap();
     vm.set_slot(0, Value::Ptr(arr));
     for i in 0..8 {
         let arr = vm.slot_ptr(0);
-        let v = vm.alloc_record(site, &[Value::Int(i)]);
+        let v = vm.alloc_record(site, &[Value::Int(i)]).unwrap();
         vm.store_ptr(arr, i as usize, v);
     }
     let before = vm_snapshot(&vm);
@@ -419,7 +423,9 @@ fn adaptive_mode_is_transparent_and_engages_on_dying_tenured() {
         for i in 0..4000 {
             // Keep a sliding window of 40 cells alive.
             let tail = vm.slot_ptr(0);
-            let cell = vm.alloc_record(site, &[Value::Int(i), Value::Ptr(tail)]);
+            let cell = vm
+                .alloc_record(site, &[Value::Int(i), Value::Ptr(tail)])
+                .unwrap();
             vm.set_slot(0, Value::Ptr(cell));
             if i % 40 == 39 {
                 // Truncate: walk 40 cells in and cut.
@@ -458,7 +464,7 @@ fn tenure_threshold_ages_objects_through_the_nursery_system() {
     let site = vm.site("t::aged");
     let d = frame_with_ptrs(&mut vm, 1);
     vm.push_frame(d);
-    let obj = vm.alloc_record(site, &[Value::Int(77)]);
+    let obj = vm.alloc_record(site, &[Value::Int(77)]).unwrap();
     vm.set_slot(0, Value::Ptr(obj));
 
     let tenured_live = |vm: &tilgc_runtime::Vm| vm.gc_stats().last_live_bytes;
@@ -497,7 +503,9 @@ fn tenure_threshold_preserves_linked_structures() {
     vm.set_slot(0, Value::NULL);
     for i in 0..300 {
         let tail = vm.slot_ptr(0);
-        let cell = vm.alloc_record(site, &[Value::Int(i), Value::Ptr(tail)]);
+        let cell = vm
+            .alloc_record(site, &[Value::Int(i), Value::Ptr(tail)])
+            .unwrap();
         vm.set_slot(0, Value::Ptr(cell));
         for _ in 0..40 {
             let _ = vm.alloc_record(site, &[Value::Int(-1), Value::NULL]);
@@ -540,7 +548,9 @@ fn tenure_threshold_increases_copying_which_pretenuring_removes() {
         vm.set_slot(0, Value::NULL);
         for i in 0..400 {
             let tail = vm.slot_ptr(0);
-            let cell = vm.alloc_record(long_site, &[Value::Int(i), Value::Ptr(tail)]);
+            let cell = vm
+                .alloc_record(long_site, &[Value::Int(i), Value::Ptr(tail)])
+                .unwrap();
             vm.set_slot(0, Value::Ptr(cell));
             for _ in 0..30 {
                 let _ = vm.alloc_record(short_site, &[Value::Int(0), Value::NULL]);
@@ -576,9 +586,11 @@ fn pointer_free_pretenured_objects_skip_the_region_scan() {
     let flat_site = vm.site("t::flat");
     let d = frame_with_ptrs(&mut vm, 2);
     vm.push_frame(d);
-    let raw = vm.alloc_raw_array(raw_site, 256);
+    let raw = vm.alloc_raw_array(raw_site, 256).unwrap();
     vm.set_slot(0, Value::Ptr(raw));
-    let flat = vm.alloc_record(flat_site, &[Value::Int(1), Value::Real(2.5)]);
+    let flat = vm
+        .alloc_record(flat_site, &[Value::Int(1), Value::Real(2.5)])
+        .unwrap();
     vm.set_slot(1, Value::Ptr(flat));
     assert!(
         vm.gc_stats().pretenured_bytes > 0,
@@ -609,7 +621,7 @@ fn semispace_with_markers_reuses_decodes_but_processes_all_roots() {
     // A deep, persistent stack with one root per frame.
     for i in 0..200 {
         vm.push_frame(d);
-        let obj = vm.alloc_record(site, &[Value::Int(i)]);
+        let obj = vm.alloc_record(site, &[Value::Int(i)]).unwrap();
         vm.set_slot(0, Value::Ptr(obj));
     }
     // Churn garbage at the top: repeated collections over an unchanged

@@ -93,6 +93,7 @@ pub fn run(bench_name: &str, plan_label: &str, out_dir: &str, validate: bool) ->
         println!("warning: ring overflow dropped {dropped} oldest events");
     }
     print_timeline(&events);
+    print_pressure(&events);
     print_site_table(&events, &sites);
 
     let jsonl_doc = jsonl::render(kind.label(), bench.name(), clock_hz, &sites, &events);
@@ -169,9 +170,56 @@ fn group_collections(events: &[Event]) -> BTreeMap<u64, CollectionRow> {
                 row.frames_reused = c.frames_reused;
             }
             Event::SiteSample(_) => {}
+            // Pressure episodes sit between collections; they get their
+            // own section of the report rather than a timeline row.
+            Event::PressureBegin(_) | Event::PressureRung(_) | Event::PressureEnd(_) => {}
         }
     }
     rows
+}
+
+/// Prints the heap-pressure episodes: one line per episode with its
+/// trigger, one indented line per governor rung climbed.
+fn print_pressure(events: &[Event]) {
+    let mut episode = 0u64;
+    let mut open: Option<&tilgc_obs::PressureBegin> = None;
+    let mut rungs: Vec<&tilgc_obs::PressureRung> = Vec::new();
+    let mut printed_header = false;
+    for e in events {
+        match e {
+            Event::PressureBegin(b) => {
+                open = Some(b);
+                rungs.clear();
+            }
+            Event::PressureRung(r) => rungs.push(r),
+            Event::PressureEnd(end) => {
+                episode += 1;
+                if !printed_header {
+                    printed_header = true;
+                    println!();
+                    println!("heap-pressure episodes:");
+                }
+                let trigger = match open.take() {
+                    Some(b) => format!(
+                        "site {} asked {} words of {} at cycle {}",
+                        b.site, b.words, b.space, b.start_cycles
+                    ),
+                    None => "trigger dropped by the ring buffer".to_string(),
+                };
+                println!(
+                    "  #{episode} {trigger} -> {} after {} rung(s), {} cycles",
+                    end.outcome, end.rungs, end.cycles
+                );
+                for r in rungs.drain(..) {
+                    println!(
+                        "      {:<11} -> {} ({} cycles)",
+                        r.rung, r.outcome, r.cycles
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
 }
 
 /// Renders a phase bar: each nonzero phase gets cells proportional to its

@@ -171,8 +171,11 @@ impl Calibration {
 }
 
 /// Like [`run_once`] but returns `None` when the budget is genuinely too
-/// tight (the collector panics with out-of-memory) — the paper's k = 1.5
-/// column sails close to the minimum by construction.
+/// tight — the paper's k = 1.5 column sails close to the minimum by
+/// construction. "Too tight" means the run aborted (heap exhaustion) or
+/// merely survived under pressure: a governor episode or a budget-share
+/// overrun disqualifies the run, so every accepted measurement is
+/// pressure-free and comparable across collectors.
 pub fn run_or_oom(
     bench: Benchmark,
     kind: CollectorKind,
@@ -187,7 +190,7 @@ pub fn run_or_oom(
     }))
     .ok();
     std::panic::set_hook(prev_hook);
-    out
+    out.filter(|r| r.gc.pressure_episodes == 0 && r.gc.budget_overruns == 0)
 }
 
 /// Runs with the given budget, growing it by 25 % steps if the collector

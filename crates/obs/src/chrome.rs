@@ -150,6 +150,10 @@ pub fn render(plan: &str, bench: &str, clock_hz: u64, events: &[Event]) -> Strin
                 begins.retain(|(c, _)| *c != end.collection);
             }
             Event::SiteSample(_) => {}
+            // Pressure episodes have no natural duration on the trace
+            // timeline (the work they trigger shows up as collections);
+            // the JSONL sink carries them for the gc-log timeline.
+            Event::PressureBegin(_) | Event::PressureRung(_) | Event::PressureEnd(_) => {}
         }
     }
     w.finish()

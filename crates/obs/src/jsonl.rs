@@ -6,7 +6,10 @@
 //! machine-checked by [`crate::schema::validate_line`].
 
 use crate::json::escape_into;
-use crate::{CollectionBegin, CollectionEnd, Event, Hist, PhaseSpan, SiteSample};
+use crate::{
+    CollectionBegin, CollectionEnd, Event, Hist, PhaseSpan, PressureBegin, PressureEnd,
+    PressureRung, SiteSample,
+};
 
 /// Builds JSONL object lines field by field.
 struct Obj {
@@ -97,6 +100,9 @@ pub fn event_line(event: &Event) -> String {
         Event::Phase(e) => phase_line(e),
         Event::CollectionEnd(e) => end_line(e),
         Event::SiteSample(e) => site_line(e),
+        Event::PressureBegin(e) => pressure_begin_line(e),
+        Event::PressureRung(e) => pressure_rung_line(e),
+        Event::PressureEnd(e) => pressure_end_line(e),
     }
 }
 
@@ -159,6 +165,33 @@ fn end_line(e: &CollectionEnd) -> String {
         .num("wall_ns", e.wall_ns)
         .hist("size_hist", &e.size_hist)
         .hist("depth_hist", &e.depth_hist)
+        .finish()
+}
+
+fn pressure_begin_line(e: &PressureBegin) -> String {
+    Obj::new("pressure-begin")
+        .num("site", e.site as u64)
+        .num("words", e.words)
+        .str("space", e.space)
+        .num("start_cycles", e.start_cycles)
+        .finish()
+}
+
+fn pressure_rung_line(e: &PressureRung) -> String {
+    Obj::new("pressure-rung")
+        .str("rung", e.rung)
+        .num("site", e.site as u64)
+        .num("words", e.words)
+        .str("outcome", e.outcome)
+        .num("cycles", e.cycles)
+        .finish()
+}
+
+fn pressure_end_line(e: &PressureEnd) -> String {
+    Obj::new("pressure-end")
+        .str("outcome", e.outcome)
+        .num("rungs", e.rungs)
+        .num("cycles", e.cycles)
         .finish()
 }
 

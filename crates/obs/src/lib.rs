@@ -252,6 +252,57 @@ pub struct SiteSample {
     pub survived: u64,
 }
 
+/// Start of a heap-pressure episode: an allocation that the ordinary
+/// collect-and-retry path could not satisfy, handing control to the
+/// escalation governor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PressureBegin {
+    /// Raw allocation-site id of the request that hit pressure.
+    pub site: u16,
+    /// Words the request asked for.
+    pub words: u64,
+    /// Wire name of the space under pressure (`"nursery"`, `"tenured"`,
+    /// `"los"`).
+    pub space: &'static str,
+    /// Position on the simulated timeline (client + GC cycles) when the
+    /// episode started.
+    pub start_cycles: u64,
+}
+
+/// One rung of the governor's escalation ladder taken during a pressure
+/// episode.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PressureRung {
+    /// Wire name of the rung: `"retry-minor"`, `"retry-major"`,
+    /// `"rebalance"` or `"demote"`.
+    pub rung: &'static str,
+    /// Allocation site the ladder is working for (for `"demote"` rungs,
+    /// the site being demoted).
+    pub site: u16,
+    /// Words the triggering request asked for.
+    pub words: u64,
+    /// What the rung achieved: `"recovered"` (the retry fit),
+    /// `"escalated"` (on to the next rung) or `"demoted"` (a pretenured
+    /// site was flipped back to the nursery).
+    pub outcome: &'static str,
+    /// Simulated cycles charged for taking the rung (accumulated into
+    /// `GcStats` outside any collection's phase spans).
+    pub cycles: u64,
+}
+
+/// End of a heap-pressure episode.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PressureEnd {
+    /// How the episode ended: `"recovered"` (the allocation eventually
+    /// fit) or `"exhausted"` (a typed out-of-memory error was returned).
+    pub outcome: &'static str,
+    /// Number of ladder rungs taken.
+    pub rungs: u64,
+    /// Total simulated cycles charged for the episode's rungs (equals
+    /// the sum of its [`PressureRung`] cycles).
+    pub cycles: u64,
+}
+
 /// One telemetry event.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Event {
@@ -265,6 +316,12 @@ pub enum Event {
     CollectionEnd(Box<CollectionEnd>),
     /// Per-site survival counters sampled at a collection.
     SiteSample(SiteSample),
+    /// A heap-pressure episode started.
+    PressureBegin(PressureBegin),
+    /// The governor took one escalation rung.
+    PressureRung(PressureRung),
+    /// A heap-pressure episode ended.
+    PressureEnd(PressureEnd),
 }
 
 /// An event sink installed in the mutator state.

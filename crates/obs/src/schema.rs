@@ -177,6 +177,60 @@ pub fn validate_line(line: &str) -> Result<(), String> {
             }
             Ok(())
         }),
+        "pressure-begin" => require(
+            &v,
+            &[
+                ("site", Ty::U64),
+                ("words", Ty::U64),
+                ("space", Ty::Str),
+                ("start_cycles", Ty::U64),
+            ],
+        )
+        .and_then(|()| {
+            let space = v.get("space").unwrap().as_str().unwrap();
+            if ["nursery", "tenured", "los"].contains(&space) {
+                Ok(())
+            } else {
+                Err(format!("unknown pressure space {space:?}"))
+            }
+        }),
+        "pressure-rung" => require(
+            &v,
+            &[
+                ("rung", Ty::Str),
+                ("site", Ty::U64),
+                ("words", Ty::U64),
+                ("outcome", Ty::Str),
+                ("cycles", Ty::U64),
+            ],
+        )
+        .and_then(|()| {
+            let rung = v.get("rung").unwrap().as_str().unwrap();
+            if !["retry-minor", "retry-major", "rebalance", "demote"].contains(&rung) {
+                return Err(format!("unknown pressure rung {rung:?}"));
+            }
+            let outcome = v.get("outcome").unwrap().as_str().unwrap();
+            if !["recovered", "escalated", "demoted"].contains(&outcome) {
+                return Err(format!("unknown rung outcome {outcome:?}"));
+            }
+            Ok(())
+        }),
+        "pressure-end" => require(
+            &v,
+            &[
+                ("outcome", Ty::Str),
+                ("rungs", Ty::U64),
+                ("cycles", Ty::U64),
+            ],
+        )
+        .and_then(|()| {
+            let outcome = v.get("outcome").unwrap().as_str().unwrap();
+            if ["recovered", "exhausted"].contains(&outcome) {
+                Ok(())
+            } else {
+                Err(format!("unknown pressure outcome {outcome:?}"))
+            }
+        }),
         other => Err(format!("unknown event type {other:?}")),
     }
 }
@@ -185,11 +239,21 @@ pub fn validate_line(line: &str) -> Result<(), String> {
 /// line must validate, collection numbers must be properly bracketed
 /// (begin before end, strictly increasing), and per-collection phase
 /// cycles must sum exactly to the reported `gc_cycles`.
+///
+/// Pressure episodes are bracketed too: a `pressure-begin` opens an
+/// episode on the allocation path (so it cannot appear inside a
+/// collection span, though collections triggered by the ladder may nest
+/// *inside* the episode), `pressure-rung` lines may only appear inside
+/// an open episode, and the closing `pressure-end` must report exactly
+/// the number of rungs taken and the sum of their cycle charges.
 pub fn validate_jsonl(doc: &str) -> Result<usize, String> {
     let mut lines = 0usize;
     let mut open: Option<u64> = None;
     let mut last_ended = 0u64;
     let mut phase_sum = 0u64;
+    let mut pressure_open = false;
+    let mut rung_sum = 0u64;
+    let mut rung_count = 0u64;
     for (i, line) in doc.lines().enumerate() {
         if line.is_empty() {
             continue;
@@ -234,12 +298,65 @@ pub fn validate_jsonl(doc: &str) -> Result<usize, String> {
                 open = None;
                 last_ended = c;
             }
+            "pressure-begin" => {
+                if pressure_open {
+                    return Err(format!("line {}: nested pressure episode", i + 1));
+                }
+                if open.is_some() {
+                    return Err(format!(
+                        "line {}: pressure episode opened inside a collection",
+                        i + 1
+                    ));
+                }
+                pressure_open = true;
+                rung_sum = 0;
+                rung_count = 0;
+            }
+            "pressure-rung" => {
+                if !pressure_open {
+                    return Err(format!("line {}: rung outside a pressure episode", i + 1));
+                }
+                if open.is_some() {
+                    return Err(format!("line {}: rung inside a collection span", i + 1));
+                }
+                rung_sum += v.get("cycles").unwrap().as_u64().unwrap();
+                rung_count += 1;
+            }
+            "pressure-end" => {
+                if !pressure_open {
+                    return Err(format!("line {}: pressure end without begin", i + 1));
+                }
+                if open.is_some() {
+                    return Err(format!(
+                        "line {}: pressure episode ended inside a collection",
+                        i + 1
+                    ));
+                }
+                let cycles = v.get("cycles").unwrap().as_u64().unwrap();
+                if cycles != rung_sum {
+                    return Err(format!(
+                        "line {}: episode cycles {cycles} != rung sum {rung_sum}",
+                        i + 1
+                    ));
+                }
+                let rungs = v.get("rungs").unwrap().as_u64().unwrap();
+                if rungs != rung_count {
+                    return Err(format!(
+                        "line {}: episode rungs {rungs} != rung count {rung_count}",
+                        i + 1
+                    ));
+                }
+                pressure_open = false;
+            }
             _ => {}
         }
         lines += 1;
     }
     if let Some(c) = open {
         return Err(format!("collection {c} never ended"));
+    }
+    if pressure_open {
+        return Err("pressure episode never ended".to_string());
     }
     if lines == 0 {
         return Err("empty document".to_string());
@@ -301,6 +418,9 @@ mod tests {
             r#"{"type":"collection-begin","collection":1,"plan":"semispace","reason":"forced","major":true,"depth":0,"start_cycles":10}"#,
             r#"{"type":"phase","collection":1,"phase":"cheney-copy","cycles":5,"wall_ns":10}"#,
             r#"{"type":"site-sample","collection":1,"site":2,"allocs":3,"alloc_bytes":48,"copied_objects":1,"copied_bytes":16,"survived":1}"#,
+            r#"{"type":"pressure-begin","site":4,"words":18,"space":"nursery","start_cycles":900}"#,
+            r#"{"type":"pressure-rung","rung":"retry-major","site":4,"words":18,"outcome":"recovered","cycles":20}"#,
+            r#"{"type":"pressure-end","outcome":"recovered","rungs":1,"cycles":20}"#,
         ];
         for line in lines {
             validate_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
@@ -332,6 +452,18 @@ mod tests {
                 "missing field",
                 r#"{"type":"phase","collection":1,"phase":"setup","cycles":1}"#,
             ),
+            (
+                "unknown pressure rung",
+                r#"{"type":"pressure-rung","rung":"pray","site":0,"words":1,"outcome":"recovered","cycles":1}"#,
+            ),
+            (
+                "unknown pressure space",
+                r#"{"type":"pressure-begin","site":0,"words":1,"space":"attic","start_cycles":0}"#,
+            ),
+            (
+                "unknown pressure outcome",
+                r#"{"type":"pressure-end","outcome":"shrug","rungs":1,"cycles":1}"#,
+            ),
         ];
         for (what, line) in bad {
             assert!(validate_line(line).is_err(), "{what} should be rejected");
@@ -355,6 +487,41 @@ mod tests {
         assert!(validate_jsonl(&unclosed)
             .unwrap_err()
             .contains("never ended"));
+    }
+
+    #[test]
+    fn jsonl_document_checks_pressure_bracketing() {
+        let meta =
+            "{\"type\":\"meta\",\"plan\":\"p\",\"bench\":\"b\",\"clock_hz\":1,\"sites\":[]}\n";
+        let begin = "{\"type\":\"pressure-begin\",\"site\":1,\"words\":8,\"space\":\"tenured\",\"start_cycles\":0}\n";
+        let rung = "{\"type\":\"pressure-rung\",\"rung\":\"retry-major\",\"site\":1,\"words\":8,\"outcome\":\"escalated\",\"cycles\":20}\n";
+        let rung2 = "{\"type\":\"pressure-rung\",\"rung\":\"rebalance\",\"site\":1,\"words\":8,\"outcome\":\"recovered\",\"cycles\":200}\n";
+        let end =
+            "{\"type\":\"pressure-end\",\"outcome\":\"recovered\",\"rungs\":2,\"cycles\":220}\n";
+        let ok = format!("{meta}{begin}{rung}{rung2}{end}");
+        assert_eq!(validate_jsonl(&ok).unwrap(), 5);
+
+        // A collection triggered by the ladder nests inside the episode.
+        let gc_begin = "{\"type\":\"collection-begin\",\"collection\":1,\"plan\":\"p\",\"reason\":\"alloc-failure\",\"major\":true,\"depth\":0,\"start_cycles\":0}\n";
+        let gc_phase = "{\"type\":\"phase\",\"collection\":1,\"phase\":\"setup\",\"cycles\":5,\"wall_ns\":0}\n";
+        let gc_end = "{\"type\":\"collection-end\",\"collection\":1,\"major\":true,\"depth\":0,\"claimed_prefix\":0,\"oracle_prefix\":0,\"copied_bytes\":0,\"scanned_words\":0,\"pretenured_scanned_words\":0,\"roots_found\":0,\"frames_scanned\":0,\"frames_reused\":0,\"slots_scanned\":0,\"barrier_entries\":0,\"markers_placed\":0,\"gc_cycles\":5,\"end_cycles\":5,\"live_bytes_after\":0,\"wall_ns\":0,\"size_hist\":[0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0],\"depth_hist\":[0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0]}\n";
+        let nested = format!("{meta}{begin}{gc_begin}{gc_phase}{gc_end}{rung}{rung2}{end}");
+        assert_eq!(validate_jsonl(&nested).unwrap(), 8);
+
+        let orphan_rung = format!("{meta}{rung}");
+        assert!(validate_jsonl(&orphan_rung)
+            .unwrap_err()
+            .contains("outside a pressure episode"));
+        let bad_sum = format!("{meta}{begin}{rung}{end}");
+        assert!(validate_jsonl(&bad_sum).unwrap_err().contains("rung"));
+        let unclosed = format!("{meta}{begin}{rung}");
+        assert!(validate_jsonl(&unclosed)
+            .unwrap_err()
+            .contains("pressure episode never ended"));
+        let inside_gc = format!("{meta}{gc_begin}{begin}");
+        assert!(validate_jsonl(&inside_gc)
+            .unwrap_err()
+            .contains("inside a collection"));
     }
 
     #[test]

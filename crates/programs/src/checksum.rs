@@ -11,7 +11,7 @@
 use tilgc_mem::Addr;
 use tilgc_runtime::{DescId, FrameDesc, Trace, Value, Vm};
 
-use crate::common::{mix, XorShift};
+use crate::common::{mix, must, XorShift};
 
 /// Data words per buffer chunk record (plus one link field).
 const CHUNK_WORDS: usize = 11;
@@ -52,7 +52,7 @@ fn build_buffer(vm: &mut Vm, f: &Frames, site: tilgc_mem::SiteId, seed: u64) -> 
             *field = Value::Int(rng.next_u64() as i64);
         }
         fields[CHUNK_WORDS] = Value::Ptr(prev);
-        let chunk = vm.alloc_record(site, &fields);
+        let chunk = must(vm.alloc_record(site, &fields));
         vm.set_slot(0, Value::Ptr(chunk));
     }
     let head = vm.slot_ptr(0);

@@ -11,7 +11,7 @@
 use tilgc_mem::{Addr, SiteId};
 use tilgc_runtime::{DescId, FrameDesc, Trace, Value, Vm};
 
-use crate::common::{cons, head_int, mix, tail, XorShift};
+use crate::common::{cons, head_int, mix, must, tail, XorShift};
 
 struct Color {
     main: DescId,
@@ -42,7 +42,7 @@ fn setup(vm: &mut Vm) -> Color {
 /// needs).
 fn build_graph(vm: &mut Vm, p: &Color, frames: DescId, n: usize, rng: &mut XorShift) -> Addr {
     vm.push_frame(frames);
-    let graph = vm.alloc_ptr_array(p.graph_site, n, Addr::NULL);
+    let graph = must(vm.alloc_ptr_array(p.graph_site, n, Addr::NULL));
     vm.set_slot(0, Value::Ptr(graph));
     for v in 1..n {
         // A spanning tree plus occasional chords: always 3-colorable, so
@@ -143,7 +143,7 @@ pub fn run(vm: &mut Vm, scale: u32) -> u64 {
     vm.set_slot(0, Value::Ptr(graph));
     // A mutable progress counter — the source of Color's modest
     // pointer-update count in Table 2.
-    let counter = vm.alloc_ptr_array(p.counter_site, 1, Addr::NULL);
+    let counter = must(vm.alloc_ptr_array(p.counter_site, 1, Addr::NULL));
     vm.set_slot(1, Value::Ptr(counter));
 
     let mut budget = 200_000i64 * i64::from(scale.max(1));
@@ -162,7 +162,7 @@ pub fn run(vm: &mut Vm, scale: u32) -> u64 {
         &mut h,
     );
     // Record the final count through the mutable cell.
-    let cell = vm.alloc_record(p.assign_site, &[Value::Int(found as i64)]);
+    let cell = must(vm.alloc_record(p.assign_site, &[Value::Int(found as i64)]));
     let counter = vm.slot_ptr(1);
     vm.store_ptr(counter, 0, cell);
     let counter = vm.slot_ptr(1);
@@ -184,7 +184,7 @@ mod tests {
         let p = setup(&mut vm);
         vm.push_frame(p.main);
         // Build the triangle by hand: 1–0, 2–0, 2–1.
-        let graph = vm.alloc_ptr_array(p.graph_site, 3, Addr::NULL);
+        let graph = must(vm.alloc_ptr_array(p.graph_site, 3, Addr::NULL));
         vm.set_slot(0, Value::Ptr(graph));
         for (v, u) in [(1usize, 0i64), (2, 0), (2, 1)] {
             let graph = vm.slot_ptr(0);

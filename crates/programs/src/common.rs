@@ -23,7 +23,7 @@
 //! on the error path. The `handle`-installing function resumes.
 
 use tilgc_mem::Addr;
-use tilgc_runtime::{DescId, FrameDesc, Trace, Value, Vm};
+use tilgc_runtime::{DescId, FrameDesc, HeapOverflow, Trace, Value, Vm};
 
 /// The exception payload programs propagate host-side while the VM stack
 /// unwinds. Carries nothing: SML exception values would live in a
@@ -97,12 +97,22 @@ impl CommonFrames {
     }
 }
 
+/// Unwraps an allocation in a calibrated benchmark, where the heap
+/// budget is sized to the workload and exhaustion means the calibration
+/// itself is wrong. Guest programs that want to *survive* exhaustion
+/// install a handler and match on the [`HeapOverflow`] instead.
+#[inline]
+#[track_caller]
+pub fn must(r: Result<Addr, HeapOverflow>) -> Addr {
+    r.unwrap_or_else(|e| panic!("heap budget exhausted in a calibrated benchmark: {e}"))
+}
+
 /// Allocates a cons cell `(head, tail)` at `site`. `head` may be any
 /// value; `tail` must be a list (or null). The operands are rooted by the
 /// allocation buffer for the duration of the call.
 #[inline]
 pub fn cons(vm: &mut Vm, site: tilgc_mem::SiteId, head: Value, tail: Addr) -> Addr {
-    vm.alloc_record(site, &[head, Value::Ptr(tail)])
+    must(vm.alloc_record(site, &[head, Value::Ptr(tail)]))
 }
 
 /// Head of a cons cell, as a raw integer field.

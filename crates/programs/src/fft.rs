@@ -10,7 +10,7 @@
 use tilgc_mem::Addr;
 use tilgc_runtime::{DescId, FrameDesc, Trace, Value, Vm};
 
-use crate::common::{mix, XorShift};
+use crate::common::{mix, must, XorShift};
 
 struct Fft {
     main: DescId,
@@ -102,9 +102,9 @@ fn multiply_round(vm: &mut Vm, p: &Fft, deg: usize, seed: u64) -> u64 {
     vm.push_frame(p.main);
     // slot0..3: re/im of combined input (packing both polynomials into
     // one complex transform).
-    let re = vm.alloc_raw_array(p.re_site, n * 8);
+    let re = must(vm.alloc_raw_array(p.re_site, n * 8));
     vm.set_slot(0, Value::Ptr(re));
-    let im = vm.alloc_raw_array(p.im_site, n * 8);
+    let im = must(vm.alloc_raw_array(p.im_site, n * 8));
     vm.set_slot(1, Value::Ptr(im));
     let re = vm.slot_ptr(0);
     let im = vm.slot_ptr(1);
@@ -117,9 +117,9 @@ fn multiply_round(vm: &mut Vm, p: &Fft, deg: usize, seed: u64) -> u64 {
     fft_in_place(vm, p, re, im, n, false);
     // Pointwise: c(w) = A(w)·B(w) recovered from the packed transform:
     // A = (F + conj(F rev))/2, B = (F - conj(F rev))/2i.
-    let pr = vm.alloc_raw_array(p.re_site, n * 8);
+    let pr = must(vm.alloc_raw_array(p.re_site, n * 8));
     vm.set_slot(2, Value::Ptr(pr));
-    let pi = vm.alloc_raw_array(p.im_site, n * 8);
+    let pi = must(vm.alloc_raw_array(p.im_site, n * 8));
     vm.set_slot(3, Value::Ptr(pi));
     let re = vm.slot_ptr(0);
     let im = vm.slot_ptr(1);

@@ -10,7 +10,7 @@
 use tilgc_mem::{Addr, SiteId};
 use tilgc_runtime::{DescId, FrameDesc, Trace, Value, Vm};
 
-use crate::common::{mix, tail};
+use crate::common::{mix, must, tail};
 
 const P: i64 = 32003;
 /// Exponents are packed base-64: x^a y^b z^c ⇒ a + 64 b + 4096 c.
@@ -90,10 +90,10 @@ fn setup(vm: &mut Vm) -> Grobner {
 
 /// Term records: `[coef, mono, next]` with only `next` a pointer.
 fn term(vm: &mut Vm, p: &Grobner, coef: i64, mono: i64, next: Addr) -> Addr {
-    vm.alloc_record(
+    must(vm.alloc_record(
         p.term_site,
         &[Value::Int(coef), Value::Int(mono), Value::Ptr(next)],
-    )
+    ))
 }
 
 fn coef(vm: &mut Vm, t: Addr) -> i64 {
@@ -324,17 +324,17 @@ fn buchberger(
             let gp = vm.load_ptr(g, 0);
             let f = vm.slot_ptr(3);
             vm.set_slot(4, Value::Ptr(g));
-            let pair = vm.alloc_record(p.pair_site, &[Value::Ptr(f), Value::Ptr(gp)]);
+            let pair = must(vm.alloc_record(p.pair_site, &[Value::Ptr(f), Value::Ptr(gp)]));
             let q = vm.slot_ptr(1);
             vm.set_slot(2, Value::Ptr(pair));
             let pair = vm.slot_ptr(2);
-            let cell = vm.alloc_record(p.pair_site, &[Value::Ptr(pair), Value::Ptr(q)]);
+            let cell = must(vm.alloc_record(p.pair_site, &[Value::Ptr(pair), Value::Ptr(q)]));
             vm.set_slot(1, Value::Ptr(cell));
             g = tail(vm, vm.slot_ptr(4));
         }
         let f = vm.slot_ptr(3);
         let basis = vm.slot_ptr(0);
-        let cell = vm.alloc_record(p.basis_site, &[Value::Ptr(f), Value::Ptr(basis)]);
+        let cell = must(vm.alloc_record(p.basis_site, &[Value::Ptr(f), Value::Ptr(basis)]));
         vm.set_slot(0, Value::Ptr(cell));
     }
     let mut pairs_done = 0;
@@ -391,7 +391,7 @@ fn buchberger(
         {
             let r = vm.slot_ptr(3);
             let hist = vm.slot_ptr(5);
-            let cell = vm.alloc_record(p.hist_site, &[Value::Ptr(r), Value::Ptr(hist)]);
+            let cell = must(vm.alloc_record(p.hist_site, &[Value::Ptr(r), Value::Ptr(hist)]));
             vm.set_slot(5, Value::Ptr(cell));
         }
         // New basis element: queue its pairs.
@@ -400,17 +400,17 @@ fn buchberger(
             let gp = vm.load_ptr(g, 0);
             let r = vm.slot_ptr(3);
             vm.set_slot(4, Value::Ptr(g));
-            let pair = vm.alloc_record(p.pair_site, &[Value::Ptr(r), Value::Ptr(gp)]);
+            let pair = must(vm.alloc_record(p.pair_site, &[Value::Ptr(r), Value::Ptr(gp)]));
             vm.set_slot(2, Value::Ptr(pair));
             let q = vm.slot_ptr(1);
             let pair = vm.slot_ptr(2);
-            let cell = vm.alloc_record(p.pair_site, &[Value::Ptr(pair), Value::Ptr(q)]);
+            let cell = must(vm.alloc_record(p.pair_site, &[Value::Ptr(pair), Value::Ptr(q)]));
             vm.set_slot(1, Value::Ptr(cell));
             g = tail(vm, vm.slot_ptr(4));
         }
         let r = vm.slot_ptr(3);
         let basis = vm.slot_ptr(0);
-        let cell = vm.alloc_record(p.basis_site, &[Value::Ptr(r), Value::Ptr(basis)]);
+        let cell = must(vm.alloc_record(p.basis_site, &[Value::Ptr(r), Value::Ptr(basis)]));
         vm.set_slot(0, Value::Ptr(cell));
     }
     let basis = vm.slot_ptr(0);
@@ -456,7 +456,7 @@ pub fn run(vm: &mut Vm, scale: u32) -> u64 {
         h = checksum_basis(vm, h);
         let history = vm.slot_ptr(2);
         let combined = vm.slot_ptr(1);
-        let cell = vm.alloc_record(p.hist_site, &[Value::Ptr(history), Value::Ptr(combined)]);
+        let cell = must(vm.alloc_record(p.hist_site, &[Value::Ptr(history), Value::Ptr(combined)]));
         vm.set_slot(1, Value::Ptr(cell));
     }
     // Fold the retained histories into the checksum: live to the end.
@@ -526,7 +526,7 @@ mod tests {
         let f = poly_from(&mut vm, &p, &[(1, 1), (1, 0)]);
         vm.set_slot(3, Value::Ptr(f));
         let f = vm.slot_ptr(3);
-        let basis = vm.alloc_record(p.basis_site, &[Value::Ptr(f), Value::NULL]);
+        let basis = must(vm.alloc_record(p.basis_site, &[Value::Ptr(f), Value::NULL]));
         vm.set_slot(4, Value::Ptr(basis));
         let f = vm.slot_ptr(3);
         let basis = vm.slot_ptr(4);

@@ -21,7 +21,7 @@
 use tilgc_mem::{Addr, SiteId};
 use tilgc_runtime::{DescId, FrameDesc, Trace, Value, Vm};
 
-use crate::common::mix;
+use crate::common::{mix, must};
 
 /// Term tags.
 const TAG_VAR: i64 = 0;
@@ -90,7 +90,7 @@ fn setup(vm: &mut Vm) -> Kb {
 /// at an explicit site (the profiler classifies terms by the code path
 /// that built them, as TIL's per-program-point sites would).
 fn mk_at(vm: &mut Vm, site: SiteId, tag: i64, var: i64, l: Addr, r: Addr) -> Addr {
-    vm.alloc_record(
+    must(vm.alloc_record(
         site,
         &[
             Value::Int(tag),
@@ -98,7 +98,7 @@ fn mk_at(vm: &mut Vm, site: SiteId, tag: i64, var: i64, l: Addr, r: Addr) -> Add
             Value::Ptr(l),
             Value::Ptr(r),
         ],
-    )
+    ))
 }
 
 /// Term record at the general (mostly short-lived) term site.
@@ -281,10 +281,10 @@ fn lookup(vm: &mut Vm, subst: Addr, v: i64) -> Addr {
 }
 
 fn bind(vm: &mut Vm, p: &Kb, subst: Addr, v: i64, t: Addr) -> Addr {
-    vm.alloc_record(
+    must(vm.alloc_record(
         p.subst_site,
         &[Value::Int(v), Value::Ptr(t), Value::Ptr(subst)],
-    )
+    ))
 }
 
 /// Matches `pattern` against `subject`, extending `subst`.
@@ -726,7 +726,7 @@ fn push_eq(vm: &mut Vm, p: &Kb, eq_box: Addr, a: Addr, b: Addr) {
     vm.push_frame(p.w2);
     vm.set_slot(0, Value::Ptr(eq_box));
     let head = vm.load_ptr(eq_box, 0);
-    let cell = vm.alloc_record(p.eq_site, &[Value::Ptr(a), Value::Ptr(b), Value::Ptr(head)]);
+    let cell = must(vm.alloc_record(p.eq_site, &[Value::Ptr(a), Value::Ptr(b), Value::Ptr(head)]));
     let eq_box = vm.slot_ptr(0);
     vm.store_ptr(eq_box, 0, cell);
     vm.pop_frame();
@@ -781,7 +781,7 @@ fn critical_pairs(vm: &mut Vm, p: &Kb, rule1: Addr, rule2: Addr, eq_box: Addr) {
     // Worklist of subterm positions of lhs2r (slot 4), as `[term, next]`
     // cells.
     let lhs2r = vm.slot_ptr(2);
-    let wl = vm.alloc_record(p.eq_site, &[Value::Ptr(lhs2r), Value::NULL]);
+    let wl = must(vm.alloc_record(p.eq_site, &[Value::Ptr(lhs2r), Value::NULL]));
     vm.set_slot(4, Value::Ptr(wl));
     loop {
         let wl = vm.slot_ptr(4);
@@ -803,7 +803,7 @@ fn critical_pairs(vm: &mut Vm, p: &Kb, rule1: Addr, rule2: Addr, eq_box: Addr) {
                 continue;
             }
             let wl = vm.slot_ptr(4);
-            let cell = vm.alloc_record(p.eq_site, &[Value::Ptr(child), Value::Ptr(wl)]);
+            let cell = must(vm.alloc_record(p.eq_site, &[Value::Ptr(child), Value::Ptr(wl)]));
             vm.set_slot(4, Value::Ptr(cell));
         }
         let rule1 = vm.slot_ptr(0);
@@ -834,7 +834,7 @@ fn complete(vm: &mut Vm, p: &Kb, max_eqs: usize) -> (u64, u64) {
     vm.push_frame(p.work);
     vm.set_slot(Slots::RULES, Value::NULL);
     vm.set_slot(Slots::HISTORY, Value::NULL);
-    let eq_box = vm.alloc_ptr_array(p.box_site, 1, Addr::NULL);
+    let eq_box = must(vm.alloc_ptr_array(p.box_site, 1, Addr::NULL));
     vm.set_slot(Slots::EQBOX, Value::Ptr(eq_box));
 
     // --- the three group axioms ---
@@ -981,10 +981,10 @@ fn complete(vm: &mut Vm, p: &Kb, max_eqs: usize) -> (u64, u64) {
         // remains alive to the end").
         {
             let history = vm.slot_ptr(Slots::HISTORY);
-            let entry = vm.alloc_record(
+            let entry = must(vm.alloc_record(
                 p.rule_site,
                 &[Value::Ptr(na), Value::Ptr(nb), Value::Ptr(history)],
-            );
+            ));
             vm.set_slot(Slots::HISTORY, Value::Ptr(entry));
         }
         let na = vm.slot_ptr(Slots::T0);
@@ -1026,10 +1026,10 @@ fn complete(vm: &mut Vm, p: &Kb, max_eqs: usize) -> (u64, u64) {
         }
         let lhs = vm.slot_ptr(lhs_slot);
         let rhs = vm.slot_ptr(rhs_slot);
-        let rule = vm.alloc_record(
+        let rule = must(vm.alloc_record(
             p.rule_site,
             &[Value::Ptr(lhs), Value::Ptr(rhs), Value::NULL],
-        );
+        ));
         vm.set_slot(Slots::NEW, Value::Ptr(rule));
 
         // Collapse/compose: reduce existing rules by the new one alone.
@@ -1164,10 +1164,10 @@ fn complete(vm: &mut Vm, p: &Kb, max_eqs: usize) -> (u64, u64) {
             vm.set_slot(Slots::T1, Value::Ptr(nf));
             let history = vm.slot_ptr(Slots::HISTORY);
             let nf = vm.slot_ptr(Slots::T1);
-            let entry = vm.alloc_record(
+            let entry = must(vm.alloc_record(
                 p.rule_site,
                 &[Value::Ptr(nf), Value::NULL, Value::Ptr(history)],
-            );
+            ));
             vm.set_slot(Slots::HISTORY, Value::Ptr(entry));
         }
         // Cancellation chains: g·(g⁻¹·(h·(h⁻¹· ...))) — every level's

@@ -12,7 +12,7 @@
 use tilgc_mem::{Addr, SiteId};
 use tilgc_runtime::{DescId, FrameDesc, Trace, Value, Vm};
 
-use crate::common::{mix, XorShift};
+use crate::common::{mix, must, XorShift};
 
 // Regex AST tags.
 const RE_RANGE: i64 = 0; // [lo..hi] byte range
@@ -50,7 +50,7 @@ fn setup(vm: &mut Vm) -> Lexgen {
 /// Regex node `[tag, payload, l, r]` (payload packs lo + 256·hi for
 /// ranges).
 fn re(vm: &mut Vm, p: &Lexgen, tag: i64, payload: i64, l: Addr, r: Addr) -> Addr {
-    vm.alloc_record(
+    must(vm.alloc_record(
         p.re_site,
         &[
             Value::Int(tag),
@@ -58,7 +58,7 @@ fn re(vm: &mut Vm, p: &Lexgen, tag: i64, payload: i64, l: Addr, r: Addr) -> Addr
             Value::Ptr(l),
             Value::Ptr(r),
         ],
-    )
+    ))
 }
 
 struct Parser<'s> {
@@ -188,7 +188,7 @@ fn add_edge(vm: &mut Vm, p: &Lexgen, builder: Addr, from: i64, payload: i64, to:
     vm.push_frame(p.work);
     vm.set_slot(0, Value::Ptr(builder));
     let edges = vm.load_ptr(builder, 0);
-    let edge = vm.alloc_record(
+    let edge = must(vm.alloc_record(
         p.nfa_site,
         &[
             Value::Int(from),
@@ -196,7 +196,7 @@ fn add_edge(vm: &mut Vm, p: &Lexgen, builder: Addr, from: i64, payload: i64, to:
             Value::Int(to),
             Value::Ptr(edges),
         ],
-    );
+    ));
     let builder = vm.slot_ptr(0);
     vm.store_ptr(builder, 0, edge);
     vm.pop_frame();
@@ -297,7 +297,7 @@ fn set_insert(vm: &mut Vm, p: &Lexgen, set: Addr, id: i64) -> Addr {
     vm.set_slot(0, Value::Ptr(set));
     let out = if set.is_null() || vm.load_int(set, 0) > id {
         let set = vm.slot_ptr(0);
-        vm.alloc_record(p.set_site, &[Value::Int(id), Value::Ptr(set)])
+        must(vm.alloc_record(p.set_site, &[Value::Int(id), Value::Ptr(set)]))
     } else if vm.load_int(set, 0) == id {
         set
     } else {
@@ -307,7 +307,7 @@ fn set_insert(vm: &mut Vm, p: &Lexgen, set: Addr, id: i64) -> Addr {
         let set = vm.slot_ptr(0);
         let h = vm.load_int(set, 0);
         let nt = vm.slot_ptr(1);
-        vm.alloc_record(p.set_site, &[Value::Int(h), Value::Ptr(nt)])
+        must(vm.alloc_record(p.set_site, &[Value::Int(h), Value::Ptr(nt)]))
     };
     vm.pop_frame();
     out
@@ -410,7 +410,7 @@ pub fn run(vm: &mut Vm, scale: u32) -> u64 {
     vm.push_frame(p.work);
     // Builder record: [edges, accepts, n_states] — accepts is a list of
     // [state, rule_index] records.
-    let builder = vm.alloc_record(p.nfa_site, &[Value::NULL, Value::NULL, Value::Int(0)]);
+    let builder = must(vm.alloc_record(p.nfa_site, &[Value::NULL, Value::NULL, Value::Int(0)]));
     vm.set_slot(0, Value::Ptr(builder));
     let builder = vm.slot_ptr(0);
     let start = fresh_state(vm, builder);
@@ -429,14 +429,14 @@ pub fn run(vm: &mut Vm, scale: u32) -> u64 {
         // Record the accepting state.
         let builder = vm.slot_ptr(0);
         let accepts = vm.load_ptr(builder, 1);
-        let acc = vm.alloc_record(
+        let acc = must(vm.alloc_record(
             p.nfa_site,
             &[
                 Value::Int(exit),
                 Value::Int(idx as i64),
                 Value::Ptr(accepts),
             ],
-        );
+        ));
         let builder = vm.slot_ptr(0);
         vm.store_ptr(builder, 1, acc);
     }
@@ -466,11 +466,11 @@ pub fn run(vm: &mut Vm, scale: u32) -> u64 {
     vm.set_slot(2, Value::NULL); // dfa states
     let s0 = eps_close(vm, &p, &edge_index, Addr::NULL, start);
     vm.set_slot(3, Value::Ptr(s0));
-    let trans = vm.alloc_ptr_array(p.dfa_site, ALPHABET.len(), Addr::NULL);
+    let trans = must(vm.alloc_ptr_array(p.dfa_site, ALPHABET.len(), Addr::NULL));
     vm.set_slot(4, Value::Ptr(trans));
     let s0 = vm.slot_ptr(3);
     let trans = vm.slot_ptr(4);
-    let d0 = vm.alloc_record(
+    let d0 = must(vm.alloc_record(
         p.dfa_site,
         &[
             Value::Ptr(s0),
@@ -478,14 +478,14 @@ pub fn run(vm: &mut Vm, scale: u32) -> u64 {
             Value::Ptr(trans),
             Value::NULL,
         ],
-    );
+    ));
     vm.set_slot(2, Value::Ptr(d0));
     let mut n_dfa = 1i64;
 
     // Worklist of unprocessed DFA states (their record addrs), rooted in
     // slot 5 as [state, next] cells.
     let d0 = vm.slot_ptr(2);
-    let wl = vm.alloc_record(p.dfa_site, &[Value::Ptr(d0), Value::NULL]);
+    let wl = must(vm.alloc_record(p.dfa_site, &[Value::Ptr(d0), Value::NULL]));
     vm.set_slot(5, Value::Ptr(wl));
     while !vm.slot_ptr(5).is_null() {
         let wl = vm.slot_ptr(5);
@@ -544,12 +544,12 @@ pub fn run(vm: &mut Vm, scale: u32) -> u64 {
                 d = vm.load_ptr(d, 3);
             }
             if existing.is_null() {
-                let trans = vm.alloc_ptr_array(p.dfa_site, ALPHABET.len(), Addr::NULL);
+                let trans = must(vm.alloc_ptr_array(p.dfa_site, ALPHABET.len(), Addr::NULL));
                 vm.set_slot(1, Value::Ptr(trans));
                 let target = vm.slot_ptr(4);
                 let trans = vm.slot_ptr(1);
                 let states = vm.slot_ptr(2);
-                let nd = vm.alloc_record(
+                let nd = must(vm.alloc_record(
                     p.dfa_site,
                     &[
                         Value::Ptr(target),
@@ -557,13 +557,13 @@ pub fn run(vm: &mut Vm, scale: u32) -> u64 {
                         Value::Ptr(trans),
                         Value::Ptr(states),
                     ],
-                );
+                ));
                 n_dfa += 1;
                 vm.set_slot(2, Value::Ptr(nd));
                 // Push onto the worklist.
                 let nd = vm.slot_ptr(2);
                 let wl = vm.slot_ptr(5);
-                let cell = vm.alloc_record(p.dfa_site, &[Value::Ptr(nd), Value::Ptr(wl)]);
+                let cell = must(vm.alloc_record(p.dfa_site, &[Value::Ptr(nd), Value::Ptr(wl)]));
                 vm.set_slot(5, Value::Ptr(cell));
                 existing = vm.slot_ptr(2);
             }
@@ -607,7 +607,7 @@ pub fn run(vm: &mut Vm, scale: u32) -> u64 {
 
     // ----- tokenize a generated source text with the DFA -----
     let src_len = 2_000 * scale.max(1) as usize;
-    let src = vm.alloc_raw_array(p.tok_site, src_len);
+    let src = must(vm.alloc_raw_array(p.tok_site, src_len));
     vm.set_slot(3, Value::Ptr(src));
     let mut rng = XorShift::new(0x1e4);
     let words = [
@@ -682,14 +682,14 @@ pub fn run(vm: &mut Vm, scale: u32) -> u64 {
         match best {
             Some((end, rule)) => {
                 // Emit a token record (short-lived).
-                let _tok = vm.alloc_record(
+                let _tok = must(vm.alloc_record(
                     p.tok_site,
                     &[
                         Value::Int(rule),
                         Value::Int(pos as i64),
                         Value::Int(end as i64),
                     ],
-                );
+                ));
                 h = mix(h, rule as u64);
                 tokens += 1;
                 pos = end.max(pos + 1);

@@ -12,7 +12,7 @@
 use tilgc_mem::{Addr, SiteId};
 use tilgc_runtime::{DescId, FrameDesc, RaiseOutcome, Trace, Value, Vm};
 
-use crate::common::{cons, mix, Exn, PResult};
+use crate::common::{cons, mix, must, Exn, PResult};
 
 /// Jump moves (from, over, to) of 15-hole triangular solitaire.
 const MOVES: [(usize, usize, usize); 36] = [
@@ -168,12 +168,12 @@ fn solve(
 pub fn run(vm: &mut Vm, scale: u32) -> u64 {
     let p = setup(vm);
     vm.push_frame(p.main);
-    let peg = vm.alloc_record(p.marker_site, &[Value::Int(1)]);
+    let peg = must(vm.alloc_record(p.marker_site, &[Value::Int(1)]));
     vm.set_slot(1, Value::Ptr(peg));
-    let empty = vm.alloc_record(p.marker_site, &[Value::Int(0)]);
+    let empty = must(vm.alloc_record(p.marker_site, &[Value::Int(0)]));
     vm.set_slot(2, Value::Ptr(empty));
     let empty = vm.slot_ptr(2);
-    let board = vm.alloc_ptr_array(p.board_site, 15, empty);
+    let board = must(vm.alloc_ptr_array(p.board_site, 15, empty));
     vm.set_slot(0, Value::Ptr(board));
     // Fill all but the apex with pegs.
     for i in 1..15 {
@@ -212,12 +212,12 @@ mod tests {
         let mut vm = build_vm(CollectorKind::Generational, &tiny_config());
         let p = setup(&mut vm);
         vm.push_frame(p.main);
-        let peg = vm.alloc_record(p.marker_site, &[Value::Int(1)]);
+        let peg = must(vm.alloc_record(p.marker_site, &[Value::Int(1)]));
         vm.set_slot(1, Value::Ptr(peg));
-        let empty = vm.alloc_record(p.marker_site, &[Value::Int(0)]);
+        let empty = must(vm.alloc_record(p.marker_site, &[Value::Int(0)]));
         vm.set_slot(2, Value::Ptr(empty));
         let empty = vm.slot_ptr(2);
-        let board = vm.alloc_ptr_array(p.board_site, 15, empty);
+        let board = must(vm.alloc_ptr_array(p.board_site, 15, empty));
         vm.set_slot(0, Value::Ptr(board));
         for i in 1..15 {
             let board = vm.slot_ptr(0);

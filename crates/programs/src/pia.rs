@@ -15,7 +15,7 @@
 use tilgc_mem::{Addr, SiteId};
 use tilgc_runtime::{DescId, FrameDesc, Trace, Value, Vm};
 
-use crate::common::mix;
+use crate::common::{mix, must};
 
 struct Pia {
     work: DescId,
@@ -133,9 +133,9 @@ fn process_frame(vm: &mut Vm, p: &Pia, frame: u32, grid: usize) -> Addr {
     // DLT: for each correspondence (X,Y) -> (x,y):
     //   X·h0 + Y·h1 + h2 − x·X·h6 − x·Y·h7 = x
     //   X·h3 + Y·h4 + h5 − y·X·h6 − y·Y·h7 = y      (h8 = 1)
-    let a = vm.alloc_raw_array(p.matrix_site, 8 * 8 * 8);
+    let a = must(vm.alloc_raw_array(p.matrix_site, 8 * 8 * 8));
     vm.set_slot(0, Value::Ptr(a));
-    let b = vm.alloc_raw_array(p.matrix_site, 8 * 8);
+    let b = must(vm.alloc_raw_array(p.matrix_site, 8 * 8));
     vm.set_slot(1, Value::Ptr(b));
     let a = vm.slot_ptr(0);
     let b = vm.slot_ptr(1);
@@ -164,7 +164,7 @@ fn process_frame(vm: &mut Vm, p: &Pia, frame: u32, grid: usize) -> Addr {
     h_est[8] = 1.0;
 
     // Invert it (3×3) to map image points back to the plane.
-    let inv = vm.alloc_raw_array(p.matrix_site, 9 * 8);
+    let inv = must(vm.alloc_raw_array(p.matrix_site, 9 * 8));
     vm.set_slot(2, Value::Ptr(inv));
     let inv = vm.slot_ptr(2);
     {
@@ -208,7 +208,7 @@ fn process_frame(vm: &mut Vm, p: &Pia, frame: u32, grid: usize) -> Addr {
             // dies before the frame ends — the bulk of PIA's allocation
             // dies young; only the retained window survives the nursery.
             for _ in 0..8 {
-                let scratch = vm.alloc_record(
+                let scratch = must(vm.alloc_record(
                     p.point_site,
                     &[
                         Value::Real(ix - rx),
@@ -218,21 +218,21 @@ fn process_frame(vm: &mut Vm, p: &Pia, frame: u32, grid: usize) -> Addr {
                         Value::Real(rx + ry),
                         Value::Real(ix * iy),
                     ],
-                );
+                ));
                 hash = mix(hash, vm.load_f64(scratch, 2).to_bits() & 0xff);
             }
             hash = mix(hash, (rx * 1e6).round() as i64 as u64);
             hash = mix(hash, (ry * 1e6).round() as i64 as u64);
             let list = vm.slot_ptr(3);
-            let point = vm.alloc_record(
+            let point = must(vm.alloc_record(
                 p.point_site,
                 &[Value::Real(rx), Value::Real(ry), Value::Ptr(list)],
-            );
+            ));
             vm.set_slot(3, Value::Ptr(point));
         }
     }
     let points = vm.slot_ptr(3);
-    let result = vm.alloc_record(
+    let result = must(vm.alloc_record(
         p.result_site,
         &[
             Value::Int(frame as i64),
@@ -240,7 +240,7 @@ fn process_frame(vm: &mut Vm, p: &Pia, frame: u32, grid: usize) -> Addr {
             Value::Ptr(points),
             Value::NULL,
         ],
-    );
+    ));
     vm.pop_frame();
     result
 }
@@ -294,9 +294,9 @@ mod tests {
         let mut vm = build_vm(CollectorKind::Generational, &tiny_config());
         let p = setup(&mut vm);
         vm.push_frame(p.work);
-        let a = vm.alloc_raw_array(p.matrix_site, 2 * 2 * 8);
+        let a = must(vm.alloc_raw_array(p.matrix_site, 2 * 2 * 8));
         vm.set_slot(0, Value::Ptr(a));
-        let b = vm.alloc_raw_array(p.matrix_site, 2 * 8);
+        let b = must(vm.alloc_raw_array(p.matrix_site, 2 * 8));
         vm.set_slot(1, Value::Ptr(b));
         let a = vm.slot_ptr(0);
         let b = vm.slot_ptr(1);

@@ -11,7 +11,7 @@
 use tilgc_mem::{Addr, SiteId};
 use tilgc_runtime::{DescId, FrameDesc, Trace, Value, Vm};
 
-use crate::common::mix;
+use crate::common::{mix, must};
 
 struct Simple {
     work: DescId,
@@ -41,10 +41,10 @@ fn setup(vm: &mut Vm) -> Simple {
 /// generations (each 256-byte row is an ordinary nursery object).
 fn grid_init(vm: &mut Vm, p: &Simple, n: usize, f: impl Fn(usize, usize) -> f64) -> Addr {
     vm.push_frame(p.work);
-    let g = vm.alloc_ptr_array(p.grid_site, n, Addr::NULL);
+    let g = must(vm.alloc_ptr_array(p.grid_site, n, Addr::NULL));
     vm.set_slot(0, Value::Ptr(g));
     for i in 0..n {
-        let row = vm.alloc_raw_array(p.row_array_site, n * 8);
+        let row = must(vm.alloc_raw_array(p.row_array_site, n * 8));
         vm.set_slot(1, Value::Ptr(row));
         let row = vm.slot_ptr(1);
         for j in 0..n {
@@ -172,7 +172,7 @@ fn step(
         let bottom = gget(vm, nv, n, n - 1, k);
         let lft = gget(vm, nu, n, k, 0);
         let rgt = gget(vm, nu, n, k, n - 1);
-        let flux = vm.alloc_record(
+        let flux = must(vm.alloc_record(
             p.flux_site,
             &[
                 Value::Real(top),
@@ -180,7 +180,7 @@ fn step(
                 Value::Real(lft),
                 Value::Real(rgt),
             ],
-        );
+        ));
         let nu = vm.slot_ptr(4);
         let nv = vm.slot_ptr(5);
         let f0 = vm.load_f64(flux, 0);
@@ -209,7 +209,7 @@ fn step(
             mom += gget(vm, nu, n, i, j);
         }
         let list = vm.slot_ptr(0);
-        let row = vm.alloc_record(
+        let row = must(vm.alloc_record(
             p.row_site,
             &[
                 Value::Int(i as i64),
@@ -217,7 +217,7 @@ fn step(
                 Value::Real(mom),
                 Value::Ptr(list),
             ],
-        );
+        ));
         vm.set_slot(0, Value::Ptr(row));
         boundary_hash = mix(boundary_hash, (mass * 1e6) as i64 as u64);
     }

@@ -6,7 +6,7 @@
 //! [`Collector::alloc`]; when space runs out the collector scans the
 //! mutator state for roots, relocates live data and retries.
 
-use tilgc_mem::{Addr, Memory, SiteId};
+use tilgc_mem::{Addr, AllocKind, GcError, Memory, SiteId};
 
 use crate::mutator::MutatorState;
 use crate::profile_data::HeapProfile;
@@ -69,6 +69,15 @@ impl AllocShape {
     /// Total bytes the object will occupy, including its header.
     pub fn size_bytes(&self) -> usize {
         tilgc_mem::words_to_bytes(self.size_words())
+    }
+
+    /// The broad shape class of the request, for [`GcError`] reporting.
+    pub fn kind(&self) -> AllocKind {
+        match self {
+            AllocShape::Record { .. } => AllocKind::Record,
+            AllocShape::PtrArray { .. } => AllocKind::PtrArray,
+            AllocShape::RawArray { .. } => AllocKind::RawArray,
+        }
     }
 }
 
@@ -149,11 +158,14 @@ pub trait Collector {
 
     /// Allocates an object, collecting first if necessary.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if even after collection the heap budget cannot satisfy the
-    /// request — the simulated machine is out of memory.
-    fn alloc(&mut self, mutator: &mut MutatorState, shape: AllocShape) -> Addr;
+    /// Returns a [`GcError`] when even the full heap-pressure escalation
+    /// ladder (retry after minor, retry after major, budget rebalance,
+    /// pretenuring demotion) cannot make the request fit within the fixed
+    /// heap budget. The error names the exhausted space; the VM converts
+    /// it into a catchable `HeapOverflow` raise for the guest program.
+    fn alloc(&mut self, mutator: &mut MutatorState, shape: AllocShape) -> Result<Addr, GcError>;
 
     /// Runs a collection now.
     fn collect(&mut self, mutator: &mut MutatorState, reason: CollectReason);

@@ -81,6 +81,17 @@ pub struct CostModel {
     pub frame_reuse: u64,
     /// Mark-sweep cost per large object examined.
     pub large_object_visit: u64,
+
+    // --- heap-pressure governor costs (GC time) ---
+    /// Taking one retry rung of the pressure ladder (re-test the limit
+    /// and re-enter the allocation sequence after a forced collection).
+    pub pressure_retry: u64,
+    /// The one-shot nursery/tenured budget rebalance rung (recompute
+    /// limits, shrink the nursery reservation, republish thresholds).
+    pub pressure_rebalance: u64,
+    /// Demoting one pretenured site back to nursery allocation
+    /// (policy-table update plus profile bookkeeping).
+    pub pressure_demote: u64,
 }
 
 impl Default for CostModel {
@@ -111,6 +122,9 @@ impl Default for CostModel {
             handler_walk: 8,
             frame_reuse: 2,
             large_object_visit: 40,
+            pressure_retry: 20,
+            pressure_rebalance: 200,
+            pressure_demote: 150,
         }
     }
 }

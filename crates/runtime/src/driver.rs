@@ -28,7 +28,20 @@ use tilgc_mem::{Addr, ObjectKind, SiteId};
 
 use crate::trace::{DescId, FrameDesc, Reg, Trace};
 use crate::value::Value;
-use crate::vm::{RaiseOutcome, Vm};
+use crate::vm::{HeapOverflow, RaiseOutcome, Vm, VmExit};
+
+/// What executing one [`VmOp`] did, when the guest program survived it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The op completed normally.
+    Ran,
+    /// An allocation in the op overflowed the heap, and an installed
+    /// handler caught the resulting raise: the stack is unwound to the
+    /// handler and the driver's bookkeeping follows, exactly as for
+    /// [`VmOp::Raise`]. The destination slot of the failed allocation is
+    /// left untouched.
+    OomCaught,
+}
 
 /// Pointer slots per driver frame.
 pub const PTR_SLOTS: usize = 6;
@@ -304,8 +317,28 @@ impl OpDriver {
         self.frame_spill.pop();
     }
 
+    /// Absorbs a [`HeapOverflow`] from an allocation op: a caught raise
+    /// unwinds driver bookkeeping exactly like [`VmOp::Raise`]; an
+    /// uncaught one ends the guest program cleanly.
+    fn on_overflow(&mut self, overflow: HeapOverflow) -> Result<StepOutcome, VmExit> {
+        match overflow.outcome {
+            RaiseOutcome::Caught { handler_depth } => {
+                self.handlers.pop();
+                self.frame_spill.truncate(handler_depth);
+                Ok(StepOutcome::OomCaught)
+            }
+            RaiseOutcome::Uncaught => Err(VmExit::OutOfMemory(overflow.error)),
+        }
+    }
+
     /// Executes one op against `vm`.
-    pub fn step(&mut self, vm: &mut Vm, op: VmOp) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmExit::OutOfMemory`] when an allocation overflows the
+    /// heap with no guest handler installed — the clean, panic-free end
+    /// of the simulated program.
+    pub fn step(&mut self, vm: &mut Vm, op: VmOp) -> Result<StepOutcome, VmExit> {
         match op {
             VmOp::AllocRecord {
                 site,
@@ -327,7 +360,10 @@ impl OpDriver {
                     }
                     vm.alloc_record(site, &fields)
                 };
-                vm.set_slot(self.ptr_slot(dst), Value::Ptr(rec));
+                match rec {
+                    Ok(rec) => vm.set_slot(self.ptr_slot(dst), Value::Ptr(rec)),
+                    Err(overflow) => return self.on_overflow(overflow),
+                }
             }
             VmOp::AllocPtrArray {
                 site,
@@ -337,23 +373,29 @@ impl OpDriver {
             } => {
                 let site = self.arr_sites[(site as usize) % ARR_SITES];
                 let init = vm.slot_ptr(self.ptr_slot(init));
-                let arr = vm.alloc_ptr_array(site, 1 + (len as usize) % 6, init);
-                vm.set_slot(self.ptr_slot(dst), Value::Ptr(arr));
+                match vm.alloc_ptr_array(site, 1 + (len as usize) % 6, init) {
+                    Ok(arr) => vm.set_slot(self.ptr_slot(dst), Value::Ptr(arr)),
+                    Err(overflow) => return self.on_overflow(overflow),
+                }
             }
             VmOp::AllocRawArray { site, dst, len } => {
                 let site = self.raw_sites[(site as usize) % RAW_SITES];
                 let len = 1 + (len as usize) % 96;
-                let raw = vm.alloc_raw_array(site, len);
-                vm.store_byte(raw, len - 1, 0xc3);
-                vm.set_slot(self.ptr_slot(dst), Value::Ptr(raw));
+                match vm.alloc_raw_array(site, len) {
+                    Ok(raw) => {
+                        vm.store_byte(raw, len - 1, 0xc3);
+                        vm.set_slot(self.ptr_slot(dst), Value::Ptr(raw));
+                    }
+                    Err(overflow) => return self.on_overflow(overflow),
+                }
             }
             VmOp::StorePtr { obj, field, val } => {
                 let target = vm.slot_ptr(self.ptr_slot(obj));
                 if target.is_null() {
-                    return;
+                    return Ok(StepOutcome::Ran);
                 }
                 let Some(field) = ptr_field_of(vm, target, field) else {
-                    return;
+                    return Ok(StepOutcome::Ran);
                 };
                 let val = vm.slot_ptr(self.ptr_slot(val));
                 vm.store_ptr(target, field, val);
@@ -361,7 +403,7 @@ impl OpDriver {
             VmOp::StoreInt { obj, field, val } => {
                 let target = vm.slot_ptr(self.ptr_slot(obj));
                 if target.is_null() {
-                    return;
+                    return Ok(StepOutcome::Ran);
                 }
                 let h = vm.header(target);
                 if h.kind() == ObjectKind::RawArray {
@@ -373,10 +415,10 @@ impl OpDriver {
             VmOp::LoadPtr { obj, field, dst } => {
                 let target = vm.slot_ptr(self.ptr_slot(obj));
                 if target.is_null() {
-                    return;
+                    return Ok(StepOutcome::Ran);
                 }
                 let Some(field) = ptr_field_of(vm, target, field) else {
-                    return;
+                    return Ok(StepOutcome::Ran);
                 };
                 let v = vm.load_ptr(target, field);
                 vm.set_slot(self.ptr_slot(dst), Value::Ptr(v));
@@ -418,6 +460,7 @@ impl OpDriver {
             VmOp::Gc => vm.gc_now(),
             VmOp::GcMajor => vm.gc_major(),
         }
+        Ok(StepOutcome::Ran)
     }
 }
 

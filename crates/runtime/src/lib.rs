@@ -46,7 +46,7 @@ mod vm;
 pub use barrier::{BarrierEntry, WriteBarrier};
 pub use collector::{AllocShape, CollectReason, CollectionInspection, Collector};
 pub use cost::CostModel;
-pub use driver::{OpDriver, VmOp};
+pub use driver::{OpDriver, StepOutcome, VmOp};
 pub use handlers::{HandlerChain, RaiseBookkeeping};
 pub use mutator::MutatorState;
 pub use profile_data::{HeapProfile, SiteProfile};
@@ -59,7 +59,7 @@ pub use trace::{
     TypeLoc, NUM_REGS, TYPE_BOXED, TYPE_UNBOXED,
 };
 pub use value::{ShadowTag, Value};
-pub use vm::{RaiseOutcome, Vm};
+pub use vm::{HeapOverflow, RaiseOutcome, Vm, VmExit};
 
 // Telemetry: the recorder lives in `MutatorState` so collectors can emit
 // events; re-exported here so callers need not depend on `tilgc-obs`

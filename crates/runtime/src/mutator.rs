@@ -49,6 +49,11 @@ pub struct MutatorState {
     /// and never charge simulated cycles for it, so the default leaves
     /// every deterministic counter byte-identical.
     pub recorder: Box<dyn Recorder>,
+    /// Fault-injection budget: while non-zero, each allocation attempt in
+    /// a collector consumes one unit and fails spuriously, as if the
+    /// target space were full. Drives the torture harness's `oom-alloc`
+    /// fault; zero (the default) disables injection entirely.
+    pub force_alloc_failures: u32,
 }
 
 impl Default for MutatorState {
@@ -75,6 +80,7 @@ impl MutatorState {
             alloc_buf: Vec::new(),
             alloc_buf_ptr_mask: 0,
             recorder: Box::new(NullRecorder),
+            force_alloc_failures: 0,
         }
     }
 
@@ -82,6 +88,21 @@ impl MutatorState {
     #[inline]
     pub fn charge(&mut self, cycles: u64) {
         self.stats.client_cycles += cycles;
+    }
+
+    /// Consumes one injected allocation failure, if any are pending.
+    ///
+    /// Collectors call this at the head of every allocation attempt; a
+    /// `true` return means the attempt must be treated as not fitting
+    /// even if the space has room.
+    #[inline]
+    pub fn consume_forced_failure(&mut self) -> bool {
+        if self.force_alloc_failures > 0 {
+            self.force_alloc_failures -= 1;
+            true
+        } else {
+            false
+        }
     }
 }
 

@@ -81,6 +81,11 @@ pub struct HeapProfile {
     alloc_clock_bytes: u64,
     /// Objects still live when the run finished.
     pub live_at_exit: u64,
+    /// Sites the heap-pressure governor demoted from pretenured back to
+    /// nursery allocation, in demotion order. A site appearing here means
+    /// its pretenuring decision was wrong for this heap budget — the next
+    /// policy derivation should treat the site as nursery-allocated.
+    pub demoted_sites: Vec<SiteId>,
 }
 
 impl HeapProfile {
@@ -168,6 +173,12 @@ impl HeapProfile {
     /// Looks up the birth site of the (live) object at `addr`.
     pub fn site_of(&self, addr: Addr) -> Option<SiteId> {
         self.births.get(&addr.raw()).map(|b| b.site)
+    }
+
+    /// Records that the governor demoted `site` out of the pretenured
+    /// set under memory pressure.
+    pub fn note_demotion(&mut self, site: SiteId) {
+        self.demoted_sites.push(site);
     }
 
     /// Ends the run: objects still live are counted as dying at the end,

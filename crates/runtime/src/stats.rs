@@ -66,6 +66,17 @@ pub struct GcStats {
     /// Live bytes after the most recent collection.
     pub last_live_bytes: u64,
 
+    /// Heap-pressure episodes the governor opened (the escalation
+    /// ladder engaged after the ordinary slow path failed). Zero means
+    /// the run was pressure-free.
+    pub pressure_episodes: u64,
+    /// Collections that left a generation holding more live data than
+    /// its budget share — the deferred-failure state where the *next*
+    /// allocation that misses fails typed instead of the collection
+    /// panicking. Like `pressure_episodes`, nonzero means the heap
+    /// budget undershot the workload.
+    pub budget_overruns: u64,
+
     /// Simulated cycles spent processing roots ("GC-stack", Table 5).
     pub stack_cycles: u64,
     /// Simulated cycles spent scanning and copying the heap ("GC-copy").

@@ -25,7 +25,9 @@
 //! builds and the heap verifier in `tilgc-core` rejects dangling
 //! addresses.
 
-use tilgc_mem::{object, Addr, Header, Memory, SiteId, MAX_RECORD_FIELDS};
+use std::fmt;
+
+use tilgc_mem::{object, Addr, GcError, Header, Memory, SiteId, MAX_RECORD_FIELDS};
 
 use crate::collector::{AllocShape, CollectReason, Collector};
 use crate::handlers::RaiseBookkeeping;
@@ -49,6 +51,55 @@ pub enum RaiseOutcome {
     Uncaught,
 }
 
+/// The guest-visible face of an out-of-memory condition.
+///
+/// When a collector's escalation ladder gives up, the VM raises through
+/// the ordinary exception machinery — exactly as SML's `Overflow` would
+/// surface — and returns this from the allocation entry point. `outcome`
+/// tells the caller whether a handler caught the raise (the guest resumes
+/// at the handler, the stack already unwound) or not (the program is dead;
+/// terminate with [`VmExit::OutOfMemory`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HeapOverflow {
+    /// The typed verdict from the collector.
+    pub error: GcError,
+    /// What the raise through the handler chain did.
+    pub outcome: RaiseOutcome,
+}
+
+impl fmt::Display for HeapOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.outcome {
+            RaiseOutcome::Caught { handler_depth } => write!(
+                f,
+                "heap overflow caught at depth {handler_depth}: {}",
+                self.error
+            ),
+            RaiseOutcome::Uncaught => write!(f, "uncaught heap overflow: {}", self.error),
+        }
+    }
+}
+
+impl std::error::Error for HeapOverflow {}
+
+/// A clean, panic-free reason for ending a guest program's run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VmExit {
+    /// The heap budget was exhausted and no guest handler was installed.
+    OutOfMemory(GcError),
+}
+
+impl fmt::Display for VmExit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmExit::OutOfMemory(e) => write!(f, "guest terminated: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VmExit {}
+
 /// A running TIL-style virtual machine: mutator state plus a collector.
 ///
 /// # Example
@@ -61,7 +112,7 @@ pub enum RaiseOutcome {
 /// let site = vm.site("example::pair");
 /// let d = vm.register_frame(FrameDesc::new("example").slot(Trace::Pointer));
 /// vm.push_frame(d);
-/// let pair = vm.alloc_record(site, &[Value::Int(1), Value::Int(2)]);
+/// let pair = vm.alloc_record(site, &[Value::Int(1), Value::Int(2)]).unwrap();
 /// vm.set_slot(0, Value::Ptr(pair));
 /// vm.pop_frame();
 /// ```
@@ -292,11 +343,17 @@ impl Vm {
     /// Allocates a record; the pointer mask is derived from the field
     /// values.
     ///
+    /// # Errors
+    ///
+    /// Returns [`HeapOverflow`] if the heap budget is exhausted even
+    /// after the collector's full escalation ladder; the raise through
+    /// the guest handler chain has already happened (see
+    /// [`HeapOverflow::outcome`]).
+    ///
     /// # Panics
     ///
-    /// Panics if more than [`MAX_RECORD_FIELDS`] fields are given, or if
-    /// the heap budget is exhausted even after collection.
-    pub fn alloc_record(&mut self, site: SiteId, fields: &[Value]) -> Addr {
+    /// Panics if more than [`MAX_RECORD_FIELDS`] fields are given.
+    pub fn alloc_record(&mut self, site: SiteId, fields: &[Value]) -> Result<Addr, HeapOverflow> {
         assert!(
             fields.len() <= MAX_RECORD_FIELDS,
             "record of {} fields",
@@ -319,28 +376,47 @@ impl Vm {
         };
         self.pre_alloc(&shape);
         self.m.stats.record_bytes += shape.size_bytes() as u64;
-        self.gc.alloc(&mut self.m, shape)
+        self.finish_alloc(shape)
     }
 
     /// Allocates a pointer array filled with `init`.
-    pub fn alloc_ptr_array(&mut self, site: SiteId, len: usize, init: Addr) -> Addr {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapOverflow`] on budget exhaustion, as
+    /// [`alloc_record`](Vm::alloc_record) does.
+    pub fn alloc_ptr_array(
+        &mut self,
+        site: SiteId,
+        len: usize,
+        init: Addr,
+    ) -> Result<Addr, HeapOverflow> {
         self.m.alloc_buf.clear();
         self.m.alloc_buf.push(u64::from(init.raw()));
         self.m.alloc_buf_ptr_mask = 1;
         let shape = AllocShape::PtrArray { site, len };
         self.pre_alloc(&shape);
         self.m.stats.ptr_array_bytes += shape.size_bytes() as u64;
-        self.gc.alloc(&mut self.m, shape)
+        self.finish_alloc(shape)
     }
 
     /// Allocates a zero-filled raw array of `len_bytes` bytes.
-    pub fn alloc_raw_array(&mut self, site: SiteId, len_bytes: usize) -> Addr {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapOverflow`] on budget exhaustion, as
+    /// [`alloc_record`](Vm::alloc_record) does.
+    pub fn alloc_raw_array(
+        &mut self,
+        site: SiteId,
+        len_bytes: usize,
+    ) -> Result<Addr, HeapOverflow> {
         self.m.alloc_buf.clear();
         self.m.alloc_buf_ptr_mask = 0;
         let shape = AllocShape::RawArray { site, len_bytes };
         self.pre_alloc(&shape);
         self.m.stats.raw_array_bytes += shape.size_bytes() as u64;
-        self.gc.alloc(&mut self.m, shape)
+        self.finish_alloc(shape)
     }
 
     fn pre_alloc(&mut self, shape: &AllocShape) {
@@ -349,6 +425,18 @@ impl Vm {
         self.m.charge(cost);
         self.m.stats.alloc_bytes += shape.size_bytes() as u64;
         self.m.stats.alloc_objects += 1;
+    }
+
+    /// Hands the staged request to the collector; a typed refusal is
+    /// raised through the handler chain as an SML-style heap overflow.
+    fn finish_alloc(&mut self, shape: AllocShape) -> Result<Addr, HeapOverflow> {
+        match self.gc.alloc(&mut self.m, shape) {
+            Ok(addr) => Ok(addr),
+            Err(error) => {
+                let outcome = self.raise();
+                Err(HeapOverflow { error, outcome })
+            }
+        }
     }
 
     // ----- heap access ---------------------------------------------------------

@@ -42,7 +42,11 @@ impl Collector for BumpCollector {
         &mut self.mem
     }
 
-    fn alloc(&mut self, m: &mut MutatorState, shape: AllocShape) -> Addr {
+    fn alloc(
+        &mut self,
+        m: &mut MutatorState,
+        shape: AllocShape,
+    ) -> Result<Addr, tilgc_mem::GcError> {
         let addr = self
             .space
             .alloc(shape.size_words())
@@ -71,7 +75,7 @@ impl Collector for BumpCollector {
                 }
             }
         }
-        addr
+        Ok(addr)
     }
 
     fn collect(&mut self, _m: &mut MutatorState, _reason: CollectReason) {}
@@ -105,13 +109,13 @@ fn callee_save_spills_at_push_and_restores_at_pop() {
             .def_pointer(Reg::new(9)),
     );
     // The caller leaves a pointer in $9...
-    let obj = vm.alloc_record(site, &[Value::Int(5)]);
+    let obj = vm.alloc_record(site, &[Value::Int(5)]).unwrap();
     vm.set_reg(Reg::new(9), Value::Ptr(obj));
     // ...the callee spills it, clobbers the register, and the pop restores.
     vm.push_frame(callee);
     assert_eq!(vm.slot_word(0), u64::from(obj.raw()), "spilled at entry");
     assert_eq!(vm.mutator().stack.top().shadow(0), ShadowTag::Ptr);
-    let other = vm.alloc_record(site, &[Value::Int(6)]);
+    let other = vm.alloc_record(site, &[Value::Int(6)]).unwrap();
     vm.set_reg(Reg::new(9), Value::Ptr(other));
     vm.pop_frame();
     assert_eq!(vm.reg_ptr(Reg::new(9)), obj, "restored at exit");
@@ -138,7 +142,7 @@ fn trace_validation_rejects_pointer_in_int_slot() {
     let site = vm.site("t::x");
     let d = vm.register_frame(FrameDesc::new("f").slot(Trace::NonPointer));
     vm.push_frame(d);
-    let obj = vm.alloc_record(site, &[Value::Int(1)]);
+    let obj = vm.alloc_record(site, &[Value::Int(1)]).unwrap();
     vm.set_slot(0, Value::Ptr(obj)); // hides a root — must be rejected
 }
 
@@ -146,8 +150,10 @@ fn trace_validation_rejects_pointer_in_int_slot() {
 fn alloc_buffer_stages_operands() {
     let mut vm = vm();
     let site = vm.site("t::pair");
-    let a = vm.alloc_record(site, &[Value::Int(1)]);
-    let b = vm.alloc_record(site, &[Value::Ptr(a), Value::Int(2), Value::Real(0.5)]);
+    let a = vm.alloc_record(site, &[Value::Int(1)]).unwrap();
+    let b = vm
+        .alloc_record(site, &[Value::Ptr(a), Value::Int(2), Value::Real(0.5)])
+        .unwrap();
     assert_eq!(vm.load_ptr(b, 0), a);
     assert_eq!(vm.load_int(b, 1), 2);
     assert_eq!(vm.load_f64(b, 2), 0.5);
@@ -160,8 +166,8 @@ fn alloc_buffer_stages_operands() {
 fn stores_charge_barrier_and_stats() {
     let mut vm = vm();
     let site = vm.site("t::arr");
-    let target = vm.alloc_record(site, &[Value::Int(9)]);
-    let arr = vm.alloc_ptr_array(site, 3, Addr::NULL);
+    let target = vm.alloc_record(site, &[Value::Int(9)]).unwrap();
+    let arr = vm.alloc_ptr_array(site, 3, Addr::NULL).unwrap();
     vm.store_ptr(arr, 1, target);
     vm.store_ptr(arr, 1, target);
     assert_eq!(vm.mutator_stats().pointer_updates, 2);
@@ -208,7 +214,7 @@ fn nested_handlers_unwind_innermost_first() {
 fn raw_array_byte_and_f64_access() {
     let mut vm = vm();
     let site = vm.site("t::raw");
-    let raw = vm.alloc_raw_array(site, 40);
+    let raw = vm.alloc_raw_array(site, 40).unwrap();
     vm.store_byte(raw, 0, 0x12);
     vm.store_byte(raw, 39, 0x34);
     assert_eq!(vm.load_byte(raw, 0), 0x12);
@@ -222,7 +228,7 @@ fn client_cycles_accumulate_per_operation() {
     let mut vm = vm();
     let site = vm.site("t::x");
     let before = vm.mutator_stats().client_cycles;
-    let _ = vm.alloc_record(site, &[Value::Int(0)]);
+    let _ = vm.alloc_record(site, &[Value::Int(0)]).unwrap();
     let mid = vm.mutator_stats().client_cycles;
     assert!(mid > before, "allocation charges client cycles");
     let d = vm.register_frame(FrameDesc::new("f").slot(Trace::NonPointer));

@@ -27,7 +27,7 @@ use tilgc_core::{
 };
 use tilgc_mem::WORD_BYTES;
 use tilgc_runtime::driver::{arr_site_id, raw_site_id, rec_site_id, PTR_FREE_REC_INDEX};
-use tilgc_runtime::{OpDriver, Vm, VmOp, WriteBarrier};
+use tilgc_runtime::{OpDriver, StepOutcome, Vm, VmOp, WriteBarrier};
 
 use crate::program::generate;
 use crate::shrink::minimize;
@@ -44,6 +44,12 @@ pub enum Fault {
     /// inspection record before cross-checking it — the copy/scan
     /// accounting invariant must trip.
     SkewCopied,
+    /// Force allocation attempts to fail at a seed-derived op index (two
+    /// forced failures per lane, enough to exhaust the ordinary slow
+    /// path and drive the heap-pressure ladder). The run must end in a
+    /// typed outcome — a caught `HeapOverflow` or a clean
+    /// `VmExit::OutOfMemory` — never a panic.
+    OomAlloc,
 }
 
 /// One torture run's parameters.
@@ -237,29 +243,86 @@ fn diff_lanes(seed: u64, op_index: usize, lanes: &[Lane], ops: &[VmOp]) -> Optio
     None
 }
 
-/// Replays `ops` against every configured plan in lockstep and returns
-/// the first failure, if any. The trace inside the returned
-/// [`Divergence`] is `ops` itself (unminimized).
-pub fn run_ops(seed: u64, ops: &[VmOp], cfg: &TortureConfig) -> Option<Divergence> {
+/// SplitMix64 finalizer — derives the [`Fault::OomAlloc`] injection
+/// point from the seed, independent of the program generator's stream.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// How a lockstep replay ended.
+#[derive(Clone, Debug)]
+pub enum RunOutcome {
+    /// Every op ran; no lane saw heap exhaustion.
+    Clean,
+    /// A lane hit heap exhaustion but stayed panic-free: either the
+    /// guest caught the `HeapOverflow` (`fatal: false`) or the VM exited
+    /// with a typed `VmExit::OutOfMemory` (`fatal: true`). Cross-plan
+    /// diffing stops at the first exhaustion — an out-of-memory lane's
+    /// graph legitimately differs from the others'.
+    Oom {
+        /// Label of the first lane that exhausted.
+        plan: &'static str,
+        /// Op index at which it exhausted.
+        op_index: usize,
+        /// Whether the exhaustion terminated the VM (uncaught raise).
+        fatal: bool,
+    },
+    /// A panic, oracle failure, or cross-plan divergence.
+    Diverged(Divergence),
+}
+
+/// Replays `ops` against every configured plan in lockstep and reports
+/// how the run ended. The trace inside a [`RunOutcome::Diverged`] is
+/// `ops` itself (unminimized).
+pub fn run_ops_outcome(seed: u64, ops: &[VmOp], cfg: &TortureConfig) -> RunOutcome {
     assert!(!cfg.plans.is_empty(), "at least one plan required");
     let mut lanes: Vec<Lane> = cfg.plans.iter().map(|&k| build_lane(k, cfg)).collect();
     let stride = cfg.check_stride.max(1);
-    for (i, &op) in ops.iter().enumerate() {
+    let inject_at = (cfg.fault == Some(Fault::OomAlloc) && !ops.is_empty())
+        .then(|| (splitmix(seed) % ops.len() as u64) as usize);
+    let mut oom: Option<(&'static str, usize, bool)> = None;
+    'program: for (i, &op) in ops.iter().enumerate() {
+        if Some(i) == inject_at {
+            for lane in &mut lanes {
+                // Two forced failures: one for the fast path, one for
+                // the ordinary slow-path retry — the third attempt is
+                // real, so the pressure ladder decides the outcome.
+                lane.vm.mutator_mut().force_alloc_failures = 2;
+            }
+        }
         let mut collected = false;
         for lane in &mut lanes {
             let collections_before = lane.vm.gc_stats().collections;
             let alloc_before = lane.vm.mutator_stats().alloc_bytes;
-            let stepped = catch_unwind(AssertUnwindSafe(|| {
-                lane.driver.step(&mut lane.vm, op);
-            }));
-            if let Err(p) = stepped {
-                return Some(diverge(
-                    seed,
-                    i,
-                    lane.kind.label(),
-                    format!("panic executing {op:?}: {}", panic_msg(&*p)),
-                    ops,
-                ));
+            let stepped = catch_unwind(AssertUnwindSafe(|| lane.driver.step(&mut lane.vm, op)));
+            match stepped {
+                Err(p) => {
+                    return RunOutcome::Diverged(diverge(
+                        seed,
+                        i,
+                        lane.kind.label(),
+                        format!("panic executing {op:?}: {}", panic_msg(&*p)),
+                        ops,
+                    ));
+                }
+                Ok(Err(_exit)) => {
+                    // Typed out-of-memory termination: the graceful end
+                    // state the governor guarantees. The lane's VM is
+                    // done; end the seed for every lane.
+                    oom.get_or_insert((lane.kind.label(), i, true));
+                    break 'program;
+                }
+                Ok(Ok(StepOutcome::OomCaught)) => {
+                    // The guest's handler caught the overflow and the
+                    // lane keeps running — but its graph now (correctly)
+                    // differs from lanes that did not exhaust, so stop
+                    // cross-plan diffing.
+                    oom.get_or_insert((lane.kind.label(), i, false));
+                }
+                Ok(Ok(StepOutcome::Ran)) => {}
             }
             if lane.vm.gc_stats().collections == collections_before {
                 continue;
@@ -274,7 +337,7 @@ pub fn run_ops(seed: u64, ops: &[VmOp], cfg: &TortureConfig) -> Option<Divergenc
                 verify_collection(&lane.vm, slack);
             }));
             if let Err(p) = verified {
-                return Some(diverge(
+                return RunOutcome::Diverged(diverge(
                     seed,
                     i,
                     lane.kind.label(),
@@ -284,17 +347,34 @@ pub fn run_ops(seed: u64, ops: &[VmOp], cfg: &TortureConfig) -> Option<Divergenc
             }
             if cfg.fault == Some(Fault::SkewCopied) {
                 if let Some(d) = skewed_accounting_check(seed, i, lane, slack, ops) {
-                    return Some(d);
+                    return RunOutcome::Diverged(d);
                 }
             }
         }
-        if collected || (i + 1) % stride == 0 || i + 1 == ops.len() {
+        if oom.is_none() && (collected || (i + 1) % stride == 0 || i + 1 == ops.len()) {
             if let Some(d) = diff_lanes(seed, i, &lanes, ops) {
-                return Some(d);
+                return RunOutcome::Diverged(d);
             }
         }
     }
-    None
+    match oom {
+        Some((plan, op_index, fatal)) => RunOutcome::Oom {
+            plan,
+            op_index,
+            fatal,
+        },
+        None => RunOutcome::Clean,
+    }
+}
+
+/// Replays `ops` against every configured plan in lockstep and returns
+/// the first failure, if any. Heap exhaustion (caught or typed-fatal) is
+/// not a failure — see [`run_ops_outcome`] for the full report.
+pub fn run_ops(seed: u64, ops: &[VmOp], cfg: &TortureConfig) -> Option<Divergence> {
+    match run_ops_outcome(seed, ops, cfg) {
+        RunOutcome::Diverged(d) => Some(d),
+        RunOutcome::Clean | RunOutcome::Oom { .. } => None,
+    }
 }
 
 /// The [`Fault::SkewCopied`] injection: re-run the inspection cross-check
@@ -354,11 +434,12 @@ pub fn failure_telemetry(d: &Divergence, cfg: &TortureConfig) -> String {
     lane.vm
         .set_recorder(Box::new(tilgc_obs::RingRecorder::with_capacity(1 << 16)));
     for &op in &d.trace {
-        let stepped = catch_unwind(AssertUnwindSafe(|| {
-            lane.driver.step(&mut lane.vm, op);
-        }));
-        if stepped.is_err() {
-            break;
+        let stepped = catch_unwind(AssertUnwindSafe(|| lane.driver.step(&mut lane.vm, op)));
+        match stepped {
+            Ok(Ok(_)) => {}
+            // A panic or a typed out-of-memory exit both end the replay;
+            // everything recorded so far is kept.
+            Ok(Err(_)) | Err(_) => break,
         }
     }
     let events =
@@ -380,6 +461,71 @@ pub fn failure_telemetry(d: &Divergence, cfg: &TortureConfig) -> String {
         &events,
     ));
     out
+}
+
+/// Result of a [`budget_sweep`]: the smallest heap budget (within the
+/// probed range) under which the seed's program runs to completion with
+/// no lane exhausting.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepReport {
+    /// The program seed swept.
+    pub seed: u64,
+    /// Smallest surviving budget found by the binary search, or `None`
+    /// if even the configured ceiling (`cfg.heap_budget_bytes`)
+    /// exhausts.
+    pub minimal_budget_bytes: Option<usize>,
+    /// How many lockstep replays the search spent.
+    pub probes: usize,
+}
+
+/// Smallest budget the sweep will probe. Below this the nursery clamp
+/// dominates and every plan exhausts on the first bursts.
+pub const SWEEP_FLOOR_BYTES: usize = 8 << 10;
+
+/// Binary-searches the minimal heap budget (in `SWEEP_FLOOR_BYTES ..=
+/// cfg.heap_budget_bytes`) under which seed `seed`'s program survives on
+/// every plan — mapping the graceful-degradation frontier rather than
+/// assuming one budget fits all seeds. Survival is monotone in the
+/// budget for these append-mostly programs, which is what makes the
+/// bisection sound. A cross-plan divergence or oracle panic during any
+/// probe is a real bug and aborts the sweep.
+pub fn budget_sweep(seed: u64, cfg: &TortureConfig) -> Result<SweepReport, Divergence> {
+    let _quiet = QuietPanics::new();
+    let ops = generate(seed, cfg.ops);
+    let mut probes = 0usize;
+    let mut probe = |budget: usize| -> Result<bool, Divergence> {
+        probes += 1;
+        let mut probe_cfg = cfg.clone();
+        probe_cfg.heap_budget_bytes = budget;
+        probe_cfg.fault = None;
+        match run_ops_outcome(seed, &ops, &probe_cfg) {
+            RunOutcome::Clean => Ok(true),
+            RunOutcome::Oom { .. } => Ok(false),
+            RunOutcome::Diverged(d) => Err(d),
+        }
+    };
+    let ceiling = cfg.heap_budget_bytes.max(SWEEP_FLOOR_BYTES);
+    if !probe(ceiling)? {
+        return Ok(SweepReport {
+            seed,
+            minimal_budget_bytes: None,
+            probes,
+        });
+    }
+    let (mut lo, mut hi) = (SWEEP_FLOOR_BYTES, ceiling);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if probe(mid)? {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Ok(SweepReport {
+        seed,
+        minimal_budget_bytes: Some(lo),
+        probes,
+    })
 }
 
 /// Generates, runs, and — on failure — minimizes one seed. Returns the

@@ -25,7 +25,10 @@ pub mod program;
 pub mod rng;
 pub mod shrink;
 
-pub use harness::{failure_telemetry, run_ops, run_seed, Divergence, Fault, TortureConfig};
+pub use harness::{
+    budget_sweep, failure_telemetry, run_ops, run_ops_outcome, run_seed, Divergence, Fault,
+    RunOutcome, SweepReport, TortureConfig, SWEEP_FLOOR_BYTES,
+};
 pub use program::generate;
 pub use rng::Rng;
 pub use shrink::minimize;

@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! torture [--seeds A..B|N] [--ops N] [--plans L,L,...] [--stride N]
-//!         [--nursery-sweep] [--inject drop-barrier|skew-copied]
-//!         [--failure-out PATH]
+//!         [--nursery-sweep] [--inject drop-barrier|skew-copied|oom-alloc]
+//!         [--budget-sweep] [--failure-out PATH]
 //! ```
 //!
 //! Exit status: 0 all runs clean, 1 a divergence was found (printed,
@@ -12,13 +12,22 @@
 //! The failure report carries a telemetry replay of the failing lane —
 //! the minimized trace re-run with the event recorder attached, its
 //! per-collection event stream appended as JSONL.
+//!
+//! With `--inject oom-alloc`, heap exhaustion is the *expected* outcome;
+//! the sweep counts clean / caught / typed-fatal endings per seed and
+//! fails only on a panic or divergence. With `--budget-sweep`, each seed
+//! is instead binary-searched for its minimal surviving heap budget and
+//! the frontier is printed (one line per seed plus a summary).
 
 use std::ops::Range;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tilgc_core::CollectorKind;
-use tilgc_torture::{failure_telemetry, run_seed, Fault, TortureConfig};
+use tilgc_torture::{
+    budget_sweep, failure_telemetry, generate, run_ops_outcome, run_seed, Fault, RunOutcome,
+    TortureConfig,
+};
 
 const USAGE: &str = "usage: torture [options]
   --seeds A..B | N     seed range (default 0..50; N means 0..N)
@@ -28,7 +37,9 @@ const USAGE: &str = "usage: torture [options]
   --stride N           diff cross-plan snapshots every N ops (default 16)
   --nursery-sweep      repeat the sweep at 2 KB, 4 KB and 16 KB nurseries
   --inject FAULT       plant a defect the harness must catch:
-                       drop-barrier | skew-copied
+                       drop-barrier | skew-copied | oom-alloc
+  --budget-sweep       binary-search each seed's minimal surviving heap
+                       budget and print the frontier
   --failure-out PATH   write the minimized failure report to PATH
   --help               this text";
 
@@ -39,6 +50,7 @@ struct Args {
     stride: usize,
     nursery_sweep: bool,
     inject: Option<Fault>,
+    budget_sweep: bool,
     failure_out: Option<PathBuf>,
 }
 
@@ -84,6 +96,7 @@ fn parse_args() -> Result<Args, String> {
         stride: 16,
         nursery_sweep: false,
         inject: None,
+        budget_sweep: false,
         failure_out: None,
     };
     let mut it = std::env::args().skip(1);
@@ -107,9 +120,11 @@ fn parse_args() -> Result<Args, String> {
                 args.inject = Some(match value("--inject")?.as_str() {
                     "drop-barrier" => Fault::DropBarrier,
                     "skew-copied" => Fault::SkewCopied,
+                    "oom-alloc" => Fault::OomAlloc,
                     other => return Err(format!("unknown fault: {other}")),
                 });
             }
+            "--budget-sweep" => args.budget_sweep = true,
             "--failure-out" => args.failure_out = Some(PathBuf::from(value("--failure-out")?)),
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -161,24 +176,45 @@ fn main() -> ExitCode {
                 None => String::new(),
             }
         );
+        if args.budget_sweep {
+            match sweep_budgets(&args, &cfg) {
+                Ok(()) => {
+                    runs += n_seeds;
+                    continue;
+                }
+                Err(d) => return report_failure(&args, &cfg, nursery, &d),
+            }
+        }
+        let mut oom_clean = 0u64;
+        let mut oom_caught = 0u64;
+        let mut oom_fatal = 0u64;
         for (done, seed) in args.seeds.clone().enumerate() {
-            if let Some(d) = run_seed(seed, &cfg) {
-                let mut report = format!("nursery {nursery} bytes\n{d}");
-                report.push_str(&failure_telemetry(&d, &cfg));
-                eprintln!("torture: FAILED\n{report}");
-                if let Some(path) = &args.failure_out {
-                    if let Err(e) = std::fs::write(path, &report) {
-                        eprintln!("torture: could not write {}: {e}", path.display());
-                    } else {
-                        eprintln!("torture: failure report written to {}", path.display());
+            // Under oom-alloc injection exhaustion is the expected
+            // outcome; classify it instead of just passing the seed.
+            if args.inject == Some(Fault::OomAlloc) {
+                let ops = generate(seed, cfg.ops);
+                match run_ops_outcome(seed, &ops, &cfg) {
+                    RunOutcome::Clean => oom_clean += 1,
+                    RunOutcome::Oom { fatal: false, .. } => oom_caught += 1,
+                    RunOutcome::Oom { fatal: true, .. } => oom_fatal += 1,
+                    RunOutcome::Diverged(full) => {
+                        let d = run_seed(seed, &cfg).unwrap_or(full);
+                        return report_failure(&args, &cfg, nursery, &d);
                     }
                 }
-                return ExitCode::from(1);
+            } else if let Some(d) = run_seed(seed, &cfg) {
+                return report_failure(&args, &cfg, nursery, &d);
             }
             runs += 1;
             if (done + 1) % 25 == 0 {
                 eprintln!("torture:   {}/{} seeds clean", done + 1, n_seeds);
             }
+        }
+        if args.inject == Some(Fault::OomAlloc) {
+            eprintln!(
+                "torture:   oom-alloc outcomes: {oom_clean} recovered clean, \
+                 {oom_caught} caught by a handler, {oom_fatal} typed-fatal exits"
+            );
         }
     }
     println!(
@@ -189,4 +225,62 @@ fn main() -> ExitCode {
         args.ops
     );
     ExitCode::SUCCESS
+}
+
+/// Prints a minimized failure (with its telemetry replay), optionally
+/// writes it to `--failure-out`, and returns the failing exit code.
+fn report_failure(
+    args: &Args,
+    cfg: &TortureConfig,
+    nursery: usize,
+    d: &tilgc_torture::Divergence,
+) -> ExitCode {
+    let mut report = format!("nursery {nursery} bytes\n{d}");
+    report.push_str(&failure_telemetry(d, cfg));
+    eprintln!("torture: FAILED\n{report}");
+    if let Some(path) = &args.failure_out {
+        if let Err(e) = std::fs::write(path, &report) {
+            eprintln!("torture: could not write {}: {e}", path.display());
+        } else {
+            eprintln!("torture: failure report written to {}", path.display());
+        }
+    }
+    ExitCode::from(1)
+}
+
+/// The `--budget-sweep` mode: per-seed minimal-surviving-budget frontier
+/// (one line per seed to stdout, so CI can archive it) plus a summary.
+fn sweep_budgets(args: &Args, cfg: &TortureConfig) -> Result<(), tilgc_torture::Divergence> {
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    let mut unsurvivable = 0u64;
+    let mut probes = 0usize;
+    for seed in args.seeds.clone() {
+        let report = budget_sweep(seed, cfg)?;
+        probes += report.probes;
+        match report.minimal_budget_bytes {
+            Some(b) => {
+                min = min.min(b);
+                max = max.max(b);
+                println!("budget-sweep: seed {seed}: minimal budget {b} bytes");
+            }
+            None => {
+                unsurvivable += 1;
+                println!(
+                    "budget-sweep: seed {seed}: no surviving budget <= {} bytes",
+                    cfg.heap_budget_bytes
+                );
+            }
+        }
+    }
+    if max == 0 {
+        println!("budget-sweep: no seed survives at any probed budget");
+    } else {
+        println!(
+            "budget-sweep: frontier {min}..{max} bytes across {} seeds \
+             ({unsurvivable} unsurvivable, {probes} probes)",
+            args.seeds.end - args.seeds.start
+        );
+    }
+    Ok(())
 }

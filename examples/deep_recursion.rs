@@ -18,7 +18,7 @@ const DEPTH: usize = 2_000;
 fn recurse(vm: &mut Vm, frame: DescId, site: SiteId, depth: usize) -> i64 {
     vm.push_frame(frame);
     // Each level keeps one record live in its frame.
-    let obj = vm.alloc_record(site, &[Value::Int(depth as i64)]);
+    let obj = vm.alloc_record(site, &[Value::Int(depth as i64)]).unwrap();
     vm.set_slot(0, Value::Ptr(obj));
     let below = if depth > 0 {
         let r = recurse(vm, frame, site, depth - 1);

@@ -19,7 +19,9 @@ use tilgc::runtime::{DescId, FrameDesc, RaiseOutcome, Trace, Value, Vm};
 fn grow(vm: &mut Vm, frame: DescId, site: SiteId, levels: usize, tag: i64) {
     for i in 0..levels {
         vm.push_frame(frame);
-        let obj = vm.alloc_record(site, &[Value::Int(tag * 1_000 + i as i64)]);
+        let obj = vm
+            .alloc_record(site, &[Value::Int(tag * 1_000 + i as i64)])
+            .unwrap();
         vm.set_slot(0, Value::Ptr(obj));
     }
 }

@@ -33,7 +33,9 @@ fn main() {
     // allocation may move objects.
     for i in 0..10_000i64 {
         let tail = vm.slot_ptr(0);
-        let cell = vm.alloc_record(cell_site, &[Value::Int(i), Value::Ptr(tail)]);
+        let cell = vm
+            .alloc_record(cell_site, &[Value::Int(i), Value::Ptr(tail)])
+            .unwrap();
         vm.set_slot(0, Value::Ptr(cell));
         // Some short-lived garbage for the nursery to reclaim.
         for _ in 0..4 {

@@ -41,7 +41,7 @@
 //!
 //! // Allocate; roots live in frame slots.
 //! vm.push_frame(frame);
-//! let pair = vm.alloc_record(site, &[Value::Int(1), Value::Int(2)]);
+//! let pair = vm.alloc_record(site, &[Value::Int(1), Value::Int(2)]).unwrap();
 //! vm.set_slot(0, Value::Ptr(pair));
 //! vm.gc_now();
 //! let pair = vm.slot_ptr(0); // relocated by the collection

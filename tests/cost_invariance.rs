@@ -55,17 +55,27 @@ fn run(bench: Benchmark, kind: CollectorKind, config: &GcConfig) -> (u64, GcStat
     run_in_vm(bench, build_vm(kind, config))
 }
 
-/// Like [`run`], but `None` on out-of-memory — the calibration samples
-/// live size only at semispace collection points, so a k·Min budget can
-/// genuinely undershoot a peak (the experiments harness grows the budget
-/// by 25% steps for the same reason).
+/// A calibration run is only accepted if it never felt memory pressure:
+/// no governor episode opened and no collection left a generation past
+/// its budget share. A run that merely *survives* by degrading
+/// gracefully is rejected just like the pre-ladder OOM panic was, so
+/// the calibrated budgets (and the golden) are stable across the
+/// panic-free refactor.
+fn pressure_free(out: (u64, GcStats)) -> Option<(u64, GcStats)> {
+    (out.1.pressure_episodes == 0 && out.1.budget_overruns == 0).then_some(out)
+}
+
+/// Like [`run`], but `None` on out-of-memory or memory pressure — the
+/// calibration samples live size only at semispace collection points, so
+/// a k·Min budget can genuinely undershoot a peak (the experiments
+/// harness grows the budget by 25% steps for the same reason).
 fn run_or_oom(bench: Benchmark, kind: CollectorKind, config: &GcConfig) -> Option<(u64, GcStats)> {
     let prev_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {})); // silence the expected OOM panic
     let out =
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(bench, kind, config))).ok();
     std::panic::set_hook(prev_hook);
-    out
+    out.and_then(pressure_free)
 }
 
 /// [`run_or_oom`], for a pre-built VM.
@@ -74,7 +84,7 @@ fn run_in_vm_or_oom(bench: Benchmark, vm: Vm) -> Option<(u64, GcStats)> {
     std::panic::set_hook(Box::new(|_| {}));
     let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_in_vm(bench, vm))).ok();
     std::panic::set_hook(prev_hook);
-    out
+    out.and_then(pressure_free)
 }
 
 /// Max live bytes measured by a generous semispace run (every semispace

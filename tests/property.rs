@@ -99,25 +99,27 @@ fn interpret_with(
             } => {
                 let a = vm.slot_ptr(slot(src_a));
                 let b = vm.slot_ptr(slot(src_b));
-                let rec = vm.alloc_record(
-                    rec_site,
-                    &[
-                        Value::Ptr(a),
-                        Value::Ptr(b),
-                        Value::Int(i64::from(tag)),
-                        Value::Int(42),
-                    ],
-                );
+                let rec = vm
+                    .alloc_record(
+                        rec_site,
+                        &[
+                            Value::Ptr(a),
+                            Value::Ptr(b),
+                            Value::Int(i64::from(tag)),
+                            Value::Int(42),
+                        ],
+                    )
+                    .unwrap();
                 vm.set_slot(slot(dst), Value::Ptr(rec));
             }
             Op::AllocArray { dst, init } => {
                 let init = vm.slot_ptr(slot(init));
-                let arr = vm.alloc_ptr_array(arr_site, 4, init);
+                let arr = vm.alloc_ptr_array(arr_site, 4, init).unwrap();
                 vm.set_slot(slot(dst), Value::Ptr(arr));
             }
             Op::AllocRaw { dst, len } => {
                 let len = 1 + (len as usize) % 64;
-                let raw = vm.alloc_raw_array(raw_site, len);
+                let raw = vm.alloc_raw_array(raw_site, len).unwrap();
                 vm.store_byte(raw, len - 1, 0xab);
                 vm.set_slot(slot(dst), Value::Ptr(raw));
             }
