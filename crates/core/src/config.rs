@@ -221,6 +221,19 @@ pub struct GcConfig {
     /// and, while it stays high, collects both generations together
     /// instead of paying promote-then-discard double copies.
     pub adaptive_major: bool,
+    /// Number of parallel collection workers. 1 (the default) selects
+    /// the deterministic serial lane — the oracle every golden is pinned
+    /// to. Higher values fan tracing work out over a work-packet
+    /// scheduler with per-worker copy allocators; collections that lack
+    /// the to-space headroom the worker chunks need fall back to the
+    /// serial lane (see `scheduler` module docs).
+    pub workers: usize,
+    /// Testing knob: permute work-packet execution order (and alternate
+    /// which end of the shared queue workers drain) to flush hidden
+    /// ordering assumptions. Used by the torture harness's
+    /// packet-reorder injection; a correct scheduler produces identical
+    /// reachable heaps regardless.
+    pub packet_reorder: bool,
 }
 
 impl Default for GcConfig {
@@ -236,6 +249,8 @@ impl Default for GcConfig {
             pretenure: None,
             tenure_threshold: 0,
             adaptive_major: false,
+            workers: 1,
+            packet_reorder: false,
         }
     }
 }
@@ -301,6 +316,26 @@ impl GcConfig {
     #[must_use]
     pub fn tenure_threshold(mut self, age: u8) -> GcConfig {
         self.tenure_threshold = age;
+        self
+    }
+
+    /// Sets the parallel worker count (1 = the deterministic serial
+    /// lane).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 — there is always at least the serial lane.
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> GcConfig {
+        assert!(n > 0, "worker count must be positive");
+        self.workers = n;
+        self
+    }
+
+    /// Enables the packet-reorder testing knob.
+    #[must_use]
+    pub fn packet_reorder(mut self, on: bool) -> GcConfig {
+        self.packet_reorder = on;
         self
     }
 

@@ -99,6 +99,8 @@ pub struct GenerationalPlan {
     /// Telemetry accumulator, allocated lazily the first time a
     /// collection or allocation runs with an enabled recorder installed.
     telem: Option<TelemetryAcc>,
+    workers: usize,
+    packet_reorder: bool,
 }
 
 impl GenerationalPlan {
@@ -152,6 +154,8 @@ impl GenerationalPlan {
             stats: GcStats::default(),
             inspection: None,
             telem: None,
+            workers: config.workers,
+            packet_reorder: config.packet_reorder,
         };
         c.apply_limits(0);
         c
@@ -232,6 +236,8 @@ impl GenerationalPlan {
         timer: Option<PhaseTimer>,
         stats_before: &GcStats,
         wall_ns: u64,
+        workers: u64,
+        worker_copied: Vec<u64>,
     ) {
         let Some(timer) = timer else { return };
         let collection = self.stats.collections;
@@ -249,6 +255,8 @@ impl GenerationalPlan {
                 telem,
                 end_cycles,
                 wall_ns,
+                workers,
+                worker_copied,
             ))));
         for e in telem.drain_samples(collection) {
             m.recorder.record(e);
@@ -289,7 +297,16 @@ impl GenerationalPlan {
 
         let nursery_range = self.nursery.active().range();
         let nursery_frontier = self.nursery.active().frontier();
+        let from_used = nursery_frontier - nursery_range.start;
         let from_ranges = [nursery_range];
+        // Parallel lane needs headroom for abandoned chunk tails, and the
+        // copy-back survivor path (§7.2 threshold) splits copies between
+        // two spaces — both fall back to the serial oracle.
+        let parallel = self.workers > 1
+            && self.profile.is_none()
+            && self.tenure_threshold == 0
+            && self.tenured.active().free_words()
+                >= from_used + crate::scheduler::slack_budget_words(self.workers);
         let survivor_space = self.nursery.inactive_mut();
         let mut evac = Evacuator::new(
             &mut self.mem,
@@ -306,6 +323,9 @@ impl GenerationalPlan {
         }
         if let Some(t) = self.telem.as_mut().filter(|_| timer.is_some()) {
             evac.set_telemetry(t);
+        }
+        if parallel {
+            evac.set_workers(self.workers, self.packet_reorder);
         }
         evac.forward_roots(m, &roots);
         if let Some(t) = timer.as_mut() {
@@ -377,6 +397,12 @@ impl GenerationalPlan {
         }
         self.young_refs = evac.take_young_owner_refs();
         self.young_locs = evac.take_young_field_locs();
+        let workers_used = if evac.parallel() {
+            self.workers as u64
+        } else {
+            1
+        };
+        let worker_copied = evac.worker_copied().to_vec();
         let copy_ns = copy_t0.elapsed().as_nanos() as u64;
 
         self.stats.barrier_entries += barrier_entries;
@@ -409,6 +435,11 @@ impl GenerationalPlan {
         self.stats.copy_wall_ns += copy_ns;
         let total_ns = wall_start.elapsed().as_nanos() as u64;
         self.stats.total_wall_ns += total_ns;
+        crate::verify::check_worker_accounting(
+            workers_used,
+            &worker_copied,
+            self.stats.copied_bytes - stats_before.copied_bytes,
+        );
         // With a §7.2 tenure threshold, copied-back survivors live in the
         // nursery system but are not counted in `live_words`: the record
         // marks the byte accounting incomplete so verifiers skip it.
@@ -420,7 +451,14 @@ impl GenerationalPlan {
             self.tenure_threshold == 0,
             scan_claim,
         ));
-        self.end_telemetry(m, timer, &stats_before, total_ns);
+        self.end_telemetry(
+            m,
+            timer,
+            &stats_before,
+            total_ns,
+            workers_used,
+            worker_copied,
+        );
     }
 
     fn major(&mut self, m: &mut MutatorState, reason: &'static str) {
@@ -465,6 +503,13 @@ impl GenerationalPlan {
         }
         let t_to = self.tenured.inactive_mut();
         t_to.set_limit_words(t_to.max_capacity_words());
+        // Parallel lane needs headroom for abandoned chunk tails; tight
+        // heaps and profiling runs fall back to the serial oracle.
+        let from_used =
+            (nursery_frontier - nursery_range.start) + (tenured_from.end - tenured_from.start);
+        let parallel = self.workers > 1
+            && self.profile.is_none()
+            && t_to.free_words() >= from_used + crate::scheduler::slack_budget_words(self.workers);
         let mut evac = Evacuator::new(
             &mut self.mem,
             &from_ranges,
@@ -477,6 +522,9 @@ impl GenerationalPlan {
         );
         if let Some(t) = self.telem.as_mut().filter(|_| timer.is_some()) {
             evac.set_telemetry(t);
+        }
+        if parallel {
+            evac.set_workers(self.workers, self.packet_reorder);
         }
         evac.forward_roots(m, &roots);
         if let Some(t) = timer.as_mut() {
@@ -503,6 +551,12 @@ impl GenerationalPlan {
         if let Some(t) = timer.as_mut() {
             t.mark(GcPhase::CheneyCopy, evac.current_gc_cycles());
         }
+        let workers_used = if evac.parallel() {
+            self.workers as u64
+        } else {
+            1
+        };
+        let worker_copied = evac.worker_copied().to_vec();
         let copy_ns = copy_t0.elapsed().as_nanos() as u64;
 
         sweep_profile_deaths(
@@ -571,6 +625,11 @@ impl GenerationalPlan {
         self.stats.copy_wall_ns += copy_ns;
         let total_ns = wall_start.elapsed().as_nanos() as u64;
         self.stats.total_wall_ns += total_ns;
+        crate::verify::check_worker_accounting(
+            workers_used,
+            &worker_copied,
+            self.stats.copied_bytes - stats_before.copied_bytes,
+        );
         self.inspection = Some(build_inspection(
             &stats_before,
             &self.stats,
@@ -579,7 +638,14 @@ impl GenerationalPlan {
             true,
             scan_claim,
         ));
-        self.end_telemetry(m, timer, &stats_before, total_ns);
+        self.end_telemetry(
+            m,
+            timer,
+            &stats_before,
+            total_ns,
+            workers_used,
+            worker_copied,
+        );
     }
 
     /// Scans young large pointer arrays (initializing stores may reference

@@ -49,6 +49,7 @@ mod governor;
 mod los;
 mod plan;
 pub mod roots;
+pub mod scheduler;
 mod semispace;
 pub mod space;
 mod util;

@@ -1,0 +1,191 @@
+//! The work-packet scheduler for parallel collection (MMTk-style).
+//!
+//! A parallel collection runs as a sequence of bounded *sections*, each
+//! fanning one kind of work out over `workers` threads:
+//!
+//! 1. **Root packets** — the root words a stack scan produced (fresh
+//!    frames, cached frames, registers, alloc buffer) are read serially,
+//!    split into packets, forwarded in parallel, and written back
+//!    serially.
+//! 2. **Store-buffer packets** — the sorted, deduplicated field
+//!    locations of the sequential store buffer, split into packets.
+//! 3. **Trace/copy packets** — the transitive-closure drain: packets of
+//!    gray objects pulled from a shared [`PacketQueue`], each scan
+//!    discovering more gray objects that are pushed back as fresh
+//!    packets.
+//!
+//! **Packet lifecycle.** A packet is a `Vec` of up to
+//! [`PACKET_OBJECTS`] work items. Sections 1 and 2 are *bounded*: the
+//! packet set is fixed up front, workers just drain it. Section 3 is
+//! *generative*: scanning a packet produces new packets, so it needs
+//! termination detection — a worker that finds the queue empty parks on
+//! the queue's condvar; when every worker is parked the queue flips to
+//! `done` and all workers return ([`PacketQueue::pop`]).
+//!
+//! **Copy allocation.** Workers never contend on the to-space bump
+//! pointer: each holds a [`WorkerCopyAlloc`] that carves
+//! [`CHUNK_WORDS`]-sized chunks off a [`SharedCursor`] (one CAS per
+//! chunk) and bump-allocates copies inside its current chunk. Abandoned
+//! chunk tails are *slack* — dead words below the frontier, excluded
+//! from live accounting via [`Space::note_slack`](tilgc_mem::Space::note_slack).
+//!
+//! **Object forwarding** uses a claim/publish protocol over the atomic
+//! memory view ([`SharedMemView`](tilgc_mem::SharedMemView)): CAS the
+//! from-space header to the busy sentinel, copy the payload, then
+//! release-publish the forwarding header. Losers spin until the
+//! forwarding pointer appears. The protocol lives in
+//! [`Evacuator`](crate::Evacuator)'s parallel drain paths; this module
+//! provides the scheduling primitives.
+//!
+//! **Determinism contract.** `workers = 1` never enters this module:
+//! the plans fall back to the serial Cheney lane, whose every counter
+//! and golden output is byte-identical to the pre-parallel collector —
+//! the *oracle* the differential tests and the torture harness compare
+//! parallel lanes against. A parallel collection copies the same object
+//! set and charges the same simulated cycles (worker deltas are merged
+//! in worker-index order), but physical addresses and telemetry event
+//! order may differ.
+//!
+//! **Serial fallback.** Parallel collection needs to-space headroom for
+//! per-worker chunk slack. Plans engage it only when the destination
+//! has `from_used + workers × 2 × CHUNK_WORDS` words free
+//! ([`slack_budget_words`]); tight-heap collections (and collections
+//! using profiling or a tenure threshold) run on the serial lane.
+
+mod alloc;
+mod queue;
+
+pub use alloc::{SharedCursor, WorkerCopyAlloc, CHUNK_WORDS};
+pub use queue::PacketQueue;
+
+use tilgc_mem::Addr;
+
+/// Maximum work items per packet. Small enough to balance load across
+/// workers, large enough to amortize queue locking.
+pub const PACKET_OBJECTS: usize = 64;
+
+/// To-space headroom a parallel collection reserves beyond the
+/// from-space live bound: room for every worker to hold a full chunk
+/// plus a chunk of accumulated tail slack. Collections without this
+/// headroom fall back to the serial lane.
+pub fn slack_budget_words(workers: usize) -> usize {
+    workers * 2 * CHUNK_WORDS
+}
+
+/// Splits `items` into packets of at most [`PACKET_OBJECTS`] items.
+pub fn packetize<T>(items: Vec<T>) -> Vec<Vec<T>> {
+    let mut packets = Vec::with_capacity(items.len().div_ceil(PACKET_OBJECTS).max(1));
+    let mut it = items.into_iter();
+    loop {
+        let packet: Vec<T> = it.by_ref().take(PACKET_OBJECTS).collect();
+        if packet.is_empty() {
+            break;
+        }
+        packets.push(packet);
+    }
+    packets
+}
+
+/// Deterministically permutes packet order — the torture harness's
+/// packet-reorder injection. A correct scheduler produces the same
+/// reachable heap under any packet order, so this knob flushes hidden
+/// ordering assumptions without changing what work is done.
+pub fn reorder_packets<T>(packets: &mut [T]) {
+    packets.reverse();
+    // Interleave halves: [a b c d e f] -> [f e d c b a] -> [f d b a c e]
+    // (a fixed shuffle is as good as a random one for order-independence
+    // checks, and keeps the lane reproducible).
+    let n = packets.len();
+    for i in (1..n / 2).step_by(2) {
+        packets.swap(i, n - 1 - i);
+    }
+}
+
+/// One worker's private accounting for a parallel section, merged into
+/// `GcStats` (in worker-index order) after the section joins. Keeping
+/// the charges out of the shared state makes the merged totals
+/// identical to the serial lane's regardless of interleaving.
+#[derive(Debug, Default)]
+pub struct WorkerDelta {
+    /// Bytes this worker copied.
+    pub copied_bytes: u64,
+    /// Simulated copy cycles (`copy_per_word` × words copied).
+    pub copy_cycles: u64,
+    /// Words this worker Cheney-scanned (gray-object scans).
+    pub scanned_words: u64,
+    /// Scan cycles (`scan_per_word` × words scanned).
+    pub scan_cycles: u64,
+    /// Work items this worker forwarded that actually moved (roots
+    /// sections charge `root_process` per relocation).
+    pub relocated: u64,
+    /// Large objects this worker marked (`large_object_visit` each).
+    pub large_marked: u64,
+    /// Gray objects discovered in a *bounded* section, to seed the
+    /// trace/copy drain.
+    pub gray: Vec<Addr>,
+    /// Deferred telemetry: (site, bytes, from_nursery) per copy, fed to
+    /// the accumulator after the join (host-side only, order-free).
+    pub telem_copies: Vec<(u16, u64, bool)>,
+    /// Abandoned chunk-tail words, folded into the space's slack.
+    pub tail_slack: usize,
+}
+
+impl WorkerDelta {
+    /// Folds another delta into this one (used when merging the
+    /// per-worker results in worker-index order).
+    pub fn merge(&mut self, other: WorkerDelta) {
+        self.copied_bytes += other.copied_bytes;
+        self.copy_cycles += other.copy_cycles;
+        self.scanned_words += other.scanned_words;
+        self.scan_cycles += other.scan_cycles;
+        self.relocated += other.relocated;
+        self.large_marked += other.large_marked;
+        self.gray.extend(other.gray);
+        self.telem_copies.extend(other.telem_copies);
+        self.tail_slack += other.tail_slack;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packetize_bounds_packet_size() {
+        let packets = packetize((0..150).collect::<Vec<u32>>());
+        assert_eq!(packets.len(), 3);
+        assert!(packets.iter().all(|p| p.len() <= PACKET_OBJECTS));
+        let flat: Vec<u32> = packets.into_iter().flatten().collect();
+        assert_eq!(flat, (0..150).collect::<Vec<u32>>());
+        assert!(packetize(Vec::<u32>::new()).is_empty());
+    }
+
+    #[test]
+    fn reorder_preserves_the_packet_set() {
+        let mut p: Vec<u32> = (0..7).collect();
+        reorder_packets(&mut p);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..7).collect::<Vec<u32>>());
+        assert_ne!(p, (0..7).collect::<Vec<u32>>(), "order actually changed");
+    }
+
+    #[test]
+    fn delta_merge_sums_counters() {
+        let mut a = WorkerDelta {
+            copied_bytes: 16,
+            gray: vec![Addr::new(1)],
+            tail_slack: 3,
+            ..Default::default()
+        };
+        a.merge(WorkerDelta {
+            copied_bytes: 8,
+            gray: vec![Addr::new(2)],
+            tail_slack: 1,
+            ..Default::default()
+        });
+        assert_eq!(a.copied_bytes, 24);
+        assert_eq!(a.gray, vec![Addr::new(1), Addr::new(2)]);
+        assert_eq!(a.tail_slack, 4);
+    }
+}

@@ -42,6 +42,8 @@ pub struct SemispacePlan {
     /// Telemetry accumulator, allocated lazily the first time a
     /// collection or allocation runs with an enabled recorder installed.
     telem: Option<TelemetryAcc>,
+    workers: usize,
+    packet_reorder: bool,
 }
 
 impl SemispacePlan {
@@ -74,6 +76,8 @@ impl SemispacePlan {
             stats: GcStats::default(),
             inspection: None,
             telem: None,
+            workers: config.workers,
+            packet_reorder: config.packet_reorder,
         }
     }
 
@@ -151,9 +155,16 @@ impl SemispacePlan {
 
         let from_range = self.heap.active().range();
         let from_frontier = self.heap.active().frontier();
+        let from_used = from_frontier - from_range.start;
         let from_ranges = [from_range];
         let to_space = self.heap.inactive_mut();
         to_space.set_limit_words(to_space.max_capacity_words());
+        // Parallel lane needs headroom for abandoned chunk tails; tight
+        // heaps and profiling runs fall back to the serial oracle.
+        let parallel = self.workers > 1
+            && self.profile.is_none()
+            && to_space.free_words()
+                >= from_used + crate::scheduler::slack_budget_words(self.workers);
         let mut evac = Evacuator::new(
             &mut self.mem,
             &from_ranges,
@@ -166,6 +177,9 @@ impl SemispacePlan {
         );
         if let Some(t) = self.telem.as_mut().filter(|_| timer.is_some()) {
             evac.set_telemetry(t);
+        }
+        if parallel {
+            evac.set_workers(self.workers, self.packet_reorder);
         }
         evac.forward_roots(m, &roots);
         if let Some(t) = timer.as_mut() {
@@ -180,6 +194,12 @@ impl SemispacePlan {
             t.mark(GcPhase::CheneyCopy, evac.current_gc_cycles());
         }
         let copy_ns = copy_t0.elapsed().as_nanos() as u64;
+        let workers_used = if evac.parallel() {
+            self.workers as u64
+        } else {
+            1
+        };
+        let worker_copied = evac.worker_copied().to_vec();
 
         // A semispace plan needs no write barrier; discard anything an
         // embedder recorded anyway.
@@ -208,6 +228,11 @@ impl SemispacePlan {
         self.stats.copy_wall_ns += copy_ns;
         let total_ns = wall_start.elapsed().as_nanos() as u64;
         self.stats.total_wall_ns += total_ns;
+        crate::verify::check_worker_accounting(
+            workers_used,
+            &worker_copied,
+            self.stats.copied_bytes - stats_before.copied_bytes,
+        );
         // A semispace collection traces the whole heap.
         self.inspection = Some(build_inspection(
             &stats_before,
@@ -233,6 +258,8 @@ impl SemispacePlan {
                     telem,
                     end_cycles,
                     total_ns,
+                    workers_used,
+                    worker_copied,
                 ))));
             for e in telem.drain_samples(collection) {
                 m.recorder.record(e);

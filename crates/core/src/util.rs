@@ -16,6 +16,7 @@ pub(crate) fn reason_str(reason: CollectReason) -> &'static str {
 /// Builds the telemetry end-of-collection event from the same snapshots
 /// the inspection record is derived from, plus the collection's timeline
 /// position and the plan's cumulative histograms.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn build_collection_end(
     before: &GcStats,
     after: &GcStats,
@@ -23,6 +24,8 @@ pub(crate) fn build_collection_end(
     telem: &TelemetryAcc,
     end_cycles: u64,
     wall_ns: u64,
+    workers: u64,
+    worker_copied_bytes: Vec<u64>,
 ) -> tilgc_obs::CollectionEnd {
     tilgc_obs::CollectionEnd {
         collection: insp.collection,
@@ -45,6 +48,8 @@ pub(crate) fn build_collection_end(
         wall_ns,
         size_hist: telem.size_hist,
         depth_hist: telem.depth_hist,
+        workers,
+        worker_copied_bytes,
     }
 }
 

@@ -1,7 +1,7 @@
 //! `experiments bench-json` — a fixed GC-throughput suite emitting a
-//! machine-readable baseline (`BENCH_pr1.json`).
+//! machine-readable baseline (`BENCH_pr6.json`).
 //!
-//! Four metrics, all wall-clock (unlike the tables, which report
+//! Five metric groups, all wall-clock (unlike the tables, which report
 //! deterministic simulated cycles):
 //!
 //! * evacuation-scan throughput in heap words per second,
@@ -9,18 +9,27 @@
 //! * store-buffer filter throughput in entries per second,
 //! * the end-to-end Table 5 workload (the four headline benchmarks
 //!   under the generational collector with stack markers) in
-//!   milliseconds.
+//!   milliseconds, serial,
+//! * the same workload with the work-packet scheduler at `--workers N`:
+//!   parallel wall time, parallel-vs-serial speedup, and per-worker copy
+//!   throughput (copied MB per second of copy-phase wall time, divided
+//!   by the worker count).
 //!
 //! The three kernel metrics also record the batched-vs-reference
 //! speedup measured against the pre-batching scalar paths retained
 //! under `tilgc-core`'s `kernel-ref` feature, so a regression in the
 //! rewrites shows up as a ratio near (or below) 1.0.
+//!
+//! The baseline records `workers` and `host_cores` so the nightly gate
+//! can tell an honest single-core measurement (parallel speedup near or
+//! below 1.0 is expected — the lanes interleave on one CPU) from a real
+//! scaling regression on a multi-core runner.
 
 use std::time::Instant;
 
 use tilgc_bench::kernels::{EvacRig, SsbRig, StackRig};
 use tilgc_bench::{bench_config, run_program, HEADLINERS};
-use tilgc_core::CollectorKind;
+use tilgc_core::{build_vm, CollectorKind, GcConfig};
 
 /// Iterations per kernel measurement (after warm-up).
 const KERNEL_ITERS: usize = 200;
@@ -44,11 +53,32 @@ fn median_pass_secs<F: FnMut()>(mut pass: F, iters: usize) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// One pass of the Table 5 workload under `config`, returning its
+/// checksum plus the aggregate copied bytes and copy-phase wall time
+/// across every collection of the pass.
+fn workload_pass(config: &GcConfig) -> (u64, u64, u64) {
+    let mut checksum = 0u64;
+    let mut copied_bytes = 0u64;
+    let mut copy_wall_ns = 0u64;
+    for &bench in HEADLINERS.iter() {
+        let mut vm = build_vm(CollectorKind::GenerationalStack, config);
+        vm.mutator_mut().check_shadows = false;
+        let c = bench.run(&mut vm, 1);
+        vm.finish();
+        copied_bytes += vm.gc_stats().copied_bytes;
+        copy_wall_ns += vm.gc_stats().copy_wall_ns;
+        checksum = checksum.rotate_left(7) ^ c;
+    }
+    (checksum, copied_bytes, copy_wall_ns)
+}
+
 /// Runs the suite, prints a human-readable summary, and writes the
-/// JSON baseline to `path`.
-pub fn run(path: &str) {
+/// JSON baseline to `path`. `workers` sizes the parallel lane of the
+/// Table 5 workload.
+pub fn run(path: &str, workers: usize) {
     println!(
-        "GC throughput baseline ({KERNEL_ITERS} kernel iters, {WORKLOAD_ITERS} workload iters)"
+        "GC throughput baseline ({KERNEL_ITERS} kernel iters, {WORKLOAD_ITERS} workload iters, \
+         {workers} workers)"
     );
     println!("{}", "-".repeat(78));
 
@@ -124,8 +154,44 @@ pub fn run(path: &str) {
     let workload_ms = workload_secs * 1e3;
     println!("table5 e2e:  {workload_ms:>14.2} ms        checksum {workload_checksum:#018x}");
 
+    // The same workload with the work-packet scheduler engaged. The
+    // serial and parallel lanes are defined to produce identical
+    // answers, so a checksum mismatch here is a correctness bug, not
+    // noise.
+    let par_config = bench_config(192 << 20).workers(workers);
+    let mut par_checksum = 0u64;
+    let mut par_copied_bytes = 0u64;
+    let mut par_copy_wall_ns = 0u64;
+    let par_secs = median_pass_secs(
+        || {
+            let (checksum, copied, copy_ns) = workload_pass(&par_config);
+            par_checksum = checksum;
+            par_copied_bytes = copied;
+            par_copy_wall_ns = copy_ns;
+        },
+        WORKLOAD_ITERS,
+    );
+    assert_eq!(
+        par_checksum, workload_checksum,
+        "parallel Table 5 workload diverged from the serial oracle"
+    );
+    let par_ms = par_secs * 1e3;
+    let par_speedup = workload_secs / par_secs;
+    let par_copy_mb_per_sec_per_worker = if par_copy_wall_ns > 0 {
+        (par_copied_bytes as f64 / (1u64 << 20) as f64)
+            / (par_copy_wall_ns as f64 / 1e9)
+            / workers as f64
+    } else {
+        0.0
+    };
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "table5 par:  {par_ms:>14.2} ms        {par_speedup:.2}x vs serial, {workers} workers \
+         on {host_cores} cores, {par_copy_mb_per_sec_per_worker:.1} MB/s/worker copy"
+    );
+
     let json = format!(
-        "{{\n  \"suite\": \"gc-throughput-baseline\",\n  \"kernel_iters\": {KERNEL_ITERS},\n  \"workload_iters\": {WORKLOAD_ITERS},\n  \"metrics\": {{\n    \"evac_words_per_sec\": {evac_words_per_sec:.0},\n    \"evac_speedup_vs_reference\": {evac_speedup:.3},\n    \"stack_scan_frames_per_sec\": {stack_frames_per_sec:.0},\n    \"stack_scan_speedup_vs_reference\": {stack_speedup:.3},\n    \"ssb_filter_entries_per_sec\": {ssb_entries_per_sec:.0},\n    \"ssb_filter_speedup_vs_reference\": {ssb_speedup:.3},\n    \"table5_workload_ms\": {workload_ms:.3},\n    \"table5_workload_checksum\": {workload_checksum}\n  }}\n}}\n"
+        "{{\n  \"suite\": \"gc-throughput-baseline\",\n  \"kernel_iters\": {KERNEL_ITERS},\n  \"workload_iters\": {WORKLOAD_ITERS},\n  \"workers\": {workers},\n  \"host_cores\": {host_cores},\n  \"metrics\": {{\n    \"evac_words_per_sec\": {evac_words_per_sec:.0},\n    \"evac_speedup_vs_reference\": {evac_speedup:.3},\n    \"stack_scan_frames_per_sec\": {stack_frames_per_sec:.0},\n    \"stack_scan_speedup_vs_reference\": {stack_speedup:.3},\n    \"ssb_filter_entries_per_sec\": {ssb_entries_per_sec:.0},\n    \"ssb_filter_speedup_vs_reference\": {ssb_speedup:.3},\n    \"table5_workload_ms\": {workload_ms:.3},\n    \"table5_workload_checksum\": {workload_checksum},\n    \"table5_parallel_workload_ms\": {par_ms:.3},\n    \"table5_parallel_speedup\": {par_speedup:.3},\n    \"par_copy_mb_per_sec_per_worker\": {par_copy_mb_per_sec_per_worker:.1}\n  }}\n}}\n"
     );
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),

@@ -3,11 +3,13 @@
 //!
 //! Reads the kernel-throughput metrics out of a baseline and a candidate
 //! JSON file (the nightly CI tier produces `BENCH_nightly.json` and
-//! compares it against the checked-in `BENCH_pr1.json`) and fails if any
-//! throughput dropped by more than the allowed percentage. Wall-clock
-//! workload times are reported but not gated — they are too noisy on
-//! shared runners; the per-second kernel throughputs are medians and
-//! stable enough to gate on.
+//! compares it against the checked-in `BENCH_pr6.json`) and fails if any
+//! throughput dropped by more than the allowed percentage, or if any
+//! `*_speedup_vs_reference` ratio in the candidate sits below 1.0 — a
+//! batched kernel slower than its scalar reference is drift no matter
+//! what the baseline recorded. Wall-clock workload times are reported
+//! but not gated — they are too noisy on shared runners; the per-second
+//! kernel throughputs are medians and stable enough to gate on.
 //!
 //! No JSON dependency exists in the workspace, so a tiny `"key": number`
 //! scanner (sufficient for `bench-json`'s flat output) does the reading.
@@ -45,6 +47,20 @@ fn parse_metrics(text: &str) -> HashMap<String, f64> {
         }
     }
     map
+}
+
+/// Any `*_speedup_vs_reference` metric below 1.0 means a batched kernel
+/// has drifted slower than the scalar reference path it was supposed to
+/// beat. That is a defect in its own right, so the candidate is checked
+/// absolutely — not relative to the baseline, which may share the drift.
+fn speedup_drift(metrics: &HashMap<String, f64>) -> Vec<(String, f64)> {
+    let mut drift: Vec<(String, f64)> = metrics
+        .iter()
+        .filter(|(k, v)| k.ends_with("_speedup_vs_reference") && **v < 1.0)
+        .map(|(k, v)| (k.clone(), *v))
+        .collect();
+    drift.sort_by(|a, b| a.0.cmp(&b.0));
+    drift
 }
 
 fn load(path: &str) -> Result<HashMap<String, f64>, String> {
@@ -87,6 +103,10 @@ pub fn run(baseline_path: &str, candidate_path: &str, max_regress_pct: f64) -> E
             failed = true;
         }
     }
+    for (name, value) in speedup_drift(&candidate) {
+        eprintln!("  {name:>28}: {value:>14.3}  DRIFT (batched kernel slower than its reference)");
+        failed = true;
+    }
     // Context only — wall-clock workload time is not gated.
     if let (Some(&b), Some(&c)) = (
         baseline.get("table5_workload_ms"),
@@ -118,6 +138,18 @@ mod tests {
         assert_eq!(m.get("b"), Some(&2.5));
         assert_eq!(m.get("c"), Some(&-1000.0));
         assert!(!m.contains_key("suite"), "string values are skipped");
+    }
+
+    #[test]
+    fn speedup_ratios_below_one_are_drift() {
+        let m = parse_metrics(
+            r#"{"evac_speedup_vs_reference": 1.2, "ssb_filter_speedup_vs_reference": 0.980,
+                "stack_scan_speedup_vs_reference": 1.0, "table5_parallel_speedup": 0.5}"#,
+        );
+        let drift = speedup_drift(&m);
+        assert_eq!(drift.len(), 1, "only the sub-1.0 reference ratio drifts");
+        assert_eq!(drift[0].0, "ssb_filter_speedup_vs_reference");
+        assert!((drift[0].1 - 0.980).abs() < 1e-9);
     }
 
     #[test]

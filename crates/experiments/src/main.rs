@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! experiments <table1..table7|figure2|extensions|all> [--scale N] [--csv DIR]
-//! experiments bench-json [--out FILE]
+//! experiments bench-json [--out FILE] [--workers N]
 //! experiments bench-compare [--baseline FILE] [--candidate FILE]
 //!                           [--max-regress-pct N]
 //! experiments gc-log [--bench NAME] [--plan LABEL] [--out-dir DIR]
@@ -11,12 +11,15 @@
 //! ```
 //!
 //! `bench-json` runs the fixed wall-clock GC-throughput suite and
-//! writes a machine-readable baseline (default `BENCH_pr4.json`); it is
+//! writes a machine-readable baseline (default `BENCH_pr6.json`); it is
 //! not part of `all`, whose outputs are deterministic simulated cycles.
+//! `--workers N` sizes the parallel lane of the Table 5 workload (and is
+//! recorded in the baseline alongside the host's core count).
 //! `bench-compare` gates a candidate baseline (default
-//! `BENCH_nightly.json`) against a reference (default `BENCH_pr4.json`),
+//! `BENCH_nightly.json`) against a reference (default `BENCH_pr6.json`),
 //! failing if any kernel throughput regressed more than the allowed
-//! percentage (default 25).
+//! percentage (default 25) or any batched kernel drifted below its
+//! scalar reference path.
 //! `gc-log` runs one benchmark (default `Checksum`) under one collector
 //! (default `gen+markers`) with the telemetry recorder attached, prints
 //! an ASCII per-collection phase timeline and per-site survival table,
@@ -41,10 +44,11 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Option<String> = None;
     let mut scale: u32 = 1;
-    let mut out = "BENCH_pr4.json".to_string();
-    let mut baseline = "BENCH_pr4.json".to_string();
+    let mut out = "BENCH_pr6.json".to_string();
+    let mut baseline = "BENCH_pr6.json".to_string();
     let mut candidate = "BENCH_nightly.json".to_string();
     let mut max_regress_pct = 25.0f64;
+    let mut workers: usize = 4;
     let mut csv_sink = csv::CsvSink::disabled();
     let mut bench = "Checksum".to_string();
     let mut plan = "gen+markers".to_string();
@@ -126,6 +130,16 @@ fn main() -> ExitCode {
                 out_dir = dir.clone();
             }
             "--validate" => validate = true,
+            "--workers" => {
+                i += 1;
+                workers = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(w) if w >= 1 => w,
+                    _ => {
+                        eprintln!("--workers needs a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
             "--scale" => {
                 i += 1;
                 scale = match args.get(i).and_then(|s| s.parse().ok()) {
@@ -161,7 +175,7 @@ fn main() -> ExitCode {
         "table7" => tables::table7(scale, &csv_sink),
         "figure2" => tables::figure2(scale),
         "extensions" => extensions::all(scale),
-        "bench-json" => bench_json::run(&out),
+        "bench-json" => bench_json::run(&out, workers),
         other => {
             eprintln!(
                 "unknown experiment {other:?}; expected table1..table7, figure2, extensions, \

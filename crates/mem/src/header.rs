@@ -146,8 +146,8 @@ impl Header {
 
     /// Builds a forwarding header pointing at the copied object.
     #[inline]
-    pub fn forward(to: Addr) -> Header {
-        Header(KIND_FORWARD | (u64::from(to.raw()) << 2))
+    pub const fn forward(to: Addr) -> Header {
+        Header(KIND_FORWARD | ((to.raw() as u64) << 2))
     }
 
     /// Reinterprets a raw memory word as a header.

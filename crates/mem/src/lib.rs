@@ -15,8 +15,12 @@
 //! * bump-allocated [`Space`]s out of which collectors carve semispaces,
 //!   nurseries, tenured areas and pretenured regions.
 //!
-//! Addresses are indices, not machine pointers, so the whole simulation is
-//! safe Rust and fully deterministic.
+//! Addresses are indices, not machine pointers, so the simulation is
+//! safe Rust and fully deterministic — with one audited exception: the
+//! [`SharedMemView`] module reinterprets the word array as atomics so
+//! parallel collection workers can claim and forward objects with CAS.
+//! That cast is the only `unsafe` in the workspace and is confined to a
+//! single function with compile-time layout guards.
 //!
 //! [`records`]: ObjectKind::Record
 //!
@@ -37,7 +41,7 @@
 //! assert_eq!(obj.site(), site);
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod addr;
@@ -45,6 +49,7 @@ mod error;
 mod header;
 mod memory;
 pub mod object;
+mod shared;
 mod site;
 mod space;
 
@@ -53,6 +58,7 @@ pub use error::{AllocKind, BudgetSnapshot, GcError, MemError};
 pub use header::{Header, ObjectKind, MAX_PTR_MASK_FIELDS, MAX_RECORD_FIELDS};
 pub use memory::{Memory, WordWindow, WORD_BYTES};
 pub use object::Obj;
+pub use shared::SharedMemView;
 pub use site::SiteId;
 pub use space::{Space, SpaceRange};
 

@@ -218,6 +218,14 @@ impl Memory {
         let i = addr.index();
         self.words[i..i + len].fill(value);
     }
+
+    /// Opens a shared, atomic view over the whole address space for
+    /// parallel collection workers. The `&mut` receiver guarantees no
+    /// non-atomic access can alias the view for its lifetime.
+    #[inline]
+    pub fn shared_view(&mut self) -> crate::SharedMemView<'_> {
+        crate::SharedMemView::new(&mut self.words)
+    }
 }
 
 /// A mutable view of a contiguous word range, bounds-checked once at

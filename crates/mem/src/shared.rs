@@ -1,0 +1,218 @@
+//! A shared, atomic view of the simulated address space for parallel
+//! collection.
+//!
+//! Parallel tracing workers race to *claim* from-space objects: the
+//! winner installs a busy sentinel in the object's header with a CAS,
+//! copies the payload, then publishes the forwarding pointer with a
+//! release store. Losers spin until the forwarding pointer appears. That
+//! protocol needs atomic access to the word array, which the safe
+//! [`Memory`](crate::Memory) accessors cannot provide — so this module
+//! reinterprets the exclusively borrowed `&mut [u64]` as `&[AtomicU64]`.
+//!
+//! This is the only `unsafe` code in the workspace. It is sound because:
+//!
+//! * `AtomicU64` is `repr(transparent)` over `u64` with identical size
+//!   and alignment (checked at compile time below), and
+//! * the view is constructed from a `&mut` borrow, so for its lifetime
+//!   no non-atomic access to the same words can exist.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{Addr, Header};
+
+const _: () = assert!(std::mem::size_of::<u64>() == std::mem::size_of::<AtomicU64>());
+const _: () = assert!(std::mem::align_of::<u64>() == std::mem::align_of::<AtomicU64>());
+
+/// An atomic window over the whole simulated address space.
+///
+/// Copyable and `Sync`: every parallel worker holds the same view. All
+/// accessors take absolute [`Addr`]s, like the `Memory` equivalents.
+///
+/// Plain data words use relaxed ordering — each is written by exactly
+/// one worker (the claim winner for a copy, the sole scanner of a gray
+/// object for a field update). Headers of from-space objects are the
+/// contended words and use the claim/publish protocol:
+/// [`try_claim`](SharedMemView::try_claim) (acquire-release CAS to the
+/// [`BUSY`](SharedMemView::BUSY) sentinel) and
+/// [`publish`](SharedMemView::publish) (release store of the forwarding
+/// header), observed via
+/// [`load_header_acquire`](SharedMemView::load_header_acquire).
+#[derive(Clone, Copy, Debug)]
+pub struct SharedMemView<'m> {
+    words: &'m [AtomicU64],
+}
+
+impl<'m> SharedMemView<'m> {
+    /// The busy sentinel a claiming worker installs between winning the
+    /// CAS and publishing the real forwarding pointer: a forwarding
+    /// header whose target is null. No real forwarding header ever
+    /// points at null, so readers can distinguish "claimed, copy in
+    /// flight" from "forwarded".
+    pub const BUSY: u64 = Header::forward(Addr::NULL).raw();
+
+    /// Builds the view over an exclusively borrowed word array.
+    #[allow(unsafe_code)]
+    pub(crate) fn new(words: &'m mut [u64]) -> SharedMemView<'m> {
+        let len = words.len();
+        let ptr = words.as_mut_ptr().cast::<AtomicU64>();
+        // SAFETY: AtomicU64 has the same size and alignment as u64
+        // (compile-time asserts above), and `words` is a unique `&mut`
+        // borrow, so handing the range out as shared atomics cannot
+        // race with any non-atomic access for the view's lifetime.
+        let atoms = unsafe { std::slice::from_raw_parts(ptr, len) };
+        SharedMemView { words: atoms }
+    }
+
+    /// Number of words in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Reads the word at `addr` (relaxed).
+    #[inline]
+    pub fn load(&self, addr: Addr) -> u64 {
+        debug_assert!(!addr.is_null(), "read through null address");
+        self.words[addr.index()].load(Ordering::Relaxed)
+    }
+
+    /// Writes the word at `addr` (relaxed).
+    #[inline]
+    pub fn store(&self, addr: Addr, value: u64) {
+        debug_assert!(!addr.is_null(), "write through null address");
+        self.words[addr.index()].store(value, Ordering::Relaxed);
+    }
+
+    /// Reads the raw header word at `addr` with acquire ordering, so a
+    /// forwarding header observed here makes the copied payload behind
+    /// it visible too.
+    #[inline]
+    pub fn load_header_acquire(&self, addr: Addr) -> u64 {
+        debug_assert!(!addr.is_null(), "read through null address");
+        self.words[addr.index()].load(Ordering::Acquire)
+    }
+
+    /// Attempts to claim the object at `addr` for forwarding: CAS its
+    /// header from `expected` to [`BUSY`](SharedMemView::BUSY).
+    ///
+    /// # Errors
+    ///
+    /// On failure returns the header word actually present — either
+    /// `BUSY` (another worker is mid-copy; spin on
+    /// [`load_header_acquire`](SharedMemView::load_header_acquire)) or
+    /// a published forwarding header.
+    #[inline]
+    pub fn try_claim(&self, addr: Addr, expected: u64) -> Result<(), u64> {
+        debug_assert!(!addr.is_null(), "claim through null address");
+        self.words[addr.index()]
+            .compare_exchange(expected, Self::BUSY, Ordering::AcqRel, Ordering::Acquire)
+            .map(|_| ())
+    }
+
+    /// Publishes a header word at `addr` with release ordering. The
+    /// claim winner calls this with the forwarding header once the
+    /// payload copy is complete.
+    #[inline]
+    pub fn publish(&self, addr: Addr, header: u64) {
+        debug_assert!(!addr.is_null(), "publish through null address");
+        self.words[addr.index()].store(header, Ordering::Release);
+    }
+
+    /// Copies `len` words from `src` to `dst` (relaxed element-wise).
+    /// Used by the parallel copy step: the destination is private to
+    /// the claiming worker until [`publish`](SharedMemView::publish).
+    pub fn copy_words(&self, src: Addr, dst: Addr, len: usize) {
+        debug_assert!(len == 0 || (!src.is_null() && !dst.is_null()));
+        let (s, d) = (src.index(), dst.index());
+        for i in 0..len {
+            self.words[d + i].store(self.words[s + i].load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_sentinel_is_a_null_forward() {
+        let h = Header::from_raw(SharedMemView::BUSY);
+        assert!(h.is_forward());
+        assert!(h.forward_addr().unwrap().is_null());
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        let mut words = vec![0u64; 8];
+        let view = SharedMemView::new(&mut words);
+        assert_eq!(view.len(), 8);
+        assert!(!view.is_empty());
+        view.store(Addr::new(3), 0xfeed);
+        assert_eq!(view.load(Addr::new(3)), 0xfeed);
+        assert_eq!(words[3], 0xfeed, "writes land in the backing array");
+    }
+
+    #[test]
+    fn claim_then_publish_protocol() {
+        let mut words = vec![0u64; 8];
+        let h = Header::record(2, 0b01, crate::SiteId::new(1))
+            .unwrap()
+            .raw();
+        words[2] = h;
+        let view = SharedMemView::new(&mut words);
+        view.try_claim(Addr::new(2), h).expect("first claim wins");
+        assert_eq!(
+            view.try_claim(Addr::new(2), h),
+            Err(SharedMemView::BUSY),
+            "second claim sees the busy sentinel"
+        );
+        let fwd = Header::forward(Addr::new(5)).raw();
+        view.publish(Addr::new(2), fwd);
+        assert_eq!(view.load_header_acquire(Addr::new(2)), fwd);
+    }
+
+    #[test]
+    fn copy_words_moves_payload() {
+        let mut words = vec![0u64; 16];
+        for (i, w) in words.iter_mut().enumerate().take(5).skip(1) {
+            *w = 10 + i as u64;
+        }
+        let view = SharedMemView::new(&mut words);
+        view.copy_words(Addr::new(1), Addr::new(9), 4);
+        assert_eq!(view.load(Addr::new(9)), 11);
+        assert_eq!(view.load(Addr::new(12)), 14);
+    }
+
+    #[test]
+    fn concurrent_claims_elect_one_winner() {
+        let mut words = vec![0u64; 64];
+        let h = Header::record(1, 0, crate::SiteId::new(3)).unwrap().raw();
+        for w in words.iter_mut().skip(1) {
+            *w = h;
+        }
+        let view = SharedMemView::new(&mut words);
+        let wins: Vec<usize> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(move || {
+                        let mut won = 0usize;
+                        for i in 1..64u32 {
+                            if view.try_claim(Addr::new(i), h).is_ok() {
+                                won += 1;
+                            }
+                        }
+                        won
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|t| t.join().unwrap()).collect()
+        });
+        assert_eq!(wins.iter().sum::<usize>(), 63, "each word claimed once");
+    }
+}

@@ -74,6 +74,11 @@ pub struct Space {
     range: SpaceRange,
     limit: Addr,
     next: Addr,
+    /// Words below the frontier that hold no live data: tails of
+    /// per-worker bump chunks abandoned by a parallel collection.
+    /// Subtracted from [`used_words`](Space::used_words) so live-size
+    /// accounting matches a serial collection of the same heap.
+    slack: usize,
 }
 
 impl Space {
@@ -84,6 +89,7 @@ impl Space {
             range,
             limit: range.end,
             next: range.start,
+            slack: 0,
         }
     }
 
@@ -153,9 +159,19 @@ impl Space {
         self.range.contains(addr)
     }
 
-    /// Words allocated since the last [`reset`](Space::reset).
+    /// Words of live data allocated since the last
+    /// [`reset`](Space::reset): the distance to the frontier minus any
+    /// parallel-collection [slack](Space::note_slack).
     #[inline]
     pub fn used_words(&self) -> usize {
+        (self.next - self.range.start) - self.slack
+    }
+
+    /// Words physically consumed up to the frontier, counting abandoned
+    /// chunk tails. This is what the limit clamp and occupancy checks
+    /// must use; resize policy uses the live [`used_words`](Space::used_words).
+    #[inline]
+    fn physical_used_words(&self) -> usize {
         self.next - self.range.start
     }
 
@@ -180,7 +196,9 @@ impl Space {
     /// Moves the logical limit to `words` words past the start, clamped to
     /// the reserved range and never below the current frontier.
     pub fn set_limit_words(&mut self, words: usize) {
-        let clamped = words.min(self.range.words()).max(self.used_words());
+        let clamped = words
+            .min(self.range.words())
+            .max(self.physical_used_words());
         self.limit = self.range.start + clamped;
     }
 
@@ -188,6 +206,45 @@ impl Space {
     /// become logically dead (collectors poison them in debug builds).
     pub fn reset(&mut self) {
         self.next = self.range.start;
+        self.slack = 0;
+    }
+
+    /// Records `words` of dead space below the frontier — the abandoned
+    /// tail of a parallel worker's bump chunk. Excluded from
+    /// [`used_words`](Space::used_words) so live-size accounting stays
+    /// identical to a serial collection.
+    pub fn note_slack(&mut self, words: usize) {
+        debug_assert!(
+            self.slack + words <= self.physical_used_words(),
+            "slack {} + {words} exceeds physical use {}",
+            self.slack,
+            self.physical_used_words()
+        );
+        self.slack += words;
+    }
+
+    /// Slack words recorded since the last [`reset`](Space::reset).
+    #[inline]
+    pub fn slack_words(&self) -> usize {
+        self.slack
+    }
+
+    /// Advances the allocation frontier to `addr` — how a parallel
+    /// collection syncs a shared atomic cursor back into the space after
+    /// its workers join.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is behind the current frontier or past the
+    /// logical limit.
+    pub fn advance_frontier(&mut self, addr: Addr) {
+        assert!(
+            addr >= self.next && addr <= self.limit,
+            "frontier {addr} outside [{}, {}]",
+            self.next,
+            self.limit
+        );
+        self.next = addr;
     }
 }
 
@@ -266,6 +323,40 @@ mod tests {
         assert!(s.contains(a));
         assert!(s.contains(a + 15)); // unallocated but reserved
         assert!(!s.contains(a + 16));
+    }
+
+    #[test]
+    fn slack_is_excluded_from_used_but_not_free() {
+        let mut s = space(100);
+        s.alloc(40).unwrap();
+        s.note_slack(10);
+        assert_eq!(s.used_words(), 30, "live size excludes chunk tails");
+        assert_eq!(s.slack_words(), 10);
+        assert_eq!(s.free_words(), 60, "free space is physical");
+        // The limit clamp must respect the physical frontier, not the
+        // slack-adjusted live size.
+        s.set_limit_words(35);
+        assert_eq!(s.capacity_words(), 40);
+        s.reset();
+        assert_eq!(s.slack_words(), 0);
+        assert_eq!(s.used_words(), 0);
+    }
+
+    #[test]
+    fn advance_frontier_syncs_parallel_cursor() {
+        let mut s = space(64);
+        let a = s.alloc(4).unwrap();
+        s.advance_frontier(a + 20);
+        assert_eq!(s.used_words(), 20);
+        assert_eq!(s.alloc(1).unwrap(), a + 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn advance_frontier_rejects_retreat() {
+        let mut s = space(64);
+        let a = s.alloc(8).unwrap();
+        s.advance_frontier(a + 4);
     }
 
     #[test]

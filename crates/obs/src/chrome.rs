@@ -208,6 +208,8 @@ mod tests {
                 wall_ns: 30,
                 size_hist: Hist::default(),
                 depth_hist: Hist::default(),
+                workers: 1,
+                worker_copied_bytes: Vec::new(),
             })),
         ]
     }

@@ -48,6 +48,20 @@ impl Obj {
         self
     }
 
+    fn nums(mut self, key: &str, values: &[u64]) -> Obj {
+        self.out.push(',');
+        escape_into(&mut self.out, key);
+        self.out.push_str(":[");
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            self.out.push_str(&v.to_string());
+        }
+        self.out.push(']');
+        self
+    }
+
     fn hist(mut self, key: &str, hist: &Hist) -> Obj {
         self.out.push(',');
         escape_into(&mut self.out, key);
@@ -144,7 +158,9 @@ fn phase_line(e: &PhaseSpan) -> String {
 }
 
 fn end_line(e: &CollectionEnd) -> String {
-    Obj::new("collection-end")
+    // Worker fields appear only on parallel collections, so a serial
+    // (workers = 1) trace stays byte-identical to pre-scheduler output.
+    let mut obj = Obj::new("collection-end")
         .num("collection", e.collection)
         .bool("major", e.major)
         .num("depth", e.depth)
@@ -164,8 +180,13 @@ fn end_line(e: &CollectionEnd) -> String {
         .num("live_bytes_after", e.live_bytes_after)
         .num("wall_ns", e.wall_ns)
         .hist("size_hist", &e.size_hist)
-        .hist("depth_hist", &e.depth_hist)
-        .finish()
+        .hist("depth_hist", &e.depth_hist);
+    if e.workers > 1 {
+        obj = obj
+            .num("workers", e.workers)
+            .nums("worker_copied_bytes", &e.worker_copied_bytes);
+    }
+    obj.finish()
 }
 
 fn pressure_begin_line(e: &PressureBegin) -> String {
@@ -291,10 +312,25 @@ mod tests {
             wall_ns: 100,
             size_hist,
             depth_hist: Hist::default(),
+            workers: 1,
+            worker_copied_bytes: Vec::new(),
         };
         let v = parse(&end_line(&e)).unwrap();
         let hist = v.get("size_hist").unwrap().as_array().unwrap();
         assert_eq!(hist.len(), crate::HIST_BUCKETS);
         assert_eq!(hist[5].as_u64(), Some(1), "16 lands in [16,32)");
+        assert!(
+            v.get("workers").is_none(),
+            "serial end line carries no worker fields"
+        );
+
+        let mut par = e.clone();
+        par.workers = 2;
+        par.worker_copied_bytes = vec![48, 16];
+        let v = parse(&end_line(&par)).unwrap();
+        assert_eq!(v.get("workers").unwrap().as_u64(), Some(2));
+        let per = v.get("worker_copied_bytes").unwrap().as_array().unwrap();
+        assert_eq!(per.len(), 2);
+        assert_eq!(per[0].as_u64(), Some(48));
     }
 }

@@ -224,6 +224,14 @@ pub struct CollectionEnd {
     /// Snapshot of the run-cumulative histogram of stack depth at
     /// collection time.
     pub depth_hist: Hist,
+    /// Number of GC workers that ran this collection (1 on the serial
+    /// lane). The JSONL sink emits worker fields only when this is > 1,
+    /// keeping serial traces byte-identical to pre-scheduler runs.
+    pub workers: u64,
+    /// Bytes copied by each worker, in worker-index order (empty on the
+    /// serial lane). Sums exactly to `copied_bytes`; the schema
+    /// validator checks the identity.
+    pub worker_copied_bytes: Vec<u64>,
 }
 
 /// Per-allocation-site counters accumulated since the previous sample

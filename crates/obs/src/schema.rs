@@ -11,6 +11,7 @@ enum Ty {
     Bool,
     Str,
     Hist,
+    U64Array,
 }
 
 fn require(v: &Value, fields: &[(&str, Ty)]) -> Result<(), String> {
@@ -23,6 +24,9 @@ fn require(v: &Value, fields: &[(&str, Ty)]) -> Result<(), String> {
             Ty::Hist => field
                 .as_array()
                 .is_some_and(|a| a.len() == HIST_BUCKETS && a.iter().all(|b| b.as_u64().is_some())),
+            Ty::U64Array => field
+                .as_array()
+                .is_some_and(|a| a.iter().all(|b| b.as_u64().is_some())),
         };
         if !ok {
             return Err(format!("field {key:?} has wrong type"));
@@ -116,9 +120,12 @@ pub fn validate_line(line: &str) -> Result<(), String> {
                 Err(format!("unknown phase {name:?}"))
             }
         }),
-        "collection-end" => require(
-            &v,
-            &[
+        "collection-end" => {
+            // Worker fields are optional-together: serial collections
+            // omit both, parallel collections carry both plus the
+            // copied-bytes reconciliation identity.
+            let parallel = v.get("workers").is_some() || v.get("worker_copied_bytes").is_some();
+            let mut fields = vec![
                 ("collection", Ty::U64),
                 ("major", Ty::Bool),
                 ("depth", Ty::U64),
@@ -139,18 +146,44 @@ pub fn validate_line(line: &str) -> Result<(), String> {
                 ("wall_ns", Ty::U64),
                 ("size_hist", Ty::Hist),
                 ("depth_hist", Ty::Hist),
-            ],
-        )
-        .and_then(|()| {
-            let claimed = v.get("claimed_prefix").unwrap().as_u64().unwrap();
-            let oracle = v.get("oracle_prefix").unwrap().as_u64().unwrap();
-            if claimed > oracle {
-                return Err(format!(
-                    "claimed_prefix {claimed} exceeds oracle bound {oracle}"
-                ));
+            ];
+            if parallel {
+                fields.push(("workers", Ty::U64));
+                fields.push(("worker_copied_bytes", Ty::U64Array));
             }
-            Ok(())
-        }),
+            require(&v, &fields).and_then(|()| {
+                let claimed = v.get("claimed_prefix").unwrap().as_u64().unwrap();
+                let oracle = v.get("oracle_prefix").unwrap().as_u64().unwrap();
+                if claimed > oracle {
+                    return Err(format!(
+                        "claimed_prefix {claimed} exceeds oracle bound {oracle}"
+                    ));
+                }
+                if parallel {
+                    let workers = v.get("workers").unwrap().as_u64().unwrap();
+                    if workers < 2 {
+                        return Err(format!(
+                            "worker fields present but workers is {workers} (< 2)"
+                        ));
+                    }
+                    let per = v.get("worker_copied_bytes").unwrap().as_array().unwrap();
+                    if per.len() as u64 != workers {
+                        return Err(format!(
+                            "worker_copied_bytes has {} entries for {workers} workers",
+                            per.len()
+                        ));
+                    }
+                    let sum: u64 = per.iter().map(|b| b.as_u64().unwrap()).sum();
+                    let copied = v.get("copied_bytes").unwrap().as_u64().unwrap();
+                    if sum != copied {
+                        return Err(format!(
+                            "worker_copied_bytes sum {sum} != copied_bytes {copied}"
+                        ));
+                    }
+                }
+                Ok(())
+            })
+        }
         "site-sample" => require(
             &v,
             &[
@@ -467,6 +500,42 @@ mod tests {
         ];
         for (what, line) in bad {
             assert!(validate_line(line).is_err(), "{what} should be rejected");
+        }
+    }
+
+    #[test]
+    fn collection_end_worker_fields_are_optional_together_and_reconciled() {
+        let base = "{\"type\":\"collection-end\",\"collection\":1,\"major\":false,\"depth\":0,\"claimed_prefix\":0,\"oracle_prefix\":0,\"copied_bytes\":64,\"scanned_words\":0,\"pretenured_scanned_words\":0,\"roots_found\":0,\"frames_scanned\":0,\"frames_reused\":0,\"slots_scanned\":0,\"barrier_entries\":0,\"markers_placed\":0,\"gc_cycles\":5,\"end_cycles\":5,\"live_bytes_after\":0,\"wall_ns\":0,\"size_hist\":[0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0],\"depth_hist\":[0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0]";
+        let serial = format!("{base}}}");
+        validate_line(&serial).expect("serial end line valid without worker fields");
+
+        let parallel = format!("{base},\"workers\":2,\"worker_copied_bytes\":[48,16]}}");
+        validate_line(&parallel).expect("parallel end line valid");
+
+        let bad = [
+            (
+                "workers without per-worker array",
+                format!("{base},\"workers\":2}}"),
+            ),
+            (
+                "per-worker array without workers",
+                format!("{base},\"worker_copied_bytes\":[64]}}"),
+            ),
+            (
+                "workers below 2",
+                format!("{base},\"workers\":1,\"worker_copied_bytes\":[64]}}"),
+            ),
+            (
+                "array length mismatch",
+                format!("{base},\"workers\":3,\"worker_copied_bytes\":[48,16]}}"),
+            ),
+            (
+                "sum mismatch",
+                format!("{base},\"workers\":2,\"worker_copied_bytes\":[48,17]}}"),
+            ),
+        ];
+        for (what, line) in bad {
+            assert!(validate_line(&line).is_err(), "{what} should be rejected");
         }
     }
 

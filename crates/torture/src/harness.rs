@@ -50,6 +50,13 @@ pub enum Fault {
     /// typed outcome — a caught `HeapOverflow` or a clean
     /// `VmExit::OutOfMemory` — never a panic.
     OomAlloc,
+    /// Perturb the parallel scheduler: packets are deterministically
+    /// permuted and odd-numbered workers drain the shared queue LIFO.
+    /// Unlike the other faults this is *not* a defect — the scheduler
+    /// contract says packet order is invisible, so the expected outcome
+    /// is a clean run; any divergence it surfaces is a real scheduler
+    /// bug (hidden ordering dependence). No-op on serial lanes.
+    PacketReorder,
 }
 
 /// One torture run's parameters.
@@ -71,6 +78,10 @@ pub struct TortureConfig {
     pub check_stride: usize,
     /// Optional injected defect.
     pub fault: Option<Fault>,
+    /// Parallel GC worker count. With `workers > 1` every plan runs
+    /// *two* lanes in lockstep — the serial oracle and an N-worker lane
+    /// — and the cross-lane graph diff covers both.
+    pub workers: usize,
 }
 
 impl Default for TortureConfig {
@@ -83,6 +94,7 @@ impl Default for TortureConfig {
             plans: CollectorKind::ALL.to_vec(),
             check_stride: 16,
             fault: None,
+            workers: 1,
         }
     }
 }
@@ -96,6 +108,8 @@ pub struct Divergence {
     pub op_index: usize,
     /// Label of the plan that failed or diverged.
     pub plan: &'static str,
+    /// Worker count of the failing lane (1 = the serial oracle).
+    pub workers: usize,
     /// What went wrong.
     pub detail: String,
     /// The trace that reproduces the failure (minimized by
@@ -107,8 +121,8 @@ impl fmt::Display for Divergence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "seed {}: plan {} failed at op {}: {}",
-            self.seed, self.plan, self.op_index, self.detail
+            "seed {}: plan {} (workers {}) failed at op {}: {}",
+            self.seed, self.plan, self.workers, self.op_index, self.detail
         )?;
         writeln!(f, "reproducing trace ({} ops):", self.trace.len())?;
         for (i, op) in self.trace.iter().enumerate() {
@@ -121,15 +135,20 @@ impl fmt::Display for Divergence {
 /// One plan's VM plus its driver state.
 struct Lane {
     kind: CollectorKind,
+    workers: usize,
     vm: Vm,
     driver: OpDriver,
 }
 
-fn build_lane(kind: CollectorKind, cfg: &TortureConfig) -> Lane {
+fn build_lane(kind: CollectorKind, workers: usize, cfg: &TortureConfig) -> Lane {
     let mut gc = GcConfig::new()
         .heap_budget_bytes(cfg.heap_budget_bytes)
         .nursery_bytes(cfg.nursery_bytes)
-        .large_object_bytes(cfg.large_object_bytes);
+        .large_object_bytes(cfg.large_object_bytes)
+        .workers(workers);
+    if cfg.fault == Some(Fault::PacketReorder) {
+        gc = gc.packet_reorder(true);
+    }
     if kind == CollectorKind::GenerationalStackPretenure {
         // Pretenure a spread of the driver's sites: two pointer-carrying
         // record sites, the pointer-free record site (the §7.2 no-scan
@@ -148,7 +167,12 @@ fn build_lane(kind: CollectorKind, cfg: &TortureConfig) -> Lane {
         vm.mutator_mut().barrier = WriteBarrier::None;
     }
     let driver = OpDriver::install(&mut vm);
-    Lane { kind, vm, driver }
+    Lane {
+        kind,
+        workers,
+        vm,
+        driver,
+    }
 }
 
 fn panic_msg(payload: &(dyn std::any::Any + Send)) -> String {
@@ -191,6 +215,7 @@ fn diverge(
     seed: u64,
     op_index: usize,
     plan: &'static str,
+    workers: usize,
     detail: String,
     ops: &[VmOp],
 ) -> Divergence {
@@ -198,6 +223,7 @@ fn diverge(
         seed,
         op_index,
         plan,
+        workers,
         detail,
         trace: ops.to_vec(),
     }
@@ -215,6 +241,7 @@ fn diff_lanes(seed: u64, op_index: usize, lanes: &[Lane], ops: &[VmOp]) -> Optio
                     seed,
                     op_index,
                     lane.kind.label(),
+                    lane.workers,
                     format!("snapshot walk panicked: {}", panic_msg(&*p)),
                     ops,
                 ))
@@ -228,6 +255,7 @@ fn diff_lanes(seed: u64, op_index: usize, lanes: &[Lane], ops: &[VmOp]) -> Optio
                         seed,
                         op_index,
                         lane.kind.label(),
+                        lane.workers,
                         format!(
                             "reachable graph diverged from {} ({} vs {} snapshot words)",
                             base_label,
@@ -279,7 +307,17 @@ pub enum RunOutcome {
 /// `ops` itself (unminimized).
 pub fn run_ops_outcome(seed: u64, ops: &[VmOp], cfg: &TortureConfig) -> RunOutcome {
     assert!(!cfg.plans.is_empty(), "at least one plan required");
-    let mut lanes: Vec<Lane> = cfg.plans.iter().map(|&k| build_lane(k, cfg)).collect();
+    assert!(cfg.workers >= 1, "worker count must be positive");
+    // With workers > 1, every plan contributes a serial-oracle lane AND
+    // an N-worker lane; the graph diff then covers serial-vs-parallel
+    // within each plan as well as the cross-plan comparison.
+    let mut lanes: Vec<Lane> = Vec::new();
+    for &k in &cfg.plans {
+        lanes.push(build_lane(k, 1, cfg));
+        if cfg.workers > 1 {
+            lanes.push(build_lane(k, cfg.workers, cfg));
+        }
+    }
     let stride = cfg.check_stride.max(1);
     let inject_at = (cfg.fault == Some(Fault::OomAlloc) && !ops.is_empty())
         .then(|| (splitmix(seed) % ops.len() as u64) as usize);
@@ -304,6 +342,7 @@ pub fn run_ops_outcome(seed: u64, ops: &[VmOp], cfg: &TortureConfig) -> RunOutco
                         seed,
                         i,
                         lane.kind.label(),
+                        lane.workers,
                         format!("panic executing {op:?}: {}", panic_msg(&*p)),
                         ops,
                     ));
@@ -341,6 +380,7 @@ pub fn run_ops_outcome(seed: u64, ops: &[VmOp], cfg: &TortureConfig) -> RunOutco
                     seed,
                     i,
                     lane.kind.label(),
+                    lane.workers,
                     format!("oracle check failed after collection: {}", panic_msg(&*p)),
                     ops,
                 ));
@@ -399,6 +439,7 @@ fn skewed_accounting_check(
             seed,
             op_index,
             lane.kind.label(),
+            lane.workers,
             format!("injected accounting skew caught: {}", panic_msg(&*p)),
             ops,
         )),
@@ -406,6 +447,7 @@ fn skewed_accounting_check(
             seed,
             op_index,
             lane.kind.label(),
+            lane.workers,
             "injected accounting skew NOT caught by check_inspection".to_string(),
             ops,
         )),
@@ -430,7 +472,7 @@ pub fn failure_telemetry(d: &Divergence, cfg: &TortureConfig) -> String {
         return format!("--- telemetry replay ---\nunknown plan {:?}\n", d.plan);
     };
     let _quiet = QuietPanics::new();
-    let mut lane = build_lane(kind, cfg);
+    let mut lane = build_lane(kind, d.workers.max(1), cfg);
     lane.vm
         .set_recorder(Box::new(tilgc_obs::RingRecorder::with_capacity(1 << 16)));
     for &op in &d.trace {
@@ -548,15 +590,16 @@ mod tests {
     #[test]
     fn lanes_start_identical() {
         let cfg = TortureConfig::default();
-        let lanes: Vec<Lane> = cfg.plans.iter().map(|&k| build_lane(k, &cfg)).collect();
+        let lanes: Vec<Lane> = cfg.plans.iter().map(|&k| build_lane(k, 1, &cfg)).collect();
         assert!(diff_lanes(0, 0, &lanes, &[]).is_none());
     }
 
     #[test]
     fn divergence_display_includes_trace() {
-        let d = diverge(9, 1, "semispace", "boom".into(), &[VmOp::Gc, VmOp::Pop]);
+        let d = diverge(9, 1, "semispace", 4, "boom".into(), &[VmOp::Gc, VmOp::Pop]);
         let s = d.to_string();
         assert!(s.contains("seed 9"));
+        assert!(s.contains("workers 4"));
         assert!(s.contains("Gc"));
         assert!(s.contains("Pop"));
     }

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! torture [--seeds A..B|N] [--ops N] [--plans L,L,...] [--stride N]
-//!         [--nursery-sweep] [--inject drop-barrier|skew-copied|oom-alloc]
+//!         [--workers N] [--nursery-sweep]
+//!         [--inject drop-barrier|skew-copied|oom-alloc|packet-reorder]
 //!         [--budget-sweep] [--failure-out PATH]
 //! ```
 //!
@@ -35,9 +36,13 @@ const USAGE: &str = "usage: torture [options]
   --plans L,L,...      plan labels to run in lockstep (default all four:
                        semispace,generational,gen+markers,gen+markers+pretenure)
   --stride N           diff cross-plan snapshots every N ops (default 16)
+  --workers N          run each plan twice in lockstep: the serial oracle
+                       and an N-worker parallel lane (default 1: serial only)
   --nursery-sweep      repeat the sweep at 2 KB, 4 KB and 16 KB nurseries
   --inject FAULT       plant a defect the harness must catch:
                        drop-barrier | skew-copied | oom-alloc
+                       or a perturbation that must stay invisible:
+                       packet-reorder (needs --workers > 1 to bite)
   --budget-sweep       binary-search each seed's minimal surviving heap
                        budget and print the frontier
   --failure-out PATH   write the minimized failure report to PATH
@@ -48,6 +53,7 @@ struct Args {
     ops: usize,
     plans: Vec<CollectorKind>,
     stride: usize,
+    workers: usize,
     nursery_sweep: bool,
     inject: Option<Fault>,
     budget_sweep: bool,
@@ -94,6 +100,7 @@ fn parse_args() -> Result<Args, String> {
         ops: 512,
         plans: CollectorKind::ALL.to_vec(),
         stride: 16,
+        workers: 1,
         nursery_sweep: false,
         inject: None,
         budget_sweep: false,
@@ -115,12 +122,21 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "bad --stride value".to_string())?;
             }
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "bad --workers value".to_string())?;
+                if args.workers == 0 {
+                    return Err("--workers must be positive".to_string());
+                }
+            }
             "--nursery-sweep" => args.nursery_sweep = true,
             "--inject" => {
                 args.inject = Some(match value("--inject")?.as_str() {
                     "drop-barrier" => Fault::DropBarrier,
                     "skew-copied" => Fault::SkewCopied,
                     "oom-alloc" => Fault::OomAlloc,
+                    "packet-reorder" => Fault::PacketReorder,
                     other => return Err(format!("unknown fault: {other}")),
                 });
             }
@@ -158,10 +174,11 @@ fn main() -> ExitCode {
             plans: args.plans.clone(),
             check_stride: args.stride,
             fault: args.inject,
+            workers: args.workers,
             ..TortureConfig::default()
         };
         eprintln!(
-            "torture: nursery {} KB, seeds {}..{}, {} ops, plans [{}]{}",
+            "torture: nursery {} KB, seeds {}..{}, {} ops, plans [{}]{}{}",
             nursery >> 10,
             args.seeds.start,
             args.seeds.end,
@@ -171,6 +188,11 @@ fn main() -> ExitCode {
                 .map(|k| k.label())
                 .collect::<Vec<_>>()
                 .join(", "),
+            if cfg.workers > 1 {
+                format!(", serial + {}-worker lanes", cfg.workers)
+            } else {
+                String::new()
+            },
             match cfg.fault {
                 Some(f) => format!(", injected fault {f:?}"),
                 None => String::new(),

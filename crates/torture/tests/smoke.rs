@@ -34,6 +34,31 @@ fn fixed_seeds_run_clean_with_a_tiny_nursery() {
     }
 }
 
+/// Serial-vs-parallel lockstep: with `workers = 4`, every plan runs a
+/// serial-oracle lane and a 4-worker lane side by side; the graph diff
+/// must stay silent, with and without the packet-reorder perturbation.
+#[test]
+fn parallel_lanes_match_serial_oracle() {
+    let cfg = TortureConfig {
+        workers: 4,
+        ..smoke_config()
+    };
+    for seed in [0, 1, 2, 17, 42] {
+        if let Some(d) = run_seed(seed, &cfg) {
+            panic!("serial/parallel divergence:\n{d}");
+        }
+    }
+    let reordered = TortureConfig {
+        fault: Some(Fault::PacketReorder),
+        ..cfg
+    };
+    for seed in [3, 23] {
+        if let Some(d) = run_seed(seed, &reordered) {
+            panic!("packet reorder broke lockstep:\n{d}");
+        }
+    }
+}
+
 /// Disabling the write barrier on the generational lanes loses
 /// old-to-young pointers: the oracle (or the cross-plan diff) must
 /// report it, and the shrinker must hand back a reduced trace.
