@@ -2,20 +2,25 @@
 //! code against the pre-batching reference paths retained under
 //! `tilgc-core`'s `kernel-ref` feature.
 //!
-//! Three groups, one per kernel:
+//! Five groups, one per kernel:
 //!
 //! * `evac_kernel` — batched field scan (slice snapshot + pointer-mask
 //!   bit walk) vs the per-field header-decode loop;
 //! * `stack_scan_kernel` — precompiled trace bitmaps vs the per-slot
 //!   `Trace` match;
 //! * `ssb_filter` — sort/dedup store-buffer filtering vs forwarding every
-//!   recorded entry.
+//!   recorded entry;
+//! * `barrier_filter` — branch-free side-bitmap dirty test-and-set plus
+//!   bulk retire vs the scalar test-branch-set filter plus per-object
+//!   clear walk;
+//! * `bulk_clear` — the memset-style side-metadata word sweep over a
+//!   64 MB heap range.
 //!
 //! Both sides of each pair perform identical simulated-cost bookkeeping,
 //! so the wall-clock ratio isolates the kernel change.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use tilgc_bench::kernels::{EvacRig, SsbRig, StackRig};
+use tilgc_bench::kernels::{BarrierRig, BulkClearRig, EvacRig, SsbRig, StackRig};
 
 fn evac_kernel(c: &mut Criterion) {
     let mut group = c.benchmark_group("evac_kernel");
@@ -50,5 +55,30 @@ fn ssb_filter(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(kernels, evac_kernel, stack_scan_kernel, ssb_filter);
+fn barrier_filter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("barrier_filter");
+    let mut rig = BarrierRig::new();
+    group.bench_function("batched", |b| b.iter(|| black_box(rig.filter_pass())));
+    let mut rig = BarrierRig::new();
+    group.bench_function("reference", |b| {
+        b.iter(|| black_box(rig.filter_pass_reference()))
+    });
+    group.finish();
+}
+
+fn bulk_clear(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bulk_clear");
+    let mut rig = BulkClearRig::new();
+    group.bench_function("sweep_64mb", |b| b.iter(|| black_box(rig.clear_pass())));
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    evac_kernel,
+    stack_scan_kernel,
+    ssb_filter,
+    barrier_filter,
+    bulk_clear
+);
 criterion_main!(kernels);

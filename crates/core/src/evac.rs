@@ -31,10 +31,9 @@
 //! default) never touches any of that machinery and remains the
 //! byte-identical oracle.
 
-use std::sync::Mutex;
-
 use tilgc_mem::{
-    object, Addr, Header, Memory, ObjectKind, SharedMemView, Space, SpaceRange, MAX_RECORD_FIELDS,
+    object, Addr, Header, Memory, ObjectKind, SharedMemView, SideBitmap, SideMetaView, Space,
+    SpaceRange, MAX_RECORD_FIELDS,
 };
 use tilgc_obs::TelemetryAcc;
 use tilgc_runtime::{CostModel, GcStats, HeapProfile, MutatorState};
@@ -317,6 +316,7 @@ impl<'a> Evacuator<'a> {
             }
             let words = h.size_words();
             let new_age = h.age().saturating_add(1);
+            let site = self.mem.site_of(addr);
             let dest = match self.survivor.as_deref_mut() {
                 Some(survivor) if new_age < self.tenure_age && survivor.fits(words) => survivor,
                 _ => &mut *self.to,
@@ -325,11 +325,12 @@ impl<'a> Evacuator<'a> {
                 .alloc(words)
                 .unwrap_or_else(|_| panic!("to-space overflow: heap budget exhausted"));
             self.mem.copy_words(addr, new, words);
-            // Survivors age by one collection; the dirty bit does not
-            // survive a copy (the barrier that set it is drained in the
-            // same collection).
-            let new_h = h.with_age(new_age).with_dirty(false);
-            object::set_header(self.mem, new, new_h);
+            // Survivors age by one collection. The dirty bit lives in
+            // the side bitmap now and stays behind at the old address
+            // (bulk-cleared when the space is vacated); the site tag is
+            // the one piece of side metadata that moves with the object.
+            object::set_header(self.mem, new, h.with_age(new_age));
+            self.mem.set_site(new, site);
             object::set_header(self.mem, addr, Header::forward(new));
             let bytes = h.size_bytes();
             self.stats.copied_bytes += bytes as u64;
@@ -349,13 +350,13 @@ impl<'a> Evacuator<'a> {
                     p.on_copy(addr, new, bytes, from_nursery);
                 }
                 if let Some(t) = self.telem.as_deref_mut() {
-                    t.note_copy(h.site().get(), bytes as u64, from_nursery);
+                    t.note_copy(site.get(), bytes as u64, from_nursery);
                 }
             }
             new
         } else {
-            if let Some(los) = self.los.as_deref_mut() {
-                if los.contains(addr) && los.mark(addr) {
+            if let Some(los) = self.los.as_deref() {
+                if los.contains(addr) && los.mark(self.mem, addr) {
                     self.stats.copy_cycles += self.cost.large_object_visit;
                     self.queue.push(addr);
                 }
@@ -524,18 +525,17 @@ impl<'a> Evacuator<'a> {
         }
     }
 
-    /// Processes one object-marking barrier entry: clears the dirty bit
-    /// and scans the object's fields in place. If the object was already
-    /// evacuated (its copy is scanned by the Cheney drain, with a clean
-    /// dirty bit), nothing is needed.
+    /// Processes one object-marking barrier entry: clears the side dirty
+    /// bit and scans the object's fields in place. If the object was
+    /// already evacuated (its copy is scanned by the Cheney drain, and
+    /// the stale bit at the old address is bulk-cleared when the space
+    /// is vacated), nothing is needed.
     pub fn clear_dirty_and_scan(&mut self, obj: Addr) {
         let h = object::header(self.mem, obj);
         if h.is_forward() {
             return;
         }
-        if h.is_dirty() {
-            object::set_header(self.mem, obj, h.with_dirty(false));
-        }
+        self.mem.clear_dirty(obj);
         self.stats.copy_cycles += self.cost.region_scan_per_word * h.size_words() as u64;
         self.scan_fields(obj, h);
     }
@@ -572,7 +572,7 @@ impl<'a> Evacuator<'a> {
     /// buffer is charged per *recorded* entry by the caller, exactly as
     /// before, so `GcStats` is unchanged.
     pub fn forward_field_locs(&mut self, locs: &mut Vec<Addr>) {
-        sort_dedup_addrs(locs);
+        sort_dedup_addrs_via(Some(self.mem.ssb_scratch_mut()), locs);
         if self.parallel() && !locs.is_empty() {
             self.par_forward_field_locs(locs);
             return;
@@ -685,8 +685,8 @@ impl<'a> Evacuator<'a> {
             }
             holds_young |= self.in_survivor(new_child);
             if let Some(p) = self.profile.as_deref_mut() {
-                let child_site = object::header(self.mem, new_child).site();
-                p.on_edge(h.site(), child_site);
+                let child_site = self.mem.site_of(new_child);
+                p.on_edge(self.mem.site_of(addr), child_site);
             }
         }
         if changed {
@@ -725,8 +725,8 @@ impl<'a> Evacuator<'a> {
                 }
                 holds_young |= self.in_survivor(new_child);
                 if let Some(p) = self.profile.as_deref_mut() {
-                    let child_site = object::header(self.mem, new_child).site();
-                    p.on_edge(h.site(), child_site);
+                    let child_site = self.mem.site_of(new_child);
+                    p.on_edge(self.mem.site_of(addr), child_site);
                 }
             }
             if changed {
@@ -762,8 +762,8 @@ impl<'a> Evacuator<'a> {
             }
             holds_young |= self.in_survivor(new_child);
             if let Some(p) = self.profile.as_deref_mut() {
-                let child_site = object::header(self.mem, new_child).site();
-                p.on_edge(h.site(), child_site);
+                let child_site = self.mem.site_of(new_child);
+                p.on_edge(self.mem.site_of(addr), child_site);
             }
         }
         if owner_is_old && holds_young {
@@ -778,8 +778,8 @@ impl<'a> Evacuator<'a> {
     }
 
     /// Runs one parallel section: spawns `workers` scoped threads over a
-    /// freshly built [`ParShared`] context (atomic memory view, shared
-    /// to-space cursor, mutexed large-object space), then merges the
+    /// freshly built [`ParShared`] context (atomic memory view, atomic
+    /// side-metadata view, shared to-space cursor), then merges the
     /// per-worker deltas back into `GcStats` *in worker-index order* —
     /// so the merged totals are independent of thread interleaving.
     ///
@@ -796,6 +796,7 @@ impl<'a> Evacuator<'a> {
         let frontier = self.to.frontier();
         let limit = frontier + self.to.free_words();
         let telem_on = self.telem.is_some();
+        let (view, side) = self.mem.shared_views();
         let shared = ParShared {
             cursor: SharedCursor::new(frontier, limit),
             from: self.from,
@@ -805,8 +806,9 @@ impl<'a> Evacuator<'a> {
             cost: self.cost,
             workers,
             telem_on,
-            los: self.los.as_deref_mut().map(Mutex::new),
-            view: self.mem.shared_view(),
+            los: self.los.as_deref(),
+            view,
+            side,
         };
         let outcomes: Vec<(R, WorkerDelta, usize)> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
@@ -846,11 +848,14 @@ impl<'a> Evacuator<'a> {
 }
 
 /// The immutable context every worker of one parallel section shares:
-/// the atomic memory view, the section's to-space cursor, the from-range
-/// membership data, and the (mutexed) large-object space. All tracing
-/// state a worker mutates lives in its own [`WorkerDelta`].
+/// the atomic memory view, the atomic side-metadata view (mark bitmap +
+/// site bytemap), the section's to-space cursor, the from-range
+/// membership data, and a read-only borrow of the large-object space
+/// (its mark state lives in the side bitmap, so marking needs no lock).
+/// All tracing state a worker mutates lives in its own [`WorkerDelta`].
 struct ParShared<'s> {
     view: SharedMemView<'s>,
+    side: SideMetaView<'s>,
     cursor: SharedCursor,
     from: &'s [SpaceRange],
     from_hull: SpaceRange,
@@ -859,7 +864,7 @@ struct ParShared<'s> {
     cost: CostModel,
     workers: usize,
     telem_on: bool,
-    los: Option<Mutex<&'s mut LargeObjectSpace>>,
+    los: Option<&'s LargeObjectSpace>,
 }
 
 impl ParShared<'_> {
@@ -900,9 +905,11 @@ impl ParShared<'_> {
             return addr;
         }
         if !self.in_from(addr) {
-            if let Some(los) = &self.los {
-                let mut los = los.lock().unwrap();
-                if los.contains(addr) && los.mark(addr) {
+            if let Some(los) = self.los {
+                // Lock-free large-object marking: the mark bit lives in
+                // the atomic side bitmap, so workers race on a fetch_or
+                // and exactly one wins the scan.
+                if los.contains(addr) && self.side.mark_test_and_set(addr) {
                     delta.copy_cycles += self.cost.large_object_visit;
                     delta.large_marked += 1;
                     delta.gray.push(addr);
@@ -933,8 +940,12 @@ impl ParShared<'_> {
             // payload copy skips word 0 and the copy's header is written
             // directly from the claimed value.
             self.view.copy_words(addr + 1usize, new + 1usize, words - 1);
-            let new_h = h.with_age(h.age().saturating_add(1)).with_dirty(false);
+            let new_h = h.with_age(h.age().saturating_add(1));
             self.view.store(new, new_h.raw());
+            // The site tag moves with the object; the copy must be
+            // visible before the forwarding header is published, which
+            // the release store below guarantees.
+            self.side.copy_site(addr, new);
             self.view.publish(addr, Header::forward(new).raw());
             let bytes = h.size_bytes() as u64;
             delta.copied_bytes += bytes;
@@ -943,7 +954,7 @@ impl ParShared<'_> {
                 let from_nursery = self.nursery.is_some_and(|n| n.contains(addr));
                 delta
                     .telem_copies
-                    .push((h.site().get(), bytes, from_nursery));
+                    .push((self.side.site_of(addr).get(), bytes, from_nursery));
             }
             delta.gray.push(new);
             return new;
@@ -1018,7 +1029,19 @@ const RADIX_SORT_MIN: usize = 2048;
 ///   kernel;
 /// * sparse batches of [`RADIX_SORT_MIN`] or more entries radix-sort;
 /// * small sparse batches comparison-sort.
+#[cfg(test)]
 fn sort_dedup_addrs(locs: &mut Vec<Addr>) {
+    sort_dedup_addrs_via(None, locs);
+}
+
+/// The `scratch` is an optional persistent bitmap for the dense path.
+/// The evacuator passes the heap's side-metadata SSB scratch bitmap, so
+/// dense batches dedup with **zero allocation** — the bitmap is sized to
+/// the address space and already resident. Callers without a scratch (or
+/// batches whose addresses exceed its capacity) fall back to a
+/// span-sized temporary bitmap. Both paths emit the same ascending
+/// unique sequence.
+fn sort_dedup_addrs_via(scratch: Option<&mut SideBitmap>, locs: &mut Vec<Addr>) {
     let n = locs.len();
     if n < 2 {
         return;
@@ -1030,6 +1053,16 @@ fn sort_dedup_addrs(locs: &mut Vec<Addr>) {
     }
     let span = (hi - lo) as usize + 1;
     if span / 64 < n {
+        if let Some(scratch) = scratch {
+            if (hi as usize) < scratch.bit_capacity() {
+                for &a in locs.iter() {
+                    scratch.set(a);
+                }
+                locs.clear();
+                scratch.drain_sorted(Addr::new(lo), Addr::new(hi), locs);
+                return;
+            }
+        }
         let mut bits = vec![0u64; span.div_ceil(64)];
         for &a in locs.iter() {
             let off = (a.raw() - lo) as usize;
@@ -1270,8 +1303,7 @@ mod tests {
     fn copies_age_and_lose_dirty_bit() {
         let mut r = rig(64);
         let a = object::alloc_record(&mut r.mem, &mut r.from, SiteId::new(1), &[0], 0).unwrap();
-        let h = object::header(&r.mem, a).with_dirty(true);
-        object::set_header(&mut r.mem, a, h);
+        r.mem.set_dirty(a);
         let from_ranges = [r.from.range()];
         let mut ev = Evacuator::new(
             &mut r.mem,
@@ -1286,7 +1318,19 @@ mod tests {
         let new = ev.forward(a);
         let nh = object::header(&r.mem, new);
         assert_eq!(nh.age(), 1);
-        assert!(!nh.is_dirty());
+        assert!(
+            !r.mem.is_dirty(new),
+            "side dirty bit stays at the old address"
+        );
+        assert_eq!(
+            r.mem.site_of(new),
+            SiteId::new(1),
+            "site tag moves with the copy"
+        );
+        assert!(
+            r.mem.is_dirty(a),
+            "the stale from-space bit is the plan's to bulk-clear at vacate time"
+        );
     }
 
     #[test]
@@ -1302,14 +1346,15 @@ mod tests {
         // ...pointed to by a large pointer array in the LOS.
         let big_words = 1 + 300;
         let big = los.alloc(big_words).unwrap();
-        let h = Header::ptr_array(300, SiteId::new(2)).unwrap();
+        let h = Header::ptr_array(300).unwrap();
         object::set_header(&mut mem, big, h);
+        mem.set_site(big, SiteId::new(2));
         for i in 0..300 {
             object::set_field(&mut mem, big, i, 0);
         }
         object::set_field(&mut mem, big, 7, u64::from(small.raw()));
 
-        los.begin_marking();
+        los.begin_marking(&mut mem);
         let from_ranges = [from.range()];
         let mut ev = Evacuator::new(
             &mut mem,
@@ -1330,7 +1375,7 @@ mod tests {
         assert!(to.contains(new_small));
         assert_eq!(object::field(&mem, new_small, 0), 5);
         assert_eq!(
-            los.sweep().len(),
+            los.sweep(&mem).len(),
             0,
             "marked large object survives the sweep"
         );
@@ -1470,6 +1515,40 @@ mod tests {
             sort_dedup_addrs(&mut v);
             assert_eq!(v, expect);
         }
+    }
+
+    #[test]
+    fn sort_dedup_scratch_bitmap_path_matches_temp_vec_path() {
+        let mut mem = Memory::with_capacity_words(1 << 16);
+        let mut state = 0x9e37_79b9u32;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            state
+        };
+        for round in 0..20 {
+            // Dense cluster inside the heap: the scratch path triggers.
+            let base = 1 + rng() % 60_000;
+            let mut v: Vec<Addr> = (0..500 + round * 37)
+                .map(|_| Addr::new(base + rng() % 400))
+                .collect();
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            expect.dedup();
+            sort_dedup_addrs_via(Some(mem.ssb_scratch_mut()), &mut v);
+            assert_eq!(v, expect, "scratch path diverged in round {round}");
+        }
+        // The scratch must be left all-clear between batches: a second
+        // batch over a disjoint range sees no leftover bits.
+        let mut v = vec![Addr::new(40), Addr::new(41), Addr::new(40), Addr::new(45)];
+        sort_dedup_addrs_via(Some(mem.ssb_scratch_mut()), &mut v);
+        assert_eq!(v, vec![Addr::new(40), Addr::new(41), Addr::new(45)]);
+        // Addresses beyond the scratch's capacity fall back cleanly.
+        let big = Addr::new((1 << 16) + 64);
+        let mut v = vec![big, Addr::new(1 << 16), big];
+        sort_dedup_addrs_via(Some(mem.ssb_scratch_mut()), &mut v);
+        assert_eq!(v, vec![Addr::new(1 << 16), big]);
     }
 
     /// Builds a linked list + shared diamond in from-space and returns
@@ -1652,16 +1731,13 @@ mod tests {
         let mut stats = GcStats::default();
         let small = object::alloc_record(&mut mem, &mut from, SiteId::new(1), &[5], 0).unwrap();
         let big = los.alloc(301).unwrap();
-        object::set_header(
-            &mut mem,
-            big,
-            Header::ptr_array(300, SiteId::new(2)).unwrap(),
-        );
+        object::set_header(&mut mem, big, Header::ptr_array(300).unwrap());
+        mem.set_site(big, SiteId::new(2));
         for i in 0..300 {
             object::set_field(&mut mem, big, i, 0);
         }
         object::set_field(&mut mem, big, 7, u64::from(small.raw()));
-        los.begin_marking();
+        los.begin_marking(&mut mem);
         let from_ranges = [from.range()];
         let mut ev = Evacuator::new(
             &mut mem,
@@ -1680,7 +1756,7 @@ mod tests {
         let new_small = object::ptr_field(&mem, big, 7);
         assert!(to.contains(new_small));
         assert_eq!(object::field(&mem, new_small, 0), 5);
-        assert_eq!(los.sweep().len(), 0, "marked large object survives");
+        assert_eq!(los.sweep(&mem).len(), 0, "marked large object survives");
     }
 
     #[test]

@@ -120,12 +120,27 @@ impl GenerationalPlan {
         let los_phys = budget_words;
         let capacity = 2 * nursery_words + 2 * tenured_phys + los_phys + 32;
         let mut mem = Memory::with_capacity_words(capacity);
-        let n0 = Space::new(mem.reserve(nursery_words).expect("nursery reservation"));
-        let n1 = Space::new(mem.reserve(nursery_words).expect("nursery reservation"));
-        let t0 = Space::new(mem.reserve(tenured_phys).expect("tenured reservation"));
-        let t1 = Space::new(mem.reserve(tenured_phys).expect("tenured reservation"));
+        let n0 = Space::new(
+            mem.reserve_owned(nursery_words, "nursery")
+                .expect("nursery reservation"),
+        );
+        let n1 = Space::new(
+            mem.reserve_owned(nursery_words, "nursery")
+                .expect("nursery reservation"),
+        );
+        let t0 = Space::new(
+            mem.reserve_owned(tenured_phys, "tenured")
+                .expect("tenured reservation"),
+        );
+        let t1 = Space::new(
+            mem.reserve_owned(tenured_phys, "tenured")
+                .expect("tenured reservation"),
+        );
         let los = (config.large_object_bytes > 0).then(|| {
-            LargeObjectSpace::new(mem.reserve(los_phys).expect("large-object reservation"))
+            LargeObjectSpace::new(
+                mem.reserve_owned(los_phys, "los")
+                    .expect("large-object reservation"),
+            )
         });
         let mut c = GenerationalPlan {
             mem,
@@ -230,6 +245,7 @@ impl GenerationalPlan {
 
     /// Finishes a collection's telemetry: phase spans, the end event,
     /// and the per-site samples accumulated since the last collection.
+    #[allow(clippy::too_many_arguments)]
     fn end_telemetry(
         &mut self,
         m: &mut MutatorState,
@@ -238,6 +254,7 @@ impl GenerationalPlan {
         wall_ns: u64,
         workers: u64,
         worker_copied: Vec<u64>,
+        side_cleared_words: u64,
     ) {
         let Some(timer) = timer else { return };
         let collection = self.stats.collections;
@@ -257,6 +274,8 @@ impl GenerationalPlan {
                 wall_ns,
                 workers,
                 worker_copied,
+                self.mem.owned_chunks() as u64,
+                side_cleared_words,
             ))));
         for e in telem.drain_samples(collection) {
             m.recorder.record(e);
@@ -266,6 +285,7 @@ impl GenerationalPlan {
     fn minor(&mut self, m: &mut MutatorState, reason: &'static str) {
         let wall_start = Instant::now();
         let stats_before = self.stats;
+        let side_cleared_before = self.mem.side_cleared_words();
         let depth_at_gc = m.stack.depth();
         let mut timer = self.begin_telemetry(m, reason, false, depth_at_gc);
         let mut los_pending = self.take_los_pending();
@@ -420,6 +440,10 @@ impl GenerationalPlan {
             nursery_frontier,
         );
         poison_range(&mut self.mem, nursery_range, nursery_frontier);
+        // Vacating the nursery invalidates every side dirty bit in it in
+        // one word sweep — fresh allocations at reused addresses must
+        // start clean or the object-marking barrier would skip them.
+        self.mem.bulk_clear_dirty(nursery_range);
         self.nursery.active_mut().reset();
         if self.tenure_threshold > 0 {
             // Flip: allocation continues in the space now holding the
@@ -451,6 +475,7 @@ impl GenerationalPlan {
             self.tenure_threshold == 0,
             scan_claim,
         ));
+        let side_cleared = self.mem.side_cleared_words() - side_cleared_before;
         self.end_telemetry(
             m,
             timer,
@@ -458,12 +483,14 @@ impl GenerationalPlan {
             total_ns,
             workers_used,
             worker_copied,
+            side_cleared,
         );
     }
 
     fn major(&mut self, m: &mut MutatorState, reason: &'static str) {
         let wall_start = Instant::now();
         let stats_before = self.stats;
+        let side_cleared_before = self.mem.side_cleared_words();
         let depth_at_gc = m.stack.depth();
         let mut timer = self.begin_telemetry(m, reason, true, depth_at_gc);
         self.stats.collections += 1;
@@ -498,7 +525,7 @@ impl GenerationalPlan {
         let tenured_from = self.tenured_live_range();
         let from_ranges = [nursery_range, tenured_from];
         if let Some(l) = self.los.as_mut() {
-            l.begin_marking();
+            l.begin_marking(&mut self.mem);
             l.pending_scan.clear();
         }
         let t_to = self.tenured.inactive_mut();
@@ -572,7 +599,7 @@ impl GenerationalPlan {
             tenured_from.end,
         );
         if let Some(l) = self.los.as_mut() {
-            let swept = l.sweep();
+            let swept = l.sweep(&self.mem);
             if let Some(p) = self.profile.as_mut() {
                 for addr in swept {
                     p.on_death(addr);
@@ -581,8 +608,13 @@ impl GenerationalPlan {
         }
 
         poison_range(&mut self.mem, nursery_range, nursery_frontier);
+        self.mem.bulk_clear_dirty(nursery_range);
         self.nursery.active_mut().reset();
+        let tenured_full = self.tenured.active().range();
         poison_range(&mut self.mem, tenured_from, tenured_from.end);
+        // The vacated tenured semispace sheds its barrier dirty bits in
+        // one sweep; the next major's copies land on clean metadata.
+        self.mem.bulk_clear_dirty(tenured_full);
         self.tenured.active_mut().reset();
         self.tenured.flip();
 
@@ -638,6 +670,7 @@ impl GenerationalPlan {
             true,
             scan_claim,
         ));
+        let side_cleared = self.mem.side_cleared_words() - side_cleared_before;
         self.end_telemetry(
             m,
             timer,
@@ -645,6 +678,7 @@ impl GenerationalPlan {
             total_ns,
             workers_used,
             worker_copied,
+            side_cleared,
         );
     }
 

@@ -9,6 +9,13 @@
 //! Blocks are handed out first-fit from a free list with coalescing of
 //! adjacent frees; large objects are few, so the lists stay short.
 //!
+//! Mark state lives in the heap's side mark bitmap
+//! ([`Memory::mark_test_and_set`]), not in per-object bookkeeping:
+//! [`begin_marking`](LargeObjectSpace::begin_marking) is one bulk clear
+//! over the space's reservation, and parallel tracing workers mark
+//! through the atomic [`SideMetaView`](tilgc_mem::SideMetaView) without
+//! taking a lock.
+//!
 //! In the space/plan layering this is the
 //! [`CopySemantics::MarkSweep`](crate::CopySemantics::MarkSweep) policy:
 //! the generational plans route oversized allocations here, and the
@@ -17,13 +24,12 @@
 
 use std::collections::BTreeMap;
 
-use tilgc_mem::{Addr, SpaceRange};
+use tilgc_mem::{Addr, Memory, SpaceRange};
 
-/// Per-object bookkeeping.
+/// Per-object bookkeeping (the mark bit lives in the side bitmap).
 #[derive(Clone, Copy, Debug)]
 struct LargeObj {
     words: usize,
-    marked: bool,
 }
 
 /// The mark-sweep large-object space.
@@ -100,47 +106,37 @@ impl LargeObjectSpace {
             self.frontier += words;
             a
         };
-        self.objects.insert(
-            addr.raw(),
-            LargeObj {
-                words,
-                marked: false,
-            },
-        );
+        self.objects.insert(addr.raw(), LargeObj { words });
         self.used_words += words;
         Some(addr)
     }
 
-    /// Clears all mark bits (start of a major collection).
-    pub fn begin_marking(&mut self) {
-        for obj in self.objects.values_mut() {
-            obj.marked = false;
-        }
+    /// Clears all mark bits (start of a major collection): one bulk
+    /// sweep over the side bitmap words covering the reservation.
+    pub fn begin_marking(&self, mem: &mut Memory) {
+        mem.bulk_clear_marks(self.range);
     }
 
-    /// Marks the object at `addr` as reachable. Returns `true` the first
-    /// time (the caller must then scan the object's fields).
+    /// Marks the object at `addr` as reachable via the side mark bitmap.
+    /// Returns `true` the first time (the caller must then scan the
+    /// object's fields).
     ///
     /// # Panics
     ///
     /// Panics if `addr` is not a live large object.
-    pub fn mark(&mut self, addr: Addr) -> bool {
-        let obj = self
-            .objects
-            .get_mut(&addr.raw())
-            .expect("mark of unknown large object");
-        let first = !obj.marked;
-        obj.marked = true;
-        first
+    pub fn mark(&self, mem: &mut Memory, addr: Addr) -> bool {
+        assert!(self.contains(addr), "mark of unknown large object");
+        mem.mark_test_and_set(addr)
     }
 
-    /// Sweeps unmarked objects, returning their addresses (for death
-    /// profiling) and freeing their blocks.
-    pub fn sweep(&mut self) -> Vec<Addr> {
+    /// Sweeps unmarked objects (their side mark bit is still clear),
+    /// returning their addresses (for death profiling) and freeing their
+    /// blocks.
+    pub fn sweep(&mut self, mem: &Memory) -> Vec<Addr> {
         let dead: Vec<(u32, usize)> = self
             .objects
             .iter()
-            .filter(|(_, o)| !o.marked)
+            .filter(|&(&a, _)| !mem.is_marked(Addr::new(a)))
             .map(|(&a, o)| (a, o.words))
             .collect();
         let mut swept = Vec::with_capacity(dead.len());
@@ -188,14 +184,15 @@ mod tests {
     use super::*;
     use tilgc_mem::Memory;
 
-    fn los(words: usize) -> LargeObjectSpace {
+    fn los(words: usize) -> (Memory, LargeObjectSpace) {
         let mut mem = Memory::with_capacity_words(words + 1);
-        LargeObjectSpace::new(mem.reserve(words).unwrap())
+        let l = LargeObjectSpace::new(mem.reserve(words).unwrap());
+        (mem, l)
     }
 
     #[test]
     fn alloc_and_contains() {
-        let mut l = los(1000);
+        let (_mem, mut l) = los(1000);
         let a = l.alloc(100).unwrap();
         let b = l.alloc(200).unwrap();
         assert_ne!(a, b);
@@ -206,21 +203,21 @@ mod tests {
 
     #[test]
     fn alloc_failure_when_full() {
-        let mut l = los(100);
+        let (_mem, mut l) = los(100);
         assert!(l.alloc(60).is_some());
         assert!(l.alloc(60).is_none());
     }
 
     #[test]
     fn sweep_frees_unmarked_and_blocks_are_reusable() {
-        let mut l = los(300);
+        let (mut mem, mut l) = los(300);
         let a = l.alloc(100).unwrap();
         let b = l.alloc(100).unwrap();
         let c = l.alloc(100).unwrap();
-        l.begin_marking();
-        assert!(l.mark(b));
-        assert!(!l.mark(b), "second mark reports already-marked");
-        let dead = l.sweep();
+        l.begin_marking(&mut mem);
+        assert!(l.mark(&mut mem, b));
+        assert!(!l.mark(&mut mem, b), "second mark reports already-marked");
+        let dead = l.sweep(&mem);
         assert_eq!(dead.len(), 2);
         assert!(dead.contains(&a) && dead.contains(&c));
         assert_eq!(l.used_words(), 100);
@@ -232,14 +229,14 @@ mod tests {
 
     #[test]
     fn free_blocks_coalesce() {
-        let mut l = los(300);
+        let (mut mem, mut l) = los(300);
         let a = l.alloc(100).unwrap();
         let _b = l.alloc(100).unwrap();
         let c = l.alloc(100).unwrap();
-        l.begin_marking();
+        l.begin_marking(&mut mem);
         // Everything dies.
         let _ = c;
-        let dead = l.sweep();
+        let dead = l.sweep(&mem);
         assert_eq!(dead.len(), 3);
         // The three adjacent blocks coalesced: one 300-word alloc fits.
         let big = l.alloc(300).unwrap();
@@ -248,19 +245,31 @@ mod tests {
 
     #[test]
     fn survivors_keep_their_address() {
-        let mut l = los(300);
+        let (mut mem, mut l) = los(300);
         let a = l.alloc(128).unwrap();
-        l.begin_marking();
-        l.mark(a);
-        l.sweep();
+        l.begin_marking(&mut mem);
+        l.mark(&mut mem, a);
+        l.sweep(&mem);
         assert!(l.contains(a));
         assert_eq!(l.iter().collect::<Vec<_>>(), vec![a]);
     }
 
     #[test]
+    fn begin_marking_resets_stale_marks() {
+        let (mut mem, mut l) = los(300);
+        let a = l.alloc(64).unwrap();
+        l.begin_marking(&mut mem);
+        assert!(l.mark(&mut mem, a));
+        // A new marking round forgets the previous cycle's bits.
+        l.begin_marking(&mut mem);
+        assert!(!mem.is_marked(a));
+        assert!(l.mark(&mut mem, a), "re-mark wins after the bulk clear");
+    }
+
+    #[test]
     #[should_panic(expected = "unknown large object")]
     fn marking_unknown_address_panics() {
-        let mut l = los(100);
-        l.mark(Addr::new(5));
+        let (mut mem, l) = los(100);
+        l.mark(&mut mem, Addr::new(5));
     }
 }

@@ -63,8 +63,14 @@ impl SemispacePlan {
             config.heap_budget_bytes
         );
         let mut mem = Memory::with_capacity_words(budget_words + 16);
-        let a = Space::new(mem.reserve(semi).expect("semispace reservation"));
-        let b = Space::new(mem.reserve(semi).expect("semispace reservation"));
+        let a = Space::new(
+            mem.reserve_owned(semi, "semispace")
+                .expect("semispace reservation"),
+        );
+        let b = Space::new(
+            mem.reserve_owned(semi, "semispace")
+                .expect("semispace reservation"),
+        );
         SemispacePlan {
             mem,
             heap: CopySpace::new("semispace", CopySemantics::Evacuate, a, b),
@@ -117,6 +123,7 @@ impl SemispacePlan {
     fn do_collect(&mut self, m: &mut MutatorState, reason: &'static str) {
         let wall_start = Instant::now();
         let stats_before = self.stats;
+        let side_cleared_before = self.mem.side_cleared_words();
         let depth_at_gc = m.stack.depth();
         let mut timer = None;
         if m.recorder.is_enabled() {
@@ -212,6 +219,9 @@ impl SemispacePlan {
             from_frontier,
         );
         poison_range(&mut self.mem, from_range, from_frontier);
+        // The vacated half drops any barrier dirty bits an embedder set
+        // in one word sweep (the plan itself records none).
+        self.mem.bulk_clear_dirty(from_range);
         self.heap.active_mut().reset();
         self.heap.flip();
         let live_words = self.heap.active().used_words();
@@ -260,6 +270,8 @@ impl SemispacePlan {
                     total_ns,
                     workers_used,
                     worker_copied,
+                    self.mem.owned_chunks() as u64,
+                    self.mem.side_cleared_words() - side_cleared_before,
                 ))));
             for e in telem.drain_samples(collection) {
                 m.recorder.record(e);

@@ -26,6 +26,8 @@ pub(crate) fn build_collection_end(
     wall_ns: u64,
     workers: u64,
     worker_copied_bytes: Vec<u64>,
+    chunks_owned: u64,
+    side_cleared_words: u64,
 ) -> tilgc_obs::CollectionEnd {
     tilgc_obs::CollectionEnd {
         collection: insp.collection,
@@ -50,6 +52,8 @@ pub(crate) fn build_collection_end(
         depth_hist: telem.depth_hist,
         workers,
         worker_copied_bytes,
+        chunks_owned,
+        side_cleared_words,
     }
 }
 
@@ -92,26 +96,28 @@ pub(crate) fn build_inspection(
 /// by the `Vm` entry points before they reach a collector.
 pub(crate) fn materialize(mem: &mut Memory, addr: Addr, shape: AllocShape, buf: &[u64]) {
     match shape {
-        AllocShape::Record { site, len, mask } => {
-            let header = Header::record(len, mask, site).expect("record shape validated by Vm");
+        AllocShape::Record { len, mask, .. } => {
+            let header = Header::record(len, mask).expect("record shape validated by Vm");
             let words = mem.words_at_mut(addr, header.size_words());
             words[0] = header.raw();
             words[1..].copy_from_slice(&buf[..len]);
         }
-        AllocShape::PtrArray { site, len } => {
-            let header = Header::ptr_array(len, site).expect("array shape validated by Vm");
+        AllocShape::PtrArray { len, .. } => {
+            let header = Header::ptr_array(len).expect("array shape validated by Vm");
             let init = buf.first().copied().unwrap_or(0);
             let words = mem.words_at_mut(addr, header.size_words());
             words[0] = header.raw();
             words[1..].fill(init);
         }
-        AllocShape::RawArray { site, len_bytes } => {
-            let header = Header::raw_array(len_bytes, site).expect("array shape validated by Vm");
+        AllocShape::RawArray { len_bytes, .. } => {
+            let header = Header::raw_array(len_bytes).expect("array shape validated by Vm");
             let words = mem.words_at_mut(addr, header.size_words());
             words[0] = header.raw();
             words[1..].fill(0);
         }
     }
+    // The allocation site lives in the side bytemap, not the header.
+    mem.set_site(addr, shape.site());
 }
 
 /// Allocates and materializes an object in a bump space.

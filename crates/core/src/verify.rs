@@ -67,6 +67,10 @@ pub fn check_graph(mem: &Memory, roots: &[Addr]) -> LiveReport {
     let mut seen: HashSet<u32> = HashSet::new();
     let mut queue: VecDeque<Addr> = VecDeque::new();
     let mut live_roots = 0;
+    // Plans reserve every space with a chunk owner; when this heap did,
+    // every reachable object must sit in an owned chunk. (Bare test
+    // heaps with plain `reserve` skip the check.)
+    let check_chunk_owners = mem.owned_chunks() > 0;
     for &r in roots {
         if !r.is_null() {
             live_roots += 1;
@@ -95,6 +99,12 @@ pub fn check_graph(mem: &Memory, roots: &[Addr]) -> LiveReport {
         );
         objects += 1;
         bytes += h.size_bytes();
+        if check_chunk_owners {
+            assert!(
+                mem.chunk_owner(addr).is_some(),
+                "reachable object at {addr} lies in a chunk no space owns"
+            );
+        }
         if h.kind() != ObjectKind::RawArray {
             for i in 0..h.len() {
                 if !h.field_is_pointer(i) {
@@ -270,7 +280,7 @@ pub fn graph_snapshot(mem: &Memory, roots: &[Addr]) -> Vec<u64> {
             ObjectKind::PtrArray => 1,
             ObjectKind::RawArray => 2,
         });
-        out.push(u64::from(h.site().get()));
+        out.push(u64::from(mem.site_of(addr).get()));
         out.push(h.len() as u64);
         match h.kind() {
             ObjectKind::RawArray => {

@@ -76,11 +76,11 @@ proptest! {
                     }
                 }
                 LosOp::Collect => {
-                    los.begin_marking();
+                    los.begin_marking(&mut mem);
                     for &(a, _) in &retained {
-                        los.mark(a);
+                        los.mark(&mut mem, a);
                     }
-                    let swept = los.sweep();
+                    let swept = los.sweep(&mem);
                     // Exactly the transient objects die.
                     prop_assert_eq!(swept.len(), transient.len());
                     for a in &transient {
@@ -102,11 +102,11 @@ proptest! {
         // block of (capacity - live) words fits iff the retained blocks
         // leave a contiguous hole that big; at minimum, the tail hole
         // after the highest retained block must be allocatable.
-        los.begin_marking();
+        los.begin_marking(&mut mem);
         for &(a, _) in &retained {
-            los.mark(a);
+            los.mark(&mut mem, a);
         }
-        los.sweep();
+        los.sweep(&mem);
         let tail_start = retained
             .iter()
             .map(|&(a, w)| a + w)

@@ -1,12 +1,17 @@
 //! `experiments bench-json` — a fixed GC-throughput suite emitting a
-//! machine-readable baseline (`BENCH_pr6.json`).
+//! machine-readable baseline (`BENCH_pr7.json`).
 //!
-//! Five metric groups, all wall-clock (unlike the tables, which report
+//! Seven metric groups, all wall-clock (unlike the tables, which report
 //! deterministic simulated cycles):
 //!
 //! * evacuation-scan throughput in heap words per second,
 //! * stack-scan throughput in frames per second,
 //! * store-buffer filter throughput in entries per second,
+//! * write-barrier filter throughput in updates per second (the
+//!   branch-free side-bitmap dedup plus bulk retire, against the scalar
+//!   test-branch-set filter plus per-object clear walk),
+//! * side-metadata bulk-clear throughput in heap megabytes retired per
+//!   second,
 //! * the end-to-end Table 5 workload (the four headline benchmarks
 //!   under the generational collector with stack markers) in
 //!   milliseconds, serial,
@@ -15,10 +20,10 @@
 //!   throughput (copied MB per second of copy-phase wall time, divided
 //!   by the worker count).
 //!
-//! The three kernel metrics also record the batched-vs-reference
-//! speedup measured against the pre-batching scalar paths retained
-//! under `tilgc-core`'s `kernel-ref` feature, so a regression in the
-//! rewrites shows up as a ratio near (or below) 1.0.
+//! The kernel metrics also record the batched-vs-reference speedup
+//! measured against the pre-batching scalar paths retained under
+//! `tilgc-core`'s `kernel-ref` feature, so a regression in the rewrites
+//! shows up as a ratio near (or below) 1.0.
 //!
 //! The baseline records `workers` and `host_cores` so the nightly gate
 //! can tell an honest single-core measurement (parallel speedup near or
@@ -27,7 +32,7 @@
 
 use std::time::Instant;
 
-use tilgc_bench::kernels::{EvacRig, SsbRig, StackRig};
+use tilgc_bench::kernels::{BarrierRig, BulkClearRig, EvacRig, SsbRig, StackRig};
 use tilgc_bench::{bench_config, run_program, HEADLINERS};
 use tilgc_core::{build_vm, CollectorKind, GcConfig};
 
@@ -138,6 +143,42 @@ pub fn run(path: &str, workers: usize) {
     let ssb_speedup = ssb_reference / ssb_batched;
     println!("ssb filter:  {ssb_entries_per_sec:>14.0} entries/s {ssb_speedup:.2}x vs reference");
 
+    let mut rig = BarrierRig::new();
+    let mut barrier_recorded = 0u64;
+    let barrier_batched = median_pass_secs(
+        || {
+            barrier_recorded = std::hint::black_box(rig.filter_pass());
+        },
+        KERNEL_ITERS,
+    );
+    let mut rig_ref = BarrierRig::new();
+    let mut barrier_recorded_ref = 0u64;
+    let barrier_reference = median_pass_secs(
+        || {
+            barrier_recorded_ref = std::hint::black_box(rig_ref.filter_pass_reference());
+        },
+        KERNEL_ITERS,
+    );
+    assert_eq!(
+        barrier_recorded, barrier_recorded_ref,
+        "branch-free barrier filter diverged from the scalar reference"
+    );
+    let barrier_updates_per_sec = rig.updates_per_pass as f64 / barrier_batched;
+    let barrier_speedup = barrier_reference / barrier_batched;
+    println!(
+        "barrier:     {barrier_updates_per_sec:>14.0} updates/s {barrier_speedup:.2}x vs reference"
+    );
+
+    let mut rig = BulkClearRig::new();
+    let bulk_clear_secs = median_pass_secs(
+        || {
+            std::hint::black_box(rig.clear_pass());
+        },
+        KERNEL_ITERS,
+    );
+    let bulk_clear_mb_per_sec = rig.heap_mb_per_pass / bulk_clear_secs;
+    println!("bulk clear:  {bulk_clear_mb_per_sec:>14.0} MB/s      (heap MB of retired metadata)");
+
     // End-to-end: the Table 5 headline workload under the generational
     // collector with stack markers, at the standard benchmark scale.
     let config = bench_config(192 << 20);
@@ -191,7 +232,7 @@ pub fn run(path: &str, workers: usize) {
     );
 
     let json = format!(
-        "{{\n  \"suite\": \"gc-throughput-baseline\",\n  \"kernel_iters\": {KERNEL_ITERS},\n  \"workload_iters\": {WORKLOAD_ITERS},\n  \"workers\": {workers},\n  \"host_cores\": {host_cores},\n  \"metrics\": {{\n    \"evac_words_per_sec\": {evac_words_per_sec:.0},\n    \"evac_speedup_vs_reference\": {evac_speedup:.3},\n    \"stack_scan_frames_per_sec\": {stack_frames_per_sec:.0},\n    \"stack_scan_speedup_vs_reference\": {stack_speedup:.3},\n    \"ssb_filter_entries_per_sec\": {ssb_entries_per_sec:.0},\n    \"ssb_filter_speedup_vs_reference\": {ssb_speedup:.3},\n    \"table5_workload_ms\": {workload_ms:.3},\n    \"table5_workload_checksum\": {workload_checksum},\n    \"table5_parallel_workload_ms\": {par_ms:.3},\n    \"table5_parallel_speedup\": {par_speedup:.3},\n    \"par_copy_mb_per_sec_per_worker\": {par_copy_mb_per_sec_per_worker:.1}\n  }}\n}}\n"
+        "{{\n  \"suite\": \"gc-throughput-baseline\",\n  \"kernel_iters\": {KERNEL_ITERS},\n  \"workload_iters\": {WORKLOAD_ITERS},\n  \"workers\": {workers},\n  \"host_cores\": {host_cores},\n  \"metrics\": {{\n    \"evac_words_per_sec\": {evac_words_per_sec:.0},\n    \"evac_speedup_vs_reference\": {evac_speedup:.3},\n    \"stack_scan_frames_per_sec\": {stack_frames_per_sec:.0},\n    \"stack_scan_speedup_vs_reference\": {stack_speedup:.3},\n    \"ssb_filter_entries_per_sec\": {ssb_entries_per_sec:.0},\n    \"ssb_filter_speedup_vs_reference\": {ssb_speedup:.3},\n    \"barrier_filter_updates_per_sec\": {barrier_updates_per_sec:.0},\n    \"barrier_filter_speedup_vs_reference\": {barrier_speedup:.3},\n    \"bulk_clear_mb_per_sec\": {bulk_clear_mb_per_sec:.0},\n    \"table5_workload_ms\": {workload_ms:.3},\n    \"table5_workload_checksum\": {workload_checksum},\n    \"table5_parallel_workload_ms\": {par_ms:.3},\n    \"table5_parallel_speedup\": {par_speedup:.3},\n    \"par_copy_mb_per_sec_per_worker\": {par_copy_mb_per_sec_per_worker:.1}\n  }}\n}}\n"
     );
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),

@@ -3,7 +3,7 @@
 //!
 //! Reads the kernel-throughput metrics out of a baseline and a candidate
 //! JSON file (the nightly CI tier produces `BENCH_nightly.json` and
-//! compares it against the checked-in `BENCH_pr6.json`) and fails if any
+//! compares it against the checked-in `BENCH_pr7.json`) and fails if any
 //! throughput dropped by more than the allowed percentage, or if any
 //! `*_speedup_vs_reference` ratio in the candidate sits below 1.0 — a
 //! batched kernel slower than its scalar reference is drift no matter
@@ -18,10 +18,12 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 /// The gated metrics: higher is better for all of them.
-const GATED: [&str; 3] = [
+const GATED: [&str; 5] = [
     "evac_words_per_sec",
     "stack_scan_frames_per_sec",
     "ssb_filter_entries_per_sec",
+    "barrier_filter_updates_per_sec",
+    "bulk_clear_mb_per_sec",
 ];
 
 /// Extracts every `"key": <number>` pair from `text`. Nested objects

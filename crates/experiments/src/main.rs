@@ -11,12 +11,12 @@
 //! ```
 //!
 //! `bench-json` runs the fixed wall-clock GC-throughput suite and
-//! writes a machine-readable baseline (default `BENCH_pr6.json`); it is
+//! writes a machine-readable baseline (default `BENCH_pr7.json`); it is
 //! not part of `all`, whose outputs are deterministic simulated cycles.
 //! `--workers N` sizes the parallel lane of the Table 5 workload (and is
 //! recorded in the baseline alongside the host's core count).
 //! `bench-compare` gates a candidate baseline (default
-//! `BENCH_nightly.json`) against a reference (default `BENCH_pr6.json`),
+//! `BENCH_nightly.json`) against a reference (default `BENCH_pr7.json`),
 //! failing if any kernel throughput regressed more than the allowed
 //! percentage (default 25) or any batched kernel drifted below its
 //! scalar reference path.
@@ -44,8 +44,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Option<String> = None;
     let mut scale: u32 = 1;
-    let mut out = "BENCH_pr6.json".to_string();
-    let mut baseline = "BENCH_pr6.json".to_string();
+    let mut out = "BENCH_pr7.json".to_string();
+    let mut baseline = "BENCH_pr7.json".to_string();
     let mut candidate = "BENCH_nightly.json".to_string();
     let mut max_regress_pct = 25.0f64;
     let mut workers: usize = 4;

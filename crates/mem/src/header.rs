@@ -1,6 +1,6 @@
 use std::fmt;
 
-use crate::{Addr, MemError, SiteId};
+use crate::{Addr, MemError};
 
 /// Maximum number of fields in a record (bounded by the header pointer-mask
 /// width).
@@ -54,24 +54,26 @@ impl fmt::Display for ObjectKind {
 /// Bit layout (LSB first):
 ///
 /// ```text
-/// kind = record:     | kind:2 | len:5 | mask:24 | pad:1 | site:16 | age:8 | pad:8 |
-/// kind = ptr array:  | kind:2 | len(words):30   |        site:16 | age:8 | pad:8 |
-/// kind = raw array:  | kind:2 | len(bytes):30   |        site:16 | age:8 | pad:8 |
-/// kind = forward:    | kind:2 | to:32                                   | pad:30 |
+/// kind = record:     | kind:2 | len:5 | mask:24 | pad:1 | pad:16 | age:8 | pad:8 |
+/// kind = ptr array:  | kind:2 | len(words):30   |        pad:16 | age:8 | pad:8 |
+/// kind = raw array:  | kind:2 | len(bytes):30   |        pad:16 | age:8 | pad:8 |
+/// kind = forward:    | kind:2 | to:32                                  | pad:30 |
 /// ```
 ///
 /// `age` counts minor collections survived (used by the tenure-threshold
-/// collector variant, §7.2); `site` is the allocation-site id the profiler
-/// keys on. During collection the header of a copied object is overwritten
-/// with a *forwarding* header pointing at the new copy, exactly as in
-/// Cheney's algorithm.
+/// collector variant, §7.2). The allocation-site id the profiler keys on
+/// and the write barrier's dirty bit do **not** live here: they are side
+/// metadata, read through [`Memory::site_of`](crate::Memory::site_of)
+/// and the dirty bitmap (see [`crate::side`]). During collection the
+/// header of a copied object is overwritten with a *forwarding* header
+/// pointing at the new copy, exactly as in Cheney's algorithm.
 ///
 /// # Example
 ///
 /// ```
-/// use tilgc_mem::{Header, ObjectKind, SiteId, Addr};
+/// use tilgc_mem::{Header, ObjectKind, Addr};
 ///
-/// let h = Header::record(3, 0b101, SiteId::new(9)).unwrap();
+/// let h = Header::record(3, 0b101).unwrap();
 /// assert_eq!(h.kind(), ObjectKind::Record);
 /// assert_eq!(h.len(), 3);
 /// assert!(h.field_is_pointer(0) && !h.field_is_pointer(1));
@@ -96,7 +98,7 @@ impl Header {
     ///
     /// Panics if `mask` has bits set at or above `len` — that is a
     /// compiler-side bug, not a runtime condition.
-    pub fn record(len: usize, mask: u32, site: SiteId) -> Result<Header, MemError> {
+    pub fn record(len: usize, mask: u32) -> Result<Header, MemError> {
         if len > MAX_RECORD_FIELDS {
             return Err(MemError::ObjectTooLarge { words: len });
         }
@@ -105,10 +107,7 @@ impl Header {
             "pointer mask {mask:#b} wider than record length {len}"
         );
         Ok(Header(
-            KIND_RECORD
-                | ((len as u64) << 2)
-                | (u64::from(mask) << 7)
-                | (u64::from(site.get()) << 32),
+            KIND_RECORD | ((len as u64) << 2) | (u64::from(mask) << 7),
         ))
     }
 
@@ -118,13 +117,11 @@ impl Header {
     ///
     /// Returns [`MemError::ObjectTooLarge`] if `len` exceeds the 30-bit
     /// length field.
-    pub fn ptr_array(len: usize, site: SiteId) -> Result<Header, MemError> {
+    pub fn ptr_array(len: usize) -> Result<Header, MemError> {
         if len > MAX_ARRAY_LEN {
             return Err(MemError::ObjectTooLarge { words: len });
         }
-        Ok(Header(
-            KIND_PTR_ARRAY | ((len as u64) << 2) | (u64::from(site.get()) << 32),
-        ))
+        Ok(Header(KIND_PTR_ARRAY | ((len as u64) << 2)))
     }
 
     /// Builds a raw-array header for `len_bytes` bytes of unscanned data.
@@ -133,15 +130,13 @@ impl Header {
     ///
     /// Returns [`MemError::ObjectTooLarge`] if `len_bytes` exceeds the
     /// 30-bit length field.
-    pub fn raw_array(len_bytes: usize, site: SiteId) -> Result<Header, MemError> {
+    pub fn raw_array(len_bytes: usize) -> Result<Header, MemError> {
         if len_bytes > MAX_ARRAY_LEN {
             return Err(MemError::ObjectTooLarge {
                 words: crate::bytes_to_words(len_bytes),
             });
         }
-        Ok(Header(
-            KIND_RAW_ARRAY | ((len_bytes as u64) << 2) | (u64::from(site.get()) << 32),
-        ))
+        Ok(Header(KIND_RAW_ARRAY | ((len_bytes as u64) << 2)))
     }
 
     /// Builds a forwarding header pointing at the copied object.
@@ -236,13 +231,6 @@ impl Header {
         }
     }
 
-    /// The allocation site recorded in the header.
-    #[inline]
-    pub fn site(self) -> SiteId {
-        debug_assert!(!self.is_forward());
-        SiteId::new(((self.0 >> 32) & 0xffff) as u16)
-    }
-
     /// Number of minor collections this object has survived (saturating at
     /// 255).
     #[inline]
@@ -256,21 +244,6 @@ impl Header {
     pub fn with_age(self, age: u8) -> Header {
         debug_assert!(!self.is_forward());
         Header((self.0 & !(0xffu64 << 48)) | (u64::from(age) << 48))
-    }
-
-    /// Whether the object's *dirty* bit is set (used by the object-marking
-    /// write barrier to deduplicate repeated updates to one object).
-    #[inline]
-    pub fn is_dirty(self) -> bool {
-        debug_assert!(!self.is_forward());
-        (self.0 >> 56) & 1 == 1
-    }
-
-    /// A copy of this header with the dirty bit set or cleared.
-    #[inline]
-    pub fn with_dirty(self, dirty: bool) -> Header {
-        debug_assert!(!self.is_forward());
-        Header((self.0 & !(1u64 << 56)) | (u64::from(dirty) << 56))
     }
 
     /// Payload size in whole words (excluding the header word).
@@ -303,11 +276,10 @@ impl fmt::Debug for Header {
         }
         write!(
             f,
-            "Header({} len={} mask={:#b} site={} age={})",
+            "Header({} len={} mask={:#b} age={})",
             self.kind(),
             self.len(),
             self.ptr_mask(),
-            self.site(),
             self.age()
         )
     }
@@ -319,11 +291,10 @@ mod tests {
 
     #[test]
     fn record_round_trip() {
-        let h = Header::record(24, 0xaa_aaaa & ((1 << 24) - 1), SiteId::new(65535)).unwrap();
+        let h = Header::record(24, 0xaa_aaaa & ((1 << 24) - 1)).unwrap();
         assert_eq!(h.kind(), ObjectKind::Record);
         assert_eq!(h.len(), 24);
         assert_eq!(h.ptr_mask(), 0xaa_aaaa);
-        assert_eq!(h.site(), SiteId::new(65535));
         assert_eq!(h.age(), 0);
         assert_eq!(h.size_words(), 25);
         assert!(!h.is_forward());
@@ -332,7 +303,7 @@ mod tests {
     #[test]
     fn record_too_long_is_rejected() {
         assert_eq!(
-            Header::record(25, 0, SiteId::UNKNOWN),
+            Header::record(25, 0),
             Err(MemError::ObjectTooLarge { words: 25 })
         );
     }
@@ -340,22 +311,21 @@ mod tests {
     #[test]
     #[should_panic(expected = "pointer mask")]
     fn record_mask_wider_than_len_panics() {
-        let _ = Header::record(2, 0b100, SiteId::UNKNOWN);
+        let _ = Header::record(2, 0b100);
     }
 
     #[test]
     fn ptr_array_round_trip() {
-        let h = Header::ptr_array(1000, SiteId::new(3)).unwrap();
+        let h = Header::ptr_array(1000).unwrap();
         assert_eq!(h.kind(), ObjectKind::PtrArray);
         assert_eq!(h.len(), 1000);
         assert!(h.field_is_pointer(999));
         assert_eq!(h.size_words(), 1001);
-        assert_eq!(h.site(), SiteId::new(3));
     }
 
     #[test]
     fn raw_array_rounds_bytes_up_to_words() {
-        let h = Header::raw_array(17, SiteId::new(4)).unwrap();
+        let h = Header::raw_array(17).unwrap();
         assert_eq!(h.kind(), ObjectKind::RawArray);
         assert_eq!(h.len(), 17);
         assert_eq!(h.payload_words(), 3);
@@ -365,19 +335,19 @@ mod tests {
 
     #[test]
     fn empty_objects() {
-        let h = Header::record(0, 0, SiteId::UNKNOWN).unwrap();
+        let h = Header::record(0, 0).unwrap();
         assert!(h.is_empty());
         assert_eq!(h.size_words(), 1);
-        let h = Header::raw_array(0, SiteId::UNKNOWN).unwrap();
+        let h = Header::raw_array(0).unwrap();
         assert!(h.is_empty());
         assert_eq!(h.size_words(), 1);
     }
 
     #[test]
     fn oversized_arrays_are_rejected() {
-        assert!(Header::ptr_array(1 << 30, SiteId::UNKNOWN).is_err());
-        assert!(Header::raw_array(1 << 30, SiteId::UNKNOWN).is_err());
-        assert!(Header::ptr_array((1 << 30) - 1, SiteId::UNKNOWN).is_ok());
+        assert!(Header::ptr_array(1 << 30).is_err());
+        assert!(Header::raw_array(1 << 30).is_err());
+        assert!(Header::ptr_array((1 << 30) - 1).is_ok());
     }
 
     #[test]
@@ -385,38 +355,42 @@ mod tests {
         let h = Header::forward(Addr::new(0xdead));
         assert!(h.is_forward());
         assert_eq!(h.forward_addr(), Some(Addr::new(0xdead)));
-        let n = Header::ptr_array(1, SiteId::UNKNOWN).unwrap();
+        let n = Header::ptr_array(1).unwrap();
         assert_eq!(n.forward_addr(), None);
     }
 
     #[test]
     fn age_is_independent_of_other_fields() {
-        let h = Header::record(3, 0b111, SiteId::new(77)).unwrap();
+        let h = Header::record(3, 0b111).unwrap();
         let aged = h.with_age(9);
         assert_eq!(aged.age(), 9);
         assert_eq!(aged.len(), h.len());
         assert_eq!(aged.ptr_mask(), h.ptr_mask());
-        assert_eq!(aged.site(), h.site());
         assert_eq!(aged.with_age(0), h);
     }
 
     #[test]
-    fn dirty_bit_round_trip() {
-        let h = Header::ptr_array(4, SiteId::new(3)).unwrap();
-        assert!(!h.is_dirty());
-        let d = h.with_dirty(true);
-        assert!(d.is_dirty());
-        assert_eq!(d.len(), 4);
-        assert_eq!(d.site(), SiteId::new(3));
-        assert_eq!(d.with_dirty(false), h);
-        // Independent of age.
-        assert_eq!(d.with_age(7).age(), 7);
-        assert!(d.with_age(7).is_dirty());
+    fn dirty_bit_lives_in_side_metadata_not_the_header() {
+        // Re-homed from the old `Header::is_dirty`/`with_dirty` API: the
+        // dirty bit is per-address side metadata now, orthogonal to
+        // everything the header encodes.
+        let mut mem = crate::Memory::with_capacity_words(64);
+        let a = Addr::new(9);
+        assert!(!mem.is_dirty(a));
+        mem.set_dirty(a);
+        assert!(mem.is_dirty(a));
+        // Independent of the header stored at the same address.
+        mem.set_word(a, Header::ptr_array(4).unwrap().raw());
+        assert!(mem.is_dirty(a));
+        assert_eq!(Header::from_raw(mem.word(a)).len(), 4);
+        mem.clear_dirty(a);
+        assert!(!mem.is_dirty(a));
+        assert_eq!(Header::from_raw(mem.word(a)).len(), 4);
     }
 
     #[test]
     fn raw_word_round_trip() {
-        let h = Header::ptr_array(5, SiteId::new(2)).unwrap();
+        let h = Header::ptr_array(5).unwrap();
         assert_eq!(Header::from_raw(h.raw()), h);
     }
 

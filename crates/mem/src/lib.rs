@@ -5,13 +5,19 @@
 //! Stack Collection and Profile-Driven Pretenuring* (Cheng, Harper, Lee;
 //! PLDI 1998). It models the memory system of the TIL runtime:
 //!
-//! * a flat, word-addressed address space ([`Memory`]) in which all heap
-//!   spaces live — words are 64 bits, matching the DEC Alpha the paper
-//!   measured on;
+//! * a chunked, word-addressed address space ([`Memory`]) in which all
+//!   heap spaces live — words are 64 bits, matching the DEC Alpha the
+//!   paper measured on; bookkeeping is chunked ([`CHUNK_WORDS`]-sized
+//!   chunks owned by spaces) while the backing store stays contiguous;
+//! * a [`side`]-metadata layer hosting the per-word dirty bits, mark
+//!   bits and allocation-site tags that used to live in object headers,
+//!   with `memset`-style bulk clears and atomic views for parallel
+//!   marking;
 //! * *nearly tag-free* heap objects in the TIL style: [`records`] whose
 //!   single header word carries a pointer mask, pointer arrays, and raw
-//!   (non-pointer) byte arrays ([`ObjectKind`]), each stamped with the
-//!   [`SiteId`] of the allocation site that created it;
+//!   (non-pointer) byte arrays ([`ObjectKind`]), each tagged in the side
+//!   site table with the [`SiteId`] of the allocation site that created
+//!   it;
 //! * bump-allocated [`Space`]s out of which collectors carve semispaces,
 //!   nurseries, tenured areas and pretenured regions.
 //!
@@ -20,7 +26,8 @@
 //! [`SharedMemView`] module reinterprets the word array as atomics so
 //! parallel collection workers can claim and forward objects with CAS.
 //! That cast is the only `unsafe` in the workspace and is confined to a
-//! single function with compile-time layout guards.
+//! single function with compile-time layout guards; the side-metadata
+//! layer needs no `unsafe` at all, because it stores atomics directly.
 //!
 //! [`records`]: ObjectKind::Record
 //!
@@ -50,6 +57,7 @@ mod header;
 mod memory;
 pub mod object;
 mod shared;
+pub mod side;
 mod site;
 mod space;
 
@@ -59,6 +67,7 @@ pub use header::{Header, ObjectKind, MAX_PTR_MASK_FIELDS, MAX_RECORD_FIELDS};
 pub use memory::{Memory, WordWindow, WORD_BYTES};
 pub use object::Obj;
 pub use shared::SharedMemView;
+pub use side::{ChunkMap, SideBitmap, SideMetaView, CHUNK_BYTES, CHUNK_WORDS};
 pub use site::SiteId;
 pub use space::{Space, SpaceRange};
 

@@ -1,16 +1,24 @@
-use crate::{Addr, MemError, SpaceRange};
+use crate::side::{ChunkMap, SideBitmap, SideMetaView, SideMetadata};
+use crate::{Addr, MemError, SiteId, SpaceRange};
 
 /// Size of a machine word, in bytes. The simulation models a 64-bit machine
 /// (the paper's DEC Alpha 21064 is 64-bit).
 pub const WORD_BYTES: usize = 8;
 
-/// The flat simulated address space.
+/// The chunked simulated address space.
 ///
 /// All heap spaces — semispaces, nursery, tenured area, large-object space,
 /// pretenured regions — are carved out of one `Memory` with
-/// [`reserve`](Memory::reserve), so that a heap pointer is a plain word
-/// index valid anywhere, exactly like a machine address. Word 0 is reserved
-/// for the null pointer.
+/// [`reserve`](Memory::reserve) or [`reserve_owned`](Memory::reserve_owned),
+/// so that a heap pointer is a plain word index valid anywhere, exactly
+/// like a machine address. Word 0 is reserved for the null pointer.
+///
+/// The backing store is one contiguous word array (objects may straddle
+/// chunk boundaries and the copy kernels want contiguous slices), but the
+/// bookkeeping on top is chunked: a [`ChunkMap`] records which space owns
+/// each [`CHUNK_WORDS`](crate::CHUNK_WORDS)-sized chunk, and a side-metadata
+/// layer carries the per-word dirty bits, mark bits and allocation-site
+/// tags that used to live in object headers (see [`crate::side`]).
 ///
 /// Accessors panic on out-of-bounds addresses: in this simulator an invalid
 /// address is a collector bug, never a recoverable runtime condition.
@@ -32,6 +40,8 @@ pub const WORD_BYTES: usize = 8;
 pub struct Memory {
     words: Vec<u64>,
     reserved: usize,
+    chunks: ChunkMap,
+    side: SideMetadata,
 }
 
 impl Memory {
@@ -50,13 +60,17 @@ impl Memory {
         Memory {
             words: vec![0; capacity],
             reserved: 1,
+            chunks: ChunkMap::new(capacity),
+            side: SideMetadata::new(capacity),
         }
     }
 
-    /// Creates an address space sized in bytes (rounded down to whole
-    /// words).
+    /// Creates an address space sized in bytes, rounded **up** to whole
+    /// words: a non-word-multiple request still yields enough memory to
+    /// hold `capacity` bytes. (It used to round down, silently shrinking
+    /// the heap below the requested budget.)
     pub fn with_capacity_bytes(capacity: usize) -> Memory {
-        Memory::with_capacity_words(capacity / WORD_BYTES)
+        Memory::with_capacity_words(crate::bytes_to_words(capacity))
     }
 
     /// Total capacity in words.
@@ -95,6 +109,142 @@ impl Memory {
             start,
             end: start + words,
         })
+    }
+
+    /// Like [`reserve`](Memory::reserve), but also tags every chunk the
+    /// new range overlaps with `owner` in the chunk map. Collectors use
+    /// this for their spaces ("nursery", "tenured", "los", ...) so
+    /// verifiers and telemetry can attribute any address to a space at
+    /// chunk granularity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::AddressSpaceExhausted`] if fewer than `words`
+    /// words remain unreserved.
+    pub fn reserve_owned(
+        &mut self,
+        words: usize,
+        owner: &'static str,
+    ) -> Result<SpaceRange, MemError> {
+        let range = self.reserve(words)?;
+        self.chunks.assign(range, owner);
+        Ok(range)
+    }
+
+    /// The owner label of the chunk covering `addr`, if any.
+    #[inline]
+    pub fn chunk_owner(&self, addr: Addr) -> Option<&'static str> {
+        self.chunks.owner_of(addr)
+    }
+
+    /// Number of chunks currently owned by some space.
+    #[inline]
+    pub fn owned_chunks(&self) -> usize {
+        self.chunks.owned_chunks()
+    }
+
+    /// Total number of chunks in the address space.
+    #[inline]
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// The allocation-site tag for the object whose header is at `addr`.
+    #[inline]
+    pub fn site_of(&self, addr: Addr) -> SiteId {
+        self.side.sites.get(addr)
+    }
+
+    /// Writes the allocation-site tag for the object headed at `addr`.
+    #[inline]
+    pub fn set_site(&mut self, addr: Addr, site: SiteId) {
+        self.side.sites.set(addr, site);
+    }
+
+    /// Whether the write-barrier dirty bit for `addr` is set.
+    #[inline]
+    pub fn is_dirty(&self, addr: Addr) -> bool {
+        self.side.dirty.get(addr)
+    }
+
+    /// Sets the dirty bit for `addr`.
+    #[inline]
+    pub fn set_dirty(&mut self, addr: Addr) {
+        self.side.dirty.set(addr);
+    }
+
+    /// Clears the dirty bit for `addr`.
+    #[inline]
+    pub fn clear_dirty(&mut self, addr: Addr) {
+        self.side.dirty.clear(addr);
+    }
+
+    /// Sets the dirty bit for `addr` and reports whether it was already
+    /// set — the branch-free write-barrier dedup filter (one load, an
+    /// OR, a store and a bit test).
+    #[inline]
+    pub fn dirty_test_and_set(&mut self, addr: Addr) -> bool {
+        self.side.dirty.set_returning_old(addr)
+    }
+
+    /// Scalar reference implementation of
+    /// [`dirty_test_and_set`](Memory::dirty_test_and_set): explicit
+    /// test, branch and conditional set, modelling the old per-object
+    /// header check. Kept under `kernel-ref` as the A/B oracle for the
+    /// barrier-filter benchmark.
+    #[cfg(any(test, feature = "kernel-ref"))]
+    pub fn dirty_test_and_set_reference(&mut self, addr: Addr) -> bool {
+        let was = self.is_dirty(addr);
+        if !was {
+            self.set_dirty(addr);
+        }
+        was
+    }
+
+    /// Bulk-clears the dirty bits over `range` — the `memset`-style
+    /// sweep collectors run when a space is vacated, replacing the old
+    /// per-object header-rewrite walk. Returns the heap words covered.
+    pub fn bulk_clear_dirty(&mut self, range: SpaceRange) -> u64 {
+        let covered = self.side.dirty.bulk_clear(range);
+        self.side.cleared_words += covered;
+        covered
+    }
+
+    /// Whether the large-object mark bit for `addr` is set.
+    #[inline]
+    pub fn is_marked(&self, addr: Addr) -> bool {
+        self.side.mark.get(addr)
+    }
+
+    /// Sets the mark bit for `addr`, returning `true` if this call
+    /// claimed it (serial marking path; parallel workers use
+    /// [`SideMetaView::mark_test_and_set`]).
+    #[inline]
+    pub fn mark_test_and_set(&mut self, addr: Addr) -> bool {
+        !self.side.mark.set_returning_old(addr)
+    }
+
+    /// Bulk-clears the mark bits over `range` (start of a marking
+    /// cycle). Returns the heap words covered.
+    pub fn bulk_clear_marks(&mut self, range: SpaceRange) -> u64 {
+        let covered = self.side.mark.bulk_clear(range);
+        self.side.cleared_words += covered;
+        covered
+    }
+
+    /// Running total of heap words covered by dirty/mark bulk clears
+    /// since this memory was created. Collection-end telemetry reports
+    /// the per-collection delta.
+    #[inline]
+    pub fn side_cleared_words(&self) -> u64 {
+        self.side.cleared_words
+    }
+
+    /// The SSB dense filter's scratch bitmap. Callers must leave it
+    /// all-clear between uses.
+    #[inline]
+    pub fn ssb_scratch_mut(&mut self) -> &mut SideBitmap {
+        &mut self.side.scratch
     }
 
     /// Reads the word at `addr`.
@@ -226,6 +376,14 @@ impl Memory {
     pub fn shared_view(&mut self) -> crate::SharedMemView<'_> {
         crate::SharedMemView::new(&mut self.words)
     }
+
+    /// Opens the word view and the side-metadata view together, so
+    /// parallel workers can forward objects (word view) and mark / tag
+    /// sites (side view) through one pair of shared handles.
+    #[inline]
+    pub fn shared_views(&mut self) -> (crate::SharedMemView<'_>, SideMetaView<'_>) {
+        (crate::SharedMemView::new(&mut self.words), self.side.view())
+    }
 }
 
 /// A mutable view of a contiguous word range, bounds-checked once at
@@ -321,6 +479,92 @@ mod tests {
                 available: 0
             })
         );
+    }
+
+    #[test]
+    fn capacity_bytes_rounds_up_to_whole_words() {
+        // Regression: a non-word-multiple byte capacity used to round
+        // *down*, silently shrinking the heap below the requested budget.
+        assert_eq!(Memory::with_capacity_bytes(17).capacity_words(), 3);
+        assert_eq!(Memory::with_capacity_bytes(24).capacity_words(), 3);
+        assert_eq!(Memory::with_capacity_bytes(25).capacity_words(), 4);
+        assert_eq!(Memory::with_capacity_bytes(1).capacity_words(), 1);
+    }
+
+    #[test]
+    fn reserve_owned_tags_chunks() {
+        let mut mem = Memory::with_capacity_words(3 * crate::CHUNK_WORDS);
+        let a = mem
+            .reserve_owned(2 * crate::CHUNK_WORDS, "nursery")
+            .unwrap();
+        let b = mem.reserve_owned(100, "tenured").unwrap();
+        let anon = mem.reserve(100).unwrap();
+        assert_eq!(mem.chunk_owner(a.start), Some("nursery"));
+        assert_eq!(
+            mem.chunk_owner(a.end + 1),
+            Some("nursery") /* shared */
+        );
+        assert_eq!(
+            mem.chunk_owner(b.start),
+            Some("nursery"),
+            "first owner wins"
+        );
+        assert_eq!(mem.chunk_count(), 3);
+        assert_eq!(mem.owned_chunks(), 3);
+        assert_eq!(mem.chunk_owner(anon.start), Some("nursery"));
+    }
+
+    #[test]
+    fn plain_reserve_leaves_chunks_unowned() {
+        let mut mem = Memory::with_capacity_words(64);
+        let r = mem.reserve(16).unwrap();
+        assert_eq!(mem.chunk_owner(r.start), None);
+        assert_eq!(mem.owned_chunks(), 0);
+    }
+
+    #[test]
+    fn dirty_filter_matches_scalar_reference() {
+        let mut fast = Memory::with_capacity_words(256);
+        let mut slow = Memory::with_capacity_words(256);
+        let addrs = [3u32, 9, 3, 200, 9, 9, 3];
+        for &a in &addrs {
+            assert_eq!(
+                fast.dirty_test_and_set(Addr::new(a)),
+                slow.dirty_test_and_set_reference(Addr::new(a)),
+            );
+        }
+        let range = SpaceRange {
+            start: Addr::new(1),
+            end: Addr::new(256),
+        };
+        assert_eq!(fast.bulk_clear_dirty(range), 255);
+        assert!(!fast.is_dirty(Addr::new(3)));
+        assert_eq!(fast.side_cleared_words(), 255);
+    }
+
+    #[test]
+    fn mark_bits_claim_once_until_cleared() {
+        let mut mem = Memory::with_capacity_words(128);
+        assert!(mem.mark_test_and_set(Addr::new(40)));
+        assert!(!mem.mark_test_and_set(Addr::new(40)));
+        assert!(mem.is_marked(Addr::new(40)));
+        let range = SpaceRange {
+            start: Addr::new(32),
+            end: Addr::new(64),
+        };
+        mem.bulk_clear_marks(range);
+        assert!(!mem.is_marked(Addr::new(40)));
+        assert!(mem.mark_test_and_set(Addr::new(40)));
+    }
+
+    #[test]
+    fn site_tags_survive_clone() {
+        let mut mem = Memory::with_capacity_words(64);
+        mem.set_site(Addr::new(5), crate::SiteId::new(9));
+        mem.set_dirty(Addr::new(5));
+        let copy = mem.clone();
+        assert_eq!(copy.site_of(Addr::new(5)), crate::SiteId::new(9));
+        assert!(copy.is_dirty(Addr::new(5)));
     }
 
     #[test]

@@ -25,11 +25,12 @@ pub fn alloc_record(
     fields: &[u64],
     mask: u32,
 ) -> Result<Addr, MemError> {
-    let header = Header::record(fields.len(), mask, site)?;
+    let header = Header::record(fields.len(), mask)?;
     let addr = space.alloc(header.size_words())?;
     let words = mem.words_at_mut(addr, header.size_words());
     words[0] = header.raw();
     words[1..].copy_from_slice(fields);
+    mem.set_site(addr, site);
     Ok(addr)
 }
 
@@ -46,11 +47,12 @@ pub fn alloc_ptr_array(
     len: usize,
     init: Addr,
 ) -> Result<Addr, MemError> {
-    let header = Header::ptr_array(len, site)?;
+    let header = Header::ptr_array(len)?;
     let addr = space.alloc(header.size_words())?;
     let words = mem.words_at_mut(addr, header.size_words());
     words[0] = header.raw();
     words[1..].fill(u64::from(init.raw()));
+    mem.set_site(addr, site);
     Ok(addr)
 }
 
@@ -69,11 +71,12 @@ pub fn alloc_raw_array(
     site: SiteId,
     len_bytes: usize,
 ) -> Result<Addr, MemError> {
-    let header = Header::raw_array(len_bytes, site)?;
+    let header = Header::raw_array(len_bytes)?;
     let addr = space.alloc(header.size_words())?;
     let words = mem.words_at_mut(addr, header.size_words());
     words[0] = header.raw();
     words[1..].fill(0);
+    mem.set_site(addr, site);
     Ok(addr)
 }
 
@@ -228,10 +231,11 @@ impl<'m> Obj<'m> {
         self.header.is_empty()
     }
 
-    /// The allocation site stamped on the object.
+    /// The allocation site stamped on the object (read from the side
+    /// site table, not the header).
     #[inline]
     pub fn site(&self) -> SiteId {
-        self.header.site()
+        self.mem.site_of(self.addr)
     }
 
     /// Raw word of field `i`.
@@ -423,7 +427,8 @@ mod tests {
         assert_eq!(entries.len(), 2);
         assert_eq!(entries[0].forwarded, Some(copy));
         assert_eq!(entries[0].header.len(), 3);
-        assert_eq!(entries[0].header.site(), SiteId::new(1));
+        // The site tag at the original address survives forwarding.
+        assert_eq!(mem.site_of(entries[0].addr), SiteId::new(1));
         assert_eq!(entries[1].addr, b);
         assert_eq!(entries[1].forwarded, None);
     }

@@ -161,9 +161,7 @@ mod tests {
     #[test]
     fn claim_then_publish_protocol() {
         let mut words = vec![0u64; 8];
-        let h = Header::record(2, 0b01, crate::SiteId::new(1))
-            .unwrap()
-            .raw();
+        let h = Header::record(2, 0b01).unwrap().raw();
         words[2] = h;
         let view = SharedMemView::new(&mut words);
         view.try_claim(Addr::new(2), h).expect("first claim wins");
@@ -192,7 +190,7 @@ mod tests {
     #[test]
     fn concurrent_claims_elect_one_winner() {
         let mut words = vec![0u64; 64];
-        let h = Header::record(1, 0, crate::SiteId::new(3)).unwrap().raw();
+        let h = Header::record(1, 0).unwrap().raw();
         for w in words.iter_mut().skip(1) {
             *w = h;
         }

@@ -1,0 +1,490 @@
+//! Chunked address-space bookkeeping and side metadata.
+//!
+//! The backing store stays one flat word array (objects may straddle
+//! chunk boundaries and the copy kernels want contiguous slices), but
+//! bookkeeping is chunked: the address space is divided into fixed
+//! [`CHUNK_WORDS`]-sized chunks, each optionally *owned* by the space
+//! whose reservation covers it, and a side-metadata layer hosts the
+//! per-word metadata that used to live in object headers:
+//!
+//! * a **dirty bitmap** (1 bit per word) backing the object-marking
+//!   write barrier's deduplication filter,
+//! * a **mark bitmap** (1 bit per word) for large-object marking,
+//! * a **scratch bitmap** (1 bit per word) the SSB dense filter borrows
+//!   transiently,
+//! * a **site table** (16 bits per word) carrying the allocation-site
+//!   id of the object whose header sits at that word.
+//!
+//! Keeping metadata out of headers makes the barrier filter a single
+//! branch-free test-and-set, makes clearing a `memset`-style word sweep
+//! ([`SideBitmap::bulk_clear`]) instead of a per-object header walk, and
+//! lets parallel workers mark through shared atomic views
+//! ([`SideMetaView`]) without touching object headers. This follows the
+//! chunked-heap + side-metadata idiom of production collectors
+//! (mmtk-core's `util/heap` and `util/metadata/side_metadata`).
+//!
+//! Storage is `Vec<AtomicU64>` / `Vec<AtomicU16>` throughout: exclusive
+//! (`&mut`) fast paths go through `get_mut` and compile to plain loads
+//! and stores, while the shared parallel paths use atomic operations —
+//! no new `unsafe` anywhere.
+
+use std::sync::atomic::{AtomicU16, AtomicU64, Ordering};
+
+use crate::{Addr, SiteId, SpaceRange};
+
+/// Words per chunk (2¹⁵ words = 256 KiB of simulated heap).
+pub const CHUNK_WORDS: usize = 1 << 15;
+
+/// Bytes of simulated heap covered by one chunk.
+pub const CHUNK_BYTES: usize = CHUNK_WORDS * crate::WORD_BYTES;
+
+/// Ownership map of the chunked address space.
+///
+/// Each chunk is either unowned or tagged with the label of the space
+/// whose reservation first covered any of its words. Ownership is
+/// bookkeeping at chunk granularity: a boundary chunk shared by two
+/// reservations keeps the first owner. Spaces tag their reservations
+/// via [`Memory::reserve_owned`](crate::Memory::reserve_owned).
+#[derive(Debug, Clone)]
+pub struct ChunkMap {
+    owners: Vec<Option<&'static str>>,
+}
+
+impl ChunkMap {
+    /// Builds the map for an address space of `capacity_words` words.
+    /// The last chunk may be partial.
+    pub(crate) fn new(capacity_words: usize) -> ChunkMap {
+        ChunkMap {
+            owners: vec![None; capacity_words.div_ceil(CHUNK_WORDS)],
+        }
+    }
+
+    /// The chunk index covering `addr`.
+    #[inline]
+    pub fn chunk_of(addr: Addr) -> usize {
+        addr.index() / CHUNK_WORDS
+    }
+
+    /// Total number of chunks (owned or not).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// Whether the map covers no chunks.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.owners.is_empty()
+    }
+
+    /// The owner label of the chunk covering `addr`, if any.
+    #[inline]
+    pub fn owner_of(&self, addr: Addr) -> Option<&'static str> {
+        self.owners[Self::chunk_of(addr)]
+    }
+
+    /// Number of chunks currently owned by some space.
+    pub fn owned_chunks(&self) -> usize {
+        self.owners.iter().filter(|o| o.is_some()).count()
+    }
+
+    /// Tags every chunk overlapping `range` with `owner`. Chunks that
+    /// already have an owner keep it (first reservation wins).
+    pub(crate) fn assign(&mut self, range: SpaceRange, owner: &'static str) {
+        if range.end <= range.start {
+            return;
+        }
+        let first = range.start.index() / CHUNK_WORDS;
+        let last = (range.end.index() - 1) / CHUNK_WORDS;
+        for slot in &mut self.owners[first..=last] {
+            slot.get_or_insert(owner);
+        }
+    }
+}
+
+/// A side bitmap holding one metadata bit per heap word.
+///
+/// One bitmap word covers 64 consecutive heap words, so adjacent
+/// reservations can share edge bitmap words;
+/// [`bulk_clear`](SideBitmap::bulk_clear) mask-edits those partial edge
+/// words and only `memset`s the fully covered interior.
+#[derive(Debug)]
+pub struct SideBitmap {
+    words: Vec<AtomicU64>,
+}
+
+impl Clone for SideBitmap {
+    fn clone(&self) -> SideBitmap {
+        SideBitmap {
+            words: self
+                .words
+                .iter()
+                .map(|w| AtomicU64::new(w.load(Ordering::Relaxed)))
+                .collect(),
+        }
+    }
+}
+
+impl SideBitmap {
+    /// Builds an all-clear bitmap covering `capacity_words` heap words.
+    pub(crate) fn new(capacity_words: usize) -> SideBitmap {
+        SideBitmap {
+            words: (0..capacity_words.div_ceil(64))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn locate(addr: Addr) -> (usize, u64) {
+        let i = addr.index();
+        (i / 64, 1u64 << (i % 64))
+    }
+
+    /// Number of addressable bits (addresses `0..bit_capacity()` are in
+    /// range for every accessor). A multiple of 64, so it may exceed the
+    /// heap's word capacity by up to 63 slack bits.
+    #[inline]
+    pub fn bit_capacity(&self) -> usize {
+        self.words.len() * 64
+    }
+
+    /// Reads the bit for `addr`.
+    #[inline]
+    pub fn get(&self, addr: Addr) -> bool {
+        let (w, m) = Self::locate(addr);
+        self.words[w].load(Ordering::Relaxed) & m != 0
+    }
+
+    /// Sets the bit for `addr`.
+    #[inline]
+    pub fn set(&mut self, addr: Addr) {
+        let (w, m) = Self::locate(addr);
+        *self.words[w].get_mut() |= m;
+    }
+
+    /// Clears the bit for `addr`.
+    #[inline]
+    pub fn clear(&mut self, addr: Addr) {
+        let (w, m) = Self::locate(addr);
+        *self.words[w].get_mut() &= !m;
+    }
+
+    /// Sets the bit for `addr` and reports whether it was already set.
+    ///
+    /// This is the branch-free barrier filter: one load, an OR, a
+    /// store and a bit test — no conditional anywhere.
+    #[inline]
+    pub fn set_returning_old(&mut self, addr: Addr) -> bool {
+        let (w, m) = Self::locate(addr);
+        let word = self.words[w].get_mut();
+        let old = *word;
+        *word = old | m;
+        old & m != 0
+    }
+
+    /// Clears every bit for addresses in `range` and returns the number
+    /// of heap words covered.
+    ///
+    /// Fully covered bitmap words are zeroed wholesale (the
+    /// `memset`-style sweep); the partial first and last words are
+    /// mask-edited so bits belonging to neighbouring reservations
+    /// survive.
+    pub fn bulk_clear(&mut self, range: SpaceRange) -> u64 {
+        if range.end <= range.start {
+            return 0;
+        }
+        let (s, e) = (range.start.index(), range.end.index());
+        let (sw, ew) = (s / 64, (e - 1) / 64);
+        let head = !0u64 << (s % 64);
+        let tail = !0u64 >> (63 - (e - 1) % 64);
+        if sw == ew {
+            *self.words[sw].get_mut() &= !(head & tail);
+        } else {
+            *self.words[sw].get_mut() &= !head;
+            for word in &mut self.words[sw + 1..ew] {
+                *word.get_mut() = 0;
+            }
+            *self.words[ew].get_mut() &= !tail;
+        }
+        (e - s) as u64
+    }
+
+    /// Drains the set bits in `[lo, hi]` into `out` in ascending
+    /// address order, clearing them as it goes.
+    ///
+    /// Scratch-only: the full bitmap words covering the span are zeroed
+    /// wholesale, so the caller must own every bit in the edge words —
+    /// which the SSB filter does, because the scratch bitmap is empty
+    /// outside the span it just populated.
+    pub fn drain_sorted(&mut self, lo: Addr, hi: Addr, out: &mut Vec<Addr>) {
+        debug_assert!(lo <= hi);
+        for w in lo.index() / 64..=hi.index() / 64 {
+            let mut bits = std::mem::take(self.words[w].get_mut());
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                out.push(Addr::new((w * 64 + bit) as u32));
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// An atomic borrow of the backing words for shared views.
+    #[inline]
+    pub(crate) fn atoms(&self) -> &[AtomicU64] {
+        &self.words
+    }
+}
+
+/// The per-word allocation-site table (16 bits per heap word).
+///
+/// The entry at an object's header address carries its [`SiteId`]; the
+/// tag is written at allocation, copied alongside the object when it is
+/// forwarded, and never cleared — so death profiling can still read the
+/// site of a from-space corpse after the collection that killed it.
+#[derive(Debug)]
+pub struct SiteTable {
+    tags: Vec<AtomicU16>,
+}
+
+impl Clone for SiteTable {
+    fn clone(&self) -> SiteTable {
+        SiteTable {
+            tags: self
+                .tags
+                .iter()
+                .map(|t| AtomicU16::new(t.load(Ordering::Relaxed)))
+                .collect(),
+        }
+    }
+}
+
+impl SiteTable {
+    pub(crate) fn new(capacity_words: usize) -> SiteTable {
+        SiteTable {
+            tags: (0..capacity_words).map(|_| AtomicU16::new(0)).collect(),
+        }
+    }
+
+    /// The site tag for the object whose header is at `addr`.
+    #[inline]
+    pub fn get(&self, addr: Addr) -> SiteId {
+        SiteId::new(self.tags[addr.index()].load(Ordering::Relaxed))
+    }
+
+    /// Writes the site tag for the object whose header is at `addr`.
+    #[inline]
+    pub fn set(&mut self, addr: Addr, site: SiteId) {
+        *self.tags[addr.index()].get_mut() = site.get();
+    }
+
+    #[inline]
+    pub(crate) fn atoms(&self) -> &[AtomicU16] {
+        &self.tags
+    }
+}
+
+/// The full side-metadata layer owned by a
+/// [`Memory`](crate::Memory).
+#[derive(Debug, Clone)]
+pub(crate) struct SideMetadata {
+    /// Write-barrier dedup bits, bulk-cleared when a space is vacated.
+    pub(crate) dirty: SideBitmap,
+    /// Large-object mark bits, bulk-cleared when marking begins.
+    pub(crate) mark: SideBitmap,
+    /// SSB dense-filter scratch, cleared by the filter after each use.
+    pub(crate) scratch: SideBitmap,
+    /// Allocation-site tags, written at allocation and never cleared.
+    pub(crate) sites: SiteTable,
+    /// Running total of heap words covered by dirty/mark bulk clears.
+    pub(crate) cleared_words: u64,
+}
+
+impl SideMetadata {
+    pub(crate) fn new(capacity_words: usize) -> SideMetadata {
+        SideMetadata {
+            dirty: SideBitmap::new(capacity_words),
+            mark: SideBitmap::new(capacity_words),
+            scratch: SideBitmap::new(capacity_words),
+            sites: SiteTable::new(capacity_words),
+            cleared_words: 0,
+        }
+    }
+
+    pub(crate) fn view(&self) -> SideMetaView<'_> {
+        SideMetaView {
+            marks: self.mark.atoms(),
+            sites: self.sites.atoms(),
+        }
+    }
+}
+
+/// A shared, atomic view of the side metadata for parallel collection
+/// workers.
+///
+/// Copyable and `Sync`, like
+/// [`SharedMemView`](crate::SharedMemView): every worker holds the same
+/// view. Mark bits are claimed with an acquire-release `fetch_or`; site
+/// tags use relaxed loads and stores, which is sound because a copied
+/// object's site tag is written by the claim winner *before* the
+/// release-publish of its forwarding header, and only read through
+/// addresses obtained after that publish (or after the collection).
+#[derive(Clone, Copy, Debug)]
+pub struct SideMetaView<'m> {
+    marks: &'m [AtomicU64],
+    sites: &'m [AtomicU16],
+}
+
+impl SideMetaView<'_> {
+    /// Atomically sets the mark bit for `addr`, returning `true` if
+    /// this call claimed it (the bit was previously clear).
+    #[inline]
+    pub fn mark_test_and_set(&self, addr: Addr) -> bool {
+        let (w, m) = SideBitmap::locate(addr);
+        self.marks[w].fetch_or(m, Ordering::AcqRel) & m == 0
+    }
+
+    /// Reads the mark bit for `addr`.
+    #[inline]
+    pub fn is_marked(&self, addr: Addr) -> bool {
+        let (w, m) = SideBitmap::locate(addr);
+        self.marks[w].load(Ordering::Acquire) & m != 0
+    }
+
+    /// The site tag for the object whose header is at `addr`.
+    #[inline]
+    pub fn site_of(&self, addr: Addr) -> SiteId {
+        SiteId::new(self.sites[addr.index()].load(Ordering::Relaxed))
+    }
+
+    /// Copies the site tag from `from` to `to` (the side-metadata half
+    /// of forwarding an object).
+    #[inline]
+    pub fn copy_site(&self, from: Addr, to: Addr) {
+        let tag = self.sites[from.index()].load(Ordering::Relaxed);
+        self.sites[to.index()].store(tag, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn range(start: u32, end: u32) -> SpaceRange {
+        SpaceRange {
+            start: Addr::new(start),
+            end: Addr::new(end),
+        }
+    }
+
+    #[test]
+    fn chunk_map_tags_overlapping_chunks_first_wins() {
+        let mut map = ChunkMap::new(3 * CHUNK_WORDS + 10);
+        assert_eq!(map.len(), 4, "partial last chunk still counts");
+        assert_eq!(map.owned_chunks(), 0);
+        map.assign(range(1, CHUNK_WORDS as u32 / 2), "nursery");
+        map.assign(
+            range(CHUNK_WORDS as u32 / 2, 3 * CHUNK_WORDS as u32),
+            "tenured",
+        );
+        assert_eq!(map.owner_of(Addr::new(1)), Some("nursery"));
+        assert_eq!(
+            map.owner_of(Addr::new(CHUNK_WORDS as u32 - 1)),
+            Some("nursery"),
+            "boundary chunk keeps its first owner"
+        );
+        assert_eq!(map.owner_of(Addr::new(CHUNK_WORDS as u32)), Some("tenured"));
+        assert_eq!(map.owned_chunks(), 3);
+        assert_eq!(map.owner_of(Addr::new(3 * CHUNK_WORDS as u32 + 5)), None);
+    }
+
+    #[test]
+    fn bitmap_round_trip_across_chunk_boundary() {
+        let mut bm = SideBitmap::new(2 * CHUNK_WORDS);
+        let edge = CHUNK_WORDS as u32;
+        for a in [edge - 1, edge, edge + 1] {
+            let a = Addr::new(a);
+            assert!(!bm.get(a));
+            bm.set(a);
+            assert!(bm.get(a));
+        }
+        bm.clear(Addr::new(edge));
+        assert!(!bm.get(Addr::new(edge)));
+        assert!(bm.get(Addr::new(edge - 1)) && bm.get(Addr::new(edge + 1)));
+    }
+
+    #[test]
+    fn set_returning_old_reports_prior_state() {
+        let mut bm = SideBitmap::new(256);
+        assert!(!bm.set_returning_old(Addr::new(77)));
+        assert!(bm.set_returning_old(Addr::new(77)));
+        assert!(bm.get(Addr::new(77)));
+    }
+
+    #[test]
+    fn bulk_clear_mask_edits_shared_edge_words() {
+        let mut bm = SideBitmap::new(512);
+        // Bits on both sides of a range whose edges split bitmap words.
+        for i in 60..200u32 {
+            bm.set(Addr::new(i));
+        }
+        let cleared = bm.bulk_clear(range(70, 190));
+        assert_eq!(cleared, 120);
+        for i in 60..70u32 {
+            assert!(bm.get(Addr::new(i)), "bit {i} below the range survives");
+        }
+        for i in 70..190u32 {
+            assert!(!bm.get(Addr::new(i)), "bit {i} inside the range cleared");
+        }
+        for i in 190..200u32 {
+            assert!(bm.get(Addr::new(i)), "bit {i} above the range survives");
+        }
+    }
+
+    #[test]
+    fn bulk_clear_within_one_bitmap_word() {
+        let mut bm = SideBitmap::new(128);
+        for i in 64..80u32 {
+            bm.set(Addr::new(i));
+        }
+        assert_eq!(bm.bulk_clear(range(68, 72)), 4);
+        assert!(bm.get(Addr::new(67)) && bm.get(Addr::new(72)));
+        assert!(!bm.get(Addr::new(68)) && !bm.get(Addr::new(71)));
+        assert_eq!(bm.bulk_clear(range(5, 5)), 0, "empty range is a no-op");
+    }
+
+    #[test]
+    fn drain_sorted_emits_ascending_and_clears() {
+        let mut bm = SideBitmap::new(1024);
+        for a in [900u32, 3, 64, 65, 700] {
+            bm.set(Addr::new(a));
+        }
+        let mut out = Vec::new();
+        bm.drain_sorted(Addr::new(3), Addr::new(900), &mut out);
+        let got: Vec<u32> = out.iter().map(|a| a.raw()).collect();
+        assert_eq!(got, vec![3, 64, 65, 700, 900]);
+        assert!(!bm.get(Addr::new(64)), "drain clears the bits");
+    }
+
+    #[test]
+    fn site_table_round_trip() {
+        let mut t = SiteTable::new(64);
+        assert_eq!(t.get(Addr::new(9)), SiteId::UNKNOWN);
+        t.set(Addr::new(9), SiteId::new(777));
+        assert_eq!(t.get(Addr::new(9)), SiteId::new(777));
+    }
+
+    #[test]
+    fn atomic_view_claims_marks_and_copies_sites() {
+        let mut side = SideMetadata::new(256);
+        side.sites.set(Addr::new(10), SiteId::new(42));
+        let view = side.view();
+        assert!(view.mark_test_and_set(Addr::new(10)), "first claim wins");
+        assert!(!view.mark_test_and_set(Addr::new(10)), "second claim loses");
+        assert!(view.is_marked(Addr::new(10)));
+        view.copy_site(Addr::new(10), Addr::new(20));
+        assert_eq!(view.site_of(Addr::new(20)), SiteId::new(42));
+        let _ = view;
+        assert!(side.mark.get(Addr::new(10)), "claim lands in the bitmap");
+    }
+}

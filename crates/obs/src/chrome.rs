@@ -206,6 +206,8 @@ mod tests {
                 end_cycles: 1_501_000,
                 live_bytes_after: 96,
                 wall_ns: 30,
+                chunks_owned: 2,
+                side_cleared_words: 0,
                 size_hist: Hist::default(),
                 depth_hist: Hist::default(),
                 workers: 1,

@@ -179,6 +179,8 @@ fn end_line(e: &CollectionEnd) -> String {
         .num("end_cycles", e.end_cycles)
         .num("live_bytes_after", e.live_bytes_after)
         .num("wall_ns", e.wall_ns)
+        .num("chunks_owned", e.chunks_owned)
+        .num("side_cleared_words", e.side_cleared_words)
         .hist("size_hist", &e.size_hist)
         .hist("depth_hist", &e.depth_hist);
     if e.workers > 1 {
@@ -310,6 +312,8 @@ mod tests {
             end_cycles: 5000,
             live_bytes_after: 64,
             wall_ns: 100,
+            chunks_owned: 4,
+            side_cleared_words: 32,
             size_hist,
             depth_hist: Hist::default(),
             workers: 1,

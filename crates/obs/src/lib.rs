@@ -232,6 +232,12 @@ pub struct CollectionEnd {
     /// serial lane). Sums exactly to `copied_bytes`; the schema
     /// validator checks the identity.
     pub worker_copied_bytes: Vec<u64>,
+    /// Chunks of the heap's address space owned by spaces at collection
+    /// end (constant per plan; a layout fingerprint for trace readers).
+    pub chunks_owned: u64,
+    /// Side-metadata words (dirty + mark bitmap words) retired by this
+    /// collection's bulk clears.
+    pub side_cleared_words: u64,
 }
 
 /// Per-allocation-site counters accumulated since the previous sample

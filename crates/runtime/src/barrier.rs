@@ -11,12 +11,15 @@
 //! suggests card marking (Sobalvarro 1988) as the realistic fix.
 //!
 //! The alternative implemented here is an *object-marking* remembered set:
-//! a dirty bit in the updated object's header deduplicates repeated
+//! a dirty bit in the heap's side bitmap (one bit per word, off to the
+//! side of the object — never in its header) deduplicates repeated
 //! updates, and each dirty object is recorded once and scanned in place at
 //! the next collection. This preserves exactly the property card marking
 //! buys (barrier work bounded by distinct mutated objects rather than by
 //! update count) while staying exact in the simulation, where there is no
-//! card-to-object crossing map.
+//! card-to-object crossing map — and the collector retires a whole
+//! space's worth of dirty bits with one bulk word sweep when it vacates
+//! the space.
 
 use tilgc_mem::Addr;
 
@@ -59,9 +62,9 @@ impl WriteBarrier {
 
     /// Records an update. For [`WriteBarrier::Ssb`], `field_addr` is
     /// stored; for [`WriteBarrier::ObjectMark`], `obj` is stored — the
-    /// caller (the VM, which owns header access) is responsible for
-    /// checking and setting the header dirty bit and only calling this
-    /// when the object was clean.
+    /// caller (the VM, which owns heap access) is responsible for the
+    /// side-bitmap dirty test-and-set and only calls this when the
+    /// object was clean.
     #[inline]
     pub fn record(&mut self, obj: Addr, field_addr: Addr) {
         match self {

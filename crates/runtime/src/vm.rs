@@ -505,15 +505,11 @@ impl Vm {
             "store_ptr into non-pointer field {i} of {obj}"
         );
         let record = if self.m.barrier.dedups_objects() {
-            // Object-marking barrier: the dirty bit deduplicates repeated
-            // updates to the same object.
-            let h = object::header(self.gc.memory(), obj);
-            if h.is_dirty() {
-                false
-            } else {
-                object::set_header(self.gc.memory_mut(), obj, h.with_dirty(true));
-                true
-            }
+            // Object-marking barrier: the side dirty bitmap deduplicates
+            // repeated updates to the same object. One branch-free
+            // test-and-set (load, OR, store, bit-test) replaces the old
+            // header read-modify-write with its taken/not-taken branch.
+            !self.gc.memory_mut().dirty_test_and_set(obj)
         } else {
             true
         };

@@ -53,23 +53,26 @@ impl Collector for BumpCollector {
             .expect("bump space exhausted");
         match shape {
             AllocShape::Record { site, len, mask } => {
-                let h = tilgc_mem::Header::record(len, mask, site).expect("valid");
+                let h = tilgc_mem::Header::record(len, mask).expect("valid");
                 object::set_header(&mut self.mem, addr, h);
+                self.mem.set_site(addr, site);
                 for (i, &w) in m.alloc_buf.iter().enumerate().take(len) {
                     object::set_field(&mut self.mem, addr, i, w);
                 }
             }
             AllocShape::PtrArray { site, len } => {
-                let h = tilgc_mem::Header::ptr_array(len, site).expect("valid");
+                let h = tilgc_mem::Header::ptr_array(len).expect("valid");
                 object::set_header(&mut self.mem, addr, h);
+                self.mem.set_site(addr, site);
                 let init = m.alloc_buf.first().copied().unwrap_or(0);
                 for i in 0..len {
                     object::set_field(&mut self.mem, addr, i, init);
                 }
             }
             AllocShape::RawArray { site, len_bytes } => {
-                let h = tilgc_mem::Header::raw_array(len_bytes, site).expect("valid");
+                let h = tilgc_mem::Header::raw_array(len_bytes).expect("valid");
                 object::set_header(&mut self.mem, addr, h);
+                self.mem.set_site(addr, site);
                 for i in 0..h.payload_words() {
                     object::set_field(&mut self.mem, addr, i, 0);
                 }

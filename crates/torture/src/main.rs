@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! torture [--seeds A..B|N] [--ops N] [--plans L,L,...] [--stride N]
-//!         [--workers N] [--nursery-sweep]
+//!         [--workers N] [--nursery-sweep] [--heap-budget BYTES]
+//!         [--heap-sweep]
 //!         [--inject drop-barrier|skew-copied|oom-alloc|packet-reorder]
 //!         [--budget-sweep] [--failure-out PATH]
 //! ```
@@ -25,6 +26,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tilgc_core::CollectorKind;
+use tilgc_mem::CHUNK_BYTES;
 use tilgc_torture::{
     budget_sweep, failure_telemetry, generate, run_ops_outcome, run_seed, Fault, RunOutcome,
     TortureConfig,
@@ -39,6 +41,11 @@ const USAGE: &str = "usage: torture [options]
   --workers N          run each plan twice in lockstep: the serial oracle
                        and an N-worker parallel lane (default 1: serial only)
   --nursery-sweep      repeat the sweep at 2 KB, 4 KB and 16 KB nurseries
+  --heap-budget BYTES  total heap budget per lane (default 1 MiB)
+  --heap-sweep         repeat the sweep at heap budgets of 1, 2, 4 and
+                       8 chunks, each one word under, exactly at, and one
+                       word over the chunk boundary (side-metadata edge
+                       cases); overrides --heap-budget
   --inject FAULT       plant a defect the harness must catch:
                        drop-barrier | skew-copied | oom-alloc
                        or a perturbation that must stay invisible:
@@ -55,6 +62,8 @@ struct Args {
     stride: usize,
     workers: usize,
     nursery_sweep: bool,
+    heap_budget: Option<usize>,
+    heap_sweep: bool,
     inject: Option<Fault>,
     budget_sweep: bool,
     failure_out: Option<PathBuf>,
@@ -102,6 +111,8 @@ fn parse_args() -> Result<Args, String> {
         stride: 16,
         workers: 1,
         nursery_sweep: false,
+        heap_budget: None,
+        heap_sweep: false,
         inject: None,
         budget_sweep: false,
         failure_out: None,
@@ -131,6 +142,17 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--nursery-sweep" => args.nursery_sweep = true,
+            "--heap-budget" => {
+                args.heap_budget = Some(
+                    value("--heap-budget")?
+                        .parse()
+                        .map_err(|_| "bad --heap-budget value".to_string())?,
+                );
+                if args.heap_budget == Some(0) {
+                    return Err("--heap-budget must be positive".to_string());
+                }
+            }
+            "--heap-sweep" => args.heap_sweep = true,
             "--inject" => {
                 args.inject = Some(match value("--inject")?.as_str() {
                     "drop-barrier" => Fault::DropBarrier,
@@ -165,11 +187,31 @@ fn main() -> ExitCode {
     } else {
         &[4 << 10]
     };
+    let heap_budgets: Vec<usize> = if args.heap_sweep {
+        // 1, 2, 4 and 8 chunks, probed one word under, exactly at, and
+        // one word over each boundary — the shapes that land space ends
+        // on (and just past) side-metadata bitmap word edges.
+        [1usize, 2, 4, 8]
+            .iter()
+            .flat_map(|&m| {
+                let base = m * CHUNK_BYTES;
+                [base - 8, base, base + 8]
+            })
+            .collect()
+    } else {
+        vec![args
+            .heap_budget
+            .unwrap_or(TortureConfig::default().heap_budget_bytes)]
+    };
     let n_seeds = args.seeds.end - args.seeds.start;
     let mut runs = 0u64;
-    for &nursery in nurseries {
+    for (&nursery, &heap_budget) in nurseries
+        .iter()
+        .flat_map(|n| heap_budgets.iter().map(move |b| (n, b)))
+    {
         let cfg = TortureConfig {
             ops: args.ops,
+            heap_budget_bytes: heap_budget,
             nursery_bytes: nursery,
             plans: args.plans.clone(),
             check_stride: args.stride,
@@ -178,8 +220,9 @@ fn main() -> ExitCode {
             ..TortureConfig::default()
         };
         eprintln!(
-            "torture: nursery {} KB, seeds {}..{}, {} ops, plans [{}]{}{}",
+            "torture: nursery {} KB, heap {} KB, seeds {}..{}, {} ops, plans [{}]{}{}",
             nursery >> 10,
+            heap_budget >> 10,
             args.seeds.start,
             args.seeds.end,
             cfg.ops,
@@ -240,10 +283,11 @@ fn main() -> ExitCode {
         }
     }
     println!(
-        "torture: {} runs clean ({} seeds x {} nursery sizes, {} ops each)",
+        "torture: {} runs clean ({} seeds x {} nursery sizes x {} heap budgets, {} ops each)",
         runs,
         n_seeds,
         nurseries.len(),
+        heap_budgets.len(),
         args.ops
     );
     ExitCode::SUCCESS
@@ -257,7 +301,10 @@ fn report_failure(
     nursery: usize,
     d: &tilgc_torture::Divergence,
 ) -> ExitCode {
-    let mut report = format!("nursery {nursery} bytes\n{d}");
+    let mut report = format!(
+        "nursery {nursery} bytes, heap budget {} bytes\n{d}",
+        cfg.heap_budget_bytes
+    );
     report.push_str(&failure_telemetry(d, cfg));
     eprintln!("torture: FAILED\n{report}");
     if let Some(path) = &args.failure_out {
