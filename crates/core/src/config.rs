@@ -209,6 +209,12 @@ pub struct GcConfig {
     pub profiling: bool,
     /// Pretenuring policy, if any.
     pub pretenure: Option<PretenurePolicy>,
+    /// Online adaptive pretenuring: promote/demote allocation sites
+    /// mid-run from an EWMA of observed per-site survival, with
+    /// hysteresis bands and a cooldown (see the `adaptive` module).
+    /// `None` — the default — keeps placement exactly as the static
+    /// `pretenure` policy says for the whole run.
+    pub adaptive: Option<crate::AdaptiveConfig>,
     /// §7.2 extension: objects must survive this many minor collections
     /// before being promoted to the tenured generation (age recorded in
     /// the header's counter bits). 0 — the paper's configuration —
@@ -247,6 +253,7 @@ impl Default for GcConfig {
             large_object_bytes: 16 << 10,
             profiling: false,
             pretenure: None,
+            adaptive: None,
             tenure_threshold: 0,
             adaptive_major: false,
             workers: 1,
@@ -300,6 +307,14 @@ impl GcConfig {
     #[must_use]
     pub fn pretenure(mut self, policy: PretenurePolicy) -> GcConfig {
         self.pretenure = Some(policy);
+        self
+    }
+
+    /// Enables online adaptive pretenuring with the given estimator
+    /// configuration.
+    #[must_use]
+    pub fn adaptive(mut self, config: crate::AdaptiveConfig) -> GcConfig {
+        self.adaptive = Some(config);
         self
     }
 

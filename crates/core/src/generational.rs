@@ -27,12 +27,15 @@
 use std::time::Instant;
 
 use tilgc_mem::{Addr, BudgetSnapshot, GcError, Memory, Space, SpaceRange};
-use tilgc_obs::{CollectionBegin, Event, GcPhase, PhaseTimer, TelemetryAcc};
+use tilgc_obs::{
+    CollectionBegin, Event, GcPhase, PhaseTimer, SiteDemote, SitePromote, SiteWindow, TelemetryAcc,
+};
 use tilgc_runtime::{
     AllocShape, BarrierEntry, CollectReason, CollectionInspection, GcStats, HeapProfile,
     MutatorState,
 };
 
+use crate::adaptive::AdaptivePretenure;
 use crate::config::{GcConfig, MarkerPolicy, PretenurePolicy};
 use crate::evac::{poison_range, sweep_profile_deaths, Evacuator};
 use crate::governor::{PressureRung, PressureSession};
@@ -65,6 +68,11 @@ pub struct GenerationalPlan {
     marker_policy: MarkerPolicy,
     cache: Option<ScanCache>,
     pretenured: Option<PretenuredRegion>,
+    /// Online adaptive pretenuring (the closed telemetry→policy loop):
+    /// promotes and demotes sites mid-run from observed survival. When
+    /// set, the telemetry accumulator runs even without a recorder —
+    /// the estimator is its only consumer then.
+    adaptive: Option<AdaptivePretenure>,
     /// Oversized objects tenured at birth with no pretenure/LOS pending
     /// list to ride on; scanned in place at the next minor collection.
     oversized_pending: Vec<Addr>,
@@ -155,7 +163,16 @@ impl GenerationalPlan {
             tenure_threshold: config.tenure_threshold,
             marker_policy: config.marker_policy,
             cache: config.marker_policy.is_enabled().then(ScanCache::default),
-            pretenured: config.pretenure.clone().map(PretenuredRegion::new),
+            // The adaptive loop needs a region to route promoted sites
+            // into even when no static (profile-derived) policy seeds it.
+            pretenured: config
+                .pretenure
+                .clone()
+                .or_else(|| config.adaptive.map(|_| PretenurePolicy::new()))
+                .map(PretenuredRegion::new),
+            adaptive: config
+                .adaptive
+                .map(|a| AdaptivePretenure::new(a, config.pretenure.as_ref())),
             oversized_pending: Vec::new(),
             young_refs: Vec::new(),
             young_locs: Vec::new(),
@@ -282,6 +299,58 @@ impl GenerationalPlan {
         }
     }
 
+    /// The closed loop's decision step, run at the end of every
+    /// collection while adaptation is on: feed the per-site windows into
+    /// the estimator and apply the placement flips it returns. Must run
+    /// *before* [`end_telemetry`](Self::end_telemetry) — draining the
+    /// samples resets the windows the estimator reads.
+    fn adapt(&mut self, m: &mut MutatorState, major: bool) {
+        let Some(adaptive) = self.adaptive.as_mut() else {
+            return;
+        };
+        let Some(telem) = self.telem.as_mut() else {
+            return;
+        };
+        let windows: Vec<SiteWindow> = telem.windows().collect();
+        let collection = self.stats.collections;
+        let out = adaptive.observe(collection, major, &windows);
+        if !m.recorder.is_enabled() {
+            // No recorder to drain the windows at collection end: reset
+            // them here so each observation stays one collection wide.
+            telem.clear_windows();
+        }
+        if out.is_empty() {
+            return;
+        }
+        let region = self
+            .pretenured
+            .as_mut()
+            .expect("adaptive plans always compose a pretenured region");
+        for &(site, permille) in &out.promotions {
+            region.promote_site(site);
+            self.stats.sites_promoted += 1;
+            if m.recorder.is_enabled() {
+                m.recorder.record(Event::SitePromote(SitePromote {
+                    collection,
+                    site: site.get(),
+                    survival_permille: permille,
+                }));
+            }
+        }
+        for &(site, permille) in &out.demotions {
+            region.demote_site(site);
+            self.stats.sites_demoted += 1;
+            if m.recorder.is_enabled() {
+                m.recorder.record(Event::SiteDemote(SiteDemote {
+                    collection,
+                    site: site.get(),
+                    survival_permille: permille,
+                    reason: "adaptive",
+                }));
+            }
+        }
+    }
+
     fn minor(&mut self, m: &mut MutatorState, reason: &'static str) {
         let wall_start = Instant::now();
         let stats_before = self.stats;
@@ -341,8 +410,8 @@ impl GenerationalPlan {
         if self.tenure_threshold > 0 {
             evac.set_survivor(survivor_space, self.tenure_threshold);
         }
-        if let Some(t) = self.telem.as_mut().filter(|_| timer.is_some()) {
-            evac.set_telemetry(t);
+        if timer.is_some() || self.adaptive.is_some() {
+            evac.set_telemetry(self.telem.get_or_insert_with(TelemetryAcc::default));
         }
         if parallel {
             evac.set_workers(self.workers, self.packet_reorder);
@@ -475,6 +544,7 @@ impl GenerationalPlan {
             self.tenure_threshold == 0,
             scan_claim,
         ));
+        self.adapt(m, false);
         let side_cleared = self.mem.side_cleared_words() - side_cleared_before;
         self.end_telemetry(
             m,
@@ -547,8 +617,8 @@ impl GenerationalPlan {
             &mut self.stats,
             m.cost,
         );
-        if let Some(t) = self.telem.as_mut().filter(|_| timer.is_some()) {
-            evac.set_telemetry(t);
+        if timer.is_some() || self.adaptive.is_some() {
+            evac.set_telemetry(self.telem.get_or_insert_with(TelemetryAcc::default));
         }
         if parallel {
             evac.set_workers(self.workers, self.packet_reorder);
@@ -670,6 +740,7 @@ impl GenerationalPlan {
             true,
             scan_claim,
         ));
+        self.adapt(m, true);
         let side_cleared = self.mem.side_cleared_words() - side_cleared_before;
         self.end_telemetry(
             m,
@@ -875,6 +946,24 @@ impl GenerationalPlan {
                         if let Some(p) = self.profile.as_mut() {
                             p.note_demotion(demoted);
                         }
+                        // A governor demotion while adaptation is on is
+                        // a policy flip like any other: sync the
+                        // estimator's view (starting the site's
+                        // cooldown), count it, and emit the event with
+                        // its distinct reason.
+                        if let Some(a) = self.adaptive.as_mut() {
+                            let collection = self.stats.collections;
+                            a.note_forced_demotion(demoted, collection);
+                            self.stats.sites_demoted += 1;
+                            if m.recorder.is_enabled() {
+                                m.recorder.record(Event::SiteDemote(SiteDemote {
+                                    collection,
+                                    site: demoted.get(),
+                                    survival_permille: a.survival_permille(demoted).unwrap_or(0),
+                                    reason: "pressure",
+                                }));
+                            }
+                        }
                         session.emit_rung(m, PressureRung::Demote, "demoted", charged);
                     }
                     session.finish(m, "recovered");
@@ -1063,10 +1152,12 @@ impl Plan for GenerationalPlan {
     }
 
     fn alloc(&mut self, m: &mut MutatorState, shape: AllocShape) -> Result<Addr, GcError> {
-        if m.recorder.is_enabled() {
+        if m.recorder.is_enabled() || self.adaptive.is_some() {
             // Counted before routing (and before any demotion re-route)
             // so every allocation path (LOS, pretenure, semispace mode,
             // oversized, nursery) feeds the same per-site time-series.
+            // The adaptive estimator consumes the same windows the
+            // recorder samples, so it keeps them flowing recorder or no.
             self.telem
                 .get_or_insert_with(TelemetryAcc::default)
                 .note_alloc(shape.site().get(), shape.size_bytes() as u64);

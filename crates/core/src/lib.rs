@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 mod config;
 mod evac;
 mod generational;
@@ -55,6 +56,7 @@ pub mod space;
 mod util;
 pub mod verify;
 
+pub use adaptive::{AdaptiveConfig, AdaptiveOutcome, AdaptivePretenure};
 pub use config::{GcConfig, MarkerPolicy, PretenurePolicy};
 pub use evac::{Evacuator, ObjectQueue, POISON};
 pub use generational::GenerationalPlan;
@@ -114,11 +116,13 @@ pub fn build_collector(kind: CollectorKind, config: &GcConfig) -> Box<dyn Collec
     match kind {
         CollectorKind::Semispace => {
             config.pretenure = None;
+            config.adaptive = None;
             SemispacePlan::new(&config).into_collector()
         }
         CollectorKind::Generational => {
             config.marker_policy = MarkerPolicy::Disabled;
             config.pretenure = None;
+            config.adaptive = None;
             GenerationalPlan::new(&config).into_collector()
         }
         CollectorKind::GenerationalStack => {
@@ -126,6 +130,7 @@ pub fn build_collector(kind: CollectorKind, config: &GcConfig) -> Box<dyn Collec
                 config.marker_policy = MarkerPolicy::PAPER;
             }
             config.pretenure = None;
+            config.adaptive = None;
             GenerationalPlan::new(&config).into_collector()
         }
         CollectorKind::GenerationalStackPretenure => {

@@ -22,7 +22,7 @@
 //!   ([`CopySemantics::ScanInPlace`]), unless the §7.2 analysis cleared
 //!   their site of scanning entirely.
 
-use tilgc_mem::{Addr, SiteId, Space};
+use tilgc_mem::{Addr, SiteId, SiteRouteTable, Space};
 
 use crate::config::PretenurePolicy;
 use crate::los::LargeObjectSpace;
@@ -170,6 +170,10 @@ impl SpacePolicy for LargeObjectSpace {
 #[derive(Debug, Default)]
 pub struct PretenuredRegion {
     policy: PretenurePolicy,
+    /// Branch-free mirror of the policy's site set, consulted on the
+    /// allocation fast path (the `BTreeSet` stays authoritative for
+    /// enumeration and the no-scan subset).
+    route: SiteRouteTable,
     pending: Vec<Addr>,
     /// Words allocated per pretenured site over the run — the pressure
     /// signal the governor's demotion rung ranks sites by.
@@ -179,8 +183,13 @@ pub struct PretenuredRegion {
 impl PretenuredRegion {
     /// Builds the region around a derived (or hand-written) site policy.
     pub fn new(policy: PretenurePolicy) -> PretenuredRegion {
+        let mut route = SiteRouteTable::new();
+        for site in policy.sites() {
+            route.set(site);
+        }
         PretenuredRegion {
             policy,
+            route,
             pending: Vec::new(),
             alloc_words: std::collections::BTreeMap::new(),
         }
@@ -191,9 +200,27 @@ impl PretenuredRegion {
         &self.policy
     }
 
-    /// Whether allocations from `site` are born tenured.
+    /// Whether allocations from `site` are born tenured. This is the
+    /// alloc fast path's test: one word index and a bit probe,
+    /// branch-free regardless of how many sites are routed.
+    #[inline]
     pub fn should_pretenure(&self, site: SiteId) -> bool {
-        self.policy.should_pretenure(site)
+        self.route.route(site)
+    }
+
+    /// Routes future allocations from `site` to the tenured-at-birth
+    /// path (an online promotion). Idempotent.
+    pub fn promote_site(&mut self, site: SiteId) {
+        self.policy.add_site(site);
+        self.route.set(site);
+    }
+
+    /// Reroutes future allocations from `site` back to the nursery (an
+    /// online demotion). Objects the site already tenured stay where
+    /// they are. Returns whether the site was routed.
+    pub fn demote_site(&mut self, site: SiteId) -> bool {
+        self.route.clear(site);
+        self.policy.remove_site(site)
     }
 
     /// Whether pending scans use the cheaper §7.2 site-grouped kernel.
@@ -226,6 +253,7 @@ impl PretenuredRegion {
             )
         })?;
         self.policy.remove_site(hottest);
+        self.route.clear(hottest);
         Some(hottest)
     }
 
@@ -337,5 +365,26 @@ mod tests {
         // Sites with equal (zero) pressure demote lowest-id first.
         assert_eq!(region.demote_hottest(), Some(idle));
         assert_eq!(region.demote_hottest(), None);
+    }
+
+    #[test]
+    fn route_table_mirrors_policy_through_flips() {
+        let seeded = SiteId::new(4);
+        let policy: PretenurePolicy = [seeded].into_iter().collect();
+        let mut region = PretenuredRegion::new(policy);
+        assert!(region.should_pretenure(seeded));
+
+        let promoted = SiteId::new(9);
+        region.promote_site(promoted);
+        assert!(region.should_pretenure(promoted));
+        assert!(region.policy().should_pretenure(promoted));
+
+        assert!(region.demote_site(promoted));
+        assert!(!region.should_pretenure(promoted));
+        assert!(!region.demote_site(promoted), "already demoted");
+
+        // demote_hottest keeps the fast-path mirror in sync too.
+        assert_eq!(region.demote_hottest(), Some(seeded));
+        assert!(!region.should_pretenure(seeded));
     }
 }

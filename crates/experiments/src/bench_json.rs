@@ -1,8 +1,8 @@
 //! `experiments bench-json` — a fixed GC-throughput suite emitting a
-//! machine-readable baseline (`BENCH_pr7.json`).
+//! machine-readable baseline (`BENCH_pr8.json`).
 //!
-//! Seven metric groups, all wall-clock (unlike the tables, which report
-//! deterministic simulated cycles):
+//! Seven wall-clock metric groups plus one deterministic ratio (the
+//! tables, by contrast, report only deterministic simulated cycles):
 //!
 //! * evacuation-scan throughput in heap words per second,
 //! * stack-scan throughput in frames per second,
@@ -18,7 +18,12 @@
 //! * the same workload with the work-packet scheduler at `--workers N`:
 //!   parallel wall time, parallel-vs-serial speedup, and per-worker copy
 //!   throughput (copied MB per second of copy-phase wall time, divided
-//!   by the worker count).
+//!   by the worker count),
+//! * the drifting-workload ratio `drift_adaptive_speedup_vs_static` —
+//!   simulated GC cycles of a stale static pretenure policy divided by
+//!   the online-adaptive lane's, on the phase-flipping program (see the
+//!   `drift` subcommand). Deterministic, so any value below 1.0 is a
+//!   policy defect rather than noise.
 //!
 //! The kernel metrics also record the batched-vs-reference speedup
 //! measured against the pre-batching scalar paths retained under
@@ -231,8 +236,17 @@ pub fn run(path: &str, workers: usize) {
          on {host_cores} cores, {par_copy_mb_per_sec_per_worker:.1} MB/s/worker copy"
     );
 
+    // Deterministic: the drifting workload under stale-static vs online
+    // adaptive pretenuring, in simulated GC cycles.
+    let drift = crate::drift::measure();
+    let drift_speedup = drift.speedup;
+    println!(
+        "drift:       {drift_speedup:>14.3} x         adaptive vs static on the \
+         phase-flipping workload"
+    );
+
     let json = format!(
-        "{{\n  \"suite\": \"gc-throughput-baseline\",\n  \"kernel_iters\": {KERNEL_ITERS},\n  \"workload_iters\": {WORKLOAD_ITERS},\n  \"workers\": {workers},\n  \"host_cores\": {host_cores},\n  \"metrics\": {{\n    \"evac_words_per_sec\": {evac_words_per_sec:.0},\n    \"evac_speedup_vs_reference\": {evac_speedup:.3},\n    \"stack_scan_frames_per_sec\": {stack_frames_per_sec:.0},\n    \"stack_scan_speedup_vs_reference\": {stack_speedup:.3},\n    \"ssb_filter_entries_per_sec\": {ssb_entries_per_sec:.0},\n    \"ssb_filter_speedup_vs_reference\": {ssb_speedup:.3},\n    \"barrier_filter_updates_per_sec\": {barrier_updates_per_sec:.0},\n    \"barrier_filter_speedup_vs_reference\": {barrier_speedup:.3},\n    \"bulk_clear_mb_per_sec\": {bulk_clear_mb_per_sec:.0},\n    \"table5_workload_ms\": {workload_ms:.3},\n    \"table5_workload_checksum\": {workload_checksum},\n    \"table5_parallel_workload_ms\": {par_ms:.3},\n    \"table5_parallel_speedup\": {par_speedup:.3},\n    \"par_copy_mb_per_sec_per_worker\": {par_copy_mb_per_sec_per_worker:.1}\n  }}\n}}\n"
+        "{{\n  \"suite\": \"gc-throughput-baseline\",\n  \"kernel_iters\": {KERNEL_ITERS},\n  \"workload_iters\": {WORKLOAD_ITERS},\n  \"workers\": {workers},\n  \"host_cores\": {host_cores},\n  \"metrics\": {{\n    \"evac_words_per_sec\": {evac_words_per_sec:.0},\n    \"evac_speedup_vs_reference\": {evac_speedup:.3},\n    \"stack_scan_frames_per_sec\": {stack_frames_per_sec:.0},\n    \"stack_scan_speedup_vs_reference\": {stack_speedup:.3},\n    \"ssb_filter_entries_per_sec\": {ssb_entries_per_sec:.0},\n    \"ssb_filter_speedup_vs_reference\": {ssb_speedup:.3},\n    \"barrier_filter_updates_per_sec\": {barrier_updates_per_sec:.0},\n    \"barrier_filter_speedup_vs_reference\": {barrier_speedup:.3},\n    \"bulk_clear_mb_per_sec\": {bulk_clear_mb_per_sec:.0},\n    \"table5_workload_ms\": {workload_ms:.3},\n    \"table5_workload_checksum\": {workload_checksum},\n    \"table5_parallel_workload_ms\": {par_ms:.3},\n    \"table5_parallel_speedup\": {par_speedup:.3},\n    \"par_copy_mb_per_sec_per_worker\": {par_copy_mb_per_sec_per_worker:.1},\n    \"drift_adaptive_speedup_vs_static\": {drift_speedup:.3}\n  }}\n}}\n"
     );
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),

@@ -3,13 +3,16 @@
 //!
 //! Reads the kernel-throughput metrics out of a baseline and a candidate
 //! JSON file (the nightly CI tier produces `BENCH_nightly.json` and
-//! compares it against the checked-in `BENCH_pr7.json`) and fails if any
+//! compares it against the checked-in `BENCH_pr8.json`) and fails if any
 //! throughput dropped by more than the allowed percentage, or if any
-//! `*_speedup_vs_reference` ratio in the candidate sits below 1.0 — a
-//! batched kernel slower than its scalar reference is drift no matter
-//! what the baseline recorded. Wall-clock workload times are reported
-//! but not gated — they are too noisy on shared runners; the per-second
-//! kernel throughputs are medians and stable enough to gate on.
+//! `*_speedup_vs_reference` or `*_speedup_vs_static` ratio in the
+//! candidate sits below 1.0 — a batched kernel slower than its scalar
+//! reference, or an adaptive policy slower than the stale static one it
+//! exists to beat, is drift no matter what the baseline recorded.
+//! Wall-clock workload times are reported but not gated — they are too
+//! noisy on shared runners; the per-second kernel throughputs are
+//! medians and stable enough to gate on, and the drift ratio is
+//! deterministic outright.
 //!
 //! No JSON dependency exists in the workspace, so a tiny `"key": number`
 //! scanner (sufficient for `bench-json`'s flat output) does the reading.
@@ -53,12 +56,16 @@ fn parse_metrics(text: &str) -> HashMap<String, f64> {
 
 /// Any `*_speedup_vs_reference` metric below 1.0 means a batched kernel
 /// has drifted slower than the scalar reference path it was supposed to
-/// beat. That is a defect in its own right, so the candidate is checked
+/// beat; any `*_speedup_vs_static` below 1.0 means the online adaptive
+/// pretenurer lost to the stale static policy on the drifting workload.
+/// Either is a defect in its own right, so the candidate is checked
 /// absolutely — not relative to the baseline, which may share the drift.
 fn speedup_drift(metrics: &HashMap<String, f64>) -> Vec<(String, f64)> {
     let mut drift: Vec<(String, f64)> = metrics
         .iter()
-        .filter(|(k, v)| k.ends_with("_speedup_vs_reference") && **v < 1.0)
+        .filter(|(k, v)| {
+            (k.ends_with("_speedup_vs_reference") || k.ends_with("_speedup_vs_static")) && **v < 1.0
+        })
         .map(|(k, v)| (k.clone(), *v))
         .collect();
     drift.sort_by(|a, b| a.0.cmp(&b.0));
@@ -106,7 +113,12 @@ pub fn run(baseline_path: &str, candidate_path: &str, max_regress_pct: f64) -> E
         }
     }
     for (name, value) in speedup_drift(&candidate) {
-        eprintln!("  {name:>28}: {value:>14.3}  DRIFT (batched kernel slower than its reference)");
+        let what = if name.ends_with("_speedup_vs_static") {
+            "adaptive policy slower than the static one"
+        } else {
+            "batched kernel slower than its reference"
+        };
+        eprintln!("  {name:>28}: {value:>14.3}  DRIFT ({what})");
         failed = true;
     }
     // Context only — wall-clock workload time is not gated.
@@ -120,7 +132,14 @@ pub fn run(baseline_path: &str, candidate_path: &str, max_regress_pct: f64) -> E
         );
     }
     if failed {
-        eprintln!("bench-compare: FAILED — throughput regressed beyond {max_regress_pct}%");
+        // Report the paths actually compared, not the default constants
+        // — `--baseline`/`--candidate` may have overridden them, and a
+        // CI log that names the wrong file sends the reader to the
+        // wrong artifact.
+        eprintln!(
+            "bench-compare: FAILED — {candidate_path} vs {baseline_path} \
+             (allowed regression {max_regress_pct}%)"
+        );
         ExitCode::FAILURE
     } else {
         println!("bench-compare: ok");
@@ -152,6 +171,16 @@ mod tests {
         assert_eq!(drift.len(), 1, "only the sub-1.0 reference ratio drifts");
         assert_eq!(drift[0].0, "ssb_filter_speedup_vs_reference");
         assert!((drift[0].1 - 0.980).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_vs_static_below_one_is_drift() {
+        let ok = parse_metrics(r#"{"drift_adaptive_speedup_vs_static": 1.042}"#);
+        assert!(speedup_drift(&ok).is_empty());
+        let bad = parse_metrics(r#"{"drift_adaptive_speedup_vs_static": 0.91}"#);
+        let drift = speedup_drift(&bad);
+        assert_eq!(drift.len(), 1);
+        assert_eq!(drift[0].0, "drift_adaptive_speedup_vs_static");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-use tilgc_core::{build_vm_with_recorder, CollectorKind};
+use tilgc_core::{build_vm_with_recorder, AdaptiveConfig, CollectorKind};
 use tilgc_obs::{chrome, jsonl, schema, Event, GcPhase, RingRecorder};
 use tilgc_programs::Benchmark;
 use tilgc_runtime::CostModel;
@@ -26,7 +26,16 @@ const BAR_WIDTH: usize = 40;
 
 /// Runs the gc-log experiment. `bench_name` / `plan_label` match
 /// [`Benchmark::name`] and [`CollectorKind::label`] case-insensitively.
-pub fn run(bench_name: &str, plan_label: &str, out_dir: &str, validate: bool) -> ExitCode {
+/// `adaptive` turns on the online pretenuring estimator (meaningful only
+/// under the pretenure plan; the other plans ignore it), so its
+/// promote/demote events appear in the timeline and JSONL.
+pub fn run(
+    bench_name: &str,
+    plan_label: &str,
+    out_dir: &str,
+    validate: bool,
+    adaptive: bool,
+) -> ExitCode {
     let Some(bench) = Benchmark::ALL
         .iter()
         .copied()
@@ -57,6 +66,9 @@ pub fn run(bench_name: &str, plan_label: &str, out_dir: &str, validate: bool) ->
     if kind == CollectorKind::GenerationalStackPretenure {
         let (policy, _) = derive_pretenure_policy(bench, scale);
         config = config.pretenure(policy);
+    }
+    if adaptive {
+        config = config.adaptive(AdaptiveConfig::default());
     }
 
     let recorder = Box::new(RingRecorder::with_capacity(RING_CAPACITY));
@@ -94,6 +106,7 @@ pub fn run(bench_name: &str, plan_label: &str, out_dir: &str, validate: bool) ->
     }
     print_timeline(&events);
     print_pressure(&events);
+    print_adaptive_flips(&events, &sites);
     print_site_table(&events, &sites);
 
     let jsonl_doc = jsonl::render(kind.label(), bench.name(), clock_hz, &sites, &events);
@@ -173,6 +186,8 @@ fn group_collections(events: &[Event]) -> BTreeMap<u64, CollectionRow> {
             // Pressure episodes sit between collections; they get their
             // own section of the report rather than a timeline row.
             Event::PressureBegin(_) | Event::PressureRung(_) | Event::PressureEnd(_) => {}
+            // Adaptive site flips likewise get their own section.
+            Event::SitePromote(_) | Event::SiteDemote(_) => {}
         }
     }
     rows
@@ -216,6 +231,52 @@ fn print_pressure(events: &[Event]) {
                         r.rung, r.outcome, r.cycles
                     );
                 }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Prints the adaptive pretenuring flips, one line per promote/demote
+/// with the collection it happened at and the estimator's survival EWMA
+/// at decision time. Silent when the run had none (adaptation off, or
+/// nothing drifted).
+fn print_adaptive_flips(events: &[Event], sites: &[(u16, String)]) {
+    let name_of = |id: u16| {
+        sites
+            .iter()
+            .find(|(sid, _)| *sid == id)
+            .map(|(_, n)| n.as_str())
+            .unwrap_or("?")
+    };
+    let mut printed_header = false;
+    let mut header = || {
+        if !printed_header {
+            printed_header = true;
+            println!();
+            println!("adaptive site flips:");
+        }
+    };
+    for e in events {
+        match e {
+            Event::SitePromote(p) => {
+                header();
+                println!(
+                    "  gc#{:<4} promote {:<24} (survival {}‰)",
+                    p.collection,
+                    name_of(p.site),
+                    p.survival_permille
+                );
+            }
+            Event::SiteDemote(d) => {
+                header();
+                println!(
+                    "  gc#{:<4} demote  {:<24} (survival {}‰, {})",
+                    d.collection,
+                    name_of(d.site),
+                    d.survival_permille,
+                    d.reason
+                );
             }
             _ => {}
         }

@@ -7,25 +7,31 @@
 //! experiments bench-compare [--baseline FILE] [--candidate FILE]
 //!                           [--max-regress-pct N]
 //! experiments gc-log [--bench NAME] [--plan LABEL] [--out-dir DIR]
-//!                    [--validate]
+//!                    [--validate] [--adaptive]
+//! experiments drift
 //! ```
 //!
 //! `bench-json` runs the fixed wall-clock GC-throughput suite and
-//! writes a machine-readable baseline (default `BENCH_pr7.json`); it is
+//! writes a machine-readable baseline (default `BENCH_pr8.json`); it is
 //! not part of `all`, whose outputs are deterministic simulated cycles.
 //! `--workers N` sizes the parallel lane of the Table 5 workload (and is
 //! recorded in the baseline alongside the host's core count).
 //! `bench-compare` gates a candidate baseline (default
-//! `BENCH_nightly.json`) against a reference (default `BENCH_pr7.json`),
+//! `BENCH_nightly.json`) against a reference (default `BENCH_pr8.json`),
 //! failing if any kernel throughput regressed more than the allowed
-//! percentage (default 25) or any batched kernel drifted below its
-//! scalar reference path.
+//! percentage (default 25), any batched kernel drifted below its scalar
+//! reference path, or the adaptive pretenurer drifted below the static
+//! policy on the drifting workload.
 //! `gc-log` runs one benchmark (default `Checksum`) under one collector
 //! (default `gen+markers`) with the telemetry recorder attached, prints
 //! an ASCII per-collection phase timeline and per-site survival table,
 //! and writes the event stream as JSONL plus a Chrome/Perfetto trace
 //! into `--out-dir` (default `gclog`); `--validate` additionally checks
-//! both files against the documented schema.
+//! both files against the documented schema, and `--adaptive` turns the
+//! online pretenuring estimator on so its site flips show up in the log.
+//! `drift` runs the phase-flipping workload under the pretenure plan
+//! twice — stale static policy vs online adaptation — and reports the
+//! deterministic `drift_adaptive_speedup_vs_static` ratio.
 //!
 //! Build with `--release`: the simulator is deterministic either way, but
 //! debug builds are an order of magnitude slower.
@@ -33,6 +39,7 @@
 mod bench_json;
 mod compare;
 mod csv;
+mod drift;
 mod extensions;
 mod gclog;
 mod harness;
@@ -44,8 +51,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Option<String> = None;
     let mut scale: u32 = 1;
-    let mut out = "BENCH_pr7.json".to_string();
-    let mut baseline = "BENCH_pr7.json".to_string();
+    let mut out = "BENCH_pr8.json".to_string();
+    let mut baseline = "BENCH_pr8.json".to_string();
     let mut candidate = "BENCH_nightly.json".to_string();
     let mut max_regress_pct = 25.0f64;
     let mut workers: usize = 4;
@@ -54,6 +61,7 @@ fn main() -> ExitCode {
     let mut plan = "gen+markers".to_string();
     let mut out_dir = "gclog".to_string();
     let mut validate = false;
+    let mut adaptive = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -130,6 +138,7 @@ fn main() -> ExitCode {
                 out_dir = dir.clone();
             }
             "--validate" => validate = true,
+            "--adaptive" => adaptive = true,
             "--workers" => {
                 i += 1;
                 workers = match args.get(i).and_then(|s| s.parse().ok()) {
@@ -163,7 +172,11 @@ fn main() -> ExitCode {
         return compare::run(&baseline, &candidate, max_regress_pct);
     }
     if which == "gc-log" {
-        return gclog::run(&bench, &plan, &out_dir, validate);
+        return gclog::run(&bench, &plan, &out_dir, validate, adaptive);
+    }
+    if which == "drift" {
+        drift::run();
+        return ExitCode::SUCCESS;
     }
     let run = |name: &str| match name {
         "table1" => tables::table1(),
@@ -179,7 +192,7 @@ fn main() -> ExitCode {
         other => {
             eprintln!(
                 "unknown experiment {other:?}; expected table1..table7, figure2, extensions, \
-                 bench-json, bench-compare, gc-log, or all"
+                 bench-json, bench-compare, gc-log, drift, or all"
             );
             std::process::exit(2);
         }

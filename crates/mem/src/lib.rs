@@ -68,7 +68,7 @@ pub use memory::{Memory, WordWindow, WORD_BYTES};
 pub use object::Obj;
 pub use shared::SharedMemView;
 pub use side::{ChunkMap, SideBitmap, SideMetaView, CHUNK_BYTES, CHUNK_WORDS};
-pub use site::SiteId;
+pub use site::{SiteId, SiteRouteTable};
 pub use space::{Space, SpaceRange};
 
 /// Number of bytes occupied by `words` machine words.

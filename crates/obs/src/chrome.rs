@@ -154,6 +154,9 @@ pub fn render(plan: &str, bench: &str, clock_hz: u64, events: &[Event]) -> Strin
             // timeline (the work they trigger shows up as collections);
             // the JSONL sink carries them for the gc-log timeline.
             Event::PressureBegin(_) | Event::PressureRung(_) | Event::PressureEnd(_) => {}
+            // Site flips are instants, not spans; the JSONL sink carries
+            // them for the gc-log timeline and the adaptive A/B tooling.
+            Event::SitePromote(_) | Event::SiteDemote(_) => {}
         }
     }
     w.finish()

@@ -8,7 +8,7 @@
 use crate::json::escape_into;
 use crate::{
     CollectionBegin, CollectionEnd, Event, Hist, PhaseSpan, PressureBegin, PressureEnd,
-    PressureRung, SiteSample,
+    PressureRung, SiteDemote, SitePromote, SiteSample,
 };
 
 /// Builds JSONL object lines field by field.
@@ -117,6 +117,8 @@ pub fn event_line(event: &Event) -> String {
         Event::PressureBegin(e) => pressure_begin_line(e),
         Event::PressureRung(e) => pressure_rung_line(e),
         Event::PressureEnd(e) => pressure_end_line(e),
+        Event::SitePromote(e) => site_promote_line(e),
+        Event::SiteDemote(e) => site_demote_line(e),
     }
 }
 
@@ -218,6 +220,23 @@ fn pressure_end_line(e: &PressureEnd) -> String {
         .finish()
 }
 
+fn site_promote_line(e: &SitePromote) -> String {
+    Obj::new("site-promote")
+        .num("collection", e.collection)
+        .num("site", e.site as u64)
+        .num("survival_permille", e.survival_permille)
+        .finish()
+}
+
+fn site_demote_line(e: &SiteDemote) -> String {
+    Obj::new("site-demote")
+        .num("collection", e.collection)
+        .num("site", e.site as u64)
+        .num("survival_permille", e.survival_permille)
+        .str("reason", e.reason)
+        .finish()
+}
+
 fn site_line(e: &SiteSample) -> String {
     Obj::new("site-sample")
         .num("collection", e.collection)
@@ -271,6 +290,30 @@ mod tests {
         let v = parse(&event_line(&events[1])).unwrap();
         assert_eq!(v.get("phase").unwrap().as_str(), Some("stack-decode"));
         assert_eq!(v.get("cycles").unwrap().as_u64(), Some(77));
+    }
+
+    #[test]
+    fn site_flip_lines_round_trip() {
+        let promote = Event::SitePromote(SitePromote {
+            collection: 12,
+            site: 7,
+            survival_permille: 912,
+        });
+        let v = parse(&event_line(&promote)).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("site-promote"));
+        assert_eq!(v.get("site").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("survival_permille").unwrap().as_u64(), Some(912));
+
+        let demote = Event::SiteDemote(SiteDemote {
+            collection: 19,
+            site: 7,
+            survival_permille: 120,
+            reason: "adaptive",
+        });
+        let v = parse(&event_line(&demote)).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("site-demote"));
+        assert_eq!(v.get("reason").unwrap().as_str(), Some("adaptive"));
+        assert_eq!(v.get("collection").unwrap().as_u64(), Some(19));
     }
 
     #[test]

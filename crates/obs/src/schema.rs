@@ -266,8 +266,48 @@ pub fn validate_line(line: &str) -> Result<(), String> {
                 Err(format!("unknown pressure outcome {outcome:?}"))
             }
         }),
+        "site-promote" => require(
+            &v,
+            &[
+                ("collection", Ty::U64),
+                ("site", Ty::U64),
+                ("survival_permille", Ty::U64),
+            ],
+        )
+        .and_then(|()| check_site_flip(&v)),
+        "site-demote" => require(
+            &v,
+            &[
+                ("collection", Ty::U64),
+                ("site", Ty::U64),
+                ("survival_permille", Ty::U64),
+                ("reason", Ty::Str),
+            ],
+        )
+        .and_then(|()| {
+            check_site_flip(&v)?;
+            let reason = v.get("reason").unwrap().as_str().unwrap();
+            if ["adaptive", "pressure"].contains(&reason) {
+                Ok(())
+            } else {
+                Err(format!("unknown demote reason {reason:?}"))
+            }
+        }),
         other => Err(format!("unknown event type {other:?}")),
     }
+}
+
+/// Range checks shared by the `site-promote` / `site-demote` variants.
+fn check_site_flip(v: &Value) -> Result<(), String> {
+    let site = v.get("site").unwrap().as_u64().unwrap();
+    if site > u16::MAX as u64 {
+        return Err(format!("site id {site} out of range"));
+    }
+    let permille = v.get("survival_permille").unwrap().as_u64().unwrap();
+    if permille > 1000 {
+        return Err(format!("survival_permille {permille} exceeds 1000"));
+    }
+    Ok(())
 }
 
 /// Validates a whole JSONL document: first line must be `meta`, every
@@ -456,6 +496,9 @@ mod tests {
             r#"{"type":"pressure-begin","site":4,"words":18,"space":"nursery","start_cycles":900}"#,
             r#"{"type":"pressure-rung","rung":"retry-major","site":4,"words":18,"outcome":"recovered","cycles":20}"#,
             r#"{"type":"pressure-end","outcome":"recovered","rungs":1,"cycles":20}"#,
+            r#"{"type":"site-promote","collection":3,"site":9,"survival_permille":903}"#,
+            r#"{"type":"site-demote","collection":8,"site":9,"survival_permille":105,"reason":"adaptive"}"#,
+            r#"{"type":"site-demote","collection":9,"site":2,"survival_permille":640,"reason":"pressure"}"#,
         ];
         for line in lines {
             validate_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
@@ -498,6 +541,22 @@ mod tests {
             (
                 "unknown pressure outcome",
                 r#"{"type":"pressure-end","outcome":"shrug","rungs":1,"cycles":1}"#,
+            ),
+            (
+                "promote permille out of range",
+                r#"{"type":"site-promote","collection":1,"site":1,"survival_permille":1001}"#,
+            ),
+            (
+                "promote site out of range",
+                r#"{"type":"site-promote","collection":1,"site":70000,"survival_permille":900}"#,
+            ),
+            (
+                "unknown demote reason",
+                r#"{"type":"site-demote","collection":1,"site":1,"survival_permille":100,"reason":"whim"}"#,
+            ),
+            (
+                "demote without reason",
+                r#"{"type":"site-demote","collection":1,"site":1,"survival_permille":100}"#,
             ),
         ];
         for (what, line) in bad {

@@ -77,6 +77,15 @@ pub struct GcStats {
     /// budget undershot the workload.
     pub budget_overruns: u64,
 
+    /// Allocation sites the online adaptive policy promoted to
+    /// tenured-at-birth placement mid-run. Zero whenever adaptation is
+    /// off — the offline (profile-driven) flow never flips sites.
+    pub sites_promoted: u64,
+    /// Allocation sites demoted back to the nursery path mid-run, by
+    /// the adaptive estimator or by the pressure governor's demotion
+    /// rung while adaptation is on.
+    pub sites_demoted: u64,
+
     /// Simulated cycles spent processing roots ("GC-stack", Table 5).
     pub stack_cycles: u64,
     /// Simulated cycles spent scanning and copying the heap ("GC-copy").

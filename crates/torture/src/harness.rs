@@ -22,8 +22,8 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use tilgc_core::{
-    build_vm, check_inspection, verify_collection, verify_vm, vm_snapshot, CollectorKind, GcConfig,
-    PretenurePolicy,
+    build_vm, check_inspection, verify_collection, verify_vm, vm_snapshot, AdaptiveConfig,
+    CollectorKind, GcConfig, PretenurePolicy,
 };
 use tilgc_mem::WORD_BYTES;
 use tilgc_runtime::driver::{arr_site_id, raw_site_id, rec_site_id, PTR_FREE_REC_INDEX};
@@ -82,6 +82,10 @@ pub struct TortureConfig {
     /// *two* lanes in lockstep — the serial oracle and an N-worker lane
     /// — and the cross-lane graph diff covers both.
     pub workers: usize,
+    /// Run extra pretenure lanes with the online adaptive policy
+    /// enabled, in lockstep with the static-policy oracle lanes. Sites
+    /// flip placement mid-run; the reachable graph must not care.
+    pub adaptive: bool,
 }
 
 impl Default for TortureConfig {
@@ -95,6 +99,7 @@ impl Default for TortureConfig {
             check_stride: 16,
             fault: None,
             workers: 1,
+            adaptive: false,
         }
     }
 }
@@ -110,6 +115,8 @@ pub struct Divergence {
     pub plan: &'static str,
     /// Worker count of the failing lane (1 = the serial oracle).
     pub workers: usize,
+    /// Whether the failing lane ran the online adaptive policy.
+    pub adaptive: bool,
     /// What went wrong.
     pub detail: String,
     /// The trace that reproduces the failure (minimized by
@@ -121,8 +128,13 @@ impl fmt::Display for Divergence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "seed {}: plan {} (workers {}) failed at op {}: {}",
-            self.seed, self.plan, self.workers, self.op_index, self.detail
+            "seed {}: plan {}{} (workers {}) failed at op {}: {}",
+            self.seed,
+            self.plan,
+            if self.adaptive { " (adaptive)" } else { "" },
+            self.workers,
+            self.op_index,
+            self.detail
         )?;
         writeln!(f, "reproducing trace ({} ops):", self.trace.len())?;
         for (i, op) in self.trace.iter().enumerate() {
@@ -136,11 +148,12 @@ impl fmt::Display for Divergence {
 struct Lane {
     kind: CollectorKind,
     workers: usize,
+    adaptive: bool,
     vm: Vm,
     driver: OpDriver,
 }
 
-fn build_lane(kind: CollectorKind, workers: usize, cfg: &TortureConfig) -> Lane {
+fn build_lane(kind: CollectorKind, workers: usize, adaptive: bool, cfg: &TortureConfig) -> Lane {
     let mut gc = GcConfig::new()
         .heap_budget_bytes(cfg.heap_budget_bytes)
         .nursery_bytes(cfg.nursery_bytes)
@@ -161,6 +174,13 @@ fn build_lane(kind: CollectorKind, workers: usize, cfg: &TortureConfig) -> Lane 
         policy.add_site(arr_site_id(1));
         policy.add_site(raw_site_id(1));
         gc = gc.pretenure(policy);
+        if adaptive {
+            // The online policy starts from the same static seed the
+            // oracle lane keeps, then flips sites as survival evidence
+            // accumulates — exercising mid-run placement changes under
+            // the full op mix.
+            gc = gc.adaptive(AdaptiveConfig::default());
+        }
     }
     let mut vm = build_vm(kind, &gc);
     if cfg.fault == Some(Fault::DropBarrier) && kind != CollectorKind::Semispace {
@@ -170,6 +190,7 @@ fn build_lane(kind: CollectorKind, workers: usize, cfg: &TortureConfig) -> Lane 
     Lane {
         kind,
         workers,
+        adaptive,
         vm,
         driver,
     }
@@ -211,19 +232,13 @@ impl Drop for QuietPanics {
     }
 }
 
-fn diverge(
-    seed: u64,
-    op_index: usize,
-    plan: &'static str,
-    workers: usize,
-    detail: String,
-    ops: &[VmOp],
-) -> Divergence {
+fn diverge(seed: u64, op_index: usize, lane: &Lane, detail: String, ops: &[VmOp]) -> Divergence {
     Divergence {
         seed,
         op_index,
-        plan,
-        workers,
+        plan: lane.kind.label(),
+        workers: lane.workers,
+        adaptive: lane.adaptive,
         detail,
         trace: ops.to_vec(),
     }
@@ -240,8 +255,7 @@ fn diff_lanes(seed: u64, op_index: usize, lanes: &[Lane], ops: &[VmOp]) -> Optio
                 return Some(diverge(
                     seed,
                     op_index,
-                    lane.kind.label(),
-                    lane.workers,
+                    lane,
                     format!("snapshot walk panicked: {}", panic_msg(&*p)),
                     ops,
                 ))
@@ -254,8 +268,7 @@ fn diff_lanes(seed: u64, op_index: usize, lanes: &[Lane], ops: &[VmOp]) -> Optio
                     return Some(diverge(
                         seed,
                         op_index,
-                        lane.kind.label(),
-                        lane.workers,
+                        lane,
                         format!(
                             "reachable graph diverged from {} ({} vs {} snapshot words)",
                             base_label,
@@ -313,9 +326,19 @@ pub fn run_ops_outcome(seed: u64, ops: &[VmOp], cfg: &TortureConfig) -> RunOutco
     // within each plan as well as the cross-plan comparison.
     let mut lanes: Vec<Lane> = Vec::new();
     for &k in &cfg.plans {
-        lanes.push(build_lane(k, 1, cfg));
+        lanes.push(build_lane(k, 1, false, cfg));
         if cfg.workers > 1 {
-            lanes.push(build_lane(k, cfg.workers, cfg));
+            lanes.push(build_lane(k, cfg.workers, false, cfg));
+        }
+        // Adaptive lanes run alongside the static-policy oracle lanes
+        // (serial, plus parallel when configured): placement flips must
+        // be invisible to the reachable graph, so the same cross-lane
+        // diff covers them.
+        if cfg.adaptive && k == CollectorKind::GenerationalStackPretenure {
+            lanes.push(build_lane(k, 1, true, cfg));
+            if cfg.workers > 1 {
+                lanes.push(build_lane(k, cfg.workers, true, cfg));
+            }
         }
     }
     let stride = cfg.check_stride.max(1);
@@ -341,8 +364,7 @@ pub fn run_ops_outcome(seed: u64, ops: &[VmOp], cfg: &TortureConfig) -> RunOutco
                     return RunOutcome::Diverged(diverge(
                         seed,
                         i,
-                        lane.kind.label(),
-                        lane.workers,
+                        lane,
                         format!("panic executing {op:?}: {}", panic_msg(&*p)),
                         ops,
                     ));
@@ -379,8 +401,7 @@ pub fn run_ops_outcome(seed: u64, ops: &[VmOp], cfg: &TortureConfig) -> RunOutco
                 return RunOutcome::Diverged(diverge(
                     seed,
                     i,
-                    lane.kind.label(),
-                    lane.workers,
+                    lane,
                     format!("oracle check failed after collection: {}", panic_msg(&*p)),
                     ops,
                 ));
@@ -438,16 +459,14 @@ fn skewed_accounting_check(
         Err(p) => Some(diverge(
             seed,
             op_index,
-            lane.kind.label(),
-            lane.workers,
+            lane,
             format!("injected accounting skew caught: {}", panic_msg(&*p)),
             ops,
         )),
         Ok(()) => Some(diverge(
             seed,
             op_index,
-            lane.kind.label(),
-            lane.workers,
+            lane,
             "injected accounting skew NOT caught by check_inspection".to_string(),
             ops,
         )),
@@ -472,7 +491,7 @@ pub fn failure_telemetry(d: &Divergence, cfg: &TortureConfig) -> String {
         return format!("--- telemetry replay ---\nunknown plan {:?}\n", d.plan);
     };
     let _quiet = QuietPanics::new();
-    let mut lane = build_lane(kind, d.workers.max(1), cfg);
+    let mut lane = build_lane(kind, d.workers.max(1), d.adaptive, cfg);
     lane.vm
         .set_recorder(Box::new(tilgc_obs::RingRecorder::with_capacity(1 << 16)));
     for &op in &d.trace {
@@ -590,17 +609,47 @@ mod tests {
     #[test]
     fn lanes_start_identical() {
         let cfg = TortureConfig::default();
-        let lanes: Vec<Lane> = cfg.plans.iter().map(|&k| build_lane(k, 1, &cfg)).collect();
+        let lanes: Vec<Lane> = cfg
+            .plans
+            .iter()
+            .map(|&k| build_lane(k, 1, false, &cfg))
+            .collect();
         assert!(diff_lanes(0, 0, &lanes, &[]).is_none());
     }
 
     #[test]
     fn divergence_display_includes_trace() {
-        let d = diverge(9, 1, "semispace", 4, "boom".into(), &[VmOp::Gc, VmOp::Pop]);
+        let d = Divergence {
+            seed: 9,
+            op_index: 1,
+            plan: "semispace",
+            workers: 4,
+            adaptive: true,
+            detail: "boom".into(),
+            trace: vec![VmOp::Gc, VmOp::Pop],
+        };
         let s = d.to_string();
         assert!(s.contains("seed 9"));
+        assert!(s.contains("(adaptive)"));
         assert!(s.contains("workers 4"));
         assert!(s.contains("Gc"));
         assert!(s.contains("Pop"));
+    }
+
+    #[test]
+    fn adaptive_config_adds_pretenure_lanes() {
+        let cfg = TortureConfig {
+            adaptive: true,
+            workers: 2,
+            ops: 64,
+            ..TortureConfig::default()
+        };
+        // 4 plans × (serial + parallel) + pretenure × (serial + parallel)
+        // adaptive lanes. A short clean run proves the lanes coexist.
+        let ops = crate::program::generate(7, cfg.ops);
+        assert!(matches!(
+            run_ops_outcome(7, &ops, &cfg),
+            RunOutcome::Clean | RunOutcome::Oom { .. }
+        ));
     }
 }

@@ -40,6 +40,9 @@ const USAGE: &str = "usage: torture [options]
   --stride N           diff cross-plan snapshots every N ops (default 16)
   --workers N          run each plan twice in lockstep: the serial oracle
                        and an N-worker parallel lane (default 1: serial only)
+  --adaptive           add pretenure lanes with the online adaptive policy
+                       (sites promote/demote mid-run), diffed in lockstep
+                       against the static-policy oracle lanes
   --nursery-sweep      repeat the sweep at 2 KB, 4 KB and 16 KB nurseries
   --heap-budget BYTES  total heap budget per lane (default 1 MiB)
   --heap-sweep         repeat the sweep at heap budgets of 1, 2, 4 and
@@ -61,6 +64,7 @@ struct Args {
     plans: Vec<CollectorKind>,
     stride: usize,
     workers: usize,
+    adaptive: bool,
     nursery_sweep: bool,
     heap_budget: Option<usize>,
     heap_sweep: bool,
@@ -110,6 +114,7 @@ fn parse_args() -> Result<Args, String> {
         plans: CollectorKind::ALL.to_vec(),
         stride: 16,
         workers: 1,
+        adaptive: false,
         nursery_sweep: false,
         heap_budget: None,
         heap_sweep: false,
@@ -141,6 +146,7 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--workers must be positive".to_string());
                 }
             }
+            "--adaptive" => args.adaptive = true,
             "--nursery-sweep" => args.nursery_sweep = true,
             "--heap-budget" => {
                 args.heap_budget = Some(
@@ -217,10 +223,11 @@ fn main() -> ExitCode {
             check_stride: args.stride,
             fault: args.inject,
             workers: args.workers,
+            adaptive: args.adaptive,
             ..TortureConfig::default()
         };
         eprintln!(
-            "torture: nursery {} KB, heap {} KB, seeds {}..{}, {} ops, plans [{}]{}{}",
+            "torture: nursery {} KB, heap {} KB, seeds {}..{}, {} ops, plans [{}]{}{}{}",
             nursery >> 10,
             heap_budget >> 10,
             args.seeds.start,
@@ -235,6 +242,11 @@ fn main() -> ExitCode {
                 format!(", serial + {}-worker lanes", cfg.workers)
             } else {
                 String::new()
+            },
+            if cfg.adaptive {
+                ", adaptive pretenure lanes"
+            } else {
+                ""
             },
             match cfg.fault {
                 Some(f) => format!(", injected fault {f:?}"),
