@@ -28,7 +28,8 @@ use std::time::Instant;
 
 use tilgc_mem::{Addr, BudgetSnapshot, GcError, Memory, Space, SpaceRange};
 use tilgc_obs::{
-    CollectionBegin, Event, GcPhase, PhaseTimer, SiteDemote, SitePromote, SiteWindow, TelemetryAcc,
+    CollectionBegin, Event, GcPhase, HeapCensus, PhaseTimer, SiteDemote, SitePromote, SiteWindow,
+    SpaceCensus, TelemetryAcc,
 };
 use tilgc_runtime::{
     AllocShape, BarrierEntry, CollectReason, CollectionInspection, GcStats, HeapProfile,
@@ -294,6 +295,39 @@ impl GenerationalPlan {
                 self.mem.owned_chunks() as u64,
                 side_cleared_words,
             ))));
+        // The heap census rides right behind the end event: per-space
+        // occupancy plus the route table's current size, all host-side
+        // reads — no simulated cycles, no GcStats.
+        let mut spaces = vec![
+            SpaceCensus {
+                space: "nursery",
+                used_words: self.nursery.active().used_words() as u64,
+                reserved_words: self.nursery.active().capacity_words() as u64,
+                chunks: self.mem.owned_chunks_by("nursery") as u64,
+            },
+            SpaceCensus {
+                space: "tenured",
+                used_words: self.tenured.active().used_words() as u64,
+                reserved_words: self.tenured.active().capacity_words() as u64,
+                chunks: self.mem.owned_chunks_by("tenured") as u64,
+            },
+        ];
+        if let Some(los) = &self.los {
+            spaces.push(SpaceCensus {
+                space: "los",
+                used_words: los.used_words() as u64,
+                reserved_words: los.capacity_words() as u64,
+                chunks: self.mem.owned_chunks_by("los") as u64,
+            });
+        }
+        m.recorder.record(Event::HeapCensus(HeapCensus {
+            collection,
+            pretenured_sites: self
+                .pretenured
+                .as_ref()
+                .map_or(0, |r| r.routed_sites() as u64),
+            spaces,
+        }));
         for e in telem.drain_samples(collection) {
             m.recorder.record(e);
         }

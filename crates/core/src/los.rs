@@ -61,6 +61,11 @@ impl LargeObjectSpace {
         }
     }
 
+    /// Words of address space the LOS spans.
+    pub fn capacity_words(&self) -> usize {
+        self.range.words()
+    }
+
     /// Words currently occupied by live (not yet swept) objects.
     pub fn used_words(&self) -> usize {
         self.used_words

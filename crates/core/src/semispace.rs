@@ -15,7 +15,9 @@
 use std::time::Instant;
 
 use tilgc_mem::{Addr, BudgetSnapshot, GcError, Memory, Space};
-use tilgc_obs::{CollectionBegin, Event, GcPhase, PhaseTimer, TelemetryAcc};
+use tilgc_obs::{
+    CollectionBegin, Event, GcPhase, HeapCensus, PhaseTimer, SpaceCensus, TelemetryAcc,
+};
 use tilgc_runtime::{
     AllocShape, CollectReason, CollectionInspection, GcStats, HeapProfile, MutatorState,
 };
@@ -273,6 +275,18 @@ impl SemispacePlan {
                     self.mem.owned_chunks() as u64,
                     self.mem.side_cleared_words() - side_cleared_before,
                 ))));
+            // Census behind the end event: one row for the single copy
+            // space. Host-side reads only — no simulated cycles.
+            m.recorder.record(Event::HeapCensus(HeapCensus {
+                collection,
+                pretenured_sites: 0,
+                spaces: vec![SpaceCensus {
+                    space: "semispace",
+                    used_words: self.heap.active().used_words() as u64,
+                    reserved_words: self.heap.active().capacity_words() as u64,
+                    chunks: self.mem.owned_chunks_by("semispace") as u64,
+                }],
+            }));
             for e in telem.drain_samples(collection) {
                 m.recorder.record(e);
             }

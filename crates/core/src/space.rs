@@ -200,6 +200,13 @@ impl PretenuredRegion {
         &self.policy
     }
 
+    /// Number of sites currently routed tenured-at-birth (the route
+    /// table's popcount — tracks adaptive flips, unlike the static
+    /// policy's site list).
+    pub fn routed_sites(&self) -> usize {
+        self.route.len()
+    }
+
     /// Whether allocations from `site` are born tenured. This is the
     /// alloc fast path's test: one word index and a bit probe,
     /// branch-free regardless of how many sites are routed.

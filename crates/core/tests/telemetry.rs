@@ -112,6 +112,7 @@ fn event_sums_reproduce_gc_stats_on_every_plan() {
 
         let mut begins = 0u64;
         let mut ends = 0u64;
+        let mut censuses = 0u64;
         let mut sum = GcStats::default();
         let mut sum_gc_cycles = 0u64;
         let mut rung_cycles = 0u64;
@@ -147,12 +148,29 @@ fn event_sums_reproduce_gc_stats_on_every_plan() {
                 Event::PressureRung(r) => rung_cycles += r.cycles,
                 Event::SitePromote(_) => sum.sites_promoted += 1,
                 Event::SiteDemote(_) => sum.sites_demoted += 1,
+                Event::HeapCensus(c) => {
+                    censuses += 1;
+                    assert_eq!(
+                        c.collection, ends,
+                        "census trails its own collection's end event"
+                    );
+                    assert!(!c.spaces.is_empty(), "census without space rows");
+                    for s in &c.spaces {
+                        assert!(
+                            s.used_words <= s.reserved_words,
+                            "{}: used exceeds reserved",
+                            s.space
+                        );
+                        assert!(s.chunks > 0, "{}: space owns no chunks", s.space);
+                    }
+                }
             }
         }
 
         let label = kind.label();
         assert_eq!(begins, stats.collections, "{label}: begin events");
         assert_eq!(ends, stats.collections, "{label}: end events");
+        assert_eq!(censuses, stats.collections, "{label}: census events");
         assert_eq!(sum.copied_bytes, stats.copied_bytes, "{label}: copied");
         assert_eq!(sum.scanned_words, stats.scanned_words, "{label}: scanned");
         assert_eq!(
@@ -241,6 +259,86 @@ fn event_sums_reproduce_gc_stats_on_every_plan() {
                 "{label}: pretenured region never scanned"
             );
         }
+    }
+}
+
+/// The PR 9 metrics layer reconciles exactly too: the streaming pause
+/// histogram's count/sum reproduce `GcStats` (modulo governor rung
+/// cycles, which are charged outside collection brackets by design), its
+/// percentiles are ordered, and the MMU curve is monotone in the window.
+#[test]
+fn pause_metrics_reconcile_against_gc_stats_on_every_plan() {
+    use tilgc_obs::metrics::PauseMetrics;
+    for kind in CollectorKind::ALL {
+        let config = config_for(kind);
+        let recorder = Box::new(RingRecorder::with_capacity(1 << 18));
+        let mut vm = build_vm_with_recorder(kind, &config, recorder);
+        workload(&mut vm);
+        vm.finish();
+        let stats = *vm.gc_stats();
+        let client_cycles = vm.mutator_stats().client_cycles;
+        let events = RingRecorder::drain_events_from(vm.recorder_mut())
+            .expect("a RingRecorder was installed");
+
+        let label = kind.label();
+        let mut metrics = PauseMetrics::from_events(&events);
+        metrics.set_horizon(client_cycles + stats.gc_cycles());
+        let h = metrics.histogram();
+
+        // Exact identities against GcStats.
+        assert_eq!(h.count(), stats.collections, "{label}: histogram count");
+        assert_eq!(
+            metrics.pause_count() as u64,
+            stats.collections,
+            "{label}: pause intervals"
+        );
+        let rung_cycles: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::PressureRung(r) => Some(r.cycles),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(
+            h.sum() + rung_cycles,
+            stats.gc_cycles(),
+            "{label}: histogram sum + rung cycles == total gc cycles"
+        );
+        assert!(h.max() <= stats.gc_cycles(), "{label}: max pause bound");
+        assert!(h.min() > 0, "{label}: zero-cycle collection");
+
+        // Percentiles are ordered and land within [min, max].
+        let ps: Vec<u64> = [500, 900, 990, 999, 1000]
+            .iter()
+            .map(|&p| h.percentile(p))
+            .collect();
+        assert!(ps.windows(2).all(|w| w[0] <= w[1]), "{label}: {ps:?}");
+        assert!(ps[0] >= h.min(), "{label}: p50 below min");
+        assert_eq!(ps[4], h.max(), "{label}: p100 is the max");
+
+        // MMU is not monotone in the window in general (clustered pauses
+        // can dent larger windows), but for this workload's pause spacing
+        // the curve is non-decreasing — and the whole-run point must be
+        // exactly the run's mutator fraction. All deterministic.
+        let horizon = metrics.horizon();
+        assert_eq!(
+            horizon,
+            client_cycles + stats.gc_cycles(),
+            "{label}: horizon is the run's full timeline"
+        );
+        let windows = [1_000, 10_000, 100_000, horizon];
+        let curve = metrics.mmu_curve(&windows);
+        assert!(
+            curve.windows(2).all(|w| w[0].1 <= w[1].1),
+            "{label}: MMU not monotone: {curve:?}"
+        );
+        let overall = (horizon - (stats.gc_cycles() - rung_cycles)) * 1000 / horizon;
+        assert_eq!(
+            curve.last().unwrap().1,
+            overall,
+            "{label}: whole-run MMU is the mutator fraction"
+        );
+        assert!(curve.iter().all(|&(_, u)| u <= 1000), "{label}: {curve:?}");
     }
 }
 

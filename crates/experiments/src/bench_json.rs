@@ -1,7 +1,7 @@
 //! `experiments bench-json` — a fixed GC-throughput suite emitting a
-//! machine-readable baseline (`BENCH_pr8.json`).
+//! machine-readable baseline (`BENCH_pr9.json`).
 //!
-//! Seven wall-clock metric groups plus one deterministic ratio (the
+//! Seven wall-clock metric groups plus deterministic lanes (the
 //! tables, by contrast, report only deterministic simulated cycles):
 //!
 //! * evacuation-scan throughput in heap words per second,
@@ -23,7 +23,16 @@
 //!   simulated GC cycles of a stale static pretenure policy divided by
 //!   the online-adaptive lane's, on the phase-flipping program (see the
 //!   `drift` subcommand). Deterministic, so any value below 1.0 is a
-//!   policy defect rather than noise.
+//!   policy defect rather than noise,
+//! * the pause/latency lane: for every collector plan, the headline
+//!   workload runs once at the calibrated k = 4.0 heap budget with the
+//!   telemetry recorder attached and the streaming pause histogram is
+//!   merged across the four benchmarks.
+//!   The baseline records each plan's p50/p99/p99.9 pause in simulated
+//!   gc cycles plus the worst per-benchmark MMU at a 10 ms-equivalent
+//!   window (`<plan>_pause_p50_cycles`, …, `<plan>_mmu_10ms_equiv`,
+//!   with `+` in plan labels flattened to `_`). All simulated-cycle
+//!   numbers, so they are byte-deterministic and gate tightly.
 //!
 //! The kernel metrics also record the batched-vs-reference speedup
 //! measured against the pre-batching scalar paths retained under
@@ -39,12 +48,78 @@ use std::time::Instant;
 
 use tilgc_bench::kernels::{BarrierRig, BulkClearRig, EvacRig, SsbRig, StackRig};
 use tilgc_bench::{bench_config, run_program, HEADLINERS};
-use tilgc_core::{build_vm, CollectorKind, GcConfig};
+use tilgc_core::{build_vm, build_vm_with_recorder, CollectorKind, GcConfig};
+use tilgc_obs::metrics::{PauseHistogram, PauseMetrics};
+use tilgc_obs::RingRecorder;
+use tilgc_runtime::CostModel;
+
+use crate::harness::{config_with_budget, derive_pretenure_policy, Calibration};
 
 /// Iterations per kernel measurement (after warm-up).
 const KERNEL_ITERS: usize = 200;
 /// Iterations of the end-to-end workload (after warm-up).
 const WORKLOAD_ITERS: usize = 5;
+/// Ring capacity for the pause-lane recorder; far more than the headline
+/// workload's collection count, so nothing is dropped.
+const PAUSE_RING_CAPACITY: usize = 1 << 20;
+
+/// One collector plan's deterministic pause/MMU numbers.
+struct PauseLane {
+    /// Plan label with `+` flattened to `_` for JSON keys.
+    key: String,
+    p50: u64,
+    p99: u64,
+    p999: u64,
+    /// Worst per-benchmark MMU at the 10 ms-equivalent window, permille.
+    mmu_10ms: u64,
+}
+
+/// Runs the headline workload once per plan with the recorder attached
+/// and reduces the event streams to pause percentiles and MMU. Purely
+/// simulated cycles — deterministic across hosts and runs. The heap
+/// budget is the calibrated k = 4.0 ratio (the `gc-log` rig), not the
+/// huge wall-clock-suite budget: a budget so large that a plan never
+/// collects would record a degenerate all-zero lane that gates nothing.
+fn measure_pause_lanes() -> Vec<PauseLane> {
+    let window = CostModel::default().cycles_per_ms(10);
+    let scale = 1;
+    let mut cal = Calibration::new(scale);
+    CollectorKind::ALL
+        .iter()
+        .map(|&kind| {
+            let mut hist = PauseHistogram::new();
+            let mut mmu_10ms = 1000u64;
+            for &bench in HEADLINERS.iter() {
+                let budget = cal.budget_for_k(bench, 4.0);
+                let mut config = config_with_budget(budget);
+                if kind == CollectorKind::GenerationalStackPretenure {
+                    let (policy, _) = derive_pretenure_policy(bench, scale);
+                    config = config.pretenure(policy);
+                }
+                let recorder = Box::new(RingRecorder::with_capacity(PAUSE_RING_CAPACITY));
+                let mut vm = build_vm_with_recorder(kind, &config, recorder);
+                vm.mutator_mut().check_shadows = false;
+                bench.run(&mut vm, scale);
+                vm.finish();
+                let gc_cycles = vm.gc_stats().gc_cycles();
+                let client_cycles = vm.mutator_stats().client_cycles;
+                let events = RingRecorder::drain_events_from(vm.recorder_mut())
+                    .expect("bench-json installed a RingRecorder");
+                let mut metrics = PauseMetrics::from_events(&events);
+                metrics.set_horizon(client_cycles + gc_cycles);
+                hist.merge(metrics.histogram());
+                mmu_10ms = mmu_10ms.min(metrics.mmu(window));
+            }
+            PauseLane {
+                key: kind.label().replace('+', "_"),
+                p50: hist.percentile(500),
+                p99: hist.percentile(990),
+                p999: hist.percentile(999),
+                mmu_10ms,
+            }
+        })
+        .collect()
+}
 
 /// Times `pass` over `iters` iterations and returns the median seconds
 /// per iteration. A few warm-up passes are discarded first.
@@ -245,8 +320,28 @@ pub fn run(path: &str, workers: usize) {
          phase-flipping workload"
     );
 
+    // Deterministic: per-plan pause percentiles and MMU over the same
+    // headline workload, in simulated gc cycles.
+    let lanes = measure_pause_lanes();
+    let mut pause_json = String::new();
+    for lane in &lanes {
+        println!(
+            "pauses:      {:>14} p50={} p99={} p99.9={} gc-cycles, MMU@10ms {}‰",
+            lane.key, lane.p50, lane.p99, lane.p999, lane.mmu_10ms
+        );
+        pause_json.push_str(&format!(
+            ",\n    \"{k}_pause_p50_cycles\": {},\n    \"{k}_pause_p99_cycles\": {},\n    \
+             \"{k}_pause_p999_cycles\": {},\n    \"{k}_mmu_10ms_equiv\": {}",
+            lane.p50,
+            lane.p99,
+            lane.p999,
+            lane.mmu_10ms,
+            k = lane.key
+        ));
+    }
+
     let json = format!(
-        "{{\n  \"suite\": \"gc-throughput-baseline\",\n  \"kernel_iters\": {KERNEL_ITERS},\n  \"workload_iters\": {WORKLOAD_ITERS},\n  \"workers\": {workers},\n  \"host_cores\": {host_cores},\n  \"metrics\": {{\n    \"evac_words_per_sec\": {evac_words_per_sec:.0},\n    \"evac_speedup_vs_reference\": {evac_speedup:.3},\n    \"stack_scan_frames_per_sec\": {stack_frames_per_sec:.0},\n    \"stack_scan_speedup_vs_reference\": {stack_speedup:.3},\n    \"ssb_filter_entries_per_sec\": {ssb_entries_per_sec:.0},\n    \"ssb_filter_speedup_vs_reference\": {ssb_speedup:.3},\n    \"barrier_filter_updates_per_sec\": {barrier_updates_per_sec:.0},\n    \"barrier_filter_speedup_vs_reference\": {barrier_speedup:.3},\n    \"bulk_clear_mb_per_sec\": {bulk_clear_mb_per_sec:.0},\n    \"table5_workload_ms\": {workload_ms:.3},\n    \"table5_workload_checksum\": {workload_checksum},\n    \"table5_parallel_workload_ms\": {par_ms:.3},\n    \"table5_parallel_speedup\": {par_speedup:.3},\n    \"par_copy_mb_per_sec_per_worker\": {par_copy_mb_per_sec_per_worker:.1},\n    \"drift_adaptive_speedup_vs_static\": {drift_speedup:.3}\n  }}\n}}\n"
+        "{{\n  \"suite\": \"gc-throughput-baseline\",\n  \"kernel_iters\": {KERNEL_ITERS},\n  \"workload_iters\": {WORKLOAD_ITERS},\n  \"workers\": {workers},\n  \"host_cores\": {host_cores},\n  \"metrics\": {{\n    \"evac_words_per_sec\": {evac_words_per_sec:.0},\n    \"evac_speedup_vs_reference\": {evac_speedup:.3},\n    \"stack_scan_frames_per_sec\": {stack_frames_per_sec:.0},\n    \"stack_scan_speedup_vs_reference\": {stack_speedup:.3},\n    \"ssb_filter_entries_per_sec\": {ssb_entries_per_sec:.0},\n    \"ssb_filter_speedup_vs_reference\": {ssb_speedup:.3},\n    \"barrier_filter_updates_per_sec\": {barrier_updates_per_sec:.0},\n    \"barrier_filter_speedup_vs_reference\": {barrier_speedup:.3},\n    \"bulk_clear_mb_per_sec\": {bulk_clear_mb_per_sec:.0},\n    \"table5_workload_ms\": {workload_ms:.3},\n    \"table5_workload_checksum\": {workload_checksum},\n    \"table5_parallel_workload_ms\": {par_ms:.3},\n    \"table5_parallel_speedup\": {par_speedup:.3},\n    \"par_copy_mb_per_sec_per_worker\": {par_copy_mb_per_sec_per_worker:.1},\n    \"drift_adaptive_speedup_vs_static\": {drift_speedup:.3}{pause_json}\n  }}\n}}\n"
     );
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),

@@ -3,16 +3,18 @@
 //!
 //! Reads the kernel-throughput metrics out of a baseline and a candidate
 //! JSON file (the nightly CI tier produces `BENCH_nightly.json` and
-//! compares it against the checked-in `BENCH_pr8.json`) and fails if any
-//! throughput dropped by more than the allowed percentage, or if any
-//! `*_speedup_vs_reference` or `*_speedup_vs_static` ratio in the
-//! candidate sits below 1.0 — a batched kernel slower than its scalar
-//! reference, or an adaptive policy slower than the stale static one it
-//! exists to beat, is drift no matter what the baseline recorded.
+//! compares it against the checked-in `BENCH_pr9.json`) and fails if any
+//! throughput dropped by more than the allowed percentage, if any
+//! per-plan pause percentile grew (or MMU floor fell) past the same
+//! allowance, or if any `*_speedup_vs_reference` or
+//! `*_speedup_vs_static` ratio in the candidate sits below 1.0 — a
+//! batched kernel slower than its scalar reference, or an adaptive
+//! policy slower than the stale static one it exists to beat, is drift
+//! no matter what the baseline recorded.
 //! Wall-clock workload times are reported but not gated — they are too
 //! noisy on shared runners; the per-second kernel throughputs are
-//! medians and stable enough to gate on, and the drift ratio is
-//! deterministic outright.
+//! medians and stable enough to gate on, and the drift ratio and
+//! pause/MMU lanes are deterministic simulated cycles outright.
 //!
 //! No JSON dependency exists in the workspace, so a tiny `"key": number`
 //! scanner (sufficient for `bench-json`'s flat output) does the reading.
@@ -28,6 +30,40 @@ const GATED: [&str; 5] = [
     "barrier_filter_updates_per_sec",
     "bulk_clear_mb_per_sec",
 ];
+
+/// Per-plan latency metrics gated by suffix (so a new collector plan
+/// joins the gate the moment `bench-json` emits its lane): pause
+/// percentiles in simulated gc cycles, where *lower* is better.
+const GATED_PAUSE_SUFFIXES: [&str; 3] = [
+    "_pause_p50_cycles",
+    "_pause_p99_cycles",
+    "_pause_p999_cycles",
+];
+
+/// Per-plan MMU floors (permille at the 10 ms-equivalent window), where
+/// higher is better — also gated by suffix.
+const GATED_MMU_SUFFIX: &str = "_mmu_10ms_equiv";
+
+/// Every latency metric named by the baseline, paired with its
+/// direction (`true` = lower is better). The *baseline* drives the list
+/// so a candidate that silently stops emitting a lane fails rather than
+/// slipping past the gate.
+fn latency_metrics(baseline: &HashMap<String, f64>) -> Vec<(String, bool)> {
+    let mut names: Vec<(String, bool)> = baseline
+        .keys()
+        .filter_map(|k| {
+            if GATED_PAUSE_SUFFIXES.iter().any(|s| k.ends_with(s)) {
+                Some((k.clone(), true))
+            } else if k.ends_with(GATED_MMU_SUFFIX) {
+                Some((k.clone(), false))
+            } else {
+                None
+            }
+        })
+        .collect();
+    names.sort();
+    names
+}
 
 /// Extracts every `"key": <number>` pair from `text`. Nested objects
 /// simply contribute their pairs — `bench-json`'s output has unique keys
@@ -112,6 +148,33 @@ pub fn run(baseline_path: &str, candidate_path: &str, max_regress_pct: f64) -> E
             failed = true;
         }
     }
+    // Latency lane: pause percentiles regress *upward*, MMU regresses
+    // *downward*. Both are deterministic simulated-cycle numbers, so the
+    // allowance mostly absorbs intentional collector changes that land
+    // with a refreshed baseline anyway.
+    for (name, lower_is_better) in latency_metrics(&baseline) {
+        let (Some(&base), Some(&cand)) = (baseline.get(&name), candidate.get(&name)) else {
+            eprintln!("bench-compare: metric {name} missing from one of the files");
+            failed = true;
+            continue;
+        };
+        let allow = max_regress_pct / 100.0;
+        let regressed = if lower_is_better {
+            cand > base * (1.0 + allow)
+        } else {
+            cand < base * (1.0 - allow)
+        };
+        let pct = if base > 0.0 {
+            (cand / base - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        let verdict = if regressed { "REGRESSED" } else { "ok" };
+        println!("  {name:>28}: {cand:>14.0} vs {base:>14.0}  ({pct:+6.1}%)  {verdict}");
+        if regressed {
+            failed = true;
+        }
+    }
     for (name, value) in speedup_drift(&candidate) {
         let what = if name.ends_with("_speedup_vs_static") {
             "adaptive policy slower than the static one"
@@ -181,6 +244,25 @@ mod tests {
         let drift = speedup_drift(&bad);
         assert_eq!(drift.len(), 1);
         assert_eq!(drift[0].0, "drift_adaptive_speedup_vs_static");
+    }
+
+    #[test]
+    fn latency_metrics_come_from_the_baseline_with_directions() {
+        let base = parse_metrics(
+            r#"{"semispace_pause_p50_cycles": 100, "gen_markers_pause_p999_cycles": 900,
+                "semispace_mmu_10ms_equiv": 940, "evac_words_per_sec": 1e9,
+                "table5_workload_ms": 120}"#,
+        );
+        let lanes = latency_metrics(&base);
+        assert_eq!(
+            lanes,
+            vec![
+                ("gen_markers_pause_p999_cycles".to_string(), true),
+                ("semispace_mmu_10ms_equiv".to_string(), false),
+                ("semispace_pause_p50_cycles".to_string(), true),
+            ],
+            "sorted, pause lower-is-better, MMU higher-is-better, others excluded"
+        );
     }
 
     #[test]

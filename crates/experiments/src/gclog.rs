@@ -10,6 +10,7 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use tilgc_core::{build_vm_with_recorder, AdaptiveConfig, CollectorKind};
+use tilgc_obs::metrics::PauseMetrics;
 use tilgc_obs::{chrome, jsonl, schema, Event, GcPhase, RingRecorder};
 use tilgc_programs::Benchmark;
 use tilgc_runtime::CostModel;
@@ -108,6 +109,7 @@ pub fn run(
     print_pressure(&events);
     print_adaptive_flips(&events, &sites);
     print_site_table(&events, &sites);
+    print_pause_summary(&events, events.len(), dropped, clock_hz);
 
     let jsonl_doc = jsonl::render(kind.label(), bench.name(), clock_hz, &sites, &events);
     let chrome_doc = chrome::render(kind.label(), bench.name(), clock_hz, &events);
@@ -188,9 +190,41 @@ fn group_collections(events: &[Event]) -> BTreeMap<u64, CollectionRow> {
             Event::PressureBegin(_) | Event::PressureRung(_) | Event::PressureEnd(_) => {}
             // Adaptive site flips likewise get their own section.
             Event::SitePromote(_) | Event::SiteDemote(_) => {}
+            // Censuses feed the pause/occupancy footer, not the timeline.
+            Event::HeapCensus(_) => {}
         }
     }
     rows
+}
+
+/// Prints the latency footer: pause percentiles from the streaming
+/// histogram, the MMU at millisecond-equivalent windows, and the
+/// recorder's event/drop accounting.
+fn print_pause_summary(events: &[Event], event_count: usize, dropped: u64, clock_hz: u64) {
+    let metrics = PauseMetrics::from_events(events);
+    let h = metrics.histogram();
+    println!();
+    if h.count() > 0 {
+        let model = CostModel {
+            clock_hz,
+            ..CostModel::default()
+        };
+        println!(
+            "pauses (gc cycles): n={} p50={} p90={} p99={} p99.9={} max={}",
+            h.count(),
+            h.percentile(500),
+            h.percentile(900),
+            h.percentile(990),
+            h.percentile(999),
+            h.max()
+        );
+        let mmu: Vec<String> = [1u64, 10, 100]
+            .iter()
+            .map(|&ms| format!("{}ms={}‰", ms, metrics.mmu(model.cycles_per_ms(ms))))
+            .collect();
+        println!("MMU (min mutator utilization): {}", mmu.join(" "));
+    }
+    println!("recorder: {event_count} events, {dropped} dropped");
 }
 
 /// Prints the heap-pressure episodes: one line per episode with its

@@ -8,20 +8,25 @@
 //!                           [--max-regress-pct N]
 //! experiments gc-log [--bench NAME] [--plan LABEL] [--out-dir DIR]
 //!                    [--validate] [--adaptive]
+//! experiments slo-report [--input FILE.jsonl | --bench NAME --plan LABEL
+//!                        [--adaptive]] [--validate] [--report FILE]
+//!                        [--max-p50 C] [--max-p90 C] [--max-p99 C]
+//!                        [--max-p999 C] [--mmu-window C] [--min-mmu P]
 //! experiments drift
 //! ```
 //!
 //! `bench-json` runs the fixed wall-clock GC-throughput suite and
-//! writes a machine-readable baseline (default `BENCH_pr8.json`); it is
+//! writes a machine-readable baseline (default `BENCH_pr9.json`); it is
 //! not part of `all`, whose outputs are deterministic simulated cycles.
 //! `--workers N` sizes the parallel lane of the Table 5 workload (and is
 //! recorded in the baseline alongside the host's core count).
 //! `bench-compare` gates a candidate baseline (default
-//! `BENCH_nightly.json`) against a reference (default `BENCH_pr8.json`),
+//! `BENCH_nightly.json`) against a reference (default `BENCH_pr9.json`),
 //! failing if any kernel throughput regressed more than the allowed
 //! percentage (default 25), any batched kernel drifted below its scalar
-//! reference path, or the adaptive pretenurer drifted below the static
-//! policy on the drifting workload.
+//! reference path, the adaptive pretenurer drifted below the static
+//! policy on the drifting workload, any pause percentile grew past the
+//! allowance, or any MMU floor fell below it.
 //! `gc-log` runs one benchmark (default `Checksum`) under one collector
 //! (default `gen+markers`) with the telemetry recorder attached, prints
 //! an ASCII per-collection phase timeline and per-site survival table,
@@ -29,6 +34,17 @@
 //! into `--out-dir` (default `gclog`); `--validate` additionally checks
 //! both files against the documented schema, and `--adaptive` turns the
 //! online pretenuring estimator on so its site flips show up in the log.
+//! `slo-report` evaluates pause-time service-level objectives: it reads
+//! an event stream (a `gc-log` JSONL via `--input`, or a live run of
+//! `--bench` under `--plan` — the gc-log rig), prints the pause
+//! percentile table, the MMU curve, the last heap census, and the
+//! recorder's drop accounting, then checks each configured bound —
+//! `--max-p50/--max-p90/--max-p99/--max-p999 CYCLES` upper-bound pause
+//! percentiles, and `--min-mmu PERMILLE` lower-bounds the MMU at the
+//! preceding `--mmu-window CYCLES` (default 1500000, i.e. 10 ms at the
+//! default clock; the flag pair may repeat for multiple windows) —
+//! exiting nonzero on any violation. `--report FILE` additionally writes
+//! the report text to a file for CI artifacts.
 //! `drift` runs the phase-flipping workload under the pretenure plan
 //! twice — stale static policy vs online adaptation — and reports the
 //! deterministic `drift_adaptive_speedup_vs_static` ratio.
@@ -43,6 +59,7 @@ mod drift;
 mod extensions;
 mod gclog;
 mod harness;
+mod slo;
 mod tables;
 
 use std::process::ExitCode;
@@ -51,8 +68,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Option<String> = None;
     let mut scale: u32 = 1;
-    let mut out = "BENCH_pr8.json".to_string();
-    let mut baseline = "BENCH_pr8.json".to_string();
+    let mut out = "BENCH_pr9.json".to_string();
+    let mut baseline = "BENCH_pr9.json".to_string();
     let mut candidate = "BENCH_nightly.json".to_string();
     let mut max_regress_pct = 25.0f64;
     let mut workers: usize = 4;
@@ -62,6 +79,12 @@ fn main() -> ExitCode {
     let mut out_dir = "gclog".to_string();
     let mut validate = false;
     let mut adaptive = false;
+    let mut input: Option<String> = None;
+    let mut report: Option<String> = None;
+    let mut spec = tilgc_obs::metrics::SloSpec::default();
+    // Window the next `--min-mmu` bound applies at: 10 ms at the default
+    // 150 MHz clock.
+    let mut mmu_window: u64 = 1_500_000;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -139,6 +162,56 @@ fn main() -> ExitCode {
             }
             "--validate" => validate = true,
             "--adaptive" => adaptive = true,
+            "--input" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("--input needs a JSONL file path");
+                    return ExitCode::FAILURE;
+                };
+                input = Some(path.clone());
+            }
+            "--report" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("--report needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                report = Some(path.clone());
+            }
+            flag @ ("--max-p50" | "--max-p90" | "--max-p99" | "--max-p999") => {
+                i += 1;
+                let Some(bound) = args.get(i).and_then(|s| s.parse::<u64>().ok()) else {
+                    eprintln!("{flag} needs a cycle count");
+                    return ExitCode::FAILURE;
+                };
+                let permille = match flag {
+                    "--max-p50" => 500,
+                    "--max-p90" => 900,
+                    "--max-p99" => 990,
+                    _ => 999,
+                };
+                spec.max_pause.push((permille, bound));
+            }
+            "--mmu-window" => {
+                i += 1;
+                mmu_window = match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(w) if w > 0 => w,
+                    _ => {
+                        eprintln!("--mmu-window needs a positive cycle count");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--min-mmu" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(p) if p <= 1000 => spec.min_mmu.push((mmu_window, p)),
+                    _ => {
+                        eprintln!("--min-mmu needs a permille value (0..=1000)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--workers" => {
                 i += 1;
                 workers = match args.get(i).and_then(|s| s.parse().ok()) {
@@ -174,6 +247,17 @@ fn main() -> ExitCode {
     if which == "gc-log" {
         return gclog::run(&bench, &plan, &out_dir, validate, adaptive);
     }
+    if which == "slo-report" {
+        return slo::run(&slo::SloRequest {
+            input,
+            bench,
+            plan,
+            adaptive,
+            validate,
+            report,
+            spec,
+        });
+    }
     if which == "drift" {
         drift::run();
         return ExitCode::SUCCESS;
@@ -192,7 +276,7 @@ fn main() -> ExitCode {
         other => {
             eprintln!(
                 "unknown experiment {other:?}; expected table1..table7, figure2, extensions, \
-                 bench-json, bench-compare, gc-log, drift, or all"
+                 bench-json, bench-compare, gc-log, slo-report, drift, or all"
             );
             std::process::exit(2);
         }

@@ -143,6 +143,12 @@ impl Memory {
         self.chunks.owned_chunks()
     }
 
+    /// Number of chunks owned by the space labelled `owner`.
+    #[inline]
+    pub fn owned_chunks_by(&self, owner: &str) -> usize {
+        self.chunks.owned_chunks_by(owner)
+    }
+
     /// Total number of chunks in the address space.
     #[inline]
     pub fn chunk_count(&self) -> usize {

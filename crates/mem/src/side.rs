@@ -88,6 +88,11 @@ impl ChunkMap {
         self.owners.iter().filter(|o| o.is_some()).count()
     }
 
+    /// Number of chunks owned by the space labelled `owner`.
+    pub fn owned_chunks_by(&self, owner: &str) -> usize {
+        self.owners.iter().filter(|o| **o == Some(owner)).count()
+    }
+
     /// Tags every chunk overlapping `range` with `owner`. Chunks that
     /// already have an owner keep it (first reservation wins).
     pub(crate) fn assign(&mut self, range: SpaceRange, owner: &'static str) {
@@ -395,6 +400,9 @@ mod tests {
         );
         assert_eq!(map.owner_of(Addr::new(CHUNK_WORDS as u32)), Some("tenured"));
         assert_eq!(map.owned_chunks(), 3);
+        assert_eq!(map.owned_chunks_by("nursery"), 1);
+        assert_eq!(map.owned_chunks_by("tenured"), 2);
+        assert_eq!(map.owned_chunks_by("los"), 0);
         assert_eq!(map.owner_of(Addr::new(3 * CHUNK_WORDS as u32 + 5)), None);
     }
 

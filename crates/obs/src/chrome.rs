@@ -6,8 +6,11 @@
 //! tid 0 carries one complete ("X") slice per collection spanning
 //! `start_cycles..end_cycles` on the simulated timeline, tid 1 carries
 //! the phase slices of each collection laid out consecutively inside
-//! that span. Timestamps are microseconds of *simulated* time: cycles
-//! divided by the cost model's clock rate.
+//! that span. Pressure-episode steps and adaptive site flips render as
+//! instant ("i") marks on tid 0, and each heap census becomes counter
+//! ("C") samples (per-space occupancy + pretenured-site count) Perfetto
+//! draws as time-series tracks. Timestamps are microseconds of
+//! *simulated* time: cycles divided by the cost model's clock rate.
 
 use crate::{Event, GcPhase};
 
@@ -80,6 +83,47 @@ impl TraceWriter {
         self.raw(&e);
     }
 
+    fn instant(&mut self, tid: u64, name: &str, ts_us: f64, args: &[(&str, String)]) {
+        let mut e = String::from("{\"ph\":\"i\",\"pid\":0,\"tid\":");
+        e.push_str(&tid.to_string());
+        e.push_str(",\"name\":");
+        crate::json::escape_into(&mut e, name);
+        e.push_str(",\"cat\":\"gc\",\"s\":\"t\",\"ts\":");
+        push_f64(&mut e, ts_us);
+        if !args.is_empty() {
+            e.push_str(",\"args\":{");
+            for (i, (k, v)) in args.iter().enumerate() {
+                if i > 0 {
+                    e.push(',');
+                }
+                crate::json::escape_into(&mut e, k);
+                e.push(':');
+                e.push_str(v);
+            }
+            e.push('}');
+        }
+        e.push('}');
+        self.raw(&e);
+    }
+
+    fn counter(&mut self, name: &str, ts_us: f64, series: &[(&str, u64)]) {
+        let mut e = String::from("{\"ph\":\"C\",\"pid\":0,\"name\":");
+        crate::json::escape_into(&mut e, name);
+        e.push_str(",\"ts\":");
+        push_f64(&mut e, ts_us);
+        e.push_str(",\"args\":{");
+        for (i, (k, v)) in series.iter().enumerate() {
+            if i > 0 {
+                e.push(',');
+            }
+            crate::json::escape_into(&mut e, k);
+            e.push(':');
+            e.push_str(&v.to_string());
+        }
+        e.push_str("}}");
+        self.raw(&e);
+    }
+
     fn finish(mut self) -> String {
         self.out.push_str("],\"displayTimeUnit\":\"ms\"}");
         self.out
@@ -100,11 +144,19 @@ pub fn render(plan: &str, bench: &str, clock_hz: u64, events: &[Event]) -> Strin
     // Index begins by collection number so ends can find their span.
     let mut begins: Vec<(u64, &crate::CollectionBegin)> = Vec::new();
     let mut phases: Vec<&crate::PhaseSpan> = Vec::new();
+    // Timeline cursor for events that carry no absolute position of
+    // their own (pressure rungs advance it by their cycle charge; site
+    // flips and censuses happen at the collection end it points at).
+    let mut now = 0u64;
     for e in events {
         match e {
-            Event::CollectionBegin(b) => begins.push((b.collection, b)),
+            Event::CollectionBegin(b) => {
+                now = now.max(b.start_cycles);
+                begins.push((b.collection, b));
+            }
             Event::Phase(p) => phases.push(p),
             Event::CollectionEnd(end) => {
+                now = now.max(end.end_cycles);
                 let Some(&(_, begin)) = begins.iter().find(|(c, _)| *c == end.collection) else {
                     continue;
                 };
@@ -150,13 +202,87 @@ pub fn render(plan: &str, bench: &str, clock_hz: u64, events: &[Event]) -> Strin
                 begins.retain(|(c, _)| *c != end.collection);
             }
             Event::SiteSample(_) => {}
-            // Pressure episodes have no natural duration on the trace
-            // timeline (the work they trigger shows up as collections);
-            // the JSONL sink carries them for the gc-log timeline.
-            Event::PressureBegin(_) | Event::PressureRung(_) | Event::PressureEnd(_) => {}
-            // Site flips are instants, not spans; the JSONL sink carries
-            // them for the gc-log timeline and the adaptive A/B tooling.
-            Event::SitePromote(_) | Event::SiteDemote(_) => {}
+            // Pressure episodes render as instant marks: the begin at its
+            // recorded timeline position, each rung advancing the cursor
+            // by its cycle charge (collections the ladder triggers nest
+            // between them as ordinary slices).
+            Event::PressureBegin(p) => {
+                now = now.max(p.start_cycles);
+                w.instant(
+                    0,
+                    "pressure-begin",
+                    us(now, clock_hz),
+                    &[
+                        ("site", p.site.to_string()),
+                        ("words", p.words.to_string()),
+                        ("space", format!("\"{}\"", p.space)),
+                    ],
+                );
+            }
+            Event::PressureRung(r) => {
+                now += r.cycles;
+                w.instant(
+                    0,
+                    &format!("pressure-rung {}", r.rung),
+                    us(now, clock_hz),
+                    &[
+                        ("site", r.site.to_string()),
+                        ("outcome", format!("\"{}\"", r.outcome)),
+                        ("cycles", r.cycles.to_string()),
+                    ],
+                );
+            }
+            Event::PressureEnd(p) => {
+                w.instant(
+                    0,
+                    "pressure-end",
+                    us(now, clock_hz),
+                    &[
+                        ("outcome", format!("\"{}\"", p.outcome)),
+                        ("rungs", p.rungs.to_string()),
+                    ],
+                );
+            }
+            // Adaptive site flips are instant marks at the collection end
+            // whose evidence triggered them.
+            Event::SitePromote(s) => {
+                w.instant(
+                    0,
+                    "site-promote",
+                    us(now, clock_hz),
+                    &[
+                        ("site", s.site.to_string()),
+                        ("survival_permille", s.survival_permille.to_string()),
+                    ],
+                );
+            }
+            Event::SiteDemote(s) => {
+                w.instant(
+                    0,
+                    "site-demote",
+                    us(now, clock_hz),
+                    &[
+                        ("site", s.site.to_string()),
+                        ("survival_permille", s.survival_permille.to_string()),
+                        ("reason", format!("\"{}\"", s.reason)),
+                    ],
+                );
+            }
+            // Each census becomes counter samples Perfetto draws as
+            // per-space occupancy tracks plus a pretenured-site count.
+            Event::HeapCensus(c) => {
+                let ts = us(now, clock_hz);
+                let used: Vec<(&str, u64)> =
+                    c.spaces.iter().map(|s| (s.space, s.used_words)).collect();
+                w.counter("heap used (words)", ts, &used);
+                let reserved: Vec<(&str, u64)> = c
+                    .spaces
+                    .iter()
+                    .map(|s| (s.space, s.reserved_words))
+                    .collect();
+                w.counter("heap reserved (words)", ts, &reserved);
+                w.counter("pretenured sites", ts, &[("sites", c.pretenured_sites)]);
+            }
         }
     }
     w.finish()
@@ -242,6 +368,122 @@ mod tests {
         let d0 = phases[0].get("dur").unwrap().as_f64().unwrap();
         let ts1 = phases[1].get("ts").unwrap().as_f64().unwrap();
         assert!((ts0 + d0 - ts1).abs() < 0.01, "consecutive layout");
+    }
+
+    #[test]
+    fn all_event_kinds_round_trip_through_the_validator() {
+        // One of every event kind, in a plausible stream order: a
+        // pressure episode whose ladder triggers a collection, followed
+        // by the census, a site sample, and adaptive flips.
+        let mut events = vec![Event::PressureBegin(crate::PressureBegin {
+            site: 3,
+            words: 64,
+            space: "nursery",
+            start_cycles: 1_000_000,
+        })];
+        events.extend(sample_events());
+        events.extend([
+            Event::SiteSample(crate::SiteSample {
+                collection: 1,
+                site: 3,
+                allocs: 10,
+                alloc_bytes: 160,
+                copied_objects: 4,
+                copied_bytes: 64,
+                survived: 4,
+            }),
+            Event::HeapCensus(crate::HeapCensus {
+                collection: 1,
+                pretenured_sites: 1,
+                spaces: vec![
+                    crate::SpaceCensus {
+                        space: "nursery",
+                        used_words: 0,
+                        reserved_words: 1024,
+                        chunks: 2,
+                    },
+                    crate::SpaceCensus {
+                        space: "tenured",
+                        used_words: 12,
+                        reserved_words: 2048,
+                        chunks: 4,
+                    },
+                ],
+            }),
+            Event::PressureRung(crate::PressureRung {
+                rung: "retry-minor",
+                site: 3,
+                words: 64,
+                outcome: "recovered",
+                cycles: 500,
+            }),
+            Event::PressureEnd(crate::PressureEnd {
+                outcome: "recovered",
+                rungs: 1,
+                cycles: 500,
+            }),
+            Event::SitePromote(crate::SitePromote {
+                collection: 1,
+                site: 3,
+                survival_permille: 940,
+            }),
+            Event::SiteDemote(crate::SiteDemote {
+                collection: 1,
+                site: 3,
+                survival_permille: 80,
+                reason: "adaptive",
+            }),
+        ]);
+        let doc = render("gen+markers+pretenure", "Life", 150_000_000, &events);
+        let n = crate::schema::validate_chrome(&doc).expect("trace validates");
+        // 3 metadata + 1 slice + 2 phases + 5 instants + 3 counters.
+        assert_eq!(n, 14);
+        let v = parse(&doc).unwrap();
+        let trace = v.get("traceEvents").unwrap().as_array().unwrap();
+        let instants: Vec<_> = trace
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("i"))
+            .collect();
+        assert_eq!(instants.len(), 5);
+        for name in [
+            "pressure-begin",
+            "pressure-rung retry-minor",
+            "pressure-end",
+            "site-promote",
+            "site-demote",
+        ] {
+            assert!(
+                instants
+                    .iter()
+                    .any(|e| e.get("name").unwrap().as_str() == Some(name)),
+                "instant {name} present"
+            );
+        }
+        let counters: Vec<_> = trace
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 3);
+        let used = counters
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("heap used (words)"))
+            .expect("used counter present");
+        let args = used.get("args").unwrap();
+        assert_eq!(args.get("tenured").unwrap().as_u64(), Some(12));
+        // The census is stamped at the preceding collection's end.
+        let end_ts = 1_501_000f64 * 1e6 / 150e6;
+        let ts = used.get("ts").unwrap().as_f64().unwrap();
+        assert!((ts - end_ts).abs() < 0.01, "census at collection end");
+        // A rung advances the cursor by its cycle charge.
+        let rung = instants
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("pressure-rung retry-minor"))
+            .unwrap();
+        let rung_ts = rung.get("ts").unwrap().as_f64().unwrap();
+        assert!(
+            (rung_ts - (1_501_500f64 * 1e6 / 150e6)).abs() < 0.01,
+            "rung cursor advanced"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use crate::json::escape_into;
 use crate::{
-    CollectionBegin, CollectionEnd, Event, Hist, PhaseSpan, PressureBegin, PressureEnd,
+    CollectionBegin, CollectionEnd, Event, HeapCensus, Hist, PhaseSpan, PressureBegin, PressureEnd,
     PressureRung, SiteDemote, SitePromote, SiteSample,
 };
 
@@ -119,6 +119,7 @@ pub fn event_line(event: &Event) -> String {
         Event::PressureEnd(e) => pressure_end_line(e),
         Event::SitePromote(e) => site_promote_line(e),
         Event::SiteDemote(e) => site_demote_line(e),
+        Event::HeapCensus(e) => census_line(e),
     }
 }
 
@@ -237,6 +238,33 @@ fn site_demote_line(e: &SiteDemote) -> String {
         .finish()
 }
 
+fn census_line(e: &HeapCensus) -> String {
+    // The spaces array is an object array like meta's sites, so it is
+    // hand-built rather than going through Obj.
+    let mut out = String::with_capacity(128 + 64 * e.spaces.len());
+    out.push_str("{\"type\":\"heap-census\",\"collection\":");
+    out.push_str(&e.collection.to_string());
+    out.push_str(",\"pretenured_sites\":");
+    out.push_str(&e.pretenured_sites.to_string());
+    out.push_str(",\"spaces\":[");
+    for (i, s) in e.spaces.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"space\":");
+        escape_into(&mut out, s.space);
+        out.push_str(",\"used_words\":");
+        out.push_str(&s.used_words.to_string());
+        out.push_str(",\"reserved_words\":");
+        out.push_str(&s.reserved_words.to_string());
+        out.push_str(",\"chunks\":");
+        out.push_str(&s.chunks.to_string());
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
 fn site_line(e: &SiteSample) -> String {
     Obj::new("site-sample")
         .num("collection", e.collection)
@@ -330,6 +358,37 @@ mod tests {
         let sites = v.get("sites").unwrap().as_array().unwrap();
         assert_eq!(sites.len(), 2);
         assert_eq!(sites[1].get("name").unwrap().as_str(), Some("rec\"3"));
+    }
+
+    #[test]
+    fn census_line_round_trips() {
+        let e = Event::HeapCensus(HeapCensus {
+            collection: 4,
+            pretenured_sites: 2,
+            spaces: vec![
+                crate::SpaceCensus {
+                    space: "nursery",
+                    used_words: 0,
+                    reserved_words: 1024,
+                    chunks: 2,
+                },
+                crate::SpaceCensus {
+                    space: "tenured",
+                    used_words: 500,
+                    reserved_words: 4096,
+                    chunks: 8,
+                },
+            ],
+        });
+        let v = parse(&event_line(&e)).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("heap-census"));
+        assert_eq!(v.get("collection").unwrap().as_u64(), Some(4));
+        assert_eq!(v.get("pretenured_sites").unwrap().as_u64(), Some(2));
+        let spaces = v.get("spaces").unwrap().as_array().unwrap();
+        assert_eq!(spaces.len(), 2);
+        assert_eq!(spaces[0].get("space").unwrap().as_str(), Some("nursery"));
+        assert_eq!(spaces[1].get("used_words").unwrap().as_u64(), Some(500));
+        assert_eq!(spaces[1].get("chunks").unwrap().as_u64(), Some(8));
     }
 
     #[test]

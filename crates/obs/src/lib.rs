@@ -33,6 +33,7 @@
 pub mod chrome;
 pub mod json;
 pub mod jsonl;
+pub mod metrics;
 pub mod schema;
 
 use std::time::Instant;
@@ -333,6 +334,37 @@ pub struct SiteDemote {
     pub reason: &'static str,
 }
 
+/// One space's row in a [`HeapCensus`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpaceCensus {
+    /// Wire name of the space (`"nursery"`, `"tenured"`, `"los"`,
+    /// `"semispace"` — the same labels the spaces reserve chunks under).
+    pub space: &'static str,
+    /// Words of live data held by the space after the collection.
+    pub used_words: u64,
+    /// Words of address space the space can currently allocate into
+    /// (active-copy capacity; for the LOS, its whole range).
+    pub reserved_words: u64,
+    /// Chunks of the heap's address space owned by the space (from the
+    /// chunk map's ownership labels).
+    pub chunks: u64,
+}
+
+/// Per-collection heap census, emitted immediately after each
+/// [`CollectionEnd`]: per-space occupancy plus the pretenuring route
+/// table's current size. Gives trace readers the occupancy time-series
+/// that end-of-run aggregates flatten away.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HeapCensus {
+    /// The collection this census was taken after.
+    pub collection: u64,
+    /// Allocation sites currently routed tenured-at-birth (0 on plans
+    /// without pretenuring).
+    pub pretenured_sites: u64,
+    /// One row per space, in the plan's canonical space order.
+    pub spaces: Vec<SpaceCensus>,
+}
+
 /// End of a heap-pressure episode.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PressureEnd {
@@ -370,6 +402,8 @@ pub enum Event {
     /// An adaptive policy (or the pressure governor) demoted a site back
     /// to the nursery.
     SiteDemote(SiteDemote),
+    /// Per-space occupancy census taken right after a collection.
+    HeapCensus(HeapCensus),
 }
 
 /// An event sink installed in the mutator state.

@@ -186,6 +186,49 @@ pub fn validate_line(line: &str) -> Result<(), String> {
                 Ok(())
             })
         }
+        "heap-census" => {
+            // `spaces` is an object array like meta's `sites`, so this
+            // variant is checked by hand rather than through `require`.
+            for key in ["collection", "pretenured_sites"] {
+                if v.get(key).and_then(Value::as_u64).is_none() {
+                    return Err(format!("heap-census: missing integer field {key:?}"));
+                }
+            }
+            let spaces = v
+                .get("spaces")
+                .and_then(Value::as_array)
+                .ok_or("heap-census: missing array field \"spaces\"")?;
+            if spaces.is_empty() {
+                return Err("heap-census: spaces array is empty".to_string());
+            }
+            for s in spaces {
+                let name = s
+                    .get("space")
+                    .and_then(Value::as_str)
+                    .ok_or("heap-census: space row missing name")?;
+                if !["semispace", "nursery", "tenured", "los"].contains(&name) {
+                    return Err(format!("heap-census: unknown space {name:?}"));
+                }
+                for key in ["used_words", "reserved_words", "chunks"] {
+                    if s.get(key).and_then(Value::as_u64).is_none() {
+                        return Err(format!("heap-census: space row missing {key:?}"));
+                    }
+                }
+                let used = s.get("used_words").unwrap().as_u64().unwrap();
+                let reserved = s.get("reserved_words").unwrap().as_u64().unwrap();
+                if used > reserved {
+                    return Err(format!(
+                        "heap-census: {name} used_words {used} exceeds reserved_words {reserved}"
+                    ));
+                }
+            }
+            for (key, _) in v.as_object().unwrap_or(&[]) {
+                if !["type", "collection", "pretenured_sites", "spaces"].contains(&key.as_str()) {
+                    return Err(format!("heap-census: unknown field {key:?}"));
+                }
+            }
+            Ok(())
+        }
         "site-sample" => require(
             &v,
             &[
@@ -373,6 +416,18 @@ pub fn validate_jsonl(doc: &str) -> Result<usize, String> {
                 open = None;
                 last_ended = c;
             }
+            "heap-census" => {
+                let c = v.get("collection").unwrap().as_u64().unwrap();
+                if open.is_some() {
+                    return Err(format!("line {}: census inside a collection span", i + 1));
+                }
+                if c != last_ended {
+                    return Err(format!(
+                        "line {}: census for collection {c} but last ended is {last_ended}",
+                        i + 1
+                    ));
+                }
+            }
             "pressure-begin" => {
                 if pressure_open {
                     return Err(format!("line {}: nested pressure episode", i + 1));
@@ -441,7 +496,7 @@ pub fn validate_jsonl(doc: &str) -> Result<usize, String> {
 
 /// Validates a Chrome trace document: parses as JSON, requires a
 /// `traceEvents` array whose entries all carry a `ph` string, and checks
-/// the fields of "X" (complete) events.
+/// the fields of "X" (complete), "i" (instant) and "C" (counter) events.
 pub fn validate_chrome(doc: &str) -> Result<usize, String> {
     let v = parse(doc)?;
     let events = v
@@ -471,6 +526,41 @@ pub fn validate_chrome(doc: &str) -> Result<usize, String> {
                     }
                 }
             }
+            "i" => {
+                for key in ["name", "cat", "s"] {
+                    if e.get(key).and_then(Value::as_str).is_none() {
+                        return Err(format!("event {i}: instant missing string {key:?}"));
+                    }
+                }
+                if e.get("ts").and_then(Value::as_f64).is_none_or(|x| x < 0.0) {
+                    return Err(format!("event {i}: instant has bad \"ts\""));
+                }
+                for key in ["pid", "tid"] {
+                    if e.get(key).and_then(Value::as_u64).is_none() {
+                        return Err(format!("event {i}: instant missing {key:?}"));
+                    }
+                }
+            }
+            "C" => {
+                if e.get("name").and_then(Value::as_str).is_none() {
+                    return Err(format!("event {i}: counter missing name"));
+                }
+                if e.get("ts").and_then(Value::as_f64).is_none_or(|x| x < 0.0) {
+                    return Err(format!("event {i}: counter has bad \"ts\""));
+                }
+                if e.get("pid").and_then(Value::as_u64).is_none() {
+                    return Err(format!("event {i}: counter missing \"pid\""));
+                }
+                let args = e
+                    .get("args")
+                    .ok_or_else(|| format!("event {i}: counter missing args"))?;
+                let series = args
+                    .as_object()
+                    .ok_or_else(|| format!("event {i}: counter args not an object"))?;
+                if series.is_empty() || series.iter().any(|(_, v)| v.as_u64().is_none()) {
+                    return Err(format!("event {i}: counter args need integer series"));
+                }
+            }
             "M" => {
                 if e.get("name").and_then(Value::as_str).is_none() {
                     return Err(format!("event {i}: metadata missing name"));
@@ -497,6 +587,7 @@ mod tests {
             r#"{"type":"pressure-rung","rung":"retry-major","site":4,"words":18,"outcome":"recovered","cycles":20}"#,
             r#"{"type":"pressure-end","outcome":"recovered","rungs":1,"cycles":20}"#,
             r#"{"type":"site-promote","collection":3,"site":9,"survival_permille":903}"#,
+            r#"{"type":"heap-census","collection":1,"pretenured_sites":0,"spaces":[{"space":"nursery","used_words":0,"reserved_words":1024,"chunks":2},{"space":"tenured","used_words":12,"reserved_words":2048,"chunks":4}]}"#,
             r#"{"type":"site-demote","collection":8,"site":9,"survival_permille":105,"reason":"adaptive"}"#,
             r#"{"type":"site-demote","collection":9,"site":2,"survival_permille":640,"reason":"pressure"}"#,
         ];
@@ -558,6 +649,26 @@ mod tests {
                 "demote without reason",
                 r#"{"type":"site-demote","collection":1,"site":1,"survival_permille":100}"#,
             ),
+            (
+                "census with unknown space",
+                r#"{"type":"heap-census","collection":1,"pretenured_sites":0,"spaces":[{"space":"attic","used_words":0,"reserved_words":1,"chunks":0}]}"#,
+            ),
+            (
+                "census with empty spaces",
+                r#"{"type":"heap-census","collection":1,"pretenured_sites":0,"spaces":[]}"#,
+            ),
+            (
+                "census used exceeds reserved",
+                r#"{"type":"heap-census","collection":1,"pretenured_sites":0,"spaces":[{"space":"nursery","used_words":9,"reserved_words":8,"chunks":1}]}"#,
+            ),
+            (
+                "census with unknown field",
+                r#"{"type":"heap-census","collection":1,"pretenured_sites":0,"bogus":1,"spaces":[{"space":"nursery","used_words":0,"reserved_words":8,"chunks":1}]}"#,
+            ),
+            (
+                "census row missing chunks",
+                r#"{"type":"heap-census","collection":1,"pretenured_sites":0,"spaces":[{"space":"nursery","used_words":0,"reserved_words":8}]}"#,
+            ),
         ];
         for (what, line) in bad {
             assert!(validate_line(line).is_err(), "{what} should be rejected");
@@ -617,6 +728,30 @@ mod tests {
         assert!(validate_jsonl(&unclosed)
             .unwrap_err()
             .contains("never ended"));
+    }
+
+    #[test]
+    fn jsonl_document_checks_census_placement() {
+        let meta =
+            "{\"type\":\"meta\",\"plan\":\"p\",\"bench\":\"b\",\"clock_hz\":1,\"sites\":[]}\n";
+        let gc_begin = "{\"type\":\"collection-begin\",\"collection\":1,\"plan\":\"p\",\"reason\":\"forced\",\"major\":false,\"depth\":0,\"start_cycles\":0}\n";
+        let gc_phase = "{\"type\":\"phase\",\"collection\":1,\"phase\":\"setup\",\"cycles\":5,\"wall_ns\":0}\n";
+        let gc_end = "{\"type\":\"collection-end\",\"collection\":1,\"major\":false,\"depth\":0,\"claimed_prefix\":0,\"oracle_prefix\":0,\"copied_bytes\":0,\"scanned_words\":0,\"pretenured_scanned_words\":0,\"roots_found\":0,\"frames_scanned\":0,\"frames_reused\":0,\"slots_scanned\":0,\"barrier_entries\":0,\"markers_placed\":0,\"gc_cycles\":5,\"end_cycles\":5,\"live_bytes_after\":0,\"wall_ns\":0,\"chunks_owned\":0,\"side_cleared_words\":0,\"size_hist\":[0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0],\"depth_hist\":[0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0]}\n";
+        let census = "{\"type\":\"heap-census\",\"collection\":1,\"pretenured_sites\":0,\"spaces\":[{\"space\":\"semispace\",\"used_words\":0,\"reserved_words\":64,\"chunks\":1}]}\n";
+        let ok = format!("{meta}{gc_begin}{gc_phase}{gc_end}{census}");
+        assert_eq!(validate_jsonl(&ok).unwrap(), 5);
+
+        let inside = format!("{meta}{gc_begin}{census}");
+        assert!(validate_jsonl(&inside)
+            .unwrap_err()
+            .contains("inside a collection"));
+        let wrong_collection = format!(
+            "{meta}{gc_begin}{gc_phase}{gc_end}{}",
+            census.replace("\"collection\":1", "\"collection\":2")
+        );
+        assert!(validate_jsonl(&wrong_collection)
+            .unwrap_err()
+            .contains("last ended"));
     }
 
     #[test]

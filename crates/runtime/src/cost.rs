@@ -134,6 +134,14 @@ impl CostModel {
     pub fn secs(&self, cycles: u64) -> f64 {
         cycles as f64 / self.clock_hz as f64
     }
+
+    /// Simulated cycles in `ms` milliseconds of this clock — the
+    /// conversion the SLO tooling uses to express wall-time pause and
+    /// MMU-window bounds in the deterministic cycle domain (10 ms at the
+    /// default 150 MHz clock is 1_500_000 cycles).
+    pub fn cycles_per_ms(&self, ms: u64) -> u64 {
+        self.clock_hz / 1000 * ms
+    }
 }
 
 #[cfg(test)]
@@ -145,6 +153,8 @@ mod tests {
         let m = CostModel::default();
         assert_eq!(m.clock_hz, 150_000_000);
         assert!((m.secs(150_000_000) - 1.0).abs() < 1e-12);
+        assert_eq!(m.cycles_per_ms(10), 1_500_000);
+        assert_eq!(m.cycles_per_ms(1), 150_000);
     }
 
     #[test]

@@ -488,7 +488,10 @@ pub fn failure_telemetry(d: &Divergence, cfg: &TortureConfig) -> String {
         .copied()
         .find(|k| k.label() == d.plan)
     else {
-        return format!("--- telemetry replay ---\nunknown plan {:?}\n", d.plan);
+        return format!(
+            "--- telemetry replay (0 events, 0 dropped) ---\nunknown plan {:?}\n",
+            d.plan
+        );
     };
     let _quiet = QuietPanics::new();
     let mut lane = build_lane(kind, d.workers.max(1), d.adaptive, cfg);
@@ -505,6 +508,17 @@ pub fn failure_telemetry(d: &Divergence, cfg: &TortureConfig) -> String {
     }
     let events =
         tilgc_obs::RingRecorder::drain_events_from(lane.vm.recorder_mut()).unwrap_or_default();
+    // The drop count makes a truncated replay detectable: a nonzero
+    // figure means the ring wrapped and the JSONL below starts mid-run.
+    let dropped = match lane
+        .vm
+        .recorder_mut()
+        .as_any_mut()
+        .downcast_mut::<tilgc_obs::RingRecorder>()
+    {
+        Some(r) => r.dropped(),
+        None => 0,
+    };
     let sites: Vec<(u16, String)> = lane
         .vm
         .mutator()
@@ -513,7 +527,10 @@ pub fn failure_telemetry(d: &Divergence, cfg: &TortureConfig) -> String {
         .map(|(id, name)| (id.get(), name.to_string()))
         .collect();
     let clock_hz = tilgc_runtime::CostModel::default().clock_hz;
-    let mut out = String::from("--- telemetry replay ---\n");
+    let mut out = format!(
+        "--- telemetry replay ({} events, {dropped} dropped) ---\n",
+        events.len()
+    );
     out.push_str(&tilgc_obs::jsonl::render(
         kind.label(),
         "torture",

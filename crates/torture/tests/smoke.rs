@@ -117,12 +117,25 @@ fn skewed_copied_accounting_is_caught() {
 
     // The failure report's telemetry replay: re-running the minimized
     // trace on the failing lane with the recorder attached must yield a
-    // schema-valid JSONL event stream under the replay header.
+    // schema-valid JSONL event stream under the replay header, whose
+    // event/drop accounting makes ring truncation detectable.
     let replay = failure_telemetry(&d, &cfg);
     let (header, jsonl) = replay
         .split_once('\n')
         .expect("replay has a header line and a body");
-    assert_eq!(header, "--- telemetry replay ---");
+    assert!(
+        header.starts_with("--- telemetry replay (") && header.ends_with(" dropped) ---"),
+        "unexpected replay header: {header}"
+    );
+    let counts = header
+        .trim_start_matches("--- telemetry replay (")
+        .trim_end_matches(" dropped) ---")
+        .split_once(" events, ")
+        .expect("header carries `N events, M dropped`");
+    let events: usize = counts.0.parse().expect("event count is a number");
+    let dropped: u64 = counts.1.parse().expect("drop count is a number");
+    assert_eq!(dropped, 0, "the smoke trace cannot overflow a 64K ring");
     let lines = tilgc_obs::schema::validate_jsonl(jsonl).expect("replay JSONL validates");
     assert!(lines >= 1, "replay is at least a meta line");
+    assert_eq!(lines, events + 1, "JSONL body is the events plus meta");
 }
