@@ -240,6 +240,31 @@ pub struct GcConfig {
     /// packet-reorder injection; a correct scheduler produces identical
     /// reachable heaps regardless.
     pub packet_reorder: bool,
+    /// Fault-injection knob: a deterministic single-shot worker fault
+    /// (panic, stall, or packet drop) fired at a `(worker, packet)`
+    /// coordinate of the parallel lanes. The collection must either
+    /// complete via requeue or degrade to the serial path with the
+    /// oracle's exact answer. `None` (the default) injects nothing.
+    pub worker_fault: Option<crate::scheduler::WorkerFaultSpec>,
+    /// Hung-worker watchdog: wall-clock milliseconds a worker may hold
+    /// an in-flight packet before the coordinator marks it lost and
+    /// requeues its work. `None` (the default) disables the watchdog,
+    /// except that an armed stall fault forces it on with a default
+    /// deadline. The deadline must comfortably exceed the worst-case
+    /// per-packet time — a spurious firing keeps the heap correct
+    /// (forwarding is idempotent) but can double-charge simulated
+    /// cycles.
+    pub watchdog_ms: Option<u64>,
+    /// Per-worker, per-section simulated-cycle ceiling (the watchdog's
+    /// deterministic half): a worker that exceeds it retires as lost
+    /// and the rest of the section degrades to the serial path. `None`
+    /// (the default) is unlimited.
+    pub worker_cycle_budget: Option<u64>,
+    /// Record time-to-safepoint: at each collection, the simulated
+    /// cycles elapsed since the mutator's last safepoint poll. Purely
+    /// observational — no simulated cycles are charged — so goldens are
+    /// unchanged; disabled by default.
+    pub track_ttsp: bool,
 }
 
 impl Default for GcConfig {
@@ -258,6 +283,10 @@ impl Default for GcConfig {
             adaptive_major: false,
             workers: 1,
             packet_reorder: false,
+            worker_fault: None,
+            watchdog_ms: None,
+            worker_cycle_budget: None,
+            track_ttsp: false,
         }
     }
 }
@@ -351,6 +380,34 @@ impl GcConfig {
     #[must_use]
     pub fn packet_reorder(mut self, on: bool) -> GcConfig {
         self.packet_reorder = on;
+        self
+    }
+
+    /// Arms a single-shot worker fault (fault injection).
+    #[must_use]
+    pub fn worker_fault(mut self, fault: crate::scheduler::WorkerFaultSpec) -> GcConfig {
+        self.worker_fault = Some(fault);
+        self
+    }
+
+    /// Sets the hung-worker watchdog's wall-clock deadline.
+    #[must_use]
+    pub fn watchdog_ms(mut self, ms: u64) -> GcConfig {
+        self.watchdog_ms = Some(ms);
+        self
+    }
+
+    /// Sets the per-worker, per-section simulated-cycle budget.
+    #[must_use]
+    pub fn worker_cycle_budget(mut self, cycles: u64) -> GcConfig {
+        self.worker_cycle_budget = Some(cycles);
+        self
+    }
+
+    /// Enables time-to-safepoint tracking (observational only).
+    #[must_use]
+    pub fn track_ttsp(mut self, on: bool) -> GcConfig {
+        self.track_ttsp = on;
         self
     }
 

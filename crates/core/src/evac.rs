@@ -41,8 +41,15 @@ use tilgc_runtime::{CostModel, GcStats, HeapProfile, MutatorState};
 use crate::los::LargeObjectSpace;
 use crate::roots::{read_root, write_root, RootLoc};
 use crate::scheduler::{
-    packetize, reorder_packets, PacketQueue, SharedCursor, WorkerCopyAlloc, WorkerDelta,
+    packetize, reorder_packets, CycleBudget, PacketQueue, PendingClaim, SectionFaults,
+    SharedCursor, WorkerCopyAlloc, WorkerDelta, WorkerFaultKind, WorkerFaultSpec,
 };
+
+/// Watchdog deadline used when a stall fault is armed but no explicit
+/// deadline was configured (a stalled worker would otherwise deadlock
+/// its section), and the interval at which the watchdog rescans.
+const DEFAULT_STALL_DEADLINE: std::time::Duration = std::time::Duration::from_millis(10);
+const WATCHDOG_POLL: std::time::Duration = std::time::Duration::from_micros(500);
 
 /// The explicit half of the driver's gray set: objects that will be
 /// traced in place (large objects, pretenured regions) rather than
@@ -72,6 +79,23 @@ impl ObjectQueue {
 /// In debug builds, vacated spaces are filled with this pattern so that a
 /// stale pointer dereference fails loudly instead of reading garbage.
 pub const POISON: u64 = 0xdead_dead_dead_dead;
+
+/// Snapshot of a collection's fault-tolerance outcome (see
+/// [`Evacuator::fault_outcome`]). All zeros / `false` on fault-free
+/// runs — the plans' updates from it are then no-ops.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct FaultOutcome {
+    /// Whether the armed injected fault fired this collection.
+    pub fired: bool,
+    /// Workers lost across the collection's parallel sections.
+    pub workers_lost: u64,
+    /// Whether any section degraded to the serial drain.
+    pub degraded: bool,
+    /// First degradation trigger, if degraded.
+    pub trigger: Option<&'static str>,
+    /// Packets drained serially after their section closed.
+    pub leftover_packets: u64,
+}
 
 /// One collection's copying state.
 pub struct Evacuator<'a> {
@@ -122,6 +146,31 @@ pub struct Evacuator<'a> {
     /// between parallel sections, so the vector always sums to the
     /// collection's `copied_bytes` delta.
     worker_copied: Vec<u64>,
+    /// Armed worker fault for this collection (fault injection); fires
+    /// at most once across all parallel sections.
+    fault: Option<WorkerFaultSpec>,
+    /// Whether the armed fault fired in some section already.
+    fault_fired: bool,
+    /// Wall-clock deadline after which the watchdog marks a worker
+    /// holding an in-flight packet lost. `None` disables the watchdog
+    /// (it is still forced on, with a default deadline, while a stall
+    /// fault is armed — a stalled worker would otherwise deadlock the
+    /// section).
+    watchdog: Option<std::time::Duration>,
+    /// Per-worker, per-section simulated-cycle ceiling (the watchdog's
+    /// deterministic half); `u64::MAX` disables the check.
+    cycle_budget: u64,
+    /// Workers lost (panicked, stalled past the deadline, or over
+    /// budget) during this collection.
+    workers_lost: u64,
+    /// Whether any section degraded: lost a worker or left packets for
+    /// the coordinator's serial drain.
+    degraded: bool,
+    /// First degradation trigger: `"panic"`, `"watchdog"`, `"budget"`,
+    /// or `"orphan"` (leftover packets with no recorded loss).
+    degrade_trigger: Option<&'static str>,
+    /// Packets the coordinator drained serially after sections closed.
+    leftover_packets: u64,
 }
 
 impl<'a> Evacuator<'a> {
@@ -179,6 +228,14 @@ impl<'a> Evacuator<'a> {
             workers: 1,
             packet_reorder: false,
             worker_copied: Vec::new(),
+            fault: None,
+            fault_fired: false,
+            watchdog: None,
+            cycle_budget: u64::MAX,
+            workers_lost: 0,
+            degraded: false,
+            degrade_trigger: None,
+            leftover_packets: 0,
         }
     }
 
@@ -217,6 +274,66 @@ impl<'a> Evacuator<'a> {
     /// the `copied_bytes` this collection added to `GcStats`.
     pub fn worker_copied(&self) -> &[u64] {
         &self.worker_copied
+    }
+
+    /// Arms a deterministic worker fault for this collection (fault
+    /// injection). The spec's worker index is taken modulo the worker
+    /// count when the parallel lane engages; the fault fires at most
+    /// once.
+    pub fn set_worker_fault(&mut self, fault: Option<WorkerFaultSpec>) {
+        self.fault = fault;
+    }
+
+    /// Sets the watchdog's wall-clock deadline for unresponsive workers
+    /// (`None` disables it, except while a stall fault is armed).
+    pub fn set_watchdog_ms(&mut self, ms: Option<u64>) {
+        self.watchdog = ms.map(std::time::Duration::from_millis);
+    }
+
+    /// Sets the per-worker, per-section simulated-cycle budget (`None`
+    /// = unlimited).
+    pub fn set_cycle_budget(&mut self, budget: Option<u64>) {
+        self.cycle_budget = budget.unwrap_or(u64::MAX);
+    }
+
+    /// Whether the armed fault fired during this collection.
+    pub fn fault_fired(&self) -> bool {
+        self.fault_fired
+    }
+
+    /// Workers lost during this collection.
+    pub fn workers_lost(&self) -> u64 {
+        self.workers_lost
+    }
+
+    /// Whether any parallel section degraded to the serial drain.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// The first degradation trigger (`"panic"`, `"watchdog"`,
+    /// `"budget"`, or `"orphan"`), if the collection degraded.
+    pub fn degrade_trigger(&self) -> Option<&'static str> {
+        self.degrade_trigger
+    }
+
+    /// Packets the coordinator drained on the serial path after their
+    /// section closed.
+    pub fn leftover_packets(&self) -> u64 {
+        self.leftover_packets
+    }
+
+    /// One-call snapshot of the collection's fault-tolerance outcome,
+    /// read by plans after the drain (the evacuator's `GcStats` borrow
+    /// ends there) to update run counters and emit degradation events.
+    pub(crate) fn fault_outcome(&self) -> FaultOutcome {
+        FaultOutcome {
+            fired: self.fault_fired,
+            workers_lost: self.workers_lost,
+            degraded: self.degraded,
+            trigger: self.degrade_trigger,
+            leftover_packets: self.leftover_packets,
+        }
     }
 
     /// Routes from-space objects whose post-copy age is below
@@ -410,21 +527,25 @@ impl<'a> Evacuator<'a> {
         }
         let queue: PacketQueue<Vec<(usize, u64)>> = PacketQueue::new(self.workers);
         queue.seed(packets);
-        let reorder = self.packet_reorder;
-        let moved: Vec<Vec<(usize, u64)>> = self.par_section(|w, shared, alloc, delta| {
-            let mut out = Vec::new();
-            while let Some(packet) = queue.pop(reorder && w % 2 == 1) {
-                for (i, word) in packet {
-                    let fwd = shared.forward_word(alloc, delta, word);
-                    if fwd != word {
-                        out.push((i, fwd));
-                    }
+        let (mut moves, leftovers) = self.par_section(&queue, |_, shared, alloc, delta, packet| {
+            for (i, word) in packet {
+                let fwd = shared.forward_word(alloc, delta, word);
+                if fwd != word {
+                    delta.root_moves.push((i, fwd));
                 }
             }
-            out
         });
+        // Degradation path: root packets the section left behind take
+        // the exact serial lane (already-forwarded targets are no-ops,
+        // so nothing is charged twice).
+        for (i, word) in leftovers.into_iter().flatten() {
+            let fwd = self.forward_word(word);
+            if fwd != word {
+                moves.push((i, fwd));
+            }
+        }
         let mut relocated = 0u64;
-        for (i, fwd) in moved.into_iter().flatten() {
+        for (i, fwd) in moves {
             write_root(m, roots[i], fwd);
             relocated += 1;
         }
@@ -490,21 +611,44 @@ impl<'a> Evacuator<'a> {
             }
             let queue: PacketQueue<Vec<Addr>> = PacketQueue::new(self.workers);
             queue.seed(packets);
-            let reorder = self.packet_reorder;
-            self.par_section(|w, shared, alloc, delta| {
-                while let Some(packet) = queue.pop(reorder && w % 2 == 1) {
-                    for obj in packet {
-                        shared.scan_obj(alloc, delta, obj);
-                    }
-                    for fresh in packetize(std::mem::take(&mut delta.gray)) {
-                        queue.push(fresh);
-                    }
+            let (_, leftovers) = self.par_section(&queue, |_, shared, alloc, delta, packet| {
+                for obj in packet {
+                    shared.scan_obj(alloc, delta, obj);
+                }
+                // Generative: push the gray this packet discovered back
+                // onto the shared queue before the driver completes the
+                // packet, keeping the termination protocol sound.
+                for fresh in packetize(std::mem::take(&mut delta.gray)) {
+                    queue.push(fresh);
                 }
             });
+            for obj in leftovers.into_iter().flatten() {
+                self.queue.push(obj);
+            }
+            // Close the graph on the exact serial path: leftover
+            // packets from a degraded section, plus any gray a failed
+            // worker handed back mid-packet (merged into the explicit
+            // queue by `par_section`). Empty — and charge-free — on
+            // fault-free runs.
+            self.serial_close_drain();
         }
         // The scan cursor tracks the frontier so any later serial scan
         // of this space starts past the parallel section's copies.
         self.scan = self.to.frontier();
+    }
+
+    /// Serially scans the explicit gray queue to emptiness with the
+    /// serial lane's exact charges — the degradation drain. New copies
+    /// made here go through the serial [`forward`](Self::forward), which
+    /// (on a parallel collection) re-enqueues them and attributes their
+    /// bytes to worker 0, so the per-worker accounting still reconciles.
+    fn serial_close_drain(&mut self) {
+        while let Some(obj) = self.queue.pop() {
+            let h = object::header(self.mem, obj);
+            self.stats.scanned_words += h.size_words() as u64;
+            self.stats.copy_cycles += self.cost.scan_per_word * h.size_words() as u64;
+            self.scan_fields(obj, h);
+        }
     }
 
     /// Forwards the pointer stored at memory location `loc` (a sequential
@@ -593,18 +737,21 @@ impl<'a> Evacuator<'a> {
         }
         let queue: PacketQueue<Vec<Addr>> = PacketQueue::new(self.workers);
         queue.seed(packets);
-        let reorder = self.packet_reorder;
-        self.par_section(|w, shared, alloc, delta| {
-            while let Some(packet) = queue.pop(reorder && w % 2 == 1) {
-                for loc in packet {
-                    let word = shared.view.load(loc);
-                    let fwd = shared.forward_word(alloc, delta, word);
-                    if fwd != word {
-                        shared.view.store(loc, fwd);
-                    }
+        let (_, leftovers) = self.par_section(&queue, |_, shared, alloc, delta, packet| {
+            for loc in packet {
+                let word = shared.view.load(loc);
+                let fwd = shared.forward_word(alloc, delta, word);
+                if fwd != word {
+                    shared.view.store(loc, fwd);
                 }
             }
         });
+        // Degradation path: leftover store-buffer locations take the
+        // serial read-forward-write (idempotent for locations another
+        // worker already fixed up).
+        for loc in leftovers.into_iter().flatten() {
+            self.forward_word_at(loc);
+        }
     }
 
     /// The pre-batching store-buffer filter: one forward per recorded
@@ -783,14 +930,36 @@ impl<'a> Evacuator<'a> {
     /// per-worker deltas back into `GcStats` *in worker-index order* —
     /// so the merged totals are independent of thread interleaving.
     ///
+    /// The section owns the packet loop: each worker repeatedly pops
+    /// from `queue` (recording the packet in its in-flight slot) and
+    /// runs `process` on the packet inside `catch_unwind`. A worker
+    /// that panics rolls back its in-progress forwarding claim, fails
+    /// itself on the queue (requeueing its packet), and retires; a
+    /// worker exceeding the simulated-cycle budget retires likewise. A
+    /// watchdog (armed by config or forced on while a stall fault is
+    /// armed) marks unresponsive workers lost on a wall-clock deadline.
+    /// A generative section's `process` pushes the fresh packets it
+    /// discovers back onto the queue itself (before the driver
+    /// completes the packet, so termination stays sound).
+    ///
+    /// Returns the merged root relocations and whatever packets the
+    /// section could not finish (queue remnants after a loss-threshold
+    /// close, plus orphaned in-flight packets) — the caller drains
+    /// those on the exact serial path, so the collection's answer is
+    /// always the serial oracle's.
+    ///
     /// Gray objects the section discovered but did not scan (the
-    /// bounded roots/store-buffer sections) land on the evacuator's
-    /// explicit queue for the drain section; abandoned chunk tails are
-    /// recorded as to-space slack.
-    fn par_section<R, F>(&mut self, work: F) -> Vec<R>
+    /// bounded roots/store-buffer sections, and any gray a failed
+    /// worker handed back) land on the evacuator's explicit queue;
+    /// abandoned chunk tails are recorded as to-space slack.
+    fn par_section<T, F>(
+        &mut self,
+        queue: &PacketQueue<T>,
+        process: F,
+    ) -> (Vec<(usize, u64)>, Vec<T>)
     where
-        R: Send,
-        F: Fn(usize, &ParShared<'_>, &mut WorkerCopyAlloc<'_>, &mut WorkerDelta) -> R + Sync,
+        T: Clone + PartialEq + Send,
+        F: Fn(usize, &ParShared<'_>, &mut WorkerCopyAlloc<'_>, &mut WorkerDelta, T) + Sync,
     {
         let workers = self.workers;
         let frontier = self.to.frontier();
@@ -810,24 +979,123 @@ impl<'a> Evacuator<'a> {
             view,
             side,
         };
-        let outcomes: Vec<(R, WorkerDelta, usize)> = std::thread::scope(|s| {
+        let faults = SectionFaults::new(if self.fault_fired {
+            None
+        } else {
+            self.fault.map(|mut f| {
+                f.worker %= workers;
+                f
+            })
+        });
+        let budget = CycleBudget::new(self.cycle_budget);
+        let watchdog = if faults.stall_armed() {
+            Some(self.watchdog.unwrap_or(DEFAULT_STALL_DEADLINE))
+        } else {
+            self.watchdog
+        };
+        let reorder = self.packet_reorder;
+        let outcomes: Vec<(WorkerDelta, usize)> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
-                    let (shared, work) = (&shared, &work);
+                    let (shared, process, faults, budget) = (&shared, &process, &faults, &budget);
                     s.spawn(move || {
                         let mut alloc = WorkerCopyAlloc::new(&shared.cursor, shared.workers);
                         let mut delta = WorkerDelta::default();
-                        let result = work(w, shared, &mut alloc, &mut delta);
-                        (result, delta, alloc.finish())
+                        let mut packet_idx = 0usize;
+                        loop {
+                            if budget.exceeded(delta.copy_cycles + delta.scan_cycles) {
+                                // Over the per-section simulated-cycle
+                                // deadline: retire as lost; the queue
+                                // hands the rest to the serial path.
+                                faults.note_lost("budget");
+                                queue.fail(w);
+                                break;
+                            }
+                            let Some(packet) = queue.pop_worker(w, reorder && w % 2 == 1) else {
+                                break;
+                            };
+                            let fault = faults.should_fire(w, packet_idx);
+                            packet_idx += 1;
+                            match fault {
+                                Some(WorkerFaultKind::Stall) => {
+                                    // Unresponsive until the watchdog
+                                    // marks this worker lost (requeueing
+                                    // the packet) and releases the latch.
+                                    faults.latch.park();
+                                    break;
+                                }
+                                Some(WorkerFaultKind::Drop) => {
+                                    // Neither processed nor completed:
+                                    // the in-flight clone resurfaces as
+                                    // a leftover after the join.
+                                    continue;
+                                }
+                                _ => {}
+                            }
+                            let unwind =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    if fault == Some(WorkerFaultKind::Panic) {
+                                        panic!("injected worker panic");
+                                    }
+                                    process(w, shared, &mut alloc, &mut delta, packet);
+                                }));
+                            match unwind {
+                                Ok(()) => {
+                                    queue.complete(w);
+                                }
+                                Err(_) => {
+                                    // Roll back the claim the unwind
+                                    // interrupted (if any): republish
+                                    // the original header so spinning
+                                    // losers re-claim, and refund the
+                                    // abandoned copy destination as
+                                    // chunk slack.
+                                    if let Some(claim) = delta.pending_claim.take() {
+                                        shared.view.publish(claim.addr, claim.original);
+                                        delta.tail_slack += claim.dest_words;
+                                    }
+                                    faults.note_lost("panic");
+                                    queue.fail(w);
+                                    break;
+                                }
+                            }
+                        }
+                        (delta, alloc.finish())
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
+            if let Some(deadline) = watchdog {
+                let faults = &faults;
+                s.spawn(move || {
+                    while !queue.is_done() {
+                        for w in queue.stale_workers(deadline) {
+                            faults.note_lost("watchdog");
+                            queue.mark_lost(w);
+                        }
+                        // Free any stall-parked worker the scan just
+                        // retired so its thread can join.
+                        if faults.lost() > 0 {
+                            faults.latch.release();
+                        }
+                        std::thread::sleep(WATCHDOG_POLL);
+                    }
+                    faults.latch.release();
+                });
+            }
+            handles
+                .into_iter()
+                // An Err means the worker died outside the caught
+                // packet loop (queue bookkeeping itself panicked).
+                // Defensive: its delta is gone, but the heap stays
+                // sound — published copies are complete and its
+                // in-flight packet resurfaces as a leftover.
+                .map(|h| h.join().unwrap_or_default())
+                .collect()
         });
         let new_frontier = shared.cursor.frontier();
         self.to.advance_frontier(new_frontier);
-        let mut results = Vec::with_capacity(workers);
-        for (w, (result, delta, chunk_tail)) in outcomes.into_iter().enumerate() {
+        let mut root_moves = Vec::new();
+        for (w, (delta, chunk_tail)) in outcomes.into_iter().enumerate() {
             self.worker_copied[w] += delta.copied_bytes;
             self.stats.copied_bytes += delta.copied_bytes;
             self.stats.copy_cycles += delta.copy_cycles + delta.scan_cycles;
@@ -841,9 +1109,21 @@ impl<'a> Evacuator<'a> {
             for obj in delta.gray {
                 self.queue.push(obj);
             }
-            results.push(result);
+            root_moves.extend(delta.root_moves);
         }
-        results
+        if faults.fired() {
+            self.fault_fired = true;
+        }
+        self.workers_lost += faults.lost();
+        let leftovers = queue.take_leftovers();
+        if faults.lost() > 0 || !leftovers.is_empty() {
+            self.degraded = true;
+            if self.degrade_trigger.is_none() {
+                self.degrade_trigger = Some(faults.trigger().unwrap_or("orphan"));
+            }
+            self.leftover_packets += leftovers.len() as u64;
+        }
+        (root_moves, leftovers)
     }
 }
 
@@ -932,10 +1212,23 @@ impl ParShared<'_> {
                 // sentinel or its published forwarding pointer.
                 continue;
             }
+            // From here to the publish below the claim is this worker's
+            // liability: record it so an unwind (allocation failure, or
+            // any panic while the BUSY sentinel is visible) can be
+            // rolled back by the packet loop instead of wedging every
+            // loser spinning on the sentinel.
+            delta.pending_claim = Some(PendingClaim {
+                addr,
+                original: raw,
+                dest_words: 0,
+            });
             let words = h.size_words();
             let new = alloc
                 .alloc(words)
                 .unwrap_or_else(|| panic!("to-space overflow: heap budget exhausted"));
+            if let Some(claim) = delta.pending_claim.as_mut() {
+                claim.dest_words = words;
+            }
             // The from-space header word holds the busy sentinel, so the
             // payload copy skips word 0 and the copy's header is written
             // directly from the claimed value.
@@ -947,6 +1240,10 @@ impl ParShared<'_> {
             // the release store below guarantees.
             self.side.copy_site(addr, new);
             self.view.publish(addr, Header::forward(new).raw());
+            // Published: the copy is complete and visible, the claim is
+            // discharged, and only now are the charges taken — so an
+            // unwound claim never leaves partial charges behind.
+            delta.pending_claim = None;
             let bytes = h.size_bytes() as u64;
             delta.copied_bytes += bytes;
             delta.copy_cycles += self.cost.copy_per_word * words as u64;

@@ -28,8 +28,8 @@ use std::time::Instant;
 
 use tilgc_mem::{Addr, BudgetSnapshot, GcError, Memory, Space, SpaceRange};
 use tilgc_obs::{
-    CollectionBegin, Event, GcPhase, HeapCensus, PhaseTimer, SiteDemote, SitePromote, SiteWindow,
-    SpaceCensus, TelemetryAcc,
+    CollectionBegin, DegradationBegin, DegradationEnd, Event, GcPhase, HeapCensus, PhaseTimer,
+    SiteDemote, SitePromote, SiteWindow, SpaceCensus, TelemetryAcc,
 };
 use tilgc_runtime::{
     AllocShape, BarrierEntry, CollectReason, CollectionInspection, GcStats, HeapProfile,
@@ -38,10 +38,11 @@ use tilgc_runtime::{
 
 use crate::adaptive::AdaptivePretenure;
 use crate::config::{GcConfig, MarkerPolicy, PretenurePolicy};
-use crate::evac::{poison_range, sweep_profile_deaths, Evacuator};
+use crate::evac::{poison_range, sweep_profile_deaths, Evacuator, FaultOutcome};
 use crate::governor::{PressureRung, PressureSession};
 use crate::plan::Plan;
 use crate::roots::{append_cached_roots, scan_stack, ScanCache};
+use crate::scheduler::WorkerFaultSpec;
 use crate::space::{CopySemantics, CopySpace, PretenuredRegion};
 use crate::util::{
     alloc_in_space, build_collection_end, build_inspection, materialize, reason_str,
@@ -110,6 +111,13 @@ pub struct GenerationalPlan {
     telem: Option<TelemetryAcc>,
     workers: usize,
     packet_reorder: bool,
+    /// Injected worker fault, armed until its one shot fires (the spec
+    /// is per-run, not per-collection).
+    worker_fault: Option<WorkerFaultSpec>,
+    fault_fired: bool,
+    watchdog_ms: Option<u64>,
+    worker_cycle_budget: Option<u64>,
+    track_ttsp: bool,
 }
 
 impl GenerationalPlan {
@@ -189,6 +197,11 @@ impl GenerationalPlan {
             telem: None,
             workers: config.workers,
             packet_reorder: config.packet_reorder,
+            worker_fault: config.worker_fault,
+            fault_fired: false,
+            watchdog_ms: config.watchdog_ms,
+            worker_cycle_budget: config.worker_cycle_budget,
+            track_ttsp: config.track_ttsp,
         };
         c.apply_limits(0);
         c
@@ -250,6 +263,13 @@ impl GenerationalPlan {
         self.telem
             .get_or_insert_with(TelemetryAcc::default)
             .note_depth(depth_at_gc as u64);
+        // TTSP is read before any GC work so the distance reflects the
+        // mutator's position when the collection took over.
+        let ttsp_cycles = if self.track_ttsp {
+            m.cycles_since_safepoint()
+        } else {
+            0
+        };
         m.recorder.record(Event::CollectionBegin(CollectionBegin {
             collection: self.stats.collections + 1,
             plan: "generational",
@@ -257,6 +277,7 @@ impl GenerationalPlan {
             major,
             depth: depth_at_gc as u64,
             start_cycles: m.stats.client_cycles + self.stats.gc_cycles(),
+            ttsp_cycles,
         }));
         Some(PhaseTimer::start(self.stats.gc_cycles()))
     }
@@ -273,6 +294,7 @@ impl GenerationalPlan {
         workers: u64,
         worker_copied: Vec<u64>,
         side_cleared_words: u64,
+        fault: FaultOutcome,
     ) {
         let Some(timer) = timer else { return };
         let collection = self.stats.collections;
@@ -295,6 +317,22 @@ impl GenerationalPlan {
                 self.mem.owned_chunks() as u64,
                 side_cleared_words,
             ))));
+        // A degradation episode brackets right behind the end event,
+        // like a census: the affected collection has already closed
+        // with the exact serial answer.
+        if fault.degraded {
+            m.recorder.record(Event::DegradationBegin(DegradationBegin {
+                collection,
+                trigger: fault.trigger.unwrap_or("orphan"),
+                workers,
+                workers_lost: fault.workers_lost,
+            }));
+            m.recorder.record(Event::DegradationEnd(DegradationEnd {
+                collection,
+                leftover_packets: fault.leftover_packets,
+                outcome: "drained",
+            }));
+        }
         // The heap census rides right behind the end event: per-space
         // occupancy plus the route table's current size, all host-side
         // reads — no simulated cycles, no GcStats.
@@ -449,6 +487,11 @@ impl GenerationalPlan {
         }
         if parallel {
             evac.set_workers(self.workers, self.packet_reorder);
+            if !self.fault_fired {
+                evac.set_worker_fault(self.worker_fault);
+            }
+            evac.set_watchdog_ms(self.watchdog_ms);
+            evac.set_cycle_budget(self.worker_cycle_budget);
         }
         evac.forward_roots(m, &roots);
         if let Some(t) = timer.as_mut() {
@@ -526,6 +569,7 @@ impl GenerationalPlan {
             1
         };
         let worker_copied = evac.worker_copied().to_vec();
+        let fault = evac.fault_outcome();
         let copy_ns = copy_t0.elapsed().as_nanos() as u64;
 
         self.stats.barrier_entries += barrier_entries;
@@ -556,6 +600,11 @@ impl GenerationalPlan {
 
         let live_words =
             self.tenured.active().used_words() + self.los.as_ref().map_or(0, |l| l.used_words());
+        if fault.fired {
+            self.fault_fired = true;
+        }
+        self.stats.workers_lost += fault.workers_lost;
+        self.stats.degraded_collections += u64::from(fault.degraded);
         self.stats
             .note_live_bytes(tilgc_mem::words_to_bytes(live_words) as u64);
         self.stats.stack_wall_ns += stack_ns;
@@ -588,6 +637,7 @@ impl GenerationalPlan {
             workers_used,
             worker_copied,
             side_cleared,
+            fault,
         );
     }
 
@@ -656,6 +706,11 @@ impl GenerationalPlan {
         }
         if parallel {
             evac.set_workers(self.workers, self.packet_reorder);
+            if !self.fault_fired {
+                evac.set_worker_fault(self.worker_fault);
+            }
+            evac.set_watchdog_ms(self.watchdog_ms);
+            evac.set_cycle_budget(self.worker_cycle_budget);
         }
         evac.forward_roots(m, &roots);
         if let Some(t) = timer.as_mut() {
@@ -688,6 +743,7 @@ impl GenerationalPlan {
             1
         };
         let worker_copied = evac.worker_copied().to_vec();
+        let fault = evac.fault_outcome();
         let copy_ns = copy_t0.elapsed().as_nanos() as u64;
 
         sweep_profile_deaths(
@@ -745,6 +801,11 @@ impl GenerationalPlan {
             }
         }
         let live_words = tenured_after + self.los.as_ref().map_or(0, |l| l.used_words());
+        if fault.fired {
+            self.fault_fired = true;
+        }
+        self.stats.workers_lost += fault.workers_lost;
+        self.stats.degraded_collections += u64::from(fault.degraded);
         self.apply_limits(live_words);
         // Live tenured data past its budget share is not a panic here:
         // `set_limit_words` clamps the limit up to the used words, so
@@ -784,6 +845,7 @@ impl GenerationalPlan {
             workers_used,
             worker_copied,
             side_cleared,
+            fault,
         );
     }
 

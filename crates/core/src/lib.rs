@@ -63,6 +63,7 @@ pub use generational::GenerationalPlan;
 pub use los::LargeObjectSpace;
 pub use plan::{Plan, PlanCollector, PretenuringPlan};
 pub use roots::{FrameScanInfo, RootLoc, ScanCache, ScanOutcome};
+pub use scheduler::{WorkerFaultKind, WorkerFaultSpec};
 pub use semispace::SemispacePlan;
 pub use space::{CopySemantics, CopySpace, PretenuredRegion, SpacePolicy};
 pub use verify::{

@@ -51,14 +51,30 @@
 //! has `from_used + workers × 2 × CHUNK_WORDS` words free
 //! ([`slack_budget_words`]); tight-heap collections (and collections
 //! using profiling or a tenure threshold) run on the serial lane.
+//!
+//! **Fault tolerance.** Each worker's packet loop runs inside
+//! `catch_unwind`; a panicking worker rolls back its in-progress
+//! forwarding claim ([`PendingClaim`]), returns its in-flight packet to
+//! the queue ([`PacketQueue::fail`]), and retires. A watchdog on the
+//! coordinator marks unresponsive workers lost
+//! ([`PacketQueue::mark_lost`]) on a wall-clock deadline, and workers
+//! retire themselves when a per-section simulated-cycle budget
+//! ([`CycleBudget`]) is exceeded. Once losses reach the queue's
+//! threshold the queue closes and the coordinator drains every
+//! remaining packet on the exact serial path — the collection always
+//! terminates with the serial oracle's answer (see
+//! `Evacuator::par_section`). All queue locking recovers from
+//! `PoisonError`, so no panic can wedge the pool.
 
 mod alloc;
+mod fault;
 mod queue;
 
 pub use alloc::{SharedCursor, WorkerCopyAlloc, CHUNK_WORDS};
+pub use fault::{CycleBudget, SectionFaults, StallLatch, WorkerFaultKind, WorkerFaultSpec};
 pub use queue::PacketQueue;
 
-use tilgc_mem::Addr;
+use tilgc_mem::{Addr, Header};
 
 /// Maximum work items per packet. Small enough to balance load across
 /// workers, large enough to amortize queue locking.
@@ -128,12 +144,46 @@ pub struct WorkerDelta {
     pub telem_copies: Vec<(u16, u64, bool)>,
     /// Abandoned chunk-tail words, folded into the space's slack.
     pub tail_slack: usize,
+    /// Root relocations `(root_index, forwarded_word)` discovered by a
+    /// roots section, written back to the mutator after the join.
+    pub root_moves: Vec<(usize, u64)>,
+    /// The claim currently held by this worker's forward-in-progress
+    /// (between the BUSY CAS and the forwarding publish). If the worker
+    /// unwinds here, the coordinator rolls the claim back by
+    /// republishing the original header (losers spinning on BUSY then
+    /// re-claim) and refunds the copy destination as slack.
+    pub pending_claim: Option<PendingClaim>,
+}
+
+/// One in-progress claim of the claim/publish forwarding protocol, kept
+/// in [`WorkerDelta`] so a caught panic can roll it back.
+#[derive(Debug, Clone, Copy)]
+pub struct PendingClaim {
+    /// The claimed from-space object (its header holds the BUSY
+    /// sentinel).
+    pub addr: Addr,
+    /// The header word the claim replaced, republished on rollback.
+    pub original: u64,
+    /// Words already allocated for the copy destination (0 until the
+    /// allocation succeeds); refunded as chunk slack on rollback.
+    pub dest_words: usize,
+}
+
+impl PendingClaim {
+    /// The original (pre-claim) header.
+    pub fn original_header(&self) -> Header {
+        Header::from_raw(self.original)
+    }
 }
 
 impl WorkerDelta {
     /// Folds another delta into this one (used when merging the
     /// per-worker results in worker-index order).
     pub fn merge(&mut self, other: WorkerDelta) {
+        debug_assert!(
+            other.pending_claim.is_none(),
+            "merging a delta with an unresolved claim"
+        );
         self.copied_bytes += other.copied_bytes;
         self.copy_cycles += other.copy_cycles;
         self.scanned_words += other.scanned_words;
@@ -143,6 +193,7 @@ impl WorkerDelta {
         self.gray.extend(other.gray);
         self.telem_copies.extend(other.telem_copies);
         self.tail_slack += other.tail_slack;
+        self.root_moves.extend(other.root_moves);
     }
 }
 

@@ -16,7 +16,8 @@ use std::time::Instant;
 
 use tilgc_mem::{Addr, BudgetSnapshot, GcError, Memory, Space};
 use tilgc_obs::{
-    CollectionBegin, Event, GcPhase, HeapCensus, PhaseTimer, SpaceCensus, TelemetryAcc,
+    CollectionBegin, DegradationBegin, DegradationEnd, Event, GcPhase, HeapCensus, PhaseTimer,
+    SpaceCensus, TelemetryAcc,
 };
 use tilgc_runtime::{
     AllocShape, CollectReason, CollectionInspection, GcStats, HeapProfile, MutatorState,
@@ -27,6 +28,7 @@ use crate::evac::{poison_range, sweep_profile_deaths, Evacuator};
 use crate::governor::{PressureRung, PressureSession};
 use crate::plan::Plan;
 use crate::roots::{append_cached_roots, scan_stack, ScanCache};
+use crate::scheduler::WorkerFaultSpec;
 use crate::space::{CopySemantics, CopySpace};
 use crate::util::{alloc_in_space, build_collection_end, build_inspection, reason_str};
 
@@ -46,6 +48,13 @@ pub struct SemispacePlan {
     telem: Option<TelemetryAcc>,
     workers: usize,
     packet_reorder: bool,
+    /// Injected worker fault, armed until its one shot fires (the spec
+    /// is per-run, not per-collection).
+    worker_fault: Option<WorkerFaultSpec>,
+    fault_fired: bool,
+    watchdog_ms: Option<u64>,
+    worker_cycle_budget: Option<u64>,
+    track_ttsp: bool,
 }
 
 impl SemispacePlan {
@@ -86,6 +95,11 @@ impl SemispacePlan {
             telem: None,
             workers: config.workers,
             packet_reorder: config.packet_reorder,
+            worker_fault: config.worker_fault,
+            fault_fired: false,
+            watchdog_ms: config.watchdog_ms,
+            worker_cycle_budget: config.worker_cycle_budget,
+            track_ttsp: config.track_ttsp,
         }
     }
 
@@ -127,6 +141,13 @@ impl SemispacePlan {
         let stats_before = self.stats;
         let side_cleared_before = self.mem.side_cleared_words();
         let depth_at_gc = m.stack.depth();
+        // TTSP is read before any GC work so the distance reflects the
+        // mutator's position when the collection took over.
+        let ttsp_cycles = if self.track_ttsp {
+            m.cycles_since_safepoint()
+        } else {
+            0
+        };
         let mut timer = None;
         if m.recorder.is_enabled() {
             self.telem
@@ -140,6 +161,7 @@ impl SemispacePlan {
                 major: true,
                 depth: depth_at_gc as u64,
                 start_cycles: m.stats.client_cycles + self.stats.gc_cycles(),
+                ttsp_cycles,
             }));
             timer = Some(PhaseTimer::start(self.stats.gc_cycles()));
         }
@@ -189,6 +211,11 @@ impl SemispacePlan {
         }
         if parallel {
             evac.set_workers(self.workers, self.packet_reorder);
+            if !self.fault_fired {
+                evac.set_worker_fault(self.worker_fault);
+            }
+            evac.set_watchdog_ms(self.watchdog_ms);
+            evac.set_cycle_budget(self.worker_cycle_budget);
         }
         evac.forward_roots(m, &roots);
         if let Some(t) = timer.as_mut() {
@@ -209,6 +236,11 @@ impl SemispacePlan {
             1
         };
         let worker_copied = evac.worker_copied().to_vec();
+        let fault_fired = evac.fault_fired();
+        let workers_lost = evac.workers_lost();
+        let degraded = evac.degraded();
+        let degrade_trigger = evac.degrade_trigger();
+        let leftover_packets = evac.leftover_packets();
 
         // A semispace plan needs no write barrier; discard anything an
         // embedder recorded anyway.
@@ -234,6 +266,11 @@ impl SemispacePlan {
         let new_size = desired.clamp((live_words + 512).min(cap), cap);
         self.heap.set_limit_words(new_size);
 
+        if fault_fired {
+            self.fault_fired = true;
+        }
+        self.stats.workers_lost += workers_lost;
+        self.stats.degraded_collections += u64::from(degraded);
         self.stats
             .note_live_bytes(tilgc_mem::words_to_bytes(live_words) as u64);
         self.stats.stack_wall_ns += stack_ns;
@@ -275,6 +312,22 @@ impl SemispacePlan {
                     self.mem.owned_chunks() as u64,
                     self.mem.side_cleared_words() - side_cleared_before,
                 ))));
+            // A degradation episode brackets right behind the end event,
+            // like a census: the affected collection has already closed
+            // with the exact serial answer.
+            if degraded {
+                m.recorder.record(Event::DegradationBegin(DegradationBegin {
+                    collection,
+                    trigger: degrade_trigger.unwrap_or("orphan"),
+                    workers: workers_used,
+                    workers_lost,
+                }));
+                m.recorder.record(Event::DegradationEnd(DegradationEnd {
+                    collection,
+                    leftover_packets,
+                    outcome: "drained",
+                }));
+            }
             // Census behind the end event: one row for the single copy
             // space. Host-side reads only — no simulated cycles.
             m.recorder.record(Event::HeapCensus(HeapCensus {

@@ -127,3 +127,56 @@ proptest! {
         }
     }
 }
+
+/// A pressure-driven forced demotion that lands *during a degraded
+/// collection* — the governor demotes mid-cycle while the coordinator
+/// is draining a failed parallel section's leftover packets on the
+/// serial path — must start the same cooldown window as any other
+/// flip. Degradation is invisible to the estimator by design (it only
+/// ever sees the collection index the plan passes in), so a site must
+/// not oscillate faster just because the collection that demoted it
+/// also lost a worker.
+#[test]
+fn forced_demotion_during_degraded_collection_respects_cooldown() {
+    let config = AdaptiveConfig::default();
+    let win = |site: u16, allocs: u64, survived: u64| SiteWindow {
+        site,
+        allocs,
+        alloc_bytes: allocs * 8,
+        copied_objects: survived,
+        copied_bytes: survived * 8,
+        survived,
+    };
+    let mut seed = PretenurePolicy::new();
+    seed.add_site(SiteId::new(3));
+    let mut a = AdaptivePretenure::new(config, Some(&seed));
+
+    // Collection 10 degrades (worker lost, serial drain); the pressure
+    // rung fires inside that same collection and force-demotes site 3.
+    let degraded = 10u64;
+    a.note_forced_demotion(SiteId::new(3), degraded);
+    assert!(!a.is_pretenured(SiteId::new(3)));
+
+    // Perfect survival evidence from the episode's own serial drain and
+    // the collections right after it must not re-promote the site
+    // inside the cooldown window.
+    for gc in degraded..degraded + config.cooldown {
+        let out = a.observe(gc, false, &[win(3, 100, 100)]);
+        assert!(
+            out.promotions.is_empty(),
+            "flip at {gc} violates the cooldown of {} started by the \
+             mid-degradation demotion",
+            config.cooldown
+        );
+    }
+
+    // Once cooled down and re-proven, the site may flip back.
+    let mut promoted = false;
+    for gc in degraded + config.cooldown..degraded + 4 * config.cooldown {
+        promoted |= !a
+            .observe(gc, false, &[win(3, 100, 100)])
+            .promotions
+            .is_empty();
+    }
+    assert!(promoted, "site re-promotes once cooled down and re-proven");
+}

@@ -164,6 +164,10 @@ fn event_sums_reproduce_gc_stats_on_every_plan() {
                         assert!(s.chunks > 0, "{}: space owns no chunks", s.space);
                     }
                 }
+                // Fault-free runs never degrade.
+                Event::DegradationBegin(_) | Event::DegradationEnd(_) => {
+                    panic!("degradation event on a fault-free run")
+                }
             }
         }
 

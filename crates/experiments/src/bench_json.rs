@@ -1,5 +1,5 @@
 //! `experiments bench-json` — a fixed GC-throughput suite emitting a
-//! machine-readable baseline (`BENCH_pr9.json`).
+//! machine-readable baseline (`BENCH_pr10.json`).
 //!
 //! Seven wall-clock metric groups plus deterministic lanes (the
 //! tables, by contrast, report only deterministic simulated cycles):
@@ -31,8 +31,13 @@
 //!   The baseline records each plan's p50/p99/p99.9 pause in simulated
 //!   gc cycles plus the worst per-benchmark MMU at a 10 ms-equivalent
 //!   window (`<plan>_pause_p50_cycles`, …, `<plan>_mmu_10ms_equiv`,
-//!   with `+` in plan labels flattened to `_`). All simulated-cycle
-//!   numbers, so they are byte-deterministic and gate tightly.
+//!   with `+` in plan labels flattened to `_`). The same runs track
+//!   time-to-safepoint — the client cycles between each collection and
+//!   the mutator's last safepoint poll — and record per-plan
+//!   `<plan>_ttsp_p50_cycles`/`<plan>_ttsp_p99_cycles` (TTSP tracking
+//!   is observational, so it perturbs none of the pause numbers). All
+//!   simulated-cycle numbers, so they are byte-deterministic and gate
+//!   tightly.
 //!
 //! The kernel metrics also record the batched-vs-reference speedup
 //! measured against the pre-batching scalar paths retained under
@@ -49,7 +54,7 @@ use std::time::Instant;
 use tilgc_bench::kernels::{BarrierRig, BulkClearRig, EvacRig, SsbRig, StackRig};
 use tilgc_bench::{bench_config, run_program, HEADLINERS};
 use tilgc_core::{build_vm, build_vm_with_recorder, CollectorKind, GcConfig};
-use tilgc_obs::metrics::{PauseHistogram, PauseMetrics};
+use tilgc_obs::metrics::{PauseHistogram, PauseMetrics, TtspMetrics};
 use tilgc_obs::RingRecorder;
 use tilgc_runtime::CostModel;
 
@@ -72,6 +77,10 @@ struct PauseLane {
     p999: u64,
     /// Worst per-benchmark MMU at the 10 ms-equivalent window, permille.
     mmu_10ms: u64,
+    /// Time-to-safepoint percentiles over the same collections, in
+    /// simulated client cycles since the mutator's last poll.
+    ttsp_p50: u64,
+    ttsp_p99: u64,
 }
 
 /// Runs the headline workload once per plan with the recorder attached
@@ -88,10 +97,13 @@ fn measure_pause_lanes() -> Vec<PauseLane> {
         .iter()
         .map(|&kind| {
             let mut hist = PauseHistogram::new();
+            let mut ttsp = TtspMetrics::new();
             let mut mmu_10ms = 1000u64;
             for &bench in HEADLINERS.iter() {
                 let budget = cal.budget_for_k(bench, 4.0);
-                let mut config = config_with_budget(budget);
+                // TTSP tracking is observational: it charges no cycles,
+                // so the pause lane's numbers are unchanged by it.
+                let mut config = config_with_budget(budget).track_ttsp(true);
                 if kind == CollectorKind::GenerationalStackPretenure {
                     let (policy, _) = derive_pretenure_policy(bench, scale);
                     config = config.pretenure(policy);
@@ -108,6 +120,7 @@ fn measure_pause_lanes() -> Vec<PauseLane> {
                 let mut metrics = PauseMetrics::from_events(&events);
                 metrics.set_horizon(client_cycles + gc_cycles);
                 hist.merge(metrics.histogram());
+                ttsp.merge(TtspMetrics::from_events(&events).histogram());
                 mmu_10ms = mmu_10ms.min(metrics.mmu(window));
             }
             PauseLane {
@@ -116,6 +129,8 @@ fn measure_pause_lanes() -> Vec<PauseLane> {
                 p99: hist.percentile(990),
                 p999: hist.percentile(999),
                 mmu_10ms,
+                ttsp_p50: ttsp.histogram().percentile(500),
+                ttsp_p99: ttsp.histogram().percentile(990),
             }
         })
         .collect()
@@ -326,16 +341,20 @@ pub fn run(path: &str, workers: usize) {
     let mut pause_json = String::new();
     for lane in &lanes {
         println!(
-            "pauses:      {:>14} p50={} p99={} p99.9={} gc-cycles, MMU@10ms {}‰",
-            lane.key, lane.p50, lane.p99, lane.p999, lane.mmu_10ms
+            "pauses:      {:>14} p50={} p99={} p99.9={} gc-cycles, MMU@10ms {}‰, \
+             TTSP p50={} p99={}",
+            lane.key, lane.p50, lane.p99, lane.p999, lane.mmu_10ms, lane.ttsp_p50, lane.ttsp_p99
         );
         pause_json.push_str(&format!(
             ",\n    \"{k}_pause_p50_cycles\": {},\n    \"{k}_pause_p99_cycles\": {},\n    \
-             \"{k}_pause_p999_cycles\": {},\n    \"{k}_mmu_10ms_equiv\": {}",
+             \"{k}_pause_p999_cycles\": {},\n    \"{k}_mmu_10ms_equiv\": {},\n    \
+             \"{k}_ttsp_p50_cycles\": {},\n    \"{k}_ttsp_p99_cycles\": {}",
             lane.p50,
             lane.p99,
             lane.p999,
             lane.mmu_10ms,
+            lane.ttsp_p50,
+            lane.ttsp_p99,
             k = lane.key
         ));
     }

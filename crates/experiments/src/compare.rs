@@ -3,10 +3,10 @@
 //!
 //! Reads the kernel-throughput metrics out of a baseline and a candidate
 //! JSON file (the nightly CI tier produces `BENCH_nightly.json` and
-//! compares it against the checked-in `BENCH_pr9.json`) and fails if any
-//! throughput dropped by more than the allowed percentage, if any
-//! per-plan pause percentile grew (or MMU floor fell) past the same
-//! allowance, or if any `*_speedup_vs_reference` or
+//! compares it against the checked-in `BENCH_pr10.json`) and fails if
+//! any throughput dropped by more than the allowed percentage, if any
+//! per-plan pause or time-to-safepoint percentile grew (or MMU floor
+//! fell) past the same allowance, or if any `*_speedup_vs_reference` or
 //! `*_speedup_vs_static` ratio in the candidate sits below 1.0 — a
 //! batched kernel slower than its scalar reference, or an adaptive
 //! policy slower than the stale static one it exists to beat, is drift
@@ -40,6 +40,13 @@ const GATED_PAUSE_SUFFIXES: [&str; 3] = [
     "_pause_p999_cycles",
 ];
 
+/// Per-plan time-to-safepoint percentiles (simulated client cycles from
+/// the mutator's last safepoint poll to the collection), also gated by
+/// suffix and lower-is-better. Baselines recorded before TTSP tracking
+/// existed simply contribute no such keys, so old baselines keep
+/// gating what they always gated.
+const GATED_TTSP_SUFFIXES: [&str; 2] = ["_ttsp_p50_cycles", "_ttsp_p99_cycles"];
+
 /// Per-plan MMU floors (permille at the 10 ms-equivalent window), where
 /// higher is better — also gated by suffix.
 const GATED_MMU_SUFFIX: &str = "_mmu_10ms_equiv";
@@ -52,7 +59,11 @@ fn latency_metrics(baseline: &HashMap<String, f64>) -> Vec<(String, bool)> {
     let mut names: Vec<(String, bool)> = baseline
         .keys()
         .filter_map(|k| {
-            if GATED_PAUSE_SUFFIXES.iter().any(|s| k.ends_with(s)) {
+            if GATED_PAUSE_SUFFIXES
+                .iter()
+                .chain(GATED_TTSP_SUFFIXES.iter())
+                .any(|s| k.ends_with(s))
+            {
                 Some((k.clone(), true))
             } else if k.ends_with(GATED_MMU_SUFFIX) {
                 Some((k.clone(), false))
@@ -250,18 +261,19 @@ mod tests {
     fn latency_metrics_come_from_the_baseline_with_directions() {
         let base = parse_metrics(
             r#"{"semispace_pause_p50_cycles": 100, "gen_markers_pause_p999_cycles": 900,
-                "semispace_mmu_10ms_equiv": 940, "evac_words_per_sec": 1e9,
-                "table5_workload_ms": 120}"#,
+                "semispace_mmu_10ms_equiv": 940, "gen_markers_ttsp_p99_cycles": 700,
+                "evac_words_per_sec": 1e9, "table5_workload_ms": 120}"#,
         );
         let lanes = latency_metrics(&base);
         assert_eq!(
             lanes,
             vec![
                 ("gen_markers_pause_p999_cycles".to_string(), true),
+                ("gen_markers_ttsp_p99_cycles".to_string(), true),
                 ("semispace_mmu_10ms_equiv".to_string(), false),
                 ("semispace_pause_p50_cycles".to_string(), true),
             ],
-            "sorted, pause lower-is-better, MMU higher-is-better, others excluded"
+            "sorted; pause and TTSP lower-is-better, MMU higher-is-better, others excluded"
         );
     }
 

@@ -9,24 +9,25 @@
 //! experiments gc-log [--bench NAME] [--plan LABEL] [--out-dir DIR]
 //!                    [--validate] [--adaptive]
 //! experiments slo-report [--input FILE.jsonl | --bench NAME --plan LABEL
-//!                        [--adaptive]] [--validate] [--report FILE]
+//!                        [--adaptive] [--ttsp]] [--validate] [--report FILE]
 //!                        [--max-p50 C] [--max-p90 C] [--max-p99 C]
 //!                        [--max-p999 C] [--mmu-window C] [--min-mmu P]
 //! experiments drift
 //! ```
 //!
 //! `bench-json` runs the fixed wall-clock GC-throughput suite and
-//! writes a machine-readable baseline (default `BENCH_pr9.json`); it is
+//! writes a machine-readable baseline (default `BENCH_pr10.json`); it is
 //! not part of `all`, whose outputs are deterministic simulated cycles.
 //! `--workers N` sizes the parallel lane of the Table 5 workload (and is
 //! recorded in the baseline alongside the host's core count).
 //! `bench-compare` gates a candidate baseline (default
-//! `BENCH_nightly.json`) against a reference (default `BENCH_pr9.json`),
+//! `BENCH_nightly.json`) against a reference (default `BENCH_pr10.json`),
 //! failing if any kernel throughput regressed more than the allowed
 //! percentage (default 25), any batched kernel drifted below its scalar
 //! reference path, the adaptive pretenurer drifted below the static
 //! policy on the drifting workload, any pause percentile grew past the
-//! allowance, or any MMU floor fell below it.
+//! allowance, any MMU floor fell below it, or any time-to-safepoint
+//! percentile grew past it.
 //! `gc-log` runs one benchmark (default `Checksum`) under one collector
 //! (default `gen+markers`) with the telemetry recorder attached, prints
 //! an ASCII per-collection phase timeline and per-site survival table,
@@ -44,7 +45,9 @@
 //! preceding `--mmu-window CYCLES` (default 1500000, i.e. 10 ms at the
 //! default clock; the flag pair may repeat for multiple windows) —
 //! exiting nonzero on any violation. `--report FILE` additionally writes
-//! the report text to a file for CI artifacts.
+//! the report text to a file for CI artifacts. `--ttsp` enables
+//! time-to-safepoint tracking on live runs; replayed streams surface
+//! TTSP automatically whenever they carry `ttsp_cycles` fields.
 //! `drift` runs the phase-flipping workload under the pretenure plan
 //! twice — stale static policy vs online adaptation — and reports the
 //! deterministic `drift_adaptive_speedup_vs_static` ratio.
@@ -68,8 +71,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Option<String> = None;
     let mut scale: u32 = 1;
-    let mut out = "BENCH_pr9.json".to_string();
-    let mut baseline = "BENCH_pr9.json".to_string();
+    let mut out = "BENCH_pr10.json".to_string();
+    let mut baseline = "BENCH_pr10.json".to_string();
     let mut candidate = "BENCH_nightly.json".to_string();
     let mut max_regress_pct = 25.0f64;
     let mut workers: usize = 4;
@@ -79,6 +82,7 @@ fn main() -> ExitCode {
     let mut out_dir = "gclog".to_string();
     let mut validate = false;
     let mut adaptive = false;
+    let mut ttsp = false;
     let mut input: Option<String> = None;
     let mut report: Option<String> = None;
     let mut spec = tilgc_obs::metrics::SloSpec::default();
@@ -162,6 +166,7 @@ fn main() -> ExitCode {
             }
             "--validate" => validate = true,
             "--adaptive" => adaptive = true,
+            "--ttsp" => ttsp = true,
             "--input" => {
                 i += 1;
                 let Some(path) = args.get(i) else {
@@ -253,6 +258,7 @@ fn main() -> ExitCode {
             bench,
             plan,
             adaptive,
+            ttsp,
             validate,
             report,
             spec,

@@ -13,6 +13,12 @@
 //! Any violated bound makes the process exit nonzero, which is what lets
 //! CI gate on it.
 //!
+//! Time-to-safepoint is surfaced alongside the pauses whenever the
+//! stream carries it: replayed files contribute their `ttsp_cycles`
+//! fields, and `--ttsp` turns tracking on for live runs. The section is
+//! omitted when every observation is zero, so untracked runs render
+//! exactly as before.
+//!
 //! One caveat for replayed streams: the timeline horizon is the last
 //! recorded event, so mutator time after the final collection is not
 //! visible and whole-run MMU reads slightly low. Live mode extends the
@@ -23,7 +29,7 @@ use std::process::ExitCode;
 
 use tilgc_core::{build_vm_with_recorder, AdaptiveConfig, CollectorKind};
 use tilgc_obs::json;
-use tilgc_obs::metrics::{fmt_permille, PauseMetrics, SloSpec};
+use tilgc_obs::metrics::{fmt_permille, PauseMetrics, SloSpec, TtspMetrics};
 use tilgc_obs::{jsonl, schema, Event, RingRecorder};
 use tilgc_programs::Benchmark;
 use tilgc_runtime::CostModel;
@@ -50,6 +56,9 @@ pub struct SloRequest {
     pub plan: String,
     /// Live mode: enable the online pretenuring estimator.
     pub adaptive: bool,
+    /// Live mode: track time-to-safepoint (observational; the replay
+    /// path surfaces TTSP whenever the stream carries it).
+    pub ttsp: bool,
     /// Schema-validate the stream before evaluating it.
     pub validate: bool,
     /// Also write the report text to this file (CI artifact).
@@ -81,6 +90,11 @@ struct StreamSummary {
     bench: String,
     clock_hz: u64,
     metrics: PauseMetrics,
+    /// Time-to-safepoint observations, one per collection. All-zero
+    /// when the stream was recorded without TTSP tracking (the JSONL
+    /// sink omits the field for zero), so the report section is gated
+    /// on a nonzero maximum.
+    ttsp: TtspMetrics,
     census: Option<LastCensus>,
     event_count: usize,
     dropped: u64,
@@ -129,6 +143,7 @@ fn summarize_jsonl_file(path: &str, validate: bool) -> Result<StreamSummary, Str
         println!("validate: {n} JSONL lines conform to the schema");
     }
     let mut metrics = PauseMetrics::new();
+    let mut ttsp = TtspMetrics::new();
     let mut plan = String::from("?");
     let mut bench = String::from("?");
     let mut clock_hz = CostModel::default().clock_hz;
@@ -160,7 +175,12 @@ fn summarize_jsonl_file(path: &str, validate: bool) -> Result<StreamSummary, Str
                 }
                 continue; // not an event
             }
-            "collection-begin" => open = Some(num("start_cycles")?),
+            "collection-begin" => {
+                open = Some(num("start_cycles")?);
+                // Optional: the sink omits it when zero (and always,
+                // before TTSP tracking existed).
+                ttsp.push(v.get("ttsp_cycles").and_then(|n| n.as_u64()).unwrap_or(0));
+            }
             "collection-end" => {
                 let gc_cycles = num("gc_cycles")?;
                 let end_cycles = num("end_cycles")?;
@@ -204,6 +224,7 @@ fn summarize_jsonl_file(path: &str, validate: bool) -> Result<StreamSummary, Str
         bench,
         clock_hz,
         metrics,
+        ttsp,
         census,
         event_count,
         // A file has no ring; whatever was dropped at record time is
@@ -249,6 +270,9 @@ fn summarize_live_run(req: &SloRequest) -> Result<StreamSummary, String> {
     if req.adaptive {
         config = config.adaptive(AdaptiveConfig::default());
     }
+    if req.ttsp {
+        config = config.track_ttsp(true);
+    }
 
     let recorder = Box::new(RingRecorder::with_capacity(RING_CAPACITY));
     let mut vm = build_vm_with_recorder(kind, &config, recorder);
@@ -284,6 +308,7 @@ fn summarize_live_run(req: &SloRequest) -> Result<StreamSummary, String> {
 
     let mut metrics = PauseMetrics::from_events(&events);
     metrics.set_horizon(client_cycles + stats.gc_cycles());
+    let ttsp = TtspMetrics::from_events(&events);
     let census = events.iter().rev().find_map(|e| match e {
         Event::HeapCensus(c) => Some(LastCensus {
             collection: c.collection,
@@ -307,6 +332,7 @@ fn summarize_live_run(req: &SloRequest) -> Result<StreamSummary, String> {
         bench: bench.name().to_string(),
         clock_hz,
         metrics,
+        ttsp,
         census,
         event_count: events.len(),
         dropped,
@@ -350,6 +376,33 @@ fn render_report(summary: &StreamSummary, spec: &SloSpec) -> (String, usize) {
             "  {name:>6} {value:>14} {:>12.3}",
             model.secs(value) * 1000.0
         );
+    }
+
+    // Time-to-safepoint: only rendered when the stream actually carries
+    // nonzero observations (a run without `track_ttsp` — or any
+    // pre-TTSP trace — reads as all zeros and keeps the report
+    // byte-identical to what it printed before the section existed).
+    let t = summary.ttsp.histogram();
+    if t.max() > 0 {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "time-to-safepoint ({} collections, client cycles since last poll):",
+            t.count()
+        );
+        let _ = writeln!(out, "  {:>6} {:>14} {:>12}", "pctl", "cycles", "ms");
+        for (name, value) in [
+            ("p50", t.percentile(500)),
+            ("p90", t.percentile(900)),
+            ("p99", t.percentile(990)),
+            ("max", t.max()),
+        ] {
+            let _ = writeln!(
+                out,
+                "  {name:>6} {value:>14} {:>12.3}",
+                model.secs(value) * 1000.0
+            );
+        }
     }
 
     // The curve rows: the standard millisecond ladder plus every window
@@ -505,5 +558,71 @@ mod tests {
         let (text, violations) = render_report(&s, &SloSpec::default());
         assert_eq!(violations, 0);
         assert!(text.contains("no bounds configured"));
+    }
+
+    #[test]
+    fn ttsp_section_appears_only_when_the_stream_carries_it() {
+        // The sample doc predates TTSP tracking: no section.
+        let s = summary_of(&sample_doc());
+        let (text, _) = render_report(&s, &SloSpec::default());
+        assert!(
+            !text.contains("time-to-safepoint"),
+            "all-zero TTSP must not change the report: {text}"
+        );
+        // A tracked stream carries `ttsp_cycles` on collection-begin.
+        let doc = sample_doc().replace(
+            r#""start_cycles":1000}"#,
+            r#""start_cycles":1000,"ttsp_cycles":40}"#,
+        );
+        let s = summary_of(&doc);
+        assert_eq!(s.ttsp.histogram().count(), 1);
+        assert_eq!(s.ttsp.histogram().max(), 40);
+        let (text, _) = render_report(&s, &SloSpec::default());
+        assert!(
+            text.contains("time-to-safepoint (1 collections"),
+            "tracked TTSP must be surfaced: {text}"
+        );
+    }
+
+    /// The CI contract end to end: replaying a stream through `--input`
+    /// with a bound it violates must exit nonzero, and with generous
+    /// bounds must exit zero. `ExitCode` has no `PartialEq`, so the
+    /// comparison goes through its `Debug` form.
+    #[test]
+    fn replayed_violations_exit_nonzero() {
+        let dir = std::env::temp_dir().join("tilgc-slo-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("replay-gate.jsonl");
+        std::fs::write(&path, sample_doc()).unwrap();
+        let request = |spec: SloSpec| SloRequest {
+            input: Some(path.to_str().unwrap().to_string()),
+            bench: String::new(),
+            plan: String::new(),
+            adaptive: false,
+            ttsp: false,
+            validate: false,
+            report: None,
+            spec,
+        };
+        // 500/1500 cycles of GC inside the 1000..4000 window: MMU at
+        // that window can never reach 1000‰, so this bound is violated.
+        let violated = run(&request(SloSpec {
+            max_pause: vec![],
+            min_mmu: vec![(3000, 1000)],
+        }));
+        assert_eq!(
+            format!("{violated:?}"),
+            format!("{:?}", ExitCode::FAILURE),
+            "a violated MMU floor must exit nonzero"
+        );
+        let ok = run(&request(SloSpec {
+            max_pause: vec![(990, 1_000_000)],
+            min_mmu: vec![(3000, 1)],
+        }));
+        assert_eq!(
+            format!("{ok:?}"),
+            format!("{:?}", ExitCode::SUCCESS),
+            "generous bounds must exit zero"
+        );
     }
 }

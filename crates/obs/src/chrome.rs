@@ -268,6 +268,32 @@ pub fn render(plan: &str, bench: &str, clock_hz: u64, events: &[Event]) -> Strin
                     ],
                 );
             }
+            // Degradation episodes render as instant marks at the
+            // affected collection's end (the cursor already points
+            // there — the plans emit them right after collection-end).
+            Event::DegradationBegin(d) => {
+                w.instant(
+                    0,
+                    "degradation-begin",
+                    us(now, clock_hz),
+                    &[
+                        ("trigger", format!("\"{}\"", d.trigger)),
+                        ("workers", d.workers.to_string()),
+                        ("workers_lost", d.workers_lost.to_string()),
+                    ],
+                );
+            }
+            Event::DegradationEnd(d) => {
+                w.instant(
+                    0,
+                    "degradation-end",
+                    us(now, clock_hz),
+                    &[
+                        ("leftover_packets", d.leftover_packets.to_string()),
+                        ("outcome", format!("\"{}\"", d.outcome)),
+                    ],
+                );
+            }
             // Each census becomes counter samples Perfetto draws as
             // per-space occupancy tracks plus a pretenured-site count.
             Event::HeapCensus(c) => {
@@ -303,6 +329,7 @@ mod tests {
                 major: false,
                 depth: 4,
                 start_cycles: 1_500_000,
+                ttsp_cycles: 0,
             }),
             Event::Phase(PhaseSpan {
                 collection: 1,
@@ -383,6 +410,17 @@ mod tests {
         })];
         events.extend(sample_events());
         events.extend([
+            Event::DegradationBegin(crate::DegradationBegin {
+                collection: 1,
+                trigger: "watchdog",
+                workers: 4,
+                workers_lost: 1,
+            }),
+            Event::DegradationEnd(crate::DegradationEnd {
+                collection: 1,
+                leftover_packets: 2,
+                outcome: "drained",
+            }),
             Event::SiteSample(crate::SiteSample {
                 collection: 1,
                 site: 3,
@@ -436,21 +474,23 @@ mod tests {
         ]);
         let doc = render("gen+markers+pretenure", "Life", 150_000_000, &events);
         let n = crate::schema::validate_chrome(&doc).expect("trace validates");
-        // 3 metadata + 1 slice + 2 phases + 5 instants + 3 counters.
-        assert_eq!(n, 14);
+        // 3 metadata + 1 slice + 2 phases + 7 instants + 3 counters.
+        assert_eq!(n, 16);
         let v = parse(&doc).unwrap();
         let trace = v.get("traceEvents").unwrap().as_array().unwrap();
         let instants: Vec<_> = trace
             .iter()
             .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("i"))
             .collect();
-        assert_eq!(instants.len(), 5);
+        assert_eq!(instants.len(), 7);
         for name in [
             "pressure-begin",
             "pressure-rung retry-minor",
             "pressure-end",
             "site-promote",
             "site-demote",
+            "degradation-begin",
+            "degradation-end",
         ] {
             assert!(
                 instants

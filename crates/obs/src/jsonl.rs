@@ -7,8 +7,8 @@
 
 use crate::json::escape_into;
 use crate::{
-    CollectionBegin, CollectionEnd, Event, HeapCensus, Hist, PhaseSpan, PressureBegin, PressureEnd,
-    PressureRung, SiteDemote, SitePromote, SiteSample,
+    CollectionBegin, CollectionEnd, DegradationBegin, DegradationEnd, Event, HeapCensus, Hist,
+    PhaseSpan, PressureBegin, PressureEnd, PressureRung, SiteDemote, SitePromote, SiteSample,
 };
 
 /// Builds JSONL object lines field by field.
@@ -120,6 +120,8 @@ pub fn event_line(event: &Event) -> String {
         Event::SitePromote(e) => site_promote_line(e),
         Event::SiteDemote(e) => site_demote_line(e),
         Event::HeapCensus(e) => census_line(e),
+        Event::DegradationBegin(e) => degradation_begin_line(e),
+        Event::DegradationEnd(e) => degradation_end_line(e),
     }
 }
 
@@ -141,14 +143,19 @@ pub fn render(
 }
 
 fn begin_line(e: &CollectionBegin) -> String {
-    Obj::new("collection-begin")
+    // `ttsp_cycles` appears only when TTSP tracking observed a nonzero
+    // distance, so untracked traces stay byte-identical to older output.
+    let mut obj = Obj::new("collection-begin")
         .num("collection", e.collection)
         .str("plan", e.plan)
         .str("reason", e.reason)
         .bool("major", e.major)
         .num("depth", e.depth)
-        .num("start_cycles", e.start_cycles)
-        .finish()
+        .num("start_cycles", e.start_cycles);
+    if e.ttsp_cycles > 0 {
+        obj = obj.num("ttsp_cycles", e.ttsp_cycles);
+    }
+    obj.finish()
 }
 
 fn phase_line(e: &PhaseSpan) -> String {
@@ -265,6 +272,23 @@ fn census_line(e: &HeapCensus) -> String {
     out
 }
 
+fn degradation_begin_line(e: &DegradationBegin) -> String {
+    Obj::new("degradation-begin")
+        .num("collection", e.collection)
+        .str("trigger", e.trigger)
+        .num("workers", e.workers)
+        .num("workers_lost", e.workers_lost)
+        .finish()
+}
+
+fn degradation_end_line(e: &DegradationEnd) -> String {
+    Obj::new("degradation-end")
+        .num("collection", e.collection)
+        .num("leftover_packets", e.leftover_packets)
+        .str("outcome", e.outcome)
+        .finish()
+}
+
 fn site_line(e: &SiteSample) -> String {
     Obj::new("site-sample")
         .num("collection", e.collection)
@@ -293,6 +317,7 @@ mod tests {
                 major: false,
                 depth: 9,
                 start_cycles: 1234,
+                ttsp_cycles: 0,
             }),
             Event::Phase(PhaseSpan {
                 collection: 1,
@@ -342,6 +367,52 @@ mod tests {
         assert_eq!(v.get("type").unwrap().as_str(), Some("site-demote"));
         assert_eq!(v.get("reason").unwrap().as_str(), Some("adaptive"));
         assert_eq!(v.get("collection").unwrap().as_u64(), Some(19));
+    }
+
+    #[test]
+    fn begin_line_gates_ttsp_on_nonzero() {
+        let mut e = CollectionBegin {
+            collection: 3,
+            plan: "semispace",
+            reason: "alloc-failure",
+            major: true,
+            depth: 2,
+            start_cycles: 500,
+            ttsp_cycles: 0,
+        };
+        let v = parse(&begin_line(&e)).unwrap();
+        assert!(
+            v.get("ttsp_cycles").is_none(),
+            "untracked begin line carries no ttsp field"
+        );
+        e.ttsp_cycles = 42;
+        let v = parse(&begin_line(&e)).unwrap();
+        assert_eq!(v.get("ttsp_cycles").unwrap().as_u64(), Some(42));
+    }
+
+    #[test]
+    fn degradation_lines_round_trip() {
+        let begin = Event::DegradationBegin(DegradationBegin {
+            collection: 7,
+            trigger: "panic",
+            workers: 4,
+            workers_lost: 1,
+        });
+        let v = parse(&event_line(&begin)).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("degradation-begin"));
+        assert_eq!(v.get("trigger").unwrap().as_str(), Some("panic"));
+        assert_eq!(v.get("workers").unwrap().as_u64(), Some(4));
+        assert_eq!(v.get("workers_lost").unwrap().as_u64(), Some(1));
+
+        let end = Event::DegradationEnd(DegradationEnd {
+            collection: 7,
+            leftover_packets: 3,
+            outcome: "drained",
+        });
+        let v = parse(&event_line(&end)).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("degradation-end"));
+        assert_eq!(v.get("leftover_packets").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("outcome").unwrap().as_str(), Some("drained"));
     }
 
     #[test]

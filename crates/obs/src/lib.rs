@@ -161,6 +161,11 @@ pub struct CollectionBegin {
     /// Position on the simulated timeline when the collection started:
     /// client cycles + GC cycles accumulated so far.
     pub start_cycles: u64,
+    /// Time-to-safepoint: client cycles elapsed between the mutator's
+    /// last safepoint poll and this collection. Zero when TTSP tracking
+    /// is off (the default) — the JSONL sink omits the field then, so
+    /// untracked traces stay byte-identical.
+    pub ttsp_cycles: u64,
 }
 
 /// One phase's span within a collection.
@@ -365,6 +370,40 @@ pub struct HeapCensus {
     pub spaces: Vec<SpaceCensus>,
 }
 
+/// Start of a mid-cycle degradation episode: a parallel collection lost
+/// a worker (panic, watchdog expiry, or cycle-budget exhaustion) or
+/// found orphaned packets at section close, and the coordinator drained
+/// the remaining work on the exact serial path. Emitted right after the
+/// affected collection's `collection-end` line, like a census.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DegradationBegin {
+    /// The collection that degraded.
+    pub collection: u64,
+    /// What first triggered the degradation: `"panic"` (a worker
+    /// unwound), `"watchdog"` (a worker blew its stall deadline),
+    /// `"budget"` (a worker exhausted its cycle budget) or `"orphan"`
+    /// (no worker was lost but a dropped packet surfaced at close).
+    pub trigger: &'static str,
+    /// Workers the collection started with.
+    pub workers: u64,
+    /// Workers lost by the time the section closed.
+    pub workers_lost: u64,
+}
+
+/// End of a mid-cycle degradation episode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DegradationEnd {
+    /// The collection that degraded (matches the episode's begin).
+    pub collection: u64,
+    /// Packets the coordinator drained serially (requeued in-flight
+    /// work plus anything still unclaimed when the queue closed).
+    pub leftover_packets: u64,
+    /// How the episode ended — always `"drained"`: the serial oracle
+    /// path completes unconditionally, so a degraded collection still
+    /// terminates with the exact serial answer.
+    pub outcome: &'static str,
+}
+
 /// End of a heap-pressure episode.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PressureEnd {
@@ -404,6 +443,10 @@ pub enum Event {
     SiteDemote(SiteDemote),
     /// Per-space occupancy census taken right after a collection.
     HeapCensus(HeapCensus),
+    /// A parallel collection degraded mid-cycle to the serial drain.
+    DegradationBegin(DegradationBegin),
+    /// The degraded collection's serial drain completed.
+    DegradationEnd(DegradationEnd),
 }
 
 /// An event sink installed in the mutator state.

@@ -1,5 +1,5 @@
 //! Streaming pause-time metrics computed deterministically in the cycle
-//! domain from the [`Event`](crate::Event) stream: an HDR-style
+//! domain from the [`Event`] stream: an HDR-style
 //! [`PauseHistogram`] with exact percentile extraction, an MMU (minimum
 //! mutator utilization) curve over sliding cycle windows, and an
 //! [`SloSpec`] that turns both into a pass/fail verdict.
@@ -298,6 +298,60 @@ impl PauseMetrics {
     }
 }
 
+/// Streaming time-to-safepoint accumulator: a [`PauseHistogram`] over
+/// the `ttsp_cycles` field of `collection-begin` events.
+///
+/// TTSP is observational — it measures how far (in client cycles) each
+/// collection landed from the mutator's last safepoint poll, and charges
+/// nothing. Consumers construct this only when TTSP tracking was on for
+/// the run; a zero observation is legitimate (the collection hit exactly
+/// at a poll) and is recorded, even though the JSONL sink omits the
+/// field for zero.
+#[derive(Clone, Debug, Default)]
+pub struct TtspMetrics {
+    hist: PauseHistogram,
+}
+
+impl TtspMetrics {
+    /// An empty accumulator.
+    pub fn new() -> TtspMetrics {
+        TtspMetrics::default()
+    }
+
+    /// Feeds one event. Only `collection-begin` matters.
+    pub fn observe(&mut self, event: &Event) {
+        if let Event::CollectionBegin(b) = event {
+            self.hist.record(b.ttsp_cycles);
+        }
+    }
+
+    /// Builds metrics from a complete event slice.
+    pub fn from_events(events: &[Event]) -> TtspMetrics {
+        let mut m = TtspMetrics::new();
+        for e in events {
+            m.observe(e);
+        }
+        m
+    }
+
+    /// Records one TTSP observation directly (used by JSONL readers; an
+    /// omitted `ttsp_cycles` field reads as 0).
+    pub fn push(&mut self, ttsp_cycles: u64) {
+        self.hist.record(ttsp_cycles);
+    }
+
+    /// Folds another run's TTSP histogram into this one (multi-benchmark
+    /// aggregation, mirroring [`PauseHistogram::merge`]).
+    pub fn merge(&mut self, other: &PauseHistogram) {
+        self.hist.merge(other);
+    }
+
+    /// The TTSP histogram.
+    pub fn histogram(&self) -> &PauseHistogram {
+        &self.hist
+    }
+}
+
 /// One violated SLO bound.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SloViolation {
@@ -419,6 +473,7 @@ mod tests {
             major: false,
             depth: 0,
             start_cycles,
+            ttsp_cycles: 0,
         })
     }
 
@@ -560,6 +615,34 @@ mod tests {
         // Empty timeline edge cases.
         assert_eq!(PauseMetrics::new().mmu(100), 1000);
         assert_eq!(m.mmu(0), 1000);
+    }
+
+    #[test]
+    fn ttsp_metrics_track_collection_begins() {
+        let mut ttsp = Event::CollectionBegin(CollectionBegin {
+            collection: 1,
+            plan: "semispace",
+            reason: "alloc-failure",
+            major: false,
+            depth: 0,
+            start_cycles: 100,
+            ttsp_cycles: 40,
+        });
+        let mut m = TtspMetrics::new();
+        m.observe(&ttsp);
+        if let Event::CollectionBegin(b) = &mut ttsp {
+            b.collection = 2;
+            b.ttsp_cycles = 0;
+        }
+        m.observe(&ttsp);
+        m.push(10);
+        assert_eq!(m.histogram().count(), 3);
+        assert_eq!(m.histogram().sum(), 50);
+        assert_eq!(m.histogram().max(), 40);
+        assert_eq!(m.histogram().min(), 0, "zero TTSP is a real observation");
+        // Non-begin events are ignored.
+        m.observe(&end_event(2, 5, 200));
+        assert_eq!(m.histogram().count(), 3);
     }
 
     #[test]

@@ -84,25 +84,33 @@ pub fn validate_line(line: &str) -> Result<(), String> {
             }
             Ok(())
         }
-        "collection-begin" => require(
-            &v,
-            &[
+        "collection-begin" => {
+            // `ttsp_cycles` is optional: the sink omits it when the
+            // observed time-to-safepoint is zero (or tracking is off),
+            // so when present it must be nonzero.
+            let mut fields = vec![
                 ("collection", Ty::U64),
                 ("plan", Ty::Str),
                 ("reason", Ty::Str),
                 ("major", Ty::Bool),
                 ("depth", Ty::U64),
                 ("start_cycles", Ty::U64),
-            ],
-        )
-        .and_then(|()| {
-            let reason = v.get("reason").unwrap().as_str().unwrap();
-            if ["alloc-failure", "forced", "forced-major"].contains(&reason) {
-                Ok(())
-            } else {
-                Err(format!("unknown reason {reason:?}"))
+            ];
+            let has_ttsp = v.get("ttsp_cycles").is_some();
+            if has_ttsp {
+                fields.push(("ttsp_cycles", Ty::U64));
             }
-        }),
+            require(&v, &fields).and_then(|()| {
+                let reason = v.get("reason").unwrap().as_str().unwrap();
+                if !["alloc-failure", "forced", "forced-major"].contains(&reason) {
+                    return Err(format!("unknown reason {reason:?}"));
+                }
+                if has_ttsp && v.get("ttsp_cycles").unwrap().as_u64() == Some(0) {
+                    return Err("ttsp_cycles present but zero (should be omitted)".to_string());
+                }
+                Ok(())
+            })
+        }
         "phase" => require(
             &v,
             &[
@@ -336,6 +344,46 @@ pub fn validate_line(line: &str) -> Result<(), String> {
                 Err(format!("unknown demote reason {reason:?}"))
             }
         }),
+        "degradation-begin" => require(
+            &v,
+            &[
+                ("collection", Ty::U64),
+                ("trigger", Ty::Str),
+                ("workers", Ty::U64),
+                ("workers_lost", Ty::U64),
+            ],
+        )
+        .and_then(|()| {
+            let trigger = v.get("trigger").unwrap().as_str().unwrap();
+            if !["panic", "watchdog", "budget", "orphan"].contains(&trigger) {
+                return Err(format!("unknown degradation trigger {trigger:?}"));
+            }
+            let workers = v.get("workers").unwrap().as_u64().unwrap();
+            if workers < 2 {
+                return Err(format!("degradation on {workers} workers (< 2)"));
+            }
+            let lost = v.get("workers_lost").unwrap().as_u64().unwrap();
+            if lost > workers {
+                return Err(format!("workers_lost {lost} exceeds workers {workers}"));
+            }
+            Ok(())
+        }),
+        "degradation-end" => require(
+            &v,
+            &[
+                ("collection", Ty::U64),
+                ("leftover_packets", Ty::U64),
+                ("outcome", Ty::Str),
+            ],
+        )
+        .and_then(|()| {
+            let outcome = v.get("outcome").unwrap().as_str().unwrap();
+            if outcome == "drained" {
+                Ok(())
+            } else {
+                Err(format!("unknown degradation outcome {outcome:?}"))
+            }
+        }),
         other => Err(format!("unknown event type {other:?}")),
     }
 }
@@ -364,6 +412,11 @@ fn check_site_flip(v: &Value) -> Result<(), String> {
 /// *inside* the episode), `pressure-rung` lines may only appear inside
 /// an open episode, and the closing `pressure-end` must report exactly
 /// the number of rungs taken and the sum of their cycle charges.
+///
+/// Degradation episodes are bracketed like censuses: both lines sit
+/// *outside* any collection span, reference the collection that just
+/// ended, and the `degradation-end` must name the same collection as
+/// its begin with no nesting.
 pub fn validate_jsonl(doc: &str) -> Result<usize, String> {
     let mut lines = 0usize;
     let mut open: Option<u64> = None;
@@ -372,6 +425,7 @@ pub fn validate_jsonl(doc: &str) -> Result<usize, String> {
     let mut pressure_open = false;
     let mut rung_sum = 0u64;
     let mut rung_count = 0u64;
+    let mut degradation_open: Option<u64> = None;
     for (i, line) in doc.lines().enumerate() {
         if line.is_empty() {
             continue;
@@ -387,6 +441,12 @@ pub fn validate_jsonl(doc: &str) -> Result<usize, String> {
                 let c = v.get("collection").unwrap().as_u64().unwrap();
                 if open.is_some() {
                     return Err(format!("line {}: nested collection {c}", i + 1));
+                }
+                if degradation_open.is_some() {
+                    return Err(format!(
+                        "line {}: collection {c} began inside a degradation episode",
+                        i + 1
+                    ));
                 }
                 if c <= last_ended {
                     return Err(format!("line {}: collection {c} out of order", i + 1));
@@ -427,6 +487,35 @@ pub fn validate_jsonl(doc: &str) -> Result<usize, String> {
                         i + 1
                     ));
                 }
+            }
+            "degradation-begin" => {
+                let c = v.get("collection").unwrap().as_u64().unwrap();
+                if open.is_some() {
+                    return Err(format!(
+                        "line {}: degradation inside a collection span",
+                        i + 1
+                    ));
+                }
+                if degradation_open.is_some() {
+                    return Err(format!("line {}: nested degradation episode", i + 1));
+                }
+                if c != last_ended {
+                    return Err(format!(
+                        "line {}: degradation for collection {c} but last ended is {last_ended}",
+                        i + 1
+                    ));
+                }
+                degradation_open = Some(c);
+            }
+            "degradation-end" => {
+                let c = v.get("collection").unwrap().as_u64().unwrap();
+                if degradation_open != Some(c) {
+                    return Err(format!(
+                        "line {}: degradation end without begin for {c}",
+                        i + 1
+                    ));
+                }
+                degradation_open = None;
             }
             "pressure-begin" => {
                 if pressure_open {
@@ -487,6 +576,9 @@ pub fn validate_jsonl(doc: &str) -> Result<usize, String> {
     }
     if pressure_open {
         return Err("pressure episode never ended".to_string());
+    }
+    if let Some(c) = degradation_open {
+        return Err(format!("degradation episode for {c} never ended"));
     }
     if lines == 0 {
         return Err("empty document".to_string());
@@ -590,6 +682,10 @@ mod tests {
             r#"{"type":"heap-census","collection":1,"pretenured_sites":0,"spaces":[{"space":"nursery","used_words":0,"reserved_words":1024,"chunks":2},{"space":"tenured","used_words":12,"reserved_words":2048,"chunks":4}]}"#,
             r#"{"type":"site-demote","collection":8,"site":9,"survival_permille":105,"reason":"adaptive"}"#,
             r#"{"type":"site-demote","collection":9,"site":2,"survival_permille":640,"reason":"pressure"}"#,
+            r#"{"type":"collection-begin","collection":2,"plan":"semispace","reason":"alloc-failure","major":false,"depth":1,"start_cycles":99,"ttsp_cycles":12}"#,
+            r#"{"type":"degradation-begin","collection":1,"trigger":"panic","workers":4,"workers_lost":1}"#,
+            r#"{"type":"degradation-begin","collection":1,"trigger":"orphan","workers":2,"workers_lost":0}"#,
+            r#"{"type":"degradation-end","collection":1,"leftover_packets":3,"outcome":"drained"}"#,
         ];
         for line in lines {
             validate_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
@@ -668,6 +764,26 @@ mod tests {
             (
                 "census row missing chunks",
                 r#"{"type":"heap-census","collection":1,"pretenured_sites":0,"spaces":[{"space":"nursery","used_words":0,"reserved_words":8}]}"#,
+            ),
+            (
+                "zero ttsp should be omitted",
+                r#"{"type":"collection-begin","collection":1,"plan":"x","reason":"forced","major":false,"depth":0,"start_cycles":0,"ttsp_cycles":0}"#,
+            ),
+            (
+                "unknown degradation trigger",
+                r#"{"type":"degradation-begin","collection":1,"trigger":"gremlins","workers":4,"workers_lost":1}"#,
+            ),
+            (
+                "degradation on a serial collection",
+                r#"{"type":"degradation-begin","collection":1,"trigger":"panic","workers":1,"workers_lost":1}"#,
+            ),
+            (
+                "workers_lost exceeds workers",
+                r#"{"type":"degradation-begin","collection":1,"trigger":"panic","workers":2,"workers_lost":3}"#,
+            ),
+            (
+                "unknown degradation outcome",
+                r#"{"type":"degradation-end","collection":1,"leftover_packets":0,"outcome":"gave-up"}"#,
             ),
         ];
         for (what, line) in bad {
@@ -755,6 +871,43 @@ mod tests {
     }
 
     #[test]
+    fn jsonl_document_checks_degradation_bracketing() {
+        let meta =
+            "{\"type\":\"meta\",\"plan\":\"p\",\"bench\":\"b\",\"clock_hz\":1,\"sites\":[]}\n";
+        let gc_begin = "{\"type\":\"collection-begin\",\"collection\":1,\"plan\":\"p\",\"reason\":\"forced\",\"major\":false,\"depth\":0,\"start_cycles\":0}\n";
+        let gc_phase = "{\"type\":\"phase\",\"collection\":1,\"phase\":\"setup\",\"cycles\":5,\"wall_ns\":0}\n";
+        let gc_end = "{\"type\":\"collection-end\",\"collection\":1,\"major\":false,\"depth\":0,\"claimed_prefix\":0,\"oracle_prefix\":0,\"copied_bytes\":0,\"scanned_words\":0,\"pretenured_scanned_words\":0,\"roots_found\":0,\"frames_scanned\":0,\"frames_reused\":0,\"slots_scanned\":0,\"barrier_entries\":0,\"markers_placed\":0,\"gc_cycles\":5,\"end_cycles\":5,\"live_bytes_after\":0,\"wall_ns\":0,\"chunks_owned\":0,\"side_cleared_words\":0,\"size_hist\":[0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0],\"depth_hist\":[0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0]}\n";
+        let deg_begin = "{\"type\":\"degradation-begin\",\"collection\":1,\"trigger\":\"watchdog\",\"workers\":4,\"workers_lost\":1}\n";
+        let deg_end = "{\"type\":\"degradation-end\",\"collection\":1,\"leftover_packets\":2,\"outcome\":\"drained\"}\n";
+        let ok = format!("{meta}{gc_begin}{gc_phase}{gc_end}{deg_begin}{deg_end}");
+        assert_eq!(validate_jsonl(&ok).unwrap(), 6);
+
+        let inside = format!("{meta}{gc_begin}{deg_begin}");
+        assert!(validate_jsonl(&inside)
+            .unwrap_err()
+            .contains("inside a collection"));
+        let wrong_collection = format!(
+            "{meta}{gc_begin}{gc_phase}{gc_end}{}",
+            deg_begin.replace("\"collection\":1", "\"collection\":2")
+        );
+        assert!(validate_jsonl(&wrong_collection)
+            .unwrap_err()
+            .contains("last ended"));
+        let orphan_end = format!("{meta}{gc_begin}{gc_phase}{gc_end}{deg_end}");
+        assert!(validate_jsonl(&orphan_end)
+            .unwrap_err()
+            .contains("without begin"));
+        let unclosed = format!("{meta}{gc_begin}{gc_phase}{gc_end}{deg_begin}");
+        assert!(validate_jsonl(&unclosed)
+            .unwrap_err()
+            .contains("never ended"));
+        let nested = format!("{meta}{gc_begin}{gc_phase}{gc_end}{deg_begin}{deg_begin}");
+        assert!(validate_jsonl(&nested)
+            .unwrap_err()
+            .contains("nested degradation"));
+    }
+
+    #[test]
     fn jsonl_document_checks_pressure_bracketing() {
         let meta =
             "{\"type\":\"meta\",\"plan\":\"p\",\"bench\":\"b\",\"clock_hz\":1,\"sites\":[]}\n";
@@ -798,6 +951,7 @@ mod tests {
             major: false,
             depth: 0,
             start_cycles: 0,
+            ttsp_cycles: 0,
         })];
         let doc = crate::chrome::render("p", "b", 150_000_000, &events);
         assert!(

@@ -54,6 +54,12 @@ pub struct MutatorState {
     /// target space were full. Drives the torture harness's `oom-alloc`
     /// fault; zero (the default) disables injection entirely.
     pub force_alloc_failures: u32,
+    /// Client-cycle timestamp of this mutator's most recent safepoint
+    /// poll (the GC-possible points: allocation completion and explicit
+    /// collection requests). A collection's time-to-safepoint is the
+    /// client cycles elapsed since this mark — observational only,
+    /// never charged.
+    pub last_safepoint_cycles: u64,
 }
 
 impl Default for MutatorState {
@@ -81,7 +87,24 @@ impl MutatorState {
             alloc_buf_ptr_mask: 0,
             recorder: Box::new(NullRecorder),
             force_alloc_failures: 0,
+            last_safepoint_cycles: 0,
         }
+    }
+
+    /// Marks a safepoint poll: the mutator is at a GC-possible point.
+    /// Collectors read the distance from the previous mark as the
+    /// collection's time-to-safepoint.
+    #[inline]
+    pub fn poll_safepoint(&mut self) {
+        self.last_safepoint_cycles = self.stats.client_cycles;
+    }
+
+    /// Client cycles elapsed since the last safepoint poll.
+    #[inline]
+    pub fn cycles_since_safepoint(&self) -> u64 {
+        self.stats
+            .client_cycles
+            .saturating_sub(self.last_safepoint_cycles)
     }
 
     /// Charges `cycles` to the client (mutator) account.

@@ -86,6 +86,16 @@ pub struct GcStats {
     /// rung while adaptation is on.
     pub sites_demoted: u64,
 
+    /// Parallel collection workers lost (panicked, stalled past the
+    /// watchdog deadline, or over the cycle budget) over the run. Zero
+    /// on every fault-free run.
+    pub workers_lost: u64,
+    /// Collections that degraded mid-cycle to the serial drain (a lost
+    /// worker or an orphaned packet handed the remaining work to the
+    /// coordinator's exact serial path). Each one is bracketed by a
+    /// `degradation-begin`/`degradation-end` telemetry episode.
+    pub degraded_collections: u64,
+
     /// Simulated cycles spent processing roots ("GC-stack", Table 5).
     pub stack_cycles: u64,
     /// Simulated cycles spent scanning and copying the heap ("GC-copy").

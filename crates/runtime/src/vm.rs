@@ -430,13 +430,19 @@ impl Vm {
     /// Hands the staged request to the collector; a typed refusal is
     /// raised through the handler chain as an SML-style heap overflow.
     fn finish_alloc(&mut self, shape: AllocShape) -> Result<Addr, HeapOverflow> {
-        match self.gc.alloc(&mut self.m, shape) {
+        // Allocation is a GC-possible point: the collector may run
+        // inside `alloc`, reading its time-to-safepoint as the client
+        // cycles since the previous poll; the poll after it starts the
+        // next interval. Observational only — no cycles charged.
+        let result = match self.gc.alloc(&mut self.m, shape) {
             Ok(addr) => Ok(addr),
             Err(error) => {
                 let outcome = self.raise();
                 Err(HeapOverflow { error, outcome })
             }
-        }
+        };
+        self.m.poll_safepoint();
+        result
     }
 
     // ----- heap access ---------------------------------------------------------
@@ -601,11 +607,13 @@ impl Vm {
     /// Forces a collection.
     pub fn gc_now(&mut self) {
         self.gc.collect(&mut self.m, CollectReason::Forced);
+        self.m.poll_safepoint();
     }
 
     /// Forces a major collection (for generational collectors).
     pub fn gc_major(&mut self) {
         self.gc.collect(&mut self.m, CollectReason::ForcedMajor);
+        self.m.poll_safepoint();
     }
 
     /// Ends the run: final collector bookkeeping (profile flush, ...).

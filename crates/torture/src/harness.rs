@@ -23,7 +23,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use tilgc_core::{
     build_vm, check_inspection, verify_collection, verify_vm, vm_snapshot, AdaptiveConfig,
-    CollectorKind, GcConfig, PretenurePolicy,
+    CollectorKind, GcConfig, PretenurePolicy, WorkerFaultKind, WorkerFaultSpec,
 };
 use tilgc_mem::WORD_BYTES;
 use tilgc_runtime::driver::{arr_site_id, raw_site_id, rec_site_id, PTR_FREE_REC_INDEX};
@@ -57,6 +57,36 @@ pub enum Fault {
     /// is a clean run; any divergence it surfaces is a real scheduler
     /// bug (hidden ordering dependence). No-op on serial lanes.
     PacketReorder,
+    /// Arm a seed-derived single-shot worker panic on every parallel
+    /// lane (the targeted worker panics inside the packet loop). The
+    /// fault-tolerance contract says the panic must be isolated — the
+    /// packet requeued, the section degraded to the serial drain — so
+    /// the expected outcome is a clean run whose graphs still match the
+    /// serial oracle's. No-op on serial lanes.
+    WorkerPanic,
+    /// Arm a seed-derived single-shot worker stall: the targeted worker
+    /// parks and stops responding until the watchdog's wall-clock
+    /// backstop marks it lost. Expected outcome: clean, oracle-matching
+    /// run (via requeue + degradation). No-op on serial lanes.
+    WorkerStall,
+    /// Arm a seed-derived single-shot packet drop: the targeted worker
+    /// silently skips one packet, which must resurface as an orphan and
+    /// drain on the serial path. Expected outcome: clean,
+    /// oracle-matching run. No-op on serial lanes.
+    PacketDrop,
+}
+
+impl Fault {
+    /// The worker-fault kind this injection arms in [`GcConfig`], if it
+    /// is one of the fault-tolerance injections.
+    fn worker_fault_kind(self) -> Option<WorkerFaultKind> {
+        match self {
+            Fault::WorkerPanic => Some(WorkerFaultKind::Panic),
+            Fault::WorkerStall => Some(WorkerFaultKind::Stall),
+            Fault::PacketDrop => Some(WorkerFaultKind::Drop),
+            _ => None,
+        }
+    }
 }
 
 /// One torture run's parameters.
@@ -86,6 +116,14 @@ pub struct TortureConfig {
     /// enabled, in lockstep with the static-policy oracle lanes. Sites
     /// flip placement mid-run; the reachable graph must not care.
     pub adaptive: bool,
+    /// Pinned op index for the [`Fault::OomAlloc`] injection. `None`
+    /// (the default) derives it from the seed and the *current* program
+    /// length; the shrinker pins it to the index derived from the
+    /// original program so chunk-halving cannot move the fault out from
+    /// under the failure it is minimizing. The worker-fault injections
+    /// need no pin — their `(worker, packet)` coordinates are derived
+    /// from the seed alone, independent of trace length.
+    pub fault_pin: Option<usize>,
 }
 
 impl Default for TortureConfig {
@@ -100,6 +138,7 @@ impl Default for TortureConfig {
             fault: None,
             workers: 1,
             adaptive: false,
+            fault_pin: None,
         }
     }
 }
@@ -153,7 +192,13 @@ struct Lane {
     driver: OpDriver,
 }
 
-fn build_lane(kind: CollectorKind, workers: usize, adaptive: bool, cfg: &TortureConfig) -> Lane {
+fn build_lane(
+    seed: u64,
+    kind: CollectorKind,
+    workers: usize,
+    adaptive: bool,
+    cfg: &TortureConfig,
+) -> Lane {
     let mut gc = GcConfig::new()
         .heap_budget_bytes(cfg.heap_budget_bytes)
         .nursery_bytes(cfg.nursery_bytes)
@@ -161,6 +206,17 @@ fn build_lane(kind: CollectorKind, workers: usize, adaptive: bool, cfg: &Torture
         .workers(workers);
     if cfg.fault == Some(Fault::PacketReorder) {
         gc = gc.packet_reorder(true);
+    }
+    if workers > 1 {
+        if let Some(fault_kind) = cfg.fault.and_then(Fault::worker_fault_kind) {
+            gc = gc.worker_fault(worker_fault_spec(seed, workers, fault_kind));
+            if fault_kind == WorkerFaultKind::Stall {
+                // A short wall-clock deadline keeps the one-shot stall
+                // cheap across a wide seed sweep; correctness does not
+                // depend on the value.
+                gc = gc.watchdog_ms(5);
+            }
+        }
     }
     if kind == CollectorKind::GenerationalStackPretenure {
         // Pretenure a spread of the driver's sites: two pointer-carrying
@@ -285,12 +341,29 @@ fn diff_lanes(seed: u64, op_index: usize, lanes: &[Lane], ops: &[VmOp]) -> Optio
 }
 
 /// SplitMix64 finalizer — derives the [`Fault::OomAlloc`] injection
-/// point from the seed, independent of the program generator's stream.
+/// point and the worker-fault coordinates from the seed, independent of
+/// the program generator's stream.
 fn splitmix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     x ^ (x >> 31)
+}
+
+/// Seed-derived `(worker, packet)` coordinates for the fault-tolerance
+/// injections. Depends only on the seed and the worker count — never on
+/// the trace — so the spec survives trace minimization unchanged. The
+/// packet ordinal is kept small (a worker's first few pops) so the
+/// fault actually fires on the short packet queues the tiny torture
+/// nurseries produce; a seed whose targeted worker never pops simply
+/// leaves the spec armed and inert, which must also be clean.
+fn worker_fault_spec(seed: u64, workers: usize, kind: WorkerFaultKind) -> WorkerFaultSpec {
+    let h = splitmix(seed ^ 0xFA17_u64);
+    WorkerFaultSpec {
+        kind,
+        worker: (h % workers as u64) as usize,
+        packet: (splitmix(h) % 3) as usize,
+    }
 }
 
 /// How a lockstep replay ended.
@@ -326,24 +399,26 @@ pub fn run_ops_outcome(seed: u64, ops: &[VmOp], cfg: &TortureConfig) -> RunOutco
     // within each plan as well as the cross-plan comparison.
     let mut lanes: Vec<Lane> = Vec::new();
     for &k in &cfg.plans {
-        lanes.push(build_lane(k, 1, false, cfg));
+        lanes.push(build_lane(seed, k, 1, false, cfg));
         if cfg.workers > 1 {
-            lanes.push(build_lane(k, cfg.workers, false, cfg));
+            lanes.push(build_lane(seed, k, cfg.workers, false, cfg));
         }
         // Adaptive lanes run alongside the static-policy oracle lanes
         // (serial, plus parallel when configured): placement flips must
         // be invisible to the reachable graph, so the same cross-lane
         // diff covers them.
         if cfg.adaptive && k == CollectorKind::GenerationalStackPretenure {
-            lanes.push(build_lane(k, 1, true, cfg));
+            lanes.push(build_lane(seed, k, 1, true, cfg));
             if cfg.workers > 1 {
-                lanes.push(build_lane(k, cfg.workers, true, cfg));
+                lanes.push(build_lane(seed, k, cfg.workers, true, cfg));
             }
         }
     }
     let stride = cfg.check_stride.max(1);
-    let inject_at = (cfg.fault == Some(Fault::OomAlloc) && !ops.is_empty())
-        .then(|| (splitmix(seed) % ops.len() as u64) as usize);
+    let inject_at = (cfg.fault == Some(Fault::OomAlloc) && !ops.is_empty()).then(|| {
+        cfg.fault_pin
+            .unwrap_or_else(|| (splitmix(seed) % ops.len() as u64) as usize)
+    });
     let mut oom: Option<(&'static str, usize, bool)> = None;
     'program: for (i, &op) in ops.iter().enumerate() {
         if Some(i) == inject_at {
@@ -494,7 +569,7 @@ pub fn failure_telemetry(d: &Divergence, cfg: &TortureConfig) -> String {
         );
     };
     let _quiet = QuietPanics::new();
-    let mut lane = build_lane(kind, d.workers.max(1), d.adaptive, cfg);
+    let mut lane = build_lane(d.seed, kind, d.workers.max(1), d.adaptive, cfg);
     lane.vm
         .set_recorder(Box::new(tilgc_obs::RingRecorder::with_capacity(1 << 16)));
     for &op in &d.trace {
@@ -613,10 +688,20 @@ pub fn run_seed(seed: u64, cfg: &TortureConfig) -> Option<Divergence> {
     let _quiet = QuietPanics::new();
     let ops = generate(seed, cfg.ops);
     let full = run_ops(seed, &ops, cfg)?;
-    let min = minimize(&ops, |cand| run_ops(seed, cand, cfg).is_some());
+    // Pin the seed-derived injection point to the *original* program
+    // length before shrinking: without the pin, every chunk deletion
+    // would recompute `splitmix(seed) % len` against the shorter
+    // candidate and the fault would wander — the shrinker would then be
+    // minimizing a different failure each probe (or none at all). The
+    // worker-fault specs are trace-length-independent and need no pin.
+    let mut shrink_cfg = cfg.clone();
+    if cfg.fault == Some(Fault::OomAlloc) && cfg.fault_pin.is_none() && !ops.is_empty() {
+        shrink_cfg.fault_pin = Some((splitmix(seed) % ops.len() as u64) as usize);
+    }
+    let min = minimize(&ops, |cand| run_ops(seed, cand, &shrink_cfg).is_some());
     // Re-run the minimized trace so op index and detail describe it, not
     // the original program.
-    Some(run_ops(seed, &min, cfg).unwrap_or(full))
+    Some(run_ops(seed, &min, &shrink_cfg).unwrap_or(full))
 }
 
 #[cfg(test)]
@@ -629,7 +714,7 @@ mod tests {
         let lanes: Vec<Lane> = cfg
             .plans
             .iter()
-            .map(|&k| build_lane(k, 1, false, &cfg))
+            .map(|&k| build_lane(0, k, 1, false, &cfg))
             .collect();
         assert!(diff_lanes(0, 0, &lanes, &[]).is_none());
     }

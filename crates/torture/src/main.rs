@@ -5,7 +5,8 @@
 //! torture [--seeds A..B|N] [--ops N] [--plans L,L,...] [--stride N]
 //!         [--workers N] [--nursery-sweep] [--heap-budget BYTES]
 //!         [--heap-sweep]
-//!         [--inject drop-barrier|skew-copied|oom-alloc|packet-reorder]
+//!         [--inject drop-barrier|skew-copied|oom-alloc|packet-reorder
+//!                  |worker-panic|worker-stall|packet-drop]
 //!         [--budget-sweep] [--failure-out PATH]
 //! ```
 //!
@@ -52,7 +53,10 @@ const USAGE: &str = "usage: torture [options]
   --inject FAULT       plant a defect the harness must catch:
                        drop-barrier | skew-copied | oom-alloc
                        or a perturbation that must stay invisible:
-                       packet-reorder (needs --workers > 1 to bite)
+                       packet-reorder | worker-panic | worker-stall |
+                       packet-drop (all need --workers > 1 to bite; the
+                       worker faults must be absorbed by requeue or
+                       mid-cycle degradation to the serial path)
   --budget-sweep       binary-search each seed's minimal surviving heap
                        budget and print the frontier
   --failure-out PATH   write the minimized failure report to PATH
@@ -165,6 +169,9 @@ fn parse_args() -> Result<Args, String> {
                     "skew-copied" => Fault::SkewCopied,
                     "oom-alloc" => Fault::OomAlloc,
                     "packet-reorder" => Fault::PacketReorder,
+                    "worker-panic" => Fault::WorkerPanic,
+                    "worker-stall" => Fault::WorkerStall,
+                    "packet-drop" => Fault::PacketDrop,
                     other => return Err(format!("unknown fault: {other}")),
                 });
             }

@@ -139,3 +139,39 @@ fn skewed_copied_accounting_is_caught() {
     assert!(lines >= 1, "replay is at least a meta line");
     assert_eq!(lines, events + 1, "JSONL body is the events plus meta");
 }
+
+/// The fault-tolerance injections: a seed-derived worker panic, stall,
+/// or packet drop on every parallel lane must be absorbed — packet
+/// requeued or section degraded to the serial drain — leaving the
+/// lockstep graph diff against the serial oracle silent.
+#[test]
+fn worker_faults_are_absorbed_in_lockstep() {
+    for fault in [Fault::WorkerPanic, Fault::WorkerStall, Fault::PacketDrop] {
+        let cfg = TortureConfig {
+            workers: 4,
+            fault: Some(fault),
+            ..smoke_config()
+        };
+        for seed in [0, 1, 2, 17, 42] {
+            if let Some(d) = run_seed(seed, &cfg) {
+                panic!("{fault:?} was not absorbed:\n{d}");
+            }
+        }
+    }
+}
+
+/// Worker faults on a serial configuration are inert by definition
+/// (`workers = 1` never takes the parallel lane): the sweep must be
+/// exactly as clean as a fault-free one.
+#[test]
+fn worker_faults_are_inert_on_serial_lanes() {
+    let cfg = TortureConfig {
+        fault: Some(Fault::WorkerPanic),
+        ..smoke_config()
+    };
+    for seed in [0, 3] {
+        if let Some(d) = run_seed(seed, &cfg) {
+            panic!("inert fault produced a divergence:\n{d}");
+        }
+    }
+}

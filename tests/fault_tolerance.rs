@@ -1,0 +1,306 @@
+//! Fault-injection differential: worker faults must be invisible to
+//! everything but wall-clock time and the fault counters.
+//!
+//! For each injected fault kind (worker panic, worker stall, packet
+//! drop), a 4-worker run must terminate, produce the same program
+//! answer, the same reachable heap graph, and the same deterministic
+//! `GcStats` as the serial oracle — only the `*_wall_ns` fields and the
+//! fault counters (`workers_lost`, `degraded_collections`) may differ.
+//! The degraded collection must announce itself in telemetry with a
+//! schema-valid `degradation-begin`/`degradation-end` episode.
+
+use tilgc::core::{
+    build_vm, build_vm_with_recorder, verify_vm, vm_snapshot, CollectorKind, GcConfig,
+    WorkerFaultKind, WorkerFaultSpec,
+};
+use tilgc::programs::Benchmark;
+use tilgc::runtime::{Event, GcStats, RingRecorder};
+
+fn big_stack<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T {
+    std::thread::Builder::new()
+        .stack_size(256 << 20)
+        .spawn(f)
+        .expect("spawn")
+        .join()
+        .expect("benchmark thread panicked")
+}
+
+/// Same sizing as the parallel differential: identical collection
+/// timing on both lanes and enough to-space headroom that the parallel
+/// gate engages.
+fn config(workers: usize) -> GcConfig {
+    GcConfig::new()
+        .heap_budget_bytes(48 << 20)
+        .nursery_bytes(16 << 10)
+        .large_object_bytes(4 << 10)
+        .workers(workers)
+}
+
+/// Wall-clock fields plus the fault counters are the only sanctioned
+/// divergence from the serial oracle.
+fn normalize(mut s: GcStats) -> GcStats {
+    s.stack_wall_ns = 0;
+    s.copy_wall_ns = 0;
+    s.total_wall_ns = 0;
+    s.workers_lost = 0;
+    s.degraded_collections = 0;
+    s
+}
+
+/// Runs a benchmark and returns (answer, raw stats, reachable graph).
+fn run(kind: CollectorKind, bench: Benchmark, config: &GcConfig) -> (u64, GcStats, Vec<u64>) {
+    let mut vm = build_vm(kind, config);
+    let answer = bench.run(&mut vm, 1);
+    verify_vm(&vm);
+    let stats = *vm.gc_stats();
+    let graph = vm_snapshot(&vm);
+    (answer, stats, graph)
+}
+
+fn spec(kind: WorkerFaultKind) -> WorkerFaultSpec {
+    // Worker 0's first packet pop: the 16 KiB nursery makes for short
+    // packet queues, so worker 0 is the only worker guaranteed to pop
+    // at all. The spec stays armed across collections until it fires.
+    WorkerFaultSpec {
+        kind,
+        worker: 0,
+        packet: 0,
+    }
+}
+
+fn fault_config(kind: WorkerFaultKind) -> GcConfig {
+    let c = config(4).worker_fault(spec(kind));
+    match kind {
+        // A short wall-clock deadline keeps the stall lane fast; the
+        // watchdog is the only way a stalled worker is ever noticed.
+        WorkerFaultKind::Stall => c.watchdog_ms(5),
+        _ => c,
+    }
+}
+
+/// All three fault kinds, against the serial oracle, on two plans
+/// whose parallel lanes engage under this sizing (the semispace plan
+/// never collects Life inside a 48 MiB budget, so a fault armed there
+/// would be inert).
+#[test]
+fn injected_faults_reproduce_the_serial_oracle() {
+    big_stack(|| {
+        for kind in [
+            CollectorKind::Generational,
+            CollectorKind::GenerationalStack,
+        ] {
+            let serial = run(kind, Benchmark::Life, &config(1));
+            for fault in [
+                WorkerFaultKind::Panic,
+                WorkerFaultKind::Stall,
+                WorkerFaultKind::Drop,
+            ] {
+                let faulted = run(kind, Benchmark::Life, &fault_config(fault));
+                assert_eq!(
+                    serial.0,
+                    faulted.0,
+                    "{} / {:?}: answers diverged",
+                    kind.label(),
+                    fault
+                );
+                assert_eq!(
+                    normalize(serial.1),
+                    normalize(faulted.1),
+                    "{} / {:?}: deterministic GcStats diverged",
+                    kind.label(),
+                    fault
+                );
+                assert_eq!(
+                    serial.2,
+                    faulted.2,
+                    "{} / {:?}: reachable heap graphs diverged",
+                    kind.label(),
+                    fault
+                );
+                assert!(
+                    faulted.1.degraded_collections >= 1,
+                    "{} / {:?}: injected fault never degraded a collection",
+                    kind.label(),
+                    fault
+                );
+                match fault {
+                    // A panicked or stalled worker is marked lost; a
+                    // dropped packet only orphans work.
+                    WorkerFaultKind::Panic | WorkerFaultKind::Stall => assert!(
+                        faulted.1.workers_lost >= 1,
+                        "{} / {:?}: lost worker not counted",
+                        kind.label(),
+                        fault
+                    ),
+                    WorkerFaultKind::Drop => {}
+                }
+                assert_eq!(
+                    serial.1.workers_lost, 0,
+                    "serial oracle must not lose workers"
+                );
+                assert_eq!(
+                    serial.1.degraded_collections, 0,
+                    "serial oracle must not degrade"
+                );
+            }
+        }
+    });
+}
+
+/// The degraded collection announces itself: exactly one bracketed
+/// degradation episode per fired fault, with the expected trigger, and
+/// the whole trace still passes the JSONL schema validator.
+#[test]
+fn degradation_episode_is_bracketed_and_schema_valid() {
+    big_stack(|| {
+        for (fault, triggers) in [
+            (WorkerFaultKind::Panic, &["panic"][..]),
+            // A stalled worker is usually caught by the watchdog, but
+            // the queue can also close on the loss before the latch
+            // releases, surfacing the episode as a panic-path loss.
+            (WorkerFaultKind::Stall, &["watchdog", "panic"][..]),
+            (WorkerFaultKind::Drop, &["orphan"][..]),
+        ] {
+            let mut vm = build_vm_with_recorder(
+                CollectorKind::Generational,
+                &fault_config(fault),
+                Box::new(RingRecorder::with_capacity(1 << 16)),
+            );
+            let _ = Benchmark::Life.run(&mut vm, 1);
+            verify_vm(&vm);
+            let stats = *vm.gc_stats();
+            assert!(stats.degraded_collections >= 1, "{fault:?}: never degraded");
+            let events = RingRecorder::drain_events_from(vm.recorder_mut()).expect("ring");
+            let mut begins = 0usize;
+            let mut ends = 0usize;
+            for e in &events {
+                match e {
+                    Event::DegradationBegin(b) => {
+                        begins += 1;
+                        assert!(
+                            triggers.contains(&b.trigger),
+                            "{fault:?}: unexpected trigger {:?}",
+                            b.trigger
+                        );
+                        assert_eq!(b.workers, 4);
+                        assert!(b.workers_lost <= b.workers);
+                    }
+                    Event::DegradationEnd(end) => {
+                        ends += 1;
+                        assert_eq!(end.outcome, "drained");
+                    }
+                    _ => {}
+                }
+            }
+            assert_eq!(begins, ends, "{fault:?}: unbalanced degradation episodes");
+            assert_eq!(
+                begins as u64, stats.degraded_collections,
+                "{fault:?}: episode count disagrees with GcStats"
+            );
+            let doc = tilgc_obs::jsonl::render("generational", "life", 1, &[], &events);
+            if let Err(e) = tilgc_obs::schema::validate_jsonl(&doc) {
+                panic!("{fault:?}: trace failed schema validation: {e}");
+            }
+        }
+    });
+}
+
+/// TTSP tracking: when enabled, collection-begin events carry the
+/// mutator's distance from its last safepoint poll and the trace still
+/// validates; when disabled (the default), every `ttsp_cycles` is zero
+/// so the JSONL output is byte-identical to pre-TTSP traces.
+#[test]
+fn ttsp_tracking_is_observational_and_gated() {
+    big_stack(|| {
+        let run_events = |track: bool| {
+            let cfg = if track {
+                config(1).track_ttsp(true)
+            } else {
+                config(1)
+            };
+            let mut vm = build_vm_with_recorder(
+                CollectorKind::Generational,
+                &cfg,
+                Box::new(RingRecorder::with_capacity(1 << 16)),
+            );
+            let answer = Benchmark::Life.run(&mut vm, 1);
+            verify_vm(&vm);
+            let stats = normalize(*vm.gc_stats());
+            let events = RingRecorder::drain_events_from(vm.recorder_mut()).expect("ring");
+            (answer, stats, events)
+        };
+        let (plain_answer, plain_stats, plain_events) = run_events(false);
+        let (ttsp_answer, ttsp_stats, ttsp_events) = run_events(true);
+        assert_eq!(
+            plain_answer, ttsp_answer,
+            "TTSP tracking changed the answer"
+        );
+        assert_eq!(plain_stats, ttsp_stats, "TTSP tracking changed GcStats");
+
+        let begins = |events: &[Event]| {
+            events
+                .iter()
+                .filter_map(|e| match e {
+                    Event::CollectionBegin(b) => Some(b.ttsp_cycles),
+                    _ => None,
+                })
+                .collect::<Vec<u64>>()
+        };
+        let plain = begins(&plain_events);
+        let tracked = begins(&ttsp_events);
+        assert!(!tracked.is_empty(), "benchmark must collect");
+        assert_eq!(plain.len(), tracked.len(), "collection counts diverged");
+        assert!(
+            plain.iter().all(|&t| t == 0),
+            "untracked runs must report zero TTSP"
+        );
+        assert!(
+            tracked.iter().any(|&t| t > 0),
+            "tracked run never observed a nonzero time-to-safepoint"
+        );
+
+        // The metrics layer sees every collection, zeros included.
+        let metrics = tilgc_obs::metrics::TtspMetrics::from_events(&ttsp_events);
+        assert_eq!(metrics.histogram().count(), tracked.len() as u64);
+
+        // Both traces validate; the untracked one carries no
+        // `ttsp_cycles` field at all.
+        for (label, events) in [("plain", &plain_events), ("ttsp", &ttsp_events)] {
+            let doc = tilgc_obs::jsonl::render("generational", "life", 1, &[], events);
+            if let Err(e) = tilgc_obs::schema::validate_jsonl(&doc) {
+                panic!("{label}: trace failed schema validation: {e}");
+            }
+            if label == "plain" {
+                assert!(
+                    !doc.contains("ttsp_cycles"),
+                    "untracked trace must omit ttsp_cycles entirely"
+                );
+            } else {
+                assert!(
+                    doc.contains("ttsp_cycles"),
+                    "tracked trace must surface ttsp_cycles"
+                );
+            }
+        }
+    });
+}
+
+/// Faults armed under a serial configuration are inert: `workers = 1`
+/// never takes the parallel lane, so the spec never fires and the run
+/// is indistinguishable from a fault-free one.
+#[test]
+fn serial_runs_ignore_armed_faults() {
+    big_stack(|| {
+        let plain = run(CollectorKind::Generational, Benchmark::Life, &config(1));
+        let armed = run(
+            CollectorKind::Generational,
+            Benchmark::Life,
+            &config(1).worker_fault(spec(WorkerFaultKind::Panic)),
+        );
+        assert_eq!(plain.0, armed.0);
+        assert_eq!(normalize(plain.1), normalize(armed.1));
+        assert_eq!(plain.2, armed.2);
+        assert_eq!(armed.1.workers_lost, 0);
+        assert_eq!(armed.1.degraded_collections, 0);
+    });
+}
